@@ -1,0 +1,59 @@
+// Ablation: CFS burst (cpu.cfs_burst_us, Linux >= 5.14) as the kernel's own
+// partial answer to static over-throttling. Burst lets a statically-limited
+// container carry unused quota into the next period, absorbing *sub-second*
+// spikes — but it cannot absorb *sustained* demand shifts, which is where
+// event-driven reallocation is still needed. Compares static-1.5x, static
+// with a full-quota burst budget, and Escra on the burst workload.
+
+#include <cstdio>
+
+#include "exp/microservice.h"
+#include "exp/report.h"
+
+using namespace escra;
+
+int main() {
+  const auto run = [](workload::WorkloadKind workload, exp::PolicyKind policy,
+                      double burst_factor) {
+    exp::MicroserviceConfig cfg;
+    cfg.benchmark = app::Benchmark::kTeastore;
+    cfg.workload = workload;
+    cfg.policy = policy;
+    cfg.static_cfs_burst_factor = burst_factor;
+    cfg.duration = sim::seconds(60);
+    return exp::run_microservice(cfg);
+  };
+
+  const struct {
+    const char* label;
+    exp::PolicyKind policy;
+    double burst;
+  } cases[] = {
+      {"static-1.5x", exp::PolicyKind::kStatic, 0.0},
+      {"static-1.5x + burst=quota", exp::PolicyKind::kStatic, 1.0},
+      {"escra", exp::PolicyKind::kEscra, 0.0},
+  };
+  for (const auto workload :
+       {workload::WorkloadKind::kExp, workload::WorkloadKind::kBurst}) {
+    exp::print_section(std::string("Ablation: cfs_burst, Teastore, ") +
+                       workload::workload_name(workload) + " workload");
+    std::vector<std::vector<std::string>> rows;
+    for (const auto& c : cases) {
+      const exp::RunResult r = run(workload, c.policy, c.burst);
+      rows.push_back({c.label, exp::fmt(r.throughput_rps, 1),
+                      exp::fmt(r.p99_latency_ms, 1),
+                      exp::fmt(r.p999_latency_ms, 1),
+                      exp::fmt(r.cpu_slack_cores.percentile(50), 2),
+                      std::to_string(r.failed)});
+    }
+    exp::print_table({"config", "tput req/s", "p99 ms", "p99.9 ms",
+                      "cpu-slack p50", "fails"},
+                     rows);
+  }
+  std::printf(
+      "\nexpected shape: burst helps static with *sub-second* spikes (the\n"
+      "exp workload's variance rides the carried quota) but cannot absorb a\n"
+      "*sustained* demand shift (the 10-second bursts), and it does nothing\n"
+      "for static's slack; Escra gets both the tail and the slack.\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation: runtime enforcement of the Distributed Container (Section III /
+// VI-C). Two tenants share a cluster; tenant B runs a CPU storm. With
+// runtime-enforced global limits (Escra), B is confined to its budget and A
+// is untouched. With admission-only enforcement (the Resource Quota
+// behaviour: limits checked at deploy time, containers statically sized and
+// free to use them), B's storm rides its deployed limits and collides with
+// A on the nodes.
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "exp/report.h"
+#include "net/network.h"
+#include "sim/histogram.h"
+#include "sim/stats.h"
+
+using namespace escra;
+using memcg::kGiB;
+using memcg::kMiB;
+
+namespace {
+
+struct Result {
+  double a_p99_ms = 0.0;
+  double b_usage_peak_cores = 0.0;
+};
+
+Result run(bool runtime_enforcement) {
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  // One small node: contention is possible by design.
+  k8s.add_node(cluster::NodeConfig{.cores = 8.0});
+
+  cluster::ContainerSpec spec;
+  spec.base_memory = 96 * kMiB;
+  spec.max_parallelism = 8.0;
+  spec.name = "tenant-a";
+  cluster::Container& a = k8s.create_container(spec, 2.0, 512 * kMiB);
+  spec.name = "tenant-b";
+  // Admission-time quota: B deployed with a 6-core limit it rarely uses.
+  cluster::Container& b = k8s.create_container(spec, 6.0, 512 * kMiB);
+
+  std::unique_ptr<core::EscraSystem> escra_a, escra_b;
+  if (runtime_enforcement) {
+    escra_a = std::make_unique<core::EscraSystem>(simulation, network, k8s,
+                                                  3.0, kGiB);
+    escra_a->manage({&a});
+    escra_a->start();
+    escra_b = std::make_unique<core::EscraSystem>(simulation, network, k8s,
+                                                  3.0, kGiB);
+    escra_b->manage({&b});
+    escra_b->start();
+  }
+
+  // Tenant A: steady latency-sensitive flow (~2.7 cores, so A + a storming
+  // B at its deployed 6-core limit oversubscribes the 8-core node).
+  sim::Histogram a_latency;
+  simulation.schedule_every(sim::milliseconds(3), sim::milliseconds(3), [&] {
+    const sim::TimePoint t0 = simulation.now();
+    a.submit(sim::milliseconds(8), kMiB, [&, t0](bool ok) {
+      if (ok && simulation.now() > sim::seconds(5)) {
+        a_latency.record(std::max<sim::TimePoint>(1, simulation.now() - t0));
+      }
+    });
+  });
+  // Tenant B: storm wanting ~8 cores from t=10s.
+  simulation.schedule_at(sim::seconds(10), [&] {
+    simulation.schedule_every(simulation.now() + sim::milliseconds(10),
+                              sim::milliseconds(10), [&] {
+                                b.submit(sim::milliseconds(80), kMiB, nullptr);
+                              });
+  });
+
+  sim::SampleSet b_usage;
+  sim::Duration prev = 0;
+  simulation.schedule_every(sim::kSecond, sim::kSecond, [&] {
+    const auto consumed = b.cpu_cgroup().total_consumed();
+    b_usage.add(static_cast<double>(consumed - prev) / 1e6);
+    prev = consumed;
+  });
+
+  simulation.run_until(sim::seconds(40));
+  Result result;
+  result.a_p99_ms = static_cast<double>(a_latency.percentile(99)) / 1000.0;
+  result.b_usage_peak_cores = b_usage.max();
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  exp::print_section(
+      "Ablation: runtime-enforced Distributed Container vs admission-only "
+      "quota");
+  const Result admission = run(false);
+  const Result runtime = run(true);
+  exp::print_table(
+      {"enforcement", "tenant-B peak usage (cores)", "tenant-A p99 (ms)"},
+      {{"admission-only (quota)", exp::fmt(admission.b_usage_peak_cores, 2),
+        exp::fmt(admission.a_p99_ms, 1)},
+       {"runtime (escra)", exp::fmt(runtime.b_usage_peak_cores, 2),
+        exp::fmt(runtime.a_p99_ms, 1)}});
+  std::printf(
+      "\nexpected shape: with admission-only enforcement B's storm runs at\n"
+      "its deployed 6-core limit and squeezes A on the 8-core node; with\n"
+      "runtime enforcement B is held near its 3-core tenant budget and A's\n"
+      "tail barely moves.\n");
+  return 0;
+}

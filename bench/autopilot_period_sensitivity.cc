@@ -1,0 +1,44 @@
+// Section VI-A: Autopilot update-period sensitivity. "The throughput of
+// HipsterShop with Autopilot at 1, 10, 30, and 60 second update periods
+// degrades from 422 to 382 to 279 to 108 req/sec" — coarser control loops
+// cost performance, which is why the paper compares against the 1-second
+// best case. This bench regenerates that sweep (plus the latency view).
+
+#include <cstdio>
+
+#include "exp/microservice.h"
+#include "exp/report.h"
+
+using namespace escra;
+
+int main() {
+  exp::print_section(
+      "Autopilot update-period sensitivity (HipsterShop, Alibaba workload)");
+  std::vector<std::vector<std::string>> rows;
+  for (const int period_s : {1, 10, 30, 60}) {
+    exp::MicroserviceConfig cfg;
+    cfg.benchmark = app::Benchmark::kHipster;
+    // The Alibaba trace's sustained ramps are where a stale control loop
+    // hurts most: limits set a minute ago are wrong for the whole ramp.
+    cfg.workload = workload::WorkloadKind::kAlibaba;
+    cfg.policy = exp::PolicyKind::kAutopilot;
+    cfg.autopilot_period = sim::seconds(period_s);
+    cfg.duration = sim::seconds(120);  // several trace ramps per period
+    const exp::RunResult r = exp::run_microservice(cfg);
+    rows.push_back({std::to_string(period_s) + "s",
+                    exp::fmt(r.throughput_rps, 1),
+                    exp::fmt(r.p999_latency_ms, 1),
+                    exp::fmt(r.p50_latency_ms, 1),
+                    std::to_string(r.oom_kills),
+                    std::to_string(r.failed)});
+  }
+  exp::print_table({"update period", "tput req/s", "p99.9 ms", "p50 ms",
+                    "ooms", "fails"},
+                   rows);
+  std::printf(
+      "\nexpected shape (paper: throughput degrades 422 -> 382 -> 279 -> 108\n"
+      "req/s at 1/10/30/60 s): service degrades monotonically as the update\n"
+      "period coarsens — here it shows up as tail latency, since our client\n"
+      "model retries within a 2 s timeout; 1 s is Autopilot's best case.\n");
+  return 0;
+}

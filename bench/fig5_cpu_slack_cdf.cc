@@ -1,0 +1,48 @@
+// Figure 5: CPU absolute-slack CDFs comparing Escra, Autopilot, and static
+// allocation for the paper's four highlighted (application, workload) pairs:
+//   (a) TrainTicket-Fixed   (b) Teastore-Alibaba
+//   (c) HipsterShop-Exp     (d) MediaMicroservice-Burst
+// Slack = per-container CPU limit minus usage, sampled per second and pooled
+// across the application's containers (cores).
+
+#include <cstdio>
+
+#include "exp/report.h"
+#include "grid.h"
+
+using namespace escra;
+using bench::grid_cell;
+
+namespace {
+
+void plot(const char* tag, app::Benchmark a, workload::WorkloadKind w) {
+  std::printf("\n--- %s ---\n", tag);
+  for (const auto p : {exp::PolicyKind::kEscra, exp::PolicyKind::kAutopilot,
+                       exp::PolicyKind::kStatic}) {
+    const exp::RunResult& r = grid_cell(a, w, p);
+    exp::print_cdf(std::string("cpu-slack-cores ") + r.policy_name,
+                   r.cpu_slack_cores, 15);
+    std::printf("   p50=%.2f p80=%.2f p99=%.2f cores\n",
+                r.cpu_slack_cores.percentile(50),
+                r.cpu_slack_cores.percentile(80),
+                r.cpu_slack_cores.percentile(99));
+  }
+}
+
+}  // namespace
+
+int main() {
+  exp::print_section("Figure 5: CPU slack CDFs (limit - usage, cores)");
+  plot("(a) TrainTicket - Fixed", app::Benchmark::kTrainTicket,
+       workload::WorkloadKind::kFixed);
+  plot("(b) Teastore - Alibaba", app::Benchmark::kTeastore,
+       workload::WorkloadKind::kAlibaba);
+  plot("(c) HipsterShop - Exp", app::Benchmark::kHipster,
+       workload::WorkloadKind::kExp);
+  plot("(d) MediaMicroservice - Burst", app::Benchmark::kMedia,
+       workload::WorkloadKind::kBurst);
+  std::printf(
+      "\nexpected shape (paper Fig. 5): Escra's CDF rises far left of the\n"
+      "others (median ~0.1-0.2 cores vs ~0.5-2.5 for static/autopilot).\n");
+  return 0;
+}

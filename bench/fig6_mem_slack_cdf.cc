@@ -1,0 +1,44 @@
+// Figure 6: memory absolute-slack CDFs (MiB, log-scale x in the paper) for
+// the same four highlighted pairs as Figure 5. Slack = per-container memory
+// limit minus usage, sampled per second and pooled.
+
+#include <cstdio>
+
+#include "exp/report.h"
+#include "grid.h"
+
+using namespace escra;
+using bench::grid_cell;
+
+namespace {
+
+void plot(const char* tag, app::Benchmark a, workload::WorkloadKind w) {
+  std::printf("\n--- %s ---\n", tag);
+  for (const auto p : {exp::PolicyKind::kEscra, exp::PolicyKind::kAutopilot,
+                       exp::PolicyKind::kStatic}) {
+    const exp::RunResult& r = grid_cell(a, w, p);
+    exp::print_cdf(std::string("mem-slack-MiB ") + r.policy_name,
+                   r.mem_slack_mib, 15);
+    std::printf("   p50=%.1f p99=%.1f MiB\n", r.mem_slack_mib.percentile(50),
+                r.mem_slack_mib.percentile(99));
+  }
+}
+
+}  // namespace
+
+int main() {
+  exp::print_section("Figure 6: memory slack CDFs (limit - usage, MiB)");
+  plot("(a) TrainTicket - Fixed", app::Benchmark::kTrainTicket,
+       workload::WorkloadKind::kFixed);
+  plot("(b) Teastore - Alibaba", app::Benchmark::kTeastore,
+       workload::WorkloadKind::kAlibaba);
+  plot("(c) HipsterShop - Exp", app::Benchmark::kHipster,
+       workload::WorkloadKind::kExp);
+  plot("(d) MediaMicroservice - Burst", app::Benchmark::kMedia,
+       workload::WorkloadKind::kBurst);
+  std::printf(
+      "\nexpected shape (paper Fig. 6): Escra pinned near the reclamation\n"
+      "margin delta (~50 MiB; e.g. 49 MiB for TrainTicket-Fixed) while\n"
+      "static sits at hundreds of MiB; Autopilot in between.\n");
+  return 0;
+}

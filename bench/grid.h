@@ -1,0 +1,41 @@
+// Shared helper for the microservice evaluation grid (Sections VI-B..VI-E):
+// runs every (application x workload) cell under a set of policies and
+// caches results within the process so a bench binary computes each cell
+// once.
+#pragma once
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "exp/microservice.h"
+
+namespace escra::bench {
+
+inline const std::vector<app::Benchmark> kApps = {
+    app::Benchmark::kMedia, app::Benchmark::kHipster,
+    app::Benchmark::kTrainTicket, app::Benchmark::kTeastore};
+
+inline const std::vector<workload::WorkloadKind> kWorkloads = {
+    workload::WorkloadKind::kAlibaba, workload::WorkloadKind::kBurst,
+    workload::WorkloadKind::kExp, workload::WorkloadKind::kFixed};
+
+// Runs (or returns the cached) result for one grid cell.
+inline const exp::RunResult& grid_cell(app::Benchmark a,
+                                       workload::WorkloadKind w,
+                                       exp::PolicyKind p,
+                                       sim::Duration duration = sim::seconds(60)) {
+  static std::map<std::tuple<int, int, int>, exp::RunResult> cache;
+  const auto key = std::tuple(static_cast<int>(a), static_cast<int>(w),
+                              static_cast<int>(p));
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  exp::MicroserviceConfig cfg;
+  cfg.benchmark = a;
+  cfg.workload = w;
+  cfg.policy = p;
+  cfg.duration = duration;
+  return cache.emplace(key, exp::run_microservice(cfg)).first->second;
+}
+
+}  // namespace escra::bench

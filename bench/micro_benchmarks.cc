@@ -1,0 +1,130 @@
+// Google-benchmark microbenchmarks for Escra's hot paths: the allocator's
+// per-statistic decision, the Distributed Container bookkeeping, the CFS
+// max-min fair scheduler step, and the telemetry data structures. These back
+// the Section VI-I capacity claims with per-operation costs.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/decaying_histogram.h"
+#include "cfs/node_scheduler.h"
+#include "core/allocator.h"
+#include "core/distributed_container.h"
+#include "sim/histogram.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+
+using namespace escra;
+
+namespace {
+
+void BM_AllocatorOnCpuStats(benchmark::State& state) {
+  const auto containers = static_cast<std::uint32_t>(state.range(0));
+  core::EscraConfig config;
+  core::DistributedContainer app(4096.0, 1024LL * memcg::kGiB);
+  core::ResourceAllocator alloc(config, app);
+  for (std::uint32_t i = 1; i <= containers; ++i) {
+    alloc.register_container(i, 1.0, 256 * memcg::kMiB);
+  }
+  sim::Rng rng(1);
+  std::uint32_t next = 1;
+  for (auto _ : state) {
+    core::CpuStatsMsg m;
+    m.cgroup = next;
+    next = next % containers + 1;
+    m.quota = sim::milliseconds(100);
+    m.throttled = rng.chance(0.1);
+    m.unused = m.throttled ? 0 : 30000;
+    benchmark::DoNotOptimize(alloc.on_cpu_stats(m));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_AllocatorOnCpuStats)->Arg(32)->Arg(512)->Arg(4096);
+
+void BM_DistributedContainerSetCores(benchmark::State& state) {
+  core::DistributedContainer app(4096.0, 1024LL * memcg::kGiB);
+  for (std::uint32_t i = 1; i <= 256; ++i) {
+    app.add_member(i, 1.0, 256 * memcg::kMiB);
+  }
+  std::uint32_t next = 1;
+  double target = 0.5;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(app.set_member_cores(next, target));
+    next = next % 256 + 1;
+    target = target == 0.5 ? 1.5 : 0.5;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DistributedContainerSetCores);
+
+void BM_MaxMinFair(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Rng rng(7);
+  std::vector<double> demands(n);
+  for (double& d : demands) d = rng.uniform(0.0, 4.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cfs::NodeCpuScheduler::max_min_fair(demands, 20.0));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_MaxMinFair)->Arg(8)->Arg(64)->Arg(512);
+
+void BM_HistogramRecord(benchmark::State& state) {
+  sim::Histogram h;
+  sim::Rng rng(3);
+  std::int64_t v = 1;
+  for (auto _ : state) {
+    h.record(v);
+    v = (v * 1103515245 + 12345) % 1000000 + 1;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecord);
+
+void BM_HistogramPercentile(benchmark::State& state) {
+  sim::Histogram h;
+  sim::Rng rng(4);
+  for (int i = 0; i < 100000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.exponential(1e-5)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(99.9));
+  }
+}
+BENCHMARK(BM_HistogramPercentile);
+
+void BM_SlidingWindowAdd(benchmark::State& state) {
+  sim::SlidingWindow w(5);
+  double x = 0.0;
+  for (auto _ : state) {
+    w.add(x);
+    x += 0.1;
+    benchmark::DoNotOptimize(w.mean());
+  }
+}
+BENCHMARK(BM_SlidingWindowAdd);
+
+void BM_DecayingHistogramAdd(benchmark::State& state) {
+  baselines::DecayingHistogram h(16.0, 128, 120.0);
+  double t = 0.0;
+  for (auto _ : state) {
+    h.add(t, 2.0);
+    t += 1.0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecayingHistogramAdd);
+
+void BM_DecayingHistogramPercentile(benchmark::State& state) {
+  baselines::DecayingHistogram h(16.0, 128, 120.0);
+  sim::Rng rng(5);
+  for (int t = 0; t < 10000; ++t) h.add(t, rng.uniform(0.0, 8.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(h.percentile(95.0));
+  }
+}
+BENCHMARK(BM_DecayingHistogramPercentile);
+
+}  // namespace
+
+BENCHMARK_MAIN();

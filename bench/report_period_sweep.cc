@@ -1,0 +1,41 @@
+// Section VI-I: "Why a 100ms report period?" The paper measured 99%
+// end-to-end latency across telemetry report frequencies from 50 ms to
+// 200 ms in 50 ms steps and found 100 ms (the default Linux CFS period) the
+// best trade-off. This bench regenerates that sweep on MediaMicroservice
+// with the burst workload.
+
+#include <cstdio>
+
+#include "exp/microservice.h"
+#include "exp/report.h"
+
+using namespace escra;
+
+int main() {
+  exp::print_section(
+      "Telemetry report-period sweep (MediaMicroservice, burst workload)");
+  std::vector<std::vector<std::string>> rows;
+  for (const int period_ms : {50, 100, 150, 200}) {
+    exp::MicroserviceConfig cfg;
+    cfg.benchmark = app::Benchmark::kMedia;
+    cfg.workload = workload::WorkloadKind::kBurst;
+    cfg.policy = exp::PolicyKind::kEscra;
+    cfg.escra.cfs_period = sim::milliseconds(period_ms);
+    cfg.duration = sim::seconds(60);
+    const exp::RunResult r = exp::run_microservice(cfg);
+    rows.push_back({std::to_string(period_ms) + "ms",
+                    exp::fmt(r.p99_latency_ms, 1),
+                    exp::fmt(r.p999_latency_ms, 1),
+                    exp::fmt(r.throughput_rps, 1),
+                    std::to_string(r.telemetry_msgs),
+                    std::to_string(r.limit_updates)});
+  }
+  exp::print_table({"report period", "p99 ms", "p99.9 ms", "tput req/s",
+                    "telemetry msgs", "limit updates"},
+                   rows);
+  std::printf(
+      "\nexpected shape (paper Section VI-I): sub-second periods all work;\n"
+      "100 ms gives the lowest tail latency — shorter periods add message\n"
+      "volume and control noise, longer ones react more slowly.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Related-work comparison (Section II): the systems the paper positions
+// Escra against — the Kubernetes Vertical Pod Autoscaler (restart-to-resize,
+// once per minute), the Firm-style utilization multiplexer (no restarts but
+// a coarse loop and a fixed budget), and Autopilot (recreated per §VI-A).
+// Runs Teastore under a shifting workload and counts what each structural
+// limitation costs.
+
+#include <cstdio>
+
+#include "exp/microservice.h"
+#include "exp/report.h"
+
+using namespace escra;
+
+int main() {
+  exp::print_section("VPA vs Firm vs Autopilot vs Escra (Teastore, Alibaba workload)");
+  std::vector<std::vector<std::string>> rows;
+  for (const auto policy : {exp::PolicyKind::kVpa, exp::PolicyKind::kFirm,
+                            exp::PolicyKind::kAutopilot,
+                            exp::PolicyKind::kEscra}) {
+    exp::MicroserviceConfig cfg;
+    cfg.benchmark = app::Benchmark::kTeastore;
+    cfg.workload = workload::WorkloadKind::kAlibaba;
+    cfg.policy = policy;
+    cfg.duration = sim::seconds(120);  // room for several VPA cycles
+    const exp::RunResult r = exp::run_microservice(cfg);
+    rows.push_back({r.policy_name, exp::fmt(r.throughput_rps, 1),
+                    exp::fmt(r.p999_latency_ms, 1),
+                    exp::fmt(r.cpu_slack_cores.percentile(50), 2),
+                    std::to_string(r.evictions), std::to_string(r.oom_kills),
+                    std::to_string(r.failed)});
+  }
+  exp::print_table({"policy", "tput req/s", "p99.9 ms", "cpu-slack p50",
+                    "pod restarts", "ooms", "failed reqs"},
+                   rows);
+  std::printf(
+      "\nexpected shape (Section II): every VPA resize is a pod restart that\n"
+      "drops requests; its once-per-minute cadence leaves limits stale\n"
+      "between cycles. Escra resizes hundreds of times without a single\n"
+      "restart.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Microservice autoscaling: the paper's headline comparison on one cell of
+// the evaluation grid, end to end through the public API.
+//
+// Deploys the 11-container HipsterShop benchmark on a 3-node cluster and
+// runs the bursty workload (50 req/s with 650 req/s bursts) three times:
+// under static-1.5x limits, under the Autopilot recreation, and under
+// Escra. Prints throughput, tail latency, and slack side by side — the
+// performance/cost-efficiency trade-off of Section VI-B, and how Escra
+// escapes it.
+//
+// Run:  build/examples/microservice_autoscaling
+
+#include <cstdio>
+
+#include "exp/microservice.h"
+#include "exp/report.h"
+
+using namespace escra;
+
+int main() {
+  exp::print_section("HipsterShop under a bursty workload, three policies");
+  std::printf("deploying 11 containers on 3x20-core workers; profiling, then\n"
+              "running 60 s of load per policy...\n\n");
+
+  std::vector<std::vector<std::string>> rows;
+  for (const auto policy :
+       {exp::PolicyKind::kStatic, exp::PolicyKind::kAutopilot,
+        exp::PolicyKind::kEscra}) {
+    exp::MicroserviceConfig cfg;
+    cfg.benchmark = app::Benchmark::kHipster;
+    cfg.workload = workload::WorkloadKind::kBurst;
+    cfg.policy = policy;
+    const exp::RunResult r = exp::run_microservice(cfg);
+    rows.push_back({r.policy_name, exp::fmt(r.throughput_rps, 1),
+                    exp::fmt(r.p50_latency_ms, 1),
+                    exp::fmt(r.p999_latency_ms, 1),
+                    exp::fmt(r.cpu_slack_cores.percentile(50), 2),
+                    exp::fmt(r.mem_slack_mib.percentile(50), 1),
+                    std::to_string(r.oom_kills), std::to_string(r.failed)});
+  }
+  exp::print_table({"policy", "tput req/s", "p50 ms", "p99.9 ms",
+                    "cpu-slack p50 (cores)", "mem-slack p50 (MiB)", "ooms",
+                    "fails"},
+                   rows);
+
+  std::printf(
+      "\nWhat to look for: static buys its performance with slack (the\n"
+      "resources you pay for but never use); Autopilot's 1-second control\n"
+      "loop still misses the burst onset (tail latency); Escra reacts within\n"
+      "CFS periods, holding both tail latency and slack down at once.\n");
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Multi-tenancy with Distributed Containers (Section VII).
+//
+// Two tenants share the same worker nodes, each as its own Distributed
+// Container with its own Escra control plane and its own aggregate limits.
+// Tenant A runs a steady service; tenant B misbehaves — it bursts hard and
+// grows memory. The demonstration: B is confined to its global limits at
+// runtime (it throttles and reclaims *within* its own budget), while A's
+// latency and allocations stay untouched. A UsageAccountant meters both,
+// showing what each tenant would be billed under reservation- vs
+// usage-based pricing.
+//
+// Run:  build/examples/multi_tenant
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "core/accounting.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "sim/histogram.h"
+#include "sim/rng.h"
+
+using namespace escra;
+using memcg::kGiB;
+using memcg::kMiB;
+
+int main() {
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  for (int i = 0; i < 2; ++i) k8s.add_node(cluster::NodeConfig{.cores = 16.0});
+
+  // --- tenant A: a steady 2-container service, 6-core / 2 GiB budget ---
+  cluster::ContainerSpec spec;
+  spec.base_memory = 128 * kMiB;
+  spec.name = "a-front";
+  cluster::Container& a_front = k8s.create_container(spec, 1.0, 512 * kMiB);
+  spec.name = "a-back";
+  cluster::Container& a_back = k8s.create_container(spec, 1.0, 512 * kMiB);
+  core::EscraSystem tenant_a(simulation, network, k8s, 6.0, 2 * kGiB);
+  tenant_a.manage({&a_front, &a_back});
+  tenant_a.start();
+
+  // --- tenant B: two containers that burst and hog, 4-core / 1 GiB budget ---
+  spec.name = "b-burst";
+  spec.max_parallelism = 8.0;
+  cluster::Container& b_burst = k8s.create_container(spec, 1.0, 512 * kMiB);
+  spec.name = "b-hog";
+  cluster::Container& b_hog = k8s.create_container(spec, 1.0, 512 * kMiB);
+  core::EscraSystem tenant_b(simulation, network, k8s, 4.0, 1 * kGiB);
+  tenant_b.manage({&b_burst, &b_hog});
+  tenant_b.start();
+
+  core::UsageAccountant accountant(simulation);
+  accountant.track(a_front, "tenant-a");
+  accountant.track(a_back, "tenant-a");
+  accountant.track(b_burst, "tenant-b");
+  accountant.track(b_hog, "tenant-b");
+
+  // Tenant A: gentle steady request flow, 100 req/s through front -> back.
+  sim::Rng rng(5);
+  sim::Histogram a_latency;
+  simulation.schedule_every(sim::milliseconds(10), sim::milliseconds(10), [&] {
+    const sim::TimePoint t0 = simulation.now();
+    a_front.submit(sim::milliseconds(3), 2 * kMiB, [&, t0](bool ok_front) {
+      if (!ok_front) return;
+      a_back.submit(sim::milliseconds(4), 2 * kMiB, [&, t0](bool ok_back) {
+        if (ok_back) a_latency.record(std::max<sim::TimePoint>(1, simulation.now() - t0));
+      });
+    });
+  });
+
+  // Tenant B: 10-second CPU storms every 20 s plus relentless memory growth.
+  simulation.schedule_every(sim::milliseconds(20), sim::milliseconds(20), [&] {
+    const auto phase = simulation.now() % sim::seconds(20);
+    if (phase < sim::seconds(10)) {
+      b_burst.submit(sim::milliseconds(120), 4 * kMiB, nullptr);  // ~6 cores wanted
+    }
+  });
+  simulation.schedule_every(sim::seconds(1), sim::seconds(1),
+                            [&] { b_hog.adjust_resident(24 * kMiB); });
+
+  std::printf("%7s | %19s | %19s\n", "", "tenant A (6c/2GiB)",
+              "tenant B (4c/1GiB)");
+  std::printf("%7s | %9s %9s | %9s %9s\n", "time_s", "cpu-alloc", "mem-MiB",
+              "cpu-alloc", "mem-MiB");
+  simulation.schedule_every(sim::seconds(10), sim::seconds(10), [&] {
+    std::printf("%7.0f | %9.2f %9lld | %9.2f %9lld\n",
+                sim::to_seconds(simulation.now()), tenant_a.app().cpu_allocated(),
+                static_cast<long long>(tenant_a.app().mem_allocated() / kMiB),
+                tenant_b.app().cpu_allocated(),
+                static_cast<long long>(tenant_b.app().mem_allocated() / kMiB));
+  });
+
+  simulation.run_until(sim::seconds(60));
+
+  std::printf("\ntenant A latency: p50 %.1f ms, p99.9 %.1f ms  (undisturbed "
+              "by B's storms)\n",
+              static_cast<double>(a_latency.percentile(50)) / 1000.0,
+              static_cast<double>(a_latency.percentile(99.9)) / 1000.0);
+  std::printf("tenant B: burst container throttled within its own budget; "
+              "hog OOM-killed %llu time(s)\nonce tenant B's pool was truly "
+              "exhausted — tenant A was never touched.\n",
+              static_cast<unsigned long long>(b_hog.oom_kill_count()));
+
+  std::printf("\nbilling (rates: $0.04/core-hr, $0.005/GiB-hr):\n");
+  const double core_rate = 0.04 / 3600.0, gib_rate = 0.005 / 3600.0;
+  for (const char* tenant : {"tenant-a", "tenant-b"}) {
+    const core::UsageBill& bill = accountant.bill(tenant);
+    std::printf(
+        "  %-9s reserved $%.6f  used $%.6f  (cpu util %.0f%%, mem util %.0f%%)\n",
+        tenant, bill.cost_reserved(core_rate, gib_rate),
+        bill.cost_used(core_rate, gib_rate), 100.0 * bill.cpu_utilization(),
+        100.0 * bill.mem_utilization());
+  }
+  std::printf("with Escra the reserved bill approaches the used bill — the\n"
+              "Distributed Container doubles as a billing boundary (Sec VII).\n");
+  return 0;
+}

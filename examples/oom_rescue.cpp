@@ -1,0 +1,122 @@
+// Event-driven OOM rescue: the kernel-hook mechanism in isolation.
+//
+// A container's working set outgrows its memory limit. Without Escra, the
+// try_charge() overflow summons the OOM killer: the container dies, drops
+// its work, and pays a multi-second restart. With Escra, the pre-OOM kernel
+// hook asks the Controller for memory before the kill; the Resource
+// Allocator grants pages from the Distributed Container's pool (reclaiming
+// slack from neighbours when the pool is dry), and the container keeps
+// running after a sub-millisecond stall.
+//
+// This example runs both scenarios side by side and prints the timeline.
+//
+// Run:  build/examples/oom_rescue
+
+#include <cstdio>
+
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+using namespace escra;
+using memcg::kMiB;
+
+namespace {
+
+struct Outcome {
+  bool survived = false;
+  std::uint64_t kills = 0;
+  std::uint64_t rescues = 0;
+  double work_done_s = 0.0;
+};
+
+Outcome run_scenario(bool with_escra) {
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  k8s.add_node({});
+
+  // Two containers: `worker` will outgrow its limit; `neighbour` idles with
+  // plenty of slack that Escra can reclaim.
+  cluster::ContainerSpec worker_spec;
+  worker_spec.name = "worker";
+  worker_spec.base_memory = 64 * kMiB;
+  cluster::Container& worker =
+      k8s.create_container(worker_spec, 2.0, 128 * kMiB);
+  cluster::ContainerSpec neighbour_spec;
+  neighbour_spec.name = "neighbour";
+  neighbour_spec.base_memory = 64 * kMiB;
+  cluster::Container& neighbour =
+      k8s.create_container(neighbour_spec, 1.0, 512 * kMiB);
+
+  std::unique_ptr<core::EscraSystem> escra;
+  if (with_escra) {
+    escra = std::make_unique<core::EscraSystem>(simulation, network, k8s,
+                                                /*global_cpu=*/4.0,
+                                                /*global_mem=*/768 * kMiB);
+    escra->manage({&worker, &neighbour});
+    escra->start();
+  }
+
+  // The worker's phases allocate 60 MiB each on top of its 64 MiB base and
+  // overlap in pairs — the second concurrent working set exceeds the
+  // 128 MiB limit the moment it starts executing.
+  int phases_done = 0;
+  const sim::TimePoint starts[] = {sim::seconds_f(1.0), sim::seconds_f(1.2),
+                                   sim::seconds_f(6.0), sim::seconds_f(6.2)};
+  for (int phase = 0; phase < 4; ++phase) {
+    simulation.schedule_at(starts[phase], [&worker, &phases_done,
+                                           &simulation, phase] {
+      const bool accepted = worker.submit(
+          sim::milliseconds(500), 60 * kMiB, [&, phase](bool ok) {
+            std::printf("  t=%5.2fs  phase %d %s\n",
+                        sim::to_seconds(simulation.now()), phase,
+                        ok ? "completed" : "DROPPED (container killed)");
+            phases_done += ok;
+          });
+      if (!accepted) {
+        std::printf("  t=%5.2fs  phase %d REJECTED (container restarting)\n",
+                    sim::to_seconds(simulation.now()), phase);
+      }
+    });
+  }
+
+  simulation.run_until(sim::seconds(12));
+
+  Outcome outcome;
+  outcome.survived = worker.oom_kill_count() == 0;
+  outcome.kills = worker.oom_kill_count();
+  outcome.rescues = escra ? escra->controller().oom_rescues()
+                          : worker.mem_cgroup().oom_rescues();
+  outcome.work_done_s = phases_done * 0.5;
+  if (escra) {
+    std::printf("  neighbour limit after reclamation: %lld MiB (was 512)\n",
+                static_cast<long long>(neighbour.mem_cgroup().limit() / kMiB));
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Scenario 1: vanilla cgroup limits (no Escra) ===\n");
+  const Outcome vanilla = run_scenario(false);
+
+  std::printf("\n=== Scenario 2: Escra pre-OOM kernel hook ===\n");
+  const Outcome rescued = run_scenario(true);
+
+  std::printf("\n%-28s %12s %12s\n", "", "vanilla", "escra");
+  std::printf("%-28s %12llu %12llu\n", "OOM kills",
+              static_cast<unsigned long long>(vanilla.kills),
+              static_cast<unsigned long long>(rescued.kills));
+  std::printf("%-28s %12llu %12llu\n", "OOM rescues",
+              static_cast<unsigned long long>(vanilla.rescues),
+              static_cast<unsigned long long>(rescued.rescues));
+  std::printf("%-28s %12.1f %12.1f\n", "work completed (core-s)",
+              vanilla.work_done_s, rescued.work_done_s);
+  std::printf(
+      "\nThe rescue costs a sub-millisecond controller round trip; the kill\n"
+      "costs the dropped work plus a multi-second restart (Section III).\n");
+  return 0;
+}

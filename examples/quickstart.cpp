@@ -1,0 +1,94 @@
+// Quickstart: deploy a small microservice application under Escra and watch
+// fine-grained allocation track demand.
+//
+// Builds a simulated 3-node cluster, deploys the 7-container Teastore
+// benchmark as one Distributed Container (12 cores / 4 GiB global limits),
+// drives it with a Poisson workload, and prints per-container limits vs
+// usage plus the end-to-end latency distribution.
+//
+// Run:  build/examples/quickstart
+
+#include <cstdio>
+
+#include "app/benchmarks.h"
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "workload/load_generator.h"
+
+using namespace escra;
+
+int main() {
+  sim::Simulation simulation;
+  net::Network network(simulation);
+
+  // A control node plus three 20-core workers (the control node runs no
+  // containers, so only the workers are modelled).
+  cluster::Cluster k8s(simulation);
+  for (int i = 0; i < 3; ++i) k8s.add_node(cluster::NodeConfig{.cores = 20.0});
+
+  // Deploy Teastore: 7 containers behind one entry point.
+  sim::Rng rng(1);
+  app::Application teastore(k8s, app::make_teastore(), rng.fork(),
+                            /*initial_cores=*/1.0,
+                            /*initial_mem=*/256 * memcg::kMiB);
+
+  // Hand the whole application to Escra as one Distributed Container:
+  // 8 cores and 4 GiB, shared across all 7 containers at runtime.
+  core::EscraSystem escra(simulation, network, k8s, /*global_cpu=*/12.0,
+                          /*global_mem=*/4 * memcg::kGiB);
+  escra.manage(teastore.containers());
+  escra.start();
+
+  // Load: Poisson arrivals at 250 req/s for 30 seconds, starting once the
+  // containers have finished their startup warmup.
+  workload::LoadGenerator loadgen(
+      simulation,
+      std::make_unique<workload::ExpArrivals>(250.0, rng.fork()),
+      [&teastore](workload::LoadGenerator::Done done) {
+        teastore.submit_request(std::move(done));
+      });
+  loadgen.run(sim::seconds(5), sim::seconds(35));
+
+  // Print the allocation picture once per 10 simulated seconds.
+  simulation.schedule_every(sim::seconds(10), sim::seconds(10), [&] {
+    std::printf("t=%2.0fs  %-18s %7s %7s %9s %9s\n",
+                sim::to_seconds(simulation.now()), "container", "lim(c)",
+                "use(c)", "lim(MiB)", "use(MiB)");
+    for (const cluster::Container* c : teastore.containers()) {
+      std::printf("       %-18s %7.2f %7.2f %9lld %9lld\n", c->name().c_str(),
+                  c->cpu_cgroup().limit_cores(),
+                  static_cast<double>(c->cpu_cgroup().consumed_this_period()) /
+                      static_cast<double>(c->cpu_cgroup().period()),
+                  static_cast<long long>(c->mem_cgroup().limit() / memcg::kMiB),
+                  static_cast<long long>(c->mem_cgroup().usage() / memcg::kMiB));
+    }
+    std::printf("       app allocated: %.2f / %.2f cores, %lld / %lld MiB\n\n",
+                escra.app().cpu_allocated(), escra.app().cpu_limit(),
+                static_cast<long long>(escra.app().mem_allocated() / memcg::kMiB),
+                static_cast<long long>(escra.app().mem_limit() / memcg::kMiB));
+  });
+
+  simulation.run_until(sim::seconds(37));
+
+  const sim::Histogram& lat = loadgen.latency();
+  std::printf("requests: %llu ok, %llu failed, %.1f req/s\n",
+              static_cast<unsigned long long>(loadgen.succeeded()),
+              static_cast<unsigned long long>(loadgen.failed()),
+              loadgen.throughput_rps());
+  std::printf("latency ms: mean %.2f  p50 %.2f  p99 %.2f  p99.9 %.2f\n",
+              lat.mean() / 1000.0,
+              static_cast<double>(lat.percentile(50)) / 1000.0,
+              static_cast<double>(lat.percentile(99)) / 1000.0,
+              static_cast<double>(lat.percentile(99.9)) / 1000.0);
+  std::printf("controller: %llu stats, %llu limit updates, %llu OOM rescues\n",
+              static_cast<unsigned long long>(escra.controller().stats_received()),
+              static_cast<unsigned long long>(
+                  escra.controller().limit_updates_sent()),
+              static_cast<unsigned long long>(escra.controller().oom_rescues()));
+  std::printf("network: peak %.2f Mbps, mean %.2f Mbps\n", network.peak_mbps(),
+              network.mean_mbps());
+  return 0;
+}

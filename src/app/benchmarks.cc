@@ -1,0 +1,215 @@
+#include "app/benchmarks.h"
+
+#include <stdexcept>
+
+namespace escra::app {
+
+namespace {
+
+// Shorthand for building a service entry.
+ServiceSpec svc(std::string name, int replicas, double cpu_ms,
+                memcg::Bytes mem_visit_mib, memcg::Bytes base_mib,
+                double parallelism = 8.0) {
+  ServiceSpec s;
+  s.name = std::move(name);
+  s.replicas = replicas;
+  s.cpu_per_visit = sim::milliseconds_f(cpu_ms);
+  s.mem_per_visit = mem_visit_mib * memcg::kMiB;
+  s.base_memory = base_mib * memcg::kMiB;
+  s.max_parallelism = parallelism;
+  return s;
+}
+
+}  // namespace
+
+GraphSpec make_media_microservice() {
+  GraphSpec g;
+  g.name = "media-microservice";
+  // Index:                        name               rep  cpu   vm  base
+  g.services = {
+      svc("nginx-web",            4, 2.40, 1, 288, 10),     // 0: entry
+      svc("compose-review",       2, 7.20, 3, 384),        // 1
+      svc("unique-id",            1, 1.00, 1, 192),          // 2
+      svc("text-filter",          1, 4.80, 2, 288),          // 3
+      svc("user-service",         2, 3.60, 2, 384),         // 4
+      svc("movie-id",             1, 2.00, 1, 192),          // 5
+      svc("rating",               2, 3.20, 2, 288),          // 6
+      svc("review-storage",       2, 5.60, 3, 480),         // 7
+      svc("page-service",         2, 6.40, 3, 384),         // 8
+      svc("cast-info",            1, 2.80, 2, 288),          // 9
+      svc("plot",                 1, 2.40, 2, 288),          // 10
+      svc("search",               2, 8.80, 3, 480),         // 11
+      svc("recommender",          1, 9.60, 4, 576),         // 12
+      svc("mc-review",            1, 1.20, 1, 768),         // 13
+      svc("mongo-review",         2, 7.60, 4, 768),         // 14
+      svc("mc-movie",             1, 1.20, 1, 768),         // 15
+      svc("mongo-movie",          2, 6.80, 4, 768),         // 16
+      svc("user-db",              2, 6.00, 3, 672),         // 17
+      svc("video",                1, 4.40, 4, 384),         // 18
+      svc("photo",                1, 3.60, 3, 384),         // 19
+  };
+  // 4+2+1+1+2+1+2+2+2+1+1+2+1+1+2+1+2+2+1+1 = 32 containers.
+  g.edges = {
+      // Compose-review flow (~30% of requests).
+      {0, 1, 0.30},
+      {1, 2, 1.0}, {1, 3, 1.0}, {1, 4, 1.0}, {1, 5, 1.0},
+      {4, 17, 1.0},
+      {5, 6, 0.8},
+      {6, 7, 1.0},
+      {7, 13, 1.0}, {7, 14, 1.0},
+      // Read-page flow (~55%).
+      {0, 8, 0.55},
+      {8, 9, 0.9}, {8, 10, 0.9}, {8, 12, 0.35},
+      {9, 16, 1.0}, {10, 15, 0.7}, {10, 16, 0.5},
+      {8, 18, 0.25}, {8, 19, 0.4},
+      // Search flow (~25%).
+      {0, 11, 0.25},
+      {11, 16, 1.0}, {11, 12, 0.3},
+  };
+  g.validate();
+  return g;
+}
+
+GraphSpec make_hipster_shop() {
+  GraphSpec g;
+  g.name = "hipster-shop";
+  g.services = {
+      svc("frontend",        2, 4.40, 2, 384, 10),  // 0: entry
+      svc("product-catalog", 1, 3.20, 2, 384),      // 1
+      svc("currency",        1, 1.20, 1, 192),       // 2
+      svc("cart",            1, 2.40, 2, 480),      // 3
+      svc("recommendation",  1, 7.60, 3, 576),      // 4
+      svc("ad",              1, 1.60, 1, 288),       // 5
+      svc("checkout",        1, 6.40, 3, 384),      // 6
+      svc("payment",         1, 2.80, 1, 288),       // 7
+      svc("shipping",        1, 2.00, 1, 288),       // 8
+      svc("email",           1, 2.40, 2, 288),       // 9
+  };
+  // 2+1*9 = 11 containers.
+  g.edges = {
+      {0, 1, 0.85}, {0, 2, 0.9}, {0, 3, 0.45}, {0, 4, 0.5}, {0, 5, 0.6},
+      // Checkout flow on ~12% of requests.
+      {0, 6, 0.12},
+      {6, 7, 1.0}, {6, 8, 1.0}, {6, 9, 1.0},
+  };
+  g.validate();
+  return g;
+}
+
+GraphSpec make_train_ticket() {
+  GraphSpec g;
+  g.name = "train-ticket";
+  // 34 services x 2 replicas = 68 containers.
+  const struct {
+    const char* name;
+    double cpu_ms;
+    memcg::Bytes vm;
+    memcg::Bytes base;
+  } defs[] = {
+      {"ts-ui",             3.20, 2, 384},  // 0: entry
+      {"ts-auth",           2.80, 1, 288},   // 1
+      {"ts-user",           2.40, 1, 288},   // 2
+      {"ts-travel",         6.80, 3, 480},  // 3
+      {"ts-ticketinfo",     4.40, 2, 384},  // 4
+      {"ts-basic",          3.60, 2, 288},   // 5
+      {"ts-station",        2.00, 1, 288},   // 6
+      {"ts-train",          2.00, 1, 288},   // 7
+      {"ts-route",          3.20, 2, 288},   // 8
+      {"ts-price",          2.00, 1, 288},   // 9
+      {"ts-seat",           3.60, 2, 288},   // 10
+      {"ts-config",         1.20, 1, 192},   // 11
+      {"ts-order",          5.20, 3, 480},  // 12
+      {"ts-order-other",    3.20, 2, 384},  // 13
+      {"ts-preserve",       6.00, 3, 384},  // 14
+      {"ts-contacts",       2.00, 1, 288},   // 15
+      {"ts-assurance",      1.60, 1, 288},   // 16
+      {"ts-food",           2.80, 2, 288},   // 17
+      {"ts-food-map",       2.00, 1, 288},   // 18
+      {"ts-consign",        2.00, 1, 288},   // 19
+      {"ts-consign-price",  1.20, 1, 192},   // 20
+      {"ts-security",       2.40, 1, 288},   // 21
+      {"ts-payment",        3.60, 2, 288},   // 22
+      {"ts-inside-payment", 3.20, 2, 288},   // 23
+      {"ts-notification",   2.00, 2, 288},   // 24
+      {"ts-rebook",         3.20, 2, 288},   // 25
+      {"ts-cancel",         2.80, 2, 288},   // 26
+      {"ts-execute",        2.40, 1, 288},   // 27
+      {"ts-verification",   1.60, 1, 192},   // 28
+      {"ts-news",           1.20, 1, 192},   // 29
+      {"ts-voucher",        1.60, 1, 192},   // 30
+      {"ts-delivery",       2.00, 1, 288},   // 31
+      {"ts-admin-order",    2.40, 2, 288},   // 32
+      {"ts-admin-travel",   2.40, 2, 288},   // 33
+  };
+  for (const auto& d : defs) g.services.push_back(svc(d.name, 2, d.cpu_ms, d.vm, d.base));
+  g.edges = {
+      // Every request authenticates.
+      {0, 1, 0.9}, {1, 2, 0.7},
+      // Search flow (~60%): travel -> ticketinfo -> basic -> station/train/route/price, seat.
+      {0, 3, 0.60},
+      {3, 4, 1.0}, {4, 5, 1.0},
+      {5, 6, 1.0}, {5, 7, 0.8}, {5, 8, 0.8}, {5, 9, 0.9},
+      {3, 10, 0.7}, {10, 11, 0.5},
+      // Booking flow (~18%): preserve -> contacts/assurance/food/consign, security, order, payment.
+      {0, 14, 0.18},
+      {14, 15, 1.0}, {14, 16, 0.6}, {14, 17, 0.5}, {14, 19, 0.3},
+      {17, 18, 0.8}, {19, 20, 1.0},
+      {14, 21, 1.0}, {21, 22, 0.9},
+      {22, 23, 1.0}, {23, 24, 0.8},
+      // Order management (~12%): list/cancel/rebook.
+      {0, 12, 0.12},
+      {12, 13, 0.5}, {12, 26, 0.25}, {12, 25, 0.2},
+      {26, 27, 0.8}, {25, 28, 0.6},
+      // Misc (~10%): news, vouchers, delivery, admin dashboards.
+      {0, 29, 0.06}, {0, 30, 0.04}, {0, 31, 0.04},
+      {0, 32, 0.03}, {0, 33, 0.03},
+  };
+  g.validate();
+  return g;
+}
+
+GraphSpec make_teastore() {
+  GraphSpec g;
+  g.name = "teastore";
+  g.services = {
+      svc("webui",       2, 5.60, 2, 480, 10),  // 0: entry
+      svc("auth",        1, 2.40, 1, 288),       // 1
+      svc("persistence", 1, 5.20, 3, 672),      // 2
+      svc("recommender", 1, 8.40, 4, 672),      // 3
+      svc("image",       1, 7.20, 4, 576),      // 4
+      svc("registry",    1, 0.80, 1, 192),       // 5
+  };
+  // 2+1+1+1+1+1 = 7 containers.
+  g.edges = {
+      {0, 1, 0.5},
+      {0, 2, 0.9},
+      {0, 3, 0.45},
+      {0, 4, 0.7},
+      {0, 5, 0.05},
+      {3, 4, 0.3},  // recommender fetches product images via image service
+  };
+  g.validate();
+  return g;
+}
+
+const char* benchmark_name(Benchmark b) {
+  switch (b) {
+    case Benchmark::kMedia: return "media-microservice";
+    case Benchmark::kHipster: return "hipster-shop";
+    case Benchmark::kTrainTicket: return "train-ticket";
+    case Benchmark::kTeastore: return "teastore";
+  }
+  return "unknown";
+}
+
+GraphSpec make_benchmark(Benchmark b) {
+  switch (b) {
+    case Benchmark::kMedia: return make_media_microservice();
+    case Benchmark::kHipster: return make_hipster_shop();
+    case Benchmark::kTrainTicket: return make_train_ticket();
+    case Benchmark::kTeastore: return make_teastore();
+  }
+  throw std::invalid_argument("make_benchmark: unknown benchmark");
+}
+
+}  // namespace escra::app

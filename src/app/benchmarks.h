@@ -1,0 +1,30 @@
+// The four microservice benchmark applications (Section VI-A), modelled as
+// service graphs with the paper's container counts:
+//
+//   MediaMicroservice — 32 containers (DeathStarBench media: IMDB-like
+//                       browse/review/rate/compose flows),
+//   HipsterShop       — 11 containers (online-boutique browse + checkout),
+//   TrainTicket       — 68 containers (ticket search/book/modify flows),
+//   Teastore          — 7 containers (tea-shop browse + purchase).
+//
+// Topologies follow the public benchmark suites' service lists; per-visit
+// CPU costs and fan-out probabilities are calibrated so that per-container
+// demand is heterogeneous (front ends and storage layers hot, admin paths
+// cold) and the aggregate fits the paper's three 20-core workers.
+#pragma once
+
+#include "app/service_graph.h"
+
+namespace escra::app {
+
+GraphSpec make_media_microservice();  // 32 containers
+GraphSpec make_hipster_shop();        // 11 containers
+GraphSpec make_train_ticket();        // 68 containers
+GraphSpec make_teastore();            // 7 containers
+
+enum class Benchmark { kMedia, kHipster, kTrainTicket, kTeastore };
+
+const char* benchmark_name(Benchmark b);
+GraphSpec make_benchmark(Benchmark b);
+
+}  // namespace escra::app

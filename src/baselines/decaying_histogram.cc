@@ -1,0 +1,64 @@
+#include "baselines/decaying_histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::baselines {
+
+DecayingHistogram::DecayingHistogram(double max_value, std::size_t buckets,
+                                     double half_life)
+    : max_value_(max_value), half_life_(half_life), weights_(buckets, 0.0) {
+  if (max_value <= 0.0) throw std::invalid_argument("max_value <= 0");
+  if (buckets == 0) throw std::invalid_argument("zero buckets");
+  if (half_life <= 0.0) throw std::invalid_argument("half_life <= 0");
+}
+
+void DecayingHistogram::add(double t, double value, double weight) {
+  if (!seen_) {
+    last_t_ = t;
+    seen_ = true;
+  }
+  if (t > last_t_) {
+    scale_ *= std::exp2((t - last_t_) / half_life_);
+    last_t_ = t;
+    if (scale_ > 1e12) renormalize();
+  }
+  const double clamped = std::clamp(value, 0.0, max_value_);
+  const auto bucket = std::min(
+      weights_.size() - 1,
+      static_cast<std::size_t>(clamped / max_value_ *
+                               static_cast<double>(weights_.size())));
+  weights_[bucket] += weight * scale_;
+}
+
+void DecayingHistogram::renormalize() {
+  for (double& w : weights_) w /= scale_;
+  scale_ = 1.0;
+}
+
+double DecayingHistogram::percentile(double p) const {
+  double total = 0.0;
+  for (const double w : weights_) total += w;
+  if (total <= 0.0) return 0.0;
+  const double target = std::clamp(p, 0.0, 100.0) / 100.0 * total;
+  double cum = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) {
+    cum += weights_[i];
+    if (cum >= target && weights_[i] > 0.0) {
+      // Upper bucket edge: conservative for a limit recommender.
+      return static_cast<double>(i + 1) / static_cast<double>(weights_.size()) *
+             max_value_;
+    }
+  }
+  return max_value_;
+}
+
+double DecayingHistogram::total_weight() const {
+  double total = 0.0;
+  for (const double w : weights_) total += w;
+  // Report in "weight of a sample added now" units.
+  return total / scale_;
+}
+
+}  // namespace escra::baselines

@@ -1,0 +1,47 @@
+// Exponentially-decaying histogram: the building block of Autopilot's
+// moving-window recommenders (Rzadca et al., EuroSys'20 Section 3.1). Each
+// recorded sample's weight halves every `half_life`; percentile queries see
+// the decayed distribution, so recent load dominates while old peaks fade.
+//
+// Implementation note: uniform decay rescales every bucket by the same
+// factor, which leaves percentiles unchanged — so instead of decaying the
+// buckets we *grow* the weight of newer samples by 2^(t/half_life) and
+// renormalize when the scale gets large. add() and percentile() are O(1)
+// and O(buckets) with no per-bucket timestamps.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace escra::baselines {
+
+class DecayingHistogram {
+ public:
+  // Values are clamped into [0, max_value] across `buckets` linear buckets;
+  // `half_life` is in the same time unit passed to add()/percentile().
+  DecayingHistogram(double max_value, std::size_t buckets, double half_life);
+
+  // Records `value` observed at time `t` (nondecreasing across calls).
+  void add(double t, double value, double weight = 1.0);
+
+  // Value at percentile p in [0,100] of the decayed distribution as of the
+  // last add. Returns 0 when empty. Reports the upper edge of the bucket
+  // containing the rank (conservative for limit-setting).
+  double percentile(double p) const;
+
+  double total_weight() const;
+  double max_value() const { return max_value_; }
+  double half_life() const { return half_life_; }
+
+ private:
+  void renormalize();
+
+  double max_value_;
+  double half_life_;
+  std::vector<double> weights_;
+  double last_t_ = 0.0;
+  double scale_ = 1.0;  // weight multiplier for a sample added at last_t_
+  bool seen_ = false;
+};
+
+}  // namespace escra::baselines

@@ -1,0 +1,22 @@
+// Common interface for the comparison allocation policies (Section VI):
+// static allocation (common practice), our Autopilot recreation (state of
+// the art), and a VPA-style threshold scaler (related work). Escra itself
+// is driven through core::EscraSystem; the experiment harness treats all of
+// them uniformly.
+#pragma once
+
+#include <string>
+
+namespace escra::baselines {
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  // Starts any periodic control loop the policy runs.
+  virtual void start() = 0;
+  virtual void stop() = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace escra::baselines

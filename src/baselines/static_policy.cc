@@ -1,0 +1,37 @@
+#include "baselines/static_policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::baselines {
+
+StaticPolicy::StaticPolicy(const std::vector<cluster::Container*>& containers,
+                           const std::vector<StaticLimits>& profiled,
+                           double multiplier)
+    : multiplier_(multiplier) {
+  if (containers.size() != profiled.size()) {
+    throw std::invalid_argument("StaticPolicy: size mismatch");
+  }
+  if (multiplier <= 0.0) {
+    throw std::invalid_argument("StaticPolicy: multiplier <= 0");
+  }
+  for (std::size_t i = 0; i < containers.size(); ++i) {
+    containers[i]->cpu_cgroup().set_limit_cores(profiled[i].cores * multiplier);
+    // No operator deploys a memory limit below the container's resident
+    // footprint (it would crash-loop on arrival); floor the multiplied
+    // limit just above current usage. Working-set growth beyond that still
+    // OOMs, which is the under-provisioning cost the 0.75x case measures.
+    const auto scaled = static_cast<memcg::Bytes>(
+        std::llround(static_cast<double>(profiled[i].mem) * multiplier));
+    const memcg::Bytes floor =
+        containers[i]->mem_cgroup().usage() + 16 * memcg::kMiB;
+    containers[i]->mem_cgroup().set_limit(std::max(scaled, floor));
+  }
+}
+
+std::string StaticPolicy::name() const {
+  return "static-" + std::to_string(multiplier_) + "x";
+}
+
+}  // namespace escra::baselines

@@ -1,0 +1,37 @@
+// Static allocation (Section VI-B): the common practice Escra is compared
+// against. Each container's CPU and memory limits are set once, to a
+// multiplier of its profiled peak usage (0.75x "underutilized", 1.0x
+// "best-estimate", 1.5x "safe buffer"), and never changed. Containers that
+// outgrow their memory limit are OOM-killed — there is no rescue path.
+#pragma once
+
+#include <vector>
+
+#include "baselines/policy.h"
+#include "cluster/container.h"
+#include "memcg/mem_cgroup.h"
+
+namespace escra::baselines {
+
+struct StaticLimits {
+  double cores = 1.0;
+  memcg::Bytes mem = 256 * memcg::kMiB;
+};
+
+class StaticPolicy final : public Policy {
+ public:
+  // Applies `multiplier * profiled[i]` to `containers[i]` immediately.
+  StaticPolicy(const std::vector<cluster::Container*>& containers,
+               const std::vector<StaticLimits>& profiled, double multiplier);
+
+  void start() override {}
+  void stop() override {}
+  std::string name() const override;
+
+  double multiplier() const { return multiplier_; }
+
+ private:
+  double multiplier_;
+};
+
+}  // namespace escra::baselines

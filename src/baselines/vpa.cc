@@ -1,0 +1,79 @@
+#include "baselines/vpa.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::baselines {
+
+VpaPolicy::VpaPolicy(sim::Simulation& sim,
+                     std::vector<cluster::Container*> containers,
+                     VpaConfig config)
+    : sim_(sim), config_(config) {
+  if (containers.empty()) throw std::invalid_argument("vpa: no containers");
+  if (config_.lower_bound >= config_.upper_bound) {
+    throw std::invalid_argument("vpa: bounds inverted");
+  }
+  states_.reserve(containers.size());
+  for (cluster::Container* c : containers) {
+    State st;
+    st.container = c;
+    st.prev_consumed = c->cpu_cgroup().total_consumed();
+    st.last_resize = -config_.cooldown;  // allow an immediate first resize
+    states_.push_back(st);
+  }
+}
+
+VpaPolicy::~VpaPolicy() { stop(); }
+
+void VpaPolicy::start() {
+  if (running_) return;
+  running_ = true;
+  loop_ = sim_.schedule_every(sim_.now() + config_.check_interval,
+                              config_.check_interval, [this] { on_check(); });
+}
+
+void VpaPolicy::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(loop_);
+}
+
+void VpaPolicy::on_check() {
+  const sim::TimePoint now = sim_.now();
+  for (State& st : states_) {
+    cluster::Container& c = *st.container;
+    const sim::Duration consumed = c.cpu_cgroup().total_consumed();
+    st.cpu_used_cores = static_cast<double>(consumed - st.prev_consumed) /
+                        static_cast<double>(config_.check_interval);
+    st.prev_consumed = consumed;
+    if (!c.running()) continue;
+    if (now - st.last_resize < config_.cooldown) continue;
+
+    const double cpu_limit = c.cpu_cgroup().limit_cores();
+    const double cpu_util =
+        cpu_limit > 0.0 ? st.cpu_used_cores / cpu_limit : 1.0;
+    const auto mem_usage = static_cast<double>(c.mem_cgroup().usage());
+    const auto mem_limit_d = static_cast<double>(c.mem_cgroup().limit());
+    const double mem_util = mem_limit_d > 0.0 ? mem_usage / mem_limit_d : 1.0;
+
+    const bool out_of_band = cpu_util > config_.upper_bound ||
+                             cpu_util < config_.lower_bound ||
+                             mem_util > config_.upper_bound ||
+                             mem_util < config_.lower_bound;
+    if (!out_of_band) continue;
+
+    // Resize both resources toward the target. This is a pod restart:
+    // in-flight work is dropped and the container cold-starts.
+    const double new_cores = std::max(
+        config_.min_cores, st.cpu_used_cores / config_.target_utilization);
+    const auto new_mem = std::max<memcg::Bytes>(
+        config_.min_mem, static_cast<memcg::Bytes>(
+                             std::llround(mem_usage / config_.target_utilization)));
+    c.evict_restart(new_cores, new_mem);
+    st.last_resize = now;
+    ++restarts_;
+  }
+}
+
+}  // namespace escra::baselines

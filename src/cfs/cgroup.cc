@@ -1,0 +1,84 @@
+#include "cfs/cgroup.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::cfs {
+
+namespace {
+sim::Duration quota_for(double cores, sim::Duration period) {
+  return static_cast<sim::Duration>(
+      std::llround(cores * static_cast<double>(period)));
+}
+}  // namespace
+
+CfsCgroup::CfsCgroup(CgroupId id, sim::Duration period, double initial_cores)
+    : id_(id), period_(period) {
+  if (period <= 0) throw std::invalid_argument("CfsCgroup: period <= 0");
+  if (initial_cores < 0.0) {
+    throw std::invalid_argument("CfsCgroup: negative core limit");
+  }
+  cores_ = initial_cores;
+  quota_ = quota_for(cores_, period_);
+  runtime_remaining_ = quota_;
+}
+
+void CfsCgroup::set_limit_cores(double cores) {
+  if (cores < 0.0) throw std::invalid_argument("set_limit_cores: negative");
+  const sim::Duration new_quota = quota_for(cores, period_);
+  const sim::Duration delta = new_quota - quota_;
+  cores_ = cores;
+  quota_ = new_quota;
+  runtime_remaining_ = std::max<sim::Duration>(0, runtime_remaining_ + delta);
+  if (throttled_ && runtime_remaining_ > 0) {
+    // A mid-period quota raise unthrottles the group; the throttle flag for
+    // this period stays set because a throttle *did* occur (the telemetry
+    // must report it so the allocator can react).
+  }
+}
+
+void CfsCgroup::consume(sim::Duration core_time, bool wanted_more) {
+  if (core_time < 0) throw std::invalid_argument("consume: negative time");
+  if (core_time > runtime_remaining_) {
+    throw std::logic_error("consume: exceeds remaining runtime");
+  }
+  runtime_remaining_ -= core_time;
+  consumed_ += core_time;
+  total_consumed_ += core_time;
+  if (wanted_more && runtime_remaining_ == 0) throttled_ = true;
+}
+
+void CfsCgroup::set_burst(sim::Duration burst) {
+  if (burst < 0) throw std::invalid_argument("set_burst: negative");
+  burst_ = burst;
+}
+
+void CfsCgroup::end_period(sim::TimePoint now) {
+  PeriodStats stats;
+  stats.cgroup = id_;
+  stats.period_end = now;
+  stats.quota = quota_;
+  // Telemetry reports unused runtime relative to the base quota, as the
+  // kernel's `runtime` variable does (burst carry-over is a refill detail).
+  stats.unused = std::clamp<sim::Duration>(runtime_remaining_, 0, quota_);
+  stats.throttled = throttled_;
+  ++periods_;
+  if (throttled_) ++throttle_count_;
+  if (hook_) hook_(stats);
+  // Refill (the CFS timer callback path): the next period gets the quota
+  // plus any unused runtime carried over, capped at the burst budget.
+  const sim::Duration carried =
+      std::min(burst_, std::max<sim::Duration>(0, runtime_remaining_));
+  runtime_remaining_ = quota_ + carried;
+  consumed_ = 0;
+  throttled_ = false;
+}
+
+void CfsCgroup::reset_bandwidth() {
+  runtime_remaining_ = quota_;
+  consumed_ = 0;
+  throttled_ = false;
+}
+
+}  // namespace escra::cfs

@@ -1,0 +1,104 @@
+// Model of the Linux CFS bandwidth controller for one cgroup.
+//
+// Linux cpu.cfs_quota_us / cpu.cfs_period_us semantics: each period the
+// cgroup's runtime budget ("quota", in microseconds of core-time) is
+// refilled; threads consume runtime as they execute; when runtime reaches
+// zero while work remains runnable the group is *throttled* until the next
+// refill. Escra's kernel hook exports, at each period boundary, exactly
+// three facts: the quota, the unused runtime (the CFS `runtime` variable),
+// and whether the group was throttled in the period (Section IV-B). This
+// class reproduces that state machine and fires the hook.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.h"
+
+namespace escra::cfs {
+
+using CgroupId = std::uint32_t;
+
+// The per-period telemetry record produced by the kernel hook.
+struct PeriodStats {
+  CgroupId cgroup = 0;
+  sim::TimePoint period_end = 0;
+  sim::Duration quota = 0;   // core-time budget for the period (us)
+  sim::Duration unused = 0;  // unconsumed runtime at period end (us, >= 0)
+  bool throttled = false;    // ran out of runtime while runnable
+};
+
+class CfsCgroup {
+ public:
+  // Invoked at every period boundary with that period's stats.
+  using PeriodHook = std::function<void(const PeriodStats&)>;
+
+  CfsCgroup(CgroupId id, sim::Duration period, double initial_cores);
+
+  CgroupId id() const { return id_; }
+  sim::Duration period() const { return period_; }
+
+  // --- limit management (what the Escra Agent manipulates) ---
+
+  // Sets the CPU limit in cores. Takes effect immediately: the remaining
+  // runtime in the current period is adjusted by the quota delta, mirroring
+  // a cfs_quota_us write. A raise can un-throttle the group mid-period.
+  void set_limit_cores(double cores);
+  double limit_cores() const { return cores_; }
+  // Quota in microseconds of core-time per period.
+  sim::Duration quota() const { return quota_; }
+
+  // CFS burst (cpu.cfs_burst_us, Linux >= 5.14): unused runtime from one
+  // period carries into the next, up to `burst` microseconds of core-time
+  // on top of the quota. Lets a statically-limited group absorb sub-second
+  // spikes without a limit change — the kernel's own partial answer to the
+  // problem Escra solves, ablated in bench/ablation_cfs_burst.
+  void set_burst(sim::Duration burst);
+  sim::Duration burst() const { return burst_; }
+
+  // --- scheduler interface (driven by NodeCpuScheduler each slice) ---
+
+  // Runtime still available this period.
+  sim::Duration runtime_remaining() const { return runtime_remaining_; }
+  bool throttled() const { return throttled_; }
+
+  // Consumes `core_time` of runtime. `wanted_more` records that the group
+  // had runnable work it could not execute (because of quota or node
+  // contention capped *by quota*); that is what sets the throttle flag.
+  void consume(sim::Duration core_time, bool wanted_more);
+
+  // Ends the current period: reports stats through the hook, then refills
+  // runtime and clears the throttle flag (the CFS refill path).
+  void end_period(sim::TimePoint now);
+
+  void set_period_hook(PeriodHook hook) { hook_ = std::move(hook); }
+
+  // --- accounting for slack measurement ---
+
+  // Core-time consumed in the current (incomplete) period.
+  sim::Duration consumed_this_period() const { return consumed_; }
+  // Total core-time consumed over the cgroup's lifetime.
+  sim::Duration total_consumed() const { return total_consumed_; }
+  // Number of periods in which the group was throttled.
+  std::uint64_t throttle_count() const { return throttle_count_; }
+  std::uint64_t periods_elapsed() const { return periods_; }
+
+  // Resets bandwidth state (used when a container restarts).
+  void reset_bandwidth();
+
+ private:
+  CgroupId id_;
+  sim::Duration period_;
+  double cores_ = 0.0;
+  sim::Duration quota_ = 0;
+  sim::Duration burst_ = 0;
+  sim::Duration runtime_remaining_ = 0;
+  sim::Duration consumed_ = 0;
+  sim::Duration total_consumed_ = 0;
+  bool throttled_ = false;
+  std::uint64_t throttle_count_ = 0;
+  std::uint64_t periods_ = 0;
+  PeriodHook hook_;
+};
+
+}  // namespace escra::cfs

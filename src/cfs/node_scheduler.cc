@@ -1,0 +1,103 @@
+#include "cfs/node_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::cfs {
+
+NodeCpuScheduler::NodeCpuScheduler(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config) {
+  if (config_.cores <= 0.0) throw std::invalid_argument("node cores <= 0");
+  if (config_.slice <= 0 || config_.period <= 0 ||
+      config_.period % config_.slice != 0) {
+    throw std::invalid_argument("period must be a positive multiple of slice");
+  }
+  tick_ = sim_.schedule_every(sim_.now() + config_.slice, config_.slice,
+                              [this] { on_slice(); });
+}
+
+NodeCpuScheduler::~NodeCpuScheduler() { sim_.cancel(tick_); }
+
+void NodeCpuScheduler::attach(CpuConsumer* consumer) {
+  if (consumer == nullptr) throw std::invalid_argument("attach: null consumer");
+  consumers_.push_back(consumer);
+}
+
+void NodeCpuScheduler::detach(CpuConsumer* consumer) {
+  std::erase(consumers_, consumer);
+}
+
+std::vector<double> NodeCpuScheduler::max_min_fair(
+    const std::vector<double>& demands, double capacity) {
+  std::vector<double> grant(demands.size(), 0.0);
+  double remaining = capacity;
+  std::vector<std::size_t> unsatisfied;
+  unsatisfied.reserve(demands.size());
+  for (std::size_t i = 0; i < demands.size(); ++i) {
+    if (demands[i] > 0.0) unsatisfied.push_back(i);
+  }
+  // Water-filling: repeatedly hand each unsatisfied consumer an equal share;
+  // consumers whose demand is met drop out and return their excess.
+  while (!unsatisfied.empty() && remaining > 1e-12) {
+    const double share = remaining / static_cast<double>(unsatisfied.size());
+    double given = 0.0;
+    std::vector<std::size_t> next;
+    next.reserve(unsatisfied.size());
+    for (const std::size_t i : unsatisfied) {
+      const double want = demands[i] - grant[i];
+      const double take = std::min(want, share);
+      grant[i] += take;
+      given += take;
+      if (demands[i] - grant[i] > 1e-12) next.push_back(i);
+    }
+    remaining -= given;
+    if (given <= 1e-12) break;  // everyone satisfied
+    unsatisfied = std::move(next);
+  }
+  return grant;
+}
+
+void NodeCpuScheduler::on_slice() {
+  const sim::Duration slice = config_.slice;
+  const double slice_s = static_cast<double>(slice);
+
+  // 1. Collect demands, capped by each cgroup's remaining runtime. Track
+  //    whether quota (not the raw workload) was the binding constraint; that
+  //    distinction drives the CFS throttle flag.
+  std::vector<double> demands(consumers_.size(), 0.0);
+  std::vector<bool> quota_capped(consumers_.size(), false);
+  for (std::size_t i = 0; i < consumers_.size(); ++i) {
+    CpuConsumer& c = *consumers_[i];
+    const double raw = std::max(0.0, c.cpu_demand(slice));
+    const double quota_cores =
+        static_cast<double>(c.cpu_cgroup().runtime_remaining()) / slice_s;
+    demands[i] = std::min(raw, quota_cores);
+    quota_capped[i] = raw > quota_cores + 1e-12;
+  }
+
+  // 2. Split the node's cores max-min fairly across the capped demands.
+  const std::vector<double> grants = max_min_fair(demands, config_.cores);
+
+  // 3. Charge runtime and let each consumer advance.
+  double used = 0.0;
+  for (std::size_t i = 0; i < consumers_.size(); ++i) {
+    CfsCgroup& cg = consumers_[i]->cpu_cgroup();
+    auto granted = static_cast<sim::Duration>(std::floor(grants[i] * slice_s));
+    granted = std::min(granted, cg.runtime_remaining());
+    cg.consume(granted, quota_capped[i]);
+    if (granted > 0) consumers_[i]->run_for(granted, slice);
+    used += static_cast<double>(granted) / slice_s;
+  }
+  last_usage_cores_ = used;
+
+  // 4. Period boundary: fire telemetry hooks and refill.
+  into_period_ += slice;
+  if (into_period_ >= config_.period) {
+    into_period_ = 0;
+    const sim::TimePoint now = sim_.now();
+    for (CpuConsumer* c : consumers_) c->cpu_cgroup().end_period(now);
+  }
+}
+
+}  // namespace escra::cfs

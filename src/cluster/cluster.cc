@@ -1,0 +1,66 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace escra::cluster {
+
+Cluster::Cluster(sim::Simulation& sim) : sim_(sim) {}
+
+Node& Cluster::add_node(NodeConfig config) {
+  nodes_.push_back(std::make_unique<Node>(sim_, next_node_id_++, config));
+  return *nodes_.back();
+}
+
+Container& Cluster::create_container(ContainerSpec spec, double initial_cores,
+                                     memcg::Bytes initial_mem_limit,
+                                     Node* pin_to) {
+  if (nodes_.empty()) throw std::logic_error("create_container: no nodes");
+  Node* target = pin_to;
+  if (target == nullptr) {
+    target = nodes_.front().get();
+    for (const auto& n : nodes_) {
+      if (n->container_count() < target->container_count()) target = n.get();
+    }
+  }
+  containers_.push_back(std::make_unique<Container>(
+      sim_, next_id_++, std::move(spec), target->config().cfs_period,
+      initial_cores, initial_mem_limit));
+  Container& c = *containers_.back();
+  target->attach(c);
+  container_nodes_.emplace_back(&c, target);
+  if (observer_) observer_(c, *target);
+  return c;
+}
+
+void Cluster::remove_container(Container& container) {
+  Node* node = node_of(container.id());
+  if (node != nullptr) node->detach(container);
+  std::erase_if(container_nodes_,
+                [&](const auto& p) { return p.first == &container; });
+  std::erase_if(containers_,
+                [&](const auto& c) { return c.get() == &container; });
+}
+
+std::vector<Container*> Cluster::containers() const {
+  std::vector<Container*> out;
+  out.reserve(container_nodes_.size());
+  for (const auto& [c, n] : container_nodes_) out.push_back(c);
+  return out;
+}
+
+Container* Cluster::find_container(ContainerId id) const {
+  for (const auto& [c, n] : container_nodes_) {
+    if (c->id() == id) return c;
+  }
+  return nullptr;
+}
+
+Node* Cluster::node_of(ContainerId id) const {
+  for (const auto& [c, n] : container_nodes_) {
+    if (c->id() == id) return n;
+  }
+  return nullptr;
+}
+
+}  // namespace escra::cluster

@@ -1,0 +1,62 @@
+// The cluster: nodes plus container creation/placement.
+//
+// Owns every Node and Container. Placement is least-loaded-by-container-
+// count (the experiments spread each application's containers across the
+// three worker nodes, as in Section VI-A). Container creation notifies an
+// observer — the hook Escra's Container Watcher uses to register newly
+// deployed containers with the Controller (Section IV-A).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "cluster/container.h"
+#include "cluster/node.h"
+#include "sim/event_queue.h"
+
+namespace escra::cluster {
+
+class Cluster {
+ public:
+  using ContainerObserver = std::function<void(Container&, Node&)>;
+
+  explicit Cluster(sim::Simulation& sim);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  Node& add_node(NodeConfig config = {});
+
+  // Creates a container, places it on the node with the fewest containers
+  // (or on `pin_to` if provided), and notifies the observer.
+  Container& create_container(ContainerSpec spec, double initial_cores,
+                              memcg::Bytes initial_mem_limit,
+                              Node* pin_to = nullptr);
+
+  // Permanently removes a container (serverless pods are reaped when idle).
+  void remove_container(Container& container);
+
+  void set_container_observer(ContainerObserver obs) { observer_ = std::move(obs); }
+
+  const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+  std::vector<Container*> containers() const;
+  Container* find_container(ContainerId id) const;
+  Node* node_of(ContainerId id) const;
+  std::size_t container_count() const { return container_nodes_.size(); }
+
+  sim::Simulation& simulation() { return sim_; }
+
+ private:
+  sim::Simulation& sim_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  std::vector<std::unique_ptr<Container>> containers_;
+  // Parallel map: container id -> owning node (index aligned with containers_).
+  std::vector<std::pair<Container*, Node*>> container_nodes_;
+  ContainerObserver observer_;
+  ContainerId next_id_ = 1;
+  NodeId next_node_id_ = 0;
+};
+
+}  // namespace escra::cluster

@@ -1,0 +1,42 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace escra::cluster {
+
+Node::Node(sim::Simulation& sim, NodeId id, NodeConfig config)
+    : sim_(sim),
+      id_(id),
+      config_(config),
+      scheduler_(sim, {.cores = config.cores,
+                       .slice = config.scheduler_slice,
+                       .period = config.cfs_period}) {
+  if (config.memory_capacity <= 0) {
+    throw std::invalid_argument("Node: memory capacity <= 0");
+  }
+}
+
+void Node::attach(Container& container) {
+  containers_.push_back(&container);
+  scheduler_.attach(&container);
+}
+
+void Node::detach(Container& container) {
+  std::erase(containers_, &container);
+  scheduler_.detach(&container);
+}
+
+memcg::Bytes Node::memory_in_use() const {
+  memcg::Bytes total = 0;
+  for (const Container* c : containers_) total += c->mem_cgroup().usage();
+  return total;
+}
+
+memcg::Bytes Node::memory_limit_total() const {
+  memcg::Bytes total = 0;
+  for (const Container* c : containers_) total += c->mem_cgroup().limit();
+  return total;
+}
+
+}  // namespace escra::cluster

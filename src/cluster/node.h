@@ -1,0 +1,61 @@
+// A worker node: CPU cores driven by one NodeCpuScheduler, a memory
+// capacity, and the containers placed on it. Mirrors a Cloudlab worker in
+// the paper's testbed (Section VI-A).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cfs/node_scheduler.h"
+#include "cluster/container.h"
+#include "memcg/mem_cgroup.h"
+#include "sim/event_queue.h"
+
+namespace escra::cluster {
+
+using NodeId = std::uint32_t;
+
+struct NodeConfig {
+  double cores = 20.0;  // two 10-core sockets in the microservice testbed
+  memcg::Bytes memory_capacity = 192LL * memcg::kGiB;
+  sim::Duration scheduler_slice = sim::milliseconds(10);
+  sim::Duration cfs_period = sim::milliseconds(100);
+};
+
+class Node {
+ public:
+  Node(sim::Simulation& sim, NodeId id, NodeConfig config);
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeId id() const { return id_; }
+  const NodeConfig& config() const { return config_; }
+  cfs::NodeCpuScheduler& scheduler() { return scheduler_; }
+
+  // Places an existing container on this node (attaches its cgroup to the
+  // node scheduler).
+  void attach(Container& container);
+  void detach(Container& container);
+
+  const std::vector<Container*>& containers() const { return containers_; }
+  std::size_t container_count() const { return containers_.size(); }
+
+  // Sum of container memory usage on this node.
+  memcg::Bytes memory_in_use() const;
+  // Sum of container memory *limits* on this node (reservation pressure).
+  memcg::Bytes memory_limit_total() const;
+  memcg::Bytes memory_available() const {
+    return config_.memory_capacity - memory_in_use();
+  }
+
+ private:
+  sim::Simulation& sim_;
+  NodeId id_;
+  NodeConfig config_;
+  cfs::NodeCpuScheduler scheduler_;
+  std::vector<Container*> containers_;
+};
+
+}  // namespace escra::cluster

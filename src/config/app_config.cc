@@ -1,0 +1,120 @@
+#include "config/app_config.h"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace escra::config {
+
+namespace {
+
+app::ServiceSpec parse_service(const YamlNode& node) {
+  app::ServiceSpec spec;
+  spec.name = node.get_string("name", "");
+  if (spec.name.empty()) {
+    throw std::runtime_error("config: service without a name");
+  }
+  spec.replicas = static_cast<int>(node.get_int("replicas", 1));
+  spec.cpu_per_visit =
+      sim::milliseconds_f(node.get_double("cpu_per_visit_ms", 2.0));
+  spec.cpu_jitter_sigma = node.get_double("cpu_jitter_sigma", 0.6);
+  spec.mem_per_visit = static_cast<memcg::Bytes>(
+      node.get_double("mem_per_visit_mib", 2.0) *
+      static_cast<double>(memcg::kMiB));
+  spec.max_parallelism = node.get_double("parallelism", 8.0);
+  spec.base_memory = static_cast<memcg::Bytes>(
+      node.get_double("base_memory_mib", 288.0) *
+      static_cast<double>(memcg::kMiB));
+  spec.restart_delay =
+      sim::seconds_f(node.get_double("restart_delay_s", 3.0));
+  spec.startup_cpu =
+      sim::milliseconds_f(node.get_double("startup_cpu_ms", 1500.0));
+  spec.background_cpu_per_sec =
+      sim::milliseconds_f(node.get_double("background_cpu_ms_per_s", 25.0));
+  spec.gc_cpu = sim::milliseconds_f(node.get_double("gc_cpu_ms", 250.0));
+  spec.gc_interval = sim::seconds_f(node.get_double("gc_interval_s", 9.0));
+  return spec;
+}
+
+}  // namespace
+
+AppConfig parse_app_config(const YamlNode& root) {
+  AppConfig config;
+  config.name = root.get_string("name", "app");
+  config.graph.name = config.name;
+
+  // --- services ---
+  const YamlNode* services = root.find("services");
+  if (services == nullptr || !services->is_list() || services->size() == 0) {
+    throw std::runtime_error("config: 'services' list is required");
+  }
+  std::unordered_map<std::string, std::size_t> index_of;
+  for (std::size_t i = 0; i < services->size(); ++i) {
+    app::ServiceSpec spec = parse_service((*services)[i]);
+    if (index_of.contains(spec.name)) {
+      throw std::runtime_error("config: duplicate service '" + spec.name + "'");
+    }
+    index_of[spec.name] = i;
+    config.graph.services.push_back(std::move(spec));
+  }
+
+  // --- edges (by service name; service order defines the topology) ---
+  if (const YamlNode* edges = root.find("edges")) {
+    for (std::size_t i = 0; i < edges->size(); ++i) {
+      const YamlNode& e = (*edges)[i];
+      const std::string from = e.get_string("from", "");
+      const std::string to = e.get_string("to", "");
+      if (!index_of.contains(from) || !index_of.contains(to)) {
+        throw std::runtime_error("config: edge references unknown service '" +
+                                 (index_of.contains(from) ? to : from) + "'");
+      }
+      app::EdgeSpec edge;
+      edge.from = index_of.at(from);
+      edge.to = index_of.at(to);
+      edge.probability = e.get_double("probability", 1.0);
+      config.graph.edges.push_back(edge);
+    }
+  }
+  config.graph.validate();
+
+  // --- Distributed Container limits ---
+  const YamlNode& limits = root.at("limits");
+  config.global_cpu_cores = limits.at("cpu_cores").as_double();
+  config.global_mem = static_cast<memcg::Bytes>(
+      limits.at("memory_mib").as_double() * static_cast<double>(memcg::kMiB));
+  if (config.global_cpu_cores <= 0.0 || config.global_mem <= 0) {
+    throw std::runtime_error("config: limits must be positive");
+  }
+
+  // --- Escra tunables (optional; paper defaults otherwise) ---
+  if (const YamlNode* escra = root.find("escra")) {
+    config.escra.kappa = escra->get_double("kappa", config.escra.kappa);
+    config.escra.gamma = escra->get_double("gamma", config.escra.gamma);
+    config.escra.upsilon = escra->get_double("upsilon", config.escra.upsilon);
+    config.escra.sigma = escra->get_double("sigma", config.escra.sigma);
+    config.escra.delta = static_cast<memcg::Bytes>(
+        escra->get_double("delta_mib",
+                          static_cast<double>(config.escra.delta) /
+                              static_cast<double>(memcg::kMiB)) *
+        static_cast<double>(memcg::kMiB));
+    config.escra.reclaim_interval = sim::seconds_f(escra->get_double(
+        "reclaim_interval_s",
+        sim::to_seconds(config.escra.reclaim_interval)));
+    config.escra.cfs_period = sim::milliseconds_f(escra->get_double(
+        "report_period_ms",
+        sim::to_milliseconds(config.escra.cfs_period)));
+    config.escra.window_periods = static_cast<std::size_t>(escra->get_int(
+        "window_periods",
+        static_cast<std::int64_t>(config.escra.window_periods)));
+  }
+  return config;
+}
+
+AppConfig load_app_config(const std::string& yaml_text) {
+  return parse_app_config(YamlNode::parse(yaml_text));
+}
+
+AppConfig load_app_config_file(const std::string& path) {
+  return parse_app_config(load_yaml_file(path));
+}
+
+}  // namespace escra::config

@@ -1,0 +1,57 @@
+// Application configuration files: the "set of YAML files" the Deployer
+// ingests (Sections III, IV-A). A config describes a Distributed Container:
+// the service graph (services, replicas, per-visit costs, edges), the
+// aggregate CPU/memory limits, and optional Escra tunables.
+//
+// Example (see configs/ for complete files):
+//
+//   name: teastore
+//   limits:
+//     cpu_cores: 12.0
+//     memory_mib: 4096
+//   escra:
+//     kappa: 0.8
+//     gamma: 0.2
+//     upsilon: 20
+//   services:
+//     - name: webui
+//       replicas: 2
+//       cpu_per_visit_ms: 5.6
+//       mem_per_visit_mib: 2
+//       base_memory_mib: 480
+//     - name: auth
+//       cpu_per_visit_ms: 2.4
+//   edges:
+//     - from: webui
+//       to: auth
+//       probability: 0.5
+#pragma once
+
+#include <string>
+
+#include "app/service_graph.h"
+#include "config/yaml.h"
+#include "core/config.h"
+#include "memcg/mem_cgroup.h"
+
+namespace escra::config {
+
+struct AppConfig {
+  std::string name;
+  app::GraphSpec graph;
+  // Distributed Container aggregate limits.
+  double global_cpu_cores = 0.0;
+  memcg::Bytes global_mem = 0;
+  // Tunables (paper defaults where the file is silent).
+  core::EscraConfig escra;
+};
+
+// Converts a parsed document; throws std::runtime_error (with the offending
+// key or service name) on invalid or missing fields.
+AppConfig parse_app_config(const YamlNode& root);
+
+// Convenience: parse from text / from a file on disk.
+AppConfig load_app_config(const std::string& yaml_text);
+AppConfig load_app_config_file(const std::string& path);
+
+}  // namespace escra::config

@@ -1,0 +1,313 @@
+#include "config/yaml.h"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+namespace escra::config {
+
+namespace {
+
+struct Line {
+  std::size_t number = 0;  // 1-based
+  int indent = 0;
+  std::string content;  // stripped of indentation, comments, and trailing ws
+};
+
+std::string strip_comment(std::string_view s) {
+  // A '#' starts a comment unless inside quotes.
+  bool in_single = false, in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (c == '#' && !in_single && !in_double) {
+      s = s.substr(0, i);
+      break;
+    }
+  }
+  const auto end = s.find_last_not_of(" \t\r");
+  return std::string(end == std::string_view::npos ? "" : s.substr(0, end + 1));
+}
+
+std::vector<Line> tokenize(std::string_view text) {
+  std::vector<Line> lines;
+  std::size_t number = 0;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view raw = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    ++number;
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+
+    std::size_t indent = 0;
+    while (indent < raw.size() && raw[indent] == ' ') ++indent;
+    if (indent < raw.size() && raw[indent] == '\t') {
+      throw ParseError(number, "tab indentation is not supported");
+    }
+    const std::string content = strip_comment(raw.substr(indent));
+    if (content.empty()) continue;
+    if (content == "---") continue;  // document marker
+    lines.push_back({number, static_cast<int>(indent), content});
+  }
+  return lines;
+}
+
+std::string unquote(const std::string& s) {
+  if (s.size() >= 2 && ((s.front() == '"' && s.back() == '"') ||
+                        (s.front() == '\'' && s.back() == '\''))) {
+    return s.substr(1, s.size() - 2);
+  }
+  return s;
+}
+
+// Splits "key: rest" at the first unquoted colon-space (or trailing colon).
+// Returns false if the line is not a mapping entry.
+bool split_key(const std::string& s, std::string& key, std::string& rest) {
+  bool in_single = false, in_double = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '\'' && !in_double) in_single = !in_single;
+    if (c == '"' && !in_single) in_double = !in_double;
+    if (c == ':' && !in_single && !in_double) {
+      if (i + 1 == s.size()) {
+        key = s.substr(0, i);
+        rest.clear();
+        return true;
+      }
+      if (s[i + 1] == ' ') {
+        key = s.substr(0, i);
+        rest = s.substr(i + 2);
+        const auto first = rest.find_first_not_of(' ');
+        rest = first == std::string::npos ? "" : rest.substr(first);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+// Declared as a friend of YamlNode; internal to this translation unit in
+// spirit, named here so the friendship resolves.
+class Parser {
+ public:
+  explicit Parser(std::vector<Line> lines) : lines_(std::move(lines)) {}
+
+  YamlNode parse_document() {
+    if (lines_.empty()) {
+      YamlNode node;
+      node.kind_ = YamlNode::Kind::kMap;
+      return node;
+    }
+    YamlNode root = parse_block(lines_.front().indent);
+    if (pos_ != lines_.size()) {
+      throw ParseError(lines_[pos_].number, "unexpected dedent/content");
+    }
+    return root;
+  }
+
+ private:
+  bool done() const { return pos_ >= lines_.size(); }
+  const Line& peek() const { return lines_[pos_]; }
+
+  YamlNode scalar(const std::string& text) {
+    YamlNode node;
+    node.kind_ = YamlNode::Kind::kScalar;
+    node.scalar_ = unquote(text);
+    return node;
+  }
+
+  // Parses the block starting at the current line, whose items share
+  // `indent`. Decides map vs list from the first line.
+  YamlNode parse_block(int indent) {
+    if (done()) throw ParseError(0, "empty block");
+    if (peek().content.rfind("- ", 0) == 0 || peek().content == "-") {
+      return parse_list(indent);
+    }
+    return parse_map(indent);
+  }
+
+  YamlNode parse_map(int indent) {
+    YamlNode node;
+    node.kind_ = YamlNode::Kind::kMap;
+    while (!done() && peek().indent == indent &&
+           peek().content.rfind("- ", 0) != 0 && peek().content != "-") {
+      const Line line = peek();
+      std::string key, rest;
+      if (!split_key(line.content, key, rest)) {
+        throw ParseError(line.number, "expected 'key: value'");
+      }
+      key = unquote(key);
+      for (const auto& [existing, v] : node.map_) {
+        if (existing == key) {
+          throw ParseError(line.number, "duplicate key '" + key + "'");
+        }
+      }
+      ++pos_;
+      if (!rest.empty()) {
+        node.map_.emplace_back(key, scalar(rest));
+      } else if (!done() && peek().indent > indent) {
+        node.map_.emplace_back(key, parse_block(peek().indent));
+      } else {
+        node.map_.emplace_back(key, scalar(""));  // empty value
+      }
+    }
+    if (!done() && peek().indent > indent) {
+      throw ParseError(peek().number, "unexpected indent");
+    }
+    return node;
+  }
+
+  YamlNode parse_list(int indent) {
+    YamlNode node;
+    node.kind_ = YamlNode::Kind::kList;
+    while (!done() && peek().indent == indent &&
+           (peek().content.rfind("- ", 0) == 0 || peek().content == "-")) {
+      const Line line = peek();
+      const std::string inner =
+          line.content == "-" ? "" : line.content.substr(2);
+      ++pos_;
+      std::string key, rest;
+      if (inner.empty()) {
+        // "-" alone: the item is the following indented block.
+        if (done() || peek().indent <= indent) {
+          throw ParseError(line.number, "empty list item");
+        }
+        node.list_.push_back(parse_block(peek().indent));
+      } else if (split_key(inner, key, rest)) {
+        // "- key: value": a map item whose siblings (if any) are indented
+        // past the dash.
+        YamlNode item;
+        item.kind_ = YamlNode::Kind::kMap;
+        if (!rest.empty()) {
+          item.map_.emplace_back(unquote(key), scalar(rest));
+        } else if (!done() && peek().indent > indent + 2) {
+          item.map_.emplace_back(unquote(key), parse_block(peek().indent));
+        } else {
+          item.map_.emplace_back(unquote(key), scalar(""));
+        }
+        while (!done() && peek().indent > indent) {
+          // Continuation keys of the same item.
+          const int cont_indent = peek().indent;
+          YamlNode more = parse_map(cont_indent);
+          for (auto& [k, v] : more.map_) {
+            item.map_.emplace_back(std::move(k), std::move(v));
+          }
+        }
+        node.list_.push_back(std::move(item));
+      } else {
+        node.list_.push_back(scalar(inner));
+      }
+    }
+    return node;
+  }
+
+  std::vector<Line> lines_;
+  std::size_t pos_ = 0;
+};
+
+YamlNode YamlNode::parse(std::string_view text) {
+  Parser parser(tokenize(text));
+  return parser.parse_document();
+}
+
+const YamlNode* YamlNode::find(const std::string& key) const {
+  if (kind_ != Kind::kMap) return nullptr;
+  for (const auto& [k, v] : map_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+const YamlNode& YamlNode::at(const std::string& key) const {
+  if (kind_ != Kind::kMap) throw std::runtime_error("yaml: not a map");
+  const YamlNode* node = find(key);
+  if (node == nullptr) throw std::runtime_error("yaml: missing key '" + key + "'");
+  return *node;
+}
+
+const std::vector<std::pair<std::string, YamlNode>>& YamlNode::entries() const {
+  if (kind_ != Kind::kMap) throw std::runtime_error("yaml: not a map");
+  return map_;
+}
+
+const YamlNode& YamlNode::operator[](std::size_t index) const {
+  if (kind_ != Kind::kList) throw std::runtime_error("yaml: not a list");
+  if (index >= list_.size()) throw std::runtime_error("yaml: index out of range");
+  return list_[index];
+}
+
+std::size_t YamlNode::size() const {
+  switch (kind_) {
+    case Kind::kList: return list_.size();
+    case Kind::kMap: return map_.size();
+    case Kind::kScalar: return scalar_.empty() ? 0 : 1;
+  }
+  return 0;
+}
+
+const std::string& YamlNode::as_string() const {
+  if (kind_ != Kind::kScalar) throw std::runtime_error("yaml: not a scalar");
+  return scalar_;
+}
+
+double YamlNode::as_double() const {
+  const std::string& s = as_string();
+  try {
+    std::size_t used = 0;
+    const double value = std::stod(s, &used);
+    if (used != s.size()) throw std::runtime_error("");
+    return value;
+  } catch (...) {
+    throw std::runtime_error("yaml: '" + s + "' is not a number");
+  }
+}
+
+std::int64_t YamlNode::as_int() const {
+  const std::string& s = as_string();
+  std::int64_t value = 0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc{} || ptr != s.data() + s.size()) {
+    throw std::runtime_error("yaml: '" + s + "' is not an integer");
+  }
+  return value;
+}
+
+bool YamlNode::as_bool() const {
+  const std::string& s = as_string();
+  if (s == "true" || s == "yes" || s == "on") return true;
+  if (s == "false" || s == "no" || s == "off") return false;
+  throw std::runtime_error("yaml: '" + s + "' is not a boolean");
+}
+
+double YamlNode::get_double(const std::string& key, double fallback) const {
+  const YamlNode* node = find(key);
+  return node == nullptr ? fallback : node->as_double();
+}
+
+std::int64_t YamlNode::get_int(const std::string& key,
+                               std::int64_t fallback) const {
+  const YamlNode* node = find(key);
+  return node == nullptr ? fallback : node->as_int();
+}
+
+std::string YamlNode::get_string(const std::string& key,
+                                 const std::string& fallback) const {
+  const YamlNode* node = find(key);
+  return node == nullptr ? fallback : node->as_string();
+}
+
+YamlNode load_yaml_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return YamlNode::parse(buffer.str());
+}
+
+}  // namespace escra::config

@@ -1,0 +1,67 @@
+#include "core/accounting.h"
+
+#include <stdexcept>
+
+namespace escra::core {
+
+namespace {
+constexpr double kGiB = 1024.0 * 1024.0 * 1024.0;
+}  // namespace
+
+UsageAccountant::UsageAccountant(sim::Simulation& sim, sim::Duration interval)
+    : sim_(sim), interval_(interval) {
+  if (interval <= 0) throw std::invalid_argument("UsageAccountant: interval");
+  loop_ = sim_.schedule_every(sim_.now() + interval_, interval_,
+                              [this] { on_sample(); });
+}
+
+UsageAccountant::~UsageAccountant() { sim_.cancel(loop_); }
+
+void UsageAccountant::track(cluster::Container& container,
+                            const std::string& tenant) {
+  if (tenant.empty()) throw std::invalid_argument("track: empty tenant");
+  Tracked t;
+  t.container = &container;
+  t.tenant = tenant;
+  t.prev_consumed = container.cpu_cgroup().total_consumed();
+  tracked_[container.id()] = std::move(t);
+  bills_.try_emplace(tenant);
+}
+
+void UsageAccountant::untrack(cluster::ContainerId id) { tracked_.erase(id); }
+
+void UsageAccountant::on_sample() {
+  const double interval_s = sim::to_seconds(interval_);
+  for (auto& [id, t] : tracked_) {
+    UsageBill& bill = bills_[t.tenant];
+    const sim::Duration consumed = t.container->cpu_cgroup().total_consumed();
+    bill.cpu_core_seconds_used +=
+        static_cast<double>(consumed - t.prev_consumed) /
+        static_cast<double>(sim::kSecond);
+    t.prev_consumed = consumed;
+    bill.cpu_core_seconds_reserved +=
+        t.container->cpu_cgroup().limit_cores() * interval_s;
+    bill.mem_gib_seconds_used +=
+        static_cast<double>(t.container->mem_cgroup().usage()) / kGiB *
+        interval_s;
+    bill.mem_gib_seconds_reserved +=
+        static_cast<double>(t.container->mem_cgroup().limit()) / kGiB *
+        interval_s;
+    ++bill.samples;
+  }
+}
+
+const UsageBill& UsageAccountant::bill(const std::string& tenant) const {
+  static const UsageBill kEmpty;
+  const auto it = bills_.find(tenant);
+  return it == bills_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> UsageAccountant::tenants() const {
+  std::vector<std::string> out;
+  out.reserve(bills_.size());
+  for (const auto& [tenant, bill] : bills_) out.push_back(tenant);
+  return out;
+}
+
+}  // namespace escra::core

@@ -1,0 +1,46 @@
+#include "core/agent.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace escra::core {
+
+Agent::Agent(cluster::Node& node) : node_(node) {}
+
+void Agent::manage(cluster::Container& container) {
+  managed_[container.id()] = &container;
+}
+
+void Agent::unmanage(cluster::ContainerId id) { managed_.erase(id); }
+
+bool Agent::apply_cpu_limit(cluster::ContainerId id, double cores) {
+  const auto it = managed_.find(id);
+  if (it == managed_.end()) return false;
+  it->second->cpu_cgroup().set_limit_cores(cores);
+  return true;
+}
+
+bool Agent::apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit) {
+  const auto it = managed_.find(id);
+  if (it == managed_.end()) return false;
+  it->second->mem_cgroup().set_limit(limit);
+  return true;
+}
+
+Agent::ReclaimResult Agent::reclaim(memcg::Bytes delta, memcg::Bytes floor) {
+  ReclaimResult result;
+  for (auto& [id, container] : managed_) {
+    memcg::MemCgroup& mem = container->mem_cgroup();
+    const memcg::Bytes usage = mem.usage();
+    const memcg::Bytes limit = mem.limit();
+    if (limit <= usage + delta) continue;  // C(i)_l <= C(i)_u + δ: leave it
+    const memcg::Bytes new_limit = std::max(usage + delta, floor);
+    if (new_limit >= limit) continue;
+    mem.set_limit(new_limit);
+    result.psi += limit - new_limit;
+    result.resizes.push_back({id, new_limit});
+  }
+  return result;
+}
+
+}  // namespace escra::core

@@ -1,0 +1,58 @@
+// The Escra Agent (Figure 1, circle 5).
+//
+// One Agent runs per worker node (like a kubelet). It receives limit-update
+// RPCs from the Controller and applies them to the container's cgroups —
+// seamlessly, with no restart — and executes the periodic memory-reclamation
+// scan (Section IV-C): any managed container whose memory limit exceeds its
+// usage by more than the safe margin δ is shrunk to usage + δ, and the total
+// reclaimed amount ψ is reported back.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/container.h"
+#include "cluster/node.h"
+#include "memcg/mem_cgroup.h"
+
+namespace escra::core {
+
+class Agent {
+ public:
+  explicit Agent(cluster::Node& node);
+
+  cluster::Node& node() { return node_; }
+
+  // The Container Watcher notifies the Agent of a newly created container on
+  // its node; from then on the Agent can resize it (Section IV-A).
+  void manage(cluster::Container& container);
+  void unmanage(cluster::ContainerId id);
+  bool manages(cluster::ContainerId id) const { return managed_.contains(id); }
+  std::size_t managed_count() const { return managed_.size(); }
+
+  // --- limit application (RPC handlers) ---
+  // Both return false if the container is not managed by this Agent.
+  bool apply_cpu_limit(cluster::ContainerId id, double cores);
+  bool apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit);
+
+  // --- memory reclamation (Section IV-C) ---
+  struct Resize {
+    cluster::ContainerId container = 0;
+    memcg::Bytes new_limit = 0;
+  };
+  struct ReclaimResult {
+    memcg::Bytes psi = 0;          // total reclaimed bytes
+    std::vector<Resize> resizes;   // per-container new limits (for shadow sync)
+  };
+
+  // Shrinks every managed container with limit > usage + delta down to
+  // usage + delta (never below `floor`). Returns ψ and the new limits.
+  ReclaimResult reclaim(memcg::Bytes delta, memcg::Bytes floor);
+
+ private:
+  cluster::Node& node_;
+  std::unordered_map<cluster::ContainerId, cluster::Container*> managed_;
+};
+
+}  // namespace escra::core

@@ -1,0 +1,150 @@
+#include "core/allocator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace escra::core {
+
+namespace {
+// Minimum CPU-limit change worth an RPC, in cores.
+constexpr double kCpuEpsilon = 1e-3;
+}  // namespace
+
+ResourceAllocator::ResourceAllocator(const EscraConfig& config,
+                                     DistributedContainer& app)
+    : config_(config), app_(app) {}
+
+void ResourceAllocator::register_container(std::uint32_t id, double cores,
+                                           memcg::Bytes mem) {
+  app_.add_member(id, cores, mem);
+  windows_.emplace(id, Windows(config_.window_periods));
+}
+
+void ResourceAllocator::deregister_container(std::uint32_t id) {
+  if (!windows_.contains(id)) return;
+  windows_.erase(id);
+  app_.remove_member(id);
+}
+
+std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) {
+  const auto it = windows_.find(stats.cgroup);
+  if (it == windows_.end()) return std::nullopt;  // stale/unknown container
+  Windows& win = it->second;
+
+  const double period = static_cast<double>(config_.cfs_period);
+  const double unused_cores = static_cast<double>(stats.unused) / period;
+  win.throttles.add(stats.throttled ? 1.0 : 0.0);
+  win.unused_cores.add(unused_cores);
+
+  const double current = app_.member_cores(stats.cgroup);
+
+  if (stats.throttled) {
+    // Scale up (Section IV-D1): the windowed throttle mean gates how much of
+    // the application's unallocated runtime this container receives, paced
+    // by Υ (see config.h for the Υ-scaling interpretation).
+    const double throttle_mean = win.throttles.mean();
+    const double unallocated = app_.cpu_unallocated();
+    // Section IV-D1 equation with two stabilizing clamps (the paper's Y
+    // values make the raw product exceed the free pool after a couple of
+    // consecutive throttles): the grant never exceeds (a) the unallocated
+    // pool and (b) the container's own current allocation — a persistently
+    // throttled container doubles per period, which reaches any demand
+    // within a few 100 ms periods, bounds the overshoot past true demand to
+    // 2x, and keeps one container from draining the pool other throttled
+    // containers are drawing from in the same period.
+    const double rate = std::min(throttle_mean * config_.upsilon, 1.0);
+    // Y also paces the per-period grant: at the paper's default Y=20 a
+    // fully-throttled container doubles per period; Y=35 (the serverless
+    // setting) grows ~2.75x; small Y ramps gently.
+    const double cap =
+        std::max(current * (config_.upsilon / 20.0), 8.0 * config_.min_cores);
+    const double increase = rate * std::min(unallocated, cap);
+    if (increase > kCpuEpsilon) {
+      const double applied =
+          app_.set_member_cores(stats.cgroup, current + increase);
+      if (std::abs(applied - current) > kCpuEpsilon) {
+        ++scale_ups_;
+        return applied;
+      }
+    }
+    return std::nullopt;
+  }
+
+  if (unused_cores > config_.gamma) {
+    // Scale down: remove κ of the windowed mean unused runtime. Floors: the
+    // global minimum, and — so that a burst of unused runtime lingering in
+    // the window cannot drag the limit below what the container is consuming
+    // right now — last period's usage plus the γ headroom. Without the
+    // second floor a container that just cleared a backlog oscillates:
+    // big-unused samples crash its limit, the queue rebuilds, it throttles,
+    // doubles back up, and repeats.
+    const double used_last =
+        static_cast<double>(stats.quota - stats.unused) / period;
+    // The anti-oscillation floor keeps γ headroom above *active* usage, but
+    // fades out for mostly-idle containers (headroom capped by the usage
+    // itself) so they can release their allocation all the way down to the
+    // global floor and refill the application pool.
+    const double headroom = std::min(used_last, config_.gamma);
+    // kappa of the windowed mean, but never slower than kappa of the last
+    // period: after a scale-up overshoot the mean lags for n periods while
+    // the floor below already guarantees we cannot undercut live usage, so
+    // the larger of the two trims overshoot within one period.
+    const double decrease =
+        std::max(win.unused_cores.mean(), unused_cores) * config_.kappa;
+    const double target = std::max(
+        {config_.min_cores, used_last + headroom, current - decrease});
+    if (current - target > kCpuEpsilon) {
+      const double applied = app_.set_member_cores(stats.cgroup, target);
+      ++scale_downs_;
+      return applied;
+    }
+  }
+  return std::nullopt;
+}
+
+ResourceAllocator::MemDecision ResourceAllocator::on_oom_event(
+    const OomEventMsg& event, bool post_reclaim) {
+  MemDecision decision;
+  if (!windows_.contains(event.container)) {
+    decision.action = MemAction::kDeny;
+    return decision;
+  }
+  const memcg::Bytes current = app_.member_mem(event.container);
+  // Round the shortfall up to whole pages and add the fixed grant block so
+  // the container is not back here on the very next charge.
+  const memcg::Bytes pages =
+      ((event.shortfall + memcg::kPageSize - 1) / memcg::kPageSize) *
+      memcg::kPageSize;
+  const memcg::Bytes want = pages + config_.oom_grant;
+  const memcg::Bytes unallocated = app_.mem_unallocated();
+
+  if (unallocated >= want) {
+    decision.action = MemAction::kGrant;
+    decision.new_limit = app_.set_member_mem(event.container, current + want);
+    ++mem_grants_;
+    return decision;
+  }
+  if (unallocated >= pages) {
+    // Pool can cover the shortfall but not the full block: grant what exists.
+    decision.action = MemAction::kGrant;
+    decision.new_limit =
+        app_.set_member_mem(event.container, current + unallocated);
+    ++mem_grants_;
+    return decision;
+  }
+  if (!post_reclaim) {
+    decision.action = MemAction::kReclaimThenRetry;
+    return decision;
+  }
+  decision.action = MemAction::kDeny;
+  ++mem_denies_;
+  return decision;
+}
+
+void ResourceAllocator::on_reclaimed(std::uint32_t container,
+                                     memcg::Bytes new_limit) {
+  if (!windows_.contains(container)) return;
+  app_.set_member_mem(container, new_limit);
+}
+
+}  // namespace escra::core

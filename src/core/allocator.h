@@ -1,0 +1,85 @@
+// The Resource Allocator (Figure 3; Section IV-D): the lightweight
+// decision-making component. It keeps the Distributed Container's global
+// CPU/memory pools, consumes per-period CPU telemetry through two sliding
+// windowed statistics per container (throttle occurrences and unused
+// runtime), and decides when to scale each container up or down. It also
+// decides how to satisfy out-of-memory events from the globally unallocated
+// memory, falling back to reclamation when the pool is dry.
+//
+// The allocator is deliberately passive: it returns decisions; the
+// Controller carries them out (Section IV-C: "The Controller is not
+// responsible for making those ... decisions").
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "core/config.h"
+#include "core/distributed_container.h"
+#include "core/messages.h"
+#include "sim/stats.h"
+
+namespace escra::core {
+
+class ResourceAllocator {
+ public:
+  ResourceAllocator(const EscraConfig& config, DistributedContainer& app);
+
+  // --- membership ---
+  void register_container(std::uint32_t id, double cores, memcg::Bytes mem);
+  void deregister_container(std::uint32_t id);
+  bool knows(std::uint32_t id) const { return windows_.contains(id); }
+
+  // --- CPU (Section IV-D1) ---
+
+  // Consumes one per-period statistic. If a limit change is warranted the
+  // new shadow limit (already committed against the global pool) is
+  // returned for the Controller to push to the Agent.
+  std::optional<double> on_cpu_stats(const CpuStatsMsg& stats);
+
+  // --- memory (Section IV-D2) ---
+
+  enum class MemAction {
+    kGrant,             // new_limit committed; apply it and retry the charge
+    kReclaimThenRetry,  // pool dry: run reclamation, then call again
+    kDeny,              // nothing to give even after reclamation: let it die
+  };
+  struct MemDecision {
+    MemAction action = MemAction::kDeny;
+    memcg::Bytes new_limit = 0;
+  };
+
+  // Handles a pre-OOM event. `post_reclaim` marks the retry after a
+  // reclamation pass, so the allocator denies instead of looping.
+  MemDecision on_oom_event(const OomEventMsg& event, bool post_reclaim = false);
+
+  // Syncs shadow state after an Agent reclamation pass; ψ flows back into
+  // the pool implicitly (allocated sum drops).
+  void on_reclaimed(std::uint32_t container, memcg::Bytes new_limit);
+
+  // --- introspection ---
+  DistributedContainer& app() { return app_; }
+  const EscraConfig& config() const { return config_; }
+  std::uint64_t cpu_scale_ups() const { return scale_ups_; }
+  std::uint64_t cpu_scale_downs() const { return scale_downs_; }
+  std::uint64_t mem_grants() const { return mem_grants_; }
+  std::uint64_t mem_denies() const { return mem_denies_; }
+
+ private:
+  struct Windows {
+    sim::SlidingWindow throttles;
+    sim::SlidingWindow unused_cores;
+    explicit Windows(std::size_t n) : throttles(n), unused_cores(n) {}
+  };
+
+  EscraConfig config_;
+  DistributedContainer& app_;
+  std::unordered_map<std::uint32_t, Windows> windows_;
+  std::uint64_t scale_ups_ = 0;
+  std::uint64_t scale_downs_ = 0;
+  std::uint64_t mem_grants_ = 0;
+  std::uint64_t mem_denies_ = 0;
+};
+
+}  // namespace escra::core

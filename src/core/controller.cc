@@ -1,0 +1,193 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace escra::core {
+
+Controller::Controller(sim::Simulation& sim, net::Network& network,
+                       const EscraConfig& config, ResourceAllocator& allocator)
+    : sim_(sim), net_(network), config_(config), allocator_(allocator) {}
+
+Controller::~Controller() { stop(); }
+
+Agent& Controller::agent_for(cluster::Node& node) {
+  const auto it = agents_by_node_.find(node.id());
+  if (it != agents_by_node_.end()) return *it->second;
+  agents_.push_back(std::make_unique<Agent>(node));
+  Agent& agent = *agents_.back();
+  agents_by_node_[node.id()] = &agent;
+  return agent;
+}
+
+void Controller::register_container(cluster::Container& container,
+                                    cluster::Node& node, double cores,
+                                    memcg::Bytes mem) {
+  Agent& agent = agent_for(node);
+  // Late joiners (e.g. serverless pods created mid-run) receive the
+  // configured defaults, clamped to whatever the pool still holds.
+  if (cores <= 0.0) {
+    // Whatever the pool still holds, up to the default; a zero grant is
+    // legal (the container waits for reclaimed capacity).
+    cores = std::min(config_.late_join_cores,
+                     std::max(0.0, allocator_.app().cpu_unallocated()));
+  }
+  if (mem <= 0) {
+    mem = std::min(config_.late_join_mem,
+                   std::max<memcg::Bytes>(0, allocator_.app().mem_unallocated()));
+  }
+  allocator_.register_container(container.id(), cores, mem);
+  // The pool may have clamped the grant; read back the committed values.
+  cores = allocator_.app().member_cores(container.id());
+  mem = allocator_.app().member_mem(container.id());
+  agent.manage(container);
+  registry_[container.id()] = Entry{&container, &agent};
+
+  // Registration message on the container's new kernel socket.
+  net_.send(net::Channel::kRegistration, kRegistrationWireBytes, [] {});
+
+  // Deploy-time bootstrap limits go straight into the cgroups.
+  container.cpu_cgroup().set_limit_cores(cores);
+  container.mem_cgroup().set_limit(mem);
+
+  // Kernel hook 1: per-period CFS telemetry streamed to the Controller.
+  container.cpu_cgroup().set_period_hook(
+      [this](const cfs::PeriodStats& period) {
+        CpuStatsMsg msg;
+        msg.cgroup = period.cgroup;
+        msg.period_end = period.period_end;
+        msg.quota = period.quota;
+        msg.unused = period.unused;
+        msg.throttled = period.throttled;
+        net_.send(net::Channel::kCpuTelemetry, kCpuStatsWireBytes,
+                  [this, msg] { on_cpu_stats(msg); });
+      });
+
+  // Kernel hook 2: pre-OOM trap in try_charge().
+  cluster::Container* cptr = &container;
+  container.mem_cgroup().set_oom_hook(
+      [this, cptr](memcg::MemCgroup&, memcg::Bytes charge,
+                   memcg::Bytes shortfall) {
+        return handle_oom(*cptr, charge, shortfall);
+      });
+}
+
+void Controller::deregister_container(cluster::Container& container) {
+  const auto it = registry_.find(container.id());
+  if (it == registry_.end()) return;
+  it->second.agent->unmanage(container.id());
+  container.cpu_cgroup().set_period_hook(nullptr);
+  container.mem_cgroup().set_oom_hook(nullptr);
+  allocator_.deregister_container(container.id());
+  registry_.erase(it);
+}
+
+void Controller::start() {
+  if (started_) return;
+  started_ = true;
+  reclaim_loop_ =
+      sim_.schedule_every(sim_.now() + config_.reclaim_interval,
+                          config_.reclaim_interval,
+                          [this] { run_periodic_reclaim(); });
+}
+
+void Controller::stop() {
+  if (!started_) return;
+  started_ = false;
+  sim_.cancel(reclaim_loop_);
+}
+
+void Controller::on_cpu_stats(const CpuStatsMsg& stats) {
+  ++stats_received_;
+  const auto decision = allocator_.on_cpu_stats(stats);
+  if (decision.has_value()) push_cpu_limit(stats.cgroup, *decision);
+}
+
+void Controller::push_cpu_limit(cluster::ContainerId id, double cores) {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  Agent* agent = it->second.agent;
+  ++limit_updates_;
+  net_.rpc(
+      kLimitUpdateRpcBytes, kLimitUpdateRespBytes,
+      [agent, id, cores] { agent->apply_cpu_limit(id, cores); }, [] {});
+}
+
+void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit) {
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  Agent* agent = it->second.agent;
+  ++limit_updates_;
+  net_.rpc(
+      kLimitUpdateRpcBytes, kLimitUpdateRespBytes,
+      [agent, id, limit] { agent->apply_mem_limit(id, limit); }, [] {});
+}
+
+bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
+                            memcg::Bytes shortfall) {
+  ++oom_events_;
+  // The event travels the container's persistent kernel TCP socket; the
+  // limit raise returns over RPC. The container is stalled for the round
+  // trip by its own rescue path; here we account the bytes and decide.
+  net_.send(net::Channel::kMemoryEvent, kOomEventWireBytes, [] {});
+
+  OomEventMsg event;
+  event.container = container.id();
+  event.attempted_charge = charge;
+  event.shortfall = shortfall;
+
+  auto decision = allocator_.on_oom_event(event, /*post_reclaim=*/false);
+  if (decision.action == ResourceAllocator::MemAction::kReclaimThenRetry) {
+    // Pool dry: aggressive reclamation from containers with slack
+    // (Section III "Reactive Memory Reclamation"), then retry once.
+    run_emergency_reclaim();
+    decision = allocator_.on_oom_event(event, /*post_reclaim=*/true);
+  }
+  if (decision.action != ResourceAllocator::MemAction::kGrant) return false;
+
+  // Apply synchronously: the charge retries as soon as the hook returns.
+  net_.send(net::Channel::kControlRpc, kLimitUpdateRpcBytes, [] {});
+  container.mem_cgroup().set_limit(decision.new_limit);
+  const bool saved =
+      container.mem_cgroup().usage() + charge <= decision.new_limit;
+  if (saved) ++oom_rescues_;
+  return saved;
+}
+
+memcg::Bytes Controller::run_emergency_reclaim() {
+  memcg::Bytes psi = 0;
+  for (const auto& agent : agents_) {
+    net_.send(net::Channel::kControlRpc, kReclaimRpcBytes, [] {});
+    const Agent::ReclaimResult result =
+        agent->reclaim(config_.delta, config_.min_mem);
+    net_.send(net::Channel::kControlRpc, kReclaimRespBytes, [] {});
+    for (const Agent::Resize& resize : result.resizes) {
+      allocator_.on_reclaimed(resize.container, resize.new_limit);
+    }
+    psi += result.psi;
+  }
+  total_reclaimed_ += psi;
+  return psi;
+}
+
+void Controller::run_periodic_reclaim() {
+  // Every 5 seconds (Section IV-C): ask each Agent to shrink the limits of
+  // its containers to usage + δ and report back ψ.
+  for (const auto& agent_ptr : agents_) {
+    Agent* agent = agent_ptr.get();
+    auto result = std::make_shared<Agent::ReclaimResult>();
+    net_.rpc(
+        kReclaimRpcBytes, kReclaimRespBytes,
+        [this, agent, result] {
+          *result = agent->reclaim(config_.delta, config_.min_mem);
+        },
+        [this, result] {
+          for (const Agent::Resize& resize : result->resizes) {
+            allocator_.on_reclaimed(resize.container, resize.new_limit);
+          }
+          total_reclaimed_ += result->psi;
+        });
+  }
+}
+
+}  // namespace escra::core

@@ -1,0 +1,107 @@
+// The Escra Controller (Figure 1 circle 2, Figure 3; Section IV-C).
+//
+// The logically centralized component that brings the system together. It
+// owns one Agent per worker node, keeps the pool of registered containers,
+// ingests the per-period CPU telemetry each container's kernel hook streams
+// over the (simulated) network, forwards it to the Resource Allocator, and
+// carries out the allocator's decisions via RPCs to the Agents. It also
+// launches the periodic memory-reclamation loop (every 5 s) and services
+// pre-OOM memory requests on the containers' persistent kernel sockets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/container.h"
+#include "cluster/node.h"
+#include "core/agent.h"
+#include "core/allocator.h"
+#include "core/config.h"
+#include "core/messages.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace escra::core {
+
+class Controller {
+ public:
+  Controller(sim::Simulation& sim, net::Network& network,
+             const EscraConfig& config, ResourceAllocator& allocator);
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  // --- agents ---
+  // Creates (or returns) the Agent for a node.
+  Agent& agent_for(cluster::Node& node);
+
+  // --- container registration (Section IV-A / IV-B) ---
+  //
+  // Registers a container: commits its limits against the global pool,
+  // points the node's Agent at it, applies the starting limits to the
+  // cgroups, and installs the two kernel hooks (per-period CPU telemetry,
+  // pre-OOM trap). `cores`/`mem` of 0 mean "late joiner": the container
+  // gets the configured late-join defaults clamped to the unallocated pool.
+  void register_container(cluster::Container& container, cluster::Node& node,
+                          double cores, memcg::Bytes mem);
+  void deregister_container(cluster::Container& container);
+  bool is_registered(cluster::ContainerId id) const {
+    return registry_.contains(id);
+  }
+  std::size_t registered_count() const { return registry_.size(); }
+
+  // Starts the periodic reclamation loop.
+  void start();
+  void stop();
+
+  // --- telemetry & events (normally invoked via the network) ---
+  void on_cpu_stats(const CpuStatsMsg& stats);
+  // Pre-OOM request: returns true if the limit was raised enough for the
+  // charge to succeed (the container survives).
+  bool handle_oom(cluster::Container& container, memcg::Bytes charge,
+                  memcg::Bytes shortfall);
+
+  // Emergency reclamation sweep across every agent, synchronously (used on
+  // OOM when the pool is dry). Returns total ψ.
+  memcg::Bytes run_emergency_reclaim();
+
+  // --- counters ---
+  std::uint64_t stats_received() const { return stats_received_; }
+  std::uint64_t limit_updates_sent() const { return limit_updates_; }
+  std::uint64_t oom_events() const { return oom_events_; }
+  std::uint64_t oom_rescues() const { return oom_rescues_; }
+  memcg::Bytes total_reclaimed() const { return total_reclaimed_; }
+
+  ResourceAllocator& allocator() { return allocator_; }
+
+ private:
+  struct Entry {
+    cluster::Container* container = nullptr;
+    Agent* agent = nullptr;
+  };
+
+  void push_cpu_limit(cluster::ContainerId id, double cores);
+  void push_mem_limit(cluster::ContainerId id, memcg::Bytes limit);
+  void run_periodic_reclaim();
+
+  sim::Simulation& sim_;
+  net::Network& net_;
+  EscraConfig config_;
+  ResourceAllocator& allocator_;
+  std::vector<std::unique_ptr<Agent>> agents_;
+  std::unordered_map<cluster::NodeId, Agent*> agents_by_node_;
+  std::unordered_map<cluster::ContainerId, Entry> registry_;
+  sim::EventHandle reclaim_loop_;
+  bool started_ = false;
+
+  std::uint64_t stats_received_ = 0;
+  std::uint64_t limit_updates_ = 0;
+  std::uint64_t oom_events_ = 0;
+  std::uint64_t oom_rescues_ = 0;
+  memcg::Bytes total_reclaimed_ = 0;
+};
+
+}  // namespace escra::core

@@ -1,0 +1,55 @@
+#include "core/deployer.h"
+
+#include <stdexcept>
+
+namespace escra::core {
+
+Deployer::Deployer(cluster::Cluster& cluster, Controller& controller,
+                   const EscraConfig& config)
+    : cluster_(cluster), controller_(controller), config_(config) {}
+
+std::vector<cluster::Container*> Deployer::deploy(const AppSpec& spec) {
+  if (spec.containers.empty()) {
+    throw std::invalid_argument("deploy: empty application");
+  }
+  const DistributedContainer& app = controller_.allocator().app();
+  const auto n = static_cast<double>(spec.containers.size());
+  const double cpu0 = app.cpu_limit() / n;                             // Eq. 1
+  const auto mem0 = static_cast<memcg::Bytes>(
+      static_cast<double>(app.mem_limit()) * (1.0 - config_.sigma) / n);  // Eq. 2
+
+  std::vector<cluster::Container*> deployed;
+  deployed.reserve(spec.containers.size());
+  for (const cluster::ContainerSpec& cs : spec.containers) {
+    cluster::Container& c = cluster_.create_container(cs, cpu0, mem0);
+    cluster::Node* node = cluster_.node_of(c.id());
+    controller_.register_container(c, *node, cpu0, mem0);
+    deployed.push_back(&c);
+  }
+  return deployed;
+}
+
+ContainerWatcher::ContainerWatcher(cluster::Cluster& cluster,
+                                   Controller& controller)
+    : cluster_(cluster), controller_(controller) {}
+
+ContainerWatcher::~ContainerWatcher() { disable(); }
+
+void ContainerWatcher::enable() {
+  if (enabled_) return;
+  enabled_ = true;
+  cluster_.set_container_observer(
+      [this](cluster::Container& c, cluster::Node& node) {
+        // Late joiner: zero limits ask the Controller to apply the
+        // late-join defaults clamped to the unallocated pool.
+        controller_.register_container(c, node, 0.0, 0);
+      });
+}
+
+void ContainerWatcher::disable() {
+  if (!enabled_) return;
+  enabled_ = false;
+  cluster_.set_container_observer(nullptr);
+}
+
+}  // namespace escra::core

@@ -1,0 +1,71 @@
+// Application Deployer & Container Watcher (Figure 1 circle 1; Section IV-A).
+//
+// The Deployer ingests a Distributed Container configuration (the paper's
+// YAML set): a list of container specs plus global application CPU/memory
+// limits. It sends the global limits to the Controller (by constructing the
+// DistributedContainer before deployment), creates the containers across the
+// cluster, and bootstraps each one's initial limits per Equations 1-2:
+//
+//     cpu_0 = global_cpu_limit / #containers                      (1)
+//     mem_0 = global_mem_limit * (1 - sigma) / #containers        (2)
+//
+// where σ is the fraction of global memory withheld for OOM events. (The
+// paper prints Eq. 2 as `global·σ/n` while describing σ as the *withheld*
+// percentage; we follow the description — see DESIGN.md.)
+//
+// The Container Watcher detects containers created after deployment (e.g.
+// serverless action pods) and registers them with the Controller so they
+// start streaming telemetry immediately.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/config.h"
+#include "core/controller.h"
+
+namespace escra::core {
+
+// The "set of YAML files": what the operator hands the Deployer.
+struct AppSpec {
+  std::string name;
+  std::vector<cluster::ContainerSpec> containers;
+};
+
+class Deployer {
+ public:
+  Deployer(cluster::Cluster& cluster, Controller& controller,
+           const EscraConfig& config);
+
+  // Deploys every container in the spec (spread across nodes), registers
+  // each with the Controller with Eq. 1-2 initial limits, and returns them.
+  std::vector<cluster::Container*> deploy(const AppSpec& spec);
+
+ private:
+  cluster::Cluster& cluster_;
+  Controller& controller_;
+  EscraConfig config_;
+};
+
+class ContainerWatcher {
+ public:
+  ContainerWatcher(cluster::Cluster& cluster, Controller& controller);
+  ~ContainerWatcher();
+
+  ContainerWatcher(const ContainerWatcher&) = delete;
+  ContainerWatcher& operator=(const ContainerWatcher&) = delete;
+
+  // Starts watching: containers created in the cluster from now on are
+  // registered with the Controller as late joiners.
+  void enable();
+  void disable();
+  bool enabled() const { return enabled_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  Controller& controller_;
+  bool enabled_ = false;
+};
+
+}  // namespace escra::core

@@ -1,0 +1,93 @@
+#include "core/distributed_container.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace escra::core {
+
+DistributedContainer::DistributedContainer(double cpu_limit_cores,
+                                           memcg::Bytes mem_limit)
+    : cpu_limit_(cpu_limit_cores), mem_limit_(mem_limit) {
+  if (cpu_limit_cores <= 0.0 || mem_limit <= 0) {
+    throw std::invalid_argument("DistributedContainer: nonpositive limits");
+  }
+}
+
+void DistributedContainer::add_member(std::uint32_t container, double cores,
+                                      memcg::Bytes mem) {
+  if (members_.contains(container)) {
+    throw std::invalid_argument("add_member: duplicate container");
+  }
+  if (cores < 0.0 || mem < 0) {
+    throw std::invalid_argument("add_member: negative limits");
+  }
+  if (cpu_allocated_ + cores > cpu_limit_ + 1e-9) {
+    throw std::invalid_argument("add_member: CPU grant exceeds global limit");
+  }
+  if (mem_allocated_ + mem > mem_limit_) {
+    throw std::invalid_argument("add_member: memory grant exceeds global limit");
+  }
+  members_.emplace(container, Member{cores, mem});
+  cpu_allocated_ += cores;
+  mem_allocated_ += mem;
+}
+
+void DistributedContainer::remove_member(std::uint32_t container) {
+  const auto it = members_.find(container);
+  if (it == members_.end()) throw std::invalid_argument("remove_member: unknown");
+  cpu_allocated_ -= it->second.cores;
+  mem_allocated_ -= it->second.mem;
+  members_.erase(it);
+  cpu_allocated_ = std::max(0.0, cpu_allocated_);
+  mem_allocated_ = std::max<memcg::Bytes>(0, mem_allocated_);
+}
+
+const DistributedContainer::Member& DistributedContainer::member(
+    std::uint32_t container) const {
+  const auto it = members_.find(container);
+  if (it == members_.end()) {
+    throw std::invalid_argument("DistributedContainer: unknown member");
+  }
+  return it->second;
+}
+
+double DistributedContainer::member_cores(std::uint32_t container) const {
+  return member(container).cores;
+}
+
+memcg::Bytes DistributedContainer::member_mem(std::uint32_t container) const {
+  return member(container).mem;
+}
+
+double DistributedContainer::set_member_cores(std::uint32_t container,
+                                              double cores) {
+  const auto it = members_.find(container);
+  if (it == members_.end()) {
+    throw std::invalid_argument("set_member_cores: unknown member");
+  }
+  cores = std::max(0.0, cores);
+  // Clamp so the application aggregate never exceeds the global limit: this
+  // is the runtime enforcement that distinguishes a Distributed Container
+  // from an admission-time Resource Quota.
+  const double headroom = cpu_limit_ - (cpu_allocated_ - it->second.cores);
+  cores = std::min(cores, headroom);
+  cpu_allocated_ += cores - it->second.cores;
+  it->second.cores = cores;
+  return cores;
+}
+
+memcg::Bytes DistributedContainer::set_member_mem(std::uint32_t container,
+                                                  memcg::Bytes mem) {
+  const auto it = members_.find(container);
+  if (it == members_.end()) {
+    throw std::invalid_argument("set_member_mem: unknown member");
+  }
+  mem = std::max<memcg::Bytes>(0, mem);
+  const memcg::Bytes headroom = mem_limit_ - (mem_allocated_ - it->second.mem);
+  mem = std::min(mem, headroom);
+  mem_allocated_ += mem - it->second.mem;
+  it->second.mem = mem;
+  return mem;
+}
+
+}  // namespace escra::core

@@ -1,0 +1,76 @@
+// The Distributed Container abstraction (Section III).
+//
+// A Distributed Container groups the containers of one application/tenant —
+// possibly spread across nodes — under aggregate CPU and memory limits that
+// are enforced *at runtime*, not just at admission like Kubernetes Resource
+// Quotas. This class is the Resource Allocator's book of record: it tracks
+// the global limits, the sum currently allocated to member containers, and
+// therefore the unallocated pool that scale-up decisions draw from.
+//
+// Class invariant (checked on every mutation):
+//     0 <= cpu_allocated() <= cpu_limit()
+//     0 <= mem_allocated() <= mem_limit()
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "memcg/mem_cgroup.h"
+
+namespace escra::core {
+
+class DistributedContainer {
+ public:
+  DistributedContainer(double cpu_limit_cores, memcg::Bytes mem_limit);
+
+  // --- global limits (Figure 3, circle 2) ---
+  double cpu_limit() const { return cpu_limit_; }
+  memcg::Bytes mem_limit() const { return mem_limit_; }
+
+  // --- aggregate allocation state (Figure 3, circle 6) ---
+  double cpu_allocated() const { return cpu_allocated_; }
+  double cpu_unallocated() const { return cpu_limit_ - cpu_allocated_; }
+  memcg::Bytes mem_allocated() const { return mem_allocated_; }
+  memcg::Bytes mem_unallocated() const { return mem_limit_ - mem_allocated_; }
+
+  std::size_t member_count() const { return members_.size(); }
+  bool is_member(std::uint32_t container) const {
+    return members_.contains(container);
+  }
+
+  // --- membership & per-container shadow limits ---
+
+  // Adds a container with the given starting limits. Throws if the grant
+  // would exceed a global limit or the container is already a member.
+  void add_member(std::uint32_t container, double cores, memcg::Bytes mem);
+
+  // Removes a container, returning its limits to the pool.
+  void remove_member(std::uint32_t container);
+
+  // Current shadow limits for a member (what the allocator believes the
+  // Agent has been told to apply).
+  double member_cores(std::uint32_t container) const;
+  memcg::Bytes member_mem(std::uint32_t container) const;
+
+  // Adjusts a member's CPU limit to `cores`, clamped so the aggregate stays
+  // within the global limit. Returns the value actually set.
+  double set_member_cores(std::uint32_t container, double cores);
+
+  // Adjusts a member's memory limit to `mem`, clamped likewise.
+  memcg::Bytes set_member_mem(std::uint32_t container, memcg::Bytes mem);
+
+ private:
+  struct Member {
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+  };
+  const Member& member(std::uint32_t container) const;
+
+  double cpu_limit_;
+  memcg::Bytes mem_limit_;
+  double cpu_allocated_ = 0.0;
+  memcg::Bytes mem_allocated_ = 0;
+  std::unordered_map<std::uint32_t, Member> members_;
+};
+
+}  // namespace escra::core

@@ -1,0 +1,45 @@
+#include "core/escra.h"
+
+#include <stdexcept>
+
+namespace escra::core {
+
+EscraSystem::EscraSystem(sim::Simulation& sim, net::Network& network,
+                         cluster::Cluster& cluster, double global_cpu_cores,
+                         memcg::Bytes global_mem, EscraConfig config)
+    : cluster_(cluster),
+      config_(config),
+      app_(global_cpu_cores, global_mem),
+      allocator_(config_, app_),
+      controller_(sim, network, config_, allocator_),
+      deployer_(cluster, controller_, config_),
+      watcher_(cluster, controller_) {}
+
+std::vector<cluster::Container*> EscraSystem::deploy(const AppSpec& spec) {
+  return deployer_.deploy(spec);
+}
+
+void EscraSystem::manage(const std::vector<cluster::Container*>& containers) {
+  if (containers.empty()) throw std::invalid_argument("manage: no containers");
+  const auto n = static_cast<double>(containers.size());
+  const double cpu0 = app_.cpu_limit() / n;  // Eq. 1
+  const auto mem0 = static_cast<memcg::Bytes>(
+      static_cast<double>(app_.mem_limit()) * (1.0 - config_.sigma) / n);  // Eq. 2
+  for (cluster::Container* c : containers) {
+    cluster::Node* node = cluster_.node_of(c->id());
+    if (node == nullptr) throw std::invalid_argument("manage: unknown container");
+    controller_.register_container(*c, *node, cpu0, mem0);
+  }
+}
+
+void EscraSystem::adopt(cluster::Container& container) {
+  cluster::Node* node = cluster_.node_of(container.id());
+  if (node == nullptr) throw std::invalid_argument("adopt: unknown container");
+  controller_.register_container(container, *node, 0.0, 0);
+}
+
+void EscraSystem::release(cluster::Container& container) {
+  controller_.deregister_container(container);
+}
+
+}  // namespace escra::core

@@ -1,0 +1,78 @@
+// EscraSystem: the one-object public API.
+//
+// Bundles the Distributed Container, Resource Allocator, Controller,
+// Deployer, and Container Watcher into a single facade. A typical use:
+//
+//   sim::Simulation simulation;
+//   net::Network network(simulation);
+//   cluster::Cluster k8s(simulation);
+//   k8s.add_node({.cores = 20});
+//
+//   core::EscraSystem escra(simulation, network, k8s,
+//                           /*global_cpu=*/8.0, /*global_mem=*/4 * kGiB);
+//   escra.deploy({.name = "shop", .containers = {...}});   // Eq. 1-2 limits
+//   escra.start();                                          // control loops on
+//   simulation.run_until(sim::seconds(60));
+//
+// Containers created later (serverless pods) are picked up automatically
+// once `watch()` is enabled.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/allocator.h"
+#include "core/config.h"
+#include "core/controller.h"
+#include "core/deployer.h"
+#include "core/distributed_container.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+
+namespace escra::core {
+
+class EscraSystem {
+ public:
+  EscraSystem(sim::Simulation& sim, net::Network& network,
+              cluster::Cluster& cluster, double global_cpu_cores,
+              memcg::Bytes global_mem, EscraConfig config = EscraConfig{});
+
+  // Deploys an application under Escra management (Deployer path, Eq. 1-2).
+  std::vector<cluster::Container*> deploy(const AppSpec& spec);
+
+  // Takes over already-deployed containers as one application, applying the
+  // Eq. 1-2 initial limits (the Deployer path for containers another
+  // component created, e.g. the experiment harness).
+  void manage(const std::vector<cluster::Container*>& containers);
+
+  // Enables the Container Watcher: containers created in the cluster from
+  // now on are adopted as late joiners.
+  void watch() { watcher_.enable(); }
+  void unwatch() { watcher_.disable(); }
+
+  // Adopts an already-running container (manual Watcher path).
+  void adopt(cluster::Container& container);
+  // Releases a container (pod reaped): limits return to the pool.
+  void release(cluster::Container& container);
+
+  // Starts the periodic control loops (memory reclamation).
+  void start() { controller_.start(); }
+  void stop() { controller_.stop(); }
+
+  DistributedContainer& app() { return app_; }
+  ResourceAllocator& allocator() { return allocator_; }
+  Controller& controller() { return controller_; }
+  const EscraConfig& config() const { return config_; }
+
+ private:
+  cluster::Cluster& cluster_;
+  EscraConfig config_;
+  DistributedContainer app_;
+  ResourceAllocator allocator_;
+  Controller controller_;
+  Deployer deployer_;
+  ContainerWatcher watcher_;
+};
+
+}  // namespace escra::core

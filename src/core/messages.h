@@ -1,0 +1,54 @@
+// Wire-message shapes and sizes for Escra's control plane.
+//
+// Sizes model the paper's transports: the per-period CPU statistic is a
+// small fixed struct sent over UDP from a kernel thread (cgroup tag, quota,
+// unused runtime, throttled flag — Section IV-B); OOM events and container
+// registration ride the per-container kernel TCP socket; limit updates and
+// reclamation requests are gRPC calls. The byte counts include L2-L4 and
+// protocol framing so the network-overhead microbenchmark (Section VI-I)
+// can report Mbps on comparable terms.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "cfs/cgroup.h"
+#include "memcg/mem_cgroup.h"
+
+namespace escra::core {
+
+// UDP telemetry datagram: 14B eth + 20B IP + 8B UDP + payload
+// (4B cgroup tag, 8B quota, 8B unused runtime, 1B flags, padding).
+inline constexpr std::size_t kCpuStatsWireBytes = 14 + 20 + 8 + 24;
+
+// TCP memory event (established kernel socket): headers + 16B payload.
+inline constexpr std::size_t kOomEventWireBytes = 14 + 20 + 32 + 16;
+
+// TCP registration message.
+inline constexpr std::size_t kRegistrationWireBytes = 14 + 20 + 32 + 24;
+
+// gRPC limit-update call: HTTP/2 + protobuf, empirically a few hundred bytes.
+inline constexpr std::size_t kLimitUpdateRpcBytes = 280;
+inline constexpr std::size_t kLimitUpdateRespBytes = 120;
+
+// gRPC reclamation request/response (response carries per-node ψ).
+inline constexpr std::size_t kReclaimRpcBytes = 260;
+inline constexpr std::size_t kReclaimRespBytes = 160;
+
+// The per-period CPU statistic (Section IV-B).
+struct CpuStatsMsg {
+  cfs::CgroupId cgroup = 0;
+  sim::TimePoint period_end = 0;
+  sim::Duration quota = 0;
+  sim::Duration unused = 0;
+  bool throttled = false;
+};
+
+// Pre-OOM memory request (Section IV-B / IV-D2).
+struct OomEventMsg {
+  std::uint32_t container = 0;
+  memcg::Bytes attempted_charge = 0;
+  memcg::Bytes shortfall = 0;
+};
+
+}  // namespace escra::core

@@ -1,0 +1,87 @@
+// Microservice experiment harness: runs one (application, workload, policy)
+// cell of the paper's 4 x 4 x 3 evaluation grid (Sections VI-B..VI-E) and
+// returns the metrics the paper reports — throughput, 99.9%ile latency, and
+// per-second absolute-slack distributions for CPU and memory.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "app/benchmarks.h"
+#include "core/config.h"
+#include "sim/stats.h"
+#include "workload/arrivals.h"
+
+namespace escra::exp {
+
+enum class PolicyKind { kStatic, kAutopilot, kEscra, kVpa, kFirm };
+
+const char* policy_name(PolicyKind kind);
+
+struct MicroserviceConfig {
+  app::Benchmark benchmark = app::Benchmark::kHipster;
+  // When set, overrides `benchmark`: run this service graph instead (e.g.
+  // one loaded from a YAML config). Profiled fresh per run.
+  std::shared_ptr<const app::GraphSpec> custom_graph;
+  workload::WorkloadKind workload = workload::WorkloadKind::kFixed;
+  PolicyKind policy = PolicyKind::kEscra;
+
+  // Static baseline: limits = multiplier x profiled peak (Section VI-B).
+  double static_multiplier = 1.5;
+  // Optional cpu.cfs_burst_us for the static baseline, as a fraction of
+  // each container's quota (0 = vanilla CFS). Exercised by
+  // bench/ablation_cfs_burst.
+  double static_cfs_burst_factor = 0.0;
+  // Autopilot: update interval (1 s is its best case per Section VI-A).
+  sim::Duration autopilot_period = sim::seconds(1);
+  // Escra tunables (defaults are the paper's: kappa 0.8, gamma 0.2, Y 20).
+  core::EscraConfig escra;
+
+  // Cluster shape (Section VI-A: three workers, 2x10-core Xeon, 192 GB).
+  int worker_nodes = 3;
+  double node_cores = 20.0;
+  memcg::Bytes node_mem = 192LL * memcg::kGiB;
+
+  // Load starts only after the application has finished its startup burn
+  // (wrk2 is pointed at a ready deployment, not one still JIT-compiling).
+  sim::Duration app_ready_delay = sim::seconds(10);
+  sim::Duration warmup = sim::seconds(5);
+  sim::Duration duration = sim::seconds(60);
+  // Client-side request timeout (interactive microservices; wrk2 gives up
+  // and counts an error).
+  sim::Duration request_timeout = sim::seconds(2);
+  std::uint64_t seed = 42;
+};
+
+struct RunResult {
+  std::string app_name;
+  std::string workload_name;
+  std::string policy_name;
+
+  // Performance.
+  double throughput_rps = 0.0;
+  double mean_latency_ms = 0.0;
+  double p50_latency_ms = 0.0;
+  double p99_latency_ms = 0.0;
+  double p999_latency_ms = 0.0;
+  std::uint64_t succeeded = 0;
+  std::uint64_t failed = 0;
+
+  // Cost-efficiency: pooled per-container, per-second absolute slack.
+  sim::SampleSet cpu_slack_cores;
+  sim::SampleSet mem_slack_mib;
+
+  // Reliability & control-plane counters.
+  std::uint64_t oom_kills = 0;
+  std::uint64_t oom_rescues = 0;
+  std::uint64_t evictions = 0;
+  std::uint64_t limit_updates = 0;
+  std::uint64_t telemetry_msgs = 0;
+  double peak_net_mbps = 0.0;
+  double mean_net_mbps = 0.0;
+};
+
+RunResult run_microservice(const MicroserviceConfig& config);
+
+}  // namespace escra::exp

@@ -1,0 +1,85 @@
+#include "exp/profile.h"
+
+#include <algorithm>
+#include <map>
+
+#include "app/service_graph.h"
+#include "cluster/cluster.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "workload/load_generator.h"
+
+namespace escra::exp {
+
+double ProfileResult::total_peak_cores() const {
+  double total = 0.0;
+  for (const ContainerProfile& c : containers) total += c.peak_cores;
+  return total;
+}
+
+memcg::Bytes ProfileResult::total_peak_mem() const {
+  memcg::Bytes total = 0;
+  for (const ContainerProfile& c : containers) total += c.peak_mem;
+  return total;
+}
+
+ProfileResult profile_graph(const app::GraphSpec& graph,
+                            const ProfileConfig& cfg) {
+  sim::Simulation simulation;
+  cluster::Cluster k8s(simulation);
+  for (int i = 0; i < 3; ++i) k8s.add_node(cluster::NodeConfig{});
+
+  sim::Rng root(cfg.seed);
+  app::Application application(k8s, graph, root.fork(), cfg.generous_cores,
+                               cfg.generous_mem);
+
+  workload::LoadGenerator loadgen(
+      simulation,
+      std::make_unique<workload::FixedArrivals>(cfg.profile_rate_rps),
+      [&application](workload::LoadGenerator::Done done) {
+        application.submit_request(std::move(done));
+      });
+  loadgen.run(0, cfg.duration);
+
+  const auto& containers = application.containers();
+  ProfileResult result;
+  result.containers.resize(containers.size());
+  std::vector<sim::Duration> prev_consumed(containers.size(), 0);
+
+  simulation.schedule_every(sim::kSecond, sim::kSecond, [&] {
+    const bool measuring = simulation.now() > cfg.warmup_skip;
+    for (std::size_t i = 0; i < containers.size(); ++i) {
+      const sim::Duration consumed = containers[i]->cpu_cgroup().total_consumed();
+      const double used_cores =
+          static_cast<double>(consumed - prev_consumed[i]) /
+          static_cast<double>(sim::kSecond);
+      prev_consumed[i] = consumed;
+      if (!measuring) continue;  // skip the startup transient
+      result.containers[i].peak_cores =
+          std::max(result.containers[i].peak_cores, used_cores);
+      result.containers[i].peak_mem = std::max(
+          result.containers[i].peak_mem, containers[i]->mem_cgroup().usage());
+    }
+  });
+
+  simulation.run_until(cfg.duration);
+  // A container that never ran still needs a nonzero baseline so that
+  // multiplier-based limits are valid.
+  for (ContainerProfile& c : result.containers) {
+    c.peak_cores = std::max(c.peak_cores, 0.05);
+    c.peak_mem = std::max<memcg::Bytes>(c.peak_mem, 48 * memcg::kMiB);
+  }
+  return result;
+}
+
+const ProfileResult& profile_benchmark(app::Benchmark benchmark,
+                                       const ProfileConfig& config) {
+  static std::map<int, ProfileResult> cache;
+  const int key = static_cast<int>(benchmark);
+  const auto it = cache.find(key);
+  if (it != cache.end()) return it->second;
+  return cache.emplace(key, profile_graph(app::make_benchmark(benchmark), config))
+      .first->second;
+}
+
+}  // namespace escra::exp

@@ -1,0 +1,83 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace escra::exp {
+
+std::string fmt(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string fmt_pct(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%+.*f%%", precision, value);
+  return buf;
+}
+
+double pct_decrease(double theirs, double ours) {
+  if (theirs == 0.0) return 0.0;
+  return (theirs - ours) / theirs * 100.0;
+}
+
+double pct_increase(double theirs, double ours) {
+  if (theirs == 0.0) return 0.0;
+  return (ours - theirs) / theirs * 100.0;
+}
+
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows) {
+  std::vector<std::size_t> width(header.size());
+  for (std::size_t c = 0; c < header.size(); ++c) width[c] = header[c].size();
+  for (const auto& row : rows) {
+    if (row.size() != header.size()) {
+      throw std::invalid_argument("print_table: ragged row");
+    }
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      std::printf("%-*s%s", static_cast<int>(width[c]), row[c].c_str(),
+                  c + 1 == row.size() ? "\n" : "  ");
+    }
+  };
+  print_row(header);
+  std::size_t total = 0;
+  for (const std::size_t w : width) total += w + 2;
+  for (std::size_t i = 0; i + 2 < total; ++i) std::printf("-");
+  std::printf("\n");
+  for (const auto& row : rows) print_row(row);
+}
+
+void print_cdf(const std::string& label, const sim::SampleSet& samples,
+               std::size_t points) {
+  std::printf("%s  (n=%zu)\n", label.c_str(), samples.count());
+  for (const auto& [value, frac] : samples.cdf_curve(points)) {
+    std::printf("  %10.3f  %6.3f\n", value, frac);
+  }
+}
+
+void print_latency_cdf(const std::string& label, const sim::Histogram& hist,
+                       std::size_t points) {
+  std::printf("%s  (n=%llu)\n", label.c_str(),
+              static_cast<unsigned long long>(hist.count()));
+  for (std::size_t i = 0; i < points; ++i) {
+    const double p =
+        points == 1
+            ? 100.0
+            : 100.0 * static_cast<double>(i) / static_cast<double>(points - 1);
+    std::printf("  %10.2f  %6.3f\n",
+                static_cast<double>(hist.percentile(p)) / 1000.0, p / 100.0);
+  }
+}
+
+void print_section(const std::string& title) {
+  std::printf("\n=== %s ===\n", title.c_str());
+}
+
+}  // namespace escra::exp

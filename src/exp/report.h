@@ -1,0 +1,40 @@
+// Console reporting helpers shared by the benchmark binaries: aligned
+// ASCII tables and empirical-CDF printouts matching the paper's figures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/histogram.h"
+#include "sim/stats.h"
+
+namespace escra::exp {
+
+// Prints an aligned table: `header` then `rows`; every row must have
+// header.size() cells.
+void print_table(const std::vector<std::string>& header,
+                 const std::vector<std::vector<std::string>>& rows);
+
+// Prints `points` rows of "value cumulative_fraction" for a sample set
+// (one Figure 5/6-style CDF curve).
+void print_cdf(const std::string& label, const sim::SampleSet& samples,
+               std::size_t points = 20);
+
+// Same for a latency histogram, in milliseconds.
+void print_latency_cdf(const std::string& label, const sim::Histogram& hist,
+                       std::size_t points = 20);
+
+// Fixed-precision double formatting.
+std::string fmt(double value, int precision = 2);
+// Percentage-delta formatting with sign.
+std::string fmt_pct(double value, int precision = 1);
+
+// Relative change helpers used throughout the evaluation:
+//   decrease of `ours` vs `theirs` in percent (positive = we are lower).
+double pct_decrease(double theirs, double ours);
+//   increase of `ours` vs `theirs` in percent (positive = we are higher).
+double pct_increase(double theirs, double ours);
+
+void print_section(const std::string& title);
+
+}  // namespace escra::exp

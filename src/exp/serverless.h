@@ -1,0 +1,87 @@
+// Serverless experiment harness (Sections VI-F..VI-H): ImageProcess and
+// GridSearch on OpenWhisk alone vs OpenWhisk + Escra (and + Escra at 80%
+// of the resource limits, for GridSearch). Produces the latency
+// distributions of Figure 7 and the aggregate-limit time series of
+// Figures 8 and 9.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "memcg/mem_cgroup.h"
+#include "sim/histogram.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace escra::exp {
+
+enum class ServerlessMode {
+  kOpenWhisk,      // static per-pod limits (1 vCPU / 256 MiB)
+  kEscra,          // + Escra, same global resource envelope
+  kEscraReduced,   // + Escra with 80% of the global limits (GridSearch case 3)
+};
+
+const char* serverless_mode_name(ServerlessMode mode);
+
+// One point of the aggregate-limit time series (Figures 8 and 9).
+struct LimitPoint {
+  double t_seconds = 0.0;
+  double cpu_limit_cores = 0.0;
+  double mem_limit_mib = 0.0;
+};
+
+// ---------------------------------------------------------------- ImageProcess
+
+struct ImageProcessConfig {
+  ServerlessMode mode = ServerlessMode::kOpenWhisk;
+  int iterations = 4;                                  // paper: 4 x 10 min
+  sim::Duration iteration_length = sim::seconds(600);
+  sim::Duration request_gap = sim::milliseconds(800);  // 1 req / 0.8 s
+  std::size_t max_pods = 16;
+  int worker_nodes = 3;   // plus infra nodes the model does not need
+  double node_cores = 16.0;                            // 2x 8-core E5-2650v2
+  memcg::Bytes node_mem = 64LL * memcg::kGiB;
+  double upsilon = 35.0;  // Section VI-F: Y = 35 for ImageProcess
+  std::uint64_t seed = 7;
+};
+
+struct ImageProcessResult {
+  sim::Histogram latency;             // per-invocation end-to-end, us
+  std::vector<LimitPoint> limits;     // per second, averaged over iterations
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t cold_starts = 0;
+  double mean_latency_ms = 0.0;
+  double mean_cpu_limit_cores = 0.0;  // time-averaged aggregate limit
+  double mean_mem_limit_mib = 0.0;
+};
+
+ImageProcessResult run_image_process(const ImageProcessConfig& config);
+
+// ------------------------------------------------------------------ GridSearch
+
+struct GridSearchConfig {
+  ServerlessMode mode = ServerlessMode::kOpenWhisk;
+  int runs = 10;  // paper uses 50; the CDF shape stabilizes well before that
+  std::size_t total_tasks = 960;
+  std::size_t max_pods = 115;
+  int worker_nodes = 4;
+  double node_cores = 16.0;
+  memcg::Bytes node_mem = 64LL * memcg::kGiB;
+  double upsilon = 20.0;  // Section VI-F: Y = 20 for GridSearch
+  double reduced_fraction = 0.8;  // the "80% fewer cores/MiB" case
+  std::uint64_t seed = 11;
+};
+
+struct GridSearchResult {
+  sim::SampleSet job_latency_s;       // one make-span per run
+  std::vector<LimitPoint> limits;     // per second, from the first run
+  double mean_latency_s = 0.0;
+  double mean_cpu_limit_cores = 0.0;
+  double mean_mem_limit_mib = 0.0;
+  std::uint64_t tasks_failed = 0;
+};
+
+GridSearchResult run_grid_search(const GridSearchConfig& config);
+
+}  // namespace escra::exp

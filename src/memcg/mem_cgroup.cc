@@ -1,0 +1,51 @@
+#include "memcg/mem_cgroup.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace escra::memcg {
+
+MemCgroup::MemCgroup(std::uint32_t id, Bytes limit) : id_(id) {
+  if (limit < 0) throw std::invalid_argument("MemCgroup: negative limit");
+  limit_ = limit;
+}
+
+void MemCgroup::set_limit(Bytes limit) {
+  if (limit < 0) throw std::invalid_argument("set_limit: negative limit");
+  limit_ = limit;
+}
+
+ChargeResult MemCgroup::try_charge(Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("try_charge: negative charge");
+  ++charges_;
+  if (usage_ + bytes <= limit_) {
+    usage_ += bytes;
+    return ChargeResult::kOk;
+  }
+  // Escra's hook point: the charge failed, the OOM killer is imminent.
+  const Bytes shortfall = usage_ + bytes - limit_;
+  if (oom_hook_ && oom_hook_(*this, bytes, shortfall)) {
+    if (usage_ + bytes <= limit_) {
+      usage_ += bytes;
+      ++oom_rescues_;
+      return ChargeResult::kRescued;
+    }
+    // Hook claimed success but the limit is still short: treat as OOM.
+  }
+  ++oom_kills_;
+  return ChargeResult::kOom;
+}
+
+void MemCgroup::uncharge(Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("uncharge: negative");
+  usage_ = std::max<Bytes>(0, usage_ - bytes);
+}
+
+void MemCgroup::force_charge(Bytes bytes) {
+  if (bytes < 0) throw std::invalid_argument("force_charge: negative");
+  usage_ += bytes;
+}
+
+void MemCgroup::reset_usage() { usage_ = 0; }
+
+}  // namespace escra::memcg

@@ -1,0 +1,87 @@
+// Model of the Linux memory cgroup with Escra's pre-OOM kernel hook.
+//
+// The paper adds a hook inside `try_charge()` that fires *after* a charge
+// would exceed the cgroup limit but *before* the OOM killer runs
+// (Section III / IV-B). The hook forwards the event to the Controller over
+// the container's kernel socket; if the Controller raises the limit in time,
+// the charge retries and the container survives. Without Escra (static, VPA,
+// Autopilot deployments) the same condition kills the container.
+//
+// This class reproduces that state machine: charge / uncharge, a limit that
+// can be resized at runtime without restarting, and a pluggable OOM hook
+// whose verdict decides between "retry" and "kill".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.h"
+
+namespace escra::memcg {
+
+using Bytes = std::int64_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * kKiB;
+inline constexpr Bytes kGiB = 1024 * kMiB;
+inline constexpr Bytes kPageSize = 4096;
+
+// Outcome of a charge attempt.
+enum class ChargeResult {
+  kOk,        // charged within the limit
+  kRescued,   // exceeded the limit, the OOM hook raised it, charge succeeded
+  kOom,       // exceeded the limit and no rescue: the OOM killer fires
+};
+
+class MemCgroup {
+ public:
+  // The pre-OOM hook. Receives the cgroup, the failed charge size, and the
+  // shortfall (bytes by which usage+charge exceeds the limit). Returns true
+  // if the limit was raised enough for the charge to be retried (the Escra
+  // path), false to let the OOM killer proceed (the vanilla path).
+  using OomHook = std::function<bool(MemCgroup&, Bytes charge, Bytes shortfall)>;
+
+  MemCgroup(std::uint32_t id, Bytes limit);
+
+  std::uint32_t id() const { return id_; }
+
+  Bytes usage() const { return usage_; }
+  Bytes limit() const { return limit_; }
+  Bytes slack() const { return limit_ - usage_; }
+
+  // Raises or lowers the limit. Lowering below current usage is permitted
+  // (as in Linux, where reclaim would kick in); the next charge then OOMs
+  // unless rescued.
+  void set_limit(Bytes limit);
+
+  // Attempts to charge `bytes`. On overflow calls the OOM hook (if any);
+  // a successful hook retries the charge once.
+  ChargeResult try_charge(Bytes bytes);
+
+  // Releases `bytes` (clamped at zero).
+  void uncharge(Bytes bytes);
+
+  // Charges without a limit check; models memory that is already resident
+  // (e.g. a container's base image pages right after start).
+  void force_charge(Bytes bytes);
+
+  // Drops all charges (container killed / restarted).
+  void reset_usage();
+
+  void set_oom_hook(OomHook hook) { oom_hook_ = std::move(hook); }
+
+  std::uint64_t oom_kills() const { return oom_kills_; }
+  std::uint64_t oom_rescues() const { return oom_rescues_; }
+  std::uint64_t charge_count() const { return charges_; }
+
+ private:
+  std::uint32_t id_;
+  Bytes limit_ = 0;
+  Bytes usage_ = 0;
+  OomHook oom_hook_;
+  std::uint64_t oom_kills_ = 0;
+  std::uint64_t oom_rescues_ = 0;
+  std::uint64_t charges_ = 0;
+};
+
+}  // namespace escra::memcg

@@ -1,0 +1,118 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace escra::net {
+
+const char* channel_name(Channel c) {
+  switch (c) {
+    case Channel::kCpuTelemetry: return "cpu-telemetry";
+    case Channel::kMemoryEvent: return "memory-event";
+    case Channel::kControlRpc: return "control-rpc";
+    case Channel::kRegistration: return "registration";
+  }
+  return "unknown";
+}
+
+Network::Network(sim::Simulation& sim, Config config)
+    : sim_(sim), config_(config) {}
+
+sim::Duration Network::latency_for(Channel channel) const {
+  switch (channel) {
+    case Channel::kCpuTelemetry:
+      return config_.telemetry_latency;
+    case Channel::kMemoryEvent:
+    case Channel::kControlRpc:
+    case Channel::kRegistration:
+      return config_.rpc_latency;
+  }
+  return config_.rpc_latency;
+}
+
+void Network::account(Channel channel, std::size_t bytes) {
+  auto& s = stats_[static_cast<int>(channel)];
+  ++s.messages;
+  s.bytes += bytes;
+  lifetime_bytes_ += bytes;
+  ++lifetime_messages_;
+
+  const sim::TimePoint now = sim_.now();
+  if (now - window_start_ >= config_.bandwidth_window) {
+    peak_window_bytes_ = std::max(peak_window_bytes_, window_bytes_);
+    // Snap the window boundary to a multiple of the window size so quiet
+    // gaps do not stretch a window.
+    window_start_ = now - (now % config_.bandwidth_window);
+    window_bytes_ = 0;
+  }
+  window_bytes_ += bytes;
+  peak_window_bytes_ = std::max(peak_window_bytes_, window_bytes_);
+}
+
+void Network::set_loss(double rate, sim::Rng rng) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("set_loss: rate out of [0,1)");
+  }
+  loss_rate_ = rate;
+  fault_rng_ = rng;
+}
+
+void Network::set_jitter(sim::Duration max_jitter) {
+  if (max_jitter < 0) throw std::invalid_argument("set_jitter: negative");
+  max_jitter_ = max_jitter;
+}
+
+sim::Duration Network::jitter() {
+  if (max_jitter_ <= 0 || !fault_rng_.has_value()) return 0;
+  return fault_rng_->uniform_int(0, max_jitter_);
+}
+
+void Network::send(Channel channel, std::size_t bytes,
+                   std::function<void()> on_deliver) {
+  account(channel, bytes);  // the wire carried it either way
+  if (channel == Channel::kCpuTelemetry && loss_rate_ > 0.0 &&
+      fault_rng_.has_value() && fault_rng_->chance(loss_rate_)) {
+    ++dropped_;
+    return;  // datagram lost; UDP telemetry has no retransmit
+  }
+  sim_.schedule_after(latency_for(channel) + jitter(), std::move(on_deliver));
+}
+
+void Network::rpc(std::size_t request_bytes, std::size_t response_bytes,
+                  std::function<void()> on_request_delivered,
+                  std::function<void()> on_response_delivered) {
+  account(Channel::kControlRpc, request_bytes);
+  const sim::Duration lat = latency_for(Channel::kControlRpc) + jitter();
+  sim_.schedule_after(
+      lat, [this, response_bytes, req = std::move(on_request_delivered),
+            resp = std::move(on_response_delivered)]() mutable {
+        req();
+        account(Channel::kControlRpc, response_bytes);
+        sim_.schedule_after(latency_for(Channel::kControlRpc) + jitter(),
+                            std::move(resp));
+      });
+}
+
+const ChannelStats& Network::stats(Channel channel) const {
+  static const ChannelStats kEmpty;
+  const auto it = stats_.find(static_cast<int>(channel));
+  return it == stats_.end() ? kEmpty : it->second;
+}
+
+std::uint64_t Network::total_bytes() const { return lifetime_bytes_; }
+std::uint64_t Network::total_messages() const { return lifetime_messages_; }
+
+double Network::peak_mbps() const {
+  const std::uint64_t peak = std::max(peak_window_bytes_, window_bytes_);
+  return static_cast<double>(peak) * 8.0 /
+         sim::to_seconds(config_.bandwidth_window) / 1e6;
+}
+
+double Network::mean_mbps() const {
+  const double elapsed = sim::to_seconds(sim_.now());
+  if (elapsed <= 0.0) return 0.0;
+  return static_cast<double>(lifetime_bytes_) * 8.0 / elapsed / 1e6;
+}
+
+}  // namespace escra::net

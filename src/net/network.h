@@ -1,0 +1,117 @@
+// Simulated message transport.
+//
+// Stands in for the paper's kernel TCP/UDP sockets (telemetry, OOM events)
+// and gRPC (Controller -> Agent limit updates, reclamation requests). Two
+// things matter for the reproduction and are modelled:
+//   1. one-way delivery latency, which bounds how fast the control loop can
+//      react (Escra's claims are sub-second; limit application is 100s of us),
+//   2. per-channel byte accounting, which regenerates the network-overhead
+//      microbenchmark (Section VI-I: 12.06 Mbps peak at 32 containers).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+
+namespace escra::net {
+
+// Logical traffic classes, matching the paper's transports.
+enum class Channel {
+  kCpuTelemetry,   // per-period CFS stats, UDP in the paper
+  kMemoryEvent,    // OOM events / memory requests, kernel TCP socket
+  kControlRpc,     // Controller <-> Agent gRPC (limit updates, reclamation)
+  kRegistration,   // container registration at deploy time
+};
+
+const char* channel_name(Channel c);
+
+// Counters for one traffic class.
+struct ChannelStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+// Samples of aggregate bandwidth over fixed windows, for peak-Mbps reporting.
+struct BandwidthSample {
+  sim::TimePoint window_start = 0;
+  std::uint64_t bytes = 0;
+  double mbps(sim::Duration window) const {
+    return static_cast<double>(bytes) * 8.0 / sim::to_seconds(window) / 1e6;
+  }
+};
+
+class Network {
+ public:
+  struct Config {
+    // One-way latency for datagram-style telemetry (same-rack kernel path).
+    sim::Duration telemetry_latency = sim::microseconds(80);
+    // One-way latency for RPC-style control messages.
+    sim::Duration rpc_latency = sim::microseconds(150);
+    // Window used for bandwidth sampling.
+    sim::Duration bandwidth_window = sim::milliseconds(100);
+  };
+
+  explicit Network(sim::Simulation& sim) : Network(sim, Config{}) {}
+  Network(sim::Simulation& sim, Config config);
+
+  // Sends `bytes` on `channel`; `on_deliver` runs after the channel latency.
+  void send(Channel channel, std::size_t bytes, std::function<void()> on_deliver);
+
+  // Sends a request and, once the receiver's `handler` produces a response
+  // cost in bytes, delivers `on_response` after a full round trip. Models the
+  // synchronous RPCs the Controller issues to Agents.
+  void rpc(std::size_t request_bytes, std::size_t response_bytes,
+           std::function<void()> on_request_delivered,
+           std::function<void()> on_response_delivered);
+
+  const ChannelStats& stats(Channel channel) const;
+  std::uint64_t total_bytes() const;
+  std::uint64_t total_messages() const;
+
+  // Peak bandwidth observed over any sampling window so far, in Mbps.
+  double peak_mbps() const;
+  // Mean bandwidth over the whole run so far, in Mbps.
+  double mean_mbps() const;
+
+  // --- fault injection ---
+
+  // Drops each UDP telemetry datagram independently with probability
+  // `rate`; TCP-carried traffic (memory events, registration) and RPCs are
+  // not dropped (retransmits). Used to test that the control loop tolerates
+  // lossy telemetry.
+  void set_loss(double rate, sim::Rng rng);
+  // Adds uniform random jitter in [0, max_jitter] to every delivery.
+  void set_jitter(sim::Duration max_jitter);
+  std::uint64_t dropped_messages() const { return dropped_; }
+
+  const Config& config() const { return config_; }
+  sim::Simulation& simulation() { return sim_; }
+
+ private:
+  void account(Channel channel, std::size_t bytes);
+  sim::Duration latency_for(Channel channel) const;
+  sim::Duration jitter();
+
+  sim::Simulation& sim_;
+  Config config_;
+  std::unordered_map<int, ChannelStats> stats_;
+  // Current bandwidth window accumulator.
+  sim::TimePoint window_start_ = 0;
+  std::uint64_t window_bytes_ = 0;
+  std::uint64_t peak_window_bytes_ = 0;
+  std::uint64_t lifetime_bytes_ = 0;
+  std::uint64_t lifetime_messages_ = 0;
+  double loss_rate_ = 0.0;
+  sim::Duration max_jitter_ = 0;
+  std::optional<sim::Rng> fault_rng_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace escra::net

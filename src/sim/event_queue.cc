@@ -1,0 +1,91 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace escra::sim {
+
+EventHandle Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  Event ev;
+  ev.at = at;
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.fn = std::move(fn);
+  EventHandle handle(ev.id);
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+EventHandle Simulation::schedule_after(Duration delay, std::function<void()> fn) {
+  if (delay < 0) throw std::invalid_argument("schedule_after: negative delay");
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+EventHandle Simulation::schedule_every(TimePoint start, Duration period,
+                                       std::function<void()> fn) {
+  if (period <= 0) throw std::invalid_argument("schedule_every: period <= 0");
+  if (start < now_) throw std::invalid_argument("schedule_every: start in past");
+  Event ev;
+  ev.at = start;
+  ev.seq = next_seq_++;
+  ev.id = next_id_++;
+  ev.period = period;
+  ev.fn = std::move(fn);
+  EventHandle handle(ev.id);
+  queue_.push(std::move(ev));
+  return handle;
+}
+
+void Simulation::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.push_back(handle.id_);
+  cancelled_dirty_ = true;
+}
+
+bool Simulation::run_one(TimePoint end) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.at > end) return false;
+    if (cancelled_dirty_) {
+      std::sort(cancelled_.begin(), cancelled_.end());
+      cancelled_dirty_ = false;
+    }
+    const bool is_cancelled =
+        std::binary_search(cancelled_.begin(), cancelled_.end(), top.id);
+    Event ev = queue_.top();
+    queue_.pop();
+    if (is_cancelled) continue;
+    assert(ev.at >= now_);
+    now_ = ev.at;
+    if (ev.period > 0) {
+      // Re-arm before running so the callback can cancel its own series.
+      Event next = ev;
+      next.at = ev.at + ev.period;
+      next.seq = next_seq_++;
+      queue_.push(std::move(next));
+    }
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulation::run_until(TimePoint end) {
+  std::size_t n = 0;
+  while (run_one(end)) ++n;
+  if (now_ < end) now_ = end;
+  return n;
+}
+
+std::size_t Simulation::run_all() {
+  std::size_t n = 0;
+  while (run_one(std::numeric_limits<TimePoint>::max())) ++n;
+  return n;
+}
+
+}  // namespace escra::sim

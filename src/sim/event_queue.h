@@ -1,0 +1,100 @@
+// Discrete-event simulation engine.
+//
+// Every Escra substrate (CFS bandwidth controller, memory cgroups, the
+// network, workload generators, control loops) is driven by one shared
+// `Simulation`. Events fire in (time, insertion-order) order, which makes
+// whole-cluster runs bit-for-bit reproducible for a given RNG seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace escra::sim {
+
+// Handle used to cancel a scheduled event. Cancellation is lazy: the event
+// stays in the queue but its callback is skipped when popped.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  // True if this handle refers to a scheduled (possibly already fired) event.
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class Simulation;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+// The simulation: a clock plus a priority queue of callbacks.
+class Simulation {
+ public:
+  Simulation() = default;
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  // Current simulated time.
+  TimePoint now() const { return now_; }
+
+  // Schedules `fn` to run at absolute time `at` (>= now). Returns a handle
+  // that can be passed to `cancel`.
+  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+
+  // Schedules `fn` to run `delay` microseconds from now.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+
+  // Schedules `fn` to run every `period`, first firing at `start`. The
+  // callback may call `cancel` on the returned handle to stop the series.
+  EventHandle schedule_every(TimePoint start, Duration period,
+                             std::function<void()> fn);
+
+  // Cancels a pending event (one-shot or periodic). Safe to call on invalid
+  // or already-fired handles.
+  void cancel(EventHandle handle);
+
+  // Runs events until the queue drains or the clock passes `end`. Events
+  // scheduled exactly at `end` run. Returns the number of events executed.
+  std::size_t run_until(TimePoint end);
+
+  // Runs every queued event. Only safe when nothing reschedules forever.
+  std::size_t run_all();
+
+  // Number of events currently queued (including cancelled ones not yet
+  // popped).
+  std::size_t pending_events() const { return queue_.size(); }
+
+  // Total events executed so far.
+  std::uint64_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    TimePoint at = 0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
+    std::uint64_t id = 0;
+    Duration period = 0;  // > 0 for periodic events
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  bool run_one(TimePoint end);
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted lazily on lookup
+  bool cancelled_dirty_ = false;
+};
+
+}  // namespace escra::sim

@@ -1,0 +1,122 @@
+#include "sim/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::sim {
+
+Histogram::Histogram(std::int64_t max_value, int precision_bits)
+    : precision_bits_(precision_bits),
+      sub_bucket_bits_(precision_bits),
+      max_value_(max_value) {
+  if (max_value < 1) throw std::invalid_argument("Histogram: max_value < 1");
+  if (precision_bits < 1 || precision_bits > 14) {
+    throw std::invalid_argument("Histogram: precision_bits out of range");
+  }
+  // One linear "sub-bucket" region per power-of-two magnitude.
+  const int magnitudes =
+      std::bit_width(static_cast<std::uint64_t>(max_value)) + 1;
+  buckets_.assign(static_cast<std::size_t>(magnitudes) << sub_bucket_bits_, 0);
+}
+
+std::size_t Histogram::bucket_index(std::int64_t value) const {
+  const auto v = static_cast<std::uint64_t>(value);
+  const int mag = std::bit_width(v);  // v >= 1 so mag >= 1
+  if (mag <= sub_bucket_bits_) {
+    return static_cast<std::size_t>(v);
+  }
+  const int shift = mag - sub_bucket_bits_;
+  const std::uint64_t sub = v >> shift;  // top precision bits, MSB set
+  return (static_cast<std::size_t>(mag - sub_bucket_bits_) << sub_bucket_bits_) +
+         static_cast<std::size_t>(sub);
+}
+
+std::int64_t Histogram::bucket_value(std::size_t index) const {
+  const std::size_t region = index >> sub_bucket_bits_;
+  const std::size_t sub = index & ((std::size_t{1} << sub_bucket_bits_) - 1);
+  if (region == 0) return static_cast<std::int64_t>(sub);
+  // Midpoint of the bucket range for low bias.
+  const int shift = static_cast<int>(region);
+  const std::uint64_t lo = static_cast<std::uint64_t>(sub) << shift;
+  const std::uint64_t width = std::uint64_t{1} << shift;
+  return static_cast<std::int64_t>(lo + width / 2);
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  value = std::clamp<std::int64_t>(value, 1, max_value_);
+  const std::size_t idx = bucket_index(value);
+  buckets_[std::min(idx, buckets_.size() - 1)] += n;
+  if (count_ == 0) {
+    recorded_min_ = recorded_max_ = value;
+  } else {
+    recorded_min_ = std::min(recorded_min_, value);
+    recorded_max_ = std::max(recorded_max_, value);
+  }
+  count_ += n;
+  sum_ += static_cast<double>(value) * static_cast<double>(n);
+}
+
+std::int64_t Histogram::min() const { return count_ ? recorded_min_ : 0; }
+std::int64_t Histogram::max() const { return count_ ? recorded_max_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double p) const {
+  if (count_ == 0) return 0;
+  p = std::clamp(p, 0.0, 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    cum += buckets_[i];
+    if (cum >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_value(i), recorded_min_, recorded_max_);
+    }
+  }
+  return recorded_max_;
+}
+
+double Histogram::cdf_at(std::int64_t value) const {
+  if (count_ == 0) return 0.0;
+  const std::size_t limit = bucket_index(std::clamp<std::int64_t>(value, 1, max_value_));
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i <= std::min(limit, buckets_.size() - 1); ++i) {
+    cum += buckets_[i];
+  }
+  return static_cast<double>(cum) / static_cast<double>(count_);
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.buckets_.size() != buckets_.size() ||
+      other.precision_bits_ != precision_bits_) {
+    throw std::invalid_argument("Histogram::merge: geometry mismatch");
+  }
+  for (std::size_t i = 0; i < buckets_.size(); ++i) buckets_[i] += other.buckets_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0) {
+      recorded_min_ = other.recorded_min_;
+      recorded_max_ = other.recorded_max_;
+    } else {
+      recorded_min_ = std::min(recorded_min_, other.recorded_min_);
+      recorded_max_ = std::max(recorded_max_, other.recorded_max_);
+    }
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  recorded_min_ = recorded_max_ = 0;
+  sum_ = 0.0;
+}
+
+}  // namespace escra::sim

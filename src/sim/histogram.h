@@ -1,0 +1,55 @@
+// Log-bucketed histogram for latency recording (an HdrHistogram-style
+// structure, standing in for the wrk2 latency recorder the paper uses).
+//
+// Values are bucketed with bounded relative error, so recording millions of
+// request latencies costs O(1) memory while high percentiles (99.9%) stay
+// accurate to the configured precision.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace escra::sim {
+
+class Histogram {
+ public:
+  // Records values in [1, max_value] with <= 2^-precision_bits relative
+  // error. Values outside the range are clamped.
+  explicit Histogram(std::int64_t max_value = 3'600'000'000LL,
+                     int precision_bits = 7);
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const;
+  double mean() const;
+
+  // Percentile in [0, 100]. Returns the representative value of the bucket
+  // containing that rank; 0 when empty.
+  std::int64_t percentile(double p) const;
+
+  // Fraction of recorded values <= value.
+  double cdf_at(std::int64_t value) const;
+
+  // Merges another histogram with identical geometry.
+  void merge(const Histogram& other);
+
+  void reset();
+
+ private:
+  std::size_t bucket_index(std::int64_t value) const;
+  std::int64_t bucket_value(std::size_t index) const;
+
+  int precision_bits_;
+  int sub_bucket_bits_;
+  std::int64_t max_value_;
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t recorded_min_ = 0;
+  std::int64_t recorded_max_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace escra::sim

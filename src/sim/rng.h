@@ -1,0 +1,57 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic element of an experiment (inter-arrival times, per-request
+// CPU-cost jitter, trace noise) draws from one seeded `Rng` so that a run is
+// reproducible end-to-end.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace escra::sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  // Exponential with the given rate (events per unit). Mean is 1/rate.
+  double exponential(double rate) {
+    return std::exponential_distribution<double>(rate)(engine_);
+  }
+
+  // Normal with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  // Log-normal parameterized by the mean/stddev of the underlying normal.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  // Bernoulli trial.
+  bool chance(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  // Derives an independent child generator; used to give each container or
+  // generator its own stream so adding one component does not perturb others.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace escra::sim

@@ -1,0 +1,134 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::sim {
+
+void RunningStat::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+void RunningStat::reset() { *this = RunningStat(); }
+
+SlidingWindow::SlidingWindow(std::size_t capacity) : buf_(capacity, 0.0) {
+  if (capacity == 0) throw std::invalid_argument("SlidingWindow: capacity 0");
+}
+
+void SlidingWindow::add(double x) {
+  if (size_ == buf_.size()) {
+    sum_ -= buf_[head_];
+  } else {
+    ++size_;
+  }
+  buf_[head_] = x;
+  sum_ += x;
+  head_ = (head_ + 1) % buf_.size();
+}
+
+double SlidingWindow::mean() const {
+  if (size_ == 0) return 0.0;
+  return sum_ / static_cast<double>(size_);
+}
+
+void SlidingWindow::reset() {
+  std::fill(buf_.begin(), buf_.end(), 0.0);
+  head_ = 0;
+  size_ = 0;
+  sum_ = 0.0;
+}
+
+void SampleSet::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double SampleSet::percentile(double p) const {
+  if (samples_.empty()) return 0.0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max();
+  ensure_sorted();
+  const double rank = p / 100.0 * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+double SampleSet::mean() const {
+  if (samples_.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : samples_) s += x;
+  return s / static_cast<double>(samples_.size());
+}
+
+double SampleSet::min() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.front();
+}
+
+double SampleSet::max() const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  return samples_.back();
+}
+
+double SampleSet::cdf_at(double x) const {
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> SampleSet::cdf_curve(
+    std::size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (samples_.empty() || points == 0) return curve;
+  ensure_sorted();
+  curve.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    const double frac =
+        points == 1 ? 1.0 : static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto idx = static_cast<std::size_t>(
+        frac * static_cast<double>(samples_.size() - 1));
+    curve.emplace_back(samples_[idx], frac);
+  }
+  return curve;
+}
+
+void DecayingValue::add(double t, double x) {
+  value_ = value(t) + x;
+  last_t_ = t;
+  seen_ = true;
+}
+
+double DecayingValue::value(double t) const {
+  if (!seen_) return 0.0;
+  const double dt = t - last_t_;
+  if (dt <= 0.0) return value_;
+  return value_ * std::exp2(-dt / half_life_);
+}
+
+}  // namespace escra::sim

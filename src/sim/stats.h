@@ -1,0 +1,110 @@
+// Statistics helpers used across the allocator, baselines, and the
+// experiment harness: running moments, fixed-size sliding windows (the
+// allocator's "windowed statistics" from Section IV-D1), sample sets with
+// percentile/CDF queries, and exponentially-decaying values (Autopilot).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace escra::sim {
+
+// Welford running mean/variance.
+class RunningStat {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ > 0 ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ > 0 ? min_ : 0.0; }
+  double max() const { return n_ > 0 ? max_ : 0.0; }
+  double sum() const { return sum_; }
+  void reset();
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+// Fixed-capacity sliding window over the last `n` samples with O(1) mean.
+// This is the allocator's windowed statistic: one instance tracks throttle
+// flags (0/1), another tracks unused runtime, over the last n CFS periods.
+class SlidingWindow {
+ public:
+  explicit SlidingWindow(std::size_t capacity);
+
+  void add(double x);
+  // Mean over the samples currently in the window; 0 when empty.
+  double mean() const;
+  // Sum over the samples currently in the window.
+  double sum() const { return sum_; }
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return buf_.size(); }
+  bool full() const { return size_ == buf_.size(); }
+  void reset();
+
+ private:
+  std::vector<double> buf_;
+  std::size_t head_ = 0;  // next slot to overwrite
+  std::size_t size_ = 0;
+  double sum_ = 0.0;
+};
+
+// Collects raw samples and answers percentile / CDF queries. Used for slack
+// CDFs (Figures 5 and 6) and latency distributions.
+class SampleSet {
+ public:
+  void add(double x) { samples_.push_back(x); sorted_ = false; }
+  void reserve(std::size_t n) { samples_.reserve(n); }
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  // Percentile in [0, 100] using linear interpolation between order
+  // statistics. Returns 0 for an empty set.
+  double percentile(double p) const;
+  double median() const { return percentile(50.0); }
+  double mean() const;
+  double min() const;
+  double max() const;
+
+  // Evaluates the empirical CDF at `x`: fraction of samples <= x.
+  double cdf_at(double x) const;
+
+  // Returns (value, cumulative-fraction) pairs at `points` evenly spaced
+  // quantiles, suitable for printing a CDF curve.
+  std::vector<std::pair<double, double>> cdf_curve(std::size_t points) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+  void clear() { samples_.clear(); sorted_ = false; }
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+// Exponentially-decaying weight, the building block of Autopilot's
+// moving-window recommenders: weight of a sample aged `dt` is 2^(-dt/half_life).
+class DecayingValue {
+ public:
+  explicit DecayingValue(double half_life) : half_life_(half_life) {}
+
+  // Adds `x` observed at time `t` (monotonically nondecreasing).
+  void add(double t, double x);
+  // Decayed value as of time `t`.
+  double value(double t) const;
+  double half_life() const { return half_life_; }
+
+ private:
+  double half_life_;
+  double value_ = 0.0;
+  double last_t_ = 0.0;
+  bool seen_ = false;
+};
+
+}  // namespace escra::sim

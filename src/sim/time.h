@@ -1,0 +1,44 @@
+// Simulated-time primitives shared by every Escra module.
+//
+// All simulated timestamps and durations are integer microseconds. Integer
+// time keeps the discrete-event engine deterministic (no FP drift in event
+// ordering) while being fine enough to express the sub-millisecond control
+// actions the paper reports (limit application "on the order of 100s of
+// microseconds", Section III).
+#pragma once
+
+#include <cstdint>
+
+namespace escra::sim {
+
+// A point in simulated time, in microseconds since simulation start.
+using TimePoint = std::int64_t;
+
+// A span of simulated time, in microseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1'000'000;
+inline constexpr Duration kMinute = 60 * kSecond;
+
+// Convenience literal-style constructors. `milliseconds(2.5)` is allowed and
+// truncates toward zero after scaling.
+constexpr Duration microseconds(std::int64_t us) { return us; }
+constexpr Duration milliseconds(std::int64_t ms) { return ms * kMillisecond; }
+constexpr Duration seconds(std::int64_t s) { return s * kSecond; }
+constexpr Duration milliseconds_f(double ms) {
+  return static_cast<Duration>(ms * static_cast<double>(kMillisecond));
+}
+constexpr Duration seconds_f(double s) {
+  return static_cast<Duration>(s * static_cast<double>(kSecond));
+}
+
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+}  // namespace escra::sim

@@ -1,0 +1,79 @@
+#include "workload/load_generator.h"
+
+#include <stdexcept>
+#include <utility>
+
+namespace escra::workload {
+
+LoadGenerator::LoadGenerator(sim::Simulation& sim,
+                             std::unique_ptr<ArrivalProcess> arrivals,
+                             Launcher launcher, sim::Duration timeout)
+    : sim_(sim),
+      arrivals_(std::move(arrivals)),
+      launcher_(std::move(launcher)),
+      timeout_(timeout) {
+  if (!arrivals_) throw std::invalid_argument("LoadGenerator: null arrivals");
+  if (!launcher_) throw std::invalid_argument("LoadGenerator: null launcher");
+  if (timeout_ <= 0) throw std::invalid_argument("LoadGenerator: bad timeout");
+}
+
+LoadGenerator::~LoadGenerator() { stop(); }
+
+void LoadGenerator::run(sim::TimePoint at, sim::TimePoint until) {
+  if (until <= at) throw std::invalid_argument("LoadGenerator: empty window");
+  started_at_ = at;
+  measure_from_ = at;
+  stop_at_ = until;
+  running_ = true;
+  next_event_ = sim_.schedule_at(at, [this] { issue_next(); });
+}
+
+void LoadGenerator::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(next_event_);
+}
+
+void LoadGenerator::issue_next() {
+  if (!running_) return;
+  const sim::TimePoint now = sim_.now();
+  if (now >= stop_at_) {
+    running_ = false;
+    return;
+  }
+  ++issued_;
+  const sim::TimePoint intended = now;
+  launcher_([this, intended](bool ok) {
+    if (sim_.now() < measure_from_) return;  // warmup trim
+    if (sim_.now() - intended > timeout_) {
+      // The client gave up before this response arrived.
+      ++failed_;
+      ++timed_out_;
+      return;
+    }
+    if (ok) {
+      ++succeeded_;
+      latency_.record(std::max<sim::TimePoint>(1, sim_.now() - intended));
+    } else {
+      ++failed_;
+    }
+  });
+  next_event_ =
+      sim_.schedule_after(arrivals_->next_gap(now), [this] { issue_next(); });
+}
+
+double LoadGenerator::throughput_rps() const {
+  const sim::Duration window = stop_at_ - std::max(started_at_, measure_from_);
+  if (window <= 0) return 0.0;
+  return static_cast<double>(succeeded_) / sim::to_seconds(window);
+}
+
+void LoadGenerator::reset_measurements() {
+  measure_from_ = sim_.now();
+  succeeded_ = 0;
+  failed_ = 0;
+  issued_ = 0;
+  latency_.reset();
+}
+
+}  // namespace escra::workload

@@ -1,0 +1,78 @@
+// Open-loop load generator with coordinated-omission-free latency recording
+// (the role wrk2 plays in the paper's testbed).
+//
+// Arrivals are scheduled from the arrival process independently of request
+// completions, so a slow system accumulates queueing — the behaviour that
+// separates Escra from laggy autoscalers under bursts. Latency is measured
+// from the *intended* arrival time. Failed requests (dropped by an OOM kill
+// or rejected by a restarting container) count against throughput and are
+// excluded from the latency distribution, mirroring wrk2's handling of
+// errored requests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/event_queue.h"
+#include "sim/histogram.h"
+#include "sim/time.h"
+#include "workload/arrivals.h"
+
+namespace escra::workload {
+
+class LoadGenerator {
+ public:
+  // Completion continuation handed to the application with each request.
+  using Done = std::function<void(bool ok)>;
+  // The system under test: must eventually invoke the continuation.
+  using Launcher = std::function<void(Done done)>;
+
+  // `timeout`: a request not completed within it is recorded as failed (the
+  // wrk2 client gives up), and its eventual completion is ignored.
+  LoadGenerator(sim::Simulation& sim, std::unique_ptr<ArrivalProcess> arrivals,
+                Launcher launcher, sim::Duration timeout = sim::seconds(4));
+  ~LoadGenerator();
+
+  LoadGenerator(const LoadGenerator&) = delete;
+  LoadGenerator& operator=(const LoadGenerator&) = delete;
+
+  // Starts issuing requests at `at` and stops issuing after `until`
+  // (in-flight requests still complete and are recorded).
+  void run(sim::TimePoint at, sim::TimePoint until);
+  void stop();
+
+  // --- results ---
+  std::uint64_t issued() const { return issued_; }
+  std::uint64_t succeeded() const { return succeeded_; }
+  std::uint64_t failed() const { return failed_; }
+  std::uint64_t timed_out() const { return timed_out_; }
+  // Successful requests per second of issue window.
+  double throughput_rps() const;
+  // Latency distribution of successful requests, microseconds.
+  const sim::Histogram& latency() const { return latency_; }
+
+  // Ignores results recorded before `t` (used to trim warmup).
+  void reset_measurements();
+
+ private:
+  void issue_next();
+
+  sim::Simulation& sim_;
+  std::unique_ptr<ArrivalProcess> arrivals_;
+  Launcher launcher_;
+  sim::Duration timeout_;
+  sim::TimePoint stop_at_ = 0;
+  sim::TimePoint started_at_ = 0;
+  sim::TimePoint measure_from_ = 0;
+  bool running_ = false;
+  sim::EventHandle next_event_;
+
+  std::uint64_t issued_ = 0;
+  std::uint64_t succeeded_ = 0;
+  std::uint64_t failed_ = 0;
+  std::uint64_t timed_out_ = 0;
+  sim::Histogram latency_;
+};
+
+}  // namespace escra::workload

@@ -1,0 +1,153 @@
+#include "core/accounting.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+
+namespace escra::core {
+namespace {
+
+using memcg::kGiB;
+using memcg::kMiB;
+using sim::seconds;
+
+struct Rig {
+  sim::Simulation sim;
+  cluster::Cluster k8s{sim};
+  cluster::Node& node = k8s.add_node({});
+  UsageAccountant accountant{sim};
+
+  cluster::Container& make(const std::string& name, double cores,
+                           memcg::Bytes mem) {
+    cluster::ContainerSpec s;
+    s.name = name;
+    s.base_memory = 512 * kMiB;
+    return k8s.create_container(std::move(s), cores, mem);
+  }
+};
+
+TEST(UsageAccountantTest, ValidatesArguments) {
+  sim::Simulation sim;
+  EXPECT_THROW(UsageAccountant(sim, 0), std::invalid_argument);
+  Rig rig;
+  cluster::Container& c = rig.make("a", 1.0, kGiB);
+  EXPECT_THROW(rig.accountant.track(c, ""), std::invalid_argument);
+}
+
+TEST(UsageAccountantTest, ReservedIntegralFollowsLimits) {
+  Rig rig;
+  cluster::Container& c = rig.make("a", 2.0, kGiB);
+  rig.accountant.track(c, "tenant-a");
+  rig.sim.run_until(seconds(10));
+  const UsageBill& bill = rig.accountant.bill("tenant-a");
+  // 2 cores reserved for 10 s = 20 core-seconds.
+  EXPECT_NEAR(bill.cpu_core_seconds_reserved, 20.0, 0.5);
+  // 1 GiB reserved for 10 s.
+  EXPECT_NEAR(bill.mem_gib_seconds_reserved, 10.0, 0.5);
+  EXPECT_EQ(bill.samples, 10u);
+}
+
+TEST(UsageAccountantTest, UsedIntegralFollowsConsumption) {
+  Rig rig;
+  cluster::Container& c = rig.make("a", 1.0, kGiB);
+  rig.accountant.track(c, "tenant-a");
+  c.submit(seconds(4), 0, nullptr);  // 4 core-seconds of work at 1 core
+  rig.sim.run_until(seconds(10));
+  const UsageBill& bill = rig.accountant.bill("tenant-a");
+  EXPECT_NEAR(bill.cpu_core_seconds_used, 4.0, 0.3);
+  // Memory used: 512 MiB base for 10 s = 5 GiB-s.
+  EXPECT_NEAR(bill.mem_gib_seconds_used, 5.0, 0.3);
+  EXPECT_NEAR(bill.cpu_utilization(), 0.4, 0.05);
+}
+
+TEST(UsageAccountantTest, BillsAggregatePerTenant) {
+  Rig rig;
+  cluster::Container& a = rig.make("a", 1.0, kGiB);
+  cluster::Container& b = rig.make("b", 3.0, kGiB);
+  cluster::Container& other = rig.make("c", 1.0, kGiB);
+  rig.accountant.track(a, "alpha");
+  rig.accountant.track(b, "alpha");
+  rig.accountant.track(other, "beta");
+  rig.sim.run_until(seconds(5));
+  EXPECT_NEAR(rig.accountant.bill("alpha").cpu_core_seconds_reserved, 20.0, 1.0);
+  EXPECT_NEAR(rig.accountant.bill("beta").cpu_core_seconds_reserved, 5.0, 0.5);
+  EXPECT_EQ(rig.accountant.tenants().size(), 2u);
+}
+
+TEST(UsageAccountantTest, UnknownTenantBillIsZero) {
+  Rig rig;
+  const UsageBill& bill = rig.accountant.bill("ghost");
+  EXPECT_DOUBLE_EQ(bill.cpu_core_seconds_reserved, 0.0);
+  EXPECT_DOUBLE_EQ(bill.cost_reserved(1.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(bill.cpu_utilization(), 0.0);
+}
+
+TEST(UsageAccountantTest, UntrackStopsMetering) {
+  Rig rig;
+  cluster::Container& c = rig.make("a", 2.0, kGiB);
+  rig.accountant.track(c, "t");
+  rig.sim.run_until(seconds(5));
+  rig.accountant.untrack(c.id());
+  EXPECT_FALSE(rig.accountant.tracking(c.id()));
+  const double frozen = rig.accountant.bill("t").cpu_core_seconds_reserved;
+  rig.sim.run_until(seconds(10));
+  EXPECT_DOUBLE_EQ(rig.accountant.bill("t").cpu_core_seconds_reserved, frozen);
+}
+
+TEST(UsageAccountantTest, CostModels) {
+  UsageBill bill;
+  bill.cpu_core_seconds_used = 10.0;
+  bill.cpu_core_seconds_reserved = 40.0;
+  bill.mem_gib_seconds_used = 5.0;
+  bill.mem_gib_seconds_reserved = 20.0;
+  EXPECT_DOUBLE_EQ(bill.cost_reserved(0.01, 0.001), 0.4 + 0.02);
+  EXPECT_DOUBLE_EQ(bill.cost_used(0.01, 0.001), 0.1 + 0.005);
+  EXPECT_DOUBLE_EQ(bill.cpu_utilization(), 0.25);
+  EXPECT_DOUBLE_EQ(bill.mem_utilization(), 0.25);
+}
+
+// The Section VII story: under Escra the reserved integral tracks the used
+// integral, so reservation-billed cost approaches usage-billed cost.
+TEST(UsageAccountantTest, EscraShrinksReservationBill) {
+  sim::Simulation sim;
+  net::Network net(sim);
+  cluster::Cluster k8s(sim);
+  k8s.add_node({});
+  UsageAccountant accountant(sim);
+
+  cluster::ContainerSpec spec;
+  spec.name = "svc";
+  spec.base_memory = 128 * kMiB;
+  // Static container: 4 cores / 1 GiB reserved, mostly idle.
+  cluster::Container& fixed = k8s.create_container(spec, 4.0, kGiB);
+  // Escra-managed twin with the same light load.
+  cluster::Container& managed = k8s.create_container(spec, 4.0, kGiB);
+  core::EscraSystem escra(sim, net, k8s, 8.0, 4 * kGiB);
+  escra.adopt(managed);
+  escra.start();
+
+  accountant.track(fixed, "static");
+  accountant.track(managed, "escra");
+  sim.schedule_every(sim::kSecond, sim::kSecond, [&] {
+    fixed.submit(sim::milliseconds(100), 4 * kMiB, nullptr);   // ~0.1 cores
+    managed.submit(sim::milliseconds(100), 4 * kMiB, nullptr);
+  });
+  sim.run_until(seconds(60));
+
+  const UsageBill& static_bill = accountant.bill("static");
+  const UsageBill& escra_bill = accountant.bill("escra");
+  // Same work...
+  EXPECT_NEAR(static_bill.cpu_core_seconds_used,
+              escra_bill.cpu_core_seconds_used, 1.0);
+  // ...but the Escra reservation is a fraction of the static one.
+  EXPECT_LT(escra_bill.cpu_core_seconds_reserved,
+            0.4 * static_bill.cpu_core_seconds_reserved);
+  EXPECT_LT(escra_bill.mem_gib_seconds_reserved,
+            0.5 * static_bill.mem_gib_seconds_reserved);
+  EXPECT_GT(escra_bill.cpu_utilization(), static_bill.cpu_utilization());
+}
+
+}  // namespace
+}  // namespace escra::core

@@ -1,0 +1,260 @@
+#include "core/allocator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace escra::core {
+namespace {
+
+using memcg::kGiB;
+using memcg::kMiB;
+using memcg::kPageSize;
+using sim::milliseconds;
+
+constexpr sim::Duration kPeriod = milliseconds(100);
+
+CpuStatsMsg stats(std::uint32_t id, double quota_cores, double unused_cores,
+                  bool throttled) {
+  CpuStatsMsg m;
+  m.cgroup = id;
+  m.quota = static_cast<sim::Duration>(quota_cores * kPeriod);
+  m.unused = static_cast<sim::Duration>(unused_cores * kPeriod);
+  m.throttled = throttled;
+  return m;
+}
+
+struct Rig {
+  EscraConfig config;
+  DistributedContainer app{8.0, 4 * kGiB};
+  ResourceAllocator alloc;
+
+  explicit Rig(EscraConfig c = {}) : config(c), alloc(config, app) {}
+};
+
+// ------------------------------------------------------------------- CPU path
+
+TEST(AllocatorCpuTest, UnknownContainerIgnored) {
+  Rig rig;
+  EXPECT_FALSE(rig.alloc.on_cpu_stats(stats(9, 1.0, 0.0, true)).has_value());
+}
+
+TEST(AllocatorCpuTest, ThrottleScalesUpFromPool) {
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 256 * kMiB);
+  const auto decision = rig.alloc.on_cpu_stats(stats(1, 1.0, 0.0, true));
+  ASSERT_TRUE(decision.has_value());
+  EXPECT_GT(*decision, 1.0);
+  EXPECT_DOUBLE_EQ(rig.app.member_cores(1), *decision);
+  EXPECT_EQ(rig.alloc.cpu_scale_ups(), 1u);
+}
+
+TEST(AllocatorCpuTest, ScaleUpGrantBoundedByCurrentAllocation) {
+  // The stabilized Section IV-D1 rule: one grant adds at most 2x the
+  // current allocation (the limit at most triples per period) even when
+  // the pool is much larger.
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 256 * kMiB);
+  const auto d = rig.alloc.on_cpu_stats(stats(1, 1.0, 0.0, true));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LE(*d, 3.0 + 1e-9);
+  EXPECT_GT(*d, 1.0);
+}
+
+TEST(AllocatorCpuTest, ScaleUpClampedByGlobalLimit) {
+  Rig rig;
+  rig.alloc.register_container(1, 7.5, 256 * kMiB);
+  rig.alloc.register_container(2, 0.5, 256 * kMiB);
+  // Pool is empty: the throttled container cannot grow.
+  EXPECT_FALSE(rig.alloc.on_cpu_stats(stats(1, 7.5, 0.0, true)).has_value());
+  EXPECT_DOUBLE_EQ(rig.app.cpu_unallocated(), 0.0);
+}
+
+TEST(AllocatorCpuTest, SustainedThrottlingGrowsGeometrically) {
+  Rig rig;
+  rig.alloc.register_container(1, 0.1, 256 * kMiB);
+  double current = 0.1;
+  for (int i = 0; i < 6; ++i) {
+    const auto d = rig.alloc.on_cpu_stats(stats(1, current, 0.0, true));
+    if (d.has_value()) current = *d;
+  }
+  // 0.1 doubles each period until the pool (8 cores) binds.
+  EXPECT_GT(current, 3.0);
+  EXPECT_LE(current, 8.0 + 1e-9);
+}
+
+TEST(AllocatorCpuTest, ScaleDownRequiresGammaUnused) {
+  EscraConfig cfg;
+  cfg.gamma = 0.2;
+  Rig rig(cfg);
+  rig.alloc.register_container(1, 2.0, 256 * kMiB);
+  // Unused below gamma: no action.
+  EXPECT_FALSE(rig.alloc.on_cpu_stats(stats(1, 2.0, 0.1, false)).has_value());
+  // Unused above gamma: scale down fires.
+  const auto d = rig.alloc.on_cpu_stats(stats(1, 2.0, 1.0, false));
+  ASSERT_TRUE(d.has_value());
+  EXPECT_LT(*d, 2.0);
+  EXPECT_EQ(rig.alloc.cpu_scale_downs(), 1u);
+}
+
+TEST(AllocatorCpuTest, ScaleDownRemovesKappaOfWindowedMean) {
+  EscraConfig cfg;
+  cfg.kappa = 0.8;
+  cfg.gamma = 0.2;
+  cfg.window_periods = 5;
+  Rig rig(cfg);
+  rig.alloc.register_container(1, 4.0, 256 * kMiB);
+  // Usage pinned at 3.0 cores while the limit walks down: unused runtime is
+  // whatever the current quota leaves above 3.0.
+  std::optional<double> d;
+  double current = 4.0;
+  for (int i = 0; i < 8; ++i) {
+    d = rig.alloc.on_cpu_stats(stats(1, current, current - 3.0, false));
+    if (d.has_value()) current = *d;
+  }
+  // Converges to the anti-oscillation floor: usage + gamma headroom.
+  EXPECT_LT(current, 4.0);
+  EXPECT_NEAR(current, 3.0 + rig.config.gamma, 0.15);
+  EXPECT_GE(current, 3.0);  // never below last usage
+}
+
+TEST(AllocatorCpuTest, ScaleDownNeverBelowLastUsagePlusHeadroom) {
+  Rig rig;
+  rig.alloc.register_container(1, 4.0, 256 * kMiB);
+  // Usage 3.8 of 4.0: unused 0.2... just at gamma, then a big-unused period.
+  rig.alloc.on_cpu_stats(stats(1, 4.0, 3.0, false));
+  const auto d = rig.alloc.on_cpu_stats(stats(1, 4.0, 0.5, false));
+  if (d.has_value()) {
+    // used_last = 3.5; floor = 3.5 + min(3.5, 0.2).
+    EXPECT_GE(*d, 3.7 - 1e-9);
+  }
+}
+
+TEST(AllocatorCpuTest, IdleContainerFallsToFloor) {
+  EscraConfig cfg;
+  cfg.min_cores = 0.05;
+  Rig rig(cfg);
+  rig.alloc.register_container(1, 2.0, 256 * kMiB);
+  double current = 2.0;
+  for (int i = 0; i < 50; ++i) {
+    const auto d = rig.alloc.on_cpu_stats(stats(1, current, current, false));
+    if (d.has_value()) current = *d;
+  }
+  EXPECT_NEAR(current, cfg.min_cores, 1e-9);
+}
+
+TEST(AllocatorCpuTest, FreedCapacityReturnsToPool) {
+  Rig rig;
+  rig.alloc.register_container(1, 6.0, 256 * kMiB);
+  rig.alloc.register_container(2, 2.0, 256 * kMiB);
+  EXPECT_DOUBLE_EQ(rig.app.cpu_unallocated(), 0.0);
+  double current = 6.0;
+  for (int i = 0; i < 30; ++i) {
+    const auto d = rig.alloc.on_cpu_stats(stats(1, current, current, false));
+    if (d.has_value()) current = *d;
+  }
+  EXPECT_GT(rig.app.cpu_unallocated(), 5.0);
+  // Container 2 can now scale up into what container 1 released: the
+  // cross-container sharing a Distributed Container exists to provide.
+  const auto d2 = rig.alloc.on_cpu_stats(stats(2, 2.0, 0.0, true));
+  ASSERT_TRUE(d2.has_value());
+  EXPECT_GT(*d2, 2.0);
+}
+
+TEST(AllocatorCpuTest, DeregisterReleasesEverything) {
+  Rig rig;
+  rig.alloc.register_container(1, 5.0, kGiB);
+  rig.alloc.deregister_container(1);
+  EXPECT_DOUBLE_EQ(rig.app.cpu_unallocated(), 8.0);
+  EXPECT_EQ(rig.app.mem_unallocated(), 4 * kGiB);
+  EXPECT_FALSE(rig.alloc.knows(1));
+  EXPECT_NO_THROW(rig.alloc.deregister_container(1));
+}
+
+// ---------------------------------------------------------------- memory path
+
+OomEventMsg oom(std::uint32_t id, memcg::Bytes shortfall) {
+  OomEventMsg e;
+  e.container = id;
+  e.attempted_charge = shortfall;
+  e.shortfall = shortfall;
+  return e;
+}
+
+TEST(AllocatorMemTest, GrantFromAvailablePool) {
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 256 * kMiB);
+  const auto d = rig.alloc.on_oom_event(oom(1, 10 * kMiB));
+  EXPECT_EQ(d.action, ResourceAllocator::MemAction::kGrant);
+  // Grant covers the page-rounded shortfall plus the fixed block.
+  EXPECT_EQ(d.new_limit, 256 * kMiB + 10 * kMiB + rig.config.oom_grant);
+  EXPECT_EQ(rig.app.member_mem(1), d.new_limit);
+  EXPECT_EQ(rig.alloc.mem_grants(), 1u);
+}
+
+TEST(AllocatorMemTest, ShortfallRoundedUpToPages) {
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 256 * kMiB);
+  const auto d = rig.alloc.on_oom_event(oom(1, 100));  // odd size
+  EXPECT_EQ(d.new_limit, 256 * kMiB + kPageSize + rig.config.oom_grant);
+}
+
+TEST(AllocatorMemTest, PartialGrantWhenPoolNearlyDry) {
+  Rig rig;
+  // One container holds nearly all memory; pool = 20 MiB.
+  rig.alloc.register_container(1, 1.0, 4 * kGiB - 20 * kMiB);
+  const auto d = rig.alloc.on_oom_event(oom(1, 8 * kMiB));
+  EXPECT_EQ(d.action, ResourceAllocator::MemAction::kGrant);
+  EXPECT_EQ(d.new_limit, 4 * kGiB);  // all of what remained
+}
+
+TEST(AllocatorMemTest, DryPoolAsksForReclamation) {
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 4 * kGiB);
+  const auto d = rig.alloc.on_oom_event(oom(1, 10 * kMiB));
+  EXPECT_EQ(d.action, ResourceAllocator::MemAction::kReclaimThenRetry);
+  EXPECT_EQ(rig.alloc.mem_grants(), 0u);
+}
+
+TEST(AllocatorMemTest, PostReclaimFailureDenies) {
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 4 * kGiB);
+  const auto d = rig.alloc.on_oom_event(oom(1, 10 * kMiB), /*post_reclaim=*/true);
+  EXPECT_EQ(d.action, ResourceAllocator::MemAction::kDeny);
+  EXPECT_EQ(rig.alloc.mem_denies(), 1u);
+}
+
+TEST(AllocatorMemTest, UnknownContainerDenied) {
+  Rig rig;
+  const auto d = rig.alloc.on_oom_event(oom(77, kMiB));
+  EXPECT_EQ(d.action, ResourceAllocator::MemAction::kDeny);
+}
+
+TEST(AllocatorMemTest, ReclaimSyncShrinksShadowAndRefillsPool) {
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 2 * kGiB);
+  rig.alloc.on_reclaimed(1, 512 * kMiB);
+  EXPECT_EQ(rig.app.member_mem(1), 512 * kMiB);
+  EXPECT_EQ(rig.app.mem_unallocated(), 4 * kGiB - 512 * kMiB);
+  // Stale reclaim reports for deregistered containers are ignored.
+  rig.alloc.deregister_container(1);
+  EXPECT_NO_THROW(rig.alloc.on_reclaimed(1, kMiB));
+}
+
+TEST(AllocatorMemTest, ReclaimThenGrantEndToEnd) {
+  Rig rig;
+  rig.alloc.register_container(1, 1.0, 3 * kGiB);
+  rig.alloc.register_container(2, 1.0, kGiB);
+  // Pool dry; container 2 OOMs.
+  auto d = rig.alloc.on_oom_event(oom(2, 32 * kMiB));
+  ASSERT_EQ(d.action, ResourceAllocator::MemAction::kReclaimThenRetry);
+  // The controller reclaims from container 1 (e.g. down to 1 GiB)...
+  rig.alloc.on_reclaimed(1, kGiB);
+  // ...and retries: now the grant succeeds.
+  d = rig.alloc.on_oom_event(oom(2, 32 * kMiB), /*post_reclaim=*/true);
+  EXPECT_EQ(d.action, ResourceAllocator::MemAction::kGrant);
+  EXPECT_GT(d.new_limit, kGiB);
+}
+
+}  // namespace
+}  // namespace escra::core

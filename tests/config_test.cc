@@ -1,0 +1,244 @@
+#include <gtest/gtest.h>
+
+#include "config/app_config.h"
+#include "config/yaml.h"
+
+namespace escra::config {
+namespace {
+
+// -------------------------------------------------------------- YAML parser
+
+TEST(YamlTest, EmptyDocumentIsEmptyMap) {
+  const YamlNode doc = YamlNode::parse("");
+  EXPECT_TRUE(doc.is_map());
+  EXPECT_EQ(doc.size(), 0u);
+}
+
+TEST(YamlTest, FlatMapping) {
+  const YamlNode doc = YamlNode::parse("name: escra\ncount: 7\nratio: 0.5\n");
+  EXPECT_EQ(doc.at("name").as_string(), "escra");
+  EXPECT_EQ(doc.at("count").as_int(), 7);
+  EXPECT_DOUBLE_EQ(doc.at("ratio").as_double(), 0.5);
+}
+
+TEST(YamlTest, NestedMapping) {
+  const YamlNode doc = YamlNode::parse(
+      "limits:\n"
+      "  cpu_cores: 12\n"
+      "  memory_mib: 4096\n"
+      "name: x\n");
+  EXPECT_TRUE(doc.at("limits").is_map());
+  EXPECT_EQ(doc.at("limits").at("memory_mib").as_int(), 4096);
+  EXPECT_EQ(doc.at("name").as_string(), "x");
+}
+
+TEST(YamlTest, ScalarList) {
+  const YamlNode doc = YamlNode::parse("items:\n  - a\n  - b\n  - c\n");
+  const YamlNode& items = doc.at("items");
+  ASSERT_TRUE(items.is_list());
+  ASSERT_EQ(items.size(), 3u);
+  EXPECT_EQ(items[0].as_string(), "a");
+  EXPECT_EQ(items[2].as_string(), "c");
+}
+
+TEST(YamlTest, ListOfMaps) {
+  const YamlNode doc = YamlNode::parse(
+      "services:\n"
+      "  - name: webui\n"
+      "    replicas: 2\n"
+      "  - name: auth\n"
+      "    replicas: 1\n");
+  const YamlNode& services = doc.at("services");
+  ASSERT_EQ(services.size(), 2u);
+  EXPECT_EQ(services[0].at("name").as_string(), "webui");
+  EXPECT_EQ(services[0].at("replicas").as_int(), 2);
+  EXPECT_EQ(services[1].at("name").as_string(), "auth");
+}
+
+TEST(YamlTest, CommentsAndBlanksIgnored) {
+  const YamlNode doc = YamlNode::parse(
+      "# header comment\n"
+      "\n"
+      "key: value  # trailing comment\n"
+      "other: 'has # inside quotes'\n");
+  EXPECT_EQ(doc.at("key").as_string(), "value");
+  EXPECT_EQ(doc.at("other").as_string(), "has # inside quotes");
+}
+
+TEST(YamlTest, QuotedStrings) {
+  const YamlNode doc =
+      YamlNode::parse("a: \"hello: world\"\nb: 'single'\n");
+  EXPECT_EQ(doc.at("a").as_string(), "hello: world");
+  EXPECT_EQ(doc.at("b").as_string(), "single");
+}
+
+TEST(YamlTest, Booleans) {
+  const YamlNode doc = YamlNode::parse("x: true\ny: no\n");
+  EXPECT_TRUE(doc.at("x").as_bool());
+  EXPECT_FALSE(doc.at("y").as_bool());
+  EXPECT_THROW(doc.at("x").as_int(), std::runtime_error);
+}
+
+TEST(YamlTest, TypedDefaults) {
+  const YamlNode doc = YamlNode::parse("present: 3\n");
+  EXPECT_EQ(doc.get_int("present", 0), 3);
+  EXPECT_EQ(doc.get_int("absent", 42), 42);
+  EXPECT_DOUBLE_EQ(doc.get_double("absent", 1.5), 1.5);
+  EXPECT_EQ(doc.get_string("absent", "d"), "d");
+}
+
+TEST(YamlTest, Errors) {
+  EXPECT_THROW(YamlNode::parse("key: 1\nkey: 2\n"), ParseError);  // duplicate
+  EXPECT_THROW(YamlNode::parse("\tkey: 1\n"), ParseError);        // tab indent
+  EXPECT_THROW(YamlNode::parse("just a scalar line\n"), ParseError);
+  const YamlNode doc = YamlNode::parse("k: v\n");
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+  EXPECT_THROW(doc.at("k").as_double(), std::runtime_error);
+  EXPECT_THROW(doc[0], std::runtime_error);  // not a list
+}
+
+TEST(YamlTest, ParseErrorCarriesLineNumber) {
+  try {
+    YamlNode::parse("ok: 1\nbroken line\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(YamlTest, DocumentMarkerSkipped) {
+  const YamlNode doc = YamlNode::parse("---\nkey: v\n");
+  EXPECT_EQ(doc.at("key").as_string(), "v");
+}
+
+TEST(YamlTest, MissingFileThrows) {
+  EXPECT_THROW(load_yaml_file("/nonexistent/path.yaml"), std::runtime_error);
+}
+
+// -------------------------------------------------------------- AppConfig
+
+constexpr const char* kMinimalApp = R"(
+name: demo
+limits:
+  cpu_cores: 8
+  memory_mib: 2048
+services:
+  - name: front
+    replicas: 2
+    cpu_per_visit_ms: 3.5
+  - name: back
+edges:
+  - from: front
+    to: back
+    probability: 0.7
+)";
+
+TEST(AppConfigTest, ParsesMinimalApplication) {
+  const AppConfig cfg = load_app_config(kMinimalApp);
+  EXPECT_EQ(cfg.name, "demo");
+  EXPECT_DOUBLE_EQ(cfg.global_cpu_cores, 8.0);
+  EXPECT_EQ(cfg.global_mem, 2048 * memcg::kMiB);
+  ASSERT_EQ(cfg.graph.services.size(), 2u);
+  EXPECT_EQ(cfg.graph.services[0].name, "front");
+  EXPECT_EQ(cfg.graph.services[0].replicas, 2);
+  EXPECT_EQ(cfg.graph.services[0].cpu_per_visit, sim::milliseconds_f(3.5));
+  EXPECT_EQ(cfg.graph.services[1].replicas, 1);  // default
+  ASSERT_EQ(cfg.graph.edges.size(), 1u);
+  EXPECT_EQ(cfg.graph.edges[0].from, 0u);
+  EXPECT_EQ(cfg.graph.edges[0].to, 1u);
+  EXPECT_DOUBLE_EQ(cfg.graph.edges[0].probability, 0.7);
+  // Paper-default tunables when the escra block is absent.
+  EXPECT_DOUBLE_EQ(cfg.escra.kappa, 0.8);
+  EXPECT_DOUBLE_EQ(cfg.escra.upsilon, 20.0);
+}
+
+TEST(AppConfigTest, EscraBlockOverridesTunables) {
+  const AppConfig cfg = load_app_config(R"(
+name: tuned
+limits:
+  cpu_cores: 4
+  memory_mib: 1024
+escra:
+  kappa: 0.5
+  gamma: 0.1
+  upsilon: 35
+  delta_mib: 25
+  sigma: 0.3
+  report_period_ms: 50
+  window_periods: 10
+services:
+  - name: only
+)");
+  EXPECT_DOUBLE_EQ(cfg.escra.kappa, 0.5);
+  EXPECT_DOUBLE_EQ(cfg.escra.gamma, 0.1);
+  EXPECT_DOUBLE_EQ(cfg.escra.upsilon, 35.0);
+  EXPECT_EQ(cfg.escra.delta, 25 * memcg::kMiB);
+  EXPECT_DOUBLE_EQ(cfg.escra.sigma, 0.3);
+  EXPECT_EQ(cfg.escra.cfs_period, sim::milliseconds(50));
+  EXPECT_EQ(cfg.escra.window_periods, 10u);
+}
+
+TEST(AppConfigTest, RejectsInvalidConfigs) {
+  // No services.
+  EXPECT_THROW(load_app_config("name: x\nlimits:\n  cpu_cores: 1\n"
+                               "  memory_mib: 64\n"),
+               std::runtime_error);
+  // Unknown edge endpoint.
+  EXPECT_THROW(load_app_config(R"(
+limits:
+  cpu_cores: 1
+  memory_mib: 64
+services:
+  - name: a
+edges:
+  - from: a
+    to: ghost
+)"),
+               std::runtime_error);
+  // Duplicate service name.
+  EXPECT_THROW(load_app_config(R"(
+limits:
+  cpu_cores: 1
+  memory_mib: 64
+services:
+  - name: a
+  - name: a
+)"),
+               std::runtime_error);
+  // Missing limits.
+  EXPECT_THROW(load_app_config("services:\n  - name: a\n"), std::runtime_error);
+  // Nonpositive limits.
+  EXPECT_THROW(load_app_config("limits:\n  cpu_cores: 0\n  memory_mib: 64\n"
+                               "services:\n  - name: a\n"),
+               std::runtime_error);
+}
+
+TEST(AppConfigTest, BackwardEdgeRejectedByGraphValidation) {
+  EXPECT_THROW(load_app_config(R"(
+limits:
+  cpu_cores: 1
+  memory_mib: 64
+services:
+  - name: a
+  - name: b
+edges:
+  - from: b
+    to: a
+)"),
+               std::invalid_argument);
+}
+
+TEST(AppConfigTest, ShippedConfigsLoad) {
+  // The repository's example configuration files must stay valid.
+  for (const char* file : {"/configs/teastore.yaml", "/configs/hipster_shop.yaml"}) {
+    const std::string path = std::string(ESCRA_SOURCE_DIR) + file;
+    SCOPED_TRACE(path);
+    AppConfig cfg;
+    ASSERT_NO_THROW(cfg = load_app_config_file(path));
+    EXPECT_GT(cfg.graph.total_containers(), 0u);
+    EXPECT_GT(cfg.global_cpu_cores, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace escra::config

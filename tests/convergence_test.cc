@@ -1,0 +1,169 @@
+// Property suite: the Escra control loop must converge — not oscillate,
+// starve, or leak pool — across the tunable space and across demand shapes.
+// Each case runs a small end-to-end system (real scheduler, real telemetry
+// path) and checks steady-state properties rather than exact values.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "sim/stats.h"
+
+namespace escra {
+namespace {
+
+using memcg::kGiB;
+using memcg::kMiB;
+using sim::milliseconds;
+using sim::seconds;
+
+struct Params {
+  double kappa;
+  double gamma;
+  double upsilon;
+  std::size_t window;
+};
+
+std::string param_name(const ::testing::TestParamInfo<Params>& info) {
+  const Params& p = info.param;
+  return "k" + std::to_string(static_cast<int>(p.kappa * 10)) + "_g" +
+         std::to_string(static_cast<int>(p.gamma * 100)) + "_y" +
+         std::to_string(static_cast<int>(p.upsilon)) + "_n" +
+         std::to_string(p.window);
+}
+
+class ConvergenceTest : public ::testing::TestWithParam<Params> {
+ protected:
+  core::EscraConfig make_config() const {
+    core::EscraConfig cfg;
+    cfg.kappa = GetParam().kappa;
+    cfg.gamma = GetParam().gamma;
+    cfg.upsilon = GetParam().upsilon;
+    cfg.window_periods = GetParam().window;
+    return cfg;
+  }
+};
+
+// A container with constant demand must settle: limit within
+// [demand, demand + gamma + slop] and no throttling once converged.
+TEST_P(ConvergenceTest, ConstantDemandSettles) {
+  sim::Simulation sim;
+  net::Network net(sim);
+  cluster::Cluster k8s(sim);
+  k8s.add_node({.cores = 16.0});
+  cluster::ContainerSpec spec;
+  spec.name = "steady";
+  spec.max_parallelism = 4.0;
+  cluster::Container& c = k8s.create_container(spec, 1.0, 512 * kMiB);
+  core::EscraSystem escra(sim, net, k8s, 8.0, 2 * kGiB, make_config());
+  escra.manage({&c});
+  escra.start();
+
+  // Constant ~2.0 cores of demand (two saturated lanes).
+  sim.schedule_every(milliseconds(10), milliseconds(10), [&] {
+    while (c.queue_depth() < 2) c.submit(seconds(5), 0, nullptr);
+  });
+
+  sim.run_until(seconds(10));  // convergence window
+  sim::SampleSet limits;
+  const auto before_throttles = c.cpu_cgroup().throttle_count();
+  sim.schedule_every(sim.now() + milliseconds(100), milliseconds(100),
+                     [&] { limits.add(c.cpu_cgroup().limit_cores()); });
+  sim.run_until(seconds(30));
+
+  const double gamma = GetParam().gamma;
+  EXPECT_GE(limits.min(), 2.0 - 0.05) << "never below demand";
+  EXPECT_LE(limits.percentile(95), 2.0 + 2.0 * gamma + 0.3)
+      << "settles near demand + headroom";
+  // Once converged, throttles are rare (a couple per 20 s at most).
+  EXPECT_LE(c.cpu_cgroup().throttle_count() - before_throttles, 8u);
+}
+
+// A step change in demand must be followed within a bounded number of
+// periods, in both directions.
+TEST_P(ConvergenceTest, StepChangeTracksWithinABound) {
+  sim::Simulation sim;
+  net::Network net(sim);
+  cluster::Cluster k8s(sim);
+  k8s.add_node({.cores = 16.0});
+  cluster::ContainerSpec spec;
+  spec.name = "step";
+  spec.max_parallelism = 6.0;
+  cluster::Container& c = k8s.create_container(spec, 1.0, 512 * kMiB);
+  core::EscraSystem escra(sim, net, k8s, 10.0, 2 * kGiB, make_config());
+  escra.manage({&c});
+  escra.start();
+
+  int lanes = 1;
+  sim.schedule_every(milliseconds(10), milliseconds(10), [&] {
+    while (c.queue_depth() < static_cast<std::size_t>(lanes)) {
+      c.submit(seconds(5), 0, nullptr);
+    }
+  });
+  sim.run_until(seconds(10));
+  lanes = 4;  // step up
+  sim.run_until(seconds(15));
+  EXPECT_GE(c.cpu_cgroup().limit_cores(), 3.8)
+      << "scale-up reached the new demand within 5 s";
+  lanes = 1;  // step down: the queue drains, then demand is 1 core
+  sim.run_until(seconds(30));
+  EXPECT_LE(c.cpu_cgroup().limit_cores(), 1.0 + 2.0 * GetParam().gamma + 0.4)
+      << "scale-down released the excess within 10 s";
+}
+
+// The Distributed Container invariant and pool conservation hold through
+// the whole run: allocated <= limit and allocated = sum(members).
+TEST_P(ConvergenceTest, PoolConservation) {
+  sim::Simulation sim;
+  net::Network net(sim);
+  cluster::Cluster k8s(sim);
+  k8s.add_node({.cores = 16.0});
+  std::vector<cluster::Container*> containers;
+  for (int i = 0; i < 4; ++i) {
+    cluster::ContainerSpec spec;
+    spec.name = "c" + std::to_string(i);
+    spec.max_parallelism = 4.0;
+    containers.push_back(&k8s.create_container(spec, 1.0, 256 * kMiB));
+  }
+  core::EscraSystem escra(sim, net, k8s, 6.0, 2 * kGiB, make_config());
+  escra.manage(containers);
+  escra.start();
+
+  // Rotating demand: each second a different container is the hot one.
+  sim.schedule_every(milliseconds(10), milliseconds(10), [&] {
+    const auto hot = static_cast<std::size_t>(
+        (sim.now() / seconds(1)) % containers.size());
+    while (containers[hot]->queue_depth() < 3) {
+      containers[hot]->submit(seconds(2), kMiB, nullptr);
+    }
+  });
+
+  bool ok = true;
+  sim.schedule_every(milliseconds(100), milliseconds(100), [&] {
+    double sum = 0.0;
+    for (const cluster::Container* c : containers) {
+      sum += escra.app().member_cores(c->id());
+    }
+    if (std::abs(sum - escra.app().cpu_allocated()) > 1e-6) ok = false;
+    if (escra.app().cpu_allocated() > escra.app().cpu_limit() + 1e-6) ok = false;
+    if (escra.app().cpu_unallocated() < -1e-6) ok = false;
+  });
+  sim.run_until(seconds(30));
+  EXPECT_TRUE(ok) << "pool accounting drifted";
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TunableGrid, ConvergenceTest,
+    ::testing::Values(Params{0.8, 0.2, 20.0, 5},    // paper defaults
+                      Params{0.8, 0.2, 35.0, 5},    // serverless Y
+                      Params{0.5, 0.2, 20.0, 5},    // gentle scale-down
+                      Params{1.0, 0.2, 20.0, 5},    // full scale-down
+                      Params{0.8, 0.05, 20.0, 5},   // tight headroom
+                      Params{0.8, 0.5, 20.0, 5},    // loose headroom
+                      Params{0.8, 0.2, 20.0, 1},    // no smoothing
+                      Params{0.8, 0.2, 20.0, 20},   // heavy smoothing
+                      Params{0.8, 0.2, 60.0, 3}),   // aggressive everything
+    param_name);
+
+}  // namespace
+}  // namespace escra

@@ -1,0 +1,169 @@
+#include "core/distributed_container.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/rng.h"
+
+namespace escra::core {
+namespace {
+
+using memcg::kGiB;
+using memcg::kMiB;
+
+TEST(DistributedContainerTest, ConstructionValidatesLimits) {
+  EXPECT_THROW(DistributedContainer(0.0, kGiB), std::invalid_argument);
+  EXPECT_THROW(DistributedContainer(4.0, 0), std::invalid_argument);
+  DistributedContainer dc(8.0, 4 * kGiB);
+  EXPECT_DOUBLE_EQ(dc.cpu_limit(), 8.0);
+  EXPECT_EQ(dc.mem_limit(), 4 * kGiB);
+  EXPECT_DOUBLE_EQ(dc.cpu_allocated(), 0.0);
+  EXPECT_EQ(dc.mem_allocated(), 0);
+}
+
+TEST(DistributedContainerTest, AddMemberCommitsAgainstPool) {
+  DistributedContainer dc(8.0, 4 * kGiB);
+  dc.add_member(1, 2.0, kGiB);
+  dc.add_member(2, 3.0, kGiB);
+  EXPECT_DOUBLE_EQ(dc.cpu_allocated(), 5.0);
+  EXPECT_DOUBLE_EQ(dc.cpu_unallocated(), 3.0);
+  EXPECT_EQ(dc.mem_allocated(), 2 * kGiB);
+  EXPECT_EQ(dc.member_count(), 2u);
+  EXPECT_TRUE(dc.is_member(1));
+  EXPECT_FALSE(dc.is_member(3));
+}
+
+TEST(DistributedContainerTest, OverCommitAtAddThrows) {
+  DistributedContainer dc(4.0, kGiB);
+  dc.add_member(1, 3.0, 512 * kMiB);
+  EXPECT_THROW(dc.add_member(2, 2.0, kMiB), std::invalid_argument);
+  EXPECT_THROW(dc.add_member(3, 0.5, kGiB), std::invalid_argument);
+  // Failed adds must not corrupt state.
+  EXPECT_DOUBLE_EQ(dc.cpu_allocated(), 3.0);
+  EXPECT_EQ(dc.member_count(), 1u);
+}
+
+TEST(DistributedContainerTest, DuplicateMemberThrows) {
+  DistributedContainer dc(4.0, kGiB);
+  dc.add_member(1, 1.0, kMiB);
+  EXPECT_THROW(dc.add_member(1, 1.0, kMiB), std::invalid_argument);
+}
+
+TEST(DistributedContainerTest, RemoveReturnsLimitsToPool) {
+  DistributedContainer dc(8.0, 4 * kGiB);
+  dc.add_member(1, 2.0, kGiB);
+  dc.add_member(2, 3.0, kGiB);
+  dc.remove_member(1);
+  EXPECT_DOUBLE_EQ(dc.cpu_allocated(), 3.0);
+  EXPECT_EQ(dc.mem_allocated(), kGiB);
+  EXPECT_FALSE(dc.is_member(1));
+  EXPECT_THROW(dc.remove_member(1), std::invalid_argument);
+}
+
+TEST(DistributedContainerTest, SetMemberCoresMovesAllocation) {
+  DistributedContainer dc(8.0, kGiB);
+  dc.add_member(1, 2.0, kMiB);
+  const double applied = dc.set_member_cores(1, 5.0);
+  EXPECT_DOUBLE_EQ(applied, 5.0);
+  EXPECT_DOUBLE_EQ(dc.member_cores(1), 5.0);
+  EXPECT_DOUBLE_EQ(dc.cpu_unallocated(), 3.0);
+}
+
+TEST(DistributedContainerTest, RuntimeEnforcementClampsToGlobal) {
+  // The defining Distributed Container behaviour: a raise is clamped so the
+  // application aggregate never exceeds the global limit (Section III).
+  DistributedContainer dc(8.0, kGiB);
+  dc.add_member(1, 2.0, 256 * kMiB);
+  dc.add_member(2, 4.0, 256 * kMiB);
+  const double applied = dc.set_member_cores(1, 100.0);
+  EXPECT_DOUBLE_EQ(applied, 4.0);  // 8 - 4 already held by member 2
+  EXPECT_DOUBLE_EQ(dc.cpu_allocated(), 8.0);
+  EXPECT_DOUBLE_EQ(dc.cpu_unallocated(), 0.0);
+
+  const memcg::Bytes mem_applied = dc.set_member_mem(1, 10 * kGiB);
+  EXPECT_EQ(mem_applied, kGiB - 256 * kMiB);
+  EXPECT_EQ(dc.mem_allocated(), dc.mem_limit());
+}
+
+TEST(DistributedContainerTest, LoweringAlwaysAllowed) {
+  DistributedContainer dc(8.0, kGiB);
+  dc.add_member(1, 8.0, kGiB);
+  EXPECT_DOUBLE_EQ(dc.set_member_cores(1, 0.5), 0.5);
+  EXPECT_EQ(dc.set_member_mem(1, 64 * kMiB), 64 * kMiB);
+  EXPECT_DOUBLE_EQ(dc.cpu_unallocated(), 7.5);
+}
+
+TEST(DistributedContainerTest, NegativeTargetClampsToZero) {
+  DistributedContainer dc(8.0, kGiB);
+  dc.add_member(1, 2.0, kMiB);
+  EXPECT_DOUBLE_EQ(dc.set_member_cores(1, -5.0), 0.0);
+  EXPECT_EQ(dc.set_member_mem(1, -100), 0);
+}
+
+TEST(DistributedContainerTest, UnknownMemberQueriesThrow) {
+  DistributedContainer dc(8.0, kGiB);
+  EXPECT_THROW(dc.member_cores(42), std::invalid_argument);
+  EXPECT_THROW(dc.member_mem(42), std::invalid_argument);
+  EXPECT_THROW(dc.set_member_cores(42, 1.0), std::invalid_argument);
+  EXPECT_THROW(dc.set_member_mem(42, kMiB), std::invalid_argument);
+}
+
+// Property suite: under arbitrary interleavings of add/remove/resize, the
+// class invariant 0 <= allocated <= global must hold for both resources, and
+// allocated must equal the sum of member shadow limits.
+class DistributedContainerPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DistributedContainerPropertyTest, InvariantHoldsUnderRandomOps) {
+  sim::Rng rng(GetParam());
+  DistributedContainer dc(16.0, 8 * kGiB);
+  std::vector<std::uint32_t> members;
+  std::uint32_t next_id = 1;
+
+  for (int op = 0; op < 3000; ++op) {
+    const int kind = static_cast<int>(rng.uniform_int(0, 3));
+    if (kind == 0) {
+      // Add with a pool-feasible grant.
+      const double cores = rng.uniform(0.0, std::max(0.0, dc.cpu_unallocated()));
+      const auto mem = static_cast<memcg::Bytes>(
+          rng.uniform(0.0, static_cast<double>(dc.mem_unallocated())));
+      dc.add_member(next_id, cores, mem);
+      members.push_back(next_id++);
+    } else if (kind == 1 && !members.empty()) {
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(members.size()) - 1));
+      dc.remove_member(members[i]);
+      members.erase(members.begin() + static_cast<std::ptrdiff_t>(i));
+    } else if (!members.empty()) {
+      const std::size_t i = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(members.size()) - 1));
+      if (kind == 2) {
+        dc.set_member_cores(members[i], rng.uniform(-1.0, 20.0));
+      } else {
+        dc.set_member_mem(members[i],
+                          static_cast<memcg::Bytes>(
+                              rng.uniform(-1e9, 1e10)));
+      }
+    }
+
+    // Invariants.
+    ASSERT_GE(dc.cpu_allocated(), -1e-9);
+    ASSERT_LE(dc.cpu_allocated(), dc.cpu_limit() + 1e-6);
+    ASSERT_GE(dc.mem_allocated(), 0);
+    ASSERT_LE(dc.mem_allocated(), dc.mem_limit());
+    double cpu_sum = 0.0;
+    memcg::Bytes mem_sum = 0;
+    for (const std::uint32_t m : members) {
+      cpu_sum += dc.member_cores(m);
+      mem_sum += dc.member_mem(m);
+    }
+    ASSERT_NEAR(cpu_sum, dc.cpu_allocated(), 1e-6);
+    ASSERT_EQ(mem_sum, dc.mem_allocated());
+    ASSERT_EQ(members.size(), dc.member_count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DistributedContainerPropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace escra::core

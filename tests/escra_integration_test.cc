@@ -1,0 +1,231 @@
+// End-to-end integration and property tests: a full application under Escra
+// on a multi-node cluster, checking the paper's headline behaviours — the
+// Distributed Container invariant at runtime, zero OOM kills, limit tracking,
+// cross-node resource sharing, and reclamation.
+#include <gtest/gtest.h>
+
+#include "app/benchmarks.h"
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "sim/rng.h"
+#include "workload/load_generator.h"
+
+namespace escra {
+namespace {
+
+using memcg::kGiB;
+using memcg::kMiB;
+using sim::milliseconds;
+using sim::seconds;
+
+struct Rig {
+  sim::Simulation sim;
+  net::Network net{sim};
+  cluster::Cluster k8s{sim};
+  std::unique_ptr<app::Application> application;
+  std::unique_ptr<core::EscraSystem> escra;
+
+  Rig(app::GraphSpec graph, double global_cpu, memcg::Bytes global_mem,
+      int nodes = 3, core::EscraConfig cfg = {}) {
+    for (int i = 0; i < nodes; ++i) k8s.add_node({});
+    application = std::make_unique<app::Application>(
+        k8s, std::move(graph), sim::Rng(7), 1.0, 512 * kMiB);
+    escra = std::make_unique<core::EscraSystem>(sim, net, k8s, global_cpu,
+                                                global_mem, cfg);
+    escra->manage(application->containers());
+    escra->start();
+  }
+};
+
+TEST(EscraIntegrationTest, InvariantHoldsThroughoutARun) {
+  Rig rig(app::make_teastore(), 12.0, 8 * kGiB);
+  workload::LoadGenerator gen(
+      rig.sim, std::make_unique<workload::ExpArrivals>(200.0, sim::Rng(3)),
+      [&](workload::LoadGenerator::Done done) {
+        rig.application->submit_request(std::move(done));
+      });
+  gen.run(seconds(5), seconds(35));
+
+  bool violated = false;
+  rig.sim.schedule_every(milliseconds(100), milliseconds(100), [&] {
+    // The Distributed Container runtime invariant: the sum of actual cgroup
+    // limits never exceeds the global application limits.
+    double cpu_sum = 0.0;
+    memcg::Bytes mem_sum = 0;
+    for (const cluster::Container* c : rig.application->containers()) {
+      cpu_sum += c->cpu_cgroup().limit_cores();
+      mem_sum += c->mem_cgroup().limit();
+    }
+    // In-flight limit-update RPCs can momentarily leave cgroups above the
+    // shadow state, but never above the global limit plus one grant.
+    if (cpu_sum > rig.escra->app().cpu_limit() + 1e-6) violated = true;
+    if (mem_sum > rig.escra->app().mem_limit()) violated = true;
+  });
+  rig.sim.run_until(seconds(40));
+  EXPECT_FALSE(violated);
+  EXPECT_GT(gen.succeeded(), 5000u);
+}
+
+TEST(EscraIntegrationTest, ZeroOomKillsUnderMemoryPressure) {
+  // Section VI-E: "In all 32 experiments, Escra experienced zero OOMs."
+  Rig rig(app::make_teastore(), 12.0, 6 * kGiB);
+  workload::LoadGenerator gen(
+      rig.sim, std::make_unique<workload::ExpArrivals>(250.0, sim::Rng(4)),
+      [&](workload::LoadGenerator::Done done) {
+        rig.application->submit_request(std::move(done));
+      });
+  gen.run(seconds(5), seconds(35));
+  rig.sim.run_until(seconds(40));
+  std::uint64_t oom_kills = 0;
+  for (const cluster::Container* c : rig.application->containers()) {
+    oom_kills += c->oom_kill_count();
+  }
+  EXPECT_EQ(oom_kills, 0u);
+  EXPECT_EQ(gen.failed(), 0u);
+}
+
+TEST(EscraIntegrationTest, LimitsTrackUsageWithinTightBand) {
+  Rig rig(app::make_teastore(), 12.0, 8 * kGiB);
+  workload::LoadGenerator gen(
+      rig.sim, std::make_unique<workload::FixedArrivals>(200.0),
+      [&](workload::LoadGenerator::Done done) {
+        rig.application->submit_request(std::move(done));
+      });
+  gen.run(seconds(5), seconds(40));
+  // After convergence, per-container CPU slack should be a fraction of a
+  // core at the median (the paper's ~0.1-0.3 core medians).
+  sim::SampleSet slack;
+  std::vector<sim::Duration> prev(rig.application->containers().size(), 0);
+  rig.sim.schedule_every(seconds(1), seconds(1), [&] {
+    if (rig.sim.now() < seconds(20)) return;
+    const auto& cs = rig.application->containers();
+    for (std::size_t i = 0; i < cs.size(); ++i) {
+      const sim::Duration consumed = cs[i]->cpu_cgroup().total_consumed();
+      const double used = static_cast<double>(consumed - prev[i]) / 1e6;
+      prev[i] = consumed;
+      slack.add(cs[i]->cpu_cgroup().limit_cores() - used);
+    }
+  });
+  rig.sim.run_until(seconds(20));
+  // Prime the prev[] counters before measurement starts.
+  rig.sim.run_until(seconds(40));
+  EXPECT_LT(slack.percentile(50), 0.6);
+}
+
+TEST(EscraIntegrationTest, IdleApplicationShrinksToFloors) {
+  Rig rig(app::make_teastore(), 12.0, 8 * kGiB);
+  rig.sim.run_until(seconds(30));  // no load at all (background only)
+  for (const cluster::Container* c : rig.application->containers()) {
+    EXPECT_LT(c->cpu_cgroup().limit_cores(), 0.6) << c->name();
+    // Memory reclaimed to usage + delta.
+    EXPECT_LE(c->mem_cgroup().slack(), 52 * kMiB) << c->name();
+  }
+  EXPECT_GT(rig.escra->app().cpu_unallocated(), 9.0);
+}
+
+TEST(EscraIntegrationTest, ResourcesShiftBetweenContainersAtRuntime) {
+  // The Distributed Container's reason to exist (Section VI-C): when one
+  // container goes idle and another is throttled, capacity moves — without
+  // redeployment and within the same global limit.
+  app::GraphSpec g;
+  g.name = "shift";
+  app::ServiceSpec a;
+  a.name = "phase-a";
+  a.cpu_per_visit = milliseconds(5);
+  a.cpu_jitter_sigma = 0.0;
+  a.startup_cpu = 0;
+  a.background_cpu_per_sec = 0;
+  a.gc_cpu = 0;
+  app::ServiceSpec b = a;
+  b.name = "phase-b";
+  g.services = {a, b};
+  // No edges: requests to each service injected directly below.
+  Rig rig(std::move(g), /*global_cpu=*/3.0, 4 * kGiB, /*nodes=*/2);
+
+  cluster::Container* ca = rig.application->service_containers(0)[0];
+  cluster::Container* cb = rig.application->service_containers(1)[0];
+
+  // Phase 1: only A is loaded.
+  rig.sim.schedule_every(milliseconds(10), milliseconds(10), [&] {
+    if (rig.sim.now() < seconds(20)) {
+      ca->submit(milliseconds(20), kMiB, nullptr);  // ~2 cores of demand
+    } else {
+      cb->submit(milliseconds(20), kMiB, nullptr);
+    }
+  });
+  rig.sim.run_until(seconds(19));
+  const double a_limit_loaded = ca->cpu_cgroup().limit_cores();
+  EXPECT_GT(a_limit_loaded, 1.2) << "A holds most of the 3-core budget";
+
+  // Phase 2: load moves to B; within seconds the budget follows.
+  rig.sim.run_until(seconds(40));
+  EXPECT_GT(cb->cpu_cgroup().limit_cores(), 1.2);
+  EXPECT_LT(ca->cpu_cgroup().limit_cores(), 0.7);
+  EXPECT_LE(ca->cpu_cgroup().limit_cores() + cb->cpu_cgroup().limit_cores(),
+            3.0 + 1e-6);
+}
+
+TEST(EscraIntegrationTest, OomRescueUnderConcurrentPressure) {
+  // Several containers outgrow their reclaimed limits at once; every one of
+  // them must be rescued from the sigma-withheld pool / reclamation.
+  app::GraphSpec g;
+  g.name = "memhog";
+  for (int i = 0; i < 4; ++i) {
+    app::ServiceSpec s;
+    s.name = "hog" + std::to_string(i);
+    s.cpu_per_visit = milliseconds(3);
+    s.cpu_jitter_sigma = 0.0;
+    s.mem_per_visit = 80 * kMiB;  // > delta: outruns the reclaimed margin
+    s.startup_cpu = 0;
+    s.background_cpu_per_sec = 0;
+    s.gc_cpu = 0;
+    g.services.push_back(s);
+  }
+  g.edges = {{0, 1, 1.0}, {0, 2, 1.0}, {0, 3, 1.0}};
+  Rig rig(std::move(g), 8.0, 4 * kGiB);
+  rig.sim.run_until(seconds(6));  // one reclamation pass: limits near usage
+
+  int failures = 0, ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    rig.application->submit_request([&](bool o) { o ? ++ok : ++failures; });
+  }
+  rig.sim.run_until(seconds(12));
+  EXPECT_EQ(failures, 0);
+  EXPECT_EQ(ok, 50);
+  EXPECT_GT(rig.escra->controller().oom_rescues(), 0u);
+  std::uint64_t kills = 0;
+  for (const cluster::Container* c : rig.application->containers()) {
+    kills += c->oom_kill_count();
+  }
+  EXPECT_EQ(kills, 0u);
+}
+
+TEST(EscraIntegrationTest, TelemetryVolumeMatchesContainerCountAndPeriod) {
+  Rig rig(app::make_teastore(), 12.0, 8 * kGiB);
+  rig.sim.run_until(seconds(10));
+  // 7 containers x 10 periods/s x 10 s = 700 messages (+- edge effects).
+  const auto msgs = rig.net.stats(net::Channel::kCpuTelemetry).messages;
+  EXPECT_NEAR(static_cast<double>(msgs), 700.0, 30.0);
+}
+
+TEST(EscraIntegrationTest, DeterministicForFixedSeed) {
+  auto run_once = [] {
+    Rig rig(app::make_teastore(), 12.0, 8 * kGiB);
+    workload::LoadGenerator gen(
+        rig.sim, std::make_unique<workload::ExpArrivals>(150.0, sim::Rng(5)),
+        [&](workload::LoadGenerator::Done done) {
+          rig.application->submit_request(std::move(done));
+        });
+    gen.run(0, seconds(10));
+    rig.sim.run_until(seconds(12));
+    return std::tuple(gen.succeeded(), gen.failed(),
+                      rig.escra->controller().stats_received(),
+                      rig.escra->controller().limit_updates_sent(),
+                      rig.net.total_bytes());
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+}  // namespace
+}  // namespace escra

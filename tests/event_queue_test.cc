@@ -1,0 +1,169 @@
+#include "sim/event_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+namespace escra::sim {
+namespace {
+
+TEST(SimulationTest, StartsAtTimeZero) {
+  Simulation sim;
+  EXPECT_EQ(sim.now(), 0);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.executed_events(), 0u);
+}
+
+TEST(SimulationTest, RunsEventAtScheduledTime) {
+  Simulation sim;
+  TimePoint fired_at = -1;
+  sim.schedule_at(milliseconds(5), [&] { fired_at = sim.now(); });
+  sim.run_until(milliseconds(10));
+  EXPECT_EQ(fired_at, milliseconds(5));
+}
+
+TEST(SimulationTest, ClockAdvancesToEndEvenWithoutEvents) {
+  Simulation sim;
+  sim.run_until(seconds(3));
+  EXPECT_EQ(sim.now(), seconds(3));
+}
+
+TEST(SimulationTest, EventsFireInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.schedule_at(milliseconds(30), [&] { order.push_back(3); });
+  sim.schedule_at(milliseconds(10), [&] { order.push_back(1); });
+  sim.schedule_at(milliseconds(20), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimulationTest, SameTimeEventsFireInInsertionOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(milliseconds(7), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SimulationTest, ScheduleAfterIsRelativeToNow) {
+  Simulation sim;
+  TimePoint fired_at = -1;
+  sim.schedule_at(seconds(1), [&] {
+    sim.schedule_after(milliseconds(250), [&] { fired_at = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired_at, seconds(1) + milliseconds(250));
+}
+
+TEST(SimulationTest, SchedulingInThePastThrows) {
+  Simulation sim;
+  sim.schedule_at(seconds(1), [] {});
+  sim.run_until(seconds(2));
+  EXPECT_THROW(sim.schedule_at(seconds(1), [] {}), std::invalid_argument);
+  EXPECT_THROW(sim.schedule_after(-1, [] {}), std::invalid_argument);
+}
+
+TEST(SimulationTest, RunUntilDoesNotRunLaterEvents) {
+  Simulation sim;
+  bool early = false;
+  bool late = false;
+  sim.schedule_at(seconds(1), [&] { early = true; });
+  sim.schedule_at(seconds(3), [&] { late = true; });
+  sim.run_until(seconds(2));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(sim.now(), seconds(2));
+  sim.run_until(seconds(3));  // events exactly at the boundary run
+  EXPECT_TRUE(late);
+}
+
+TEST(SimulationTest, PeriodicEventRepeats) {
+  Simulation sim;
+  int count = 0;
+  sim.schedule_every(seconds(1), seconds(1), [&] { ++count; });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(SimulationTest, PeriodicEventCanCancelItself) {
+  Simulation sim;
+  int count = 0;
+  EventHandle handle;
+  handle = sim.schedule_every(seconds(1), seconds(1), [&] {
+    if (++count == 3) sim.cancel(handle);
+  });
+  sim.run_until(seconds(10));
+  EXPECT_EQ(count, 3);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  const EventHandle h = sim.schedule_at(seconds(1), [&] { fired = true; });
+  sim.cancel(h);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelInvalidHandleIsSafe) {
+  Simulation sim;
+  sim.cancel(EventHandle{});  // default handle: no-op
+  sim.schedule_at(1, [] {});
+  EXPECT_NO_THROW(sim.run_all());
+}
+
+TEST(SimulationTest, CancelAfterFireIsSafe) {
+  Simulation sim;
+  const EventHandle h = sim.schedule_at(1, [] {});
+  sim.run_all();
+  EXPECT_NO_THROW(sim.cancel(h));
+  sim.schedule_at(sim.now() + 1, [] {});
+  EXPECT_EQ(sim.run_all(), 1u);
+}
+
+TEST(SimulationTest, EventsCanScheduleMoreEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) sim.schedule_after(1, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run_all();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), 99);
+}
+
+TEST(SimulationTest, RunUntilReturnsExecutedCount) {
+  Simulation sim;
+  for (int i = 0; i < 5; ++i) sim.schedule_at(i, [] {});
+  EXPECT_EQ(sim.run_until(seconds(1)), 5u);
+  EXPECT_EQ(sim.executed_events(), 5u);
+}
+
+TEST(SimulationTest, ZeroPeriodThrows) {
+  Simulation sim;
+  EXPECT_THROW(sim.schedule_every(0, 0, [] {}), std::invalid_argument);
+}
+
+TEST(SimulationTest, ManyInterleavedTimersKeepRelativeOrder) {
+  Simulation sim;
+  std::vector<std::pair<TimePoint, int>> log;
+  sim.schedule_every(10, 10, [&] { log.emplace_back(sim.now(), 0); });
+  sim.schedule_every(15, 15, [&] { log.emplace_back(sim.now(), 1); });
+  sim.run_until(100);
+  for (std::size_t i = 1; i < log.size(); ++i) {
+    EXPECT_LE(log[i - 1].first, log[i].first);
+  }
+  // 10 firings of the 10-tick timer, 6 of the 15-tick timer.
+  int zeros = 0, ones = 0;
+  for (const auto& [t, id] : log) (id == 0 ? zeros : ones)++;
+  EXPECT_EQ(zeros, 10);
+  EXPECT_EQ(ones, 6);
+}
+
+}  // namespace
+}  // namespace escra::sim

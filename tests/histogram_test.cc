@@ -1,0 +1,156 @@
+#include "sim/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace escra::sim {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValueExactlyRecoverable) {
+  Histogram h;
+  h.record(42);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 42);
+  EXPECT_EQ(h.max(), 42);
+  EXPECT_EQ(h.percentile(50), 42);
+  EXPECT_EQ(h.percentile(100), 42);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  // Values below 2^precision_bits land in unit-width buckets.
+  Histogram h(1000000, 7);
+  for (std::int64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.percentile(1), 1);
+  EXPECT_EQ(h.percentile(50), 50);
+  EXPECT_EQ(h.percentile(100), 100);
+}
+
+TEST(HistogramTest, BoundedRelativeError) {
+  Histogram h(3'600'000'000LL, 7);
+  Rng rng(3);
+  std::vector<std::int64_t> values;
+  for (int i = 0; i < 20000; ++i) {
+    values.push_back(static_cast<std::int64_t>(rng.uniform(1.0, 1e9)));
+    h.record(values.back());
+  }
+  std::sort(values.begin(), values.end());
+  for (const double p : {50.0, 90.0, 99.0, 99.9}) {
+    const auto idx = static_cast<std::size_t>(
+        p / 100.0 * static_cast<double>(values.size() - 1));
+    const double exact = static_cast<double>(values[idx]);
+    const double approx = static_cast<double>(h.percentile(p));
+    EXPECT_NEAR(approx / exact, 1.0, 0.02) << "p=" << p;
+  }
+}
+
+TEST(HistogramTest, MeanIsExactRegardlessOfBuckets) {
+  Histogram h;
+  h.record(100);
+  h.record(300);
+  EXPECT_DOUBLE_EQ(h.mean(), 200.0);
+}
+
+TEST(HistogramTest, ClampsOutOfRangeValues) {
+  Histogram h(1000, 7);
+  h.record(0);       // below 1
+  h.record(-50);     // negative
+  h.record(999999);  // above max
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min(), 1);
+  EXPECT_EQ(h.max(), 1000);
+}
+
+TEST(HistogramTest, RecordNCountsWeight) {
+  Histogram h;
+  h.record_n(10, 99);
+  h.record_n(1000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.percentile(50), 10);
+  EXPECT_GT(h.percentile(99.9), 500);
+}
+
+TEST(HistogramTest, CdfAtIsMonotone) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 5000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.exponential(1e-5)));
+  }
+  double prev = 0.0;
+  for (std::int64_t v = 1; v < 1000000; v *= 3) {
+    const double c = h.cdf_at(v);
+    EXPECT_GE(c, prev);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(3'600'000'000LL), 1.0);
+}
+
+TEST(HistogramTest, MergeCombinesDistributions) {
+  Histogram a, b;
+  for (int i = 0; i < 100; ++i) a.record(10);
+  for (int i = 0; i < 100; ++i) b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 200u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+  EXPECT_EQ(a.percentile(25), 10);
+  EXPECT_GT(a.percentile(75), 500);
+}
+
+TEST(HistogramTest, MergeGeometryMismatchThrows) {
+  Histogram a(1000, 7);
+  Histogram b(1000000, 7);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(HistogramTest, ResetClearsEverything) {
+  Histogram h;
+  h.record(5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(50), 0);
+}
+
+TEST(HistogramTest, InvalidConstructionThrows) {
+  EXPECT_THROW(Histogram(0, 7), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 0), std::invalid_argument);
+  EXPECT_THROW(Histogram(1000, 20), std::invalid_argument);
+}
+
+class HistogramPercentileTest : public ::testing::TestWithParam<double> {};
+
+// Percentile queries must bracket the true order statistic for a known
+// deterministic series across the whole percentile range.
+TEST_P(HistogramPercentileTest, BracketsTrueOrderStatistic) {
+  Histogram h;
+  std::vector<std::int64_t> values;
+  for (std::int64_t v = 1; v <= 10000; ++v) {
+    values.push_back(v * 17);  // spread across bucket magnitudes
+    h.record(v * 17);
+  }
+  const double p = GetParam();
+  const auto idx = static_cast<std::size_t>(
+      p / 100.0 * static_cast<double>(values.size() - 1));
+  const double exact = static_cast<double>(values[idx]);
+  const double approx = static_cast<double>(h.percentile(p));
+  EXPECT_NEAR(approx / exact, 1.0, 0.02) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(Range, HistogramPercentileTest,
+                         ::testing::Values(1.0, 10.0, 25.0, 50.0, 75.0, 90.0,
+                                           99.0, 99.9, 100.0));
+
+}  // namespace
+}  // namespace escra::sim

@@ -1,0 +1,149 @@
+#include "memcg/mem_cgroup.h"
+
+#include <gtest/gtest.h>
+
+namespace escra::memcg {
+namespace {
+
+TEST(MemCgroupTest, ChargeWithinLimitSucceeds) {
+  MemCgroup cg(1, 100 * kMiB);
+  EXPECT_EQ(cg.try_charge(60 * kMiB), ChargeResult::kOk);
+  EXPECT_EQ(cg.usage(), 60 * kMiB);
+  EXPECT_EQ(cg.slack(), 40 * kMiB);
+}
+
+TEST(MemCgroupTest, ChargeToExactLimitSucceeds) {
+  MemCgroup cg(1, 100 * kMiB);
+  EXPECT_EQ(cg.try_charge(100 * kMiB), ChargeResult::kOk);
+  EXPECT_EQ(cg.slack(), 0);
+}
+
+TEST(MemCgroupTest, OverflowWithoutHookIsOom) {
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(90 * kMiB);
+  EXPECT_EQ(cg.try_charge(20 * kMiB), ChargeResult::kOom);
+  EXPECT_EQ(cg.usage(), 90 * kMiB) << "failed charge must not be applied";
+  EXPECT_EQ(cg.oom_kills(), 1u);
+}
+
+TEST(MemCgroupTest, HookSeesChargeAndShortfall) {
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(90 * kMiB);
+  Bytes seen_charge = 0, seen_shortfall = 0;
+  cg.set_oom_hook([&](MemCgroup&, Bytes charge, Bytes shortfall) {
+    seen_charge = charge;
+    seen_shortfall = shortfall;
+    return false;
+  });
+  cg.try_charge(30 * kMiB);
+  EXPECT_EQ(seen_charge, 30 * kMiB);
+  EXPECT_EQ(seen_shortfall, 20 * kMiB);
+}
+
+TEST(MemCgroupTest, RescueRaisesLimitAndRetries) {
+  // The Escra path: hook raises the limit, charge retries, container lives.
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(90 * kMiB);
+  cg.set_oom_hook([](MemCgroup& self, Bytes, Bytes shortfall) {
+    self.set_limit(self.limit() + shortfall + 16 * kMiB);
+    return true;
+  });
+  EXPECT_EQ(cg.try_charge(30 * kMiB), ChargeResult::kRescued);
+  EXPECT_EQ(cg.usage(), 120 * kMiB);
+  EXPECT_EQ(cg.oom_rescues(), 1u);
+  EXPECT_EQ(cg.oom_kills(), 0u);
+}
+
+TEST(MemCgroupTest, LyingHookStillOoms) {
+  // A hook that claims success without raising the limit must not corrupt
+  // accounting: the charge fails and the OOM killer proceeds.
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(90 * kMiB);
+  cg.set_oom_hook([](MemCgroup&, Bytes, Bytes) { return true; });
+  EXPECT_EQ(cg.try_charge(30 * kMiB), ChargeResult::kOom);
+  EXPECT_EQ(cg.usage(), 90 * kMiB);
+  EXPECT_EQ(cg.oom_kills(), 1u);
+  EXPECT_EQ(cg.oom_rescues(), 0u);
+}
+
+TEST(MemCgroupTest, PartialRescueStillOoms) {
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(90 * kMiB);
+  cg.set_oom_hook([](MemCgroup& self, Bytes, Bytes shortfall) {
+    self.set_limit(self.limit() + shortfall / 2);  // not enough
+    return true;
+  });
+  EXPECT_EQ(cg.try_charge(40 * kMiB), ChargeResult::kOom);
+}
+
+TEST(MemCgroupTest, UnchargeReleases) {
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(60 * kMiB);
+  cg.uncharge(20 * kMiB);
+  EXPECT_EQ(cg.usage(), 40 * kMiB);
+  cg.uncharge(100 * kMiB);  // clamped
+  EXPECT_EQ(cg.usage(), 0);
+}
+
+TEST(MemCgroupTest, LoweringLimitBelowUsageIsAllowed) {
+  // Linux allows this (reclaim pressure); the next charge then OOMs.
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(80 * kMiB);
+  cg.set_limit(50 * kMiB);
+  EXPECT_EQ(cg.usage(), 80 * kMiB);
+  EXPECT_EQ(cg.slack(), -30 * kMiB);
+  EXPECT_EQ(cg.try_charge(kPageSize), ChargeResult::kOom);
+}
+
+TEST(MemCgroupTest, ForceChargeIgnoresLimit) {
+  MemCgroup cg(1, 10 * kMiB);
+  cg.force_charge(50 * kMiB);
+  EXPECT_EQ(cg.usage(), 50 * kMiB);
+  EXPECT_EQ(cg.oom_kills(), 0u);
+}
+
+TEST(MemCgroupTest, ResetUsageZeroes) {
+  MemCgroup cg(1, 100 * kMiB);
+  cg.try_charge(70 * kMiB);
+  cg.reset_usage();
+  EXPECT_EQ(cg.usage(), 0);
+  EXPECT_EQ(cg.limit(), 100 * kMiB) << "limit survives a kill";
+}
+
+TEST(MemCgroupTest, ZeroChargeAlwaysOk) {
+  MemCgroup cg(1, 0);
+  EXPECT_EQ(cg.try_charge(0), ChargeResult::kOk);
+}
+
+TEST(MemCgroupTest, NegativeArgumentsThrow) {
+  MemCgroup cg(1, kMiB);
+  EXPECT_THROW(cg.try_charge(-1), std::invalid_argument);
+  EXPECT_THROW(cg.uncharge(-1), std::invalid_argument);
+  EXPECT_THROW(cg.set_limit(-1), std::invalid_argument);
+  EXPECT_THROW(cg.force_charge(-1), std::invalid_argument);
+  EXPECT_THROW(MemCgroup(1, -5), std::invalid_argument);
+}
+
+TEST(MemCgroupTest, ChargeCountTracksAttempts) {
+  MemCgroup cg(1, kMiB);
+  cg.try_charge(100);
+  cg.try_charge(2 * kMiB);  // fails
+  EXPECT_EQ(cg.charge_count(), 2u);
+}
+
+TEST(MemCgroupTest, RepeatedRescuesCount) {
+  MemCgroup cg(1, kMiB);
+  cg.set_oom_hook([](MemCgroup& self, Bytes charge, Bytes) {
+    self.set_limit(self.usage() + charge);
+    return true;
+  });
+  ASSERT_EQ(cg.try_charge(kMiB), ChargeResult::kOk);  // exact fit
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_EQ(cg.try_charge(kMiB), ChargeResult::kRescued);
+  }
+  EXPECT_EQ(cg.oom_rescues(), 10u);
+  EXPECT_EQ(cg.usage(), 11 * kMiB);
+}
+
+}  // namespace
+}  // namespace escra::memcg

@@ -1,0 +1,148 @@
+// Multi-tenant isolation (Section VII): several Distributed Containers
+// sharing worker nodes, each confined to its own aggregate limits at
+// runtime. A misbehaving tenant must not be able to take CPU or memory
+// beyond its budget, no matter how hard it bursts.
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "sim/histogram.h"
+
+namespace escra {
+namespace {
+
+using memcg::kGiB;
+using memcg::kMiB;
+using sim::milliseconds;
+using sim::seconds;
+
+struct TwoTenantRig {
+  sim::Simulation sim;
+  net::Network net{sim};
+  cluster::Cluster k8s{sim};
+  std::vector<cluster::Container*> a_containers;
+  std::vector<cluster::Container*> b_containers;
+  std::unique_ptr<core::EscraSystem> tenant_a;
+  std::unique_ptr<core::EscraSystem> tenant_b;
+
+  TwoTenantRig(double a_cpu, double b_cpu) {
+    for (int i = 0; i < 2; ++i) k8s.add_node({.cores = 16.0});
+    cluster::ContainerSpec spec;
+    spec.base_memory = 96 * kMiB;
+    spec.max_parallelism = 8.0;
+    for (int i = 0; i < 2; ++i) {
+      spec.name = "a" + std::to_string(i);
+      a_containers.push_back(&k8s.create_container(spec, 1.0, 512 * kMiB));
+      spec.name = "b" + std::to_string(i);
+      b_containers.push_back(&k8s.create_container(spec, 1.0, 512 * kMiB));
+    }
+    tenant_a = std::make_unique<core::EscraSystem>(sim, net, k8s, a_cpu, 2 * kGiB);
+    tenant_a->manage(a_containers);
+    tenant_a->start();
+    tenant_b = std::make_unique<core::EscraSystem>(sim, net, k8s, b_cpu, 1 * kGiB);
+    tenant_b->manage(b_containers);
+    tenant_b->start();
+  }
+};
+
+TEST(MultiTenantTest, RunawayTenantCappedAtItsGlobalLimit) {
+  TwoTenantRig rig(/*a_cpu=*/6.0, /*b_cpu=*/4.0);
+  // Tenant B wants far more than 4 cores.
+  rig.sim.schedule_every(milliseconds(20), milliseconds(20), [&] {
+    for (cluster::Container* c : rig.b_containers) {
+      c->submit(milliseconds(200), 0, nullptr);  // ~10 cores per container
+    }
+  });
+  sim::SampleSet b_usage;
+  std::vector<sim::Duration> prev(rig.b_containers.size(), 0);
+  rig.sim.schedule_every(seconds(1), seconds(1), [&] {
+    double used = 0.0;
+    for (std::size_t i = 0; i < rig.b_containers.size(); ++i) {
+      const auto consumed = rig.b_containers[i]->cpu_cgroup().total_consumed();
+      used += static_cast<double>(consumed - prev[i]) / 1e6;
+      prev[i] = consumed;
+    }
+    if (rig.sim.now() > seconds(5)) b_usage.add(used);
+  });
+  rig.sim.run_until(seconds(30));
+  // Even saturated, tenant B's aggregate usage stays at/below its 4-core
+  // budget (within one CFS period of slop).
+  EXPECT_LE(b_usage.max(), 4.3);
+  EXPECT_GT(b_usage.percentile(50), 3.0) << "B does get its own budget";
+  EXPECT_LE(rig.tenant_b->app().cpu_allocated(), 4.0 + 1e-6);
+}
+
+TEST(MultiTenantTest, NeighbourUnaffectedByStorm) {
+  TwoTenantRig rig(6.0, 4.0);
+  // Tenant A: steady flow whose latency we track.
+  sim::Histogram latency;
+  rig.sim.schedule_every(milliseconds(10), milliseconds(10), [&] {
+    const sim::TimePoint t0 = rig.sim.now();
+    rig.a_containers[0]->submit(milliseconds(4), kMiB, [&, t0](bool ok) {
+      if (ok) latency.record(std::max<sim::TimePoint>(1, rig.sim.now() - t0));
+    });
+  });
+  // Quiet first half, tenant-B storm in the second half.
+  rig.sim.schedule_at(seconds(15), [&] {
+    rig.sim.schedule_every(rig.sim.now() + milliseconds(20), milliseconds(20),
+                           [&] {
+      for (cluster::Container* c : rig.b_containers) {
+        c->submit(milliseconds(200), 2 * kMiB, nullptr);
+      }
+    });
+  });
+  rig.sim.run_until(seconds(15));
+  const auto quiet_p99 = latency.percentile(99);
+  latency.reset();
+  rig.sim.run_until(seconds(30));
+  const auto storm_p99 = latency.percentile(99);
+  // 16+16 cores of hardware, 6+4 of budgets: the storm is absorbed inside
+  // B's cap, so A's tail moves by at most a small factor.
+  EXPECT_LT(static_cast<double>(storm_p99),
+            2.0 * static_cast<double>(quiet_p99) + 20000.0);
+}
+
+TEST(MultiTenantTest, MemoryIsolationAcrossTenants) {
+  TwoTenantRig rig(6.0, 4.0);
+  // Tenant B's hog grows until its own pool is exhausted.
+  rig.sim.schedule_every(milliseconds(500), milliseconds(500), [&] {
+    rig.b_containers[0]->adjust_resident(24 * kMiB);
+  });
+  rig.sim.run_until(seconds(40));
+  // B's hog eventually dies against B's 1 GiB budget...
+  EXPECT_GE(rig.b_containers[0]->oom_kill_count(), 1u);
+  // ...while tenant A's containers and pool are untouched.
+  for (const cluster::Container* c : rig.a_containers) {
+    EXPECT_EQ(c->oom_kill_count(), 0u);
+  }
+  EXPECT_LE(rig.tenant_b->app().mem_allocated(),
+            rig.tenant_b->app().mem_limit());
+  EXPECT_LE(rig.tenant_a->app().mem_allocated(),
+            rig.tenant_a->app().mem_limit());
+}
+
+TEST(MultiTenantTest, BudgetsCanOversubscribeHardware) {
+  // Limits are not reservations: tenants' budgets may sum past the node
+  // capacity, and the node scheduler arbitrates actual contention.
+  TwoTenantRig rig(/*a_cpu=*/24.0, /*b_cpu=*/24.0);  // 48 > 32 cores
+  for (auto* tenants : {&rig.a_containers, &rig.b_containers}) {
+    for (cluster::Container* c : *tenants) {
+      rig.sim.schedule_every(milliseconds(20), milliseconds(20), [c] {
+        c->submit(milliseconds(300), 0, nullptr);
+      });
+    }
+  }
+  rig.sim.run_until(seconds(20));
+  double total_used = 0.0;
+  for (const cluster::Container* c : rig.k8s.containers()) {
+    total_used += sim::to_seconds(c->cpu_cgroup().total_consumed());
+  }
+  // The hardware (2 x 16 cores x 20 s = 640 core-s) is the binding limit;
+  // both tenants share it without either being starved.
+  EXPECT_GT(total_used, 500.0);
+  EXPECT_LE(total_used, 645.0);
+}
+
+}  // namespace
+}  // namespace escra

@@ -1,0 +1,103 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+namespace escra::net {
+namespace {
+
+using sim::microseconds;
+using sim::milliseconds;
+
+TEST(NetworkTest, SendDeliversAfterChannelLatency) {
+  sim::Simulation sim;
+  Network net(sim, {.telemetry_latency = microseconds(80),
+                    .rpc_latency = microseconds(150)});
+  sim::TimePoint telemetry_at = -1, rpc_at = -1;
+  net.send(Channel::kCpuTelemetry, 64, [&] { telemetry_at = sim.now(); });
+  net.send(Channel::kControlRpc, 128, [&] { rpc_at = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(telemetry_at, microseconds(80));
+  EXPECT_EQ(rpc_at, microseconds(150));
+}
+
+TEST(NetworkTest, PerChannelAccounting) {
+  sim::Simulation sim;
+  Network net(sim);
+  net.send(Channel::kCpuTelemetry, 100, [] {});
+  net.send(Channel::kCpuTelemetry, 100, [] {});
+  net.send(Channel::kMemoryEvent, 50, [] {});
+  sim.run_all();
+  EXPECT_EQ(net.stats(Channel::kCpuTelemetry).messages, 2u);
+  EXPECT_EQ(net.stats(Channel::kCpuTelemetry).bytes, 200u);
+  EXPECT_EQ(net.stats(Channel::kMemoryEvent).bytes, 50u);
+  EXPECT_EQ(net.stats(Channel::kRegistration).messages, 0u);
+  EXPECT_EQ(net.total_bytes(), 250u);
+  EXPECT_EQ(net.total_messages(), 3u);
+}
+
+TEST(NetworkTest, RpcRoundTripOrdering) {
+  sim::Simulation sim;
+  Network net(sim, {.rpc_latency = microseconds(100)});
+  sim::TimePoint request_at = -1, response_at = -1;
+  net.rpc(
+      200, 80, [&] { request_at = sim.now(); },
+      [&] { response_at = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(request_at, microseconds(100));
+  EXPECT_EQ(response_at, microseconds(200));
+  EXPECT_EQ(net.stats(Channel::kControlRpc).bytes, 280u);
+  EXPECT_EQ(net.stats(Channel::kControlRpc).messages, 2u);
+}
+
+TEST(NetworkTest, SubSecondControlLoopIsFeasible) {
+  // The paper's core premise: a telemetry + decision + limit-update cycle
+  // completes in well under one CFS period.
+  sim::Simulation sim;
+  Network net(sim);
+  sim::TimePoint done = -1;
+  net.send(Channel::kCpuTelemetry, 66, [&] {
+    net.rpc(280, 120, [&] { done = sim.now(); }, [] {});
+  });
+  sim.run_all();
+  EXPECT_LT(done, milliseconds(1));
+}
+
+TEST(NetworkTest, PeakBandwidthOverWindow) {
+  sim::Simulation sim;
+  Network net(sim, {.bandwidth_window = milliseconds(100)});
+  // 10 KB in the first window, 1 KB later.
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(i * milliseconds(5),
+                    [&] { net.send(Channel::kCpuTelemetry, 1024, [] {}); });
+  }
+  sim.schedule_at(milliseconds(500),
+                  [&] { net.send(Channel::kCpuTelemetry, 1024, [] {}); });
+  sim.run_all();
+  // Peak window saw 10 KiB -> 10*1024*8 bits / 0.1 s = 819.2 kbps.
+  EXPECT_NEAR(net.peak_mbps(), 0.8192, 1e-6);
+}
+
+TEST(NetworkTest, MeanBandwidthOverRun) {
+  sim::Simulation sim;
+  Network net(sim);
+  net.send(Channel::kCpuTelemetry, 125000, [] {});  // 1 Mbit
+  sim.run_all();
+  sim.run_until(sim::seconds(1));
+  EXPECT_NEAR(net.mean_mbps(), 1.0, 1e-6);
+}
+
+TEST(NetworkTest, ZeroElapsedMeanIsZero) {
+  sim::Simulation sim;
+  Network net(sim);
+  EXPECT_DOUBLE_EQ(net.mean_mbps(), 0.0);
+}
+
+TEST(NetworkTest, ChannelNames) {
+  EXPECT_STREQ(channel_name(Channel::kCpuTelemetry), "cpu-telemetry");
+  EXPECT_STREQ(channel_name(Channel::kMemoryEvent), "memory-event");
+  EXPECT_STREQ(channel_name(Channel::kControlRpc), "control-rpc");
+  EXPECT_STREQ(channel_name(Channel::kRegistration), "registration");
+}
+
+}  // namespace
+}  // namespace escra::net

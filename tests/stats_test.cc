@@ -1,0 +1,236 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sim/rng.h"
+
+namespace escra::sim {
+namespace {
+
+// ---------------------------------------------------------------- RunningStat
+
+TEST(RunningStatTest, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, SingleValue) {
+  RunningStat s;
+  s.add(7.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 7.5);
+  EXPECT_DOUBLE_EQ(s.min(), 7.5);
+  EXPECT_DOUBLE_EQ(s.max(), 7.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, KnownMoments) {
+  RunningStat s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MatchesNaiveOnRandomData) {
+  Rng rng(99);
+  RunningStat s;
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    s.add(x);
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = (sum_sq - n * mean * mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-6);
+}
+
+TEST(RunningStatTest, ResetClears) {
+  RunningStat s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+// -------------------------------------------------------------- SlidingWindow
+
+TEST(SlidingWindowTest, ZeroCapacityThrows) {
+  EXPECT_THROW(SlidingWindow(0), std::invalid_argument);
+}
+
+TEST(SlidingWindowTest, EmptyMeanIsZero) {
+  SlidingWindow w(4);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_FALSE(w.full());
+}
+
+TEST(SlidingWindowTest, PartialWindowAveragesWhatExists) {
+  SlidingWindow w(5);
+  w.add(2.0);
+  w.add(4.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 3.0);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(SlidingWindowTest, OldSamplesEvicted) {
+  SlidingWindow w(3);
+  for (const double x : {1.0, 2.0, 3.0}) w.add(x);
+  EXPECT_TRUE(w.full());
+  EXPECT_DOUBLE_EQ(w.mean(), 2.0);
+  w.add(10.0);  // evicts 1.0
+  EXPECT_DOUBLE_EQ(w.mean(), 5.0);
+  w.add(10.0);  // evicts 2.0
+  EXPECT_DOUBLE_EQ(w.mean(), (3.0 + 10.0 + 10.0) / 3.0);
+}
+
+// This is the allocator's throttle-window: a 0/1 series whose mean is the
+// average throttle count over the last n periods (Section IV-D1).
+TEST(SlidingWindowTest, ThrottleWindowSemantics) {
+  SlidingWindow w(5);
+  for (int i = 0; i < 5; ++i) w.add(0.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.0);
+  w.add(1.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 0.2);
+  for (int i = 0; i < 4; ++i) w.add(1.0);
+  EXPECT_DOUBLE_EQ(w.mean(), 1.0);
+}
+
+TEST(SlidingWindowTest, SumTracksWindowContents) {
+  SlidingWindow w(2);
+  w.add(3.0);
+  w.add(4.0);
+  w.add(5.0);
+  EXPECT_DOUBLE_EQ(w.sum(), 9.0);
+}
+
+TEST(SlidingWindowTest, ResetEmptiesWindow) {
+  SlidingWindow w(3);
+  w.add(5.0);
+  w.reset();
+  EXPECT_EQ(w.size(), 0u);
+  EXPECT_DOUBLE_EQ(w.sum(), 0.0);
+}
+
+class SlidingWindowCapacityTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SlidingWindowCapacityTest, MeanMatchesNaiveComputation) {
+  const std::size_t cap = GetParam();
+  SlidingWindow w(cap);
+  Rng rng(cap);
+  std::vector<double> all;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(-5.0, 5.0);
+    all.push_back(x);
+    w.add(x);
+    double expect = 0.0;
+    const std::size_t lo = all.size() > cap ? all.size() - cap : 0;
+    for (std::size_t j = lo; j < all.size(); ++j) expect += all[j];
+    expect /= static_cast<double>(all.size() - lo);
+    ASSERT_NEAR(w.mean(), expect, 1e-9) << "capacity=" << cap << " i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, SlidingWindowCapacityTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 32, 100));
+
+// ------------------------------------------------------------------ SampleSet
+
+TEST(SampleSetTest, EmptyQueriesAreZero) {
+  SampleSet s;
+  EXPECT_DOUBLE_EQ(s.percentile(50), 0.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.0);
+  EXPECT_TRUE(s.cdf_curve(10).empty());
+}
+
+TEST(SampleSetTest, PercentilesInterpolate) {
+  SampleSet s;
+  for (const double x : {10.0, 20.0, 30.0, 40.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25.0);
+  EXPECT_DOUBLE_EQ(s.median(), 25.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5);
+}
+
+TEST(SampleSetTest, CdfAtCountsInclusive) {
+  SampleSet s;
+  for (const double x : {1.0, 2.0, 2.0, 3.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.cdf_at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(s.cdf_at(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(s.cdf_at(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(s.cdf_at(10.0), 1.0);
+}
+
+TEST(SampleSetTest, AddAfterQueryResorts) {
+  SampleSet s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  s.add(1.0);
+  s.add(9.0);
+  EXPECT_DOUBLE_EQ(s.median(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(SampleSetTest, CdfCurveIsMonotone) {
+  SampleSet s;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) s.add(rng.exponential(1.0));
+  const auto curve = s.cdf_curve(25);
+  ASSERT_EQ(curve.size(), 25u);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i - 1].first, curve[i].first);
+    EXPECT_LE(curve[i - 1].second, curve[i].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.front().second, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(SampleSetTest, UniformSamplesHaveExpectedQuantiles) {
+  SampleSet s;
+  Rng rng(17);
+  for (int i = 0; i < 50000; ++i) s.add(rng.uniform(0.0, 1.0));
+  EXPECT_NEAR(s.percentile(50), 0.5, 0.02);
+  EXPECT_NEAR(s.percentile(90), 0.9, 0.02);
+  EXPECT_NEAR(s.percentile(99), 0.99, 0.01);
+  EXPECT_NEAR(s.mean(), 0.5, 0.01);
+}
+
+// -------------------------------------------------------------- DecayingValue
+
+TEST(DecayingValueTest, DecaysByHalfEveryHalfLife) {
+  DecayingValue v(10.0);
+  v.add(0.0, 8.0);
+  EXPECT_DOUBLE_EQ(v.value(0.0), 8.0);
+  EXPECT_NEAR(v.value(10.0), 4.0, 1e-12);
+  EXPECT_NEAR(v.value(20.0), 2.0, 1e-12);
+  EXPECT_NEAR(v.value(30.0), 1.0, 1e-12);
+}
+
+TEST(DecayingValueTest, AddAccumulatesDecayedValue) {
+  DecayingValue v(10.0);
+  v.add(0.0, 4.0);
+  v.add(10.0, 4.0);  // old 4 decayed to 2, plus 4
+  EXPECT_NEAR(v.value(10.0), 6.0, 1e-12);
+}
+
+TEST(DecayingValueTest, EmptyIsZero) {
+  const DecayingValue v(5.0);
+  EXPECT_DOUBLE_EQ(v.value(100.0), 0.0);
+}
+
+}  // namespace
+}  // namespace escra::sim

@@ -1,0 +1,313 @@
+// escra_sim: command-line runner for YAML-defined applications.
+//
+//   escra_sim <app.yaml> [options]
+//
+//     --policy escra|static|autopilot|vpa|firm   (default escra)
+//     --workload fixed|exp|burst|alibaba   arrival process   (default exp)
+//     --trace FILE                         replay per-second req/s rates
+//                                          from FILE (overrides --workload)
+//     --rate R                             req/s for fixed/exp (default 300)
+//     --duration S                         measured seconds  (default 60)
+//     --seed N                             RNG seed          (default 42)
+//     --nodes N                            worker nodes      (default 3)
+//     --cores C                            cores per node    (default 20)
+//     --csv PATH                           per-second aggregate usage/limit
+//                                          time series as CSV
+//
+// Loads the application (services, edges, Distributed Container limits, and
+// Escra tunables) from the YAML file, deploys it on a simulated cluster
+// under the chosen policy, drives the chosen workload, and prints the
+// summary an operator would want: throughput, latency percentiles, slack,
+// OOM/rescue counts, and (for escra) control-plane traffic. Baseline
+// policies run through the experiment harness, which profiles the
+// application first the way an operator would.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "app/service_graph.h"
+#include "cluster/cluster.h"
+#include "config/app_config.h"
+#include "core/escra.h"
+#include "exp/microservice.h"
+#include "net/network.h"
+#include "sim/rng.h"
+#include "sim/stats.h"
+#include "workload/load_generator.h"
+
+using namespace escra;
+
+namespace {
+
+struct Options {
+  std::string config_path;
+  std::string policy = "escra";  // escra|static|autopilot|vpa|firm
+  std::string workload = "exp";
+  std::string trace_path;  // --trace: replay per-second rates from a file
+  double rate = 300.0;
+  double duration_s = 60.0;
+  std::uint64_t seed = 42;
+  int nodes = 3;
+  double cores = 20.0;
+  std::string csv_path;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: escra_sim <app.yaml> [--workload fixed|exp|burst|"
+               "alibaba]\n"
+               "                 [--policy escra|static|autopilot|vpa|firm]\n"
+               "                 [--rate R] [--duration S] [--seed N]\n"
+               "                 [--nodes N] [--cores C] [--csv PATH]\n"
+               "(--rate and --csv apply to the default escra policy run "
+               "only)\n");
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  if (argc < 2) return std::nullopt;
+  Options opts;
+  opts.config_path = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error(flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--trace") {
+      opts.trace_path = next();
+    } else if (flag == "--policy") {
+      opts.policy = next();
+    } else if (flag == "--workload") {
+      opts.workload = next();
+    } else if (flag == "--rate") {
+      opts.rate = std::stod(next());
+    } else if (flag == "--duration") {
+      opts.duration_s = std::stod(next());
+    } else if (flag == "--seed") {
+      opts.seed = std::stoull(next());
+    } else if (flag == "--nodes") {
+      opts.nodes = std::stoi(next());
+    } else if (flag == "--cores") {
+      opts.cores = std::stod(next());
+    } else if (flag == "--csv") {
+      opts.csv_path = next();
+    } else {
+      throw std::runtime_error("unknown flag " + flag);
+    }
+  }
+  return opts;
+}
+
+std::unique_ptr<workload::ArrivalProcess> make_arrivals(const Options& opts,
+                                                        sim::Rng rng,
+                                                        std::size_t seconds) {
+  if (!opts.trace_path.empty()) {
+    return std::make_unique<workload::TraceArrivals>(
+        workload::load_rate_trace(opts.trace_path), rng);
+  }
+  if (opts.workload == "fixed") {
+    return std::make_unique<workload::FixedArrivals>(opts.rate);
+  }
+  if (opts.workload == "exp") {
+    return std::make_unique<workload::ExpArrivals>(opts.rate, rng);
+  }
+  if (opts.workload == "burst") {
+    return std::make_unique<workload::BurstArrivals>(
+        workload::BurstArrivals::Params{}, rng);
+  }
+  if (opts.workload == "alibaba") {
+    sim::Rng trace_rng = rng.fork();
+    return std::make_unique<workload::TraceArrivals>(
+        workload::make_alibaba_rates(seconds, trace_rng), rng);
+  }
+  throw std::runtime_error("unknown workload '" + opts.workload + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    const auto parsed = parse_args(argc, argv);
+    if (!parsed.has_value()) {
+      usage();
+      return 2;
+    }
+    opts = *parsed;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
+    return 2;
+  }
+
+  config::AppConfig app_config;
+  try {
+    app_config = config::load_app_config_file(opts.config_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error loading %s: %s\n", opts.config_path.c_str(),
+                 e.what());
+    return 1;
+  }
+
+  std::printf("application: %s (%zu services, %zu containers)\n",
+              app_config.name.c_str(), app_config.graph.services.size(),
+              app_config.graph.total_containers());
+  std::printf("limits: %.1f cores, %lld MiB; workload: %s; policy: %s; "
+              "duration: %.0fs\n",
+              app_config.global_cpu_cores,
+              static_cast<long long>(app_config.global_mem / memcg::kMiB),
+              opts.workload.c_str(), opts.policy.c_str(), opts.duration_s);
+
+  if (opts.policy != "escra") {
+    // Baseline runs go through the experiment harness (which profiles the
+    // application first, like an operator would).
+    exp::MicroserviceConfig cfg;
+    cfg.custom_graph = std::make_shared<app::GraphSpec>(app_config.graph);
+    cfg.escra = app_config.escra;
+    cfg.worker_nodes = opts.nodes;
+    cfg.node_cores = opts.cores;
+    cfg.duration = sim::seconds_f(opts.duration_s);
+    cfg.seed = opts.seed;
+    if (opts.policy == "static") {
+      cfg.policy = exp::PolicyKind::kStatic;
+    } else if (opts.policy == "autopilot") {
+      cfg.policy = exp::PolicyKind::kAutopilot;
+    } else if (opts.policy == "vpa") {
+      cfg.policy = exp::PolicyKind::kVpa;
+    } else if (opts.policy == "firm") {
+      cfg.policy = exp::PolicyKind::kFirm;
+    } else {
+      std::fprintf(stderr, "error: unknown policy '%s'\n", opts.policy.c_str());
+      return 2;
+    }
+    if (opts.workload == "fixed") {
+      cfg.workload = workload::WorkloadKind::kFixed;
+    } else if (opts.workload == "exp") {
+      cfg.workload = workload::WorkloadKind::kExp;
+    } else if (opts.workload == "burst") {
+      cfg.workload = workload::WorkloadKind::kBurst;
+    } else if (opts.workload == "alibaba") {
+      cfg.workload = workload::WorkloadKind::kAlibaba;
+    } else {
+      std::fprintf(stderr, "error: unknown workload '%s'\n",
+                   opts.workload.c_str());
+      return 2;
+    }
+    const exp::RunResult r = exp::run_microservice(cfg);
+    std::printf("\nresults (%s):\n", r.policy_name.c_str());
+    std::printf("  throughput     %.1f req/s (%llu ok, %llu failed)\n",
+                r.throughput_rps,
+                static_cast<unsigned long long>(r.succeeded),
+                static_cast<unsigned long long>(r.failed));
+    std::printf("  latency ms     p50 %.1f  p99 %.1f  p99.9 %.1f\n",
+                r.p50_latency_ms, r.p99_latency_ms, r.p999_latency_ms);
+    std::printf("  cpu slack      p50 %.2f  p99 %.2f cores\n",
+                r.cpu_slack_cores.percentile(50),
+                r.cpu_slack_cores.percentile(99));
+    std::printf("  mem slack      p50 %.1f  p99 %.1f MiB\n",
+                r.mem_slack_mib.percentile(50), r.mem_slack_mib.percentile(99));
+    std::printf("  ooms %llu  evictions %llu\n",
+                static_cast<unsigned long long>(r.oom_kills),
+                static_cast<unsigned long long>(r.evictions));
+    return 0;
+  }
+
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  for (int i = 0; i < opts.nodes; ++i) {
+    k8s.add_node(cluster::NodeConfig{.cores = opts.cores});
+  }
+
+  sim::Rng root(opts.seed);
+  app::Application application(k8s, app_config.graph, root.fork(),
+                               /*initial_cores=*/1.0,
+                               /*initial_mem=*/512 * memcg::kMiB);
+  core::EscraSystem escra(simulation, network, k8s,
+                          app_config.global_cpu_cores, app_config.global_mem,
+                          app_config.escra);
+  escra.manage(application.containers());
+  escra.start();
+
+  const sim::TimePoint load_start = sim::seconds(10);  // startup burn first
+  const sim::TimePoint load_end = load_start + sim::seconds_f(opts.duration_s);
+  workload::LoadGenerator loadgen(
+      simulation,
+      make_arrivals(opts, root.fork(),
+                    static_cast<std::size_t>(sim::to_seconds(load_end)) + 1),
+      [&application](workload::LoadGenerator::Done done) {
+        application.submit_request(std::move(done));
+      });
+  loadgen.run(load_start, load_end);
+
+  std::ofstream csv;
+  if (!opts.csv_path.empty()) {
+    csv.open(opts.csv_path);
+    if (!csv) {
+      std::fprintf(stderr, "error: cannot write %s\n", opts.csv_path.c_str());
+      return 1;
+    }
+    csv << "time_s,cpu_used_cores,cpu_limit_cores,mem_used_mib,mem_limit_mib\n";
+  }
+
+  sim::SampleSet cpu_slack, mem_slack_mib;
+  std::vector<sim::Duration> prev(application.containers().size(), 0);
+  simulation.schedule_every(sim::kSecond, sim::kSecond, [&] {
+    double used = 0.0, limit = 0.0;
+    memcg::Bytes mem_used = 0, mem_limit = 0;
+    const auto& containers = application.containers();
+    for (std::size_t i = 0; i < containers.size(); ++i) {
+      const auto consumed = containers[i]->cpu_cgroup().total_consumed();
+      const double u = static_cast<double>(consumed - prev[i]) / 1e6;
+      prev[i] = consumed;
+      used += u;
+      limit += containers[i]->cpu_cgroup().limit_cores();
+      mem_used += containers[i]->mem_cgroup().usage();
+      mem_limit += containers[i]->mem_cgroup().limit();
+      if (simulation.now() > load_start) {
+        cpu_slack.add(containers[i]->cpu_cgroup().limit_cores() - u);
+        mem_slack_mib.add(
+            static_cast<double>(containers[i]->mem_cgroup().slack()) /
+            static_cast<double>(memcg::kMiB));
+      }
+    }
+    if (csv.is_open()) {
+      csv << sim::to_seconds(simulation.now()) << ',' << used << ',' << limit
+          << ',' << mem_used / memcg::kMiB << ',' << mem_limit / memcg::kMiB
+          << '\n';
+    }
+  });
+
+  simulation.run_until(load_end + sim::seconds(5));
+
+  const sim::Histogram& lat = loadgen.latency();
+  std::printf("\nresults:\n");
+  std::printf("  throughput     %.1f req/s (%llu ok, %llu failed)\n",
+              loadgen.throughput_rps(),
+              static_cast<unsigned long long>(loadgen.succeeded()),
+              static_cast<unsigned long long>(loadgen.failed()));
+  std::printf("  latency ms     p50 %.1f  p99 %.1f  p99.9 %.1f\n",
+              static_cast<double>(lat.percentile(50)) / 1000.0,
+              static_cast<double>(lat.percentile(99)) / 1000.0,
+              static_cast<double>(lat.percentile(99.9)) / 1000.0);
+  std::printf("  cpu slack      p50 %.2f  p99 %.2f cores\n",
+              cpu_slack.percentile(50), cpu_slack.percentile(99));
+  std::printf("  mem slack      p50 %.1f  p99 %.1f MiB\n",
+              mem_slack_mib.percentile(50), mem_slack_mib.percentile(99));
+  std::printf("  controller     %llu stats, %llu limit updates, "
+              "%llu oom events, %llu rescues\n",
+              static_cast<unsigned long long>(escra.controller().stats_received()),
+              static_cast<unsigned long long>(
+                  escra.controller().limit_updates_sent()),
+              static_cast<unsigned long long>(escra.controller().oom_events()),
+              static_cast<unsigned long long>(escra.controller().oom_rescues()));
+  std::printf("  network        peak %.2f Mbps, mean %.2f Mbps\n",
+              network.peak_mbps(), network.mean_mbps());
+  if (!opts.csv_path.empty()) {
+    std::printf("  time series    %s\n", opts.csv_path.c_str());
+  }
+  return 0;
+}
