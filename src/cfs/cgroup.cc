@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace escra::cfs {
 
 namespace {
@@ -65,6 +67,8 @@ void CfsCgroup::end_period(sim::TimePoint now) {
   stats.throttled = throttled_;
   ++periods_;
   if (throttled_) ++throttle_count_;
+  if (obs_periods_ != nullptr) obs_periods_->inc();
+  if (throttled_ && obs_throttled_ != nullptr) obs_throttled_->inc();
   if (hook_) hook_(stats);
   // Refill (the CFS timer callback path): the next period gets the quota
   // plus any unused runtime carried over, capped at the burst budget.

@@ -15,6 +15,10 @@
 
 #include "sim/time.h"
 
+namespace escra::obs {
+class Counter;
+}
+
 namespace escra::cfs {
 
 using CgroupId = std::uint32_t;
@@ -73,6 +77,14 @@ class CfsCgroup {
 
   void set_period_hook(PeriodHook hook) { hook_ = std::move(hook); }
 
+  // Observability: shared counters bumped at each period boundary (total
+  // periods, throttled periods). Null (the default) disables the hook; the
+  // hot-path cost is one pointer test per period.
+  void set_obs_counters(obs::Counter* periods, obs::Counter* throttled) {
+    obs_periods_ = periods;
+    obs_throttled_ = throttled;
+  }
+
   // --- accounting for slack measurement ---
 
   // Core-time consumed in the current (incomplete) period.
@@ -99,6 +111,8 @@ class CfsCgroup {
   std::uint64_t throttle_count_ = 0;
   std::uint64_t periods_ = 0;
   PeriodHook hook_;
+  obs::Counter* obs_periods_ = nullptr;
+  obs::Counter* obs_throttled_ = nullptr;
 };
 
 }  // namespace escra::cfs

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace escra::core {
 
 Agent::Agent(cluster::Node& node) : node_(node) {}
@@ -17,6 +19,7 @@ bool Agent::apply_cpu_limit(cluster::ContainerId id, double cores) {
   const auto it = managed_.find(id);
   if (it == managed_.end()) return false;
   it->second->cpu_cgroup().set_limit_cores(cores);
+  if (obs_applies_ != nullptr) obs_applies_->inc();
   return true;
 }
 
@@ -24,6 +27,7 @@ bool Agent::apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit) {
   const auto it = managed_.find(id);
   if (it == managed_.end()) return false;
   it->second->mem_cgroup().set_limit(limit);
+  if (obs_applies_ != nullptr) obs_applies_->inc();
   return true;
 }
 
@@ -38,7 +42,7 @@ Agent::ReclaimResult Agent::reclaim(memcg::Bytes delta, memcg::Bytes floor) {
     if (new_limit >= limit) continue;
     mem.set_limit(new_limit);
     result.psi += limit - new_limit;
-    result.resizes.push_back({id, new_limit});
+    result.resizes.push_back({id, limit, new_limit});
   }
   return result;
 }

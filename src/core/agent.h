@@ -16,6 +16,10 @@
 #include "cluster/node.h"
 #include "memcg/mem_cgroup.h"
 
+namespace escra::obs {
+class Counter;
+}
+
 namespace escra::core {
 
 class Agent {
@@ -39,6 +43,7 @@ class Agent {
   // --- memory reclamation (Section IV-C) ---
   struct Resize {
     cluster::ContainerId container = 0;
+    memcg::Bytes old_limit = 0;  // limit before the shrink (for tracing)
     memcg::Bytes new_limit = 0;
   };
   struct ReclaimResult {
@@ -50,9 +55,16 @@ class Agent {
   // usage + delta (never below `floor`). Returns ψ and the new limits.
   ReclaimResult reclaim(memcg::Bytes delta, memcg::Bytes floor);
 
+  // Observability: counter bumped on every successful limit application
+  // (CPU or memory). Null (the default) disables the hook.
+  void set_obs_counter(obs::Counter* limit_applies) {
+    obs_applies_ = limit_applies;
+  }
+
  private:
   cluster::Node& node_;
   std::unordered_map<cluster::ContainerId, cluster::Container*> managed_;
+  obs::Counter* obs_applies_ = nullptr;
 };
 
 }  // namespace escra::core

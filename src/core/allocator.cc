@@ -14,6 +14,18 @@ ResourceAllocator::ResourceAllocator(const EscraConfig& config,
                                      DistributedContainer& app)
     : config_(config), app_(app) {}
 
+void ResourceAllocator::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  if (observer != nullptr) {
+    app_.set_obs_gauges(observer->h.pool_cpu_allocated,
+                        observer->h.pool_cpu_unallocated,
+                        observer->h.pool_mem_allocated,
+                        observer->h.pool_mem_unallocated);
+  } else {
+    app_.set_obs_gauges(nullptr, nullptr, nullptr, nullptr);
+  }
+}
+
 void ResourceAllocator::register_container(std::uint32_t id, double cores,
                                            memcg::Bytes mem) {
   app_.add_member(id, cores, mem);
@@ -64,6 +76,7 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
           app_.set_member_cores(stats.cgroup, current + increase);
       if (std::abs(applied - current) > kCpuEpsilon) {
         ++scale_ups_;
+        if (obs_ != nullptr) obs_->h.cpu_grants->inc();
         return applied;
       }
     }
@@ -96,6 +109,7 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
     if (current - target > kCpuEpsilon) {
       const double applied = app_.set_member_cores(stats.cgroup, target);
       ++scale_downs_;
+      if (obs_ != nullptr) obs_->h.cpu_shrinks->inc();
       return applied;
     }
   }
@@ -122,6 +136,7 @@ ResourceAllocator::MemDecision ResourceAllocator::on_oom_event(
     decision.action = MemAction::kGrant;
     decision.new_limit = app_.set_member_mem(event.container, current + want);
     ++mem_grants_;
+    if (obs_ != nullptr) obs_->h.mem_grants->inc();
     return decision;
   }
   if (unallocated >= pages) {
@@ -130,6 +145,7 @@ ResourceAllocator::MemDecision ResourceAllocator::on_oom_event(
     decision.new_limit =
         app_.set_member_mem(event.container, current + unallocated);
     ++mem_grants_;
+    if (obs_ != nullptr) obs_->h.mem_grants->inc();
     return decision;
   }
   if (!post_reclaim) {
@@ -138,6 +154,7 @@ ResourceAllocator::MemDecision ResourceAllocator::on_oom_event(
   }
   decision.action = MemAction::kDeny;
   ++mem_denies_;
+  if (obs_ != nullptr) obs_->h.mem_denies->inc();
   return decision;
 }
 

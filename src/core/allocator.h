@@ -18,6 +18,7 @@
 #include "core/config.h"
 #include "core/distributed_container.h"
 #include "core/messages.h"
+#include "obs/observer.h"
 #include "sim/stats.h"
 
 namespace escra::core {
@@ -58,6 +59,13 @@ class ResourceAllocator {
   // the pool implicitly (allocated sum drops).
   void on_reclaimed(std::uint32_t container, memcg::Bytes new_limit);
 
+  // --- observability ---
+  // Mirrors decision counters into the observer's registry and keeps the
+  // Distributed Container's pool gauges live. Null detaches. The allocator
+  // stays decision-only: trace events for its decisions are recorded by the
+  // Controller, which owns the clock and the node topology.
+  void set_observer(obs::Observer* observer);
+
   // --- introspection ---
   DistributedContainer& app() { return app_; }
   const EscraConfig& config() const { return config_; }
@@ -75,6 +83,7 @@ class ResourceAllocator {
 
   EscraConfig config_;
   DistributedContainer& app_;
+  obs::Observer* obs_ = nullptr;
   std::unordered_map<std::uint32_t, Windows> windows_;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;

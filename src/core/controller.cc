@@ -1,6 +1,7 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <memory>
 #include <utility>
 
 namespace escra::core {
@@ -17,7 +18,35 @@ Agent& Controller::agent_for(cluster::Node& node) {
   agents_.push_back(std::make_unique<Agent>(node));
   Agent& agent = *agents_.back();
   agents_by_node_[node.id()] = &agent;
+  if (obs_ != nullptr) agent.set_obs_counter(obs_->h.agent_limit_applies);
   return agent;
+}
+
+void Controller::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  obs::Counter* applies =
+      observer != nullptr ? observer->h.agent_limit_applies : nullptr;
+  for (const auto& agent : agents_) agent->set_obs_counter(applies);
+  for (auto& [id, entry] : registry_) {
+    if (observer != nullptr) {
+      entry.container->cpu_cgroup().set_obs_counters(
+          observer->h.cfs_periods, observer->h.cfs_throttled_periods);
+      entry.container->mem_cgroup().set_obs_counters(
+          observer->h.memcg_oom_kills, observer->h.memcg_oom_rescues);
+    } else {
+      entry.container->cpu_cgroup().set_obs_counters(nullptr, nullptr);
+      entry.container->mem_cgroup().set_obs_counters(nullptr, nullptr);
+    }
+  }
+  if (observer != nullptr) {
+    observer->h.containers_active->set(static_cast<double>(registry_.size()));
+  }
+}
+
+std::uint32_t Controller::node_tag(const Entry& entry) const {
+  // Trace events store node + 1 so that 0 stays "unknown" (node ids are
+  // zero-based).
+  return entry.agent != nullptr ? entry.agent->node().id() + 1 : 0;
 }
 
 void Controller::register_container(cluster::Container& container,
@@ -50,6 +79,24 @@ void Controller::register_container(cluster::Container& container,
   container.cpu_cgroup().set_limit_cores(cores);
   container.mem_cgroup().set_limit(mem);
 
+  if (obs_ != nullptr) {
+    container.cpu_cgroup().set_obs_counters(obs_->h.cfs_periods,
+                                            obs_->h.cfs_throttled_periods);
+    container.mem_cgroup().set_obs_counters(obs_->h.memcg_oom_kills,
+                                            obs_->h.memcg_oom_rescues);
+    obs_->h.registrations->inc();
+    obs_->h.containers_active->set(static_cast<double>(registry_.size()));
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kContainerRegistered;
+    ev.container = container.id();
+    ev.node = node.id() + 1;
+    ev.before = 0.0;
+    ev.after = cores;
+    ev.detail = static_cast<std::int64_t>(mem);
+    obs_->record(ev);
+  }
+
   // Kernel hook 1: per-period CFS telemetry streamed to the Controller.
   container.cpu_cgroup().set_period_hook(
       [this](const cfs::PeriodStats& period) {
@@ -59,8 +106,29 @@ void Controller::register_container(cluster::Container& container,
         msg.quota = period.quota;
         msg.unused = period.unused;
         msg.throttled = period.throttled;
+        // Fire instant of the control loop: the kernel hook hands the
+        // statistic to the wire. A throttled period opens a causal chain.
+        const sim::TimePoint fire = sim_.now();
+        obs::EventId cause = 0;
+        if (obs_ != nullptr && msg.throttled) {
+          obs::TraceEvent ev;
+          ev.time = fire;
+          ev.kind = obs::EventKind::kThrottleObserved;
+          ev.container = msg.cgroup;
+          const auto it = registry_.find(msg.cgroup);
+          ev.node = it != registry_.end() ? node_tag(it->second) : 0;
+          const double limit_cores =
+              static_cast<double>(msg.quota) /
+              static_cast<double>(config_.cfs_period);
+          ev.before = limit_cores;
+          ev.after = limit_cores;
+          ev.detail = static_cast<std::int64_t>(msg.unused);
+          cause = obs_->record(ev);
+        }
         net_.send(net::Channel::kCpuTelemetry, kCpuStatsWireBytes,
-                  [this, msg] { on_cpu_stats(msg); });
+                  [this, msg, cause, fire] {
+                    ingest_cpu_stats(msg, cause, fire);
+                  });
       });
 
   // Kernel hook 2: pre-OOM trap in try_charge().
@@ -75,11 +143,29 @@ void Controller::register_container(cluster::Container& container,
 void Controller::deregister_container(cluster::Container& container) {
   const auto it = registry_.find(container.id());
   if (it == registry_.end()) return;
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kContainerKilled;
+    ev.container = container.id();
+    ev.node = node_tag(it->second);
+    ev.before = allocator_.app().member_cores(container.id());
+    ev.after = 0.0;
+    ev.detail =
+        static_cast<std::int64_t>(allocator_.app().member_mem(container.id()));
+    obs_->record(ev);
+    obs_->h.deregistrations->inc();
+  }
   it->second.agent->unmanage(container.id());
   container.cpu_cgroup().set_period_hook(nullptr);
   container.mem_cgroup().set_oom_hook(nullptr);
+  container.cpu_cgroup().set_obs_counters(nullptr, nullptr);
+  container.mem_cgroup().set_obs_counters(nullptr, nullptr);
   allocator_.deregister_container(container.id());
   registry_.erase(it);
+  if (obs_ != nullptr) {
+    obs_->h.containers_active->set(static_cast<double>(registry_.size()));
+  }
 }
 
 void Controller::start() {
@@ -98,34 +184,132 @@ void Controller::stop() {
 }
 
 void Controller::on_cpu_stats(const CpuStatsMsg& stats) {
+  // Direct entry point (tests, replay): no causal ancestor, and the fire
+  // instant is the period boundary the statistic describes.
+  ingest_cpu_stats(stats, /*cause=*/0, /*fire_time=*/stats.period_end);
+}
+
+void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
+                                  sim::TimePoint fire_time) {
   ++stats_received_;
+  const sim::TimePoint ingest = sim_.now();
+  if (obs_ != nullptr) obs_->h.stats_ingested->inc();
+
+  const bool known = allocator_.knows(stats.cgroup);
+  const double before =
+      known ? allocator_.app().member_cores(stats.cgroup) : 0.0;
   const auto decision = allocator_.on_cpu_stats(stats);
-  if (decision.has_value()) push_cpu_limit(stats.cgroup, *decision);
+  if (!decision.has_value()) return;
+
+  LoopCtx ctx;
+  ctx.fire = fire_time;
+  ctx.ingest = ingest;
+  ctx.decide = sim_.now();  // synchronous allocator: decide == ingest
+  ctx.profile = true;
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.time = ctx.decide;
+    ev.kind = *decision > before ? obs::EventKind::kCpuGrant
+                                 : obs::EventKind::kCpuShrink;
+    ev.container = stats.cgroup;
+    const auto it = registry_.find(stats.cgroup);
+    ev.node = it != registry_.end() ? node_tag(it->second) : 0;
+    ev.before = before;
+    ev.after = *decision;
+    ev.cause = cause;
+    ctx.cause = obs_->record(ev);
+  }
+  push_cpu_limit(stats.cgroup, *decision, ctx);
 }
 
-void Controller::push_cpu_limit(cluster::ContainerId id, double cores) {
+void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
+                                LoopCtx ctx) {
   const auto it = registry_.find(id);
   if (it == registry_.end()) return;
   Agent* agent = it->second.agent;
   ++limit_updates_;
+  obs::EventId rpc_id = 0;
+  if (obs_ != nullptr) {
+    obs_->h.rpcs_issued->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kRpcIssued;
+    ev.container = id;
+    ev.node = node_tag(it->second);
+    ev.after = cores;
+    ev.cause = ctx.cause;
+    ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
+    rpc_id = obs_->record(ev);
+  }
+  const std::uint32_t node = node_tag(it->second);
   net_.rpc(
       kLimitUpdateRpcBytes, kLimitUpdateRespBytes,
-      [agent, id, cores] { agent->apply_cpu_limit(id, cores); }, [] {});
+      [this, agent, id, cores, ctx, rpc_id, node] {
+        agent->apply_cpu_limit(id, cores);
+        if (obs_ == nullptr) return;
+        const sim::TimePoint apply = sim_.now();
+        obs_->h.rpcs_applied->inc();
+        obs::TraceEvent ev;
+        ev.time = apply;
+        ev.kind = obs::EventKind::kRpcApplied;
+        ev.container = id;
+        ev.node = node;
+        ev.after = cores;
+        ev.cause = rpc_id;
+        obs_->record(ev);
+        if (ctx.profile) {
+          obs_->profiler().record_loop(ctx.fire, ctx.ingest, ctx.decide, apply);
+        }
+      },
+      [] {});
 }
 
-void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit) {
+void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
+                                LoopCtx ctx) {
   const auto it = registry_.find(id);
   if (it == registry_.end()) return;
   Agent* agent = it->second.agent;
   ++limit_updates_;
+  obs::EventId rpc_id = 0;
+  if (obs_ != nullptr) {
+    obs_->h.rpcs_issued->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kRpcIssued;
+    ev.container = id;
+    ev.node = node_tag(it->second);
+    ev.after = static_cast<double>(limit);
+    ev.cause = ctx.cause;
+    ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
+    rpc_id = obs_->record(ev);
+  }
+  const std::uint32_t node = node_tag(it->second);
   net_.rpc(
       kLimitUpdateRpcBytes, kLimitUpdateRespBytes,
-      [agent, id, limit] { agent->apply_mem_limit(id, limit); }, [] {});
+      [this, agent, id, limit, ctx, rpc_id, node] {
+        agent->apply_mem_limit(id, limit);
+        if (obs_ == nullptr) return;
+        const sim::TimePoint apply = sim_.now();
+        obs_->h.rpcs_applied->inc();
+        obs::TraceEvent ev;
+        ev.time = apply;
+        ev.kind = obs::EventKind::kRpcApplied;
+        ev.container = id;
+        ev.node = node;
+        ev.after = static_cast<double>(limit);
+        ev.cause = rpc_id;
+        obs_->record(ev);
+        if (ctx.profile) {
+          obs_->profiler().record_loop(ctx.fire, ctx.ingest, ctx.decide, apply);
+        }
+      },
+      [] {});
 }
 
 bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
                             memcg::Bytes shortfall) {
   ++oom_events_;
+  if (obs_ != nullptr) obs_->h.oom_events->inc();
   // The event travels the container's persistent kernel TCP socket; the
   // limit raise returns over RPC. The container is stalled for the round
   // trip by its own rescue path; here we account the bytes and decide.
@@ -136,6 +320,7 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
   event.attempted_charge = charge;
   event.shortfall = shortfall;
 
+  const memcg::Bytes old_limit = container.mem_cgroup().limit();
   auto decision = allocator_.on_oom_event(event, /*post_reclaim=*/false);
   if (decision.action == ResourceAllocator::MemAction::kReclaimThenRetry) {
     // Pool dry: aggressive reclamation from containers with slack
@@ -151,11 +336,45 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
   const bool saved =
       container.mem_cgroup().usage() + charge <= decision.new_limit;
   if (saved) ++oom_rescues_;
+  if (obs_ != nullptr) {
+    if (saved) obs_->h.oom_rescues->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kMemGrantOnOom;
+    ev.container = container.id();
+    const auto it = registry_.find(container.id());
+    ev.node = it != registry_.end() ? node_tag(it->second) : 0;
+    ev.before = static_cast<double>(old_limit);
+    ev.after = static_cast<double>(decision.new_limit);
+    ev.detail = static_cast<std::int64_t>(shortfall);
+    obs_->record(ev);
+  }
   return saved;
+}
+
+void Controller::record_reclaims(Agent& agent,
+                                 const std::vector<Agent::Resize>& resizes) {
+  if (obs_ == nullptr) return;
+  const std::uint32_t node = agent.node().id() + 1;
+  memcg::Bytes freed = 0;
+  for (const Agent::Resize& resize : resizes) {
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kReclaim;
+    ev.container = resize.container;
+    ev.node = node;
+    ev.before = static_cast<double>(resize.old_limit);
+    ev.after = static_cast<double>(resize.new_limit);
+    ev.detail = static_cast<std::int64_t>(resize.old_limit - resize.new_limit);
+    obs_->record(ev);
+    freed += resize.old_limit - resize.new_limit;
+  }
+  obs_->h.reclaim_bytes->inc(static_cast<std::uint64_t>(freed));
 }
 
 memcg::Bytes Controller::run_emergency_reclaim() {
   memcg::Bytes psi = 0;
+  if (obs_ != nullptr) obs_->h.reclaim_sweeps->inc();
   for (const auto& agent : agents_) {
     net_.send(net::Channel::kControlRpc, kReclaimRpcBytes, [] {});
     const Agent::ReclaimResult result =
@@ -164,6 +383,7 @@ memcg::Bytes Controller::run_emergency_reclaim() {
     for (const Agent::Resize& resize : result.resizes) {
       allocator_.on_reclaimed(resize.container, resize.new_limit);
     }
+    record_reclaims(*agent, result.resizes);
     psi += result.psi;
   }
   total_reclaimed_ += psi;
@@ -173,6 +393,7 @@ memcg::Bytes Controller::run_emergency_reclaim() {
 void Controller::run_periodic_reclaim() {
   // Every 5 seconds (Section IV-C): ask each Agent to shrink the limits of
   // its containers to usage + δ and report back ψ.
+  if (obs_ != nullptr && !agents_.empty()) obs_->h.reclaim_sweeps->inc();
   for (const auto& agent_ptr : agents_) {
     Agent* agent = agent_ptr.get();
     auto result = std::make_shared<Agent::ReclaimResult>();
@@ -181,10 +402,11 @@ void Controller::run_periodic_reclaim() {
         [this, agent, result] {
           *result = agent->reclaim(config_.delta, config_.min_mem);
         },
-        [this, result] {
+        [this, agent, result] {
           for (const Agent::Resize& resize : result->resizes) {
             allocator_.on_reclaimed(resize.container, resize.new_limit);
           }
+          record_reclaims(*agent, result->resizes);
           total_reclaimed_ += result->psi;
         });
   }

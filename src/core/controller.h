@@ -21,6 +21,7 @@
 #include "core/config.h"
 #include "core/messages.h"
 #include "net/network.h"
+#include "obs/observer.h"
 #include "sim/event_queue.h"
 
 namespace escra::core {
@@ -68,6 +69,15 @@ class Controller {
   // OOM when the pool is dry). Returns total ψ.
   memcg::Bytes run_emergency_reclaim();
 
+  // --- observability ---
+  // Attaches (or detaches, with null) a control-plane observer: decision
+  // trace events with causal links, metric counters, and the per-stage
+  // control-loop latency profile. Re-wires already-created Agents and
+  // already-registered containers, so attaching to a live system works;
+  // with no observer every hook is a single null-pointer test.
+  void set_observer(obs::Observer* observer);
+  obs::Observer* observer() { return obs_; }
+
   // --- counters ---
   std::uint64_t stats_received() const { return stats_received_; }
   std::uint64_t limit_updates_sent() const { return limit_updates_; }
@@ -82,15 +92,30 @@ class Controller {
     cluster::Container* container = nullptr;
     Agent* agent = nullptr;
   };
+  // Trace/latency context threaded from telemetry fire to limit apply.
+  struct LoopCtx {
+    obs::EventId cause = 0;        // decision (or throttle) trace event
+    sim::TimePoint fire = 0;       // telemetry left the kernel hook
+    sim::TimePoint ingest = 0;     // Controller received the statistic
+    sim::TimePoint decide = 0;     // Allocator returned the decision
+    bool profile = false;          // record the loop when the RPC lands
+  };
 
-  void push_cpu_limit(cluster::ContainerId id, double cores);
-  void push_mem_limit(cluster::ContainerId id, memcg::Bytes limit);
+  void ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
+                        sim::TimePoint fire_time);
+  void push_cpu_limit(cluster::ContainerId id, double cores, LoopCtx ctx);
+  void push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
+                      LoopCtx ctx);
   void run_periodic_reclaim();
+  std::uint32_t node_tag(const Entry& entry) const;
+  void record_reclaims(Agent& agent,
+                       const std::vector<Agent::Resize>& resizes);
 
   sim::Simulation& sim_;
   net::Network& net_;
   EscraConfig config_;
   ResourceAllocator& allocator_;
+  obs::Observer* obs_ = nullptr;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unordered_map<cluster::NodeId, Agent*> agents_by_node_;
   std::unordered_map<cluster::ContainerId, Entry> registry_;

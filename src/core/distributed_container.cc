@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace escra::core {
 
 DistributedContainer::DistributedContainer(double cpu_limit_cores,
@@ -30,6 +32,7 @@ void DistributedContainer::add_member(std::uint32_t container, double cores,
   members_.emplace(container, Member{cores, mem});
   cpu_allocated_ += cores;
   mem_allocated_ += mem;
+  sync_gauges();
 }
 
 void DistributedContainer::remove_member(std::uint32_t container) {
@@ -40,6 +43,7 @@ void DistributedContainer::remove_member(std::uint32_t container) {
   members_.erase(it);
   cpu_allocated_ = std::max(0.0, cpu_allocated_);
   mem_allocated_ = std::max<memcg::Bytes>(0, mem_allocated_);
+  sync_gauges();
 }
 
 const DistributedContainer::Member& DistributedContainer::member(
@@ -73,6 +77,7 @@ double DistributedContainer::set_member_cores(std::uint32_t container,
   cores = std::min(cores, headroom);
   cpu_allocated_ += cores - it->second.cores;
   it->second.cores = cores;
+  sync_gauges();
   return cores;
 }
 
@@ -87,7 +92,27 @@ memcg::Bytes DistributedContainer::set_member_mem(std::uint32_t container,
   mem = std::min(mem, headroom);
   mem_allocated_ += mem - it->second.mem;
   it->second.mem = mem;
+  sync_gauges();
   return mem;
+}
+
+void DistributedContainer::set_obs_gauges(obs::Gauge* cpu_allocated,
+                                          obs::Gauge* cpu_unallocated,
+                                          obs::Gauge* mem_allocated,
+                                          obs::Gauge* mem_unallocated) {
+  gauge_cpu_allocated_ = cpu_allocated;
+  gauge_cpu_unallocated_ = cpu_unallocated;
+  gauge_mem_allocated_ = mem_allocated;
+  gauge_mem_unallocated_ = mem_unallocated;
+  sync_gauges();
+}
+
+void DistributedContainer::sync_gauges() const {
+  if (gauge_cpu_allocated_ == nullptr) return;
+  gauge_cpu_allocated_->set(cpu_allocated_);
+  gauge_cpu_unallocated_->set(cpu_unallocated());
+  gauge_mem_allocated_->set(static_cast<double>(mem_allocated_));
+  gauge_mem_unallocated_->set(static_cast<double>(mem_unallocated()));
 }
 
 }  // namespace escra::core

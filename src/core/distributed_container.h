@@ -17,6 +17,10 @@
 
 #include "memcg/mem_cgroup.h"
 
+namespace escra::obs {
+class Gauge;
+}
+
 namespace escra::core {
 
 class DistributedContainer {
@@ -59,7 +63,15 @@ class DistributedContainer {
   // Adjusts a member's memory limit to `mem`, clamped likewise.
   memcg::Bytes set_member_mem(std::uint32_t container, memcg::Bytes mem);
 
+  // Observability: pool-occupancy gauges kept in sync on every mutation
+  // (all four may be null; typically wired from an obs::Observer's
+  // pool.cpu/mem_allocated/unallocated handles).
+  void set_obs_gauges(obs::Gauge* cpu_allocated, obs::Gauge* cpu_unallocated,
+                      obs::Gauge* mem_allocated, obs::Gauge* mem_unallocated);
+
  private:
+  void sync_gauges() const;
+
   struct Member {
     double cores = 0.0;
     memcg::Bytes mem = 0;
@@ -71,6 +83,10 @@ class DistributedContainer {
   double cpu_allocated_ = 0.0;
   memcg::Bytes mem_allocated_ = 0;
   std::unordered_map<std::uint32_t, Member> members_;
+  obs::Gauge* gauge_cpu_allocated_ = nullptr;
+  obs::Gauge* gauge_cpu_unallocated_ = nullptr;
+  obs::Gauge* gauge_mem_allocated_ = nullptr;
+  obs::Gauge* gauge_mem_unallocated_ = nullptr;
 };
 
 }  // namespace escra::core

@@ -60,6 +60,19 @@ class EscraSystem {
   void start() { controller_.start(); }
   void stop() { controller_.stop(); }
 
+  // Attaches control-plane observability (decision trace, metrics, loop
+  // profiler) to the Controller and the Resource Allocator. Safe before or
+  // after deploy; already-registered containers are re-wired. The observer
+  // must outlive the system (or be detached first).
+  void attach_observer(obs::Observer& observer) {
+    controller_.set_observer(&observer);
+    allocator_.set_observer(&observer);
+  }
+  void detach_observer() {
+    controller_.set_observer(nullptr);
+    allocator_.set_observer(nullptr);
+  }
+
   DistributedContainer& app() { return app_; }
   ResourceAllocator& allocator() { return allocator_; }
   Controller& controller() { return controller_; }

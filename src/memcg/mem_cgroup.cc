@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace escra::memcg {
 
 MemCgroup::MemCgroup(std::uint32_t id, Bytes limit) : id_(id) {
@@ -28,11 +30,13 @@ ChargeResult MemCgroup::try_charge(Bytes bytes) {
     if (usage_ + bytes <= limit_) {
       usage_ += bytes;
       ++oom_rescues_;
+      if (obs_rescues_ != nullptr) obs_rescues_->inc();
       return ChargeResult::kRescued;
     }
     // Hook claimed success but the limit is still short: treat as OOM.
   }
   ++oom_kills_;
+  if (obs_kills_ != nullptr) obs_kills_->inc();
   return ChargeResult::kOom;
 }
 

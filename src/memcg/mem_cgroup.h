@@ -17,6 +17,10 @@
 
 #include "sim/time.h"
 
+namespace escra::obs {
+class Counter;
+}
+
 namespace escra::memcg {
 
 using Bytes = std::int64_t;
@@ -70,6 +74,13 @@ class MemCgroup {
 
   void set_oom_hook(OomHook hook) { oom_hook_ = std::move(hook); }
 
+  // Observability: shared counters bumped when try_charge ends in a kill or
+  // a rescue. Null (the default) disables the hook.
+  void set_obs_counters(obs::Counter* kills, obs::Counter* rescues) {
+    obs_kills_ = kills;
+    obs_rescues_ = rescues;
+  }
+
   std::uint64_t oom_kills() const { return oom_kills_; }
   std::uint64_t oom_rescues() const { return oom_rescues_; }
   std::uint64_t charge_count() const { return charges_; }
@@ -82,6 +93,8 @@ class MemCgroup {
   std::uint64_t oom_kills_ = 0;
   std::uint64_t oom_rescues_ = 0;
   std::uint64_t charges_ = 0;
+  obs::Counter* obs_kills_ = nullptr;
+  obs::Counter* obs_rescues_ = nullptr;
 };
 
 }  // namespace escra::memcg

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 #include <utility>
+
+#include "obs/metrics.h"
 
 namespace escra::net {
 
@@ -37,6 +40,10 @@ void Network::account(Channel channel, std::size_t bytes) {
   s.bytes += bytes;
   lifetime_bytes_ += bytes;
   ++lifetime_messages_;
+  if (obs_bytes_[static_cast<int>(channel)] != nullptr) {
+    obs_bytes_[static_cast<int>(channel)]->inc(bytes);
+    obs_messages_[static_cast<int>(channel)]->inc();
+  }
 
   const sim::TimePoint now = sim_.now();
   if (now - window_start_ >= config_.bandwidth_window) {
@@ -74,6 +81,7 @@ void Network::send(Channel channel, std::size_t bytes,
   if (channel == Channel::kCpuTelemetry && loss_rate_ > 0.0 &&
       fault_rng_.has_value() && fault_rng_->chance(loss_rate_)) {
     ++dropped_;
+    if (obs_dropped_ != nullptr) obs_dropped_->inc();
     return;  // datagram lost; UDP telemetry has no retransmit
   }
   sim_.schedule_after(latency_for(channel) + jitter(), std::move(on_deliver));
@@ -92,6 +100,16 @@ void Network::rpc(std::size_t request_bytes, std::size_t response_bytes,
         sim_.schedule_after(latency_for(Channel::kControlRpc) + jitter(),
                             std::move(resp));
       });
+}
+
+void Network::attach_metrics(obs::MetricsRegistry& registry) {
+  for (int i = 0; i < kChannelCount; ++i) {
+    const std::string base =
+        std::string("net.") + channel_name(static_cast<Channel>(i));
+    obs_bytes_[i] = &registry.counter(base + ".bytes");
+    obs_messages_[i] = &registry.counter(base + ".messages");
+  }
+  obs_dropped_ = &registry.counter("net.dropped_datagrams");
 }
 
 const ChannelStats& Network::stats(Channel channel) const {

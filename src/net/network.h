@@ -20,6 +20,11 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 
+namespace escra::obs {
+class Counter;
+class MetricsRegistry;
+}
+
 namespace escra::net {
 
 // Logical traffic classes, matching the paper's transports.
@@ -64,9 +69,11 @@ class Network {
   // Sends `bytes` on `channel`; `on_deliver` runs after the channel latency.
   void send(Channel channel, std::size_t bytes, std::function<void()> on_deliver);
 
-  // Sends a request and, once the receiver's `handler` produces a response
-  // cost in bytes, delivers `on_response` after a full round trip. Models the
-  // synchronous RPCs the Controller issues to Agents.
+  // Models a synchronous Controller->Agent RPC with fixed request/response
+  // sizes. `request_bytes` are accounted at issue time; after the one-way
+  // latency `on_request_delivered` runs at the receiver, then
+  // `response_bytes` are accounted and `on_response_delivered` runs at the
+  // caller after the return leg — a full round trip end to end.
   void rpc(std::size_t request_bytes, std::size_t response_bytes,
            std::function<void()> on_request_delivered,
            std::function<void()> on_response_delivered);
@@ -74,6 +81,12 @@ class Network {
   const ChannelStats& stats(Channel channel) const;
   std::uint64_t total_bytes() const;
   std::uint64_t total_messages() const;
+
+  // Observability: registers per-channel byte/message counters (plus a
+  // dropped-datagram counter) as "net.<channel>.bytes" / ".messages" and
+  // mirrors all subsequent traffic into them. Unattached, accounting costs
+  // nothing extra.
+  void attach_metrics(obs::MetricsRegistry& registry);
 
   // Peak bandwidth observed over any sampling window so far, in Mbps.
   double peak_mbps() const;
@@ -112,6 +125,11 @@ class Network {
   sim::Duration max_jitter_ = 0;
   std::optional<sim::Rng> fault_rng_;
   std::uint64_t dropped_ = 0;
+  // Registry mirrors, indexed by channel; all null until attach_metrics.
+  static constexpr int kChannelCount = 4;
+  obs::Counter* obs_bytes_[kChannelCount] = {};
+  obs::Counter* obs_messages_[kChannelCount] = {};
+  obs::Counter* obs_dropped_ = nullptr;
 };
 
 }  // namespace escra::net

@@ -1,0 +1,34 @@
+#include "obs/observer.h"
+
+namespace escra::obs {
+
+Observer::Observer(Config config) : trace_(config.trace_capacity) {
+  h.stats_ingested = &metrics_.counter("controller.stats_ingested");
+  h.rpcs_issued = &metrics_.counter("controller.rpcs_issued");
+  h.rpcs_applied = &metrics_.counter("controller.rpcs_applied");
+  h.oom_events = &metrics_.counter("controller.oom_events");
+  h.oom_rescues = &metrics_.counter("controller.oom_rescues");
+  h.reclaim_sweeps = &metrics_.counter("reclaim.sweeps");
+  h.reclaim_bytes = &metrics_.counter("reclaim.bytes_total");
+  h.registrations = &metrics_.counter("containers.registered_total");
+  h.deregistrations = &metrics_.counter("containers.deregistered_total");
+  h.containers_active = &metrics_.gauge("containers.active");
+
+  h.cpu_grants = &metrics_.counter("allocator.cpu_grants");
+  h.cpu_shrinks = &metrics_.counter("allocator.cpu_shrinks");
+  h.mem_grants = &metrics_.counter("allocator.mem_grants");
+  h.mem_denies = &metrics_.counter("allocator.mem_denies");
+
+  h.pool_cpu_allocated = &metrics_.gauge("pool.cpu_allocated_cores");
+  h.pool_cpu_unallocated = &metrics_.gauge("pool.cpu_unallocated_cores");
+  h.pool_mem_allocated = &metrics_.gauge("pool.mem_allocated_bytes");
+  h.pool_mem_unallocated = &metrics_.gauge("pool.mem_unallocated_bytes");
+
+  h.cfs_periods = &metrics_.counter("cfs.periods_total");
+  h.cfs_throttled_periods = &metrics_.counter("cfs.throttled_periods_total");
+  h.memcg_oom_kills = &metrics_.counter("memcg.oom_kills");
+  h.memcg_oom_rescues = &metrics_.counter("memcg.oom_rescues");
+  h.agent_limit_applies = &metrics_.counter("agent.limit_applies");
+}
+
+}  // namespace escra::obs

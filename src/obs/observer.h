@@ -1,0 +1,97 @@
+// Observer: the one-object attachment point for control-plane observability.
+//
+// Bundles the three obs halves — decision TraceBuffer, MetricsRegistry, and
+// control-loop LoopProfiler — and pre-registers the metric handles the
+// instrumented modules (core/controller, core/allocator, core/agent, cfs,
+// memcg, net, serverless) increment on their hot paths.
+//
+// Instrumentation contract: modules hold a nullable `Observer*` (or raw
+// `Counter*`/`Gauge*` handles wired from one). With no observer attached
+// every hook is a single null-pointer test, so benchmark hot paths are
+// unaffected; attaching is strictly additive and can be done on a live
+// system (EscraSystem::attach_observer re-wires already-registered
+// containers and agents).
+//
+//   obs::Observer observer;
+//   escra.attach_observer(observer);       // before or after deploy
+//   network.attach_metrics(observer.metrics());
+//   simulation.run_until(...);
+//   observer.trace().export_jsonl(file);   // decision trace, causal links
+//   observer.metrics().export_csv(file, simulation.now());
+//   std::puts(observer.profiler().table().c_str());
+#pragma once
+
+#include "obs/metrics.h"
+#include "obs/profiler.h"
+#include "obs/trace.h"
+
+namespace escra::obs {
+
+class Observer {
+ public:
+  struct Config {
+    std::size_t trace_capacity = 1 << 16;
+  };
+
+  // Two constructors instead of one defaulted `Config{}` argument: a default
+  // argument would need Config's member initializers before the enclosing
+  // class is complete. The bodies of in-class definitions are parsed in the
+  // complete-class context, so the delegating form compiles.
+  Observer() : Observer(Config{}) {}
+  explicit Observer(Config config);
+
+  Observer(const Observer&) = delete;
+  Observer& operator=(const Observer&) = delete;
+
+  TraceBuffer& trace() { return trace_; }
+  const TraceBuffer& trace() const { return trace_; }
+  MetricsRegistry& metrics() { return metrics_; }
+  const MetricsRegistry& metrics() const { return metrics_; }
+  LoopProfiler& profiler() { return profiler_; }
+  const LoopProfiler& profiler() const { return profiler_; }
+
+  EventId record(const TraceEvent& event) { return trace_.record(event); }
+
+  // Handles for the metrics the control plane updates inline. Registered in
+  // the constructor, so user code registering a clashing name fails fast.
+  struct Handles {
+    // Controller (telemetry ingest, RPC fan-out, OOM path, reclamation).
+    Counter* stats_ingested = nullptr;    // controller.stats_ingested
+    Counter* rpcs_issued = nullptr;       // controller.rpcs_issued
+    Counter* rpcs_applied = nullptr;      // controller.rpcs_applied
+    Counter* oom_events = nullptr;        // controller.oom_events
+    Counter* oom_rescues = nullptr;       // controller.oom_rescues
+    Counter* reclaim_sweeps = nullptr;    // reclaim.sweeps
+    Counter* reclaim_bytes = nullptr;     // reclaim.bytes_total
+    Counter* registrations = nullptr;     // containers.registered_total
+    Counter* deregistrations = nullptr;   // containers.deregistered_total
+    Gauge* containers_active = nullptr;   // containers.active
+
+    // Resource Allocator decisions.
+    Counter* cpu_grants = nullptr;   // allocator.cpu_grants
+    Counter* cpu_shrinks = nullptr;  // allocator.cpu_shrinks
+    Counter* mem_grants = nullptr;   // allocator.mem_grants
+    Counter* mem_denies = nullptr;   // allocator.mem_denies
+
+    // Distributed Container pool occupancy.
+    Gauge* pool_cpu_allocated = nullptr;    // pool.cpu_allocated_cores
+    Gauge* pool_cpu_unallocated = nullptr;  // pool.cpu_unallocated_cores
+    Gauge* pool_mem_allocated = nullptr;    // pool.mem_allocated_bytes
+    Gauge* pool_mem_unallocated = nullptr;  // pool.mem_unallocated_bytes
+
+    // Substrate hooks (CFS periods, memcg OOM outcomes, Agent applies).
+    Counter* cfs_periods = nullptr;            // cfs.periods_total
+    Counter* cfs_throttled_periods = nullptr;  // cfs.throttled_periods_total
+    Counter* memcg_oom_kills = nullptr;        // memcg.oom_kills
+    Counter* memcg_oom_rescues = nullptr;      // memcg.oom_rescues
+    Counter* agent_limit_applies = nullptr;    // agent.limit_applies
+  };
+  Handles h;
+
+ private:
+  TraceBuffer trace_;
+  MetricsRegistry metrics_;
+  LoopProfiler profiler_;
+};
+
+}  // namespace escra::obs

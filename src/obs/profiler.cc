@@ -1,0 +1,78 @@
+#include "obs/profiler.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace escra::obs {
+
+namespace {
+// Stage latencies are sub-second in any healthy run; a 1-hour ceiling keeps
+// the histograms tiny while leaving room to see pathological stalls.
+constexpr std::int64_t kMaxLatencyUs = 3'600'000'000LL;
+}  // namespace
+
+const char* loop_stage_name(LoopStage stage) {
+  switch (stage) {
+    case LoopStage::kFireToIngest: return "fire->ingest";
+    case LoopStage::kIngestToDecide: return "ingest->decide";
+    case LoopStage::kDecideToApply: return "decide->apply";
+    case LoopStage::kEndToEnd: return "end-to-end";
+  }
+  return "unknown";
+}
+
+LoopProfiler::LoopProfiler()
+    : hist_{sim::Histogram(kMaxLatencyUs), sim::Histogram(kMaxLatencyUs),
+            sim::Histogram(kMaxLatencyUs), sim::Histogram(kMaxLatencyUs)} {}
+
+void LoopProfiler::record(LoopStage stage, sim::Duration latency) {
+  if (latency < 0) throw std::invalid_argument("LoopProfiler: negative");
+  const auto i = static_cast<std::size_t>(stage);
+  hist_[i].record(latency);
+  stat_[i].add(static_cast<double>(latency));
+}
+
+void LoopProfiler::record_loop(sim::TimePoint fire, sim::TimePoint ingest,
+                               sim::TimePoint decide, sim::TimePoint apply) {
+  record(LoopStage::kFireToIngest, ingest - fire);
+  record(LoopStage::kIngestToDecide, decide - ingest);
+  record(LoopStage::kDecideToApply, apply - decide);
+  record(LoopStage::kEndToEnd, apply - fire);
+  ++loops_;
+}
+
+const sim::Histogram& LoopProfiler::histogram(LoopStage stage) const {
+  return hist_[static_cast<std::size_t>(stage)];
+}
+
+const sim::RunningStat& LoopProfiler::stat(LoopStage stage) const {
+  return stat_[static_cast<std::size_t>(stage)];
+}
+
+std::string LoopProfiler::table() const {
+  std::string out;
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-16s %10s %10s %10s %10s %10s %10s\n",
+                "stage", "count", "mean ms", "p50 ms", "p90 ms", "p99 ms",
+                "max ms");
+  out += line;
+  for (int i = 0; i < kLoopStageCount; ++i) {
+    const auto stage = static_cast<LoopStage>(i);
+    const sim::Histogram& h = hist_[i];
+    // The histogram clamps values below 1 us up to 1 us; use the exact
+    // running stat for the mean and fall back to it for an all-zero stage.
+    const double mean_ms = stat_[i].mean() / 1000.0;
+    std::snprintf(line, sizeof(line),
+                  "  %-16s %10llu %10.3f %10.3f %10.3f %10.3f %10.3f\n",
+                  loop_stage_name(stage),
+                  static_cast<unsigned long long>(h.count()), mean_ms,
+                  static_cast<double>(h.percentile(50)) / 1000.0,
+                  static_cast<double>(h.percentile(90)) / 1000.0,
+                  static_cast<double>(h.percentile(99)) / 1000.0,
+                  static_cast<double>(h.max()) / 1000.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace escra::obs

@@ -1,0 +1,62 @@
+// Control-loop latency profiler (escra_obs).
+//
+// Breaks the telemetry -> decision -> limit-apply loop into its stages and
+// records each stage's simulated-time latency:
+//
+//   fire->ingest   telemetry datagram leaves the kernel hook, arrives at
+//                  the Controller (one-way network latency),
+//   ingest->decide Controller hands the statistic to the Resource
+//                  Allocator and gets a decision (zero sim-time today; the
+//                  stage exists so a future sharded/batched controller has
+//                  a baseline to compare against),
+//   decide->apply  limit-update RPC to the Agent and cgroup write,
+//   end-to-end     fire -> cgroup write, the paper's sub-second claim.
+//
+// Per-stage distributions reuse sim::Histogram (percentiles) plus
+// sim::RunningStat (exact means); `table()` renders the p50/p90/p99/max
+// breakdown bench/control_loop_trace prints.
+#pragma once
+
+#include <string>
+
+#include "sim/histogram.h"
+#include "sim/stats.h"
+#include "sim/time.h"
+
+namespace escra::obs {
+
+enum class LoopStage : std::uint8_t {
+  kFireToIngest = 0,
+  kIngestToDecide = 1,
+  kDecideToApply = 2,
+  kEndToEnd = 3,
+};
+inline constexpr int kLoopStageCount = 4;
+
+const char* loop_stage_name(LoopStage stage);
+
+class LoopProfiler {
+ public:
+  LoopProfiler();
+
+  void record(LoopStage stage, sim::Duration latency);
+
+  // Records all four stages of one completed loop from its timestamps
+  // (fire <= ingest <= decide <= apply, all simulated time).
+  void record_loop(sim::TimePoint fire, sim::TimePoint ingest,
+                   sim::TimePoint decide, sim::TimePoint apply);
+
+  const sim::Histogram& histogram(LoopStage stage) const;
+  const sim::RunningStat& stat(LoopStage stage) const;
+  std::uint64_t loops_completed() const { return loops_; }
+
+  // Formatted per-stage latency table (mean/p50/p90/p99/max, milliseconds).
+  std::string table() const;
+
+ private:
+  sim::Histogram hist_[kLoopStageCount];
+  sim::RunningStat stat_[kLoopStageCount];
+  std::uint64_t loops_ = 0;
+};
+
+}  // namespace escra::obs

@@ -1,0 +1,239 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace escra::obs {
+
+namespace {
+
+constexpr const char* kKindNames[kEventKindCount] = {
+    "throttle-observed",    "cpu-grant",  "cpu-shrink",
+    "mem-grant-on-oom",     "reclaim",    "container-registered",
+    "container-killed",     "rpc-issued", "rpc-applied",
+};
+
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+const char* event_kind_name(EventKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kEventKindCount ? kKindNames[i] : "unknown";
+}
+
+std::optional<EventKind> event_kind_from_name(std::string_view name) {
+  for (int i = 0; i < kEventKindCount; ++i) {
+    if (name == kKindNames[i]) return static_cast<EventKind>(i);
+  }
+  return std::nullopt;
+}
+
+TraceBuffer::TraceBuffer(std::size_t capacity) : capacity_(capacity) {
+  if (capacity == 0) throw std::invalid_argument("TraceBuffer: capacity 0");
+  ring_.reserve(capacity);
+}
+
+EventId TraceBuffer::record(TraceEvent event) {
+  event.id = next_id_++;
+  if (ring_.size() < capacity_) {
+    ring_.push_back(event);
+  } else {
+    // Full: overwrite the oldest slot and advance the ring start.
+    ring_[start_] = event;
+    start_ = (start_ + 1) % capacity_;
+    ++evicted_;
+  }
+  return event.id;
+}
+
+std::size_t TraceBuffer::index_of(EventId id) const {
+  // Buffered ids are the dense range [oldest, next_id_); valid physical
+  // indices are always < ring_.size(), so ring_.size() works as "absent".
+  const EventId oldest = next_id_ - ring_.size();
+  if (id < oldest || id >= next_id_) return ring_.size();  // not buffered
+  return (start_ + static_cast<std::size_t>(id - oldest)) % capacity_;
+}
+
+const TraceEvent* TraceBuffer::find(EventId id) const {
+  if (id == 0) return nullptr;
+  const std::size_t idx = index_of(id);
+  return idx < ring_.size() ? &ring_[idx] : nullptr;
+}
+
+const TraceEvent& TraceBuffer::at(std::size_t index) const {
+  if (index >= ring_.size()) throw std::out_of_range("TraceBuffer::at");
+  return ring_[(start_ + index) % capacity_];
+}
+
+std::vector<TraceEvent> TraceBuffer::chain(EventId id) const {
+  std::vector<TraceEvent> out;
+  const TraceEvent* e = find(id);
+  while (e != nullptr) {
+    out.push_back(*e);
+    e = e->cause == 0 ? nullptr : find(e->cause);
+  }
+  // Collected effect-to-cause; the caller reads root-first.
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::vector<TraceEvent> TraceBuffer::for_container(
+    std::uint32_t container) const {
+  std::vector<TraceEvent> out;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = at(i);
+    if (e.container == container) out.push_back(e);
+  }
+  return out;
+}
+
+std::optional<TraceEvent> TraceBuffer::last(EventKind kind,
+                                            std::uint32_t container) const {
+  for (std::size_t i = ring_.size(); i-- > 0;) {
+    const TraceEvent& e = at(i);
+    if (e.kind == kind && e.container == container) return e;
+  }
+  return std::nullopt;
+}
+
+void TraceBuffer::export_jsonl(std::ostream& out) const {
+  std::string line;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = at(i);
+    line.clear();
+    line += "{\"id\":";
+    line += std::to_string(e.id);
+    line += ",\"t_us\":";
+    line += std::to_string(e.time);
+    line += ",\"kind\":\"";
+    line += event_kind_name(e.kind);
+    line += "\",\"container\":";
+    line += std::to_string(e.container);
+    line += ",\"node\":";
+    line += std::to_string(e.node);
+    line += ",\"before\":";
+    append_double(line, e.before);
+    line += ",\"after\":";
+    append_double(line, e.after);
+    line += ",\"cause\":";
+    line += std::to_string(e.cause);
+    line += ",\"detail\":";
+    line += std::to_string(e.detail);
+    line += "}\n";
+    out << line;
+  }
+}
+
+void TraceBuffer::export_csv(std::ostream& out) const {
+  out << "id,t_us,kind,container,node,before,after,cause,detail\n";
+  std::string line;
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    const TraceEvent& e = at(i);
+    line.clear();
+    line += std::to_string(e.id);
+    line += ',';
+    line += std::to_string(e.time);
+    line += ',';
+    line += event_kind_name(e.kind);
+    line += ',';
+    line += std::to_string(e.container);
+    line += ',';
+    line += std::to_string(e.node);
+    line += ',';
+    append_double(line, e.before);
+    line += ',';
+    append_double(line, e.after);
+    line += ',';
+    line += std::to_string(e.cause);
+    line += ',';
+    line += std::to_string(e.detail);
+    line += '\n';
+    out << line;
+  }
+}
+
+namespace {
+
+// Extracts the raw text of `"key":<value>` from a JSONL line produced by
+// export_jsonl. The format is our own flat single-line objects, so plain
+// string scanning is sufficient (no nested objects or escaped strings).
+std::string_view json_field(std::string_view line, std::string_view key) {
+  const std::string needle = "\"" + std::string(key) + "\":";
+  const auto pos = line.find(needle);
+  if (pos == std::string_view::npos) {
+    throw std::runtime_error("trace import: missing field '" +
+                             std::string(key) + "'");
+  }
+  std::size_t begin = pos + needle.size();
+  std::size_t end = begin;
+  if (begin < line.size() && line[begin] == '"') {
+    ++begin;
+    end = line.find('"', begin);
+    if (end == std::string_view::npos) {
+      throw std::runtime_error("trace import: unterminated string");
+    }
+  } else {
+    while (end < line.size() && line[end] != ',' && line[end] != '}') ++end;
+  }
+  return line.substr(begin, end - begin);
+}
+
+}  // namespace
+
+TraceBuffer TraceBuffer::import_jsonl(std::istream& in) {
+  // First pass: collect, so the buffer can be sized to hold everything.
+  std::vector<TraceEvent> events;
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    try {
+      TraceEvent e;
+      e.id = std::stoull(std::string(json_field(line, "id")));
+      e.time = std::stoll(std::string(json_field(line, "t_us")));
+      const auto kind = event_kind_from_name(json_field(line, "kind"));
+      if (!kind.has_value()) throw std::runtime_error("unknown kind");
+      e.kind = *kind;
+      e.container =
+          static_cast<std::uint32_t>(
+              std::stoul(std::string(json_field(line, "container"))));
+      e.node = static_cast<std::uint32_t>(
+          std::stoul(std::string(json_field(line, "node"))));
+      e.before = std::stod(std::string(json_field(line, "before")));
+      e.after = std::stod(std::string(json_field(line, "after")));
+      e.cause = std::stoull(std::string(json_field(line, "cause")));
+      e.detail = std::stoll(std::string(json_field(line, "detail")));
+      events.push_back(e);
+    } catch (const std::exception& ex) {
+      throw std::runtime_error("trace import: line " + std::to_string(lineno) +
+                               ": " + ex.what());
+    }
+  }
+  TraceBuffer buf(events.empty() ? 1 : events.size());
+  for (const TraceEvent& e : events) {
+    const EventId want = e.id;
+    buf.record(e);
+    // Preserve the original ids so causal links keep resolving: exports are
+    // dense and ordered, so forcing the counter forward is enough.
+    if (buf.next_id_ - 1 != want) {
+      if (want + 1 < buf.next_id_) {
+        throw std::runtime_error("trace import: ids not ascending");
+      }
+      TraceEvent& slot =
+          buf.ring_[(buf.start_ + buf.ring_.size() - 1) % buf.capacity_];
+      slot.id = want;
+      buf.next_id_ = want + 1;
+    }
+  }
+  return buf;
+}
+
+}  // namespace escra::obs

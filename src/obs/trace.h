@@ -1,0 +1,122 @@
+// Structured control-plane decision trace (escra_obs).
+//
+// A bounded ring buffer of typed control-plane events: every allocation
+// decision Escra makes (CPU grant/shrink, OOM memory grant, reclamation
+// resize), the telemetry observation that triggered it, and the RPC that
+// carried it to the node — each stamped with simulated time, container and
+// node ids, the limit before and after, and a *causal link* to the event
+// that triggered it. The chain
+//
+//     ThrottleObserved -> CpuGrant -> RpcIssued -> RpcApplied
+//
+// answers "why did container X get limit Y" with the full telemetry-to-
+// cgroup path and its per-stage latency, the instrumented counterpart of
+// the paper's sub-second control-loop claim (Sections IV, VI-I).
+//
+// Event ids are assigned in record order by the deterministic simulation,
+// so two identical-seed runs produce byte-identical JSONL/CSV exports. At
+// capacity the oldest event is evicted (its id is never reused; causal
+// walks simply stop when a cause has been evicted).
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <optional>
+#include <ostream>
+#include <string_view>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace escra::obs {
+
+enum class EventKind : std::uint8_t {
+  kThrottleObserved,     // CFS period ended throttled (telemetry fire site)
+  kCpuGrant,             // allocator raised a CPU limit
+  kCpuShrink,            // allocator lowered a CPU limit
+  kMemGrantOnOom,        // allocator raised a memory limit pre-OOM
+  kReclaim,              // reclamation pass shrank a memory limit
+  kContainerRegistered,  // container joined the Distributed Container
+  kContainerKilled,      // container left (reaped, killed, or released)
+  kRpcIssued,            // Controller -> Agent limit-update RPC sent
+  kRpcApplied,           // Agent applied the limit to the cgroup
+};
+inline constexpr int kEventKindCount = 9;
+
+const char* event_kind_name(EventKind kind);
+std::optional<EventKind> event_kind_from_name(std::string_view name);
+
+// 0 means "no event" (e.g. a root cause).
+using EventId = std::uint64_t;
+
+struct TraceEvent {
+  EventId id = 0;  // assigned by TraceBuffer::record
+  sim::TimePoint time = 0;
+  EventKind kind = EventKind::kThrottleObserved;
+  std::uint32_t container = 0;  // 0 = not container-specific
+  std::uint32_t node = 0;       // node id + 1; 0 = unknown/none
+  // Limit before/after the event, in the resource's natural unit: cores for
+  // CPU events, bytes for memory events; 0 when not a limit change.
+  double before = 0.0;
+  double after = 0.0;
+  EventId cause = 0;  // the event this one is a direct consequence of
+  // Kind-specific extra: unused runtime (ThrottleObserved, us), shortfall
+  // (MemGrantOnOom, bytes), freed bytes (Reclaim), wire bytes (Rpc*).
+  std::int64_t detail = 0;
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  // Appends the event (evicting the oldest if full), assigns its id, and
+  // returns it. The passed event's `id` field is ignored.
+  EventId record(TraceEvent event);
+
+  std::size_t size() const { return ring_.size(); }
+  std::size_t capacity() const { return capacity_; }
+  // Total events ever recorded / evicted from the ring.
+  std::uint64_t recorded() const { return next_id_ - 1; }
+  std::uint64_t evicted() const { return evicted_; }
+
+  // Event by id; nullptr if never recorded or already evicted. O(1): ids
+  // are dense, so the id maps straight to a ring position.
+  const TraceEvent* find(EventId id) const;
+  // Events oldest-first; index 0 is the oldest still buffered.
+  const TraceEvent& at(std::size_t index) const;
+
+  // --- causal queries ---
+
+  // The causal chain ending at `id`, root first. Stops (at the oldest
+  // retained link) when a cause has been evicted or is 0.
+  std::vector<TraceEvent> chain(EventId id) const;
+
+  // All buffered events touching a container, oldest first.
+  std::vector<TraceEvent> for_container(std::uint32_t container) const;
+
+  // The newest buffered event satisfying (kind, container); nullopt if none.
+  std::optional<TraceEvent> last(EventKind kind, std::uint32_t container) const;
+
+  // --- export / import ---
+
+  // One JSON object per line, fields in fixed order, %.17g doubles: output
+  // depends only on the recorded events, so identical-seed runs export
+  // byte-identical files.
+  void export_jsonl(std::ostream& out) const;
+  void export_csv(std::ostream& out) const;
+
+  // Parses a file produced by export_jsonl (used by the escra-trace CLI).
+  // Throws std::runtime_error on malformed lines.
+  static TraceBuffer import_jsonl(std::istream& in);
+
+ private:
+  std::size_t index_of(EventId id) const;
+
+  std::size_t capacity_;
+  std::vector<TraceEvent> ring_;  // ring_[(start_ + i) % capacity_]
+  std::size_t start_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t evicted_ = 0;
+};
+
+}  // namespace escra::obs

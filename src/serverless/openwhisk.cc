@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace escra::serverless {
 
 OpenWhisk::OpenWhisk(sim::Simulation& sim, cluster::Cluster& cluster,
@@ -12,6 +14,22 @@ OpenWhisk::OpenWhisk(sim::Simulation& sim, cluster::Cluster& cluster,
 
 OpenWhisk::~OpenWhisk() {
   for (auto& pod : pods_) sim_.cancel(pod->reap_timer);
+}
+
+void OpenWhisk::attach_metrics(obs::MetricsRegistry& registry) {
+  obs_invocations_ = &registry.counter("openwhisk.invocations");
+  obs_cold_starts_ = &registry.counter("openwhisk.cold_starts");
+  obs_completions_ = &registry.counter("openwhisk.completions");
+  obs_pods_reaped_ = &registry.counter("openwhisk.pods_reaped");
+  obs_pods_ = &registry.gauge("openwhisk.pods");
+  obs_queue_depth_ = &registry.gauge("openwhisk.queue_depth");
+  sync_pod_gauges();
+}
+
+void OpenWhisk::sync_pod_gauges() {
+  if (obs_pods_ == nullptr) return;
+  obs_pods_->set(static_cast<double>(pods_.size()));
+  obs_queue_depth_->set(static_cast<double>(queue_.size()));
 }
 
 void OpenWhisk::register_action(ActionSpec spec) {
@@ -34,6 +52,7 @@ void OpenWhisk::invoke(const std::string& action, Done done) {
     throw std::invalid_argument("invoke: unknown action " + action);
   }
   Activation activation{action, std::move(done)};
+  if (obs_invocations_ != nullptr) obs_invocations_->inc();
 
   if (Pod* warm = find_idle_pod(action)) {
     start_on_pod(*warm, std::move(activation));
@@ -44,6 +63,7 @@ void OpenWhisk::invoke(const std::string& action, Done done) {
     // here; the connection does not delay execution, Section IV-E), then
     // run after the runtime initializes.
     ++cold_starts_;
+    if (obs_cold_starts_ != nullptr) obs_cold_starts_->inc();
     cluster::ContainerSpec cs;
     cs.name = action + "-pod-" + std::to_string(pods_.size());
     cs.max_parallelism = config_.pod_parallelism;
@@ -57,6 +77,7 @@ void OpenWhisk::invoke(const std::string& action, Done done) {
     pod->warming = true;
     Pod* raw = pod.get();
     pods_.push_back(std::move(pod));
+    sync_pod_gauges();
     sim_.schedule_after(config_.cold_start,
                         [this, raw, a = std::move(activation)]() mutable {
                           raw->warming = false;
@@ -66,6 +87,7 @@ void OpenWhisk::invoke(const std::string& action, Done done) {
   }
   // Pool full: activation queues in the invoker.
   queue_.push_back(std::move(activation));
+  sync_pod_gauges();
 }
 
 void OpenWhisk::start_on_pod(Pod& pod, Activation activation) {
@@ -105,6 +127,9 @@ void OpenWhisk::start_on_pod(Pod& pod, Activation activation) {
           sim_.schedule_after(spec.io_after,
                               [this, &pod, done = std::move(done)]() mutable {
                                 ++completed_;
+                                if (obs_completions_ != nullptr) {
+                                  obs_completions_->inc();
+                                }
                                 finish_on_pod(pod);
                                 if (done) done(true);
                               });
@@ -124,6 +149,7 @@ void OpenWhisk::finish_on_pod(Pod& pod) {
     if (it->action == pod.action && pod.container->running()) {
       Activation next = std::move(*it);
       queue_.erase(it);
+      sync_pod_gauges();
       start_on_pod(pod, std::move(next));
       return;
     }
@@ -142,6 +168,8 @@ void OpenWhisk::reap_pod(Pod& pod) {
   if (reap_hook_) reap_hook_(*pod.container);
   cluster_.remove_container(*pod.container);
   std::erase_if(pods_, [&](const auto& p) { return p.get() == &pod; });
+  if (obs_pods_reaped_ != nullptr) obs_pods_reaped_->inc();
+  sync_pod_gauges();
 }
 
 std::size_t OpenWhisk::busy_pods() const {

@@ -30,6 +30,12 @@
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
+namespace escra::obs {
+class Counter;
+class Gauge;
+class MetricsRegistry;
+}
+
 namespace escra::serverless {
 
 // A registered serverless function.
@@ -89,6 +95,11 @@ class OpenWhisk {
   std::uint64_t completed() const { return completed_; }
   std::size_t queued() const { return queue_.size(); }
 
+  // Observability: registers openwhisk.* counters/gauges (invocations,
+  // cold_starts, completions, pods_reaped, pods, queue_depth) and mirrors
+  // platform activity into them. Call at most once per registry.
+  void attach_metrics(obs::MetricsRegistry& registry);
+
  private:
   struct Pod {
     cluster::Container* container = nullptr;
@@ -119,6 +130,14 @@ class OpenWhisk {
   PodReapHook reap_hook_;
   std::uint64_t cold_starts_ = 0;
   std::uint64_t completed_ = 0;
+
+  void sync_pod_gauges();
+  obs::Counter* obs_invocations_ = nullptr;
+  obs::Counter* obs_cold_starts_ = nullptr;
+  obs::Counter* obs_completions_ = nullptr;
+  obs::Counter* obs_pods_reaped_ = nullptr;
+  obs::Gauge* obs_pods_ = nullptr;
+  obs::Gauge* obs_queue_depth_ = nullptr;
 };
 
 }  // namespace escra::serverless

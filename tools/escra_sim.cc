@@ -13,6 +13,10 @@
 //     --cores C                            cores per node    (default 20)
 //     --csv PATH                           per-second aggregate usage/limit
 //                                          time series as CSV
+//     --metrics-out PATH                   control-plane metrics time series
+//                                          (1 s snapshots) as CSV
+//     --trace-out PATH                     decision trace (causal JSONL,
+//                                          readable by escra-trace)
 //
 // Loads the application (services, edges, Distributed Container limits, and
 // Escra tunables) from the YAML file, deploys it on a simulated cluster
@@ -34,6 +38,7 @@
 #include "core/escra.h"
 #include "exp/microservice.h"
 #include "net/network.h"
+#include "obs/observer.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "workload/load_generator.h"
@@ -53,6 +58,8 @@ struct Options {
   int nodes = 3;
   double cores = 20.0;
   std::string csv_path;
+  std::string metrics_path;  // --metrics-out: obs registry CSV time series
+  std::string trace_path_out;  // --trace-out: decision trace JSONL
 };
 
 void usage() {
@@ -62,8 +69,9 @@ void usage() {
                "                 [--policy escra|static|autopilot|vpa|firm]\n"
                "                 [--rate R] [--duration S] [--seed N]\n"
                "                 [--nodes N] [--cores C] [--csv PATH]\n"
-               "(--rate and --csv apply to the default escra policy run "
-               "only)\n");
+               "                 [--metrics-out PATH] [--trace-out PATH]\n"
+               "(--rate, --csv, --metrics-out and --trace-out apply to the "
+               "default escra policy run only)\n");
 }
 
 std::optional<Options> parse_args(int argc, char** argv) {
@@ -94,6 +102,10 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.cores = std::stod(next());
     } else if (flag == "--csv") {
       opts.csv_path = next();
+    } else if (flag == "--metrics-out") {
+      opts.metrics_path = next();
+    } else if (flag == "--trace-out") {
+      opts.trace_path_out = next();
     } else {
       throw std::runtime_error("unknown flag " + flag);
     }
@@ -229,6 +241,16 @@ int main(int argc, char** argv) {
   core::EscraSystem escra(simulation, network, k8s,
                           app_config.global_cpu_cores, app_config.global_mem,
                           app_config.escra);
+  // Control-plane observability is opt-in: without the flags nothing is
+  // attached and the run is hook-free.
+  std::optional<obs::Observer> observer;
+  if (!opts.metrics_path.empty() || !opts.trace_path_out.empty()) {
+    observer.emplace();
+    escra.attach_observer(*observer);
+    network.attach_metrics(observer->metrics());
+    observer->metrics().start_periodic_snapshots(simulation, sim::kSecond);
+  }
+
   escra.manage(application.containers());
   escra.start();
 
@@ -308,6 +330,35 @@ int main(int argc, char** argv) {
               network.peak_mbps(), network.mean_mbps());
   if (!opts.csv_path.empty()) {
     std::printf("  time series    %s\n", opts.csv_path.c_str());
+  }
+  if (observer.has_value()) {
+    std::printf("\ncontrol-loop latency (%llu loops):\n%s",
+                static_cast<unsigned long long>(
+                    observer->profiler().loops_completed()),
+                observer->profiler().table().c_str());
+    if (!opts.metrics_path.empty()) {
+      std::ofstream out(opts.metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opts.metrics_path.c_str());
+        return 1;
+      }
+      observer->metrics().export_csv(out, simulation.now());
+      std::printf("  metrics        %s\n", opts.metrics_path.c_str());
+    }
+    if (!opts.trace_path_out.empty()) {
+      std::ofstream out(opts.trace_path_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opts.trace_path_out.c_str());
+        return 1;
+      }
+      observer->trace().export_jsonl(out);
+      std::printf("  trace          %s (%llu events, %llu evicted)\n",
+                  opts.trace_path_out.c_str(),
+                  static_cast<unsigned long long>(observer->trace().recorded()),
+                  static_cast<unsigned long long>(observer->trace().evicted()));
+    }
   }
   return 0;
 }
