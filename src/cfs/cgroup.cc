@@ -85,4 +85,12 @@ void CfsCgroup::reset_bandwidth() {
   throttled_ = false;
 }
 
+bool CfsCgroup::bandwidth_state_valid() const {
+  if (runtime_remaining_ < 0) return false;
+  if (runtime_remaining_ > quota_ + burst_) return false;
+  if (quota_ != quota_for(cores_, period_)) return false;
+  if (consumed_ < 0 || total_consumed_ < consumed_) return false;
+  return true;
+}
+
 }  // namespace escra::cfs

@@ -98,6 +98,12 @@ class CfsCgroup {
   // Resets bandwidth state (used when a container restarts).
   void reset_bandwidth();
 
+  // Internal-consistency predicate for the invariant checker: runtime
+  // remaining is within [0, quota + burst] and the quota matches the limit.
+  // (consumed_this_period <= quota + burst is deliberately NOT asserted: a
+  // mid-period limit cut legitimately leaves consumed above the new quota.)
+  bool bandwidth_state_valid() const;
+
  private:
   CgroupId id_;
   sim::Duration period_;

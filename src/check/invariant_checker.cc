@@ -1,0 +1,465 @@
+#include "check/invariant_checker.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+#include "cluster/cluster.h"
+#include "cluster/container.h"
+#include "cluster/node.h"
+#include "core/escra.h"
+
+namespace escra::check {
+
+namespace {
+
+std::string fmt(const char* format, double a, double b) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), format, a, b);
+  return buf;
+}
+
+std::string fmt3(const char* format, double a, double b, double c) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), format, a, b, c);
+  return buf;
+}
+
+}  // namespace
+
+InvariantChecker::InvariantChecker(core::EscraSystem& escra,
+                                   net::Network& network,
+                                   obs::Observer& observer, Config config)
+    : escra_(escra),
+      net_(network),
+      obs_(observer),
+      cluster_(escra.cluster()),
+      sim_(escra.cluster().simulation()),
+      config_(config) {
+  if (escra_.controller().observer() != &observer) {
+    throw std::invalid_argument(
+        "InvariantChecker: observer is not attached to this EscraSystem "
+        "(call EscraSystem::attach_observer first)");
+  }
+  if (config_.sweep_interval <= 0) {
+    throw std::invalid_argument("InvariantChecker: sweep_interval <= 0");
+  }
+
+  last_event_time_ = sim_.now();
+
+  const obs::Observer::Handles& h = obs_.h;
+  base_cpu_grants_ = h.cpu_grants->value();
+  base_cpu_shrinks_ = h.cpu_shrinks->value();
+  base_mem_grants_ = h.mem_grants->value();
+  base_rpcs_issued_ = h.rpcs_issued->value();
+  base_rpcs_applied_ = h.rpcs_applied->value();
+  base_registrations_ = h.registrations->value();
+  base_deregistrations_ = h.deregistrations->value();
+  base_throttled_periods_ = h.cfs_throttled_periods->value();
+  base_reclaim_bytes_ = h.reclaim_bytes->value();
+
+  // Network mirrors exist only once Network::attach_metrics has run against
+  // this observer's registry; absent counters disable the net check.
+  for (int i = 0; i < net::kChannelCount; ++i) {
+    const net::Channel channel = net::kAllChannels[i];
+    const std::string base = std::string("net.") + net::channel_name(channel);
+    NetBaseline& nb = net_base_[i];
+    nb.bytes = obs_.metrics().find_counter(base + ".bytes");
+    nb.messages = obs_.metrics().find_counter(base + ".messages");
+    if (nb.bytes != nullptr) {
+      nb.bytes_offset = net_.stats(channel).bytes - nb.bytes->value();
+    }
+    if (nb.messages != nullptr) {
+      nb.messages_offset = net_.stats(channel).messages - nb.messages->value();
+    }
+  }
+  net_dropped_ = obs_.metrics().find_counter("net.dropped_datagrams");
+  if (net_dropped_ != nullptr) {
+    net_dropped_offset_ = net_.dropped_messages() - net_dropped_->value();
+  }
+
+  obs_.trace().set_record_hook(
+      [this](const obs::TraceEvent& event) { on_event(event); });
+  sweep_event_ = sim_.schedule_every(sim_.now() + config_.sweep_interval,
+                                     config_.sweep_interval,
+                                     [this] { sweep(); });
+}
+
+InvariantChecker::~InvariantChecker() {
+  sim_.cancel(sweep_event_);
+  obs_.trace().set_record_hook(nullptr);
+}
+
+void InvariantChecker::add(const std::string& rule, std::uint32_t container,
+                           std::string detail) {
+  if (violations_.size() >= config_.max_violations) {
+    ++dropped_violations_;
+    return;
+  }
+  violations_.push_back({sim_.now(), rule, container, std::move(detail)});
+}
+
+void InvariantChecker::on_event(const obs::TraceEvent& ev) {
+  ++events_checked_;
+  const core::EscraConfig& cfg = escra_.config();
+  const double eps = config_.cpu_eps;
+
+  // Event-queue / trace time monotonicity: the deterministic simulation
+  // records every event at the current clock, so times never regress.
+  if (ev.time < last_event_time_) {
+    add("trace-time-monotonic", ev.container,
+        fmt("event time %.0f < previous %.0f", static_cast<double>(ev.time),
+            static_cast<double>(last_event_time_)));
+  }
+  if (ev.time != sim_.now()) {
+    add("trace-time-monotonic", ev.container,
+        fmt("event time %.0f != sim now %.0f", static_cast<double>(ev.time),
+            static_cast<double>(sim_.now())));
+  }
+  last_event_time_ = std::max(last_event_time_, ev.time);
+  ++seen_[static_cast<std::size_t>(ev.kind)];
+
+  switch (ev.kind) {
+    case obs::EventKind::kCpuGrant:
+      if (ev.after <= ev.before - eps) {
+        add("cpu-grant", ev.container,
+            fmt("grant does not raise the limit: %.6f -> %.6f", ev.before,
+                ev.after));
+      }
+      if (ev.after > escra_.app().cpu_limit() + eps) {
+        add("cpu-grant", ev.container,
+            fmt("granted %.6f cores beyond the global limit %.6f", ev.after,
+                escra_.app().cpu_limit()));
+      }
+      break;
+
+    case obs::EventKind::kCpuShrink:
+      if (ev.after >= ev.before + eps) {
+        add("cpu-shrink", ev.container,
+            fmt("shrink does not lower the limit: %.6f -> %.6f", ev.before,
+                ev.after));
+      }
+      if (ev.after < cfg.min_cores - eps) {
+        add("cpu-floor", ev.container,
+            fmt("shrink to %.6f cores below the %.6f-core floor", ev.after,
+                cfg.min_cores));
+      }
+      if (ev.before > ev.after) {
+        shrink_by_decision_[ev.id] = ev.before - ev.after;
+        pending_cpu_shrink_ += ev.before - ev.after;
+      }
+      break;
+
+    case obs::EventKind::kMemGrantOnOom: {
+      const double shortfall = static_cast<double>(ev.detail);
+      if (ev.after < ev.before - 0.5) {
+        add("mem-grant-covers", ev.container,
+            fmt("pre-OOM grant lowered the limit: %.0f -> %.0f", ev.before,
+                ev.after));
+      }
+      // The allocator judged the container grantable (it granted); a grant
+      // smaller than the shortfall means the retried charge still overflows
+      // and the OOM killer fires anyway — the exact failure Escra's pre-OOM
+      // hook exists to prevent.
+      if (ev.after - ev.before < shortfall - 0.5) {
+        add("mem-grant-covers", ev.container,
+            fmt3("grant of %.0f bytes does not cover the %.0f-byte shortfall "
+                 "(post-grant OOM kill); limit now %.0f",
+                 ev.after - ev.before, shortfall, ev.after));
+      }
+      if (ev.after >
+          static_cast<double>(escra_.app().mem_limit()) + 0.5) {
+        add("mem-grant-covers", ev.container,
+            fmt("granted limit %.0f beyond the global limit %.0f", ev.after,
+                static_cast<double>(escra_.app().mem_limit())));
+      }
+      break;
+    }
+
+    case obs::EventKind::kReclaim: {
+      if (ev.after >= ev.before) {
+        add("mem-reclaim", ev.container,
+            fmt("reclaim did not shrink: %.0f -> %.0f", ev.before, ev.after));
+      }
+      if (ev.after < static_cast<double>(cfg.min_mem) - 0.5) {
+        add("mem-reclaim", ev.container,
+            fmt("reclaim to %.0f bytes below the %.0f-byte floor", ev.after,
+                static_cast<double>(cfg.min_mem)));
+      }
+      const double freed = ev.before - ev.after;
+      if (std::abs(static_cast<double>(ev.detail) - freed) > 0.5) {
+        add("mem-reclaim", ev.container,
+            fmt("freed-bytes detail %.0f != limit delta %.0f",
+                static_cast<double>(ev.detail), freed));
+      }
+      reclaim_bytes_seen_ += ev.detail;
+      break;
+    }
+
+    case obs::EventKind::kRpcIssued: {
+      const auto it = shrink_by_decision_.find(ev.cause);
+      if (it != shrink_by_decision_.end()) {
+        shrink_by_rpc_[ev.id] = it->second;
+        shrink_by_decision_.erase(it);
+      }
+      break;
+    }
+
+    case obs::EventKind::kRpcApplied: {
+      const auto it = shrink_by_rpc_.find(ev.cause);
+      if (it != shrink_by_rpc_.end()) {
+        pending_cpu_shrink_ -= it->second;
+        if (pending_cpu_shrink_ < 0.0) pending_cpu_shrink_ = 0.0;
+        shrink_by_rpc_.erase(it);
+      }
+      break;
+    }
+
+    case obs::EventKind::kContainerRegistered:
+      if (ev.after < -eps || ev.detail < 0) {
+        add("pool-conservation", ev.container,
+            fmt("registration with negative limits: %.6f cores, %.0f bytes",
+                ev.after, static_cast<double>(ev.detail)));
+      }
+      break;
+
+    case obs::EventKind::kThrottleObserved:
+      if (ev.detail < 0) {
+        add("cfs-state", ev.container,
+            fmt("negative unused runtime %.0f at quota %.6f",
+                static_cast<double>(ev.detail), ev.before));
+      }
+      break;
+
+    case obs::EventKind::kContainerKilled:
+      break;
+  }
+}
+
+void InvariantChecker::sweep() {
+  ++sweeps_;
+  const double eps = config_.cpu_eps;
+  core::DistributedContainer& app = escra_.app();
+  core::Controller& controller = escra_.controller();
+
+  // Per-node CPU conservation: the scheduler's max-min fair grant is capped
+  // at the node's core count, whatever limits the allocator handed out.
+  for (const auto& node : cluster_.nodes()) {
+    const double used = node->scheduler().last_slice_usage_cores();
+    if (used > node->config().cores + eps) {
+      add("node-cpu-conservation", 0,
+          fmt3("node %.0f scheduled %.6f cores on %.6f",
+               static_cast<double>(node->id()), used, node->config().cores));
+    }
+  }
+
+  // Pool book of record: 0 <= allocated <= limit for both resources.
+  if (app.cpu_allocated() < -eps ||
+      app.cpu_allocated() > app.cpu_limit() + eps) {
+    add("pool-conservation", 0,
+        fmt("cpu allocated %.6f outside [0, %.6f]", app.cpu_allocated(),
+            app.cpu_limit()));
+  }
+  if (app.mem_allocated() < 0 || app.mem_allocated() > app.mem_limit()) {
+    add("pool-conservation", 0,
+        fmt("mem allocated %.0f outside [0, %.0f]",
+            static_cast<double>(app.mem_allocated()),
+            static_cast<double>(app.mem_limit())));
+  }
+
+  // Walk every container once: shadow-limit sums, applied cgroup limits,
+  // and per-cgroup internal consistency.
+  double shadow_cpu_sum = 0.0;
+  double actual_cpu_sum = 0.0;
+  std::size_t registered = 0;
+  for (cluster::Container* container : cluster_.containers()) {
+    const cfs::CfsCgroup& cpu = container->cpu_cgroup();
+    const memcg::MemCgroup& mem = container->mem_cgroup();
+
+    if (!cpu.bandwidth_state_valid()) {
+      add("cfs-state", container->id(),
+          fmt3("bandwidth state invalid: remaining %.0f, quota %.0f, "
+               "burst %.0f",
+               static_cast<double>(cpu.runtime_remaining()),
+               static_cast<double>(cpu.quota()),
+               static_cast<double>(cpu.burst())));
+    }
+    if (!mem.state_valid()) {
+      add("memcg-state", container->id(),
+          fmt("memcg state invalid: usage %.0f, limit %.0f",
+              static_cast<double>(mem.usage()),
+              static_cast<double>(mem.limit())));
+    }
+    // charge <= limit, except force-charged residency: a restart charges the
+    // base footprint unconditionally (as Linux accounts already-resident
+    // pages), which legitimately exceeds a limit reclamation shrank.
+    if (mem.usage() > mem.limit() && mem.usage() > container->resident()) {
+      add("memcg-charge-le-limit", container->id(),
+          fmt3("usage %.0f exceeds limit %.0f and resident %.0f",
+               static_cast<double>(mem.usage()),
+               static_cast<double>(mem.limit()),
+               static_cast<double>(container->resident())));
+    }
+
+    if (controller.is_registered(container->id())) {
+      ++registered;
+      shadow_cpu_sum += app.member_cores(container->id());
+      actual_cpu_sum += cpu.limit_cores();
+    }
+  }
+
+  // Registered members' shadow limits must sum to the pool's allocated
+  // figure (each registered container is a member, so a mismatch means the
+  // two books diverged).
+  if (registered == controller.registered_count()) {
+    const double tol = eps * static_cast<double>(registered + 1);
+    if (std::abs(shadow_cpu_sum - app.cpu_allocated()) > tol) {
+      add("pool-conservation", 0,
+          fmt("member shadow limits sum to %.6f but pool says %.6f",
+              shadow_cpu_sum, app.cpu_allocated()));
+    }
+  }
+
+  // CPU conservation over *applied* limits. Capacity freed by a shrink
+  // decision re-enters the pool immediately but leaves the cgroup only when
+  // the shrink RPC lands, so a synchronous consumer of the freed capacity
+  // (a registering late joiner) can transiently push the applied sum above
+  // the global limit by at most the in-flight shrink total.
+  if (actual_cpu_sum >
+      app.cpu_limit() + pending_cpu_shrink_ +
+          eps * static_cast<double>(registered + 1)) {
+    add("cpu-conservation", 0,
+        fmt3("applied cgroup limits sum to %.6f cores > global %.6f "
+             "(+%.6f shrink in flight)",
+             actual_cpu_sum, app.cpu_limit(), pending_cpu_shrink_));
+  }
+
+  // Gauges mirror the books of record.
+  const obs::Observer::Handles& h = obs_.h;
+  if (static_cast<std::size_t>(h.containers_active->value()) !=
+      controller.registered_count()) {
+    add("gauge-containers-active", 0,
+        fmt("gauge %.0f != registry %.0f", h.containers_active->value(),
+            static_cast<double>(controller.registered_count())));
+  }
+  if (std::abs(h.pool_cpu_allocated->value() - app.cpu_allocated()) > eps ||
+      std::abs(h.pool_cpu_unallocated->value() - app.cpu_unallocated()) >
+          eps) {
+    add("gauge-pool", 0,
+        fmt("cpu gauges (%.6f, %.6f) diverge from pool",
+            h.pool_cpu_allocated->value(), h.pool_cpu_unallocated->value()));
+  }
+  if (std::abs(h.pool_mem_allocated->value() -
+               static_cast<double>(app.mem_allocated())) > 0.5 ||
+      std::abs(h.pool_mem_unallocated->value() -
+               static_cast<double>(app.mem_unallocated())) > 0.5) {
+    add("gauge-pool", 0,
+        fmt("mem gauges (%.0f, %.0f) diverge from pool",
+            h.pool_mem_allocated->value(), h.pool_mem_unallocated->value()));
+  }
+
+  check_counters();
+  check_network();
+}
+
+void InvariantChecker::check_counters() {
+  const obs::Observer::Handles& h = obs_.h;
+  const auto seen = [this](obs::EventKind kind) {
+    return seen_[static_cast<std::size_t>(kind)];
+  };
+  struct Pair {
+    const char* what;
+    std::uint64_t counter_delta;
+    std::uint64_t trace_count;
+  };
+  const Pair pairs[] = {
+      {"allocator.cpu_grants vs cpu-grant events",
+       h.cpu_grants->value() - base_cpu_grants_,
+       seen(obs::EventKind::kCpuGrant)},
+      {"allocator.cpu_shrinks vs cpu-shrink events",
+       h.cpu_shrinks->value() - base_cpu_shrinks_,
+       seen(obs::EventKind::kCpuShrink)},
+      {"allocator.mem_grants vs mem-grant-on-oom events",
+       h.mem_grants->value() - base_mem_grants_,
+       seen(obs::EventKind::kMemGrantOnOom)},
+      {"controller.rpcs_issued vs rpc-issued events",
+       h.rpcs_issued->value() - base_rpcs_issued_,
+       seen(obs::EventKind::kRpcIssued)},
+      {"controller.rpcs_applied vs rpc-applied events",
+       h.rpcs_applied->value() - base_rpcs_applied_,
+       seen(obs::EventKind::kRpcApplied)},
+      {"containers.registered_total vs container-registered events",
+       h.registrations->value() - base_registrations_,
+       seen(obs::EventKind::kContainerRegistered)},
+      {"containers.deregistered_total vs container-killed events",
+       h.deregistrations->value() - base_deregistrations_,
+       seen(obs::EventKind::kContainerKilled)},
+      {"cfs.throttled_periods_total vs throttle-observed events",
+       h.cfs_throttled_periods->value() - base_throttled_periods_,
+       seen(obs::EventKind::kThrottleObserved)},
+      {"reclaim.bytes_total vs reclaim event details",
+       h.reclaim_bytes->value() - base_reclaim_bytes_,
+       static_cast<std::uint64_t>(reclaim_bytes_seen_)},
+  };
+  for (const Pair& p : pairs) {
+    if (p.counter_delta != p.trace_count) {
+      add("counter-consistency", 0,
+          std::string(p.what) + ": counter advanced " +
+              std::to_string(p.counter_delta) + ", trace saw " +
+              std::to_string(p.trace_count));
+    }
+  }
+}
+
+void InvariantChecker::check_network() {
+  for (int i = 0; i < net::kChannelCount; ++i) {
+    const net::Channel channel = net::kAllChannels[i];
+    const net::ChannelStats& stats = net_.stats(channel);
+    const NetBaseline& nb = net_base_[i];
+    if (nb.bytes != nullptr &&
+        stats.bytes != nb.bytes->value() + nb.bytes_offset) {
+      add("net-obs-consistency", 0,
+          std::string("net.") + net::channel_name(channel) +
+              ".bytes: transport " + std::to_string(stats.bytes) +
+              " != mirror " +
+              std::to_string(nb.bytes->value() + nb.bytes_offset));
+    }
+    if (nb.messages != nullptr &&
+        stats.messages != nb.messages->value() + nb.messages_offset) {
+      add("net-obs-consistency", 0,
+          std::string("net.") + net::channel_name(channel) +
+              ".messages: transport " + std::to_string(stats.messages) +
+              " != mirror " +
+              std::to_string(nb.messages->value() + nb.messages_offset));
+    }
+  }
+  if (net_dropped_ != nullptr &&
+      net_.dropped_messages() != net_dropped_->value() + net_dropped_offset_) {
+    add("net-obs-consistency", 0,
+        "net.dropped_datagrams: transport " +
+            std::to_string(net_.dropped_messages()) + " != mirror " +
+            std::to_string(net_dropped_->value() + net_dropped_offset_));
+  }
+}
+
+std::string InvariantChecker::report() const {
+  if (ok()) {
+    return "invariants ok: " + std::to_string(events_checked_) +
+           " events, " + std::to_string(sweeps_) + " sweeps, 0 violations\n";
+  }
+  std::string out = std::to_string(violations_.size() + dropped_violations_) +
+                    " invariant violation(s):\n";
+  for (const Violation& v : violations_) {
+    out += "  t=" + std::to_string(v.time) + "us [" + v.rule + "]";
+    if (v.container != 0) out += " container " + std::to_string(v.container);
+    out += ": " + v.detail + "\n";
+  }
+  if (dropped_violations_ > 0) {
+    out += "  (+" + std::to_string(dropped_violations_) +
+           " further violations not retained)\n";
+  }
+  return out;
+}
+
+}  // namespace escra::check

@@ -1,0 +1,181 @@
+// System-wide invariant checker (escra_check).
+//
+// Attaches to a live EscraSystem through the obs hook points (PR 1's
+// Observer) and validates the conservation laws the paper's claims rest on,
+// continuously: at every recorded control-plane decision (via the
+// TraceBuffer record hook) and at every CFS period boundary (via a periodic
+// sweep on the simulation clock).
+//
+// Rules enforced
+//   per event (as each decision is recorded):
+//     - trace-time-monotonic   event times never go backwards, and every
+//                              event is stamped with the current sim time
+//     - cpu-grant              a grant raises the limit and stays within the
+//                              Distributed Container's global CPU limit
+//     - cpu-floor              a shrink never cuts below config.min_cores
+//     - mem-grant-covers       a pre-OOM grant covers the reported shortfall
+//                              (otherwise the retried charge kills a
+//                              container the allocator judged grantable)
+//     - mem-reclaim            reclamation shrinks, respects min_mem, and
+//                              reports freed bytes consistently
+//   per sweep (every sweep_interval, default one CFS period):
+//     - node-cpu-conservation  per-node scheduled core-time <= node cores
+//     - cpu-conservation       sum of *applied* cgroup CPU limits over
+//                              registered containers <= global limit, with a
+//                              tolerance for shrink RPCs still in flight
+//                              (pool capacity freed at decide time is only
+//                              returned by the cgroup at apply time)
+//     - pool-conservation      0 <= allocated <= limit for both resources,
+//                              and the member shadow limits sum to allocated
+//     - cfs-state              every cgroup's bandwidth state is internally
+//                              consistent (CfsCgroup::bandwidth_state_valid)
+//     - memcg-charge-le-limit  usage <= limit, except for force-charged
+//                              residency (restart into a reclaimed limit)
+//     - counter-consistency    obs counters mirror the decision trace
+//                              one-for-one (grants, shrinks, RPCs, ...)
+//     - net-obs-consistency    src/net ChannelStats and the mirrored
+//                              net.<channel>.bytes/messages counters agree
+//     - gauge-*                pool occupancy / active-container gauges
+//                              match the book of record
+//
+// Overhead contract: the checker piggybacks on the existing nullable hooks —
+// with no checker (and no observer) attached, every instrumentation site
+// remains a single null-pointer test; attaching is strictly additive.
+//
+//   obs::Observer observer;
+//   escra.attach_observer(observer);          // checker requires this first
+//   check::InvariantChecker checker(escra, network, observer);
+//   simulation.run_until(...);
+//   if (!checker.ok()) std::puts(checker.report().c_str());
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.h"
+#include "obs/observer.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace escra::core {
+class EscraSystem;
+}
+namespace escra::cluster {
+class Cluster;
+}
+
+namespace escra::check {
+
+// One invariant breach. `rule` is the stable rule name listed above;
+// `detail` is a human-readable description with the offending values.
+struct Violation {
+  sim::TimePoint time = 0;
+  std::string rule;
+  std::uint32_t container = 0;  // 0 = not container-specific
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  struct Config {
+    // Sweep cadence; the default matches the CFS period so system-wide
+    // checks run at every period boundary.
+    sim::Duration sweep_interval = sim::milliseconds(100);
+    // Violations stored beyond this are counted but not retained.
+    std::size_t max_violations = 64;
+    // Absolute tolerance for CPU-core comparisons (doubles).
+    double cpu_eps = 1e-6;
+  };
+
+  // The observer must already be attached to `escra`
+  // (EscraSystem::attach_observer) — the checker validates the decision
+  // stream that attachment produces and throws std::invalid_argument
+  // otherwise. Installs itself as the observer's TraceBuffer record hook
+  // (replacing any previous hook) and schedules the periodic sweep; both are
+  // undone by the destructor. The checker must not outlive any of its
+  // arguments. (Two constructors instead of a defaulted `Config{}` argument
+  // for the same incomplete-class reason as obs::Observer.)
+  InvariantChecker(core::EscraSystem& escra, net::Network& network,
+                   obs::Observer& observer)
+      : InvariantChecker(escra, network, observer, Config{}) {}
+  InvariantChecker(core::EscraSystem& escra, net::Network& network,
+                   obs::Observer& observer, Config config);
+  ~InvariantChecker();
+
+  InvariantChecker(const InvariantChecker&) = delete;
+  InvariantChecker& operator=(const InvariantChecker&) = delete;
+
+  // Runs a full sweep immediately (in addition to the periodic schedule).
+  void check_now() { sweep(); }
+
+  bool ok() const { return violations_.empty() && dropped_violations_ == 0; }
+  const std::vector<Violation>& violations() const { return violations_; }
+  // Violations observed but not retained (beyond max_violations).
+  std::uint64_t dropped_violations() const { return dropped_violations_; }
+  std::uint64_t sweeps() const { return sweeps_; }
+  std::uint64_t events_checked() const { return events_checked_; }
+
+  // Human-readable multi-line summary ("ok" or one line per violation).
+  std::string report() const;
+
+ private:
+  void on_event(const obs::TraceEvent& event);
+  void sweep();
+  void check_counters();
+  void check_network();
+  void add(const std::string& rule, std::uint32_t container,
+           std::string detail);
+
+  core::EscraSystem& escra_;
+  net::Network& net_;
+  obs::Observer& obs_;
+  cluster::Cluster& cluster_;
+  sim::Simulation& sim_;
+  Config config_;
+  sim::EventHandle sweep_event_;
+
+  // --- per-event state ---
+  sim::TimePoint last_event_time_ = 0;
+  std::uint64_t events_checked_ = 0;
+  std::uint64_t seen_[obs::kEventKindCount] = {};
+  std::int64_t reclaim_bytes_seen_ = 0;
+  // CPU capacity freed by shrink decisions whose RPC has not yet applied:
+  // decision id -> freed cores, promoted to rpc id at kRpcIssued, released
+  // at kRpcApplied. The sweep's cpu-conservation bound is widened by the
+  // total while in flight.
+  std::unordered_map<obs::EventId, double> shrink_by_decision_;
+  std::unordered_map<obs::EventId, double> shrink_by_rpc_;
+  double pending_cpu_shrink_ = 0.0;
+
+  // --- counter baselines captured at construction (the checker may attach
+  //     to a system that has already been running) ---
+  std::uint64_t base_cpu_grants_ = 0;
+  std::uint64_t base_cpu_shrinks_ = 0;
+  std::uint64_t base_mem_grants_ = 0;
+  std::uint64_t base_rpcs_issued_ = 0;
+  std::uint64_t base_rpcs_applied_ = 0;
+  std::uint64_t base_registrations_ = 0;
+  std::uint64_t base_deregistrations_ = 0;
+  std::uint64_t base_throttled_periods_ = 0;
+  std::uint64_t base_reclaim_bytes_ = 0;
+
+  // net ChannelStats vs obs counter offsets (attach_metrics only mirrors
+  // traffic sent after attachment, so the two differ by a constant).
+  struct NetBaseline {
+    const obs::Counter* bytes = nullptr;
+    const obs::Counter* messages = nullptr;
+    std::uint64_t bytes_offset = 0;
+    std::uint64_t messages_offset = 0;
+  };
+  NetBaseline net_base_[net::kChannelCount];
+  const obs::Counter* net_dropped_ = nullptr;
+  std::uint64_t net_dropped_offset_ = 0;
+
+  std::vector<Violation> violations_;
+  std::uint64_t dropped_violations_ = 0;
+  std::uint64_t sweeps_ = 0;
+};
+
+}  // namespace escra::check

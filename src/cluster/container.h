@@ -86,6 +86,12 @@ class Container final : public cfs::CpuConsumer {
 
   std::size_t queue_depth() const { return queue_.size(); }
 
+  // Resident (non-request) memory currently charged: base footprint plus
+  // adjust_resident deltas. Lets the invariant checker distinguish a
+  // legitimate usage > limit (force-charged residency after a restart into
+  // a reclaimed limit) from an accounting bug.
+  memcg::Bytes resident() const { return resident_; }
+
   // --- cgroups (what the Escra Agent manipulates) ---
   cfs::CfsCgroup& cpu_cgroup() override { return cpu_; }
   const cfs::CfsCgroup& cpu_cgroup() const { return cpu_; }

@@ -326,6 +326,11 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
     // Pool dry: aggressive reclamation from containers with slack
     // (Section III "Reactive Memory Reclamation"), then retry once.
     run_emergency_reclaim();
+    // The sweep may have shrunk this container's own limit, so the original
+    // shortfall is stale; a grant sized from it leaves the retried charge
+    // over the new limit and OOM-kills a container the pool could cover.
+    event.shortfall =
+        container.mem_cgroup().usage() + charge - container.mem_cgroup().limit();
     decision = allocator_.on_oom_event(event, /*post_reclaim=*/true);
   }
   if (decision.action != ResourceAllocator::MemAction::kGrant) return false;

@@ -76,6 +76,7 @@ class EscraSystem {
   DistributedContainer& app() { return app_; }
   ResourceAllocator& allocator() { return allocator_; }
   Controller& controller() { return controller_; }
+  cluster::Cluster& cluster() { return cluster_; }
   const EscraConfig& config() const { return config_; }
 
  private:

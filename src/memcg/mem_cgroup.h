@@ -85,6 +85,13 @@ class MemCgroup {
   std::uint64_t oom_rescues() const { return oom_rescues_; }
   std::uint64_t charge_count() const { return charges_; }
 
+  // Internal-consistency predicate for the invariant checker: usage and
+  // limit are non-negative. usage <= limit is deliberately NOT asserted
+  // here — force_charge (resident base memory at restart) and limit cuts
+  // below usage are both legitimate Linux behaviours; the checker applies
+  // the context-aware rule instead.
+  bool state_valid() const { return usage_ >= 0 && limit_ >= 0; }
+
  private:
   std::uint32_t id_;
   Bytes limit_ = 0;

@@ -35,6 +35,11 @@ enum class Channel {
   kRegistration,   // container registration at deploy time
 };
 
+inline constexpr int kChannelCount = 4;
+inline constexpr Channel kAllChannels[kChannelCount] = {
+    Channel::kCpuTelemetry, Channel::kMemoryEvent, Channel::kControlRpc,
+    Channel::kRegistration};
+
 const char* channel_name(Channel c);
 
 // Counters for one traffic class.
@@ -126,7 +131,6 @@ class Network {
   std::optional<sim::Rng> fault_rng_;
   std::uint64_t dropped_ = 0;
   // Registry mirrors, indexed by channel; all null until attach_metrics.
-  static constexpr int kChannelCount = 4;
   obs::Counter* obs_bytes_[kChannelCount] = {};
   obs::Counter* obs_messages_[kChannelCount] = {};
   obs::Counter* obs_dropped_ = nullptr;

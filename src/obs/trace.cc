@@ -50,6 +50,7 @@ EventId TraceBuffer::record(TraceEvent event) {
     start_ = (start_ + 1) % capacity_;
     ++evicted_;
   }
+  if (record_hook_) record_hook_(event);
   return event.id;
 }
 

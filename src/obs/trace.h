@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <istream>
 #include <optional>
 #include <ostream>
@@ -67,11 +68,20 @@ struct TraceEvent {
 
 class TraceBuffer {
  public:
+  // Invoked (when set) with every event right after it is recorded, id
+  // assigned. Used by src/check to validate events as they happen; the
+  // hot-path cost when unset is one pointer test per record.
+  using RecordHook = std::function<void(const TraceEvent&)>;
+
   explicit TraceBuffer(std::size_t capacity = 1 << 16);
 
   // Appends the event (evicting the oldest if full), assigns its id, and
   // returns it. The passed event's `id` field is ignored.
   EventId record(TraceEvent event);
+
+  // Replaces the record hook; pass nullptr (default) to clear it. The hook
+  // must not record into this buffer (no reentrancy guard).
+  void set_record_hook(RecordHook hook) { record_hook_ = std::move(hook); }
 
   std::size_t size() const { return ring_.size(); }
   std::size_t capacity() const { return capacity_; }
@@ -117,6 +127,7 @@ class TraceBuffer {
   std::size_t start_ = 0;
   EventId next_id_ = 1;
   std::uint64_t evicted_ = 0;
+  RecordHook record_hook_;
 };
 
 }  // namespace escra::obs

@@ -1,0 +1,180 @@
+// Property tests for the deterministic-simulation primitives the fuzzer and
+// every experiment depend on: sim::Histogram (bounded relative error,
+// quantile monotonicity, merge equivalence) and sim::Rng (bounds,
+// determinism, fork independence, distribution sanity at a fixed seed).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "sim/histogram.h"
+#include "sim/rng.h"
+
+namespace escra::sim {
+namespace {
+
+// precision_bits = 7 (the default): values are bucketed with at most
+// 2^-7 relative error.
+constexpr double kRelError = 1.0 / 128.0;
+
+TEST(HistogramPropertyTest, QuantilesAreMonotone) {
+  Histogram h;
+  Rng rng(11);
+  for (int i = 0; i < 20000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.lognormal(8.0, 1.5)) + 1);
+  }
+  std::int64_t prev = h.percentile(0.0);
+  for (double p = 0.5; p <= 100.0; p += 0.5) {
+    const std::int64_t q = h.percentile(p);
+    EXPECT_GE(q, prev) << "p=" << p;
+    prev = q;
+  }
+  EXPECT_GE(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(100.0), h.max() + h.max() / 64);
+}
+
+TEST(HistogramPropertyTest, RelativeErrorIsBounded) {
+  Rng rng(12);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = static_cast<std::int64_t>(rng.uniform(1.0, 3.0e9));
+    Histogram h;
+    h.record(v);
+    const std::int64_t est = h.percentile(50.0);
+    EXPECT_LE(std::llabs(est - v),
+              static_cast<std::int64_t>(std::ceil(v * kRelError)) + 1)
+        << "v=" << v;
+    EXPECT_EQ(h.min(), v);  // recorded extremes are exact
+    EXPECT_EQ(h.max(), v);
+  }
+}
+
+TEST(HistogramPropertyTest, MergeEqualsCombinedRecording) {
+  Rng rng(13);
+  std::vector<std::int64_t> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(static_cast<std::int64_t>(rng.lognormal(7.0, 1.0)) + 1);
+    b.push_back(static_cast<std::int64_t>(rng.lognormal(9.0, 0.5)) + 1);
+  }
+  Histogram ha, hb, combined;
+  for (std::int64_t v : a) ha.record(v), combined.record(v);
+  for (std::int64_t v : b) hb.record(v), combined.record(v);
+  ha.merge(hb);
+  EXPECT_EQ(ha.count(), combined.count());
+  EXPECT_EQ(ha.min(), combined.min());
+  EXPECT_EQ(ha.max(), combined.max());
+  EXPECT_DOUBLE_EQ(ha.mean(), combined.mean());
+  for (double p : {1.0, 25.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_EQ(ha.percentile(p), combined.percentile(p)) << "p=" << p;
+  }
+}
+
+TEST(HistogramPropertyTest, RecordNEqualsRepeatedRecord) {
+  Histogram bulk, loop;
+  bulk.record_n(12345, 1000);
+  for (int i = 0; i < 1000; ++i) loop.record(12345);
+  EXPECT_EQ(bulk.count(), loop.count());
+  EXPECT_DOUBLE_EQ(bulk.mean(), loop.mean());
+  EXPECT_EQ(bulk.percentile(99.0), loop.percentile(99.0));
+}
+
+TEST(HistogramPropertyTest, CdfIsMonotoneAndComplete) {
+  Histogram h;
+  Rng rng(14);
+  for (int i = 0; i < 10000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.uniform(1.0, 1.0e6)));
+  }
+  double prev = 0.0;
+  for (std::int64_t v = 1; v <= 1'000'000; v *= 2) {
+    const double c = h.cdf_at(v);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_DOUBLE_EQ(h.cdf_at(h.max()), 1.0);
+}
+
+TEST(HistogramPropertyTest, OutOfRangeValuesAreClamped) {
+  Histogram h(/*max_value=*/1000, /*precision_bits=*/7);
+  h.record(-5);
+  h.record(0);
+  h.record(999'999);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GE(h.percentile(0.0), 0);
+  EXPECT_LE(h.percentile(100.0), 1000 + 1000 / 64);
+}
+
+TEST(RngPropertyTest, UniformStaysInRange) {
+  Rng rng(21);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform(2.5, 7.5);
+    EXPECT_GE(v, 2.5);
+    EXPECT_LT(v, 7.5);
+  }
+}
+
+TEST(RngPropertyTest, UniformIntCoversInclusiveRange) {
+  Rng rng(22);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.uniform_int(-2, 3);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 3);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // both endpoints reachable
+}
+
+TEST(RngPropertyTest, SameSeedSameSequence) {
+  Rng a(7), b(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    EXPECT_EQ(a.uniform_int(0, 1 << 30), b.uniform_int(0, 1 << 30));
+    EXPECT_DOUBLE_EQ(a.exponential(3.0), b.exponential(3.0));
+    EXPECT_DOUBLE_EQ(a.lognormal(1.0, 0.5), b.lognormal(1.0, 0.5));
+    EXPECT_EQ(a.chance(0.5), b.chance(0.5));
+  }
+}
+
+TEST(RngPropertyTest, ForkIsDeterministicAndIndependent) {
+  Rng a(7), b(7);
+  Rng child_a = a.fork();
+  Rng child_b = b.fork();
+  // Forked children agree with each other and with the parents' later draws.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(child_a.uniform(0.0, 1.0), child_b.uniform(0.0, 1.0));
+  }
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+  }
+  // Draining a child does not perturb the parent: a parent that forked and
+  // one that forked-and-drained produce the same stream.
+  Rng p1(99), p2(99);
+  Rng c1 = p1.fork();
+  Rng c2 = p2.fork();
+  (void)c1;
+  for (int i = 0; i < 1000; ++i) (void)c2.uniform(0.0, 1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(p1.uniform(0.0, 1.0), p2.uniform(0.0, 1.0));
+  }
+}
+
+TEST(RngPropertyTest, DistributionMeansConvergeAtFixedSeed) {
+  // Deterministic (fixed seed), so tight-ish bounds cannot flake.
+  Rng rng(23);
+  double exp_sum = 0.0, uni_sum = 0.0;
+  int heads = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    exp_sum += rng.exponential(2.0);
+    uni_sum += rng.uniform(0.0, 10.0);
+    heads += rng.chance(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(exp_sum / n, 0.5, 0.01);
+  EXPECT_NEAR(uni_sum / n, 5.0, 0.05);
+  EXPECT_NEAR(static_cast<double>(heads) / n, 0.3, 0.01);
+}
+
+}  // namespace
+}  // namespace escra::sim

@@ -1,0 +1,522 @@
+// escra-fuzz: deterministic scenario fuzzer for the invariant checker.
+//
+//   escra-fuzz [options]
+//
+//     --runs N            scenarios to run                    (default 100)
+//     --seed S            base seed; run i uses seed S + i    (default 1)
+//     --trace-tail N      trace events dumped on a violation  (default 200)
+//     --repro-out FILE    write the first run's generated scenario as JSON
+//     --force-overgrant   plant a violation: mid-run, set one container's
+//                         CPU cgroup directly past the global limit,
+//                         bypassing the allocator (checker must catch it)
+//     --quiet             only print failures and the final summary
+//
+// Each run derives everything — cluster topology, tenant count, Escra
+// tunables, workload mix (steady request streams, batch bursts, resident-
+// memory spikes, a late joiner), telemetry loss — from a single sim::Rng
+// seeded with S + i, runs a short simulation with an InvariantChecker
+// attached to every tenant, and reports any violation with the seed, the
+// generated scenario config, and the tail of the decision trace. Because
+// the scenario is a pure function of its seed, a failure replays
+// byte-identically with:
+//
+//   escra-fuzz --seed <printed seed> --runs 1 [--force-overgrant]
+//
+// Exit status: 0 all runs clean, 1 violations found, 2 usage error.
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <fstream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "check/invariant_checker.h"
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "obs/observer.h"
+#include "sim/rng.h"
+
+using namespace escra;
+
+namespace {
+
+struct Options {
+  std::uint64_t runs = 100;
+  std::uint64_t seed = 1;
+  std::size_t trace_tail = 200;
+  std::string repro_out;
+  bool force_overgrant = false;
+  bool quiet = false;
+};
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: escra-fuzz [--runs N] [--seed S] [--trace-tail N]\n"
+               "                  [--repro-out FILE] [--force-overgrant]\n"
+               "                  [--quiet]\n");
+}
+
+// Strict numeric parsing: the whole token must be consumed, so "12abc" and
+// "" are rejected instead of silently truncated.
+std::uint64_t parse_u64(const std::string& flag, const char* text) {
+  std::size_t used = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &used);
+  } catch (const std::exception&) {
+    throw std::runtime_error(flag + " needs an unsigned integer, got '" +
+                             text + "'");
+  }
+  if (used != std::strlen(text)) {
+    throw std::runtime_error(flag + " needs an unsigned integer, got '" +
+                             text + "'");
+  }
+  return value;
+}
+
+std::optional<Options> parse_args(int argc, char** argv) {
+  Options opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) throw std::runtime_error(flag + " needs a value");
+      return argv[++i];
+    };
+    if (flag == "--runs") {
+      opts.runs = parse_u64(flag, next());
+    } else if (flag == "--seed") {
+      opts.seed = parse_u64(flag, next());
+    } else if (flag == "--trace-tail") {
+      opts.trace_tail = static_cast<std::size_t>(parse_u64(flag, next()));
+    } else if (flag == "--repro-out") {
+      opts.repro_out = next();
+    } else if (flag == "--force-overgrant") {
+      opts.force_overgrant = true;
+    } else if (flag == "--quiet") {
+      opts.quiet = true;
+    } else if (flag == "--help" || flag == "-h") {
+      return std::nullopt;
+    } else {
+      throw std::runtime_error("unknown flag " + flag);
+    }
+  }
+  return opts;
+}
+
+// --- scenario generation -------------------------------------------------
+//
+// A Scenario is a pure function of its seed: generation draws from the rng
+// in one fixed order, so the same seed always yields the same scenario (and
+// the same per-component child rngs, via fork()).
+
+struct ContainerPlan {
+  double parallelism = 4.0;
+  std::int64_t base_mem = 64 * memcg::kMiB;
+  std::int64_t startup_cpu_ms = 0;
+  double rate_per_s = 50.0;      // request arrival rate
+  double cpu_cost_ms = 5.0;      // lognormal median per-request core-ms
+  double cpu_cost_sigma = 0.4;
+  std::int64_t mem_per_item = 2 * memcg::kMiB;
+  bool bursty = false;           // batch submits instead of a steady stream
+  double resident_spike_p = 0.0; // per-second chance of a residency spike
+};
+
+struct TenantPlan {
+  double global_cpu = 8.0;
+  std::int64_t global_mem = memcg::kGiB;
+  core::EscraConfig cfg;
+  std::vector<ContainerPlan> containers;
+  bool late_joiner = false;  // one extra container adopted mid-run
+};
+
+struct Scenario {
+  std::uint64_t seed = 0;
+  int nodes = 1;
+  double cores_per_node = 16.0;
+  double loss_rate = 0.0;
+  double duration_s = 4.0;
+  std::vector<TenantPlan> tenants;
+};
+
+Scenario generate(std::uint64_t seed) {
+  sim::Rng rng(seed);
+  Scenario s;
+  s.seed = seed;
+  s.nodes = static_cast<int>(rng.uniform_int(1, 4));
+  s.cores_per_node = static_cast<double>(rng.uniform_int(4, 32));
+  s.loss_rate = rng.chance(0.3) ? rng.uniform(0.0, 0.2) : 0.0;
+  s.duration_s = rng.uniform(2.0, 8.0);
+
+  const int tenants = static_cast<int>(rng.uniform_int(1, 2));
+  for (int t = 0; t < tenants; ++t) {
+    TenantPlan tp;
+    tp.global_cpu =
+        rng.uniform(2.0, s.nodes * s.cores_per_node / tenants + 2.0);
+    tp.global_mem = rng.uniform_int(256, 2048) * memcg::kMiB;
+
+    core::EscraConfig& cfg = tp.cfg;
+    cfg.kappa = rng.uniform(0.4, 1.0);
+    cfg.gamma = rng.uniform(0.05, 0.5);
+    cfg.upsilon = static_cast<double>(rng.uniform_int(5, 40));
+    cfg.window_periods = static_cast<std::size_t>(rng.uniform_int(2, 8));
+    cfg.min_cores = rng.uniform(0.02, 0.1);
+    cfg.delta = rng.uniform_int(16, 128) * memcg::kMiB;
+    cfg.reclaim_interval = sim::seconds(rng.uniform_int(1, 5));
+    cfg.sigma = rng.uniform(0.0, 0.4);
+    cfg.oom_grant = rng.uniform_int(4, 32) * memcg::kMiB;
+    cfg.min_mem = rng.uniform_int(8, 32) * memcg::kMiB;
+    cfg.late_join_cores = rng.uniform(0.5, 2.0);
+    cfg.late_join_mem = rng.uniform_int(64, 512) * memcg::kMiB;
+
+    const int containers = static_cast<int>(rng.uniform_int(1, 6));
+    for (int c = 0; c < containers; ++c) {
+      ContainerPlan cp;
+      cp.parallelism = static_cast<double>(rng.uniform_int(1, 8));
+      cp.base_mem = rng.uniform_int(16, 128) * memcg::kMiB;
+      cp.startup_cpu_ms = rng.chance(0.5) ? rng.uniform_int(0, 1000) : 0;
+      cp.rate_per_s = rng.uniform(10.0, 400.0);
+      cp.cpu_cost_ms = rng.uniform(0.5, 20.0);
+      cp.cpu_cost_sigma = rng.uniform(0.1, 0.8);
+      cp.mem_per_item = rng.uniform_int(256, 8192) * memcg::kKiB;
+      cp.bursty = rng.chance(0.25);
+      cp.resident_spike_p = rng.chance(0.3) ? rng.uniform(0.05, 0.5) : 0.0;
+      tp.containers.push_back(cp);
+    }
+    tp.late_joiner = rng.chance(0.4);
+    s.tenants.push_back(tp);
+  }
+  return s;
+}
+
+void append_kv(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\": %.17g", key, value);
+  out += buf;
+}
+
+std::string to_json(const Scenario& s) {
+  std::string out = "{\n  ";
+  char buf[128];
+  std::snprintf(buf, sizeof(buf),
+                "\"seed\": %" PRIu64 ", \"nodes\": %d, ", s.seed, s.nodes);
+  out += buf;
+  append_kv(out, "cores_per_node", s.cores_per_node);
+  out += ", ";
+  append_kv(out, "loss_rate", s.loss_rate);
+  out += ", ";
+  append_kv(out, "duration_s", s.duration_s);
+  out += ",\n  \"tenants\": [";
+  for (std::size_t t = 0; t < s.tenants.size(); ++t) {
+    const TenantPlan& tp = s.tenants[t];
+    out += t == 0 ? "{\n    " : ", {\n    ";
+    append_kv(out, "global_cpu", tp.global_cpu);
+    out += ", ";
+    append_kv(out, "global_mem", static_cast<double>(tp.global_mem));
+    out += ", ";
+    out += tp.late_joiner ? "\"late_joiner\": true" : "\"late_joiner\": false";
+    out += ",\n    \"config\": {";
+    append_kv(out, "kappa", tp.cfg.kappa);
+    out += ", ";
+    append_kv(out, "gamma", tp.cfg.gamma);
+    out += ", ";
+    append_kv(out, "upsilon", tp.cfg.upsilon);
+    out += ", ";
+    append_kv(out, "window_periods",
+              static_cast<double>(tp.cfg.window_periods));
+    out += ", ";
+    append_kv(out, "min_cores", tp.cfg.min_cores);
+    out += ", ";
+    append_kv(out, "delta", static_cast<double>(tp.cfg.delta));
+    out += ", ";
+    append_kv(out, "reclaim_interval_us",
+              static_cast<double>(tp.cfg.reclaim_interval));
+    out += ", ";
+    append_kv(out, "sigma", tp.cfg.sigma);
+    out += ", ";
+    append_kv(out, "oom_grant", static_cast<double>(tp.cfg.oom_grant));
+    out += ", ";
+    append_kv(out, "min_mem", static_cast<double>(tp.cfg.min_mem));
+    out += ", ";
+    append_kv(out, "late_join_cores", tp.cfg.late_join_cores);
+    out += ", ";
+    append_kv(out, "late_join_mem", static_cast<double>(tp.cfg.late_join_mem));
+    out += "},\n    \"containers\": [";
+    for (std::size_t c = 0; c < tp.containers.size(); ++c) {
+      const ContainerPlan& cp = tp.containers[c];
+      out += c == 0 ? "{" : ", {";
+      append_kv(out, "parallelism", cp.parallelism);
+      out += ", ";
+      append_kv(out, "base_mem", static_cast<double>(cp.base_mem));
+      out += ", ";
+      append_kv(out, "startup_cpu_ms",
+                static_cast<double>(cp.startup_cpu_ms));
+      out += ", ";
+      append_kv(out, "rate_per_s", cp.rate_per_s);
+      out += ", ";
+      append_kv(out, "cpu_cost_ms", cp.cpu_cost_ms);
+      out += ", ";
+      append_kv(out, "cpu_cost_sigma", cp.cpu_cost_sigma);
+      out += ", ";
+      append_kv(out, "mem_per_item", static_cast<double>(cp.mem_per_item));
+      out += ", ";
+      out += cp.bursty ? "\"bursty\": true" : "\"bursty\": false";
+      out += ", ";
+      append_kv(out, "resident_spike_p", cp.resident_spike_p);
+      out += "}";
+    }
+    out += "]\n  }";
+  }
+  out += "]\n}\n";
+  return out;
+}
+
+// --- scenario execution --------------------------------------------------
+
+// Steady stream: exponential inter-arrivals. Bursty: the same mean load
+// delivered as batches of 10-50 items at exponential batch intervals.
+void schedule_arrivals(sim::Simulation& sim, cluster::Container& container,
+                       const ContainerPlan& plan,
+                       std::shared_ptr<sim::Rng> rng, sim::TimePoint end) {
+  const double batch_mean = plan.bursty ? 25.0 : 1.0;
+  const double batch_rate = plan.rate_per_s / batch_mean;  // batches per s
+  const double mu = std::log(plan.cpu_cost_ms);
+  const auto next_gap = [rng, batch_rate] {
+    return std::max<sim::Duration>(
+        1, static_cast<sim::Duration>(1e6 / batch_rate *
+                                      rng->exponential(1.0)));
+  };
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&sim, &container, plan, rng, end, mu, next_gap, tick] {
+    if (sim.now() > end) return;
+    const std::int64_t batch =
+        plan.bursty ? rng->uniform_int(10, 50) : 1;
+    for (std::int64_t i = 0; i < batch; ++i) {
+      const double cost_ms = rng->lognormal(mu, plan.cpu_cost_sigma);
+      container.submit(
+          std::max<sim::Duration>(
+              1, static_cast<sim::Duration>(cost_ms * 1000.0)),
+          plan.mem_per_item, [](bool) {});
+    }
+    sim.schedule_after(next_gap(), *tick);
+  };
+  sim.schedule_after(next_gap(), *tick);
+}
+
+void schedule_resident_spikes(sim::Simulation& sim,
+                              cluster::Container& container,
+                              const ContainerPlan& plan,
+                              std::shared_ptr<sim::Rng> rng,
+                              sim::TimePoint end) {
+  if (plan.resident_spike_p <= 0.0) return;
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&sim, &container, plan, rng, end, tick] {
+    if (sim.now() > end) return;
+    if (rng->chance(plan.resident_spike_p) && container.running()) {
+      // Load or drop a cache: grow residency, shrink it again later.
+      const memcg::Bytes spike = rng->uniform_int(8, 64) * memcg::kMiB;
+      container.adjust_resident(spike);
+      sim.schedule_after(
+          sim::seconds(1),
+          [&container, spike] {
+            if (container.running()) container.adjust_resident(-spike);
+          });
+    }
+    sim.schedule_after(sim::kSecond, *tick);
+  };
+  sim.schedule_after(sim::kSecond, *tick);
+}
+
+struct RunOutcome {
+  bool violated = false;
+  std::string report;
+  std::uint64_t events = 0;
+  std::uint64_t sweeps = 0;
+};
+
+void dump_trace_tail(const obs::TraceBuffer& trace, std::size_t tail) {
+  const std::size_t n = std::min(tail, trace.size());
+  std::fprintf(stderr, "last %zu trace events:\n", n);
+  for (std::size_t i = trace.size() - n; i < trace.size(); ++i) {
+    const obs::TraceEvent& e = trace.at(i);
+    std::fprintf(stderr,
+                 "  #%" PRIu64 " t=%" PRId64 "us %-20s c=%u n=%u "
+                 "before=%.6g after=%.6g cause=%" PRIu64 " detail=%" PRId64
+                 "\n",
+                 e.id, e.time, obs::event_kind_name(e.kind), e.container,
+                 e.node, e.before, e.after, e.cause, e.detail);
+  }
+}
+
+RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
+                        std::size_t trace_tail) {
+  sim::Rng root(s.seed ^ 0x9e3779b97f4a7c15ULL);  // workload stream
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  for (int n = 0; n < s.nodes; ++n) {
+    k8s.add_node(cluster::NodeConfig{.cores = s.cores_per_node});
+  }
+  if (s.loss_rate > 0.0) network.set_loss(s.loss_rate, root.fork());
+  // No jitter: reordered control RPCs would legitimately break the
+  // conservation invariants the checker enforces (FIFO per channel is part
+  // of the modelled transport contract).
+
+  struct Tenant {
+    std::unique_ptr<core::EscraSystem> escra;
+    std::unique_ptr<obs::Observer> observer;
+    std::unique_ptr<check::InvariantChecker> checker;
+  };
+  std::vector<Tenant> tenants;
+  const sim::TimePoint end = sim::seconds_f(s.duration_s);
+
+  for (std::size_t t = 0; t < s.tenants.size(); ++t) {
+    const TenantPlan& tp = s.tenants[t];
+    Tenant tenant;
+    tenant.escra = std::make_unique<core::EscraSystem>(
+        simulation, network, k8s, tp.global_cpu, tp.global_mem, tp.cfg);
+    tenant.observer = std::make_unique<obs::Observer>();
+    tenant.escra->attach_observer(*tenant.observer);
+    if (t == 0) network.attach_metrics(tenant.observer->metrics());
+
+    std::vector<cluster::Container*> members;
+    for (std::size_t c = 0; c < tp.containers.size(); ++c) {
+      const ContainerPlan& cp = tp.containers[c];
+      cluster::ContainerSpec spec;
+      spec.name = "t" + std::to_string(t) + "-c" + std::to_string(c);
+      spec.max_parallelism = cp.parallelism;
+      spec.base_memory = cp.base_mem;
+      spec.startup_cpu = sim::milliseconds(cp.startup_cpu_ms);
+      cluster::Container& container =
+          k8s.create_container(spec, 1.0, 256 * memcg::kMiB);
+      members.push_back(&container);
+      auto rng = std::make_shared<sim::Rng>(root.fork());
+      schedule_arrivals(simulation, container, cp, rng, end);
+      schedule_resident_spikes(simulation, container, cp,
+                               std::make_shared<sim::Rng>(root.fork()), end);
+    }
+    tenant.escra->manage(members);
+    tenant.escra->start();
+    tenant.checker = std::make_unique<check::InvariantChecker>(
+        *tenant.escra, network, *tenant.observer);
+
+    if (tp.late_joiner) {
+      // A pod created mid-run and adopted (Container Watcher path): it
+      // draws late-join defaults from whatever the pool still holds.
+      core::EscraSystem* escra = tenant.escra.get();
+      cluster::Cluster* cluster = &k8s;
+      sim::Simulation* sim_ptr = &simulation;
+      const std::string name = "t" + std::to_string(t) + "-late";
+      ContainerPlan cp = tp.containers.front();
+      auto rng = std::make_shared<sim::Rng>(root.fork());
+      simulation.schedule_at(
+          end / 2, [escra, cluster, sim_ptr, name, cp, rng, end] {
+            cluster::ContainerSpec spec;
+            spec.name = name;
+            spec.max_parallelism = cp.parallelism;
+            spec.base_memory = cp.base_mem;
+            cluster::Container& late =
+                cluster->create_container(spec, 0.5, 128 * memcg::kMiB);
+            escra->adopt(late);
+            schedule_arrivals(*sim_ptr, late, cp, rng, end);
+          });
+    }
+    tenants.push_back(std::move(tenant));
+  }
+
+  if (force_overgrant) {
+    // Planted violation: write a CPU limit straight into a cgroup,
+    // bypassing the allocator and the Distributed Container pool — the
+    // over-commit Escra must never produce. Planted mid-period so the next
+    // sweep (at the period boundary) sees it before any corrective RPC.
+    core::EscraSystem* escra = tenants.front().escra.get();
+    cluster::Cluster* cluster = &k8s;
+    simulation.schedule_at(end / 2 + sim::milliseconds(50), [escra, cluster] {
+      cluster::Container* victim = cluster->containers().front();
+      victim->cpu_cgroup().set_limit_cores(escra->app().cpu_limit() * 2.0 +
+                                           4.0);
+    });
+  }
+
+  simulation.run_until(end);
+
+  RunOutcome outcome;
+  for (Tenant& tenant : tenants) {
+    tenant.checker->check_now();
+    outcome.events += tenant.checker->events_checked();
+    outcome.sweeps += tenant.checker->sweeps();
+    if (!tenant.checker->ok()) {
+      outcome.violated = true;
+      outcome.report += tenant.checker->report();
+    }
+  }
+  if (outcome.violated) {
+    std::fprintf(stderr, "seed %" PRIu64 ": INVARIANT VIOLATION\n%s",
+                 s.seed, outcome.report.c_str());
+    std::fprintf(stderr, "scenario config:\n%s", to_json(s).c_str());
+    dump_trace_tail(tenants.front().observer->trace(), trace_tail);
+    std::fprintf(stderr,
+                 "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s\n",
+                 s.seed, force_overgrant ? " --force-overgrant" : "");
+  }
+  return outcome;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    const auto parsed = parse_args(argc, argv);
+    if (!parsed.has_value()) {
+      usage();
+      return 2;
+    }
+    opts = *parsed;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    usage();
+    return 2;
+  }
+
+  std::uint64_t violations = 0;
+  std::uint64_t total_events = 0;
+  std::uint64_t total_sweeps = 0;
+  for (std::uint64_t i = 0; i < opts.runs; ++i) {
+    const std::uint64_t seed = opts.seed + i;  // wrapping is fine
+    const Scenario scenario = generate(seed);
+    if (i == 0 && !opts.repro_out.empty()) {
+      std::ofstream out(opts.repro_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opts.repro_out.c_str());
+        return 2;
+      }
+      out << to_json(scenario);
+      if (!opts.quiet) {
+        std::printf("scenario for seed %" PRIu64 " written to %s\n", seed,
+                    opts.repro_out.c_str());
+      }
+    }
+    const RunOutcome outcome =
+        run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
+    total_events += outcome.events;
+    total_sweeps += outcome.sweeps;
+    if (outcome.violated) ++violations;
+    if (!opts.quiet && (i + 1) % 100 == 0) {
+      std::printf("%" PRIu64 "/%" PRIu64 " runs, %" PRIu64 " violation(s)\n",
+                  i + 1, opts.runs, violations);
+    }
+  }
+  std::printf("escra-fuzz: %" PRIu64 " run(s), %" PRIu64
+              " decision event(s) checked, %" PRIu64 " sweep(s), %" PRIu64
+              " violation(s)\n",
+              opts.runs, total_events, total_sweeps, violations);
+  return violations == 0 ? 0 : 1;
+}

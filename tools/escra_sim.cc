@@ -26,9 +26,11 @@
 // policies run through the experiment harness, which profiles the
 // application first the way an operator would.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <stdexcept>
 #include <optional>
 #include <string>
 
@@ -74,6 +76,38 @@ void usage() {
                "default escra policy run only)\n");
 }
 
+// std::stod/std::stoull accept trailing garbage ("12abc" parses as 12), so
+// flag values are only accepted when the whole token converts.
+double parse_double(const std::string& flag, const char* text) {
+  std::size_t consumed = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || text[consumed] != '\0') {
+    throw std::runtime_error(flag + " expects a number, got '" +
+                             std::string(text) + "'");
+  }
+  return value;
+}
+
+std::uint64_t parse_u64(const std::string& flag, const char* text) {
+  std::size_t consumed = 0;
+  std::uint64_t value = 0;
+  try {
+    value = std::stoull(text, &consumed);
+  } catch (const std::exception&) {
+    consumed = 0;
+  }
+  if (consumed == 0 || text[consumed] != '\0' || text[0] == '-') {
+    throw std::runtime_error(flag + " expects a non-negative integer, got '" +
+                             std::string(text) + "'");
+  }
+  return value;
+}
+
 std::optional<Options> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Options opts;
@@ -91,15 +125,15 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (flag == "--workload") {
       opts.workload = next();
     } else if (flag == "--rate") {
-      opts.rate = std::stod(next());
+      opts.rate = parse_double(flag, next());
     } else if (flag == "--duration") {
-      opts.duration_s = std::stod(next());
+      opts.duration_s = parse_double(flag, next());
     } else if (flag == "--seed") {
-      opts.seed = std::stoull(next());
+      opts.seed = parse_u64(flag, next());
     } else if (flag == "--nodes") {
-      opts.nodes = std::stoi(next());
+      opts.nodes = static_cast<int>(parse_u64(flag, next()));
     } else if (flag == "--cores") {
-      opts.cores = std::stod(next());
+      opts.cores = parse_double(flag, next());
     } else if (flag == "--csv") {
       opts.csv_path = next();
     } else if (flag == "--metrics-out") {
