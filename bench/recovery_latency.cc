@@ -1,0 +1,361 @@
+// Recovery latency (MTTR) under control-plane faults — the measurement
+// behind the fail-static claim: a dead Controller must not hurt running
+// containers, and a restarted one must reconverge in well under a second.
+//
+// Four runs of the TeaStore graph (3 nodes, fixed 200 req/s, identical
+// seeds):
+//   baseline          no faults — the reference trajectory
+//   controller-crash  Controller dies at 15 s, restarts at 20 s
+//   partition         node 1 severed from the Controller for 15 s .. 18 s
+//   agent-crash       node 1's Agent dies at 15 s, restarts at 18 s
+//
+// MTTR is measured from the decision trace, not by comparing instantaneous
+// limit trajectories: the per-container limits oscillate by design (the
+// kappa/upsilon loop hunts around demand), so two runs decorrelate in phase
+// after any perturbation and instantaneous deltas never settle. What
+// recovery actually means is that the control plane is serving the affected
+// containers again, so:
+//
+//   MTTR = time from fault clearance until every affected container has
+//          been reconciled (a kResync re-adoption or a kRpcApplied limit
+//          update landing on its Agent after the clearance instant)
+//
+// with "affected" = every container for a Controller crash, the faulted
+// node's containers otherwise. Two further checks close the loop:
+//   - decisions resume: at least one allocator grant/shrink lands on an
+//     affected container after clearance;
+//   - the limits return to the normal operating envelope: the faulted
+//     run's time-averaged aggregate CPU limit over the post-recovery tail
+//     is within 25% of the never-faulted baseline's (identical seed and
+//     workload, so the averages — unlike the instantaneous values — are
+//     directly comparable).
+// For the controller-crash run the fail-static guarantee is verified
+// directly: while the Controller is down no managed container's memory
+// limit drops below its crash-time value and no managed container is
+// OOM-killed.
+//
+//   recovery_latency [--assert]
+//
+// With --assert the process exits non-zero unless every scenario passes
+// (MTTR < 1 s, decisions resume, envelope matches, fail-static holds) —
+// this is the mode CI runs.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "app/benchmarks.h"
+#include "app/service_graph.h"
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "fault/fault_injector.h"
+#include "net/network.h"
+#include "obs/observer.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/load_generator.h"
+
+using namespace escra;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+constexpr double kRateRps = 200.0;
+constexpr sim::TimePoint kLoadStart = sim::seconds(2);
+constexpr sim::TimePoint kLoadEnd = sim::seconds(38);
+constexpr sim::TimePoint kRunEnd = sim::seconds(40);
+constexpr sim::Duration kSampleInterval = sim::milliseconds(100);
+constexpr sim::TimePoint kFaultStart = sim::seconds(15);
+constexpr cluster::NodeId kFaultNode = 1;
+constexpr sim::Duration kMttrTarget = sim::seconds(1);
+// Post-recovery tail for the aggregate-limit envelope comparison.
+constexpr sim::Duration kEnvelopeSettle = sim::seconds(2);
+constexpr double kEnvelopeTol = 0.25;
+
+enum class Scenario { kBaseline, kControllerCrash, kPartition, kAgentCrash };
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kBaseline: return "baseline";
+    case Scenario::kControllerCrash: return "controller-crash";
+    case Scenario::kPartition: return "partition";
+    case Scenario::kAgentCrash: return "agent-crash";
+  }
+  return "?";
+}
+
+// When the fault clears (restart / heal time) — recovery is measured from
+// here.
+sim::TimePoint fault_clear(Scenario s) {
+  switch (s) {
+    case Scenario::kControllerCrash: return kFaultStart + sim::seconds(5);
+    case Scenario::kPartition:
+    case Scenario::kAgentCrash: return kFaultStart + sim::seconds(3);
+    case Scenario::kBaseline: break;
+  }
+  return kFaultStart;
+}
+
+struct RunResult {
+  // Aggregate CPU limit (cores, all containers), sampled every
+  // kSampleInterval from t=0.
+  std::vector<double> agg_cpu;
+  std::vector<sim::TimePoint> sample_times;
+  std::uint64_t total_oom_kills = 0;
+
+  // Per affected container: first post-clearance reconcile (kResync or
+  // kRpcApplied). Missing entry = never reconciled.
+  std::vector<std::uint32_t> affected;
+  std::map<std::uint32_t, sim::TimePoint> first_reconcile;
+  // First post-clearance allocator decision (grant/shrink) on an affected
+  // container; 0 = none.
+  sim::TimePoint first_decision = 0;
+
+  // Controller-crash fail-static bookkeeping.
+  std::uint64_t oom_kills_in_window = 0;
+  bool mem_dropped_below_fail_static = false;
+
+  std::uint64_t retransmits = 0;
+  std::uint64_t resyncs = 0;
+};
+
+// Mean of the aggregate CPU limit over [from, to).
+double mean_agg(const RunResult& r, sim::TimePoint from, sim::TimePoint to) {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < r.sample_times.size(); ++i) {
+    if (r.sample_times[i] < from || r.sample_times[i] >= to) continue;
+    sum += r.agg_cpu[i];
+    ++n;
+  }
+  return n == 0 ? 0.0 : sum / static_cast<double>(n);
+}
+
+RunResult run_scenario(Scenario scenario) {
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  for (int i = 0; i < 3; ++i) k8s.add_node({});
+
+  sim::Rng root(kSeed);
+  app::Application application(k8s, app::make_teastore(), root.fork(),
+                               /*initial_cores=*/1.0,
+                               /*initial_mem=*/512 * memcg::kMiB);
+  core::EscraSystem escra(simulation, network, k8s, /*global_cpu=*/12.0,
+                          /*global_mem=*/8 * memcg::kGiB);
+  obs::Observer observer;
+  escra.attach_observer(observer);
+  escra.manage(application.containers());
+  escra.start();
+
+  fault::FaultInjector injector(simulation, network, escra);
+  switch (scenario) {
+    case Scenario::kBaseline:
+      break;
+    case Scenario::kControllerCrash:
+      injector.inject_controller_crash(kFaultStart, sim::seconds(5));
+      break;
+    case Scenario::kPartition:
+      injector.inject_partition(kFaultNode, kFaultStart, sim::seconds(3));
+      break;
+    case Scenario::kAgentCrash:
+      injector.inject_agent_crash(kFaultNode, kFaultStart, sim::seconds(3));
+      break;
+  }
+
+  workload::LoadGenerator loadgen(
+      simulation, std::make_unique<workload::FixedArrivals>(kRateRps),
+      [&application](workload::LoadGenerator::Done done) {
+        application.submit_request(std::move(done));
+      });
+  loadgen.run(kLoadStart, kLoadEnd);
+
+  RunResult result;
+  const auto& containers = application.containers();
+  const sim::TimePoint clear = fault_clear(scenario);
+
+  // Fail-static bookkeeping: freeze the memory limits the instant before
+  // the Controller dies, then watch the whole downtime window.
+  std::vector<memcg::Bytes> fail_static_mem;
+  std::uint64_t kills_at_crash = 0;
+  if (scenario == Scenario::kControllerCrash) {
+    simulation.schedule_at(kFaultStart - 1, [&] {
+      for (const cluster::Container* c : containers) {
+        fail_static_mem.push_back(c->mem_cgroup().limit());
+        kills_at_crash += c->oom_kill_count();
+      }
+    });
+    simulation.schedule_at(clear - 1, [&] {
+      std::uint64_t kills_now = 0;
+      for (const cluster::Container* c : containers) {
+        kills_now += c->oom_kill_count();
+      }
+      result.oom_kills_in_window = kills_now - kills_at_crash;
+    });
+  }
+
+  simulation.schedule_every(0, kSampleInterval, [&] {
+    result.sample_times.push_back(simulation.now());
+    double agg = 0.0;
+    for (std::size_t i = 0; i < containers.size(); ++i) {
+      agg += containers[i]->cpu_cgroup().limit_cores();
+      if (scenario == Scenario::kControllerCrash &&
+          simulation.now() > kFaultStart && simulation.now() < clear &&
+          i < fail_static_mem.size() &&
+          containers[i]->mem_cgroup().limit() < fail_static_mem[i]) {
+        result.mem_dropped_below_fail_static = true;
+      }
+    }
+    result.agg_cpu.push_back(agg);
+  });
+
+  simulation.run_until(kRunEnd);
+
+  for (const cluster::Container* c : containers) {
+    result.total_oom_kills += c->oom_kill_count();
+  }
+  result.retransmits = escra.controller().retransmits();
+  result.resyncs = escra.controller().resyncs();
+
+  // Affected set: everything for a Controller crash, the faulted node's
+  // containers otherwise.
+  for (const cluster::Container* c : containers) {
+    const cluster::Node* node = k8s.node_of(c->id());
+    if (scenario == Scenario::kControllerCrash ||
+        (node != nullptr && node->id() == kFaultNode)) {
+      result.affected.push_back(c->id());
+    }
+  }
+
+  // Scan the decision trace for the recovery signals.
+  const obs::TraceBuffer& trace = observer.trace();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const obs::TraceEvent& ev = trace.at(i);
+    if (ev.time < clear) continue;
+    const bool is_affected =
+        std::find(result.affected.begin(), result.affected.end(),
+                  ev.container) != result.affected.end();
+    if (!is_affected) continue;
+    switch (ev.kind) {
+      case obs::EventKind::kResync:
+      case obs::EventKind::kRpcApplied:
+        if (result.first_reconcile.find(ev.container) ==
+            result.first_reconcile.end()) {
+          result.first_reconcile[ev.container] = ev.time;
+        }
+        break;
+      case obs::EventKind::kCpuGrant:
+      case obs::EventKind::kCpuShrink:
+        if (result.first_decision == 0) result.first_decision = ev.time;
+        break;
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool assert_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert") == 0) {
+      assert_mode = true;
+    } else {
+      std::fprintf(stderr, "usage: recovery_latency [--assert]\n");
+      return 2;
+    }
+  }
+
+  std::printf("recovery_latency: TeaStore, 3 nodes, fixed %g req/s, "
+              "fault at %gs\n\n",
+              kRateRps, sim::to_seconds(kFaultStart));
+
+  const RunResult baseline = run_scenario(Scenario::kBaseline);
+  std::printf("%-18s oom-kills %llu (%zu samples)\n",
+              scenario_name(Scenario::kBaseline),
+              static_cast<unsigned long long>(baseline.total_oom_kills),
+              baseline.sample_times.size());
+
+  bool ok = baseline.total_oom_kills == 0;
+  for (const Scenario scenario :
+       {Scenario::kControllerCrash, Scenario::kPartition,
+        Scenario::kAgentCrash}) {
+    const RunResult r = run_scenario(scenario);
+    const sim::TimePoint clear = fault_clear(scenario);
+
+    // MTTR: slowest affected container's first post-clearance reconcile.
+    sim::Duration mttr = -1;
+    std::size_t reconciled = 0;
+    for (const std::uint32_t id : r.affected) {
+      const auto it = r.first_reconcile.find(id);
+      if (it == r.first_reconcile.end()) continue;
+      ++reconciled;
+      mttr = std::max(mttr, it->second - clear);
+    }
+    const bool all_reconciled = reconciled == r.affected.size();
+    const bool mttr_ok = all_reconciled && mttr >= 0 && mttr < kMttrTarget;
+    const bool decisions_resumed = r.first_decision != 0;
+
+    const double base_mean =
+        mean_agg(baseline, clear + kEnvelopeSettle, kLoadEnd);
+    const double fault_mean = mean_agg(r, clear + kEnvelopeSettle, kLoadEnd);
+    const bool envelope_ok =
+        base_mean > 0.0 &&
+        std::abs(fault_mean - base_mean) <= kEnvelopeTol * base_mean;
+
+    std::printf("%-18s MTTR %.3f s (%zu/%zu containers reconciled, clear at "
+                "%gs)\n",
+                scenario_name(scenario),
+                mttr < 0 ? sim::to_seconds(kRunEnd - clear)
+                         : sim::to_seconds(mttr),
+                reconciled, r.affected.size(), sim::to_seconds(clear));
+    std::printf("  decisions resumed %s%s; aggregate limit %.2f vs baseline "
+                "%.2f cores (tol %.0f%%); %llu retransmits, %llu resyncs, "
+                "oom-kills %llu\n",
+                decisions_resumed ? "at " : "NEVER",
+                decisions_resumed
+                    ? (std::to_string(sim::to_seconds(r.first_decision)) + "s")
+                          .c_str()
+                    : "",
+                fault_mean, base_mean, kEnvelopeTol * 100.0,
+                static_cast<unsigned long long>(r.retransmits),
+                static_cast<unsigned long long>(r.resyncs),
+                static_cast<unsigned long long>(r.total_oom_kills));
+    if (!mttr_ok) {
+      std::printf("  FAIL: reconcile did not complete within %.1f s of "
+                  "clearance\n",
+                  sim::to_seconds(kMttrTarget));
+      ok = false;
+    }
+    if (!decisions_resumed || !envelope_ok) {
+      std::printf("  FAIL: post-recovery control loop degraded\n");
+      ok = false;
+    }
+    if (scenario == Scenario::kControllerCrash) {
+      const bool fail_static_held =
+          !r.mem_dropped_below_fail_static && r.oom_kills_in_window == 0;
+      std::printf("  fail-static: %s (%llu oom-kills during downtime, "
+                  "limits %s)\n",
+                  fail_static_held ? "held" : "VIOLATED",
+                  static_cast<unsigned long long>(r.oom_kills_in_window),
+                  r.mem_dropped_below_fail_static
+                      ? "dropped below crash-time values"
+                      : "never below crash-time values");
+      if (!fail_static_held) ok = false;
+    }
+  }
+
+  if (assert_mode && !ok) {
+    std::fprintf(stderr, "\nrecovery_latency: FAILED\n");
+    return 1;
+  }
+  std::printf("\nrecovery_latency: %s\n", ok ? "ok" : "degraded (see above)");
+  return 0;
+}

@@ -58,6 +58,14 @@ InvariantChecker::InvariantChecker(core::EscraSystem& escra,
   base_deregistrations_ = h.deregistrations->value();
   base_throttled_periods_ = h.cfs_throttled_periods->value();
   base_reclaim_bytes_ = h.reclaim_bytes->value();
+  base_retransmits_ = h.retransmits->value();
+  base_dup_suppressed_ = h.dup_suppressed->value();
+  base_resyncs_ = h.resyncs->value();
+  base_nodes_dead_ = h.nodes_dead->value();
+  base_nodes_alive_ = h.nodes_alive->value();
+  base_fail_static_ = h.fail_static_entries->value();
+  base_faults_injected_ = h.faults_injected->value();
+  base_faults_cleared_ = h.faults_cleared->value();
 
   // Network mirrors exist only once Network::attach_metrics has run against
   // this observer's registry; absent counters disable the net check.
@@ -77,6 +85,11 @@ InvariantChecker::InvariantChecker(core::EscraSystem& escra,
   net_dropped_ = obs_.metrics().find_counter("net.dropped_datagrams");
   if (net_dropped_ != nullptr) {
     net_dropped_offset_ = net_.dropped_messages() - net_dropped_->value();
+  }
+  net_duplicated_ = obs_.metrics().find_counter("net.duplicated_messages");
+  if (net_duplicated_ != nullptr) {
+    net_duplicated_offset_ =
+        net_.duplicated_messages() - net_duplicated_->value();
   }
 
   obs_.trace().set_record_hook(
@@ -145,10 +158,6 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
             fmt("shrink to %.6f cores below the %.6f-core floor", ev.after,
                 cfg.min_cores));
       }
-      if (ev.before > ev.after) {
-        shrink_by_decision_[ev.id] = ev.before - ev.after;
-        pending_cpu_shrink_ += ev.before - ev.after;
-      }
       break;
 
     case obs::EventKind::kMemGrantOnOom: {
@@ -197,24 +206,82 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
       break;
     }
 
-    case obs::EventKind::kRpcIssued: {
-      const auto it = shrink_by_decision_.find(ev.cause);
-      if (it != shrink_by_decision_.end()) {
-        shrink_by_rpc_[ev.id] = it->second;
-        shrink_by_decision_.erase(it);
+    case obs::EventKind::kRpcIssued:
+      // `before` carries the resource flag: 0 = CPU, 1 = memory. Only CPU
+      // updates feed the conservation slack.
+      if (ev.before == 0.0) {
+        CpuTrack& t = cpu_track_[ev.container];
+        ++t.inflight;
+        t.latest_issue = ev.id;
+      }
+      break;
+
+    case obs::EventKind::kRpcApplied:
+      if (ev.before == 0.0) {
+        const auto it = cpu_track_.find(ev.container);
+        if (it != cpu_track_.end()) {
+          // Applying the latest issue means the cgroup holds the newest
+          // intent; older issues were superseded by the slot protocol and
+          // can never apply after it, so the whole count clears.
+          if (ev.cause != 0 && ev.cause == it->second.latest_issue) {
+            it->second.inflight = 0;
+          } else if (it->second.inflight > 0) {
+            --it->second.inflight;
+          }
+        }
+      }
+      break;
+
+    case obs::EventKind::kRetransmit:
+      if (ev.detail < 1) {
+        add("counter-consistency", ev.container,
+            fmt("retransmit with attempt count %.0f < 1",
+                static_cast<double>(ev.detail), 0.0));
+      }
+      break;
+
+    case obs::EventKind::kDuplicateSuppressed:
+      break;
+
+    case obs::EventKind::kResync: {
+      // The controller just reconciled this container against the agent's
+      // snapshot; in-flight bookkeeping from before the fault is void (any
+      // residual divergence gets its own corrective kRpcIssued).
+      const auto it = cpu_track_.find(ev.container);
+      if (it != cpu_track_.end()) {
+        it->second.inflight = 0;
+        it->second.latest_issue = 0;
       }
       break;
     }
 
-    case obs::EventKind::kRpcApplied: {
-      const auto it = shrink_by_rpc_.find(ev.cause);
-      if (it != shrink_by_rpc_.end()) {
-        pending_cpu_shrink_ -= it->second;
-        if (pending_cpu_shrink_ < 0.0) pending_cpu_shrink_ = 0.0;
-        shrink_by_rpc_.erase(it);
+    case obs::EventKind::kFailStatic:
+      if (ev.detail != 0 && ev.detail != 1) {
+        add("counter-consistency", ev.container,
+            fmt("fail-static event with detail %.0f (want 0 or 1)",
+                static_cast<double>(ev.detail), 0.0));
+      }
+      if (ev.detail == 1) ++fail_static_entries_seen_;
+      break;
+
+    case obs::EventKind::kNodeDead:
+    case obs::EventKind::kNodeAlive:
+      break;
+
+    case obs::EventKind::kFaultInjected:
+      break;
+
+    case obs::EventKind::kFaultCleared:
+      if (seen_[static_cast<std::size_t>(obs::EventKind::kFaultCleared)] >
+          seen_[static_cast<std::size_t>(obs::EventKind::kFaultInjected)]) {
+        add("fault-accounting", 0,
+            fmt("fault clears %.0f outnumber injections %.0f",
+                static_cast<double>(seen_[static_cast<std::size_t>(
+                    obs::EventKind::kFaultCleared)]),
+                static_cast<double>(seen_[static_cast<std::size_t>(
+                    obs::EventKind::kFaultInjected)])));
       }
       break;
-    }
 
     case obs::EventKind::kContainerRegistered:
       if (ev.after < -eps || ev.detail < 0) {
@@ -233,6 +300,7 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
       break;
 
     case obs::EventKind::kContainerKilled:
+      cpu_track_.erase(ev.container);
       break;
   }
 }
@@ -272,6 +340,7 @@ void InvariantChecker::sweep() {
   // and per-cgroup internal consistency.
   double shadow_cpu_sum = 0.0;
   double actual_cpu_sum = 0.0;
+  double inflight_slack = 0.0;
   std::size_t registered = 0;
   for (cluster::Container* container : cluster_.containers()) {
     const cfs::CfsCgroup& cpu = container->cpu_cgroup();
@@ -304,8 +373,19 @@ void InvariantChecker::sweep() {
 
     if (controller.is_registered(container->id())) {
       ++registered;
-      shadow_cpu_sum += app.member_cores(container->id());
+      const double shadow = app.member_cores(container->id());
+      shadow_cpu_sum += shadow;
       actual_cpu_sum += cpu.limit_cores();
+      // A container with a limit-update RPC in flight (issued but not yet
+      // applied — possibly dropped and retransmitting, or stranded behind a
+      // partition) may legitimately hold more cgroup capacity than its
+      // shadow limit says: the pool has already re-committed the freed
+      // share. The allowance is exactly the current divergence, so it
+      // vanishes the moment the update lands.
+      const auto track = cpu_track_.find(container->id());
+      if (track != cpu_track_.end() && track->second.inflight > 0) {
+        inflight_slack += std::max(0.0, cpu.limit_cores() - shadow);
+      }
     }
   }
 
@@ -322,17 +402,17 @@ void InvariantChecker::sweep() {
   }
 
   // CPU conservation over *applied* limits. Capacity freed by a shrink
-  // decision re-enters the pool immediately but leaves the cgroup only when
-  // the shrink RPC lands, so a synchronous consumer of the freed capacity
-  // (a registering late joiner) can transiently push the applied sum above
-  // the global limit by at most the in-flight shrink total.
+  // decision re-enters the pool at decide time but leaves the cgroup only
+  // when the (retransmitted-until-acked) RPC lands, so the applied sum may
+  // transiently exceed the global limit by the summed divergence of exactly
+  // those containers with an update in flight — no more.
   if (actual_cpu_sum >
-      app.cpu_limit() + pending_cpu_shrink_ +
+      app.cpu_limit() + inflight_slack +
           eps * static_cast<double>(registered + 1)) {
     add("cpu-conservation", 0,
         fmt3("applied cgroup limits sum to %.6f cores > global %.6f "
-             "(+%.6f shrink in flight)",
-             actual_cpu_sum, app.cpu_limit(), pending_cpu_shrink_));
+             "(+%.6f in-flight divergence allowed)",
+             actual_cpu_sum, app.cpu_limit(), inflight_slack));
   }
 
   // Gauges mirror the books of record.
@@ -401,6 +481,29 @@ void InvariantChecker::check_counters() {
       {"reclaim.bytes_total vs reclaim event details",
        h.reclaim_bytes->value() - base_reclaim_bytes_,
        static_cast<std::uint64_t>(reclaim_bytes_seen_)},
+      {"controller.retransmits vs retransmit events",
+       h.retransmits->value() - base_retransmits_,
+       seen(obs::EventKind::kRetransmit)},
+      {"agent.duplicates_suppressed vs duplicate-suppressed events",
+       h.dup_suppressed->value() - base_dup_suppressed_,
+       seen(obs::EventKind::kDuplicateSuppressed)},
+      {"controller.resyncs vs resync events",
+       h.resyncs->value() - base_resyncs_, seen(obs::EventKind::kResync)},
+      {"controller.nodes_declared_dead vs node-dead events",
+       h.nodes_dead->value() - base_nodes_dead_,
+       seen(obs::EventKind::kNodeDead)},
+      {"controller.nodes_recovered vs node-alive events",
+       h.nodes_alive->value() - base_nodes_alive_,
+       seen(obs::EventKind::kNodeAlive)},
+      {"agent.fail_static_entries vs fail-static enter events",
+       h.fail_static_entries->value() - base_fail_static_,
+       fail_static_entries_seen_},
+      {"fault.injected vs fault-injected events",
+       h.faults_injected->value() - base_faults_injected_,
+       seen(obs::EventKind::kFaultInjected)},
+      {"fault.cleared vs fault-cleared events",
+       h.faults_cleared->value() - base_faults_cleared_,
+       seen(obs::EventKind::kFaultCleared)},
   };
   for (const Pair& p : pairs) {
     if (p.counter_delta != p.trace_count) {
@@ -440,6 +543,14 @@ void InvariantChecker::check_network() {
         "net.dropped_datagrams: transport " +
             std::to_string(net_.dropped_messages()) + " != mirror " +
             std::to_string(net_dropped_->value() + net_dropped_offset_));
+  }
+  if (net_duplicated_ != nullptr &&
+      net_.duplicated_messages() !=
+          net_duplicated_->value() + net_duplicated_offset_) {
+    add("net-obs-consistency", 0,
+        "net.duplicated_messages: transport " +
+            std::to_string(net_.duplicated_messages()) + " != mirror " +
+            std::to_string(net_duplicated_->value() + net_duplicated_offset_));
   }
 }
 

@@ -21,10 +21,16 @@
 //   per sweep (every sweep_interval, default one CFS period):
 //     - node-cpu-conservation  per-node scheduled core-time <= node cores
 //     - cpu-conservation       sum of *applied* cgroup CPU limits over
-//                              registered containers <= global limit, with a
-//                              tolerance for shrink RPCs still in flight
-//                              (pool capacity freed at decide time is only
-//                              returned by the cgroup at apply time)
+//                              registered containers <= global limit, plus
+//                              per-container slack for containers with a
+//                              limit-update RPC in flight (issued, possibly
+//                              retransmitting, not yet applied) of exactly
+//                              the container's current cgroup-vs-shadow
+//                              divergence — so the bound self-tightens to
+//                              the plain global limit as updates land, and
+//                              stays sound through drops, duplicates,
+//                              partitions, and crash/resync cycles without
+//                              ever being relaxed to vacuity
 //     - pool-conservation      0 <= allocated <= limit for both resources,
 //                              and the member shadow limits sum to allocated
 //     - cfs-state              every cgroup's bandwidth state is internally
@@ -32,7 +38,12 @@
 //     - memcg-charge-le-limit  usage <= limit, except for force-charged
 //                              residency (restart into a reclaimed limit)
 //     - counter-consistency    obs counters mirror the decision trace
-//                              one-for-one (grants, shrinks, RPCs, ...)
+//                              one-for-one (grants, shrinks, RPCs,
+//                              retransmits, suppressed duplicates, resyncs,
+//                              node death/recovery, fail-static entries,
+//                              fault injections/clears, ...)
+//     - fault-accounting       fault windows are well-formed (clears never
+//                              outnumber injections)
 //     - net-obs-consistency    src/net ChannelStats and the mirrored
 //                              net.<channel>.bytes/messages counters agree
 //     - gauge-*                pool occupancy / active-container gauges
@@ -141,13 +152,20 @@ class InvariantChecker {
   std::uint64_t events_checked_ = 0;
   std::uint64_t seen_[obs::kEventKindCount] = {};
   std::int64_t reclaim_bytes_seen_ = 0;
-  // CPU capacity freed by shrink decisions whose RPC has not yet applied:
-  // decision id -> freed cores, promoted to rpc id at kRpcIssued, released
-  // at kRpcApplied. The sweep's cpu-conservation bound is widened by the
-  // total while in flight.
-  std::unordered_map<obs::EventId, double> shrink_by_decision_;
-  std::unordered_map<obs::EventId, double> shrink_by_rpc_;
-  double pending_cpu_shrink_ = 0.0;
+  std::uint64_t fail_static_entries_seen_ = 0;
+  // Per-container CPU limit-update RPC tracking. `inflight` counts issues
+  // without a matching apply; an apply of the *latest* issue clears the
+  // count outright (the slot protocol supersedes older updates, so the
+  // newest apply means the cgroup holds the controller's newest intent). A
+  // resync also clears it: the controller just reconciled, and any residual
+  // divergence gets its own corrective kRpcIssued. While inflight > 0 the
+  // sweep grants the container slack equal to max(0, cgroup - shadow);
+  // converged containers contribute zero, so the bound never goes vacuous.
+  struct CpuTrack {
+    int inflight = 0;
+    obs::EventId latest_issue = 0;
+  };
+  std::unordered_map<std::uint32_t, CpuTrack> cpu_track_;
 
   // --- counter baselines captured at construction (the checker may attach
   //     to a system that has already been running) ---
@@ -160,6 +178,14 @@ class InvariantChecker {
   std::uint64_t base_deregistrations_ = 0;
   std::uint64_t base_throttled_periods_ = 0;
   std::uint64_t base_reclaim_bytes_ = 0;
+  std::uint64_t base_retransmits_ = 0;
+  std::uint64_t base_dup_suppressed_ = 0;
+  std::uint64_t base_resyncs_ = 0;
+  std::uint64_t base_nodes_dead_ = 0;
+  std::uint64_t base_nodes_alive_ = 0;
+  std::uint64_t base_fail_static_ = 0;
+  std::uint64_t base_faults_injected_ = 0;
+  std::uint64_t base_faults_cleared_ = 0;
 
   // net ChannelStats vs obs counter offsets (attach_metrics only mirrors
   // traffic sent after attachment, so the two differ by a constant).
@@ -172,6 +198,8 @@ class InvariantChecker {
   NetBaseline net_base_[net::kChannelCount];
   const obs::Counter* net_dropped_ = nullptr;
   std::uint64_t net_dropped_offset_ = 0;
+  const obs::Counter* net_duplicated_ = nullptr;
+  std::uint64_t net_duplicated_offset_ = 0;
 
   std::vector<Violation> violations_;
   std::uint64_t dropped_violations_ = 0;

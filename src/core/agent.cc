@@ -2,39 +2,76 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <utility>
 
-#include "obs/metrics.h"
+#include "core/messages.h"
+#include "obs/observer.h"
 
 namespace escra::core {
 
 Agent::Agent(cluster::Node& node) : node_(node) {}
 
 void Agent::manage(cluster::Container& container) {
-  managed_[container.id()] = &container;
+  // Re-managing keeps the existing sequence state (idempotent).
+  auto& m = managed_[container.id()];
+  m.container = &container;
 }
 
 void Agent::unmanage(cluster::ContainerId id) { managed_.erase(id); }
 
-bool Agent::apply_cpu_limit(cluster::ContainerId id, double cores) {
-  const auto it = managed_.find(id);
-  if (it == managed_.end()) return false;
-  it->second->cpu_cgroup().set_limit_cores(cores);
-  if (obs_applies_ != nullptr) obs_applies_->inc();
-  return true;
+void Agent::record_dup(cluster::ContainerId id, double before, double offered,
+                       std::uint64_t seq) {
+  if (obs_ == nullptr || sim_ == nullptr) return;
+  obs_->h.dup_suppressed->inc();
+  obs::TraceEvent ev;
+  ev.time = sim_->now();
+  ev.kind = obs::EventKind::kDuplicateSuppressed;
+  ev.container = id;
+  ev.node = node_.id() + 1;
+  ev.before = before;
+  ev.after = offered;
+  ev.detail = static_cast<std::int64_t>(seq);
+  obs_->record(ev);
 }
 
-bool Agent::apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit) {
+Agent::Apply Agent::apply_cpu_limit(cluster::ContainerId id, double cores,
+                                    std::uint64_t seq) {
+  if (crashed_) return Apply::kRejected;
   const auto it = managed_.find(id);
-  if (it == managed_.end()) return false;
-  it->second->mem_cgroup().set_limit(limit);
-  if (obs_applies_ != nullptr) obs_applies_->inc();
-  return true;
+  if (it == managed_.end()) return Apply::kRejected;
+  Managed& m = it->second;
+  if (seq != 0 && seq <= m.cpu_seq) {
+    record_dup(id, m.container->cpu_cgroup().limit_cores(), cores, seq);
+    return Apply::kStale;
+  }
+  m.container->cpu_cgroup().set_limit_cores(cores);
+  if (seq != 0) m.cpu_seq = seq;
+  if (obs_ != nullptr) obs_->h.agent_limit_applies->inc();
+  return Apply::kApplied;
+}
+
+Agent::Apply Agent::apply_mem_limit(cluster::ContainerId id,
+                                    memcg::Bytes limit, std::uint64_t seq) {
+  if (crashed_) return Apply::kRejected;
+  const auto it = managed_.find(id);
+  if (it == managed_.end()) return Apply::kRejected;
+  Managed& m = it->second;
+  if (seq != 0 && seq <= m.mem_seq) {
+    record_dup(id, static_cast<double>(m.container->mem_cgroup().limit()),
+               static_cast<double>(limit), seq);
+    return Apply::kStale;
+  }
+  m.container->mem_cgroup().set_limit(limit);
+  if (seq != 0) m.mem_seq = seq;
+  if (obs_ != nullptr) obs_->h.agent_limit_applies->inc();
+  return Apply::kApplied;
 }
 
 Agent::ReclaimResult Agent::reclaim(memcg::Bytes delta, memcg::Bytes floor) {
   ReclaimResult result;
-  for (auto& [id, container] : managed_) {
-    memcg::MemCgroup& mem = container->mem_cgroup();
+  if (crashed_) return result;
+  for (auto& [id, m] : managed_) {
+    memcg::MemCgroup& mem = m.container->mem_cgroup();
     const memcg::Bytes usage = mem.usage();
     const memcg::Bytes limit = mem.limit();
     if (limit <= usage + delta) continue;  // C(i)_l <= C(i)_u + δ: leave it
@@ -45,6 +82,110 @@ Agent::ReclaimResult Agent::reclaim(memcg::Bytes delta, memcg::Bytes floor) {
     result.resizes.push_back({id, limit, new_limit});
   }
   return result;
+}
+
+void Agent::connect(sim::Simulation& sim, net::Network& net,
+                    HeartbeatSink sink) {
+  sim_ = &sim;
+  net_ = &net;
+  heartbeat_sink_ = std::move(sink);
+  last_contact_ = sim.now();
+}
+
+void Agent::start(sim::Duration heartbeat_interval, sim::Duration lease) {
+  if (running_) return;
+  if (sim_ == nullptr) {
+    throw std::logic_error("Agent::start: connect() first");
+  }
+  running_ = true;
+  lease_ = lease;
+  last_contact_ = sim_->now();
+  heartbeat_loop_ =
+      sim_->schedule_every(sim_->now() + heartbeat_interval,
+                           heartbeat_interval, [this] { send_heartbeat(); });
+}
+
+void Agent::stop() {
+  if (!running_) return;
+  running_ = false;
+  if (sim_ != nullptr) sim_->cancel(heartbeat_loop_);
+}
+
+void Agent::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  fail_static_ = false;
+  // Soft state dies with the process; cgroups persist in the kernel.
+  for (auto& [id, m] : managed_) {
+    m.cpu_seq = 0;
+    m.mem_seq = 0;
+  }
+}
+
+void Agent::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++incarnation_;
+  if (sim_ != nullptr) last_contact_ = sim_->now();  // fresh lease
+}
+
+void Agent::record_fail_static(bool entered) {
+  if (obs_ == nullptr || sim_ == nullptr) return;
+  if (entered) obs_->h.fail_static_entries->inc();
+  obs::TraceEvent ev;
+  ev.time = sim_->now();
+  ev.kind = obs::EventKind::kFailStatic;
+  ev.node = node_.id() + 1;
+  ev.detail = entered ? 1 : 0;
+  obs_->record(ev);
+}
+
+void Agent::enter_fail_static() {
+  if (fail_static_) return;
+  fail_static_ = true;
+  record_fail_static(true);
+}
+
+void Agent::note_controller_contact() {
+  if (crashed_ || sim_ == nullptr) return;
+  last_contact_ = sim_->now();
+  if (fail_static_) {
+    fail_static_ = false;
+    record_fail_static(false);
+  }
+}
+
+void Agent::send_heartbeat() {
+  if (crashed_ || net_ == nullptr) return;
+  // The lease watchdog piggybacks on the heartbeat tick: silence past the
+  // lease means the Controller (or the path to it) is gone — fall back to
+  // fail-static rather than acting on stale intent.
+  if (lease_ > 0 && sim_->now() - last_contact_ > lease_) enter_fail_static();
+  if (!heartbeat_sink_) return;
+  const cluster::NodeId node = node_.id();
+  const std::uint64_t inc = incarnation_;
+  net_->send_to(net::Channel::kControlRpc,
+                static_cast<net::EndpointId>(node), net::kControllerEndpoint,
+                kHeartbeatWireBytes,
+                [sink = heartbeat_sink_, node, inc] { sink(node, inc); });
+}
+
+std::vector<Agent::SnapshotEntry> Agent::snapshot() const {
+  std::vector<SnapshotEntry> out;
+  out.reserve(managed_.size());
+  for (const auto& [id, m] : managed_) {
+    SnapshotEntry e;
+    e.id = id;
+    e.container = m.container;
+    e.cpu_cores = m.container->cpu_cgroup().limit_cores();
+    e.mem_limit = m.container->mem_cgroup().limit();
+    out.push_back(e);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SnapshotEntry& a, const SnapshotEntry& b) {
+              return a.id < b.id;
+            });
+  return out;
 }
 
 }  // namespace escra::core

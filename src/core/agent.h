@@ -6,18 +6,31 @@
 // scan (Section IV-C): any managed container whose memory limit exceeds its
 // usage by more than the safe margin δ is shrunk to usage + δ, and the total
 // reclaimed amount ψ is reported back.
+//
+// Reliability layer (beyond the paper): limit updates carry sequence
+// numbers, and the Agent keeps the newest applied sequence per container and
+// resource so duplicated or reordered retransmits are discarded (idempotent
+// applies). The Agent heartbeats to the Controller, and a lease watchdog
+// drops it into *fail-static* mode when the Controller goes silent: no local
+// limit churn, containers keep running at their last-applied limits. The
+// Agent can crash (soft state — the sequence table — is lost; cgroups are
+// kernel state and persist) and restart with a new incarnation, which the
+// Controller detects to trigger a resync.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
 #include "cluster/container.h"
 #include "cluster/node.h"
 #include "memcg/mem_cgroup.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
 
 namespace escra::obs {
-class Counter;
+class Observer;
 }
 
 namespace escra::core {
@@ -36,9 +49,27 @@ class Agent {
   std::size_t managed_count() const { return managed_.size(); }
 
   // --- limit application (RPC handlers) ---
-  // Both return false if the container is not managed by this Agent.
-  bool apply_cpu_limit(cluster::ContainerId id, double cores);
-  bool apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit);
+
+  // Outcome of a sequenced apply.
+  enum class Apply {
+    kApplied,   // limit written to the cgroup
+    kStale,     // duplicate / out-of-date sequence: discarded (idempotent)
+    kRejected,  // agent crashed or container unmanaged: no response at all
+  };
+  // Sequenced applies: `seq` must exceed the newest applied sequence for the
+  // (container, resource) pair or the update is discarded as stale. seq 0
+  // bypasses the check (unsequenced local/test path).
+  Apply apply_cpu_limit(cluster::ContainerId id, double cores,
+                        std::uint64_t seq);
+  Apply apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
+                        std::uint64_t seq);
+  // Unsequenced compatibility overloads; false if not managed here.
+  bool apply_cpu_limit(cluster::ContainerId id, double cores) {
+    return apply_cpu_limit(id, cores, 0) == Apply::kApplied;
+  }
+  bool apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit) {
+    return apply_mem_limit(id, limit, 0) == Apply::kApplied;
+  }
 
   // --- memory reclamation (Section IV-C) ---
   struct Resize {
@@ -55,16 +86,79 @@ class Agent {
   // usage + delta (never below `floor`). Returns ψ and the new limits.
   ReclaimResult reclaim(memcg::Bytes delta, memcg::Bytes floor);
 
-  // Observability: counter bumped on every successful limit application
-  // (CPU or memory). Null (the default) disables the hook.
-  void set_obs_counter(obs::Counter* limit_applies) {
-    obs_applies_ = limit_applies;
-  }
+  // --- heartbeats, lease, crash/restart ---
+
+  // Wires the agent to the simulation and network. `heartbeat_sink` runs at
+  // the Controller when a heartbeat is delivered (node id, incarnation).
+  using HeartbeatSink =
+      std::function<void(cluster::NodeId, std::uint64_t incarnation)>;
+  void connect(sim::Simulation& sim, net::Network& net, HeartbeatSink sink);
+
+  // Starts/stops the heartbeat loop (and the piggybacked lease watchdog).
+  // Requires connect() first; driven by Controller::start/stop.
+  void start(sim::Duration heartbeat_interval, sim::Duration lease);
+  void stop();
+
+  // Crash: the agent process dies. Soft state (sequence table) is lost;
+  // cgroup limits are kernel state and persist — the node fails static.
+  // RPCs to a crashed agent are rejected (no response). restart() brings it
+  // back with a new incarnation so the Controller can detect it and resync.
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
+  std::uint64_t incarnation() const { return incarnation_; }
+
+  // Fail-static: entered when the lease expires without Controller contact,
+  // left on the next contact. (The flag is advisory — the applied cgroup
+  // limits already *are* the fail-static state.)
+  bool fail_static() const { return fail_static_; }
+  // Any message from the Controller (heartbeat ack, delivered RPC) renews
+  // the lease.
+  void note_controller_contact();
+
+  // --- resync snapshot ---
+  // The agent's managed-container inventory with last-applied limits,
+  // sorted by id (deterministic order for resync replay). The Controller
+  // rebuilds its registry and pool accounting from this on reconnect.
+  struct SnapshotEntry {
+    cluster::ContainerId id = 0;
+    cluster::Container* container = nullptr;
+    double cpu_cores = 0.0;
+    memcg::Bytes mem_limit = 0;
+  };
+  std::vector<SnapshotEntry> snapshot() const;
+
+  // Observability: trace events (duplicate-suppressed, fail-static) and the
+  // limit-apply counter. Null (the default) disables the hooks.
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
 
  private:
+  struct Managed {
+    cluster::Container* container = nullptr;
+    std::uint64_t cpu_seq = 0;  // newest applied sequence numbers
+    std::uint64_t mem_seq = 0;
+  };
+
+  void send_heartbeat();
+  void enter_fail_static();
+  void record_fail_static(bool entered);
+  void record_dup(cluster::ContainerId id, double before, double offered,
+                  std::uint64_t seq);
+
   cluster::Node& node_;
-  std::unordered_map<cluster::ContainerId, cluster::Container*> managed_;
-  obs::Counter* obs_applies_ = nullptr;
+  std::unordered_map<cluster::ContainerId, Managed> managed_;
+  obs::Observer* obs_ = nullptr;
+
+  sim::Simulation* sim_ = nullptr;
+  net::Network* net_ = nullptr;
+  HeartbeatSink heartbeat_sink_;
+  sim::EventHandle heartbeat_loop_;
+  sim::Duration lease_ = 0;
+  sim::TimePoint last_contact_ = 0;
+  bool running_ = false;
+  bool crashed_ = false;
+  bool fail_static_ = false;
+  std::uint64_t incarnation_ = 1;
 };
 
 }  // namespace escra::core

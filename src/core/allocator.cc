@@ -38,6 +38,12 @@ void ResourceAllocator::deregister_container(std::uint32_t id) {
   app_.remove_member(id);
 }
 
+void ResourceAllocator::reset() {
+  while (!windows_.empty()) {
+    deregister_container(windows_.begin()->first);
+  }
+}
+
 std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) {
   const auto it = windows_.find(stats.cgroup);
   if (it == windows_.end()) return std::nullopt;  // stale/unknown container

@@ -31,6 +31,9 @@ class ResourceAllocator {
   void register_container(std::uint32_t id, double cores, memcg::Bytes mem);
   void deregister_container(std::uint32_t id);
   bool knows(std::uint32_t id) const { return windows_.contains(id); }
+  // Drops every registration (Controller crash: shadow state dies with the
+  // process). Pool commitments return to unallocated; windows are cleared.
+  void reset();
 
   // --- CPU (Section IV-D1) ---
 

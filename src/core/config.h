@@ -60,6 +60,26 @@ struct EscraConfig {
   //     pods); mirrors the OpenWhisk per-action pod defaults (Section VI-F).
   double late_join_cores = 1.0;
   memcg::Bytes late_join_mem = 256 * memcg::kMiB;
+
+  // --- control-plane reliability (beyond the paper: the paper only runs on
+  //     a healthy control plane; these govern the fail-static + sub-second
+  //     reconvergence behavior under partitions and crashes) ---
+  // First retransmit of an unacked limit update (the RPC round trip is
+  // ~300 us, so 2 ms is a comfortable ack deadline).
+  sim::Duration rpc_retry_timeout = sim::milliseconds(2);
+  // Cap for the exponential retransmit backoff.
+  sim::Duration rpc_backoff_max = sim::milliseconds(128);
+  // Agent -> Controller heartbeat cadence (rides the gRPC channel).
+  sim::Duration heartbeat_interval = sim::milliseconds(100);
+  // Controller declares a node dead after this much heartbeat silence
+  // (~3 missed heartbeats).
+  sim::Duration liveness_timeout = sim::milliseconds(350);
+  // A dead node's pool share is held (quarantined) this long before being
+  // reclaimed for the live nodes.
+  sim::Duration quarantine_grace = sim::seconds(2);
+  // Agent lease: after this much Controller silence the Agent enters
+  // fail-static — containers keep running at their last-applied limits.
+  sim::Duration agent_lease = sim::milliseconds(500);
 };
 
 }  // namespace escra::core

@@ -1,8 +1,10 @@
 #include "core/controller.h"
 
 #include <algorithm>
+#include <cmath>
 #include <memory>
 #include <utility>
+#include <vector>
 
 namespace escra::core {
 
@@ -10,7 +12,11 @@ Controller::Controller(sim::Simulation& sim, net::Network& network,
                        const EscraConfig& config, ResourceAllocator& allocator)
     : sim_(sim), net_(network), config_(config), allocator_(allocator) {}
 
-Controller::~Controller() { stop(); }
+Controller::~Controller() {
+  stop();
+  for (auto& [key, p] : pending_) sim_.cancel(p.timer);
+  for (auto& [node, h] : health_) sim_.cancel(h.reclaim_timer);
+}
 
 Agent& Controller::agent_for(cluster::Node& node) {
   const auto it = agents_by_node_.find(node.id());
@@ -18,15 +24,35 @@ Agent& Controller::agent_for(cluster::Node& node) {
   agents_.push_back(std::make_unique<Agent>(node));
   Agent& agent = *agents_.back();
   agents_by_node_[node.id()] = &agent;
-  if (obs_ != nullptr) agent.set_obs_counter(obs_->h.agent_limit_applies);
+  agent.connect(sim_, net_,
+                [this](cluster::NodeId n, std::uint64_t incarnation) {
+                  on_heartbeat(n, incarnation);
+                });
+  agent.set_observer(obs_);
+  if (started_) {
+    agent.start(config_.heartbeat_interval, config_.agent_lease);
+  }
   return agent;
+}
+
+Agent* Controller::agent_at(cluster::NodeId node) {
+  const auto it = agents_by_node_.find(node);
+  return it != agents_by_node_.end() ? it->second : nullptr;
+}
+
+bool Controller::node_dead(cluster::NodeId node) const {
+  const auto it = health_.find(node);
+  return it != health_.end() && it->second.dead;
+}
+
+bool Controller::reachable(cluster::NodeId node) const {
+  return net_.link_up(ep(node), net::kControllerEndpoint) &&
+         net_.link_up(net::kControllerEndpoint, ep(node));
 }
 
 void Controller::set_observer(obs::Observer* observer) {
   obs_ = observer;
-  obs::Counter* applies =
-      observer != nullptr ? observer->h.agent_limit_applies : nullptr;
-  for (const auto& agent : agents_) agent->set_obs_counter(applies);
+  for (const auto& agent : agents_) agent->set_observer(observer);
   for (auto& [id, entry] : registry_) {
     if (observer != nullptr) {
       entry.container->cpu_cgroup().set_obs_counters(
@@ -52,16 +78,22 @@ std::uint32_t Controller::node_tag(const Entry& entry) const {
 void Controller::register_container(cluster::Container& container,
                                     cluster::Node& node, double cores,
                                     memcg::Bytes mem) {
+  register_impl(container, node, cores, mem, RegisterMode::kBootstrap);
+}
+
+void Controller::register_impl(cluster::Container& container,
+                               cluster::Node& node, double cores,
+                               memcg::Bytes mem, RegisterMode mode) {
   Agent& agent = agent_for(node);
   // Late joiners (e.g. serverless pods created mid-run) receive the
   // configured defaults, clamped to whatever the pool still holds.
-  if (cores <= 0.0) {
+  if (cores <= 0.0 && mode == RegisterMode::kBootstrap) {
     // Whatever the pool still holds, up to the default; a zero grant is
     // legal (the container waits for reclaimed capacity).
     cores = std::min(config_.late_join_cores,
                      std::max(0.0, allocator_.app().cpu_unallocated()));
   }
-  if (mem <= 0) {
+  if (mem <= 0 && mode == RegisterMode::kBootstrap) {
     mem = std::min(config_.late_join_mem,
                    std::max<memcg::Bytes>(0, allocator_.app().mem_unallocated()));
   }
@@ -72,12 +104,17 @@ void Controller::register_container(cluster::Container& container,
   agent.manage(container);
   registry_[container.id()] = Entry{&container, &agent};
 
-  // Registration message on the container's new kernel socket.
-  net_.send(net::Channel::kRegistration, kRegistrationWireBytes, [] {});
-
-  // Deploy-time bootstrap limits go straight into the cgroups.
-  container.cpu_cgroup().set_limit_cores(cores);
-  container.mem_cgroup().set_limit(mem);
+  if (mode == RegisterMode::kBootstrap) {
+    // Registration message on the container's new kernel socket.
+    net_.send_to(net::Channel::kRegistration, ep(node.id()),
+                 net::kControllerEndpoint, kRegistrationWireBytes, [] {});
+    // Deploy-time bootstrap limits go straight into the cgroups.
+    container.cpu_cgroup().set_limit_cores(cores);
+    container.mem_cgroup().set_limit(mem);
+  }
+  // Resync mode: the cgroups hold the node's fail-static truth; the shadow
+  // registration reflects it and any correction travels as a normal
+  // (reliable) limit update issued by the resync path.
 
   if (obs_ != nullptr) {
     container.cpu_cgroup().set_obs_counters(obs_->h.cfs_periods,
@@ -98,8 +135,9 @@ void Controller::register_container(cluster::Container& container,
   }
 
   // Kernel hook 1: per-period CFS telemetry streamed to the Controller.
+  const cluster::NodeId node_id = node.id();
   container.cpu_cgroup().set_period_hook(
-      [this](const cfs::PeriodStats& period) {
+      [this, node_id](const cfs::PeriodStats& period) {
         CpuStatsMsg msg;
         msg.cgroup = period.cgroup;
         msg.period_end = period.period_end;
@@ -125,10 +163,11 @@ void Controller::register_container(cluster::Container& container,
           ev.detail = static_cast<std::int64_t>(msg.unused);
           cause = obs_->record(ev);
         }
-        net_.send(net::Channel::kCpuTelemetry, kCpuStatsWireBytes,
-                  [this, msg, cause, fire] {
-                    ingest_cpu_stats(msg, cause, fire);
-                  });
+        net_.send_to(net::Channel::kCpuTelemetry, ep(node_id),
+                     net::kControllerEndpoint, kCpuStatsWireBytes,
+                     [this, msg, cause, fire] {
+                       ingest_cpu_stats(msg, cause, fire);
+                     });
       });
 
   // Kernel hook 2: pre-OOM trap in try_charge().
@@ -156,12 +195,40 @@ void Controller::deregister_container(cluster::Container& container) {
     obs_->record(ev);
     obs_->h.deregistrations->inc();
   }
+  cancel_pending_for(container.id());
   it->second.agent->unmanage(container.id());
   container.cpu_cgroup().set_period_hook(nullptr);
   container.mem_cgroup().set_oom_hook(nullptr);
   container.cpu_cgroup().set_obs_counters(nullptr, nullptr);
   container.mem_cgroup().set_obs_counters(nullptr, nullptr);
   allocator_.deregister_container(container.id());
+  registry_.erase(it);
+  if (obs_ != nullptr) {
+    obs_->h.containers_active->set(static_cast<double>(registry_.size()));
+  }
+}
+
+void Controller::deregister_quarantined(cluster::ContainerId id) {
+  // Fail-static reclaim of a dead node's share: the container's pool
+  // commitment is released, but the node is unreachable — its kernel hooks
+  // and cgroup limits stay exactly as they are (the Agent still "manages"
+  // it locally). If the node returns, resync re-adopts the container.
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kContainerKilled;
+    ev.container = id;
+    ev.node = node_tag(it->second);
+    ev.before = allocator_.app().member_cores(id);
+    ev.after = 0.0;
+    ev.detail = static_cast<std::int64_t>(allocator_.app().member_mem(id));
+    obs_->record(ev);
+    obs_->h.deregistrations->inc();
+  }
+  cancel_pending_for(id);
+  allocator_.deregister_container(id);
   registry_.erase(it);
   if (obs_ != nullptr) {
     obs_->h.containers_active->set(static_cast<double>(registry_.size()));
@@ -175,12 +242,57 @@ void Controller::start() {
       sim_.schedule_every(sim_.now() + config_.reclaim_interval,
                           config_.reclaim_interval,
                           [this] { run_periodic_reclaim(); });
+  liveness_loop_ =
+      sim_.schedule_every(sim_.now() + config_.heartbeat_interval,
+                          config_.heartbeat_interval,
+                          [this] { run_liveness_check(); });
+  for (const auto& agent : agents_) {
+    agent->start(config_.heartbeat_interval, config_.agent_lease);
+  }
 }
 
 void Controller::stop() {
   if (!started_) return;
   started_ = false;
   sim_.cancel(reclaim_loop_);
+  sim_.cancel(liveness_loop_);
+  for (const auto& agent : agents_) agent->stop();
+}
+
+void Controller::crash() {
+  if (crashed_) return;
+  crashed_ = true;
+  // Controller-side loops die with the process. The Agents are separate
+  // processes: their heartbeat loops keep running (and go unanswered, which
+  // is how they notice and fall back to fail-static).
+  if (started_) {
+    started_ = false;
+    sim_.cancel(reclaim_loop_);
+    sim_.cancel(liveness_loop_);
+  }
+  for (auto& [key, p] : pending_) sim_.cancel(p.timer);
+  pending_.clear();
+  for (auto& [node, h] : health_) sim_.cancel(h.reclaim_timer);
+  health_.clear();
+  // Soft state is gone: registry and pool accounting are rebuilt from the
+  // Agents' snapshots on restart. Kernel hooks and cgroup limits live on
+  // the nodes and persist — the cluster fails static.
+  registry_.clear();
+  allocator_.reset();
+  if (obs_ != nullptr) obs_->h.containers_active->set(0.0);
+}
+
+void Controller::restart() {
+  if (!crashed_) return;
+  crashed_ = false;
+  ++incarnation_;
+  update_seq_ = 0;
+  start();  // agents still running their loops: Agent::start is a no-op
+  // Rebuild the registry and pool accounting by pulling every Agent's
+  // managed-container inventory.
+  for (const auto& agent : agents_) {
+    resync_node(agent->node().id(), *agent);
+  }
 }
 
 void Controller::on_cpu_stats(const CpuStatsMsg& stats) {
@@ -191,9 +303,19 @@ void Controller::on_cpu_stats(const CpuStatsMsg& stats) {
 
 void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
                                   sim::TimePoint fire_time) {
+  if (crashed_) return;  // nobody home
   ++stats_received_;
   const sim::TimePoint ingest = sim_.now();
   if (obs_ != nullptr) obs_->h.stats_ingested->inc();
+
+  // Dead-node quarantine: decisions for a dead node's containers are
+  // suppressed — an update could not be applied there, and the share is
+  // frozen until reclaimed (or the node returns and resyncs).
+  const auto rit = registry_.find(stats.cgroup);
+  if (rit != registry_.end() && rit->second.agent != nullptr &&
+      node_dead(rit->second.agent->node().id())) {
+    return;
+  }
 
   const bool known = allocator_.knows(stats.cgroup);
   const double before =
@@ -224,11 +346,20 @@ void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
 
 void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
                                 LoopCtx ctx) {
+  if (crashed_) return;
   const auto it = registry_.find(id);
   if (it == registry_.end()) return;
-  Agent* agent = it->second.agent;
   ++limit_updates_;
-  obs::EventId rpc_id = 0;
+  const std::uint64_t key = update_key(id, /*is_mem=*/false);
+  Pending& p = pending_[key];
+  if (p.timer.valid()) sim_.cancel(p.timer);  // superseded: newest wins
+  p.seq = next_seq();
+  p.is_mem = false;
+  p.cores = cores;
+  p.attempts = 0;
+  p.backoff = config_.rpc_retry_timeout;
+  p.ctx = ctx;
+  p.rpc_event = 0;
   if (obs_ != nullptr) {
     obs_->h.rpcs_issued->inc();
     obs::TraceEvent ev;
@@ -236,41 +367,31 @@ void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
     ev.kind = obs::EventKind::kRpcIssued;
     ev.container = id;
     ev.node = node_tag(it->second);
+    ev.before = 0.0;  // resource flag: 0 = CPU
     ev.after = cores;
     ev.cause = ctx.cause;
     ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
-    rpc_id = obs_->record(ev);
+    p.rpc_event = obs_->record(ev);
   }
-  const std::uint32_t node = node_tag(it->second);
-  net_.rpc(
-      kLimitUpdateRpcBytes, kLimitUpdateRespBytes,
-      [this, agent, id, cores, ctx, rpc_id, node] {
-        agent->apply_cpu_limit(id, cores);
-        if (obs_ == nullptr) return;
-        const sim::TimePoint apply = sim_.now();
-        obs_->h.rpcs_applied->inc();
-        obs::TraceEvent ev;
-        ev.time = apply;
-        ev.kind = obs::EventKind::kRpcApplied;
-        ev.container = id;
-        ev.node = node;
-        ev.after = cores;
-        ev.cause = rpc_id;
-        obs_->record(ev);
-        if (ctx.profile) {
-          obs_->profiler().record_loop(ctx.fire, ctx.ingest, ctx.decide, apply);
-        }
-      },
-      [] {});
+  send_pending(key);
 }
 
 void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
                                 LoopCtx ctx) {
+  if (crashed_) return;
   const auto it = registry_.find(id);
   if (it == registry_.end()) return;
-  Agent* agent = it->second.agent;
   ++limit_updates_;
-  obs::EventId rpc_id = 0;
+  const std::uint64_t key = update_key(id, /*is_mem=*/true);
+  Pending& p = pending_[key];
+  if (p.timer.valid()) sim_.cancel(p.timer);
+  p.seq = next_seq();
+  p.is_mem = true;
+  p.mem = limit;
+  p.attempts = 0;
+  p.backoff = config_.rpc_retry_timeout;
+  p.ctx = ctx;
+  p.rpc_event = 0;
   if (obs_ != nullptr) {
     obs_->h.rpcs_issued->inc();
     obs::TraceEvent ev;
@@ -278,49 +399,302 @@ void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
     ev.kind = obs::EventKind::kRpcIssued;
     ev.container = id;
     ev.node = node_tag(it->second);
+    ev.before = 1.0;  // resource flag: 1 = memory
     ev.after = static_cast<double>(limit);
     ev.cause = ctx.cause;
     ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
-    rpc_id = obs_->record(ev);
+    p.rpc_event = obs_->record(ev);
   }
+  send_pending(key);
+}
+
+void Controller::send_pending(std::uint64_t key) {
+  const auto pit = pending_.find(key);
+  if (pit == pending_.end()) return;
+  Pending& p = pit->second;
+  const auto id = static_cast<cluster::ContainerId>(key >> 1);
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) {
+    sim_.cancel(p.timer);
+    pending_.erase(pit);
+    return;
+  }
+  Agent* agent = it->second.agent;
+  const cluster::NodeId node_id = agent->node().id();
   const std::uint32_t node = node_tag(it->second);
-  net_.rpc(
-      kLimitUpdateRpcBytes, kLimitUpdateRespBytes,
-      [this, agent, id, limit, ctx, rpc_id, node] {
-        agent->apply_mem_limit(id, limit);
-        if (obs_ == nullptr) return;
-        const sim::TimePoint apply = sim_.now();
-        obs_->h.rpcs_applied->inc();
-        obs::TraceEvent ev;
-        ev.time = apply;
-        ev.kind = obs::EventKind::kRpcApplied;
-        ev.container = id;
-        ev.node = node;
-        ev.after = static_cast<double>(limit);
-        ev.cause = rpc_id;
-        obs_->record(ev);
-        if (ctx.profile) {
-          obs_->profiler().record_loop(ctx.fire, ctx.ingest, ctx.decide, apply);
+  const std::uint64_t seq = p.seq;
+  const bool is_mem = p.is_mem;
+  const double cores = p.cores;
+  const memcg::Bytes mem = p.mem;
+  const obs::EventId rpc_event = p.rpc_event;
+  const LoopCtx ctx = p.ctx;
+
+  net_.rpc_to(
+      net::kControllerEndpoint, ep(node_id), kLimitUpdateRpcBytes,
+      kLimitUpdateRespBytes,
+      // Request delivered at the Agent. Returning false (crashed agent)
+      // kills the response leg: the Controller's timeout takes it from
+      // there.
+      [this, agent, id, seq, is_mem, cores, mem, rpc_event, ctx,
+       node]() -> bool {
+        const Agent::Apply result =
+            is_mem ? agent->apply_mem_limit(id, mem, seq)
+                   : agent->apply_cpu_limit(id, cores, seq);
+        if (result == Agent::Apply::kRejected) return false;
+        agent->note_controller_contact();  // a delivered RPC renews the lease
+        if (result == Agent::Apply::kApplied && obs_ != nullptr) {
+          const sim::TimePoint apply = sim_.now();
+          obs_->h.rpcs_applied->inc();
+          obs::TraceEvent ev;
+          ev.time = apply;
+          ev.kind = obs::EventKind::kRpcApplied;
+          ev.container = id;
+          ev.node = node;
+          ev.before = is_mem ? 1.0 : 0.0;
+          ev.after = is_mem ? static_cast<double>(mem) : cores;
+          ev.cause = rpc_event;  // the original issue, across retransmits
+          obs_->record(ev);
+          if (ctx.profile) {
+            obs_->profiler().record_loop(ctx.fire, ctx.ingest, ctx.decide,
+                                         apply);
+          }
         }
+        return true;  // ack (duplicate deliveries ack too: idempotent)
       },
-      [] {});
+      // Response (ack) back at the Controller.
+      [this, key, seq, node_id] { on_update_ack(key, seq, node_id); });
+
+  p.timer = sim_.schedule_after(
+      p.backoff, [this, key, seq] { on_update_timeout(key, seq); });
+}
+
+void Controller::on_update_ack(std::uint64_t key, std::uint64_t seq,
+                               cluster::NodeId node) {
+  if (crashed_) return;
+  // Any traffic from the node proves it alive.
+  health_[node].last_heartbeat = sim_.now();
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.seq != seq) return;  // superseded
+  sim_.cancel(it->second.timer);
+  pending_.erase(it);
+}
+
+void Controller::on_update_timeout(std::uint64_t key, std::uint64_t seq) {
+  if (crashed_) return;
+  const auto it = pending_.find(key);
+  if (it == pending_.end() || it->second.seq != seq) return;
+  Pending& p = it->second;
+  ++p.attempts;
+  ++retransmits_;
+  const auto id = static_cast<cluster::ContainerId>(key >> 1);
+  if (obs_ != nullptr) {
+    obs_->h.retransmits->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kRetransmit;
+    ev.container = id;
+    const auto rit = registry_.find(id);
+    ev.node = rit != registry_.end() ? node_tag(rit->second) : 0;
+    ev.before = p.is_mem ? 1.0 : 0.0;
+    ev.after = p.is_mem ? static_cast<double>(p.mem) : p.cores;
+    ev.cause = p.rpc_event;
+    ev.detail = p.attempts;
+    obs_->record(ev);
+  }
+  p.backoff = std::min<sim::Duration>(p.backoff * 2, config_.rpc_backoff_max);
+  send_pending(key);  // re-sends the *newest* desired value, re-arms timer
+}
+
+void Controller::cancel_pending_for(cluster::ContainerId id) {
+  for (const bool is_mem : {false, true}) {
+    const auto it = pending_.find(update_key(id, is_mem));
+    if (it == pending_.end()) continue;
+    sim_.cancel(it->second.timer);
+    pending_.erase(it);
+  }
+}
+
+void Controller::on_heartbeat(cluster::NodeId node,
+                              std::uint64_t incarnation) {
+  if (crashed_) return;  // nobody listening; the Agent's lease will expire
+  if (obs_ != nullptr) obs_->h.heartbeats->inc();
+  NodeHealth& h = health_[node];
+  const bool was_dead = h.dead;
+  const bool agent_restarted =
+      h.agent_incarnation != 0 && h.agent_incarnation != incarnation;
+  h.last_heartbeat = sim_.now();
+  h.agent_incarnation = incarnation;
+  if (was_dead) {
+    h.dead = false;
+    sim_.cancel(h.reclaim_timer);  // quarantine lifted
+    if (obs_ != nullptr) {
+      obs_->h.nodes_alive->inc();
+      obs::TraceEvent ev;
+      ev.time = sim_.now();
+      ev.kind = obs::EventKind::kNodeAlive;
+      ev.node = node + 1;
+      ev.detail = static_cast<std::int64_t>(incarnation);
+      obs_->record(ev);
+    }
+  }
+  Agent* agent = agent_at(node);
+  if (agent != nullptr) {
+    // Ack the heartbeat so the Agent's lease stays fresh.
+    net_.send_to(net::Channel::kControlRpc, net::kControllerEndpoint,
+                 ep(node), kHeartbeatAckWireBytes,
+                 [agent] { agent->note_controller_contact(); });
+    // A node back from the dead (possibly with reclaimed containers) or a
+    // restarted Agent (sequence table lost) needs reconciliation.
+    if (was_dead || agent_restarted) resync_node(node, *agent);
+  }
+}
+
+void Controller::run_liveness_check() {
+  if (crashed_) return;
+  for (auto& [node, h] : health_) {
+    if (h.dead || h.agent_incarnation == 0) continue;
+    if (sim_.now() - h.last_heartbeat > config_.liveness_timeout) {
+      declare_dead(node, h);
+    }
+  }
+}
+
+void Controller::declare_dead(cluster::NodeId node, NodeHealth& health) {
+  health.dead = true;
+  if (obs_ != nullptr) {
+    obs_->h.nodes_dead->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kNodeDead;
+    ev.node = node + 1;
+    ev.detail = static_cast<std::int64_t>(
+        sim_.now() - health.last_heartbeat);  // silence at declaration, us
+    obs_->record(ev);
+  }
+  // Quarantine: the node's pool share is frozen (decisions suppressed) for
+  // the grace period, then reclaimed for the live nodes.
+  health.reclaim_timer = sim_.schedule_after(
+      config_.quarantine_grace, [this, node] { reclaim_dead_node(node); });
+}
+
+void Controller::reclaim_dead_node(cluster::NodeId node) {
+  if (crashed_) return;
+  const auto hit = health_.find(node);
+  if (hit == health_.end() || !hit->second.dead) return;
+  std::vector<cluster::ContainerId> ids;
+  for (const auto& [id, entry] : registry_) {
+    if (entry.agent != nullptr && entry.agent->node().id() == node) {
+      ids.push_back(id);
+    }
+  }
+  std::sort(ids.begin(), ids.end());  // deterministic reclaim order
+  for (const cluster::ContainerId id : ids) deregister_quarantined(id);
+}
+
+void Controller::resync_node(cluster::NodeId node, Agent& agent) {
+  if (crashed_) return;
+  Agent* agent_ptr = &agent;
+  auto snap = std::make_shared<std::vector<Agent::SnapshotEntry>>();
+  net_.rpc_to(
+      net::kControllerEndpoint, ep(node), kResyncRpcBytes, kResyncRespBytes,
+      [agent_ptr, snap]() -> bool {
+        if (agent_ptr->crashed()) return false;
+        *snap = agent_ptr->snapshot();
+        agent_ptr->note_controller_contact();
+        return true;
+      },
+      [this, node, agent_ptr, snap] { apply_resync(node, *agent_ptr, *snap); });
+}
+
+void Controller::apply_resync(cluster::NodeId node, Agent& agent,
+                              const std::vector<Agent::SnapshotEntry>& snap) {
+  if (crashed_) return;
+  health_[node].last_heartbeat = sim_.now();  // the response proves liveness
+  const double eps = 1e-9;
+  for (const Agent::SnapshotEntry& s : snap) {
+    if (s.container == nullptr) continue;
+    double want_cores = 0.0;
+    obs::EventId resync_ev = 0;
+    if (registry_.contains(s.id)) {
+      // Still registered (Agent restart without Controller loss): the
+      // shadow limit is authoritative; reconcile the cgroup toward it.
+      want_cores = allocator_.app().member_cores(s.id);
+      if (std::abs(want_cores - s.cpu_cores) <= eps) continue;
+    } else {
+      // Re-adoption (Controller restart, or a node back after its share
+      // was reclaimed): the cgroup's fail-static limits are the starting
+      // point, clamped to what the pool still holds.
+      const double cores = std::min(
+          s.cpu_cores, std::max(0.0, allocator_.app().cpu_unallocated()));
+      const memcg::Bytes mem = std::min(
+          s.mem_limit,
+          std::max<memcg::Bytes>(0, allocator_.app().mem_unallocated()));
+      register_impl(*s.container, agent.node(), cores, mem,
+                    RegisterMode::kResync);
+      want_cores = allocator_.app().member_cores(s.id);
+    }
+    ++resyncs_;
+    if (obs_ != nullptr) {
+      obs_->h.resyncs->inc();
+      obs::TraceEvent ev;
+      ev.time = sim_.now();
+      ev.kind = obs::EventKind::kResync;
+      ev.container = s.id;
+      ev.node = node + 1;
+      ev.before = s.cpu_cores;  // applied (fail-static) limit at the node
+      ev.after = want_cores;    // controller-intended shadow limit
+      ev.detail = static_cast<std::int64_t>(s.mem_limit);
+      resync_ev = obs_->record(ev);
+    }
+    // Corrective update where the cgroup diverges from the intent. Memory
+    // is left to the periodic reclamation loop (shrinking a memory limit
+    // below live usage would manufacture OOMs).
+    if (std::abs(want_cores - s.cpu_cores) > eps) {
+      LoopCtx ctx;
+      ctx.cause = resync_ev;
+      push_cpu_limit(s.id, want_cores, ctx);
+    }
+  }
 }
 
 bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
                             memcg::Bytes shortfall) {
-  ++oom_events_;
-  if (obs_ != nullptr) obs_->h.oom_events->inc();
   // The event travels the container's persistent kernel TCP socket; the
   // limit raise returns over RPC. The container is stalled for the round
   // trip by its own rescue path; here we account the bytes and decide.
-  net_.send(net::Channel::kMemoryEvent, kOomEventWireBytes, [] {});
+  const auto it = registry_.find(container.id());
+  const cluster::NodeId node =
+      it != registry_.end() && it->second.agent != nullptr
+          ? it->second.agent->node().id()
+          : 0;
+  net_.send_to(net::Channel::kMemoryEvent, ep(node), net::kControllerEndpoint,
+               kOomEventWireBytes, [] {});
+  // A crashed Controller, a severed path, or an unregistered container
+  // (quarantine-reclaimed) leaves the request unanswered: the hook returns
+  // false and the kernel's normal OOM path proceeds against the container's
+  // fail-static limit.
+  if (crashed_ || it == registry_.end() || !reachable(node) ||
+      !allocator_.knows(container.id())) {
+    return false;
+  }
+  ++oom_events_;
+  if (obs_ != nullptr) obs_->h.oom_events->inc();
 
+  const memcg::Bytes old_limit = container.mem_cgroup().limit();
   OomEventMsg event;
   event.container = container.id();
   event.attempted_charge = charge;
-  event.shortfall = shortfall;
+  // The kernel reports the shortfall against the *applied* cgroup limit,
+  // but the allocator raises the *shadow* limit. After a crash/resync the
+  // shadow may sit below the node's fail-static applied limit; widen the
+  // request by that divergence so the granted shadow still clears the
+  // applied position — otherwise the "grant" would lower the cgroup limit
+  // mid-OOM and kill a container the allocator judged grantable.
+  event.shortfall =
+      shortfall +
+      std::max<memcg::Bytes>(
+          0, old_limit - allocator_.app().member_mem(container.id()));
 
-  const memcg::Bytes old_limit = container.mem_cgroup().limit();
   auto decision = allocator_.on_oom_event(event, /*post_reclaim=*/false);
   if (decision.action == ResourceAllocator::MemAction::kReclaimThenRetry) {
     // Pool dry: aggressive reclamation from containers with slack
@@ -329,14 +703,19 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
     // The sweep may have shrunk this container's own limit, so the original
     // shortfall is stale; a grant sized from it leaves the retried charge
     // over the new limit and OOM-kills a container the pool could cover.
+    // Same shadow-divergence widening as above (the sweep re-syncs shadows
+    // for containers it resized, so recompute from current state).
     event.shortfall =
-        container.mem_cgroup().usage() + charge - container.mem_cgroup().limit();
+        container.mem_cgroup().usage() + charge -
+        std::min(container.mem_cgroup().limit(),
+                 allocator_.app().member_mem(container.id()));
     decision = allocator_.on_oom_event(event, /*post_reclaim=*/true);
   }
   if (decision.action != ResourceAllocator::MemAction::kGrant) return false;
 
   // Apply synchronously: the charge retries as soon as the hook returns.
-  net_.send(net::Channel::kControlRpc, kLimitUpdateRpcBytes, [] {});
+  net_.send_to(net::Channel::kControlRpc, net::kControllerEndpoint, ep(node),
+               kLimitUpdateRpcBytes, [] {});
   container.mem_cgroup().set_limit(decision.new_limit);
   const bool saved =
       container.mem_cgroup().usage() + charge <= decision.new_limit;
@@ -347,7 +726,6 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kMemGrantOnOom;
     ev.container = container.id();
-    const auto it = registry_.find(container.id());
     ev.node = it != registry_.end() ? node_tag(it->second) : 0;
     ev.before = static_cast<double>(old_limit);
     ev.after = static_cast<double>(decision.new_limit);
@@ -379,12 +757,18 @@ void Controller::record_reclaims(Agent& agent,
 
 memcg::Bytes Controller::run_emergency_reclaim() {
   memcg::Bytes psi = 0;
+  if (crashed_) return psi;
   if (obs_ != nullptr) obs_->h.reclaim_sweeps->inc();
   for (const auto& agent : agents_) {
-    net_.send(net::Channel::kControlRpc, kReclaimRpcBytes, [] {});
+    // A crashed or unreachable agent cannot service the synchronous sweep;
+    // the RPC library fails fast and the sweep moves on.
+    if (agent->crashed() || !reachable(agent->node().id())) continue;
+    net_.send_to(net::Channel::kControlRpc, net::kControllerEndpoint,
+                 ep(agent->node().id()), kReclaimRpcBytes, [] {});
     const Agent::ReclaimResult result =
         agent->reclaim(config_.delta, config_.min_mem);
-    net_.send(net::Channel::kControlRpc, kReclaimRespBytes, [] {});
+    net_.send_to(net::Channel::kControlRpc, ep(agent->node().id()),
+                 net::kControllerEndpoint, kReclaimRespBytes, [] {});
     for (const Agent::Resize& resize : result.resizes) {
       allocator_.on_reclaimed(resize.container, resize.new_limit);
     }
@@ -398,16 +782,23 @@ memcg::Bytes Controller::run_emergency_reclaim() {
 void Controller::run_periodic_reclaim() {
   // Every 5 seconds (Section IV-C): ask each Agent to shrink the limits of
   // its containers to usage + δ and report back ψ.
+  if (crashed_) return;
   if (obs_ != nullptr && !agents_.empty()) obs_->h.reclaim_sweeps->inc();
   for (const auto& agent_ptr : agents_) {
     Agent* agent = agent_ptr.get();
     auto result = std::make_shared<Agent::ReclaimResult>();
-    net_.rpc(
-        kReclaimRpcBytes, kReclaimRespBytes,
-        [this, agent, result] {
-          *result = agent->reclaim(config_.delta, config_.min_mem);
+    const memcg::Bytes delta = config_.delta;
+    const memcg::Bytes floor = config_.min_mem;
+    net_.rpc_to(
+        net::kControllerEndpoint, ep(agent->node().id()), kReclaimRpcBytes,
+        kReclaimRespBytes,
+        [agent, result, delta, floor]() -> bool {
+          if (agent->crashed()) return false;
+          *result = agent->reclaim(delta, floor);
+          return true;
         },
         [this, agent, result] {
+          if (crashed_) return;
           for (const Agent::Resize& resize : result->resizes) {
             allocator_.on_reclaimed(resize.container, resize.new_limit);
           }

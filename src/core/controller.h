@@ -7,6 +7,17 @@
 // carries out the allocator's decisions via RPCs to the Agents. It also
 // launches the periodic memory-reclamation loop (every 5 s) and services
 // pre-OOM memory requests on the containers' persistent kernel sockets.
+//
+// Reliability layer (beyond the paper): limit updates are sequence-numbered
+// and retransmitted with exponential backoff until the Agent acks (the Agent
+// discards stale/duplicate sequences, so retries are idempotent); Agents
+// heartbeat in and the Controller tracks per-node liveness — a dead node's
+// pool share is quarantined, then reclaimed for the live nodes; and the
+// Controller itself can crash (soft state — registry, pool accounting,
+// allocator windows — is lost) and restart, rebuilding everything by
+// resyncing each Agent's managed-container snapshot. Containers on the far
+// side of any of these faults fail static: their cgroups keep the last
+// applied limits.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +49,8 @@ class Controller {
   // --- agents ---
   // Creates (or returns) the Agent for a node.
   Agent& agent_for(cluster::Node& node);
+  // The node's Agent, or nullptr if none exists yet.
+  Agent* agent_at(cluster::NodeId node);
 
   // --- container registration (Section IV-A / IV-B) ---
   //
@@ -54,19 +67,37 @@ class Controller {
   }
   std::size_t registered_count() const { return registry_.size(); }
 
-  // Starts the periodic reclamation loop.
+  // Starts the periodic loops: reclamation, liveness checks, and every
+  // Agent's heartbeats.
   void start();
   void stop();
+
+  // --- crash / restart (fault injection) ---
+  // crash(): the Controller process dies. All soft state — registry, pool
+  // commitments, allocator windows, pending retransmits, liveness tracking —
+  // is lost; kernel hooks and cgroup limits live on the nodes and persist
+  // (the cluster fails static). Telemetry, OOM requests, and heartbeats
+  // arriving while crashed are dropped on the floor.
+  // restart(): comes back empty and rebuilds the registry and pool
+  // accounting by pulling each Agent's managed-container snapshot (resync).
+  void crash();
+  void restart();
+  bool crashed() const { return crashed_; }
 
   // --- telemetry & events (normally invoked via the network) ---
   void on_cpu_stats(const CpuStatsMsg& stats);
   // Pre-OOM request: returns true if the limit was raised enough for the
-  // charge to succeed (the container survives).
+  // charge to succeed (the container survives). Fails (container dies by
+  // the kernel's normal OOM path) when the Controller is crashed or
+  // partitioned from the node.
   bool handle_oom(cluster::Container& container, memcg::Bytes charge,
                   memcg::Bytes shortfall);
+  // Heartbeat ingress (normally invoked via the network by Agents).
+  void on_heartbeat(cluster::NodeId node, std::uint64_t incarnation);
 
   // Emergency reclamation sweep across every agent, synchronously (used on
-  // OOM when the pool is dry). Returns total ψ.
+  // OOM when the pool is dry). Returns total ψ. Crashed or partitioned
+  // nodes are skipped.
   memcg::Bytes run_emergency_reclaim();
 
   // --- observability ---
@@ -84,6 +115,11 @@ class Controller {
   std::uint64_t oom_events() const { return oom_events_; }
   std::uint64_t oom_rescues() const { return oom_rescues_; }
   memcg::Bytes total_reclaimed() const { return total_reclaimed_; }
+  std::uint64_t retransmits() const { return retransmits_; }
+  std::uint64_t resyncs() const { return resyncs_; }
+  // Limit updates issued but not yet acked by their Agent.
+  std::size_t pending_updates() const { return pending_.size(); }
+  bool node_dead(cluster::NodeId node) const;
 
   ResourceAllocator& allocator() { return allocator_; }
 
@@ -100,7 +136,32 @@ class Controller {
     sim::TimePoint decide = 0;     // Allocator returned the decision
     bool profile = false;          // record the loop when the RPC lands
   };
+  // One desired-state slot per (container, resource): the newest intended
+  // limit, its sequence number, and the retransmit timer. Keyed by
+  // container id * 2 + (mem ? 1 : 0). A superseding decision overwrites the
+  // slot (the newest value wins); the ack for the newest sequence clears it.
+  struct Pending {
+    std::uint64_t seq = 0;
+    bool is_mem = false;
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+    int attempts = 0;
+    sim::Duration backoff = 0;
+    sim::EventHandle timer;
+    obs::EventId rpc_event = 0;  // original kRpcIssued (causal anchor)
+    LoopCtx ctx;
+  };
+  // Per-node liveness bookkeeping (keyed by heartbeats).
+  struct NodeHealth {
+    sim::TimePoint last_heartbeat = 0;
+    std::uint64_t agent_incarnation = 0;
+    bool dead = false;
+    sim::EventHandle reclaim_timer;  // quarantine-expiry reclaim
+  };
 
+  enum class RegisterMode { kBootstrap, kResync };
+  void register_impl(cluster::Container& container, cluster::Node& node,
+                     double cores, memcg::Bytes mem, RegisterMode mode);
   void ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
                         sim::TimePoint fire_time);
   void push_cpu_limit(cluster::ContainerId id, double cores, LoopCtx ctx);
@@ -111,6 +172,30 @@ class Controller {
   void record_reclaims(Agent& agent,
                        const std::vector<Agent::Resize>& resizes);
 
+  // --- reliability internals ---
+  static std::uint64_t update_key(cluster::ContainerId id, bool is_mem) {
+    return static_cast<std::uint64_t>(id) * 2 + (is_mem ? 1 : 0);
+  }
+  std::uint64_t next_seq() {
+    return (incarnation_ << 48) | ++update_seq_;
+  }
+  static net::EndpointId ep(cluster::NodeId node) {
+    return static_cast<net::EndpointId>(node);
+  }
+  bool reachable(cluster::NodeId node) const;
+  void send_pending(std::uint64_t key);
+  void on_update_timeout(std::uint64_t key, std::uint64_t seq);
+  void on_update_ack(std::uint64_t key, std::uint64_t seq,
+                     cluster::NodeId node);
+  void cancel_pending_for(cluster::ContainerId id);
+  void run_liveness_check();
+  void declare_dead(cluster::NodeId node, NodeHealth& health);
+  void reclaim_dead_node(cluster::NodeId node);
+  void deregister_quarantined(cluster::ContainerId id);
+  void resync_node(cluster::NodeId node, Agent& agent);
+  void apply_resync(cluster::NodeId node, Agent& agent,
+                    const std::vector<Agent::SnapshotEntry>& snapshot);
+
   sim::Simulation& sim_;
   net::Network& net_;
   EscraConfig config_;
@@ -120,13 +205,21 @@ class Controller {
   std::unordered_map<cluster::NodeId, Agent*> agents_by_node_;
   std::unordered_map<cluster::ContainerId, Entry> registry_;
   sim::EventHandle reclaim_loop_;
+  sim::EventHandle liveness_loop_;
   bool started_ = false;
+  bool crashed_ = false;
+  std::uint64_t incarnation_ = 1;
+  std::uint64_t update_seq_ = 0;
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::unordered_map<cluster::NodeId, NodeHealth> health_;
 
   std::uint64_t stats_received_ = 0;
   std::uint64_t limit_updates_ = 0;
   std::uint64_t oom_events_ = 0;
   std::uint64_t oom_rescues_ = 0;
   memcg::Bytes total_reclaimed_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t resyncs_ = 0;
 };
 
 }  // namespace escra::core

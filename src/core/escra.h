@@ -56,9 +56,18 @@ class EscraSystem {
   // Releases a container (pod reaped): limits return to the pool.
   void release(cluster::Container& container);
 
-  // Starts the periodic control loops (memory reclamation).
+  // Starts the periodic control loops (memory reclamation, liveness checks,
+  // Agent heartbeats).
   void start() { controller_.start(); }
   void stop() { controller_.stop(); }
+
+  // Fault injection: kills / revives the Controller process. Soft state
+  // (registry, pool accounting, pending retransmits) is lost on crash and
+  // rebuilt from the Agents' snapshots on restart; nodes fail static in
+  // between (cgroups keep the last applied limits).
+  void crash() { controller_.crash(); }
+  void restart() { controller_.restart(); }
+  bool crashed() const { return controller_.crashed(); }
 
   // Attaches control-plane observability (decision trace, metrics, loop
   // profiler) to the Controller and the Resource Allocator. Safe before or

@@ -35,6 +35,17 @@ inline constexpr std::size_t kLimitUpdateRespBytes = 120;
 inline constexpr std::size_t kReclaimRpcBytes = 260;
 inline constexpr std::size_t kReclaimRespBytes = 160;
 
+// Agent -> Controller heartbeat and its ack: small keepalive frames on the
+// gRPC channel (node id + incarnation / bare ack).
+inline constexpr std::size_t kHeartbeatWireBytes = 14 + 20 + 32 + 16;
+inline constexpr std::size_t kHeartbeatAckWireBytes = 14 + 20 + 32 + 8;
+
+// Resync snapshot exchange on reconnect/restart: the request names the
+// node, the response carries the Agent's managed-container inventory with
+// last-applied limits (modelled as a fixed mid-size frame).
+inline constexpr std::size_t kResyncRpcBytes = 240;
+inline constexpr std::size_t kResyncRespBytes = 320;
+
 // The per-period CPU statistic (Section IV-B).
 struct CpuStatsMsg {
   cfs::CgroupId cgroup = 0;

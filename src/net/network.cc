@@ -57,6 +57,19 @@ void Network::account(Channel channel, std::size_t bytes) {
   peak_window_bytes_ = std::max(peak_window_bytes_, window_bytes_);
 }
 
+void Network::count_drop() {
+  ++dropped_;
+  if (obs_dropped_ != nullptr) obs_dropped_->inc();
+}
+
+void Network::ensure_fault_rng() {
+  // Deterministic default so fault knobs work standalone; callers wanting
+  // scenario-level reproducibility install their own via set_fault_rng.
+  if (!fault_rng_.has_value()) fault_rng_.emplace(0x5e5cfa0117ULL);
+}
+
+void Network::set_fault_rng(sim::Rng rng) { fault_rng_ = rng; }
+
 void Network::set_loss(double rate, sim::Rng rng) {
   if (rate < 0.0 || rate >= 1.0) {
     throw std::invalid_argument("set_loss: rate out of [0,1)");
@@ -68,6 +81,56 @@ void Network::set_loss(double rate, sim::Rng rng) {
 void Network::set_jitter(sim::Duration max_jitter) {
   if (max_jitter < 0) throw std::invalid_argument("set_jitter: negative");
   max_jitter_ = max_jitter;
+  if (max_jitter_ > 0) ensure_fault_rng();
+}
+
+void Network::set_drop_rate(Channel channel, double rate) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("set_drop_rate: rate out of [0,1)");
+  }
+  drop_rate_[static_cast<int>(channel)] = rate;
+  if (rate > 0.0) ensure_fault_rng();
+}
+
+void Network::set_duplicate_rate(Channel channel, double rate) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("set_duplicate_rate: rate out of [0,1)");
+  }
+  dup_rate_[static_cast<int>(channel)] = rate;
+  if (rate > 0.0) ensure_fault_rng();
+}
+
+void Network::set_delay_spike(Channel channel, double rate,
+                              sim::Duration extra) {
+  if (rate < 0.0 || rate >= 1.0) {
+    throw std::invalid_argument("set_delay_spike: rate out of [0,1)");
+  }
+  if (extra < 0) throw std::invalid_argument("set_delay_spike: negative");
+  spike_rate_[static_cast<int>(channel)] = rate;
+  spike_extra_[static_cast<int>(channel)] = extra;
+  if (rate > 0.0) ensure_fault_rng();
+}
+
+void Network::set_link_down(EndpointId from, EndpointId to, bool down) {
+  if (down) {
+    down_links_.insert(link_key(from, to));
+  } else {
+    down_links_.erase(link_key(from, to));
+  }
+}
+
+void Network::partition(EndpointId a, EndpointId b) {
+  set_link_down(a, b, true);
+  set_link_down(b, a, true);
+}
+
+void Network::heal(EndpointId a, EndpointId b) {
+  set_link_down(a, b, false);
+  set_link_down(b, a, false);
+}
+
+bool Network::link_up(EndpointId from, EndpointId to) const {
+  return !down_links_.contains(link_key(from, to));
 }
 
 sim::Duration Network::jitter() {
@@ -75,31 +138,107 @@ sim::Duration Network::jitter() {
   return fault_rng_->uniform_int(0, max_jitter_);
 }
 
-void Network::send(Channel channel, std::size_t bytes,
-                   std::function<void()> on_deliver) {
-  account(channel, bytes);  // the wire carried it either way
+Network::Route Network::route(Channel channel, EndpointId from,
+                              EndpointId to) {
+  Route r;
+  const int ch = static_cast<int>(channel);
+  // Partition check first: a severed link consumes no fault-rng draws, so a
+  // partition window does not perturb the fault schedule elsewhere.
+  if (from != kUnroutedEndpoint && to != kUnroutedEndpoint &&
+      !link_up(from, to)) {
+    count_drop();
+    return r;
+  }
+  // Probabilistic faults draw in a fixed order (drop, duplicate, spike,
+  // jitter), each only when armed, keeping the stream stable.
   if (channel == Channel::kCpuTelemetry && loss_rate_ > 0.0 &&
       fault_rng_.has_value() && fault_rng_->chance(loss_rate_)) {
-    ++dropped_;
-    if (obs_dropped_ != nullptr) obs_dropped_->inc();
-    return;  // datagram lost; UDP telemetry has no retransmit
+    count_drop();
+    return r;  // datagram lost; UDP telemetry has no retransmit
   }
-  sim_.schedule_after(latency_for(channel) + jitter(), std::move(on_deliver));
+  if (drop_rate_[ch] > 0.0 && fault_rng_.has_value() &&
+      fault_rng_->chance(drop_rate_[ch])) {
+    count_drop();
+    return r;
+  }
+  r.deliver = true;
+  if (dup_rate_[ch] > 0.0 && fault_rng_.has_value() &&
+      fault_rng_->chance(dup_rate_[ch])) {
+    r.duplicate = true;
+    ++duplicated_;
+    if (obs_duplicated_ != nullptr) obs_duplicated_->inc();
+  }
+  r.delay = latency_for(channel);
+  if (spike_rate_[ch] > 0.0 && fault_rng_.has_value() &&
+      fault_rng_->chance(spike_rate_[ch])) {
+    r.delay += spike_extra_[ch];
+  }
+  r.delay += jitter();
+  return r;
+}
+
+void Network::send(Channel channel, std::size_t bytes,
+                   std::function<void()> on_deliver) {
+  send_to(channel, kUnroutedEndpoint, kUnroutedEndpoint, bytes,
+          std::move(on_deliver));
+}
+
+void Network::send_to(Channel channel, EndpointId from, EndpointId to,
+                      std::size_t bytes, std::function<void()> on_deliver) {
+  account(channel, bytes);  // the wire carried it either way
+  const Route r = route(channel, from, to);
+  if (!r.deliver) return;
+  if (r.duplicate) {
+    // The copy trails the original by one channel latency (e.g. a retried
+    // datagram whose first attempt was only slow). Bytes are counted once:
+    // the duplication is delivery-level.
+    sim_.schedule_after(r.delay + latency_for(channel), on_deliver);
+  }
+  sim_.schedule_after(r.delay, std::move(on_deliver));
 }
 
 void Network::rpc(std::size_t request_bytes, std::size_t response_bytes,
                   std::function<void()> on_request_delivered,
                   std::function<void()> on_response_delivered) {
-  account(Channel::kControlRpc, request_bytes);
-  const sim::Duration lat = latency_for(Channel::kControlRpc) + jitter();
-  sim_.schedule_after(
-      lat, [this, response_bytes, req = std::move(on_request_delivered),
-            resp = std::move(on_response_delivered)]() mutable {
+  rpc_to(
+      kUnroutedEndpoint, kUnroutedEndpoint, request_bytes, response_bytes,
+      [req = std::move(on_request_delivered)]() mutable {
         req();
-        account(Channel::kControlRpc, response_bytes);
-        sim_.schedule_after(latency_for(Channel::kControlRpc) + jitter(),
-                            std::move(resp));
-      });
+        return true;
+      },
+      std::move(on_response_delivered));
+}
+
+void Network::rpc_to(EndpointId from, EndpointId to, std::size_t request_bytes,
+                     std::size_t response_bytes,
+                     std::function<bool()> on_request_delivered,
+                     std::function<void()> on_response_delivered) {
+  account(Channel::kControlRpc, request_bytes);
+  const Route r = route(Channel::kControlRpc, from, to);
+  if (!r.deliver) return;  // request lost; the caller's timeout handles it
+
+  // One delivered request leg: run the handler; if the receiver is alive,
+  // account and route the response leg back.
+  auto deliver_request = [this, from, to, response_bytes,
+                          req = std::move(on_request_delivered),
+                          resp = std::move(on_response_delivered)]() {
+    if (!req()) return;  // receiver dead: the call just hangs
+    account(Channel::kControlRpc, response_bytes);
+    const Route back = route(Channel::kControlRpc, to, from);
+    if (!back.deliver) return;  // response lost
+    if (back.duplicate) {
+      sim_.schedule_after(back.delay + latency_for(Channel::kControlRpc),
+                          resp);
+    }
+    sim_.schedule_after(back.delay, resp);
+  };
+  if (r.duplicate) {
+    // Duplicated request: the receiver sees the call twice (idempotency is
+    // the receiver's job); each delivery generates its own response leg.
+    sim_.schedule_after(r.delay + latency_for(Channel::kControlRpc),
+                        deliver_request);
+  }
+  sim_.schedule_after(r.delay, std::move(deliver_request));
 }
 
 void Network::attach_metrics(obs::MetricsRegistry& registry) {
@@ -110,6 +249,7 @@ void Network::attach_metrics(obs::MetricsRegistry& registry) {
     obs_messages_[i] = &registry.counter(base + ".messages");
   }
   obs_dropped_ = &registry.counter("net.dropped_datagrams");
+  obs_duplicated_ = &registry.counter("net.duplicated_messages");
 }
 
 const ChannelStats& Network::stats(Channel channel) const {

@@ -1,17 +1,22 @@
 // Simulated message transport.
 //
 // Stands in for the paper's kernel TCP/UDP sockets (telemetry, OOM events)
-// and gRPC (Controller -> Agent limit updates, reclamation requests). Two
+// and gRPC (Controller -> Agent limit updates, reclamation requests). Three
 // things matter for the reproduction and are modelled:
 //   1. one-way delivery latency, which bounds how fast the control loop can
 //      react (Escra's claims are sub-second; limit application is 100s of us),
 //   2. per-channel byte accounting, which regenerates the network-overhead
-//      microbenchmark (Section VI-I: 12.06 Mbps peak at 32 containers).
+//      microbenchmark (Section VI-I: 12.06 Mbps peak at 32 containers),
+//   3. failure: directed link partitions between endpoints plus per-channel
+//      probabilistic drop / duplicate / delay-spike faults, so the control
+//      plane's reliability layer (retransmit, resync, fail-static) can be
+//      exercised deterministically.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <set>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -41,6 +46,14 @@ inline constexpr Channel kAllChannels[kChannelCount] = {
     Channel::kRegistration};
 
 const char* channel_name(Channel c);
+
+// Network endpoints, for addressed (partitionable) traffic. Worker nodes use
+// their zero-based NodeId; the Controller has a reserved address. Traffic
+// sent through the legacy unaddressed `send`/`rpc` entry points never
+// crosses a partition boundary and is only subject to channel-level faults.
+using EndpointId = std::int32_t;
+inline constexpr EndpointId kControllerEndpoint = -1;
+inline constexpr EndpointId kUnroutedEndpoint = -2;
 
 // Counters for one traffic class.
 struct ChannelStats {
@@ -72,25 +85,45 @@ class Network {
   Network(sim::Simulation& sim, Config config);
 
   // Sends `bytes` on `channel`; `on_deliver` runs after the channel latency.
+  // Unaddressed: never partitioned (see send_to).
   void send(Channel channel, std::size_t bytes, std::function<void()> on_deliver);
+
+  // Addressed variant: the message travels the directed link `from -> to`
+  // and is lost (silently, after byte accounting — the NIC transmitted it)
+  // when that link is partitioned or the channel's drop fault fires.
+  void send_to(Channel channel, EndpointId from, EndpointId to,
+               std::size_t bytes, std::function<void()> on_deliver);
 
   // Models a synchronous Controller->Agent RPC with fixed request/response
   // sizes. `request_bytes` are accounted at issue time; after the one-way
   // latency `on_request_delivered` runs at the receiver, then
   // `response_bytes` are accounted and `on_response_delivered` runs at the
-  // caller after the return leg — a full round trip end to end.
+  // caller after the return leg — a full round trip end to end. Unaddressed:
+  // the round trip is infallible (callers relying on this must not need
+  // partition semantics).
   void rpc(std::size_t request_bytes, std::size_t response_bytes,
            std::function<void()> on_request_delivered,
            std::function<void()> on_response_delivered);
+
+  // Addressed, fallible RPC. Each leg independently traverses the directed
+  // link (`from -> to` for the request, `to -> from` for the response) and
+  // can be lost to a partition or a drop fault — the caller sees silence and
+  // must retransmit. `on_request_delivered` returns false to model a dead
+  // receiver (process gone: no response is ever generated). A duplicated
+  // request leg delivers the request twice, exercising receiver idempotency.
+  void rpc_to(EndpointId from, EndpointId to, std::size_t request_bytes,
+              std::size_t response_bytes,
+              std::function<bool()> on_request_delivered,
+              std::function<void()> on_response_delivered);
 
   const ChannelStats& stats(Channel channel) const;
   std::uint64_t total_bytes() const;
   std::uint64_t total_messages() const;
 
-  // Observability: registers per-channel byte/message counters (plus a
-  // dropped-datagram counter) as "net.<channel>.bytes" / ".messages" and
-  // mirrors all subsequent traffic into them. Unattached, accounting costs
-  // nothing extra.
+  // Observability: registers per-channel byte/message counters (plus
+  // dropped/duplicated message counters) as "net.<channel>.bytes" /
+  // ".messages" and mirrors all subsequent traffic into them. Unattached,
+  // accounting costs nothing extra.
   void attach_metrics(obs::MetricsRegistry& registry);
 
   // Peak bandwidth observed over any sampling window so far, in Mbps.
@@ -100,22 +133,64 @@ class Network {
 
   // --- fault injection ---
 
+  // Seeds the RNG all probabilistic faults (loss, drop, duplicate, delay
+  // spike) and jitter draw from. set_loss also installs its rng for
+  // backward compatibility; the other knobs auto-seed a default
+  // deterministic stream if none was provided — pass your own for
+  // scenario-level reproducibility.
+  void set_fault_rng(sim::Rng rng);
+
   // Drops each UDP telemetry datagram independently with probability
   // `rate`; TCP-carried traffic (memory events, registration) and RPCs are
-  // not dropped (retransmits). Used to test that the control loop tolerates
+  // not dropped by *this* knob (TCP retransmits; use set_drop_rate or
+  // partitions to break them). Used to test that the control loop tolerates
   // lossy telemetry.
   void set_loss(double rate, sim::Rng rng);
   // Adds uniform random jitter in [0, max_jitter] to every delivery.
   void set_jitter(sim::Duration max_jitter);
+
+  // Per-channel fault knobs (addressed and unaddressed traffic alike).
+  // Rates are probabilities in [0, 1); a dropped message is accounted but
+  // never delivered, a duplicated message is delivered twice (the copy
+  // trails by one channel latency), a delay spike adds `extra` to the
+  // delivery latency with probability `rate`.
+  void set_drop_rate(Channel channel, double rate);
+  void set_duplicate_rate(Channel channel, double rate);
+  void set_delay_spike(Channel channel, double rate, sim::Duration extra);
+
+  // Directed partitions between endpoints. set_link_down severs one
+  // direction; partition/heal sever/restore both. Messages crossing a down
+  // link are accounted, counted as dropped, and never delivered.
+  void set_link_down(EndpointId from, EndpointId to, bool down);
+  void partition(EndpointId a, EndpointId b);
+  void heal(EndpointId a, EndpointId b);
+  bool link_up(EndpointId from, EndpointId to) const;
+
   std::uint64_t dropped_messages() const { return dropped_; }
+  std::uint64_t duplicated_messages() const { return duplicated_; }
 
   const Config& config() const { return config_; }
   sim::Simulation& simulation() { return sim_; }
 
  private:
+  // Outcome of routing one message: whether it survives, the delivery delay,
+  // and whether a duplicate copy follows.
+  struct Route {
+    bool deliver = false;
+    bool duplicate = false;
+    sim::Duration delay = 0;
+  };
+  Route route(Channel channel, EndpointId from, EndpointId to);
   void account(Channel channel, std::size_t bytes);
+  void count_drop();
   sim::Duration latency_for(Channel channel) const;
   sim::Duration jitter();
+  void ensure_fault_rng();
+  static std::uint64_t link_key(EndpointId from, EndpointId to) {
+    return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(from))
+            << 32) |
+           static_cast<std::uint32_t>(to);
+  }
 
   sim::Simulation& sim_;
   Config config_;
@@ -127,13 +202,20 @@ class Network {
   std::uint64_t lifetime_bytes_ = 0;
   std::uint64_t lifetime_messages_ = 0;
   double loss_rate_ = 0.0;
+  double drop_rate_[kChannelCount] = {};
+  double dup_rate_[kChannelCount] = {};
+  double spike_rate_[kChannelCount] = {};
+  sim::Duration spike_extra_[kChannelCount] = {};
   sim::Duration max_jitter_ = 0;
   std::optional<sim::Rng> fault_rng_;
+  std::set<std::uint64_t> down_links_;  // ordered: deterministic iteration
   std::uint64_t dropped_ = 0;
+  std::uint64_t duplicated_ = 0;
   // Registry mirrors, indexed by channel; all null until attach_metrics.
   obs::Counter* obs_bytes_[kChannelCount] = {};
   obs::Counter* obs_messages_[kChannelCount] = {};
   obs::Counter* obs_dropped_ = nullptr;
+  obs::Counter* obs_duplicated_ = nullptr;
 };
 
 }  // namespace escra::net

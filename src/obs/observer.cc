@@ -29,6 +29,16 @@ Observer::Observer(Config config) : trace_(config.trace_capacity) {
   h.memcg_oom_kills = &metrics_.counter("memcg.oom_kills");
   h.memcg_oom_rescues = &metrics_.counter("memcg.oom_rescues");
   h.agent_limit_applies = &metrics_.counter("agent.limit_applies");
+
+  h.retransmits = &metrics_.counter("controller.retransmits");
+  h.dup_suppressed = &metrics_.counter("agent.duplicates_suppressed");
+  h.resyncs = &metrics_.counter("controller.resyncs");
+  h.heartbeats = &metrics_.counter("controller.heartbeats_received");
+  h.nodes_dead = &metrics_.counter("controller.nodes_declared_dead");
+  h.nodes_alive = &metrics_.counter("controller.nodes_recovered");
+  h.fail_static_entries = &metrics_.counter("agent.fail_static_entries");
+  h.faults_injected = &metrics_.counter("fault.injected");
+  h.faults_cleared = &metrics_.counter("fault.cleared");
 }
 
 }  // namespace escra::obs

@@ -85,6 +85,17 @@ class Observer {
     Counter* memcg_oom_kills = nullptr;        // memcg.oom_kills
     Counter* memcg_oom_rescues = nullptr;      // memcg.oom_rescues
     Counter* agent_limit_applies = nullptr;    // agent.limit_applies
+
+    // Reliability layer (retransmit/ack, heartbeats, liveness, resync).
+    Counter* retransmits = nullptr;          // controller.retransmits
+    Counter* dup_suppressed = nullptr;       // agent.duplicates_suppressed
+    Counter* resyncs = nullptr;              // controller.resyncs
+    Counter* heartbeats = nullptr;           // controller.heartbeats_received
+    Counter* nodes_dead = nullptr;           // controller.nodes_declared_dead
+    Counter* nodes_alive = nullptr;          // controller.nodes_recovered
+    Counter* fail_static_entries = nullptr;  // agent.fail_static_entries
+    Counter* faults_injected = nullptr;      // fault.injected
+    Counter* faults_cleared = nullptr;       // fault.cleared
   };
   Handles h;
 

@@ -13,6 +13,10 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "throttle-observed",    "cpu-grant",  "cpu-shrink",
     "mem-grant-on-oom",     "reclaim",    "container-registered",
     "container-killed",     "rpc-issued", "rpc-applied",
+    "retransmit",           "duplicate-suppressed",
+    "resync",               "fail-static",
+    "node-dead",            "node-alive",
+    "fault-injected",       "fault-cleared",
 };
 
 void append_double(std::string& out, double v) {

@@ -41,8 +41,19 @@ enum class EventKind : std::uint8_t {
   kContainerKilled,      // container left (reaped, killed, or released)
   kRpcIssued,            // Controller -> Agent limit-update RPC sent
   kRpcApplied,           // Agent applied the limit to the cgroup
+  // Reliability layer (fault tolerance). RpcIssued/RpcApplied/Retransmit
+  // carry the resource in `before`: 0 = CPU, 1 = memory.
+  kRetransmit,           // unacked limit update re-sent (detail = attempt #)
+  kDuplicateSuppressed,  // Agent discarded a stale/duplicate update by seq
+  kResync,               // reconciliation re-adopted / corrected a container
+  kFailStatic,           // Agent entered (detail=1) / left (detail=0)
+                         // fail-static local fallback
+  kNodeDead,             // Controller declared a node dead (missed heartbeats)
+  kNodeAlive,            // a dead node's heartbeats resumed
+  kFaultInjected,        // FaultInjector opened a fault window (detail = kind)
+  kFaultCleared,         // FaultInjector closed a fault window (detail = kind)
 };
-inline constexpr int kEventKindCount = 9;
+inline constexpr int kEventKindCount = 17;
 
 const char* event_kind_name(EventKind kind);
 std::optional<EventKind> event_kind_from_name(std::string_view name);

@@ -92,6 +92,125 @@ TEST(NetworkTest, ZeroElapsedMeanIsZero) {
   EXPECT_DOUBLE_EQ(net.mean_mbps(), 0.0);
 }
 
+TEST(NetworkTest, JitterWorksWithoutLoss) {
+  // Regression: set_jitter() used to be a silent no-op unless set_loss() had
+  // installed the fault RNG first.
+  sim::Simulation sim;
+  Network net(sim, {.telemetry_latency = microseconds(80)});
+  net.set_jitter(milliseconds(5));
+  std::vector<sim::TimePoint> deliveries;
+  for (int i = 0; i < 50; ++i) {
+    net.send(Channel::kCpuTelemetry, 64, [&] { deliveries.push_back(sim.now()); });
+  }
+  sim.run_all();
+  ASSERT_EQ(deliveries.size(), 50u);
+  bool any_jittered = false;
+  for (const sim::TimePoint t : deliveries) {
+    EXPECT_GE(t, microseconds(80));
+    EXPECT_LE(t, microseconds(80) + milliseconds(5));
+    if (t > microseconds(80)) any_jittered = true;
+  }
+  EXPECT_TRUE(any_jittered) << "jitter silently resolved to zero";
+}
+
+TEST(NetworkTest, PartitionDropsAddressedTrafficBothWays) {
+  sim::Simulation sim;
+  Network net(sim);
+  net.partition(0, kControllerEndpoint);
+  int to_node = 0, to_controller = 0, unaddressed = 0, other_node = 0;
+  net.send_to(Channel::kControlRpc, kControllerEndpoint, 0, 64,
+              [&] { ++to_node; });
+  net.send_to(Channel::kCpuTelemetry, 0, kControllerEndpoint, 64,
+              [&] { ++to_controller; });
+  net.send_to(Channel::kCpuTelemetry, 1, kControllerEndpoint, 64,
+              [&] { ++other_node; });
+  net.send(Channel::kCpuTelemetry, 64, [&] { ++unaddressed; });
+  sim.run_all();
+  EXPECT_EQ(to_node, 0);
+  EXPECT_EQ(to_controller, 0);
+  EXPECT_EQ(other_node, 1) << "only the partitioned node is cut off";
+  EXPECT_EQ(unaddressed, 1) << "unaddressed traffic never partitions";
+  EXPECT_EQ(net.dropped_messages(), 2u);
+  // Bytes were accounted before the drop (the NIC transmitted them).
+  EXPECT_EQ(net.stats(Channel::kControlRpc).bytes, 64u);
+
+  net.heal(0, kControllerEndpoint);
+  net.send_to(Channel::kCpuTelemetry, 0, kControllerEndpoint, 64,
+              [&] { ++to_controller; });
+  sim.run_all();
+  EXPECT_EQ(to_controller, 1) << "heal restores delivery";
+}
+
+TEST(NetworkTest, SetLinkDownIsDirected) {
+  sim::Simulation sim;
+  Network net(sim);
+  net.set_link_down(0, kControllerEndpoint, true);
+  EXPECT_FALSE(net.link_up(0, kControllerEndpoint));
+  EXPECT_TRUE(net.link_up(kControllerEndpoint, 0));
+  int up_leg = 0, down_leg = 0;
+  net.send_to(Channel::kCpuTelemetry, 0, kControllerEndpoint, 64,
+              [&] { ++down_leg; });
+  net.send_to(Channel::kControlRpc, kControllerEndpoint, 0, 64,
+              [&] { ++up_leg; });
+  sim.run_all();
+  EXPECT_EQ(down_leg, 0);
+  EXPECT_EQ(up_leg, 1);
+}
+
+TEST(NetworkTest, RpcToRequestLossSilencesCall) {
+  sim::Simulation sim;
+  Network net(sim);
+  net.set_fault_rng(sim::Rng(5));
+  net.set_drop_rate(Channel::kControlRpc, 1.0 - 1e-12);
+  int requests = 0, responses = 0;
+  net.rpc_to(kControllerEndpoint, 0, 100, 50,
+             [&] { ++requests; return true; }, [&] { ++responses; });
+  sim.run_all();
+  EXPECT_EQ(requests, 0);
+  EXPECT_EQ(responses, 0) << "no response leg for a lost request";
+  // Request bytes were accounted even though delivery failed.
+  EXPECT_EQ(net.stats(Channel::kControlRpc).bytes, 100u);
+}
+
+TEST(NetworkTest, RpcToDeadReceiverNeverResponds) {
+  sim::Simulation sim;
+  Network net(sim);
+  int requests = 0, responses = 0;
+  net.rpc_to(kControllerEndpoint, 0, 100, 50,
+             [&] { ++requests; return false; },  // receiver process is gone
+             [&] { ++responses; });
+  sim.run_all();
+  EXPECT_EQ(requests, 1);
+  EXPECT_EQ(responses, 0);
+  // Only the request leg was accounted — a dead process sends nothing back.
+  EXPECT_EQ(net.stats(Channel::kControlRpc).bytes, 100u);
+}
+
+TEST(NetworkTest, DuplicateFaultDeliversTwice) {
+  sim::Simulation sim;
+  Network net(sim);
+  net.set_fault_rng(sim::Rng(6));
+  net.set_duplicate_rate(Channel::kControlRpc, 1.0 - 1e-12);
+  int requests = 0;
+  net.rpc_to(kControllerEndpoint, 0, 100, 50, [&] { ++requests; return true; },
+             [] {});
+  sim.run_all();
+  EXPECT_EQ(requests, 2) << "receiver must handle duplicated requests";
+  EXPECT_GE(net.duplicated_messages(), 1u);
+}
+
+TEST(NetworkTest, DelaySpikeAddsLatency) {
+  sim::Simulation sim;
+  Network net(sim, {.telemetry_latency = microseconds(80)});
+  net.set_fault_rng(sim::Rng(7));
+  net.set_delay_spike(Channel::kCpuTelemetry, 1.0 - 1e-12, milliseconds(10));
+  sim::TimePoint delivered_at = -1;
+  net.send_to(Channel::kCpuTelemetry, 0, kControllerEndpoint, 64,
+              [&] { delivered_at = sim.now(); });
+  sim.run_all();
+  EXPECT_EQ(delivered_at, microseconds(80) + milliseconds(10));
+}
+
 TEST(NetworkTest, ChannelNames) {
   EXPECT_STREQ(channel_name(Channel::kCpuTelemetry), "cpu-telemetry");
   EXPECT_STREQ(channel_name(Channel::kMemoryEvent), "memory-event");

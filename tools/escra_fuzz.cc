@@ -5,7 +5,17 @@
 //     --runs N            scenarios to run                    (default 100)
 //     --seed S            base seed; run i uses seed S + i    (default 1)
 //     --trace-tail N      trace events dumped on a violation  (default 200)
-//     --repro-out FILE    write the first run's generated scenario as JSON
+//     --repro-out FILE    write the first run's generated scenario as JSON;
+//                         if a violation occurs, the violating run's
+//                         scenario is written there instead
+//     --fault-profile     overlay a seed-derived fault schedule on every
+//                         scenario (partitions, agent/controller crashes,
+//                         RPC drop/duplicate/delay faults); the checker runs
+//                         with its fault-aware in-flight tracking, so a
+//                         clean exit means the invariants held *through*
+//                         the faults. Fault draws are appended after all
+//                         scenario draws, so a seed's scenario is identical
+//                         with and without this flag.
 //     --force-overgrant   plant a violation: mid-run, set one container's
 //                         CPU cgroup directly past the global limit,
 //                         bypassing the allocator (checker must catch it)
@@ -39,6 +49,7 @@
 #include "check/invariant_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
+#include "fault/fault_injector.h"
 #include "net/network.h"
 #include "obs/observer.h"
 #include "sim/rng.h"
@@ -52,6 +63,7 @@ struct Options {
   std::uint64_t seed = 1;
   std::size_t trace_tail = 200;
   std::string repro_out;
+  bool fault_profile = false;
   bool force_overgrant = false;
   bool quiet = false;
 };
@@ -59,8 +71,8 @@ struct Options {
 void usage() {
   std::fprintf(stderr,
                "usage: escra-fuzz [--runs N] [--seed S] [--trace-tail N]\n"
-               "                  [--repro-out FILE] [--force-overgrant]\n"
-               "                  [--quiet]\n");
+               "                  [--repro-out FILE] [--fault-profile]\n"
+               "                  [--force-overgrant] [--quiet]\n");
 }
 
 // Strict numeric parsing: the whole token must be consumed, so "12abc" and
@@ -97,6 +109,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.trace_tail = static_cast<std::size_t>(parse_u64(flag, next()));
     } else if (flag == "--repro-out") {
       opts.repro_out = next();
+    } else if (flag == "--fault-profile") {
+      opts.fault_profile = true;
     } else if (flag == "--force-overgrant") {
       opts.force_overgrant = true;
     } else if (flag == "--quiet") {
@@ -142,6 +156,9 @@ struct Scenario {
   double cores_per_node = 16.0;
   double loss_rate = 0.0;
   double duration_s = 4.0;
+  // Overlay a seed-derived fault schedule (set from --fault-profile, not
+  // drawn: a seed's scenario is byte-identical with and without faults).
+  bool fault_profile = false;
   std::vector<TenantPlan> tenants;
 };
 
@@ -212,6 +229,9 @@ std::string to_json(const Scenario& s) {
   append_kv(out, "loss_rate", s.loss_rate);
   out += ", ";
   append_kv(out, "duration_s", s.duration_s);
+  out += ", ";
+  out += s.fault_profile ? "\"fault_profile\": true"
+                         : "\"fault_profile\": false";
   out += ",\n  \"tenants\": [";
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
     const TenantPlan& tp = s.tenants[t];
@@ -430,6 +450,19 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     tenants.push_back(std::move(tenant));
   }
 
+  // Fault overlay: a deterministic schedule drawn from a seed-derived rng
+  // *after* all scenario draws (a dedicated stream, so scenarios stay
+  // byte-identical without it). Partitions act network-wide; crash faults
+  // target tenant 0's control plane, whose observer records the windows.
+  std::optional<fault::FaultInjector> injector;
+  if (s.fault_profile) {
+    network.set_fault_rng(sim::Rng(s.seed ^ 0x5eedf417c0deULL));
+    injector.emplace(simulation, network, *tenants.front().escra);
+    sim::Rng fault_rng(s.seed ^ 0xfa017a5c4ed01eULL);
+    injector->schedule_random(fault_rng, end,
+                              fault::FaultInjector::Profile{}, s.nodes);
+  }
+
   if (force_overgrant) {
     // Planted violation: write a CPU limit straight into a cgroup,
     // bypassing the allocator and the Distributed Container pool — the
@@ -462,8 +495,9 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     std::fprintf(stderr, "scenario config:\n%s", to_json(s).c_str());
     dump_trace_tail(tenants.front().observer->trace(), trace_tail);
     std::fprintf(stderr,
-                 "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s\n",
-                 s.seed, force_overgrant ? " --force-overgrant" : "");
+                 "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s\n",
+                 s.seed, s.fault_profile ? " --fault-profile" : "",
+                 force_overgrant ? " --force-overgrant" : "");
   }
   return outcome;
 }
@@ -488,9 +522,11 @@ int main(int argc, char** argv) {
   std::uint64_t violations = 0;
   std::uint64_t total_events = 0;
   std::uint64_t total_sweeps = 0;
+  bool wrote_violation_repro = false;
   for (std::uint64_t i = 0; i < opts.runs; ++i) {
     const std::uint64_t seed = opts.seed + i;  // wrapping is fine
-    const Scenario scenario = generate(seed);
+    Scenario scenario = generate(seed);
+    scenario.fault_profile = opts.fault_profile;
     if (i == 0 && !opts.repro_out.empty()) {
       std::ofstream out(opts.repro_out);
       if (!out) {
@@ -509,6 +545,19 @@ int main(int argc, char** argv) {
     total_events += outcome.events;
     total_sweeps += outcome.sweeps;
     if (outcome.violated) ++violations;
+    // The first violating run's scenario takes over the repro file: CI
+    // uploads it as the repro artifact.
+    if (outcome.violated && !opts.repro_out.empty() &&
+        !wrote_violation_repro) {
+      std::ofstream out(opts.repro_out);
+      if (out) {
+        out << to_json(scenario);
+        wrote_violation_repro = true;
+        std::fprintf(stderr, "violating scenario (seed %" PRIu64
+                             ") written to %s\n",
+                     seed, opts.repro_out.c_str());
+      }
+    }
     if (!opts.quiet && (i + 1) % 100 == 0) {
       std::printf("%" PRIu64 "/%" PRIu64 " runs, %" PRIu64 " violation(s)\n",
                   i + 1, opts.runs, violations);

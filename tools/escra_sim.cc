@@ -17,6 +17,14 @@
 //                                          (1 s snapshots) as CSV
 //     --trace-out PATH                     decision trace (causal JSONL,
 //                                          readable by escra-trace)
+//     --rpc-loss R                         probabilistic control-plane
+//                                          message loss (0 <= R < 1)
+//     --partition NODE:START:DUR           sever node NODE from the
+//                                          Controller at START s for DUR s
+//                                          (repeatable)
+//     --agent-crash NODE:T                 crash node NODE's Agent at T s;
+//                                          it restarts after 2 s downtime
+//                                          (repeatable)
 //
 // Loads the application (services, edges, Distributed Container limits, and
 // Escra tunables) from the YAML file, deploys it on a simulated cluster
@@ -33,12 +41,14 @@
 #include <stdexcept>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "app/service_graph.h"
 #include "cluster/cluster.h"
 #include "config/app_config.h"
 #include "core/escra.h"
 #include "exp/microservice.h"
+#include "fault/fault_injector.h"
 #include "net/network.h"
 #include "obs/observer.h"
 #include "sim/rng.h"
@@ -48,6 +58,23 @@
 using namespace escra;
 
 namespace {
+
+// --partition NODE:START:DUR — node index, start (s), duration (s).
+struct PartitionSpec {
+  std::uint32_t node = 0;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+};
+
+// --agent-crash NODE:T — node index, crash time (s). The Agent restarts
+// after kAgentCrashDowntime; the Controller notices the new incarnation
+// through heartbeats and resyncs.
+struct AgentCrashSpec {
+  std::uint32_t node = 0;
+  double time_s = 0.0;
+};
+
+constexpr sim::Duration kAgentCrashDowntime = sim::seconds(2);
 
 struct Options {
   std::string config_path;
@@ -62,6 +89,13 @@ struct Options {
   std::string csv_path;
   std::string metrics_path;  // --metrics-out: obs registry CSV time series
   std::string trace_path_out;  // --trace-out: decision trace JSONL
+  double rpc_loss = 0.0;  // --rpc-loss: uniform control-plane message loss
+  std::vector<PartitionSpec> partitions;
+  std::vector<AgentCrashSpec> agent_crashes;
+
+  bool has_faults() const {
+    return rpc_loss > 0.0 || !partitions.empty() || !agent_crashes.empty();
+  }
 };
 
 void usage() {
@@ -72,8 +106,12 @@ void usage() {
                "                 [--rate R] [--duration S] [--seed N]\n"
                "                 [--nodes N] [--cores C] [--csv PATH]\n"
                "                 [--metrics-out PATH] [--trace-out PATH]\n"
-               "(--rate, --csv, --metrics-out and --trace-out apply to the "
-               "default escra policy run only)\n");
+               "                 [--rpc-loss R] [--partition NODE:START:DUR]\n"
+               "                 [--agent-crash NODE:T]\n"
+               "(--rate, --csv, --metrics-out, --trace-out and the fault "
+               "flags apply to the default escra policy run only;\n"
+               " --partition/--agent-crash are repeatable, times in seconds; "
+               "a crashed agent restarts after 2 s)\n");
 }
 
 // std::stod/std::stoull accept trailing garbage ("12abc" parses as 12), so
@@ -108,6 +146,54 @@ std::uint64_t parse_u64(const std::string& flag, const char* text) {
   return value;
 }
 
+// Splits a colon-separated fault spec into exactly `expected` fields, each
+// validated as a full-token number like every other numeric flag.
+std::vector<std::string> split_spec(const std::string& flag, const char* text,
+                                    std::size_t expected) {
+  std::vector<std::string> fields;
+  std::string token(text);
+  std::size_t pos = 0;
+  while (true) {
+    const std::size_t colon = token.find(':', pos);
+    if (colon == std::string::npos) {
+      fields.push_back(token.substr(pos));
+      break;
+    }
+    fields.push_back(token.substr(pos, colon - pos));
+    pos = colon + 1;
+  }
+  if (fields.size() != expected) {
+    throw std::runtime_error(flag + " expects " + std::to_string(expected) +
+                             " colon-separated fields, got '" + token + "'");
+  }
+  return fields;
+}
+
+PartitionSpec parse_partition(const std::string& flag, const char* text) {
+  const auto f = split_spec(flag, text, 3);
+  PartitionSpec spec;
+  spec.node = static_cast<std::uint32_t>(parse_u64(flag, f[0].c_str()));
+  spec.start_s = parse_double(flag, f[1].c_str());
+  spec.duration_s = parse_double(flag, f[2].c_str());
+  if (spec.start_s < 0.0 || spec.duration_s <= 0.0) {
+    throw std::runtime_error(flag + " expects START >= 0 and DUR > 0, got '" +
+                             std::string(text) + "'");
+  }
+  return spec;
+}
+
+AgentCrashSpec parse_agent_crash(const std::string& flag, const char* text) {
+  const auto f = split_spec(flag, text, 2);
+  AgentCrashSpec spec;
+  spec.node = static_cast<std::uint32_t>(parse_u64(flag, f[0].c_str()));
+  spec.time_s = parse_double(flag, f[1].c_str());
+  if (spec.time_s < 0.0) {
+    throw std::runtime_error(flag + " expects T >= 0, got '" +
+                             std::string(text) + "'");
+  }
+  return spec;
+}
+
 std::optional<Options> parse_args(int argc, char** argv) {
   if (argc < 2) return std::nullopt;
   Options opts;
@@ -140,6 +226,15 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.metrics_path = next();
     } else if (flag == "--trace-out") {
       opts.trace_path_out = next();
+    } else if (flag == "--rpc-loss") {
+      opts.rpc_loss = parse_double(flag, next());
+      if (opts.rpc_loss < 0.0 || opts.rpc_loss >= 1.0) {
+        throw std::runtime_error("--rpc-loss expects a rate in [0, 1)");
+      }
+    } else if (flag == "--partition") {
+      opts.partitions.push_back(parse_partition(flag, next()));
+    } else if (flag == "--agent-crash") {
+      opts.agent_crashes.push_back(parse_agent_crash(flag, next()));
     } else {
       throw std::runtime_error("unknown flag " + flag);
     }
@@ -208,6 +303,12 @@ int main(int argc, char** argv) {
               opts.workload.c_str(), opts.policy.c_str(), opts.duration_s);
 
   if (opts.policy != "escra") {
+    if (opts.has_faults()) {
+      std::fprintf(stderr,
+                   "error: --rpc-loss/--partition/--agent-crash require the "
+                   "escra policy\n");
+      return 2;
+    }
     // Baseline runs go through the experiment harness (which profiles the
     // application first, like an operator would).
     exp::MicroserviceConfig cfg;
@@ -288,6 +389,45 @@ int main(int argc, char** argv) {
   escra.manage(application.containers());
   escra.start();
 
+  // Scripted fault injection (escra policy only). The fault RNG is forked
+  // from the run seed so faulted runs replay bit-for-bit.
+  std::optional<fault::FaultInjector> injector;
+  if (opts.has_faults()) {
+    for (const auto& p : opts.partitions) {
+      if (p.node >= static_cast<std::uint32_t>(opts.nodes)) {
+        std::fprintf(stderr, "error: --partition node %u out of range (%d nodes)\n",
+                     p.node, opts.nodes);
+        return 2;
+      }
+    }
+    for (const auto& c : opts.agent_crashes) {
+      if (c.node >= static_cast<std::uint32_t>(opts.nodes)) {
+        std::fprintf(stderr,
+                     "error: --agent-crash node %u out of range (%d nodes)\n",
+                     c.node, opts.nodes);
+        return 2;
+      }
+    }
+    sim::Rng fault_net_rng(opts.seed ^ 0x5eedf417c0deULL);
+    if (opts.rpc_loss > 0.0) {
+      network.set_loss(opts.rpc_loss, fault_net_rng);  // installs the rng too
+    } else {
+      network.set_fault_rng(fault_net_rng);
+    }
+    injector.emplace(simulation, network, escra);
+    for (const auto& p : opts.partitions) {
+      injector->inject_partition(p.node, sim::seconds_f(p.start_s),
+                                 sim::seconds_f(p.duration_s));
+    }
+    for (const auto& c : opts.agent_crashes) {
+      injector->inject_agent_crash(c.node, sim::seconds_f(c.time_s),
+                                   kAgentCrashDowntime);
+    }
+    std::printf("faults: rpc-loss %.2f, %zu partition(s), %zu agent crash(es)\n",
+                opts.rpc_loss, opts.partitions.size(),
+                opts.agent_crashes.size());
+  }
+
   const sim::TimePoint load_start = sim::seconds(10);  // startup burn first
   const sim::TimePoint load_end = load_start + sim::seconds_f(opts.duration_s);
   workload::LoadGenerator loadgen(
@@ -362,6 +502,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(escra.controller().oom_rescues()));
   std::printf("  network        peak %.2f Mbps, mean %.2f Mbps\n",
               network.peak_mbps(), network.mean_mbps());
+  if (injector.has_value()) {
+    std::printf("  recovery       %llu faults injected, %llu cleared, "
+                "%llu retransmits, %llu resyncs\n",
+                static_cast<unsigned long long>(injector->injected()),
+                static_cast<unsigned long long>(injector->cleared()),
+                static_cast<unsigned long long>(
+                    escra.controller().retransmits()),
+                static_cast<unsigned long long>(escra.controller().resyncs()));
+  }
   if (!opts.csv_path.empty()) {
     std::printf("  time series    %s\n", opts.csv_path.c_str());
   }

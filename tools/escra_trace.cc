@@ -13,6 +13,7 @@
 // period opens a chain ThrottleObserved -> CpuGrant -> RpcIssued ->
 // RpcApplied whose timestamps are the control loop's per-stage latency.
 
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -36,6 +37,7 @@ void usage() {
 // "cores" for CPU events, MiB for memory events — matches TraceEvent's
 // "natural unit" convention.
 void format_limits(const obs::TraceEvent& ev, char* buf, std::size_t len) {
+  buf[0] = '\0';
   switch (ev.kind) {
     case obs::EventKind::kThrottleObserved:
     case obs::EventKind::kCpuGrant:
@@ -51,7 +53,34 @@ void format_limits(const obs::TraceEvent& ev, char* buf, std::size_t len) {
       break;
     case obs::EventKind::kRpcIssued:
     case obs::EventKind::kRpcApplied:
-      std::snprintf(buf, len, "limit %.3f", ev.after);
+    case obs::EventKind::kRetransmit:
+      // `before` is the resource flag (0 = CPU, 1 = memory); retransmits
+      // carry the attempt count in `detail`.
+      if (ev.kind == obs::EventKind::kRetransmit) {
+        std::snprintf(buf, len, "limit %.3f (%s, attempt %lld)", ev.after,
+                      ev.before == 0.0 ? "cpu" : "mem",
+                      static_cast<long long>(ev.detail));
+      } else {
+        std::snprintf(buf, len, "limit %.3f (%s)", ev.after,
+                      ev.before == 0.0 ? "cpu" : "mem");
+      }
+      break;
+    case obs::EventKind::kDuplicateSuppressed:
+      std::snprintf(buf, len, "kept %.3f, dup seq %lld", ev.before,
+                    static_cast<long long>(ev.detail));
+      break;
+    case obs::EventKind::kResync:
+      std::snprintf(buf, len, "%.3f -> %.3f cores", ev.before, ev.after);
+      break;
+    case obs::EventKind::kFailStatic:
+      std::snprintf(buf, len, "%s", ev.detail != 0 ? "enter" : "exit");
+      break;
+    case obs::EventKind::kNodeDead:
+    case obs::EventKind::kNodeAlive:
+      break;  // no limit payload
+    case obs::EventKind::kFaultInjected:
+    case obs::EventKind::kFaultCleared:
+      std::snprintf(buf, len, "rate %.2f, %.3fs window", ev.before, ev.after);
       break;
   }
 }
@@ -66,13 +95,61 @@ void print_event(const obs::TraceEvent& ev) {
               static_cast<unsigned long long>(ev.cause));
 }
 
+// Local name table for FaultKind values carried in kFaultInjected/Cleared
+// `detail` fields (kept here so the trace reader doesn't pull in the whole
+// fault/core stack). Mirrors fault::FaultKind.
+const char* fault_detail_name(std::int64_t kind) {
+  switch (kind) {
+    case 1: return "partition";
+    case 2: return "agent-crash";
+    case 3: return "controller-crash";
+    case 4: return "rpc-drop";
+    case 5: return "rpc-duplicate";
+    case 6: return "delay-spike";
+    default: return "unknown";
+  }
+}
+
+// One degraded window: a kFaultInjected event and (if the trace covers it)
+// the matching kFaultCleared. Matched by (kind, node) in injection order.
+struct FaultWindow {
+  const obs::TraceEvent* injected = nullptr;
+  const obs::TraceEvent* cleared = nullptr;
+};
+
 int run_summary(const obs::TraceBuffer& trace) {
   std::map<std::string, std::uint64_t> by_kind;
   std::map<std::uint32_t, std::uint64_t> by_container;
+  std::uint64_t retransmits = 0, dup_suppressed = 0, resyncs = 0;
+  std::uint64_t fail_static_entries = 0, nodes_dead = 0, nodes_alive = 0;
+  std::vector<FaultWindow> windows;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const obs::TraceEvent& ev = trace.at(i);
     ++by_kind[obs::event_kind_name(ev.kind)];
     if (ev.container != 0) ++by_container[ev.container];
+    switch (ev.kind) {
+      case obs::EventKind::kRetransmit: ++retransmits; break;
+      case obs::EventKind::kDuplicateSuppressed: ++dup_suppressed; break;
+      case obs::EventKind::kResync: ++resyncs; break;
+      case obs::EventKind::kFailStatic:
+        if (ev.detail != 0) ++fail_static_entries;
+        break;
+      case obs::EventKind::kNodeDead: ++nodes_dead; break;
+      case obs::EventKind::kNodeAlive: ++nodes_alive; break;
+      case obs::EventKind::kFaultInjected:
+        windows.push_back(FaultWindow{&ev, nullptr});
+        break;
+      case obs::EventKind::kFaultCleared:
+        for (FaultWindow& w : windows) {
+          if (w.cleared == nullptr && w.injected->detail == ev.detail &&
+              w.injected->node == ev.node) {
+            w.cleared = &ev;
+            break;
+          }
+        }
+        break;
+      default: break;
+    }
   }
   if (trace.size() == 0) {
     std::printf("empty trace\n");
@@ -93,6 +170,37 @@ int run_summary(const obs::TraceBuffer& trace) {
   for (const auto& [container, count] : by_container) {
     std::printf("  c%-6u %8llu\n", container,
                 static_cast<unsigned long long>(count));
+  }
+  if (retransmits + dup_suppressed + resyncs + fail_static_entries +
+          nodes_dead + nodes_alive + windows.size() >
+      0) {
+    std::printf("\nrecovery:\n");
+    std::printf("  retransmits            %8llu\n",
+                static_cast<unsigned long long>(retransmits));
+    std::printf("  duplicates suppressed  %8llu\n",
+                static_cast<unsigned long long>(dup_suppressed));
+    std::printf("  resyncs                %8llu\n",
+                static_cast<unsigned long long>(resyncs));
+    std::printf("  fail-static entries    %8llu\n",
+                static_cast<unsigned long long>(fail_static_entries));
+    std::printf("  nodes dead / recovered %8llu / %llu\n",
+                static_cast<unsigned long long>(nodes_dead),
+                static_cast<unsigned long long>(nodes_alive));
+    if (!windows.empty()) {
+      std::printf("  fault windows (%zu):\n", windows.size());
+      for (const FaultWindow& w : windows) {
+        if (w.cleared != nullptr) {
+          std::printf("    %-16s n%-3u %12.6fs .. %.6fs\n",
+                      fault_detail_name(w.injected->detail),
+                      w.injected->node, sim::to_seconds(w.injected->time),
+                      sim::to_seconds(w.cleared->time));
+        } else {
+          std::printf("    %-16s n%-3u %12.6fs .. (never cleared in trace)\n",
+                      fault_detail_name(w.injected->detail),
+                      w.injected->node, sim::to_seconds(w.injected->time));
+        }
+      }
+    }
   }
   return 0;
 }
