@@ -14,6 +14,10 @@ using bench::kApps;
 using bench::kWorkloads;
 
 int main() {
+  // Fill the whole 4x4x3 grid in parallel; everything below is cache hits.
+  bench::grid_prefetch({exp::PolicyKind::kStatic, exp::PolicyKind::kAutopilot,
+                        exp::PolicyKind::kEscra},
+                       /*jobs=*/0);
   exp::print_section(
       "Figure 4: %-decrease in p99.9 latency and %-increase in throughput "
       "of Escra vs each baseline");

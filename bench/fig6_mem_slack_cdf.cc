@@ -27,6 +27,15 @@ void plot(const char* tag, app::Benchmark a, workload::WorkloadKind w) {
 }  // namespace
 
 int main() {
+  // The four highlighted cells under all three policies, in parallel.
+  bench::grid_prefetch_pairs(
+      {{app::Benchmark::kTrainTicket, workload::WorkloadKind::kFixed},
+       {app::Benchmark::kTeastore, workload::WorkloadKind::kAlibaba},
+       {app::Benchmark::kHipster, workload::WorkloadKind::kExp},
+       {app::Benchmark::kMedia, workload::WorkloadKind::kBurst}},
+      {exp::PolicyKind::kEscra, exp::PolicyKind::kAutopilot,
+       exp::PolicyKind::kStatic},
+      /*jobs=*/0);
   exp::print_section("Figure 6: memory slack CDFs (limit - usage, MiB)");
   plot("(a) TrainTicket - Fixed", app::Benchmark::kTrainTicket,
        workload::WorkloadKind::kFixed);

@@ -1,14 +1,16 @@
 // Shared helper for the microservice evaluation grid (Sections VI-B..VI-E):
 // runs every (application x workload) cell under a set of policies and
 // caches results within the process so a bench binary computes each cell
-// once.
+// once. Cells are independent simulations, so `grid_prefetch` can fill the
+// cache across a sweep::Runner thread pool; the serial reporting pass that
+// follows reads pure cache hits, making output identical at any job count.
 #pragma once
 
-#include <map>
 #include <tuple>
 #include <vector>
 
 #include "exp/microservice.h"
+#include "sweep/cache.h"
 
 namespace escra::bench {
 
@@ -20,22 +22,63 @@ inline const std::vector<workload::WorkloadKind> kWorkloads = {
     workload::WorkloadKind::kAlibaba, workload::WorkloadKind::kBurst,
     workload::WorkloadKind::kExp, workload::WorkloadKind::kFixed};
 
-// Runs (or returns the cached) result for one grid cell.
-inline const exp::RunResult& grid_cell(app::Benchmark a,
-                                       workload::WorkloadKind w,
-                                       exp::PolicyKind p,
-                                       sim::Duration duration = sim::seconds(60)) {
-  static std::map<std::tuple<int, int, int>, exp::RunResult> cache;
-  const auto key = std::tuple(static_cast<int>(a), static_cast<int>(w),
-                              static_cast<int>(p));
-  const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
+using GridKey = std::tuple<int, int, int, sim::Duration>;
+
+inline sweep::ResultCache<GridKey, exp::RunResult>& grid_cache() {
+  static sweep::ResultCache<GridKey, exp::RunResult> cache;
+  return cache;
+}
+
+inline exp::RunResult run_grid_key(const GridKey& key) {
   exp::MicroserviceConfig cfg;
-  cfg.benchmark = a;
-  cfg.workload = w;
-  cfg.policy = p;
-  cfg.duration = duration;
-  return cache.emplace(key, exp::run_microservice(cfg)).first->second;
+  cfg.benchmark = static_cast<app::Benchmark>(std::get<0>(key));
+  cfg.workload = static_cast<workload::WorkloadKind>(std::get<1>(key));
+  cfg.policy = static_cast<exp::PolicyKind>(std::get<2>(key));
+  cfg.duration = std::get<3>(key);
+  return exp::run_microservice(cfg);
+}
+
+// Runs (or returns the cached) result for one grid cell.
+inline const exp::RunResult& grid_cell(
+    app::Benchmark a, workload::WorkloadKind w, exp::PolicyKind p,
+    sim::Duration duration = sim::seconds(60)) {
+  return grid_cache().get(GridKey{static_cast<int>(a), static_cast<int>(w),
+                                  static_cast<int>(p), duration},
+                          run_grid_key);
+}
+
+// Fills the cache for every (app x workload) cell under `policies` in
+// parallel (jobs = 0 means hardware concurrency).
+inline void grid_prefetch(const std::vector<exp::PolicyKind>& policies,
+                          int jobs,
+                          sim::Duration duration = sim::seconds(60)) {
+  std::vector<GridKey> keys;
+  keys.reserve(kApps.size() * kWorkloads.size() * policies.size());
+  for (const app::Benchmark a : kApps) {
+    for (const workload::WorkloadKind w : kWorkloads) {
+      for (const exp::PolicyKind p : policies) {
+        keys.push_back(GridKey{static_cast<int>(a), static_cast<int>(w),
+                               static_cast<int>(p), duration});
+      }
+    }
+  }
+  grid_cache().prefetch(keys, jobs, run_grid_key);
+}
+
+// Prefetch for benches that only touch selected (app, workload) pairs.
+inline void grid_prefetch_pairs(
+    const std::vector<std::pair<app::Benchmark, workload::WorkloadKind>>& pairs,
+    const std::vector<exp::PolicyKind>& policies, int jobs,
+    sim::Duration duration = sim::seconds(60)) {
+  std::vector<GridKey> keys;
+  keys.reserve(pairs.size() * policies.size());
+  for (const auto& [a, w] : pairs) {
+    for (const exp::PolicyKind p : policies) {
+      keys.push_back(GridKey{static_cast<int>(a), static_cast<int>(w),
+                             static_cast<int>(p), duration});
+    }
+  }
+  grid_cache().prefetch(keys, jobs, run_grid_key);
 }
 
 }  // namespace escra::bench

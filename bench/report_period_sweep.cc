@@ -8,22 +8,32 @@
 
 #include "exp/microservice.h"
 #include "exp/report.h"
+#include "sweep/runner.h"
 
 using namespace escra;
 
 int main() {
   exp::print_section(
       "Telemetry report-period sweep (MediaMicroservice, burst workload)");
+  const std::vector<int> periods_ms = {50, 100, 150, 200};
+  // Each period is its own simulation; sweep them in parallel. parallel_map
+  // returns results by index, so the table prints in period order no matter
+  // which cell finishes first.
+  const std::vector<exp::RunResult> results =
+      sweep::parallel_map<exp::RunResult>(
+          periods_ms.size(), /*jobs=*/0, [&periods_ms](std::size_t i) {
+            exp::MicroserviceConfig cfg;
+            cfg.benchmark = app::Benchmark::kMedia;
+            cfg.workload = workload::WorkloadKind::kBurst;
+            cfg.policy = exp::PolicyKind::kEscra;
+            cfg.escra.cfs_period = sim::milliseconds(periods_ms[i]);
+            cfg.duration = sim::seconds(60);
+            return exp::run_microservice(cfg);
+          });
   std::vector<std::vector<std::string>> rows;
-  for (const int period_ms : {50, 100, 150, 200}) {
-    exp::MicroserviceConfig cfg;
-    cfg.benchmark = app::Benchmark::kMedia;
-    cfg.workload = workload::WorkloadKind::kBurst;
-    cfg.policy = exp::PolicyKind::kEscra;
-    cfg.escra.cfs_period = sim::milliseconds(period_ms);
-    cfg.duration = sim::seconds(60);
-    const exp::RunResult r = exp::run_microservice(cfg);
-    rows.push_back({std::to_string(period_ms) + "ms",
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::RunResult& r = results[i];
+    rows.push_back({std::to_string(periods_ms[i]) + "ms",
                     exp::fmt(r.p99_latency_ms, 1),
                     exp::fmt(r.p999_latency_ms, 1),
                     exp::fmt(r.throughput_rps, 1),

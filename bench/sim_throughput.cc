@@ -1,0 +1,322 @@
+// Event-engine throughput benchmark.
+//
+// Measures the discrete-event core that every Escra experiment sits on:
+//   - schedule_ns / cancel_ns: cost of arming and disarming one-shot timers
+//     (the Controller's retransmit path arms one per in-flight RPC),
+//   - raw_fire_eps: drain rate for pre-scheduled one-shot events,
+//   - churn_ops_per_sec: the retransmit pattern — schedule, then cancel 90%
+//     before firing (acks beat the timeout), fire the rest,
+//   - periodic_eps: thousands of interleaved 100 ms CFS-style periods,
+//   - e2e_*: a canonical 64-node, 256-container Escra cluster under steady
+//     load for 5 simulated seconds — the number that bounds every sweep.
+//
+// Emits BENCH_sim_throughput.json-style output with --out. With --check
+// BASELINE.json it re-reads the committed baseline and fails (exit 1) when
+// e2e events/sec regressed by more than --tolerance (default 0.25), or when
+// the e2e event count diverges at all (the scenario is deterministic, so a
+// count change means the engine changed behaviour, not just speed).
+//
+//   sim_throughput [--out FILE] [--check FILE] [--tolerance X] [--quick]
+
+#include <chrono>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "net/network.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+using namespace escra;
+
+namespace {
+
+double wall_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct Results {
+  double schedule_ns = 0.0;
+  double cancel_ns = 0.0;
+  double raw_fire_eps = 0.0;
+  double churn_ops_per_sec = 0.0;
+  double periodic_eps = 0.0;
+  std::uint64_t e2e_events = 0;
+  double e2e_wall_s = 0.0;
+  double e2e_eps = 0.0;
+};
+
+// --- micro: schedule / cancel / drain ------------------------------------
+
+void bench_schedule_cancel(std::size_t n, Results& r) {
+  {
+    sim::Simulation sim;
+    std::vector<sim::EventHandle> handles;
+    handles.reserve(n);
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < n; ++i) {
+      // Spread over ~26 s of sim time: exercises several wheel levels.
+      handles.push_back(sim.schedule_at(
+          static_cast<sim::TimePoint>((i * 401) % 26'000'000), [] {}));
+    }
+    r.schedule_ns = wall_seconds(t0) * 1e9 / static_cast<double>(n);
+    const auto t1 = std::chrono::steady_clock::now();
+    for (const sim::EventHandle& h : handles) sim.cancel(h);
+    r.cancel_ns = wall_seconds(t1) * 1e9 / static_cast<double>(n);
+  }
+  {
+    sim::Simulation sim;
+    for (std::size_t i = 0; i < n; ++i) {
+      sim.schedule_at(static_cast<sim::TimePoint>((i * 401) % 26'000'000),
+                      [] {});
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    const std::size_t fired = sim.run_all();
+    r.raw_fire_eps = static_cast<double>(fired) / wall_seconds(t0);
+  }
+}
+
+// --- micro: retransmit-style churn ---------------------------------------
+
+void bench_churn(std::size_t n, Results& r) {
+  sim::Simulation sim;
+  sim::Rng rng(7);
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t ops = 0;
+  std::vector<sim::EventHandle> window;
+  for (std::size_t i = 0; i < n; ++i) {
+    window.push_back(
+        sim.schedule_after(sim::milliseconds(rng.uniform_int(50, 250)), [] {}));
+    ++ops;
+    if (window.size() == 32) {
+      // Acks arrive: cancel ~90%, let the rest fire.
+      for (std::size_t k = 0; k < window.size(); ++k) {
+        if (k % 10 != 0) {
+          sim.cancel(window[k]);
+          ++ops;
+        }
+      }
+      window.clear();
+      sim.run_until(sim.now() + sim::milliseconds(20));
+    }
+  }
+  sim.run_all();
+  r.churn_ops_per_sec = static_cast<double>(ops) / wall_seconds(t0);
+}
+
+// --- micro: interleaved periodic timers ----------------------------------
+
+void bench_periodic(std::size_t timers, sim::Duration span, Results& r) {
+  sim::Simulation sim;
+  std::uint64_t fired = 0;
+  for (std::size_t i = 0; i < timers; ++i) {
+    // 100 ms CFS-style periods with staggered phases.
+    sim.schedule_every(static_cast<sim::TimePoint>(1 + i * 97 % 100'000),
+                       sim::milliseconds(100), [&fired] { ++fired; });
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(span);
+  r.periodic_eps = static_cast<double>(fired) / wall_seconds(t0);
+}
+
+// --- end to end: canonical 64-node cluster -------------------------------
+
+void bench_e2e(sim::Duration duration, Results& r) {
+  sim::Simulation sim;
+  net::Network network(sim);
+  cluster::Cluster k8s(sim);
+  constexpr int kNodes = 64;
+  constexpr int kContainersPerNode = 4;
+  for (int n = 0; n < kNodes; ++n) {
+    k8s.add_node(cluster::NodeConfig{.cores = 20.0});
+  }
+  core::EscraSystem escra(sim, network, k8s, /*global_cpu_cores=*/512.0,
+                          /*global_mem=*/256LL * memcg::kGiB);
+  // Mildly lossy control RPC: exercises the retransmit timers (arm on send,
+  // cancel on ack) that dominate the Controller's timer traffic.
+  network.set_fault_rng(sim::Rng(0xbe4cfULL));
+  network.set_drop_rate(net::Channel::kControlRpc, 0.02);
+
+  sim::Rng root(0xe5c7a64ULL);
+  std::vector<cluster::Container*> members;
+  for (int c = 0; c < kNodes * kContainersPerNode; ++c) {
+    cluster::ContainerSpec spec;
+    spec.name = "c" + std::to_string(c);
+    spec.max_parallelism = 4.0;
+    spec.base_memory = 64 * memcg::kMiB;
+    members.push_back(&k8s.create_container(spec, 1.0, 256 * memcg::kMiB));
+  }
+  escra.manage(members);
+  escra.start();
+
+  // Oscillating per-container request streams: 500 ms on / 500 ms off duty
+  // cycles, phase-offset per container. Demand keeps moving, so the
+  // allocator issues limit updates every CFS period — the steady-state
+  // control traffic (telemetry, updates, retransmit timers) the engine must
+  // sustain at cluster scale.
+  struct Stream {
+    cluster::Container* container;
+    int phase;
+    sim::Rng rng;
+  };
+  std::vector<Stream> streams;
+  streams.reserve(members.size());
+  int idx = 0;
+  for (cluster::Container* c : members) streams.push_back({c, idx++, root.fork()});
+  for (Stream& s : streams) {
+    sim::Simulation* simp = &sim;
+    sim.schedule_every(
+        sim::milliseconds(1 + s.rng.uniform_int(0, 19)), sim::milliseconds(20),
+        [&s, simp] {
+          const bool on =
+              ((simp->now() / sim::milliseconds(500)) + s.phase) % 2 == 0;
+          const int batch = on ? 3 : 0;
+          for (int b = 0; b < batch; ++b) {
+            const double cost_ms = s.rng.lognormal(std::log(4.0), 0.8);
+            s.container->submit(
+                std::max<sim::Duration>(
+                    1, static_cast<sim::Duration>(cost_ms * 1000.0)),
+                2 * memcg::kMiB, [](bool) {});
+          }
+        });
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  sim.run_until(duration);
+  r.e2e_wall_s = wall_seconds(t0);
+  r.e2e_events = sim.executed_events();
+  r.e2e_eps = static_cast<double>(r.e2e_events) / r.e2e_wall_s;
+}
+
+// --- output / baseline check ---------------------------------------------
+
+std::string to_json(const Results& r) {
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"sim_throughput\",\n"
+                "  \"schedule_ns\": %.1f,\n"
+                "  \"cancel_ns\": %.1f,\n"
+                "  \"raw_fire_eps\": %.0f,\n"
+                "  \"churn_ops_per_sec\": %.0f,\n"
+                "  \"periodic_eps\": %.0f,\n"
+                "  \"e2e_events\": %" PRIu64 ",\n"
+                "  \"e2e_wall_s\": %.3f,\n"
+                "  \"e2e_eps\": %.0f\n"
+                "}\n",
+                r.schedule_ns, r.cancel_ns, r.raw_fire_eps,
+                r.churn_ops_per_sec, r.periodic_eps, r.e2e_events,
+                r.e2e_wall_s, r.e2e_eps);
+  return buf;
+}
+
+// Minimal field extraction: the baseline is our own fixed-format JSON.
+bool find_number(const std::string& json, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+int check_against(const std::string& path, const Results& fresh,
+                  double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "sim_throughput: cannot read baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  double base_eps = 0.0;
+  double base_events = 0.0;
+  if (!find_number(json, "e2e_eps", &base_eps) ||
+      !find_number(json, "e2e_events", &base_events)) {
+    std::fprintf(stderr, "sim_throughput: baseline %s missing fields\n",
+                 path.c_str());
+    return 1;
+  }
+  if (static_cast<double>(fresh.e2e_events) != base_events) {
+    std::fprintf(stderr,
+                 "sim_throughput: DETERMINISM DRIFT — e2e executed %" PRIu64
+                 " events, baseline recorded %.0f\n",
+                 fresh.e2e_events, base_events);
+    return 1;
+  }
+  const double floor = base_eps * (1.0 - tolerance);
+  if (fresh.e2e_eps < floor) {
+    std::fprintf(stderr,
+                 "sim_throughput: REGRESSION — e2e %.0f events/s is below "
+                 "%.0f (baseline %.0f minus %.0f%% tolerance)\n",
+                 fresh.e2e_eps, floor, base_eps, tolerance * 100.0);
+    return 1;
+  }
+  std::printf("sim_throughput: ok — e2e %.0f events/s vs baseline %.0f "
+              "(tolerance %.0f%%)\n",
+              fresh.e2e_eps, base_eps, tolerance * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string check_path;
+  double tolerance = 0.25;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--out") {
+      out_path = next();
+    } else if (flag == "--check") {
+      check_path = next();
+    } else if (flag == "--tolerance") {
+      tolerance = std::strtod(next(), nullptr);
+    } else if (flag == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: sim_throughput [--out FILE] [--check FILE] "
+                   "[--tolerance X] [--quick]\n");
+      return 2;
+    }
+  }
+
+  Results r;
+  const std::size_t micro_n = quick ? 100'000 : 2'000'000;
+  bench_schedule_cancel(micro_n, r);
+  bench_churn(quick ? 50'000 : 1'000'000, r);
+  bench_periodic(quick ? 500 : 5'000,
+                 quick ? sim::seconds(10) : sim::seconds(60), r);
+  bench_e2e(quick ? sim::seconds(1) : sim::seconds(5), r);
+
+  const std::string json = to_json(r);
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  if (!check_path.empty() && !quick) {
+    return check_against(check_path, r, tolerance);
+  }
+  return 0;
+}

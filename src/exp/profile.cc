@@ -1,12 +1,12 @@
 #include "exp/profile.h"
 
 #include <algorithm>
-#include <map>
 
 #include "app/service_graph.h"
 #include "cluster/cluster.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
+#include "sweep/cache.h"
 #include "workload/load_generator.h"
 
 namespace escra::exp {
@@ -74,12 +74,13 @@ ProfileResult profile_graph(const app::GraphSpec& graph,
 
 const ProfileResult& profile_benchmark(app::Benchmark benchmark,
                                        const ProfileConfig& config) {
-  static std::map<int, ProfileResult> cache;
-  const int key = static_cast<int>(benchmark);
-  const auto it = cache.find(key);
-  if (it != cache.end()) return it->second;
-  return cache.emplace(key, profile_graph(app::make_benchmark(benchmark), config))
-      .first->second;
+  // Shared by every sweep cell that runs this benchmark, including cells on
+  // parallel sweep::Runner workers — hence the process-wide cache.
+  static sweep::ResultCache<int, ProfileResult> cache;
+  return cache.get(static_cast<int>(benchmark), [&config](int key) {
+    return profile_graph(
+        app::make_benchmark(static_cast<app::Benchmark>(key)), config);
+  });
 }
 
 }  // namespace escra::exp

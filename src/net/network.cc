@@ -192,9 +192,10 @@ void Network::send_to(Channel channel, EndpointId from, EndpointId to,
     // The copy trails the original by one channel latency (e.g. a retried
     // datagram whose first attempt was only slow). Bytes are counted once:
     // the duplication is delivery-level.
-    sim_.schedule_after(r.delay + latency_for(channel), on_deliver);
+    sim_.schedule_coalesced(sim_.now() + r.delay + latency_for(channel),
+                            on_deliver);
   }
-  sim_.schedule_after(r.delay, std::move(on_deliver));
+  sim_.schedule_coalesced(sim_.now() + r.delay, std::move(on_deliver));
 }
 
 void Network::rpc(std::size_t request_bytes, std::size_t response_bytes,
@@ -227,18 +228,19 @@ void Network::rpc_to(EndpointId from, EndpointId to, std::size_t request_bytes,
     const Route back = route(Channel::kControlRpc, to, from);
     if (!back.deliver) return;  // response lost
     if (back.duplicate) {
-      sim_.schedule_after(back.delay + latency_for(Channel::kControlRpc),
-                          resp);
+      sim_.schedule_coalesced(
+          sim_.now() + back.delay + latency_for(Channel::kControlRpc), resp);
     }
-    sim_.schedule_after(back.delay, resp);
+    sim_.schedule_coalesced(sim_.now() + back.delay, resp);
   };
   if (r.duplicate) {
     // Duplicated request: the receiver sees the call twice (idempotency is
     // the receiver's job); each delivery generates its own response leg.
-    sim_.schedule_after(r.delay + latency_for(Channel::kControlRpc),
-                        deliver_request);
+    sim_.schedule_coalesced(
+        sim_.now() + r.delay + latency_for(Channel::kControlRpc),
+        deliver_request);
   }
-  sim_.schedule_after(r.delay, std::move(deliver_request));
+  sim_.schedule_coalesced(sim_.now() + r.delay, std::move(deliver_request));
 }
 
 void Network::attach_metrics(obs::MetricsRegistry& registry) {

@@ -1,0 +1,103 @@
+// Small-buffer-optimized callback for the event engine.
+//
+// `sim::Callback` replaces `std::function<void()>` on the simulation hot
+// path. Closures whose captures fit in 48 bytes (every control-loop tick,
+// telemetry delivery, and retransmit timer in this tree) are stored inline
+// in the event node — scheduling an event allocates nothing. Larger
+// callables fall back to a single heap allocation, so correctness never
+// depends on capture size.
+//
+// Move-only by design: an event fires once, so the engine never needs to
+// copy a callback, and move-only storage admits captures like
+// `std::unique_ptr` that `std::function` rejects.
+#pragma once
+
+#include <cstddef>
+#include <type_traits>
+#include <utility>
+
+namespace escra::sim {
+
+class Callback {
+ public:
+  // Captures up to this size (and alignment <= max_align_t) stay inline.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  Callback() = default;
+
+  template <typename F>
+    requires(!std::is_same_v<std::remove_cvref_t<F>, Callback> &&
+             std::is_invocable_r_v<void, std::remove_cvref_t<F>&>)
+  Callback(F&& f) {  // NOLINT: implicit by design, mirrors std::function
+    using Fn = std::remove_cvref_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t) &&
+                  std::is_nothrow_move_constructible_v<Fn>) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      vt_ = &kInlineVTable<Fn>;
+    } else {
+      ::new (static_cast<void*>(buf_)) Fn*(new Fn(std::forward<F>(f)));
+      vt_ = &kHeapVTable<Fn>;
+    }
+  }
+
+  Callback(Callback&& other) noexcept { move_from(other); }
+  Callback& operator=(Callback&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+  Callback(const Callback&) = delete;
+  Callback& operator=(const Callback&) = delete;
+  ~Callback() { reset(); }
+
+  void reset() {
+    if (vt_ != nullptr) {
+      vt_->destroy(buf_);
+      vt_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return vt_ != nullptr; }
+
+  void operator()() { vt_->invoke(buf_); }
+
+ private:
+  struct VTable {
+    void (*invoke)(void*);
+    void (*relocate)(void* dst, void* src);  // move-construct dst, destroy src
+    void (*destroy)(void*);
+  };
+
+  template <typename Fn>
+  static constexpr VTable kInlineVTable{
+      [](void* p) { (*static_cast<Fn*>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn(std::move(*static_cast<Fn*>(src)));
+        static_cast<Fn*>(src)->~Fn();
+      },
+      [](void* p) { static_cast<Fn*>(p)->~Fn(); }};
+
+  template <typename Fn>
+  static constexpr VTable kHeapVTable{
+      [](void* p) { (**static_cast<Fn**>(p))(); },
+      [](void* dst, void* src) {
+        ::new (dst) Fn*(*static_cast<Fn**>(src));
+      },
+      [](void* p) { delete *static_cast<Fn**>(p); }};
+
+  void move_from(Callback& other) noexcept {
+    if (other.vt_ != nullptr) {
+      other.vt_->relocate(buf_, other.buf_);
+      vt_ = other.vt_;
+      other.vt_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const VTable* vt_ = nullptr;
+};
+
+}  // namespace escra::sim

@@ -1,6 +1,7 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
@@ -8,71 +9,508 @@
 
 namespace escra::sim {
 
-EventHandle Simulation::schedule_at(TimePoint at, std::function<void()> fn) {
-  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
-  Event ev;
-  ev.at = at;
-  ev.seq = next_seq_++;
-  ev.id = next_id_++;
-  ev.fn = std::move(fn);
-  EventHandle handle(ev.id);
-  queue_.push(std::move(ev));
-  return handle;
+namespace {
+
+constexpr std::uint64_t kAllOnes = ~std::uint64_t{0};
+
+// (at, seq) lexicographic order: the global firing order.
+inline bool fires_before(TimePoint a_at, std::uint64_t a_seq, TimePoint b_at,
+                         std::uint64_t b_seq) {
+  return a_at != b_at ? a_at < b_at : a_seq < b_seq;
 }
 
-EventHandle Simulation::schedule_after(Duration delay, std::function<void()> fn) {
+// First set bit at index >= `from` within a 256-bit map, or -1.
+inline int scan_bits_from(const std::uint64_t* occ, int from) {
+  int word = from >> 6;
+  std::uint64_t w = occ[word] & (kAllOnes << (from & 63));
+  for (;;) {
+    if (w != 0) return (word << 6) + std::countr_zero(w);
+    if (++word == 4) return -1;
+    w = occ[word];
+  }
+}
+
+inline bool any_bits(const std::uint64_t* occ) {
+  return (occ[0] | occ[1] | occ[2] | occ[3]) != 0;
+}
+
+// Where a node currently lives. The two "parked" states keep a node alive
+// while its own callback is still on the stack.
+enum NodeWhere : std::uint8_t {
+  kFree = 0,
+  kWheel,
+  kHeap,
+  kReady,            // in ready_, due this tick
+  kReadyCancelled,   // in ready_, cancelled before firing
+  kExecuting,        // one-shot currently firing; released after it returns
+  kParkedCancelled,  // periodic cancelled mid-firing; released after return
+};
+
+}  // namespace
+
+struct Simulation::Node {
+  TimePoint at = 0;
+  std::uint64_t seq = 0;
+  Duration period = 0;  // > 0 for periodic events
+  std::uint32_t gen = 1;
+  std::uint32_t index = 0;
+  Node* prev = nullptr;
+  Node* next = nullptr;
+  std::int32_t heap_pos = -1;
+  std::uint8_t where = kFree;
+  std::uint8_t level = 0;
+  std::uint8_t running = 0;   // callback currently on the stack
+  std::uint8_t is_batch = 0;  // coalesced-delivery wrapper (not counted)
+  std::uint16_t slot = 0;
+  Callback fn;
+};
+
+struct Simulation::Batch {
+  std::vector<Callback> members;
+};
+
+Simulation::Simulation() { ready_.reserve(16); }
+
+Simulation::~Simulation() = default;
+
+// --- node pool -------------------------------------------------------------
+
+Simulation::Node* Simulation::acquire() {
+  if (free_head_ == nullptr) {
+    constexpr std::uint32_t kChunk = 256;
+    chunks_.push_back(std::make_unique<Node[]>(kChunk));
+    Node* arr = chunks_.back().get();
+    for (std::uint32_t i = kChunk; i-- > 0;) {
+      arr[i].index = node_count_ + i;
+      arr[i].next = free_head_;
+      free_head_ = &arr[i];
+    }
+    node_count_ += kChunk;
+  }
+  Node* n = free_head_;
+  free_head_ = n->next;
+  n->prev = n->next = nullptr;
+  n->heap_pos = -1;
+  n->running = 0;
+  n->is_batch = 0;
+  n->period = 0;
+  return n;
+}
+
+void Simulation::release(Node* n) {
+  n->fn.reset();
+  if (++n->gen == 0) n->gen = 1;  // stale handles must never match again
+  n->where = kFree;
+  n->running = 0;
+  n->period = 0;
+  n->heap_pos = -1;
+  n->prev = nullptr;
+  n->next = free_head_;
+  free_head_ = n;
+}
+
+Simulation::Node* Simulation::node_at(std::uint32_t index) const {
+  return &chunks_[index >> 8][index & 255];
+}
+
+std::uint64_t Simulation::handle_id(const Node* n) {
+  return (static_cast<std::uint64_t>(n->index + 1) << 32) | n->gen;
+}
+
+// --- wheel / heap plumbing -------------------------------------------------
+
+void Simulation::wheel_link(Node* n, int level, int slot) {
+  SlotList& s = wheel_[level][slot];
+  n->prev = s.tail;
+  n->next = nullptr;
+  if (s.tail != nullptr) {
+    s.tail->next = n;
+  } else {
+    s.head = n;
+  }
+  s.tail = n;
+  occupied_[level][slot >> 6] |= std::uint64_t{1} << (slot & 63);
+  n->where = kWheel;
+  n->level = static_cast<std::uint8_t>(level);
+  n->slot = static_cast<std::uint16_t>(slot);
+  ++wheel_count_;
+}
+
+void Simulation::wheel_unlink(Node* n) {
+  SlotList& s = wheel_[n->level][n->slot];
+  if (n->prev != nullptr) {
+    n->prev->next = n->next;
+  } else {
+    s.head = n->next;
+  }
+  if (n->next != nullptr) {
+    n->next->prev = n->prev;
+  } else {
+    s.tail = n->prev;
+  }
+  n->prev = n->next = nullptr;
+  if (s.head == nullptr) {
+    occupied_[n->level][n->slot >> 6] &=
+        ~(std::uint64_t{1} << (n->slot & 63));
+  }
+  --wheel_count_;
+}
+
+void Simulation::place(Node* n) {
+  const TimePoint delta = n->at - now_;
+  assert(delta >= 0);
+  if (delta >= kSpan) {
+    heap_push(n);
+    return;
+  }
+  int level = 0;
+  if (delta >= (TimePoint{1} << (3 * kSlotBits))) {
+    level = 3;
+  } else if (delta >= (TimePoint{1} << (2 * kSlotBits))) {
+    level = 2;
+  } else if (delta >= (TimePoint{1} << kSlotBits)) {
+    level = 1;
+  }
+  const int slot =
+      static_cast<int>((n->at >> (kSlotBits * level)) & (kSlots - 1));
+  wheel_link(n, level, slot);
+}
+
+void Simulation::cascade(int level, int slot) {
+  SlotList& s = wheel_[level][slot];
+  Node* n = s.head;
+  if (n == nullptr) return;
+  s.head = s.tail = nullptr;
+  occupied_[level][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  while (n != nullptr) {
+    Node* next = n->next;
+    n->prev = n->next = nullptr;
+    --wheel_count_;
+    place(n);  // always lands on a strictly lower level (or level 0)
+    n = next;
+  }
+}
+
+void Simulation::heap_push(Node* n) {
+  n->where = kHeap;
+  n->heap_pos = static_cast<std::int32_t>(heap_.size());
+  heap_.push_back(n);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Simulation::heap_sift_up(std::size_t pos) {
+  Node* n = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 2;
+    Node* p = heap_[parent];
+    if (fires_before(p->at, p->seq, n->at, n->seq)) break;
+    heap_[pos] = p;
+    p->heap_pos = static_cast<std::int32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = n;
+  n->heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void Simulation::heap_sift_down(std::size_t pos) {
+  const std::size_t size = heap_.size();
+  Node* n = heap_[pos];
+  for (;;) {
+    std::size_t child = 2 * pos + 1;
+    if (child >= size) break;
+    if (child + 1 < size &&
+        fires_before(heap_[child + 1]->at, heap_[child + 1]->seq,
+                     heap_[child]->at, heap_[child]->seq)) {
+      ++child;
+    }
+    if (fires_before(n->at, n->seq, heap_[child]->at, heap_[child]->seq))
+      break;
+    heap_[pos] = heap_[child];
+    heap_[pos]->heap_pos = static_cast<std::int32_t>(pos);
+    pos = child;
+  }
+  heap_[pos] = n;
+  n->heap_pos = static_cast<std::int32_t>(pos);
+}
+
+void Simulation::heap_remove(std::size_t pos) {
+  Node* last = heap_.back();
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    heap_[pos] = last;
+    last->heap_pos = static_cast<std::int32_t>(pos);
+    heap_sift_down(pos);
+    heap_sift_up(last->heap_pos);
+  }
+}
+
+void Simulation::migrate_heap() {
+  // Invariant: every wheel entry is within [now, now + span), every heap
+  // entry at or beyond now + span. Pull entries in as the clock approaches.
+  while (!heap_.empty() && heap_.front()->at - now_ < kSpan) {
+    Node* n = heap_.front();
+    heap_remove(0);
+    n->heap_pos = -1;
+    place(n);
+  }
+}
+
+TimePoint Simulation::next_cascade_time(int level) const {
+  const std::uint64_t* occ = occupied_[level];
+  if (!any_bits(occ)) return std::numeric_limits<TimePoint>::max();
+  const TimePoint win = now_ >> (kSlotBits * level);
+  const int d = static_cast<int>(win & (kSlots - 1));
+  // Circular search: the slot matching the current window digit was already
+  // cascaded when its window began, so it counts as a full wrap away.
+  int steps;
+  int s = d + 1 < kSlots ? scan_bits_from(occ, d + 1) : -1;
+  if (s >= 0) {
+    steps = s - d;
+  } else {
+    s = scan_bits_from(occ, 0);
+    steps = kSlots - d + s;
+  }
+  return (win + steps) << (kSlotBits * level);
+}
+
+void Simulation::take_slot(int slot) {
+  SlotList& s = wheel_[0][slot];
+  Node* n = s.head;
+  s.head = s.tail = nullptr;
+  occupied_[0][slot >> 6] &= ~(std::uint64_t{1} << (slot & 63));
+  ready_.clear();
+  ready_pos_ = 0;
+  while (n != nullptr) {
+    Node* next = n->next;
+    n->prev = n->next = nullptr;
+    --wheel_count_;
+    n->where = kReady;
+    ready_.push_back(n);
+    n = next;
+  }
+  if (ready_.size() > 1) {
+    // Same timestamp (level-0 slots are 1 us wide); cascades may have
+    // interleaved arrival order, so restore global insertion order here.
+    std::sort(ready_.begin(), ready_.end(),
+              [](const Node* a, const Node* b) { return a->seq < b->seq; });
+  }
+}
+
+Simulation::Node* Simulation::pop_min(TimePoint limit) {
+  for (;;) {
+    while (ready_pos_ < ready_.size()) {
+      Node* n = ready_[ready_pos_];
+      if (n->where == kReadyCancelled) {
+        ++ready_pos_;
+        release(n);
+        continue;
+      }
+      if (n->at > limit) return nullptr;
+      ++ready_pos_;
+      return n;
+    }
+    if (!ready_.empty()) {
+      ready_.clear();
+      ready_pos_ = 0;
+    }
+    migrate_heap();
+    // Level 0: an occupied slot in the current 256-us window fires next —
+    // nothing reachable by cascade can be earlier.
+    const int i0 = static_cast<int>(now_ & (kSlots - 1));
+    const int j = scan_bits_from(occupied_[0], i0);
+    if (j >= 0) {
+      const TimePoint t = (now_ & ~static_cast<TimePoint>(kSlots - 1)) + j;
+      if (t > limit) return nullptr;
+      now_ = t;
+      take_slot(j);
+      continue;
+    }
+    // Window exhausted: advance to the earliest boundary that can surface
+    // level-0 work — wrapped level-0 entries or an occupied higher slot.
+    TimePoint b = std::numeric_limits<TimePoint>::max();
+    if (any_bits(occupied_[0])) b = (now_ | (kSlots - 1)) + 1;
+    for (int l = 1; l < kLevels; ++l) b = std::min(b, next_cascade_time(l));
+    if (b == std::numeric_limits<TimePoint>::max()) {
+      // Wheel empty. Jump toward the overflow heap; with nothing to cascade
+      // the cursor can move freely.
+      if (heap_.empty()) return nullptr;
+      const TimePoint at_h = heap_.front()->at;
+      if (at_h > limit) return nullptr;
+      now_ = at_h - kSpan + 1;
+      continue;
+    }
+    if (b > limit) return nullptr;
+    now_ = b;
+    for (int l = kLevels - 1; l >= 1; --l) {
+      if ((b & ((TimePoint{1} << (kSlotBits * l)) - 1)) == 0) {
+        cascade(l, static_cast<int>((b >> (kSlotBits * l)) & (kSlots - 1)));
+      }
+    }
+  }
+}
+
+// --- scheduling ------------------------------------------------------------
+
+EventHandle Simulation::schedule_impl(TimePoint at, Duration period,
+                                      Callback fn, bool is_batch) {
+  // A plain event landing on a timestamp with an open coalesced batch seals
+  // it: later coalesced sends must fire after this event, so they need a
+  // fresh batch with a later sequence number.
+  if (!is_batch && !open_batches_.empty()) seal_batches_at(at);
+  Node* n = acquire();
+  n->at = at;
+  n->seq = next_seq_++;
+  n->period = period;
+  n->is_batch = is_batch ? 1 : 0;
+  n->fn = std::move(fn);
+  place(n);
+  return EventHandle(handle_id(n));
+}
+
+EventHandle Simulation::schedule_at(TimePoint at, Callback fn) {
+  if (at < now_) throw std::invalid_argument("schedule_at: time in the past");
+  return schedule_impl(at, 0, std::move(fn), /*is_batch=*/false);
+}
+
+EventHandle Simulation::schedule_after(Duration delay, Callback fn) {
   if (delay < 0) throw std::invalid_argument("schedule_after: negative delay");
-  return schedule_at(now_ + delay, std::move(fn));
+  return schedule_impl(now_ + delay, 0, std::move(fn), /*is_batch=*/false);
 }
 
 EventHandle Simulation::schedule_every(TimePoint start, Duration period,
-                                       std::function<void()> fn) {
+                                       Callback fn) {
   if (period <= 0) throw std::invalid_argument("schedule_every: period <= 0");
   if (start < now_) throw std::invalid_argument("schedule_every: start in past");
-  Event ev;
-  ev.at = start;
-  ev.seq = next_seq_++;
-  ev.id = next_id_++;
-  ev.period = period;
-  ev.fn = std::move(fn);
-  EventHandle handle(ev.id);
-  queue_.push(std::move(ev));
-  return handle;
+  return schedule_impl(start, period, std::move(fn), /*is_batch=*/false);
+}
+
+void Simulation::schedule_coalesced(TimePoint at, Callback fn) {
+  if (at < now_) {
+    throw std::invalid_argument("schedule_coalesced: time in the past");
+  }
+  for (OpenBatch& ob : open_batches_) {
+    if (ob.at == at) {
+      ob.batch->members.push_back(std::move(fn));
+      ++coalesced_extra_;
+      return;
+    }
+  }
+  Batch* b = acquire_batch();
+  b->members.push_back(std::move(fn));
+  schedule_impl(at, 0, Callback([this, b] { run_batch(b); }),
+                /*is_batch=*/true);
+  open_batches_.push_back(OpenBatch{at, b});
 }
 
 void Simulation::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  cancelled_.push_back(handle.id_);
-  cancelled_dirty_ = true;
+  const std::uint32_t index =
+      static_cast<std::uint32_t>(handle.id_ >> 32) - 1;
+  const std::uint32_t gen = static_cast<std::uint32_t>(handle.id_);
+  if (index >= node_count_) return;
+  Node* n = node_at(index);
+  if (n->gen != gen) return;  // stale handle: the node was recycled
+  switch (n->where) {
+    case kWheel:
+      wheel_unlink(n);
+      if (n->running) {
+        n->where = kParkedCancelled;  // released once its callback returns
+      } else {
+        release(n);
+      }
+      break;
+    case kHeap:
+      heap_remove(static_cast<std::size_t>(n->heap_pos));
+      n->heap_pos = -1;
+      if (n->running) {
+        n->where = kParkedCancelled;
+      } else {
+        release(n);
+      }
+      break;
+    case kReady:
+      n->where = kReadyCancelled;  // released when the tick drains
+      break;
+    default:
+      // kExecuting / kParkedCancelled / kReadyCancelled: firing or already
+      // cancelled — nothing to do. kFree is unreachable (gen mismatch).
+      break;
+  }
 }
 
-bool Simulation::run_one(TimePoint end) {
-  while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.at > end) return false;
-    if (cancelled_dirty_) {
-      std::sort(cancelled_.begin(), cancelled_.end());
-      cancelled_dirty_ = false;
+// --- coalesced batches -----------------------------------------------------
+
+Simulation::Batch* Simulation::acquire_batch() {
+  if (free_batches_.empty()) {
+    batch_pool_.push_back(std::make_unique<Batch>());
+    return batch_pool_.back().get();
+  }
+  Batch* b = free_batches_.back();
+  free_batches_.pop_back();
+  return b;
+}
+
+void Simulation::release_batch(Batch* b) {
+  b->members.clear();  // keeps capacity: steady state allocates nothing
+  free_batches_.push_back(b);
+}
+
+void Simulation::seal_batches_at(TimePoint at) {
+  for (std::size_t i = 0; i < open_batches_.size(); ++i) {
+    if (open_batches_[i].at == at) {
+      open_batches_[i] = open_batches_.back();
+      open_batches_.pop_back();
+      return;  // at most one open batch per timestamp
     }
-    const bool is_cancelled =
-        std::binary_search(cancelled_.begin(), cancelled_.end(), top.id);
-    Event ev = queue_.top();
-    queue_.pop();
-    if (is_cancelled) continue;
-    assert(ev.at >= now_);
-    now_ = ev.at;
-    if (ev.period > 0) {
-      // Re-arm before running so the callback can cancel its own series.
-      Event next = ev;
-      next.at = ev.at + ev.period;
-      next.seq = next_seq_++;
-      queue_.push(std::move(next));
+  }
+}
+
+void Simulation::run_batch(Batch* b) {
+  // The firing batch can no longer absorb appends.
+  for (std::size_t i = 0; i < open_batches_.size(); ++i) {
+    if (open_batches_[i].batch == b) {
+      open_batches_[i] = open_batches_.back();
+      open_batches_.pop_back();
+      break;
     }
+  }
+  coalesced_extra_ -= b->members.size() - 1;
+  for (Callback& cb : b->members) {
     ++executed_;
-    ev.fn();
+    cb();
+  }
+  release_batch(b);
+}
+
+// --- execution -------------------------------------------------------------
+
+bool Simulation::run_one(TimePoint end) {
+  Node* n = pop_min(end);
+  if (n == nullptr) return false;
+  assert(n->at >= now_);
+  now_ = n->at;
+  if (n->period > 0) {
+    // Re-arm in place (same node, same handle, fresh seq) before running so
+    // the callback can cancel its own series.
+    n->at += n->period;
+    n->seq = next_seq_++;
+    if (!open_batches_.empty()) seal_batches_at(n->at);
+    place(n);
+    n->running = 1;
+    ++executed_;
+    n->fn();
+    if (n->where == kParkedCancelled) {
+      release(n);  // cancelled mid-firing: now safe to recycle
+    } else {
+      n->running = 0;
+    }
     return true;
   }
-  return false;
+  n->where = kExecuting;
+  if (!n->is_batch) ++executed_;  // batches count per member in run_batch
+  n->fn();
+  release(n);
+  return true;
 }
 
 std::size_t Simulation::run_until(TimePoint end) {
@@ -86,6 +524,14 @@ std::size_t Simulation::run_all() {
   std::size_t n = 0;
   while (run_one(std::numeric_limits<TimePoint>::max())) ++n;
   return n;
+}
+
+std::size_t Simulation::pending_events() const {
+  std::size_t ready_live = 0;
+  for (std::size_t i = ready_pos_; i < ready_.size(); ++i) {
+    if (ready_[i]->where == kReady) ++ready_live;
+  }
+  return wheel_count_ + heap_.size() + ready_live + coalesced_extra_;
 }
 
 }  // namespace escra::sim

@@ -4,19 +4,42 @@
 // network, workload generators, control loops) is driven by one shared
 // `Simulation`. Events fire in (time, insertion-order) order, which makes
 // whole-cluster runs bit-for-bit reproducible for a given RNG seed.
+//
+// The engine is built for the traffic the control plane actually generates —
+// dense near-future periodic timers (100 ms CFS periods, heartbeats) and
+// short-lived retransmit timers that are almost always cancelled:
+//
+//   - A hierarchical timer wheel (4 levels x 256 slots, 1 us base
+//     granularity, ~71 min span) gives O(1) schedule and O(1) true cancel:
+//     cancelled events are unlinked immediately, never tombstoned.
+//   - Timers beyond the wheel span overflow to an indexed binary heap whose
+//     entries migrate into the wheel as the clock approaches them.
+//   - Callbacks are `sim::Callback` (48-byte small-buffer optimization), and
+//     event nodes live in an intrusive free-list pool, so the steady-state
+//     hot path performs no heap allocation. Periodic events are re-armed in
+//     place each firing instead of allocating a fresh node.
+//   - Handles carry a generation tag, so a stale handle held after its event
+//     fired (or was cancelled) can never cancel an unrelated event that
+//     recycled the same node.
+//
+// Within one timestamp, events fire strictly in schedule order (seq), across
+// wheel levels, the overflow heap, and any cancel/unlink churn — the
+// ordering contract every determinism test in this tree depends on.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
+#include <memory>
 #include <vector>
 
+#include "sim/callback.h"
 #include "sim/time.h"
 
 namespace escra::sim {
 
-// Handle used to cancel a scheduled event. Cancellation is lazy: the event
-// stays in the queue but its callback is skipped when popped.
+// Handle used to cancel a scheduled event. Packs a node index and a
+// generation tag: after the event fires or is cancelled, the node's
+// generation advances, so this handle becomes inert even if the node is
+// recycled for an unrelated event.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -30,10 +53,11 @@ class EventHandle {
   std::uint64_t id_ = 0;
 };
 
-// The simulation: a clock plus a priority queue of callbacks.
+// The simulation: a clock plus a hierarchical timer wheel of callbacks.
 class Simulation {
  public:
-  Simulation() = default;
+  Simulation();
+  ~Simulation();
 
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
@@ -43,18 +67,27 @@ class Simulation {
 
   // Schedules `fn` to run at absolute time `at` (>= now). Returns a handle
   // that can be passed to `cancel`.
-  EventHandle schedule_at(TimePoint at, std::function<void()> fn);
+  EventHandle schedule_at(TimePoint at, Callback fn);
 
   // Schedules `fn` to run `delay` microseconds from now.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  EventHandle schedule_after(Duration delay, Callback fn);
 
   // Schedules `fn` to run every `period`, first firing at `start`. The
   // callback may call `cancel` on the returned handle to stop the series.
-  EventHandle schedule_every(TimePoint start, Duration period,
-                             std::function<void()> fn);
+  EventHandle schedule_every(TimePoint start, Duration period, Callback fn);
 
-  // Cancels a pending event (one-shot or periodic). Safe to call on invalid
-  // or already-fired handles.
+  // Coalesced scheduling for message deliveries: callbacks bound for the
+  // same timestamp share one event node, so N same-tick deliveries cost one
+  // wheel insertion and one firing. Appends preserve the global
+  // (time, insertion-order) contract exactly: any plain `schedule_*` call
+  // for the same timestamp seals the open batch, so a batch can only absorb
+  // callbacks that would have been contiguous in the event order anyway.
+  // Coalesced callbacks cannot be cancelled (message sends never are).
+  void schedule_coalesced(TimePoint at, Callback fn);
+
+  // Cancels a pending event (one-shot or periodic). O(1): the event is
+  // unlinked and its node recycled immediately. Safe to call on invalid,
+  // already-fired, or stale handles.
   void cancel(EventHandle handle);
 
   // Runs events until the queue drains or the clock passes `end`. Events
@@ -64,37 +97,90 @@ class Simulation {
   // Runs every queued event. Only safe when nothing reschedules forever.
   std::size_t run_all();
 
-  // Number of events currently queued (including cancelled ones not yet
-  // popped).
-  std::size_t pending_events() const { return queue_.size(); }
+  // Number of live (not cancelled) events currently scheduled. Coalesced
+  // batches count once per member callback.
+  std::size_t pending_events() const;
 
-  // Total events executed so far.
+  // Total callbacks executed so far (coalesced batch members each count).
   std::uint64_t executed_events() const { return executed_; }
 
  private:
-  struct Event {
-    TimePoint at = 0;
-    std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
-    std::uint64_t id = 0;
-    Duration period = 0;  // > 0 for periodic events
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
+  struct Node;
+  struct Batch;
+
+  static constexpr int kSlotBits = 8;
+  static constexpr int kSlots = 1 << kSlotBits;         // 256 slots per level
+  static constexpr int kLevels = 4;                     // 1 us .. 2^32 us
+  static constexpr int kBitmapWords = kSlots / 64;
+  static constexpr TimePoint kSpan = TimePoint{1} << (kSlotBits * kLevels);
+
+  struct SlotList {
+    Node* head = nullptr;
+    Node* tail = nullptr;
   };
 
+  // --- node pool ---
+  Node* acquire();
+  void release(Node* n);
+  Node* node_at(std::uint32_t index) const;
+  static std::uint64_t handle_id(const Node* n);
+
+  // --- wheel / heap plumbing ---
+  void place(Node* n);                       // insert by n->at relative to now_
+  void wheel_link(Node* n, int level, int slot);
+  void wheel_unlink(Node* n);
+  void cascade(int level, int slot);         // redistribute one slot downward
+  void migrate_heap();                       // pull near-future heap entries in
+  void heap_push(Node* n);
+  void heap_remove(std::size_t pos);
+  void heap_sift_up(std::size_t pos);
+  void heap_sift_down(std::size_t pos);
+  TimePoint next_cascade_time(int level) const;
+
+  // Advances the clock to the next event <= limit and returns its node
+  // (detached, ready to fire), or nullptr if none is due by `limit`.
+  Node* pop_min(TimePoint limit);
+  void take_slot(int slot);                  // level-0 slot -> ready list
   bool run_one(TimePoint end);
+
+  // --- coalesced batches ---
+  struct OpenBatch {
+    TimePoint at = 0;
+    Batch* batch = nullptr;
+  };
+  Batch* acquire_batch();
+  void release_batch(Batch* b);
+  void seal_batches_at(TimePoint at);
+  void run_batch(Batch* b);
+  EventHandle schedule_impl(TimePoint at, Duration period, Callback fn,
+                            bool is_batch);
 
   TimePoint now_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted lazily on lookup
-  bool cancelled_dirty_ = false;
+
+  // Node pool: stable addresses via fixed-size chunks, free list threaded
+  // through the nodes themselves.
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+  Node* free_head_ = nullptr;
+  std::uint32_t node_count_ = 0;
+
+  SlotList wheel_[kLevels][kSlots];
+  std::uint64_t occupied_[kLevels][kBitmapWords] = {};
+  std::size_t wheel_count_ = 0;
+
+  std::vector<Node*> heap_;  // overflow: (at, seq)-keyed indexed min-heap
+
+  // Current-tick ready list: the due level-0 slot, sorted by seq.
+  std::vector<Node*> ready_;
+  std::size_t ready_pos_ = 0;
+
+  std::vector<std::unique_ptr<Batch>> batch_pool_;
+  std::vector<Batch*> free_batches_;
+  std::vector<OpenBatch> open_batches_;
+  // Batch members beyond the first (the wrapper node accounts for one), so
+  // pending_events() can count coalesced callbacks individually.
+  std::size_t coalesced_extra_ = 0;
 };
 
 }  // namespace escra::sim

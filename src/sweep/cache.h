@@ -1,0 +1,55 @@
+// Thread-safe result cache for sweep cells.
+//
+// Bench binaries evaluate overlapping grids (the same application x workload
+// cell feeds several tables), so results are computed once per process and
+// shared. `ResultCache` is that memo: `get` computes on miss under a
+// per-cache mutex, and `prefetch` fills many cells in parallel through
+// sweep::parallel_for before a serial reporting pass reads them back.
+#pragma once
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "sweep/runner.h"
+
+namespace escra::sweep {
+
+template <typename Key, typename Value>
+class ResultCache {
+ public:
+  // Returns the cached value for `key`, computing it with compute(key) on a
+  // miss. References stay valid for the cache's lifetime (std::map nodes are
+  // stable). The mutex is held across compute, so concurrent callers of
+  // `get` serialize; use `prefetch` for parallelism.
+  template <typename Compute>
+  const Value& get(const Key& key, Compute&& compute) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      const auto it = cells_.find(key);
+      if (it != cells_.end()) return it->second;
+    }
+    // Compute outside the lock so prefetch workers don't serialize; if two
+    // threads race on the same key the first insert wins and the loser's
+    // work is dropped (cells are deterministic, so both values are equal).
+    Value v = compute(key);
+    const std::lock_guard<std::mutex> lock(mu_);
+    return cells_.emplace(key, std::move(v)).first->second;
+  }
+
+  // Computes every missing key in parallel across `jobs` threads
+  // (0 = hardware). After this returns, `get` for these keys is a pure
+  // lookup.
+  template <typename Compute>
+  void prefetch(const std::vector<Key>& keys, int jobs, Compute&& compute) {
+    parallel_for(keys.size(), jobs, [this, &keys, &compute](std::size_t i) {
+      get(keys[i], compute);
+    });
+  }
+
+ private:
+  std::mutex mu_;
+  std::map<Key, Value> cells_;
+};
+
+}  // namespace escra::sweep

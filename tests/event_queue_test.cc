@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
+#include <functional>
 #include <limits>
 #include <vector>
 
@@ -163,6 +165,144 @@ TEST(SimulationTest, ManyInterleavedTimersKeepRelativeOrder) {
   for (const auto& [t, id] : log) (id == 0 ? zeros : ones)++;
   EXPECT_EQ(zeros, 10);
   EXPECT_EQ(ones, 6);
+}
+
+// Regression: the old engine's handles were raw sequence numbers, so a
+// handle kept after its event fired could alias whatever event recycled the
+// slot. Generation tags make stale handles inert. The pool free list is
+// LIFO, so back-to-back fire + schedule is guaranteed to recycle the node.
+TEST(SimulationTest, StaleHandleAfterFireCannotCancelRecycledNode) {
+  Simulation sim;
+  int b_fired = 0;
+  const EventHandle a = sim.schedule_at(milliseconds(1), [] {});
+  sim.run_until(milliseconds(2));  // a fired; its node is back in the pool
+  sim.schedule_at(milliseconds(3), [&] { ++b_fired; });  // recycles a's node
+  sim.cancel(a);  // stale: must not touch the recycled node
+  sim.run_until(milliseconds(4));
+  EXPECT_EQ(b_fired, 1);
+}
+
+TEST(SimulationTest, StaleHandleAfterCancelCannotCancelRecycledNode) {
+  Simulation sim;
+  int b_fired = 0;
+  const EventHandle a = sim.schedule_at(milliseconds(1), [] {});
+  sim.cancel(a);  // node freed immediately (true unlink, no tombstone)
+  sim.schedule_at(milliseconds(3), [&] { ++b_fired; });  // recycles a's node
+  sim.cancel(a);  // stale again
+  sim.run_until(milliseconds(4));
+  EXPECT_EQ(b_fired, 1);
+}
+
+TEST(SimulationTest, CancelledEventFreesItsPendingSlot) {
+  Simulation sim;
+  const EventHandle h = sim.schedule_at(milliseconds(1), [] {});
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.cancel(h);
+  EXPECT_EQ(sim.pending_events(), 0u);  // unlinked, not tombstoned
+  EXPECT_EQ(sim.run_all(), 0u);
+}
+
+// Timers beyond the wheel span (2^32 us, ~71.6 min) overflow to the heap
+// and must still interleave with near timers in exact (time, insertion)
+// order — including two far timers at the same timestamp.
+TEST(SimulationTest, FarTimersBeyondWheelSpanKeepGlobalOrder) {
+  Simulation sim;
+  const TimePoint span = TimePoint{1} << 32;
+  std::vector<int> order;
+  sim.schedule_at(3 * span + 5, [&] { order.push_back(3); });
+  sim.schedule_at(10, [&] { order.push_back(1); });
+  sim.schedule_at(span + 7, [&] { order.push_back(2); });
+  sim.schedule_at(3 * span + 5, [&] { order.push_back(4); });  // same tick
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 4}));
+  EXPECT_EQ(sim.now(), 3 * span + 5);
+}
+
+TEST(SimulationTest, CancelWorksInOverflowHeap) {
+  Simulation sim;
+  const TimePoint span = TimePoint{1} << 32;
+  std::vector<int> order;
+  sim.schedule_at(span + 1, [&] { order.push_back(1); });
+  const EventHandle mid = sim.schedule_at(span + 2, [&] { order.push_back(2); });
+  sim.schedule_at(span + 3, [&] { order.push_back(3); });
+  sim.cancel(mid);
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(SimulationTest, CoalescedCallbacksKeepInsertionOrderAroundPlainEvents) {
+  Simulation sim;
+  const TimePoint t = milliseconds(5);
+  std::vector<char> order;
+  sim.schedule_coalesced(t, [&] { order.push_back('a'); });
+  sim.schedule_coalesced(t, [&] { order.push_back('b'); });  // same batch
+  sim.schedule_at(t, [&] { order.push_back('c'); });  // seals the batch
+  sim.schedule_coalesced(t, [&] { order.push_back('d'); });  // fresh batch
+  EXPECT_EQ(sim.pending_events(), 4u);  // batches count per member
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<char>{'a', 'b', 'c', 'd'}));
+  EXPECT_EQ(sim.executed_events(), 4u);  // members count, wrappers don't
+}
+
+TEST(SimulationTest, PeriodicReArmSealsSameTickBatch) {
+  Simulation sim;
+  std::vector<char> order;
+  bool appended_late = false;
+  // P fires at 10ms and re-arms to 20ms; the re-arm is a plain insertion at
+  // 20ms, so it seals A's open batch. B, coalesced after the re-arm, must
+  // land in a fresh batch and fire after P's second firing.
+  sim.schedule_coalesced(milliseconds(20), [&] { order.push_back('a'); });
+  const EventHandle p = sim.schedule_every(
+      milliseconds(10), milliseconds(10), [&] {
+        order.push_back('p');
+        if (!appended_late) {
+          appended_late = true;
+          sim.schedule_coalesced(milliseconds(20),
+                                 [&] { order.push_back('b'); });
+        }
+      });
+  sim.run_until(milliseconds(20));
+  sim.cancel(p);
+  EXPECT_EQ(order, (std::vector<char>{'p', 'a', 'p', 'b'}));
+}
+
+TEST(SimulationTest, OneShotCancellingItselfWhileFiringIsSafe) {
+  Simulation sim;
+  EventHandle h;
+  int fired = 0;
+  h = sim.schedule_at(milliseconds(1), [&] {
+    ++fired;
+    sim.cancel(h);  // self-cancel mid-execution: must be a no-op
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimulationTest, CallbackCancellingLaterSameTickEventWins) {
+  Simulation sim;
+  std::vector<int> order;
+  EventHandle second;
+  sim.schedule_at(milliseconds(1), [&] {
+    order.push_back(1);
+    sim.cancel(second);  // same-tick, later-seq event is already ready
+  });
+  second = sim.schedule_at(milliseconds(1), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1}));
+}
+
+TEST(SimulationTest, LargeCaptureCallbacksStillWork) {
+  // Captures past Callback::kInlineBytes take the heap fallback; behavior
+  // must be identical.
+  Simulation sim;
+  std::array<std::uint64_t, 16> big{};
+  big.fill(7);
+  std::uint64_t sum = 0;
+  sim.schedule_at(1, [big, &sum] {
+    for (const std::uint64_t v : big) sum += v;
+  });
+  sim.run_all();
+  EXPECT_EQ(sum, 7u * 16u);
 }
 
 }  // namespace

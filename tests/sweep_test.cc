@@ -1,0 +1,111 @@
+#include "sweep/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "sweep/cache.h"
+
+namespace escra::sweep {
+namespace {
+
+TEST(SweepRunner, ResolveJobsPassesPositiveThrough) {
+  EXPECT_EQ(resolve_jobs(1), 1);
+  EXPECT_EQ(resolve_jobs(7), 7);
+}
+
+TEST(SweepRunner, ResolveJobsZeroMeansHardware) {
+  EXPECT_GE(resolve_jobs(0), 1);
+}
+
+TEST(SweepRunner, EmptyRangeIsANoop) {
+  int calls = 0;
+  parallel_for(0, 4, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(SweepRunner, EveryIndexRunsExactlyOnce) {
+  constexpr std::size_t kCount = 1000;
+  std::vector<std::atomic<int>> hits(kCount);
+  parallel_for(kCount, 8, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kCount; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(SweepRunner, ResultsAreOrderedByIndexNotCompletion) {
+  // Early indices sleep longest, so completion order is roughly reversed;
+  // the result vector must still be in index order.
+  const std::vector<int> out =
+      parallel_map<int>(16, 8, [](std::size_t i) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds((16 - i) % 4));
+        return static_cast<int>(i * i);
+      });
+  ASSERT_EQ(out.size(), 16u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], static_cast<int>(i * i));
+  }
+}
+
+TEST(SweepRunner, ParallelMatchesSerial) {
+  const auto cell = [](std::size_t i) {
+    return static_cast<int>(i * 2654435761u % 1000);
+  };
+  const std::vector<int> serial = parallel_map<int>(200, 1, cell);
+  const std::vector<int> parallel = parallel_map<int>(200, 8, cell);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(SweepRunner, LowestIndexExceptionWinsAndAllCellsRun) {
+  std::vector<std::atomic<int>> hits(64);
+  try {
+    parallel_for(64, 8, [&](std::size_t i) {
+      hits[i].fetch_add(1);
+      if (i == 7 || i == 40) {
+        throw std::runtime_error("cell " + std::to_string(i));
+      }
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "cell 7");  // deterministic: lowest index
+  }
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "cell " << i << " was skipped";
+  }
+}
+
+TEST(SweepCache, ComputesEachKeyOnce) {
+  ResultCache<int, int> cache;
+  std::atomic<int> computes{0};
+  const auto compute = [&computes](int key) {
+    ++computes;
+    return key * 10;
+  };
+  EXPECT_EQ(cache.get(3, compute), 30);
+  EXPECT_EQ(cache.get(3, compute), 30);
+  EXPECT_EQ(computes.load(), 1);
+}
+
+TEST(SweepCache, PrefetchFillsInParallelThenGetHits) {
+  ResultCache<int, int> cache;
+  std::atomic<int> computes{0};
+  const auto compute = [&computes](int key) {
+    ++computes;
+    return key + 100;
+  };
+  std::vector<int> keys;
+  for (int k = 0; k < 50; ++k) keys.push_back(k);
+  cache.prefetch(keys, 8, compute);
+  const int after_prefetch = computes.load();
+  // Racing workers may duplicate a key's compute (first insert wins), but
+  // never lose one.
+  EXPECT_GE(after_prefetch, 50);
+  for (int k = 0; k < 50; ++k) EXPECT_EQ(cache.get(k, compute), k + 100);
+  EXPECT_EQ(computes.load(), after_prefetch);  // all pure hits
+}
+
+}  // namespace
+}  // namespace escra::sweep

@@ -4,6 +4,7 @@
 //
 //     --runs N            scenarios to run                    (default 100)
 //     --seed S            base seed; run i uses seed S + i    (default 1)
+//     --jobs N            worker threads; 0 = hardware        (default 1)
 //     --trace-tail N      trace events dumped on a violation  (default 200)
 //     --repro-out FILE    write the first run's generated scenario as JSON;
 //                         if a violation occurs, the violating run's
@@ -19,7 +20,17 @@
 //     --force-overgrant   plant a violation: mid-run, set one container's
 //                         CPU cgroup directly past the global limit,
 //                         bypassing the allocator (checker must catch it)
+//     --rss-check         assert a flat memory footprint: resident set after
+//                         the full sweep must not exceed the post-warmup
+//                         baseline by more than a small slack (guards the
+//                         event-engine pools against leaks); forces --jobs 1
 //     --quiet             only print failures and the final summary
+//
+// Runs are fanned out across a sweep::Runner thread pool (--jobs). Every
+// observable output is independent of the job count: outcomes are
+// aggregated in seed order, violation reports are buffered per run and
+// printed in that order, and each scenario owns its Simulation and Rng, so
+// --jobs 8 prints byte-for-byte what --jobs 1 prints.
 //
 // Each run derives everything — cluster topology, tenant count, Escra
 // tunables, workload mix (steady request streams, batch bursts, resident-
@@ -46,6 +57,8 @@
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
 #include "check/invariant_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
@@ -53,6 +66,7 @@
 #include "net/network.h"
 #include "obs/observer.h"
 #include "sim/rng.h"
+#include "sweep/runner.h"
 
 using namespace escra;
 
@@ -61,18 +75,21 @@ namespace {
 struct Options {
   std::uint64_t runs = 100;
   std::uint64_t seed = 1;
+  int jobs = 1;
   std::size_t trace_tail = 200;
   std::string repro_out;
   bool fault_profile = false;
   bool force_overgrant = false;
+  bool rss_check = false;
   bool quiet = false;
 };
 
 void usage() {
   std::fprintf(stderr,
-               "usage: escra-fuzz [--runs N] [--seed S] [--trace-tail N]\n"
-               "                  [--repro-out FILE] [--fault-profile]\n"
-               "                  [--force-overgrant] [--quiet]\n");
+               "usage: escra-fuzz [--runs N] [--seed S] [--jobs N]\n"
+               "                  [--trace-tail N] [--repro-out FILE]\n"
+               "                  [--fault-profile] [--force-overgrant]\n"
+               "                  [--rss-check] [--quiet]\n");
 }
 
 // Strict numeric parsing: the whole token must be consumed, so "12abc" and
@@ -105,6 +122,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.runs = parse_u64(flag, next());
     } else if (flag == "--seed") {
       opts.seed = parse_u64(flag, next());
+    } else if (flag == "--jobs") {
+      opts.jobs = static_cast<int>(parse_u64(flag, next()));
     } else if (flag == "--trace-tail") {
       opts.trace_tail = static_cast<std::size_t>(parse_u64(flag, next()));
     } else if (flag == "--repro-out") {
@@ -113,6 +132,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.fault_profile = true;
     } else if (flag == "--force-overgrant") {
       opts.force_overgrant = true;
+    } else if (flag == "--rss-check") {
+      opts.rss_check = true;
     } else if (flag == "--quiet") {
       opts.quiet = true;
     } else if (flag == "--help" || flag == "-h") {
@@ -356,22 +377,31 @@ void schedule_resident_spikes(sim::Simulation& sim,
 struct RunOutcome {
   bool violated = false;
   std::string report;
+  // Full diagnostic text for a violation (report, scenario JSON, trace
+  // tail, replay line), buffered so parallel runs never interleave output:
+  // main prints these in seed order.
+  std::string failure_text;
   std::uint64_t events = 0;
   std::uint64_t sweeps = 0;
 };
 
-void dump_trace_tail(const obs::TraceBuffer& trace, std::size_t tail) {
+std::string trace_tail_to_string(const obs::TraceBuffer& trace,
+                                 std::size_t tail) {
   const std::size_t n = std::min(tail, trace.size());
-  std::fprintf(stderr, "last %zu trace events:\n", n);
+  char buf[256];
+  std::snprintf(buf, sizeof(buf), "last %zu trace events:\n", n);
+  std::string out = buf;
   for (std::size_t i = trace.size() - n; i < trace.size(); ++i) {
     const obs::TraceEvent& e = trace.at(i);
-    std::fprintf(stderr,
-                 "  #%" PRIu64 " t=%" PRId64 "us %-20s c=%u n=%u "
-                 "before=%.6g after=%.6g cause=%" PRIu64 " detail=%" PRId64
-                 "\n",
-                 e.id, e.time, obs::event_kind_name(e.kind), e.container,
-                 e.node, e.before, e.after, e.cause, e.detail);
+    std::snprintf(buf, sizeof(buf),
+                  "  #%" PRIu64 " t=%" PRId64 "us %-20s c=%u n=%u "
+                  "before=%.6g after=%.6g cause=%" PRIu64 " detail=%" PRId64
+                  "\n",
+                  e.id, e.time, obs::event_kind_name(e.kind), e.container,
+                  e.node, e.before, e.after, e.cause, e.detail);
+    out += buf;
   }
+  return out;
 }
 
 RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
@@ -490,16 +520,31 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     }
   }
   if (outcome.violated) {
-    std::fprintf(stderr, "seed %" PRIu64 ": INVARIANT VIOLATION\n%s",
-                 s.seed, outcome.report.c_str());
-    std::fprintf(stderr, "scenario config:\n%s", to_json(s).c_str());
-    dump_trace_tail(tenants.front().observer->trace(), trace_tail);
-    std::fprintf(stderr,
-                 "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s\n",
-                 s.seed, s.fault_profile ? " --fault-profile" : "",
-                 force_overgrant ? " --force-overgrant" : "");
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "seed %" PRIu64 ": INVARIANT VIOLATION\n",
+                  s.seed);
+    outcome.failure_text = buf;
+    outcome.failure_text += outcome.report;
+    outcome.failure_text += "scenario config:\n";
+    outcome.failure_text += to_json(s);
+    outcome.failure_text +=
+        trace_tail_to_string(tenants.front().observer->trace(), trace_tail);
+    std::snprintf(buf, sizeof(buf),
+                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s\n",
+                  s.seed, s.fault_profile ? " --fault-profile" : "",
+                  force_overgrant ? " --force-overgrant" : "");
+    outcome.failure_text += buf;
   }
   return outcome;
+}
+
+// Resident set size in KiB, from /proc/self/statm (Linux).
+long current_rss_kib() {
+  std::ifstream statm("/proc/self/statm");
+  long total_pages = 0, resident_pages = 0;
+  if (!(statm >> total_pages >> resident_pages)) return -1;
+  const long page_bytes = sysconf(_SC_PAGESIZE);
+  return resident_pages * (page_bytes > 0 ? page_bytes : 4096) / 1024;
 }
 
 }  // namespace
@@ -519,43 +564,67 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (!opts.repro_out.empty()) {
+    // The first run's scenario is written up front (generation is a pure
+    // function of the seed, so no need to wait for the run itself).
+    Scenario scenario = generate(opts.seed);
+    scenario.fault_profile = opts.fault_profile;
+    std::ofstream out(opts.repro_out);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write %s\n", opts.repro_out.c_str());
+      return 2;
+    }
+    out << to_json(scenario);
+    if (!opts.quiet) {
+      std::printf("scenario for seed %" PRIu64 " written to %s\n", opts.seed,
+                  opts.repro_out.c_str());
+    }
+  }
+
+  // RSS flatness needs one run at a time and a stable warmup point, so the
+  // check pins the sweep to a single worker.
+  const int jobs = opts.rss_check ? 1 : opts.jobs;
+  constexpr std::uint64_t kRssWarmupRuns = 5;
+  long rss_baseline_kib = -1;
+
+  const std::vector<RunOutcome> outcomes =
+      sweep::parallel_map<RunOutcome>(opts.runs, jobs, [&](std::size_t i) {
+        Scenario scenario = generate(opts.seed + i);  // wrapping is fine
+        scenario.fault_profile = opts.fault_profile;
+        RunOutcome outcome =
+            run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
+        if (opts.rss_check && i + 1 == kRssWarmupRuns) {
+          rss_baseline_kib = current_rss_kib();
+        }
+        return outcome;
+      });
+
+  // Aggregate in seed order: totals, progress lines, and failure output are
+  // identical regardless of the job count.
   std::uint64_t violations = 0;
   std::uint64_t total_events = 0;
   std::uint64_t total_sweeps = 0;
   bool wrote_violation_repro = false;
   for (std::uint64_t i = 0; i < opts.runs; ++i) {
-    const std::uint64_t seed = opts.seed + i;  // wrapping is fine
-    Scenario scenario = generate(seed);
-    scenario.fault_profile = opts.fault_profile;
-    if (i == 0 && !opts.repro_out.empty()) {
-      std::ofstream out(opts.repro_out);
-      if (!out) {
-        std::fprintf(stderr, "error: cannot write %s\n",
-                     opts.repro_out.c_str());
-        return 2;
-      }
-      out << to_json(scenario);
-      if (!opts.quiet) {
-        std::printf("scenario for seed %" PRIu64 " written to %s\n", seed,
-                    opts.repro_out.c_str());
-      }
-    }
-    const RunOutcome outcome =
-        run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
+    const RunOutcome& outcome = outcomes[i];
     total_events += outcome.events;
     total_sweeps += outcome.sweeps;
-    if (outcome.violated) ++violations;
-    // The first violating run's scenario takes over the repro file: CI
-    // uploads it as the repro artifact.
-    if (outcome.violated && !opts.repro_out.empty() &&
-        !wrote_violation_repro) {
-      std::ofstream out(opts.repro_out);
-      if (out) {
-        out << to_json(scenario);
-        wrote_violation_repro = true;
-        std::fprintf(stderr, "violating scenario (seed %" PRIu64
-                             ") written to %s\n",
-                     seed, opts.repro_out.c_str());
+    if (outcome.violated) {
+      ++violations;
+      std::fputs(outcome.failure_text.c_str(), stderr);
+      // The first violating run's scenario takes over the repro file: CI
+      // uploads it as the repro artifact.
+      if (!opts.repro_out.empty() && !wrote_violation_repro) {
+        std::ofstream out(opts.repro_out);
+        if (out) {
+          Scenario scenario = generate(opts.seed + i);
+          scenario.fault_profile = opts.fault_profile;
+          out << to_json(scenario);
+          wrote_violation_repro = true;
+          std::fprintf(stderr,
+                       "violating scenario (seed %" PRIu64 ") written to %s\n",
+                       opts.seed + i, opts.repro_out.c_str());
+        }
       }
     }
     if (!opts.quiet && (i + 1) % 100 == 0) {
@@ -567,5 +636,32 @@ int main(int argc, char** argv) {
               " decision event(s) checked, %" PRIu64 " sweep(s), %" PRIu64
               " violation(s)\n",
               opts.runs, total_events, total_sweeps, violations);
+
+  if (opts.rss_check) {
+    // Flat-footprint guard: every run frees its Simulation (node pool,
+    // batches, callbacks), so after a short allocator warmup the resident
+    // set must stop growing. A leak in the engine's recycling shows up here
+    // as monotonic growth across the sweep.
+    const long rss_final_kib = current_rss_kib();
+    constexpr long kSlackKib = 8 * 1024;
+    std::printf("escra-fuzz: rss after warmup %ld KiB, after all runs %ld "
+                "KiB (slack %ld KiB)\n",
+                rss_baseline_kib, rss_final_kib, kSlackKib);
+    if (rss_baseline_kib < 0 || rss_final_kib < 0) {
+      std::fprintf(stderr, "error: could not read /proc/self/statm\n");
+      return 2;
+    }
+    if (opts.runs <= kRssWarmupRuns) {
+      std::fprintf(stderr, "error: --rss-check needs --runs > %" PRIu64 "\n",
+                   kRssWarmupRuns);
+      return 2;
+    }
+    if (rss_final_kib > rss_baseline_kib + kSlackKib) {
+      std::fprintf(stderr,
+                   "escra-fuzz: RSS GREW %ld KiB across the sweep (limit %ld)\n",
+                   rss_final_kib - rss_baseline_kib, kSlackKib);
+      return 1;
+    }
+  }
   return violations == 0 ? 0 : 1;
 }
