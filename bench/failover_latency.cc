@@ -1,0 +1,326 @@
+// Failover latency — the measurement behind the replicated-controller
+// claim: a permanently killed leader must be replaced by a warm standby in
+// well under a second, without the cluster ever noticing. Contrast with the
+// single-controller story, where the same kill means a full downtime window
+// (agents fail static, decisions stop) followed by a restart-and-resync.
+//
+// Two faulted runs of the TeaStore graph (3 nodes, fixed 200 req/s,
+// identical seeds), leader killed at 15 s in both:
+//   restart-resync  no standbys; the Controller restarts after 5 s downtime
+//                   and rebuilds by resyncing every Agent — the pre-HA
+//                   recovery path (recovery_latency.cc measures its MTTR)
+//   ha-failover     two warm standbys stream the leader's WAL; the kill is
+//                   permanent, a standby's lease watchdog fires and takes
+//                   the seat over by replaying its replica — no resync
+//
+// For the HA run the timeline decomposes from the decision trace:
+//   detection  kill -> kLeaderElected   (lease timeout + watchdog grid)
+//   MTTR       kLeaderElected -> first kRpcApplied landing on an Agent
+//              (takeover-to-first-reallocation: the new leader is not just
+//              elected but provably moving cgroups again)
+//   blackout   kill -> first post-kill kRpcApplied — the longest the
+//              cluster went without a working control plane
+//
+// The warm-standby guarantees are asserted directly on the clean-failover
+// run: zero OOM kills, zero fail-static entries (takeover beats the Agents'
+// 500 ms lease watchdog, so no node ever freezes), zero fenced updates (the
+// old leader is dead, not partitioned — nothing stale survives to fence),
+// and MTTR under one simulated second. Determinism is asserted by running
+// the identical-seed HA scenario twice and comparing an FNV-1a digest over
+// every trace event and every 100 ms aggregate-limit sample: byte-identical
+// or the bench fails.
+//
+//   failover_latency [--assert]
+//
+// With --assert the process exits non-zero unless every check passes —
+// this is the mode CI runs.
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "app/benchmarks.h"
+#include "app/service_graph.h"
+#include "cluster/cluster.h"
+#include "core/escra.h"
+#include "fault/fault_injector.h"
+#include "ha/ha_control_plane.h"
+#include "net/network.h"
+#include "obs/observer.h"
+#include "sim/rng.h"
+#include "sim/time.h"
+#include "workload/load_generator.h"
+
+using namespace escra;
+
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+constexpr double kRateRps = 200.0;
+constexpr sim::TimePoint kLoadStart = sim::seconds(2);
+constexpr sim::TimePoint kLoadEnd = sim::seconds(38);
+constexpr sim::TimePoint kRunEnd = sim::seconds(40);
+constexpr sim::Duration kSampleInterval = sim::milliseconds(100);
+constexpr sim::TimePoint kKillAt = sim::seconds(15);
+constexpr sim::Duration kRestartDowntime = sim::seconds(5);
+constexpr int kStandbys = 2;
+constexpr sim::Duration kMttrTarget = sim::seconds(1);
+
+enum class Scenario { kRestartResync, kHaFailover };
+
+const char* scenario_name(Scenario s) {
+  switch (s) {
+    case Scenario::kRestartResync: return "restart-resync";
+    case Scenario::kHaFailover: return "ha-failover";
+  }
+  return "?";
+}
+
+struct RunResult {
+  std::uint64_t total_oom_kills = 0;
+  std::uint64_t fail_static_entries = 0;
+  std::uint64_t fenced_updates = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t failovers = 0;
+  std::uint64_t final_epoch = 0;
+  std::uint64_t replayed_slots = 0;
+
+  sim::TimePoint elected = 0;      // first kLeaderElected (HA run), else 0
+  sim::TimePoint first_apply = 0;  // first kRpcApplied at/after recovery
+  sim::TimePoint recovery_from = 0;  // elected (HA) / restart instant
+
+  // FNV-1a over every trace event and aggregate-limit sample: two
+  // identical-seed runs must produce the same digest bit for bit.
+  std::uint64_t digest = 1469598103934665603ULL;
+};
+
+void mix(RunResult& r, std::uint64_t v) {
+  r.digest ^= v;
+  r.digest *= 1099511628211ULL;
+}
+
+std::uint64_t bits(double v) {
+  std::uint64_t out = 0;
+  std::memcpy(&out, &v, sizeof out);
+  return out;
+}
+
+RunResult run_scenario(Scenario scenario) {
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  for (int i = 0; i < 3; ++i) k8s.add_node({});
+
+  sim::Rng root(kSeed);
+  app::Application application(k8s, app::make_teastore(), root.fork(),
+                               /*initial_cores=*/1.0,
+                               /*initial_mem=*/512 * memcg::kMiB);
+  core::EscraSystem escra(simulation, network, k8s, /*global_cpu=*/12.0,
+                          /*global_mem=*/8 * memcg::kGiB);
+  obs::Observer observer;
+  escra.attach_observer(observer);
+  escra.manage(application.containers());
+  escra.start();
+
+  // Declared after the system: destroyed first, detaching its hook.
+  std::optional<ha::HaControlPlane> ha;
+  if (scenario == Scenario::kHaFailover) {
+    ha::HaConfig cfg;
+    cfg.standbys = kStandbys;
+    ha.emplace(escra, network, cfg);
+    ha->start();
+  }
+
+  fault::FaultInjector injector(simulation, network, escra);
+  if (scenario == Scenario::kRestartResync) {
+    injector.inject_controller_crash(kKillAt, kRestartDowntime);
+  } else {
+    injector.inject_leader_kill(kKillAt);
+  }
+
+  workload::LoadGenerator loadgen(
+      simulation, std::make_unique<workload::FixedArrivals>(kRateRps),
+      [&application](workload::LoadGenerator::Done done) {
+        application.submit_request(std::move(done));
+      });
+  loadgen.run(kLoadStart, kLoadEnd);
+
+  RunResult result;
+  const auto& containers = application.containers();
+  simulation.schedule_every(0, kSampleInterval, [&] {
+    double agg = 0.0;
+    for (const cluster::Container* c : containers) {
+      agg += c->cpu_cgroup().limit_cores();
+    }
+    mix(result, bits(agg));
+  });
+
+  simulation.run_until(kRunEnd);
+
+  for (const cluster::Container* c : containers) {
+    result.total_oom_kills += c->oom_kill_count();
+  }
+  result.resyncs = escra.controller().resyncs();
+  if (ha.has_value()) {
+    result.failovers = ha->failovers();
+    result.final_epoch = ha->epoch();
+  }
+  result.recovery_from = scenario == Scenario::kRestartResync
+                             ? kKillAt + kRestartDowntime
+                             : 0;
+
+  const obs::TraceBuffer& trace = observer.trace();
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const obs::TraceEvent& ev = trace.at(i);
+    mix(result, ev.id);
+    mix(result, static_cast<std::uint64_t>(ev.time));
+    mix(result, static_cast<std::uint64_t>(ev.kind));
+    mix(result, ev.container);
+    mix(result, ev.node);
+    mix(result, bits(ev.before));
+    mix(result, bits(ev.after));
+    mix(result, ev.cause);
+    mix(result, static_cast<std::uint64_t>(ev.detail));
+    switch (ev.kind) {
+      case obs::EventKind::kFailStatic:
+        if (ev.detail != 0) ++result.fail_static_entries;
+        break;
+      case obs::EventKind::kEpochFenced:
+        ++result.fenced_updates;
+        break;
+      case obs::EventKind::kLeaderElected:
+        if (result.elected == 0) {
+          result.elected = ev.time;
+          result.recovery_from = ev.time;
+          result.replayed_slots = static_cast<std::uint64_t>(ev.after);
+        }
+        break;
+      case obs::EventKind::kRpcApplied:
+        if (result.first_apply == 0 && result.recovery_from != 0 &&
+            ev.time >= result.recovery_from) {
+          result.first_apply = ev.time;
+        }
+        break;
+      default:
+        break;
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool assert_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--assert") == 0) {
+      assert_mode = true;
+    } else {
+      std::fprintf(stderr, "usage: failover_latency [--assert]\n");
+      return 2;
+    }
+  }
+
+  std::printf("failover_latency: TeaStore, 3 nodes, fixed %g req/s, leader "
+              "killed at %gs\n\n",
+              kRateRps, sim::to_seconds(kKillAt));
+
+  bool ok = true;
+
+  // --- single-controller reference: restart after downtime, then resync ---
+  const RunResult restart = run_scenario(Scenario::kRestartResync);
+  const double restart_blackout =
+      restart.first_apply != 0
+          ? sim::to_seconds(restart.first_apply - kKillAt)
+          : sim::to_seconds(kRunEnd - kKillAt);
+  std::printf("%-16s blackout %6.3f s  (downtime %g s + resync; "
+              "%llu fail-static entries, %llu resyncs, %llu oom-kills)\n",
+              scenario_name(Scenario::kRestartResync), restart_blackout,
+              sim::to_seconds(kRestartDowntime),
+              static_cast<unsigned long long>(restart.fail_static_entries),
+              static_cast<unsigned long long>(restart.resyncs),
+              static_cast<unsigned long long>(restart.total_oom_kills));
+
+  // --- warm-standby failover, run twice for the determinism check ---
+  const RunResult ha = run_scenario(Scenario::kHaFailover);
+  const RunResult ha2 = run_scenario(Scenario::kHaFailover);
+
+  const bool elected = ha.elected != 0;
+  const double detection =
+      elected ? sim::to_seconds(ha.elected - kKillAt) : -1.0;
+  const double mttr = elected && ha.first_apply != 0
+                          ? sim::to_seconds(ha.first_apply - ha.elected)
+                          : -1.0;
+  const double blackout = elected && ha.first_apply != 0
+                              ? sim::to_seconds(ha.first_apply - kKillAt)
+                              : -1.0;
+  std::printf("%-16s blackout %6.3f s  (detection %.1f ms + takeover MTTR "
+              "%.1f ms; %llu slot(s) replayed, epoch -> %llu)\n",
+              scenario_name(Scenario::kHaFailover), blackout,
+              detection * 1e3, mttr * 1e3,
+              static_cast<unsigned long long>(ha.replayed_slots),
+              static_cast<unsigned long long>(ha.final_epoch));
+  std::printf("%-16s %llu fail-static entries, %llu fenced updates, "
+              "%llu resyncs, %llu oom-kills, %llu failover(s)\n", "",
+              static_cast<unsigned long long>(ha.fail_static_entries),
+              static_cast<unsigned long long>(ha.fenced_updates),
+              static_cast<unsigned long long>(ha.resyncs),
+              static_cast<unsigned long long>(ha.total_oom_kills),
+              static_cast<unsigned long long>(ha.failovers));
+
+  if (!elected || ha.failovers != 1) {
+    std::printf("  FAIL: expected exactly one takeover (saw %llu)\n",
+                static_cast<unsigned long long>(ha.failovers));
+    ok = false;
+  }
+  if (mttr < 0.0 || mttr >= sim::to_seconds(kMttrTarget)) {
+    std::printf("  FAIL: takeover-to-first-reallocation MTTR %.3f s not "
+                "under %.1f s\n",
+                mttr, sim::to_seconds(kMttrTarget));
+    ok = false;
+  }
+  if (blackout < 0.0 || blackout >= restart_blackout) {
+    std::printf("  FAIL: HA blackout %.3f s not shorter than the "
+                "restart-resync %.3f s\n",
+                blackout, restart_blackout);
+    ok = false;
+  }
+  if (ha.total_oom_kills != 0) {
+    std::printf("  FAIL: %llu oom-kills during clean failover\n",
+                static_cast<unsigned long long>(ha.total_oom_kills));
+    ok = false;
+  }
+  if (ha.fail_static_entries != 0) {
+    std::printf("  FAIL: %llu fail-static entries — takeover lost the race "
+                "against the agent lease watchdog\n",
+                static_cast<unsigned long long>(ha.fail_static_entries));
+    ok = false;
+  }
+  if (ha.fenced_updates != 0) {
+    std::printf("  FAIL: %llu fenced updates in a clean (non-partitioned) "
+                "failover\n",
+                static_cast<unsigned long long>(ha.fenced_updates));
+    ok = false;
+  }
+  if (ha.digest != ha2.digest) {
+    std::printf("  FAIL: identical-seed HA runs diverged "
+                "(digest %016llx vs %016llx)\n",
+                static_cast<unsigned long long>(ha.digest),
+                static_cast<unsigned long long>(ha2.digest));
+    ok = false;
+  } else {
+    std::printf("%-16s determinism: identical-seed rerun byte-identical "
+                "(digest %016llx)\n", "",
+                static_cast<unsigned long long>(ha.digest));
+  }
+
+  if (assert_mode && !ok) {
+    std::fprintf(stderr, "\nfailover_latency: FAILED\n");
+    return 1;
+  }
+  std::printf("\nfailover_latency: %s\n", ok ? "ok" : "degraded (see above)");
+  return 0;
+}

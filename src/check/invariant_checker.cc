@@ -9,6 +9,7 @@
 #include "cluster/container.h"
 #include "cluster/node.h"
 #include "core/escra.h"
+#include "core/messages.h"
 
 namespace escra::check {
 
@@ -66,6 +67,9 @@ InvariantChecker::InvariantChecker(core::EscraSystem& escra,
   base_fail_static_ = h.fail_static_entries->value();
   base_faults_injected_ = h.faults_injected->value();
   base_faults_cleared_ = h.faults_cleared->value();
+  base_ha_elections_ = h.ha_elections->value();
+  base_ha_fenced_ = h.ha_fenced_updates->value();
+  base_ha_wal_lag_ = h.ha_wal_lag_events->value();
 
   // Network mirrors exist only once Network::attach_metrics has run against
   // this observer's registry; absent counters disable the net check.
@@ -230,6 +234,28 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
           }
         }
       }
+      // Split-brain guard: `detail` carries the applied update sequence,
+      // which packs the issuing controller's epoch in its high bits. Per
+      // slot, applied sequences must strictly increase — an apply at or
+      // below the last one means either a duplicate slipped the agent's
+      // dedup or, worse, a deposed leader landed a limit after its
+      // successor did (two live epochs mutating the same slot).
+      if (ev.detail != 0) {
+        const std::uint64_t seq = static_cast<std::uint64_t>(ev.detail);
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(ev.container) * 2 +
+            (ev.before != 0.0 ? 1 : 0);
+        AppliedSeq& slot = applied_seq_[key];
+        if (slot.seq != 0 && seq <= slot.seq) {
+          add("no-split-brain", ev.container,
+              fmt3("applied seq %.0f (epoch %.0f) not above previous %.0f",
+                   static_cast<double>(seq),
+                   static_cast<double>(core::update_seq_epoch(seq)),
+                   static_cast<double>(slot.seq)));
+        }
+        slot.seq = std::max(slot.seq, seq);
+        slot.node = ev.node;
+      }
       break;
 
     case obs::EventKind::kRetransmit:
@@ -269,6 +295,19 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
       break;
 
     case obs::EventKind::kFaultInjected:
+      // An agent crash (fault kind 2, fault::FaultKind::kAgentCrash) wipes
+      // that node's sequence tables and epoch fence by design, so earlier
+      // sequences may legitimately re-apply there after the restart+resync;
+      // restart the split-brain ratchet for the node's containers.
+      if (ev.detail == 2 && ev.node != 0) {
+        for (auto it = applied_seq_.begin(); it != applied_seq_.end();) {
+          if (it->second.node == ev.node) {
+            it = applied_seq_.erase(it);
+          } else {
+            ++it;
+          }
+        }
+      }
       break;
 
     case obs::EventKind::kFaultCleared:
@@ -301,6 +340,41 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
 
     case obs::EventKind::kContainerKilled:
       cpu_track_.erase(ev.container);
+      applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 2);
+      applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 2 + 1);
+      break;
+
+    case obs::EventKind::kLeaderElected: {
+      const std::uint64_t epoch = static_cast<std::uint64_t>(ev.detail);
+      if (epoch <= last_elected_epoch_) {
+        add("epoch-monotonic", 0,
+            fmt("elected epoch %.0f not above previously elected %.0f",
+                static_cast<double>(epoch),
+                static_cast<double>(last_elected_epoch_)));
+      }
+      if (static_cast<double>(epoch) <= ev.before) {
+        add("epoch-monotonic", 0,
+            fmt("elected epoch %.0f not above deposed epoch %.0f",
+                static_cast<double>(epoch), ev.before));
+      }
+      last_elected_epoch_ = std::max(last_elected_epoch_, epoch);
+      break;
+    }
+
+    case obs::EventKind::kEpochFenced:
+      if (ev.detail <= 0) {
+        add("epoch-monotonic", ev.container,
+            fmt("epoch-fenced event with rejected seq %.0f (want > 0)",
+                static_cast<double>(ev.detail), 0.0));
+      }
+      break;
+
+    case obs::EventKind::kWalLag:
+      if (ev.detail < 1) {
+        add("epoch-monotonic", 0,
+            fmt("wal-lag event with lag %.0f records (want >= 1)",
+                static_cast<double>(ev.detail), 0.0));
+      }
       break;
   }
 }
@@ -504,6 +578,15 @@ void InvariantChecker::check_counters() {
       {"fault.cleared vs fault-cleared events",
        h.faults_cleared->value() - base_faults_cleared_,
        seen(obs::EventKind::kFaultCleared)},
+      {"ha.elections vs leader-elected events",
+       h.ha_elections->value() - base_ha_elections_,
+       seen(obs::EventKind::kLeaderElected)},
+      {"ha.fenced_updates vs epoch-fenced events",
+       h.ha_fenced_updates->value() - base_ha_fenced_,
+       seen(obs::EventKind::kEpochFenced)},
+      {"ha.wal_lag_events vs wal-lag events",
+       h.ha_wal_lag_events->value() - base_ha_wal_lag_,
+       seen(obs::EventKind::kWalLag)},
   };
   for (const Pair& p : pairs) {
     if (p.counter_delta != p.trace_count) {

@@ -44,6 +44,16 @@
 //                              fault injections/clears, ...)
 //     - fault-accounting       fault windows are well-formed (clears never
 //                              outnumber injections)
+//     - no-split-brain         per-(container, resource) applied update
+//                              sequences strictly increase (epoch packed in
+//                              the high bits): two leaders can never both
+//                              land limits on the same slot — the fenced
+//                              epoch's updates are discarded, so divergent
+//                              limits are never applied. Reset per node on
+//                              agent-crash fault windows (a crash clears the
+//                              agent's seq table and fence by design).
+//     - epoch-monotonic        leader elections claim strictly increasing
+//                              epochs; WAL-lag traces carry positive lag
 //     - net-obs-consistency    src/net ChannelStats and the mirrored
 //                              net.<channel>.bytes/messages counters agree
 //     - gauge-*                pool occupancy / active-container gauges
@@ -167,6 +177,20 @@ class InvariantChecker {
   };
   std::unordered_map<std::uint32_t, CpuTrack> cpu_track_;
 
+  // Split-brain detection (controller HA): the newest applied sequence per
+  // (container, resource) slot, from kRpcApplied's detail field. Sequences
+  // pack the controller epoch in the high bits, so "strictly increasing"
+  // simultaneously rules out stale duplicates and any apply from a deposed
+  // (lower) epoch after a higher epoch has landed one. Entries are dropped
+  // for a node when an agent-crash fault window opens there: the crash
+  // legitimately zeroes the agent's own seq table and epoch fence.
+  struct AppliedSeq {
+    std::uint64_t seq = 0;
+    std::uint32_t node = 0;  // trace node tag (node id + 1)
+  };
+  std::unordered_map<std::uint64_t, AppliedSeq> applied_seq_;
+  std::uint64_t last_elected_epoch_ = 0;
+
   // --- counter baselines captured at construction (the checker may attach
   //     to a system that has already been running) ---
   std::uint64_t base_cpu_grants_ = 0;
@@ -186,6 +210,9 @@ class InvariantChecker {
   std::uint64_t base_fail_static_ = 0;
   std::uint64_t base_faults_injected_ = 0;
   std::uint64_t base_faults_cleared_ = 0;
+  std::uint64_t base_ha_elections_ = 0;
+  std::uint64_t base_ha_fenced_ = 0;
+  std::uint64_t base_ha_wal_lag_ = 0;
 
   // net ChannelStats vs obs counter offsets (attach_metrics only mirrors
   // traffic sent after attachment, so the two differ by a constant).

@@ -40,6 +40,10 @@ Agent::Apply Agent::apply_cpu_limit(cluster::ContainerId id, double cores,
   const auto it = managed_.find(id);
   if (it == managed_.end()) return Apply::kRejected;
   Managed& m = it->second;
+  if (seq != 0 && update_seq_epoch(seq) < fenced_epoch_) {
+    record_fenced(id, m.container->cpu_cgroup().limit_cores(), cores, seq);
+    return Apply::kFenced;
+  }
   if (seq != 0 && seq <= m.cpu_seq) {
     record_dup(id, m.container->cpu_cgroup().limit_cores(), cores, seq);
     return Apply::kStale;
@@ -56,6 +60,11 @@ Agent::Apply Agent::apply_mem_limit(cluster::ContainerId id,
   const auto it = managed_.find(id);
   if (it == managed_.end()) return Apply::kRejected;
   Managed& m = it->second;
+  if (seq != 0 && update_seq_epoch(seq) < fenced_epoch_) {
+    record_fenced(id, static_cast<double>(m.container->mem_cgroup().limit()),
+                  static_cast<double>(limit), seq);
+    return Apply::kFenced;
+  }
   if (seq != 0 && seq <= m.mem_seq) {
     record_dup(id, static_cast<double>(m.container->mem_cgroup().limit()),
                static_cast<double>(limit), seq);
@@ -115,7 +124,9 @@ void Agent::crash() {
   if (crashed_) return;
   crashed_ = true;
   fail_static_ = false;
-  // Soft state dies with the process; cgroups persist in the kernel.
+  // Soft state dies with the process; cgroups persist in the kernel. The
+  // epoch fence goes with it — the current leader's resync re-fences.
+  fenced_epoch_ = 0;
   for (auto& [id, m] : managed_) {
     m.cpu_seq = 0;
     m.mem_seq = 0;
@@ -146,6 +157,30 @@ void Agent::enter_fail_static() {
   record_fail_static(true);
 }
 
+void Agent::record_fenced(cluster::ContainerId id, double before,
+                          double offered, std::uint64_t seq) {
+  if (obs_ == nullptr || sim_ == nullptr) return;
+  obs_->h.ha_fenced_updates->inc();
+  obs::TraceEvent ev;
+  ev.time = sim_->now();
+  ev.kind = obs::EventKind::kEpochFenced;
+  ev.container = id;
+  ev.node = node_.id() + 1;
+  ev.before = before;
+  ev.after = offered;
+  ev.detail = static_cast<std::int64_t>(seq);
+  obs_->record(ev);
+}
+
+void Agent::fence_epoch(std::uint64_t epoch) {
+  if (crashed_) return;
+  fenced_epoch_ = std::max(fenced_epoch_, epoch);
+  // The fence broadcast comes from the live (new) leader: it renews the
+  // lease like any other controller contact, so a takeover that beats the
+  // watchdog keeps the node out of fail-static entirely.
+  note_controller_contact();
+}
+
 void Agent::note_controller_contact() {
   if (crashed_ || sim_ == nullptr) return;
   last_contact_ = sim_->now();
@@ -160,6 +195,12 @@ void Agent::send_heartbeat() {
   // The lease watchdog piggybacks on the heartbeat tick: silence past the
   // lease means the Controller (or the path to it) is gone — fall back to
   // fail-static rather than acting on stale intent.
+  //
+  // Boundary contract (strict >): contact delivered at *exactly* the lease
+  // expiry instant still holds the lease — the agent stays live and only
+  // strictly-longer silence trips fail-static. The controller's liveness
+  // sweep uses the same strict comparison, so both sides of the lease agree
+  // on the boundary deterministically.
   if (lease_ > 0 && sim_->now() - last_contact_ > lease_) enter_fail_static();
   if (!heartbeat_sink_) return;
   const cluster::NodeId node = node_.id();

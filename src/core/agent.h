@@ -55,6 +55,7 @@ class Agent {
     kApplied,   // limit written to the cgroup
     kStale,     // duplicate / out-of-date sequence: discarded (idempotent)
     kRejected,  // agent crashed or container unmanaged: no response at all
+    kFenced,    // update from a fenced (deposed) controller epoch: discarded
   };
   // Sequenced applies: `seq` must exceed the newest applied sequence for the
   // (container, resource) pair or the update is discarded as stale. seq 0
@@ -116,6 +117,16 @@ class Agent {
   // the lease.
   void note_controller_contact();
 
+  // --- epoch fencing (controller HA, src/ha) ---
+  // A newly elected leader broadcasts its epoch; from then on any sequenced
+  // update whose packed epoch (seq >> 48) is below the fence is discarded
+  // with Apply::kFenced — a deposed leader (or its in-flight retransmits)
+  // can never move a cgroup after the handoff. The fence only ratchets up.
+  // Like the sequence table, the fence is soft state: a crash clears it and
+  // the new leader's resync re-establishes it.
+  void fence_epoch(std::uint64_t epoch);
+  std::uint64_t fenced_epoch() const { return fenced_epoch_; }
+
   // --- resync snapshot ---
   // The agent's managed-container inventory with last-applied limits,
   // sorted by id (deterministic order for resync replay). The Controller
@@ -144,6 +155,8 @@ class Agent {
   void record_fail_static(bool entered);
   void record_dup(cluster::ContainerId id, double before, double offered,
                   std::uint64_t seq);
+  void record_fenced(cluster::ContainerId id, double before, double offered,
+                     std::uint64_t seq);
 
   cluster::Node& node_;
   std::unordered_map<cluster::ContainerId, Managed> managed_;
@@ -159,6 +172,7 @@ class Agent {
   bool crashed_ = false;
   bool fail_static_ = false;
   std::uint64_t incarnation_ = 1;
+  std::uint64_t fenced_epoch_ = 0;  // min controller epoch still accepted
 };
 
 }  // namespace escra::core

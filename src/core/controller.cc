@@ -84,6 +84,15 @@ void Controller::register_container(cluster::Container& container,
 void Controller::register_impl(cluster::Container& container,
                                cluster::Node& node, double cores,
                                memcg::Bytes mem, RegisterMode mode) {
+  if (crashed_) {
+    // Vacant seat: queue the admission (see deferred_registrations_). The
+    // container runs against its creation-time cgroup limits meanwhile —
+    // unmanaged, exactly like any pod the control plane has not answered
+    // yet.
+    deferred_registrations_.push_back(
+        DeferredRegistration{&container, &node, cores, mem});
+    return;
+  }
   Agent& agent = agent_for(node);
   // Late joiners (e.g. serverless pods created mid-run) receive the
   // configured defaults, clamped to whatever the pool still holds.
@@ -97,20 +106,49 @@ void Controller::register_impl(cluster::Container& container,
     mem = std::min(config_.late_join_mem,
                    std::max<memcg::Bytes>(0, allocator_.app().mem_unallocated()));
   }
+  if (mode != RegisterMode::kBootstrap) {
+    // Recovery registrations re-commit values granted by an earlier seat
+    // (an Agent's fail-static snapshot, or a takeover replica). The pool
+    // those grants came from may have been slimmer than what this seat has
+    // already committed — a stale WAL prefix rebuilds the book at an older,
+    // fatter state, and a later re-adoption of a container that prefix
+    // never saw would push past the global limit. Clamp to what is still
+    // uncommitted: the cgroup keeps the node's fail-static truth, and the
+    // shadow works back up through the normal grant path (handle_oom
+    // widens OOM shortfalls by exactly this shadow/applied divergence).
+    cores = std::min(cores, std::max(0.0, allocator_.app().cpu_unallocated()));
+    mem = std::min(
+        mem, std::max<memcg::Bytes>(0, allocator_.app().mem_unallocated()));
+  }
   allocator_.register_container(container.id(), cores, mem);
   // The pool may have clamped the grant; read back the committed values.
   cores = allocator_.app().member_cores(container.id());
   mem = allocator_.app().member_mem(container.id());
   agent.manage(container);
   registry_[container.id()] = Entry{&container, &agent};
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kRegister;
+    rev.container = container.id();
+    rev.node = node.id();
+    rev.cores = cores;
+    rev.mem = mem;
+    emit_repl(rev);
+  }
 
   if (mode == RegisterMode::kBootstrap) {
     // Registration message on the container's new kernel socket.
     net_.send_to(net::Channel::kRegistration, ep(node.id()),
                  net::kControllerEndpoint, kRegistrationWireBytes, [] {});
-    // Deploy-time bootstrap limits go straight into the cgroups.
+    // Deploy-time bootstrap limits go straight into the cgroups — except
+    // that the memory limit never drops below live usage: a pod that ran
+    // before the control plane answered (admitted during an outage, drained
+    // after recovery) would be OOM-killed by its own admission. The applied
+    // limit stays at usage and the reclamation loop walks it toward the
+    // shadow as usage allows, same as the resync path.
     container.cpu_cgroup().set_limit_cores(cores);
-    container.mem_cgroup().set_limit(mem);
+    container.mem_cgroup().set_limit(
+        std::max(mem, container.mem_cgroup().usage()));
   }
   // Resync mode: the cgroups hold the node's fail-static truth; the shadow
   // registration reflects it and any correction travels as a normal
@@ -180,6 +218,10 @@ void Controller::register_impl(cluster::Container& container,
 }
 
 void Controller::deregister_container(cluster::Container& container) {
+  std::erase_if(deferred_registrations_,
+                [&container](const DeferredRegistration& d) {
+                  return d.container == &container;
+                });
   const auto it = registry_.find(container.id());
   if (it == registry_.end()) return;
   if (obs_ != nullptr) {
@@ -196,6 +238,12 @@ void Controller::deregister_container(cluster::Container& container) {
     obs_->h.deregistrations->inc();
   }
   cancel_pending_for(container.id());
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kDeregister;
+    rev.container = container.id();
+    emit_repl(rev);
+  }
   it->second.agent->unmanage(container.id());
   container.cpu_cgroup().set_period_hook(nullptr);
   container.mem_cgroup().set_oom_hook(nullptr);
@@ -228,6 +276,12 @@ void Controller::deregister_quarantined(cluster::ContainerId id) {
     obs_->h.deregistrations->inc();
   }
   cancel_pending_for(id);
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kDeregister;
+    rev.container = id;
+    emit_repl(rev);
+  }
   allocator_.deregister_container(id);
   registry_.erase(it);
   if (obs_ != nullptr) {
@@ -293,6 +347,11 @@ void Controller::restart() {
   for (const auto& agent : agents_) {
     resync_node(agent->node().id(), *agent);
   }
+  // Admissions queued during the outage. Snapshot responses are still in
+  // flight, so the book may under-count — a resync landing later re-adopts
+  // at a clamped shadow and pushes the corrective shrink, which the
+  // conservation checker covers as in-flight divergence.
+  drain_deferred_registrations();
 }
 
 void Controller::on_cpu_stats(const CpuStatsMsg& stats) {
@@ -373,6 +432,15 @@ void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
     ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
     p.rpc_event = obs_->record(ev);
   }
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kCpuSlot;
+    rev.container = id;
+    rev.node = it->second.agent->node().id();
+    rev.seq = p.seq;
+    rev.cores = cores;
+    emit_repl(rev);
+  }
   send_pending(key);
 }
 
@@ -404,6 +472,16 @@ void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
     ev.cause = ctx.cause;
     ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
     p.rpc_event = obs_->record(ev);
+  }
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kMemSlot;
+    rev.container = id;
+    rev.node = it->second.agent->node().id();
+    rev.seq = p.seq;
+    rev.is_mem = true;
+    rev.mem = limit;
+    emit_repl(rev);
   }
   send_pending(key);
 }
@@ -441,6 +519,10 @@ void Controller::send_pending(std::uint64_t key) {
             is_mem ? agent->apply_mem_limit(id, mem, seq)
                    : agent->apply_cpu_limit(id, cores, seq);
         if (result == Agent::Apply::kRejected) return false;
+        // A fenced update means this epoch has been deposed: the Agent will
+        // not act on it and must not treat it as live-controller contact —
+        // no ack, the slot dies with the old epoch.
+        if (result == Agent::Apply::kFenced) return false;
         agent->note_controller_contact();  // a delivered RPC renews the lease
         if (result == Agent::Apply::kApplied && obs_ != nullptr) {
           const sim::TimePoint apply = sim_.now();
@@ -453,6 +535,10 @@ void Controller::send_pending(std::uint64_t key) {
           ev.before = is_mem ? 1.0 : 0.0;
           ev.after = is_mem ? static_cast<double>(mem) : cores;
           ev.cause = rpc_event;  // the original issue, across retransmits
+          // The applied sequence (epoch in the high 16 bits): the invariant
+          // checker derives the no-split-brain rule — per-(container,
+          // resource) applied sequences strictly increase — from this.
+          ev.detail = static_cast<std::int64_t>(seq);
           obs_->record(ev);
           if (ctx.profile) {
             obs_->profiler().record_loop(ctx.fire, ctx.ingest, ctx.decide,
@@ -476,6 +562,15 @@ void Controller::on_update_ack(std::uint64_t key, std::uint64_t seq,
   const auto it = pending_.find(key);
   if (it == pending_.end() || it->second.seq != seq) return;  // superseded
   sim_.cancel(it->second.timer);
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kAckSlot;
+    rev.container = static_cast<cluster::ContainerId>(key >> 1);
+    rev.node = node;
+    rev.seq = seq;
+    rev.is_mem = it->second.is_mem;
+    emit_repl(rev);
+  }
   pending_.erase(it);
 }
 
@@ -520,10 +615,21 @@ void Controller::on_heartbeat(cluster::NodeId node,
   if (obs_ != nullptr) obs_->h.heartbeats->inc();
   NodeHealth& h = health_[node];
   const bool was_dead = h.dead;
+  const bool first_contact = h.agent_incarnation == 0;
   const bool agent_restarted =
       h.agent_incarnation != 0 && h.agent_incarnation != incarnation;
   h.last_heartbeat = sim_.now();
   h.agent_incarnation = incarnation;
+  // Liveness *transitions* (not every heartbeat) replicate to the standbys:
+  // the incarnation map and dead/alive state are part of the takeover image.
+  if (first_contact || was_dead || agent_restarted) {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kNodeHealth;
+    rev.node = node;
+    rev.agent_incarnation = incarnation;
+    rev.node_dead = false;
+    emit_repl(rev);
+  }
   if (was_dead) {
     h.dead = false;
     sim_.cancel(h.reclaim_timer);  // quarantine lifted
@@ -561,6 +667,14 @@ void Controller::run_liveness_check() {
 
 void Controller::declare_dead(cluster::NodeId node, NodeHealth& health) {
   health.dead = true;
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kNodeHealth;
+    rev.node = node;
+    rev.agent_incarnation = health.agent_incarnation;
+    rev.node_dead = true;
+    emit_repl(rev);
+  }
   if (obs_ != nullptr) {
     obs_->h.nodes_dead->inc();
     obs::TraceEvent ev;
@@ -714,12 +828,11 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
   if (decision.action != ResourceAllocator::MemAction::kGrant) return false;
 
   // Apply synchronously: the charge retries as soon as the hook returns.
-  net_.send_to(net::Channel::kControlRpc, net::kControllerEndpoint, ep(node),
-               kLimitUpdateRpcBytes, [] {});
   container.mem_cgroup().set_limit(decision.new_limit);
   const bool saved =
       container.mem_cgroup().usage() + charge <= decision.new_limit;
   if (saved) ++oom_rescues_;
+  obs::EventId grant_ev = 0;
   if (obs_ != nullptr) {
     if (saved) obs_->h.oom_rescues->inc();
     obs::TraceEvent ev;
@@ -730,9 +843,181 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
     ev.before = static_cast<double>(old_limit);
     ev.after = static_cast<double>(decision.new_limit);
     ev.detail = static_cast<std::int64_t>(shortfall);
-    obs_->record(ev);
+    grant_ev = obs_->record(ev);
   }
+  // The synchronous write rescued the charge, but only an acked, sequence-
+  // numbered desired-state slot survives a controller handoff: route the
+  // grant through the slot machinery so an un-acked grant is replicated and
+  // a new leader replays it. The slot carries the absolute limit, so the
+  // Agent-side re-apply is idempotent — the memcg charge succeeds exactly
+  // once, never doubled by the replay.
+  LoopCtx ctx;
+  ctx.cause = grant_ev;
+  push_mem_limit(container.id(), decision.new_limit, ctx);
   return saved;
+}
+
+std::vector<Controller::TakeoverContainer> Controller::registry_snapshot() {
+  std::vector<TakeoverContainer> out;
+  out.reserve(registry_.size());
+  for (const auto& [id, entry] : registry_) {
+    TakeoverContainer c;
+    c.id = id;
+    c.cores = allocator_.app().member_cores(id);
+    c.mem = allocator_.app().member_mem(id);
+    out.push_back(c);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TakeoverContainer& a, const TakeoverContainer& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+std::vector<Controller::TakeoverSlot> Controller::pending_slots() const {
+  std::vector<TakeoverSlot> out;
+  out.reserve(pending_.size());
+  for (const auto& [key, p] : pending_) {
+    TakeoverSlot s;
+    s.id = static_cast<cluster::ContainerId>(key >> 1);
+    s.is_mem = p.is_mem;
+    s.cores = p.cores;
+    s.mem = p.mem;
+    s.seq = p.seq;
+    out.push_back(s);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TakeoverSlot& a, const TakeoverSlot& b) {
+              return a.id != b.id ? a.id < b.id : a.is_mem < b.is_mem;
+            });
+  return out;
+}
+
+std::vector<Controller::TakeoverNode> Controller::health_snapshot() const {
+  std::vector<TakeoverNode> out;
+  out.reserve(health_.size());
+  for (const auto& [node, h] : health_) {
+    TakeoverNode n;
+    n.node = node;
+    n.agent_incarnation = h.agent_incarnation;
+    n.dead = h.dead;
+    out.push_back(n);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TakeoverNode& a, const TakeoverNode& b) {
+              return a.node < b.node;
+            });
+  return out;
+}
+
+std::vector<Agent*> Controller::agents() {
+  std::vector<Agent*> out;
+  out.reserve(agents_.size());
+  for (const auto& agent : agents_) out.push_back(agent.get());
+  return out;
+}
+
+void Controller::takeover(std::uint64_t epoch,
+                          const std::vector<TakeoverContainer>& containers,
+                          const std::vector<TakeoverSlot>& slots,
+                          const std::vector<TakeoverNode>& nodes,
+                          obs::EventId cause) {
+  // A live (deposed) leader is crashed first by the caller; a dead one is
+  // simply re-seated. Either way the seat starts from the replica, not from
+  // Agent snapshots.
+  crashed_ = false;
+  // Never move the epoch backwards: a plain restart() may have burned
+  // intermediate incarnations this election never observed.
+  incarnation_ = std::max(epoch, incarnation_ + 1);
+  update_seq_ = 0;
+  start();  // agents keep their own loops; Agent::start is a no-op for them
+
+  // Node health first, so registration sees liveness state. Dead nodes
+  // restart their quarantine clock under the new leader — the share is
+  // reclaimed `quarantine_grace` after takeover, not retroactively.
+  for (const TakeoverNode& n : nodes) {
+    NodeHealth& h = health_[n.node];
+    h.last_heartbeat = sim_.now();
+    h.agent_incarnation = n.agent_incarnation;
+    h.dead = n.dead;
+    if (n.dead) {
+      const cluster::NodeId node = n.node;
+      h.reclaim_timer = sim_.schedule_after(
+          config_.quarantine_grace, [this, node] { reclaim_dead_node(node); });
+    }
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kNodeHealth;
+    rev.node = n.node;
+    rev.agent_incarnation = n.agent_incarnation;
+    rev.node_dead = n.dead;
+    emit_repl(rev);
+  }
+
+  // Rebuild the registry and pool book from the replicated shadow limits.
+  // The values were committed against the same pool by the old epoch, so
+  // re-committing them in sorted order reproduces the book exactly — no
+  // cgroup writes, no bootstrap traffic (kTakeover behaves like kResync on
+  // the wire: the node-side state is whatever fail-static preserved).
+  for (const TakeoverContainer& c : containers) {
+    if (c.container == nullptr || c.node == nullptr) continue;
+    if (registry_.contains(c.container->id())) continue;
+    register_impl(*c.container, *c.node, c.cores, c.mem,
+                  RegisterMode::kTakeover);
+  }
+
+  // Replay every still-open desired-state slot with a fresh epoch-packed
+  // sequence: the corrective updates converge any cgroup the old leader's
+  // unacked RPCs left divergent, and their acks close the slots normally.
+  std::vector<cluster::ContainerId> cpu_slotted;
+  for (const TakeoverSlot& s : slots) {
+    if (!registry_.contains(s.id)) continue;
+    if (!s.is_mem) cpu_slotted.push_back(s.id);
+    LoopCtx ctx;
+    ctx.cause = cause;
+    if (s.is_mem) {
+      push_mem_limit(s.id, s.mem, ctx);
+    } else {
+      push_cpu_limit(s.id, s.cores, ctx);
+    }
+  }
+
+  // A node's applied limit may sit above the book this seat just rebuilt:
+  // a WAL record lost in the stream's tail is undetectable (no later record
+  // reveals the gap, and nobody outlived the old leader to resend it), and
+  // such a loss leaves no open slot behind to correct the cgroup it
+  // described. Converge every registered CPU limit the slot replay did not
+  // already cover — idempotent sequences make the already-converged case a
+  // no-op at the node. Memory is left to the reclamation loop, same as the
+  // resync path (shrinking below live usage would manufacture OOMs).
+  std::vector<cluster::ContainerId> registered_ids;
+  registered_ids.reserve(registry_.size());
+  for (const auto& [id, entry] : registry_) registered_ids.push_back(id);
+  std::sort(registered_ids.begin(), registered_ids.end());
+  for (const cluster::ContainerId id : registered_ids) {
+    if (std::binary_search(cpu_slotted.begin(), cpu_slotted.end(), id)) {
+      continue;
+    }
+    LoopCtx ctx;
+    ctx.cause = cause;
+    push_cpu_limit(id, allocator_.app().member_cores(id), ctx);
+  }
+
+  // Admissions queued during the vacancy, answered against the fully
+  // rebuilt book (takeover is synchronous, unlike restart's async resync).
+  drain_deferred_registrations();
+}
+
+void Controller::drain_deferred_registrations() {
+  if (deferred_registrations_.empty()) return;
+  const std::vector<DeferredRegistration> deferred =
+      std::move(deferred_registrations_);
+  deferred_registrations_.clear();
+  for (const DeferredRegistration& d : deferred) {
+    if (d.container == nullptr || d.node == nullptr) continue;
+    if (registry_.contains(d.container->id())) continue;
+    register_impl(*d.container, *d.node, d.cores, d.mem,
+                  RegisterMode::kBootstrap);
+  }
 }
 
 void Controller::record_reclaims(Agent& agent,
@@ -771,6 +1056,11 @@ memcg::Bytes Controller::run_emergency_reclaim() {
                  net::kControllerEndpoint, kReclaimRespBytes, [] {});
     for (const Agent::Resize& resize : result.resizes) {
       allocator_.on_reclaimed(resize.container, resize.new_limit);
+      ReplicationEvent rev;
+      rev.kind = ReplicationEvent::Kind::kMemShadow;
+      rev.container = resize.container;
+      rev.mem = resize.new_limit;
+      emit_repl(rev);
     }
     record_reclaims(*agent, result.resizes);
     psi += result.psi;
@@ -801,6 +1091,11 @@ void Controller::run_periodic_reclaim() {
           if (crashed_) return;
           for (const Agent::Resize& resize : result->resizes) {
             allocator_.on_reclaimed(resize.container, resize.new_limit);
+            ReplicationEvent rev;
+            rev.kind = ReplicationEvent::Kind::kMemShadow;
+            rev.container = resize.container;
+            rev.mem = resize.new_limit;
+            emit_repl(rev);
           }
           record_reclaims(*agent, result->resizes);
           total_reclaimed_ += result->psi;

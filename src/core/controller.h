@@ -72,6 +72,98 @@ class Controller {
   void start();
   void stop();
 
+  // --- warm-standby replication (controller HA, src/ha) ---
+  //
+  // Every durable state change the leader makes — container registration /
+  // deregistration (pool commitments), desired-state slot opens and acks,
+  // shadow-limit moves, node-liveness transitions — is mirrored to an
+  // optional replication hook as a flat record. src/ha turns the stream into
+  // a sequence-numbered WAL shipped to the standbys; core stays ignorant of
+  // the transport.
+  struct ReplicationEvent {
+    enum class Kind {
+      kRegister,    // container joined: committed cores/mem
+      kDeregister,  // container left (deregistered or quarantine-reclaimed)
+      kCpuSlot,     // desired-state CPU slot opened/superseded (seq, cores)
+      kMemSlot,     // desired-state memory slot opened/superseded (seq, mem)
+      kAckSlot,     // slot acked by the Agent (seq closed it)
+      kMemShadow,   // shadow memory limit moved without a slot (reclaim)
+      kNodeHealth,  // node liveness / agent-incarnation transition
+    };
+    Kind kind = Kind::kRegister;
+    cluster::ContainerId container = 0;
+    cluster::NodeId node = 0;
+    std::uint64_t seq = 0;  // slot sequence number (kCpuSlot/kMemSlot/kAckSlot)
+    bool is_mem = false;    // resource of the slot being acked (kAckSlot)
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+    std::uint64_t agent_incarnation = 0;  // kNodeHealth
+    bool node_dead = false;               // kNodeHealth
+  };
+  using ReplicationHook = std::function<void(const ReplicationEvent&)>;
+  void set_replication_hook(ReplicationHook hook) {
+    repl_hook_ = std::move(hook);
+  }
+
+  // Takeover: a standby installs its replicated state into this controller
+  // seat and assumes leadership under `epoch` (strictly above every epoch
+  // this seat has used). Unlike restart(), no snapshot round-trips to the
+  // Agents are needed: the registry, pool commitments and node health are
+  // rebuilt from the replica, and every still-open desired-state slot is
+  // re-issued with a fresh `epoch`-packed sequence — the corrective updates
+  // double as the convergence traffic, so takeover cost is one one-way RPC
+  // per divergent container instead of a full resync. Works on a crashed
+  // seat (leader death) or a live one (a deposed leader being superseded:
+  // crash() first). `cause` threads the kLeaderElected trace event into the
+  // replayed updates' causal chains.
+  struct TakeoverContainer {
+    cluster::ContainerId id = 0;
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+    // Resolved by the caller (the replica carries ids; src/ha resolves them
+    // against the Cluster before installing). Entries with a null pointer —
+    // the container vanished while the replica was in flight — are skipped.
+    cluster::Container* container = nullptr;
+    cluster::Node* node = nullptr;
+  };
+  struct TakeoverSlot {
+    cluster::ContainerId id = 0;
+    bool is_mem = false;
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+    // The slot's current sequence number. Informational for takeover()
+    // (replay always stamps fresh new-epoch sequences); used by src/ha to
+    // seed its book and to model a deposed leader's in-flight retransmits.
+    std::uint64_t seq = 0;
+  };
+  struct TakeoverNode {
+    cluster::NodeId node = 0;
+    std::uint64_t agent_incarnation = 0;
+    bool dead = false;
+  };
+  void takeover(std::uint64_t epoch,
+                const std::vector<TakeoverContainer>& containers,
+                const std::vector<TakeoverSlot>& slots,
+                const std::vector<TakeoverNode>& nodes,
+                obs::EventId cause = 0);
+
+  // Leader-side state snapshots (sorted, deterministic), used by src/ha to
+  // seed the replication book when attaching to a live system.
+  std::vector<TakeoverContainer> registry_snapshot();
+  std::vector<TakeoverSlot> pending_slots() const;
+  std::vector<TakeoverNode> health_snapshot() const;
+  std::vector<Agent*> agents();
+
+  // The controller epoch stamped into update sequence numbers. Advances on
+  // restart (+1), on HA takeover (to the election's epoch), and when the
+  // 48-bit per-epoch sequence counter is about to wrap.
+  std::uint64_t epoch() const { return incarnation_; }
+  // Test hook (satellite: 48-bit wrap guard): plants the per-epoch sequence
+  // counter so tests can drive next_seq() to the wrap boundary cheaply.
+  void set_update_seq_for_test(std::uint64_t counter) {
+    update_seq_ = counter;
+  }
+
   // --- crash / restart (fault injection) ---
   // crash(): the Controller process dies. All soft state — registry, pool
   // commitments, allocator windows, pending retransmits, liveness tracking —
@@ -159,7 +251,7 @@ class Controller {
     sim::EventHandle reclaim_timer;  // quarantine-expiry reclaim
   };
 
-  enum class RegisterMode { kBootstrap, kResync };
+  enum class RegisterMode { kBootstrap, kResync, kTakeover };
   void register_impl(cluster::Container& container, cluster::Node& node,
                      double cores, memcg::Bytes mem, RegisterMode mode);
   void ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
@@ -177,7 +269,19 @@ class Controller {
     return static_cast<std::uint64_t>(id) * 2 + (is_mem ? 1 : 0);
   }
   std::uint64_t next_seq() {
-    return (incarnation_ << 48) | ++update_seq_;
+    // The per-epoch counter lives in the low 48 bits. Rolling it over into
+    // the epoch field would make a later update compare *lower* than an
+    // earlier one and break the Agents' monotonic-seq check, so bump the
+    // epoch and restart the counter just before the wrap instead — packed
+    // comparison stays strictly monotonic across the boundary.
+    if (update_seq_ >= kUpdateSeqMask) {
+      ++incarnation_;
+      update_seq_ = 0;
+    }
+    return pack_update_seq(incarnation_, ++update_seq_);
+  }
+  void emit_repl(const ReplicationEvent& ev) {
+    if (repl_hook_) repl_hook_(ev);
   }
   static net::EndpointId ep(cluster::NodeId node) {
     return static_cast<net::EndpointId>(node);
@@ -195,6 +299,7 @@ class Controller {
   void resync_node(cluster::NodeId node, Agent& agent);
   void apply_resync(cluster::NodeId node, Agent& agent,
                     const std::vector<Agent::SnapshotEntry>& snapshot);
+  void drain_deferred_registrations();
 
   sim::Simulation& sim_;
   net::Network& net_;
@@ -204,6 +309,19 @@ class Controller {
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unordered_map<cluster::NodeId, Agent*> agents_by_node_;
   std::unordered_map<cluster::ContainerId, Entry> registry_;
+  // Pod creations that arrived while the seat was vacant (Controller
+  // crashed, takeover pending). A vacant seat cannot admit — crash()
+  // cleared the pool book, so a grant issued now would be clamped against
+  // an empty pool and overcommit the cluster's fail-static cgroups.
+  // Whichever seat returns (restart or standby takeover) answers them in
+  // arrival order against its rebuilt book.
+  struct DeferredRegistration {
+    cluster::Container* container = nullptr;
+    cluster::Node* node = nullptr;
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+  };
+  std::vector<DeferredRegistration> deferred_registrations_;
   sim::EventHandle reclaim_loop_;
   sim::EventHandle liveness_loop_;
   bool started_ = false;
@@ -212,6 +330,7 @@ class Controller {
   std::uint64_t update_seq_ = 0;
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<cluster::NodeId, NodeHealth> health_;
+  ReplicationHook repl_hook_;
 
   std::uint64_t stats_received_ = 0;
   std::uint64_t limit_updates_ = 0;

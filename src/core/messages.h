@@ -46,6 +46,35 @@ inline constexpr std::size_t kHeartbeatAckWireBytes = 14 + 20 + 32 + 8;
 inline constexpr std::size_t kResyncRpcBytes = 240;
 inline constexpr std::size_t kResyncRespBytes = 320;
 
+// Controller HA (src/ha). One WAL record streamed leader -> standby (kind,
+// epoch, index, container/node, seq, limits), the standby's cumulative-ack
+// frame back, the periodic epoch-lease announcement (which also carries the
+// retransmit cursor exchange), and the new leader's epoch-fence broadcast to
+// the Agents.
+inline constexpr std::size_t kWalRecordWireBytes = 14 + 20 + 32 + 56;
+inline constexpr std::size_t kWalAckWireBytes = 14 + 20 + 32 + 16;
+inline constexpr std::size_t kLeaseAnnounceWireBytes = 14 + 20 + 32 + 24;
+inline constexpr std::size_t kFenceWireBytes = 14 + 20 + 32 + 16;
+
+// Limit-update sequence numbers pack the controller epoch (incarnation) in
+// the high 16 bits and a per-epoch counter in the low 48, so a higher epoch
+// always compares greater and the Agents' monotonic-seq check doubles as
+// epoch fencing. Controller::next_seq wraps the counter by bumping the epoch
+// before it would overflow 48 bits, keeping packed comparison monotonic.
+inline constexpr int kUpdateSeqBits = 48;
+inline constexpr std::uint64_t kUpdateSeqMask =
+    (std::uint64_t{1} << kUpdateSeqBits) - 1;
+constexpr std::uint64_t pack_update_seq(std::uint64_t epoch,
+                                        std::uint64_t counter) {
+  return (epoch << kUpdateSeqBits) | (counter & kUpdateSeqMask);
+}
+constexpr std::uint64_t update_seq_epoch(std::uint64_t seq) {
+  return seq >> kUpdateSeqBits;
+}
+constexpr std::uint64_t update_seq_counter(std::uint64_t seq) {
+  return seq & kUpdateSeqMask;
+}
+
 // The per-period CPU statistic (Section IV-B).
 struct CpuStatsMsg {
   cfs::CgroupId cgroup = 0;

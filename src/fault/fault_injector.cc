@@ -20,8 +20,24 @@ const char* fault_kind_name(FaultKind kind) {
       return "rpc-duplicate";
     case FaultKind::kDelaySpike:
       return "delay-spike";
+    case FaultKind::kLeaderKill:
+      return "leader-kill";
   }
   return "unknown";
+}
+
+FaultInjector::Profile FaultInjector::leader_churn_profile() {
+  Profile p;
+  p.max_faults = 4;
+  p.partition_weight = 0.15;
+  p.agent_crash_weight = 0.10;
+  p.controller_crash_weight = 0.0;  // the HA watchdog owns seat recovery
+  p.rpc_drop_weight = 0.15;
+  p.rpc_duplicate_weight = 0.05;
+  p.delay_spike_weight = 0.05;
+  p.leader_kill_weight = 0.50;
+  p.target_ha_channel = true;
+  return p;
 }
 
 FaultInjector::FaultInjector(sim::Simulation& sim, net::Network& net,
@@ -149,6 +165,17 @@ void FaultInjector::inject_delay_spike(net::Channel channel, double rate,
   });
 }
 
+void FaultInjector::inject_leader_kill(sim::TimePoint start) {
+  sim_.schedule_at(start, [this] {
+    // Record before the crash (same reasoning as controller-crash), and
+    // close the window immediately: the kill is a point event — no restart
+    // follows, recovery belongs to the HA standbys.
+    record(true, FaultKind::kLeaderKill, 0, 0.0, 0);
+    escra_.crash();
+    record(false, FaultKind::kLeaderKill, 0, 0.0, 0);
+  });
+}
+
 void FaultInjector::schedule_random(sim::Rng& rng, sim::TimePoint end,
                                     const Profile& profile, int node_count) {
   const sim::TimePoint now = sim_.now();
@@ -157,13 +184,16 @@ void FaultInjector::schedule_random(sim::Rng& rng, sim::TimePoint end,
   const double total_weight =
       profile.partition_weight + profile.agent_crash_weight +
       profile.controller_crash_weight + profile.rpc_drop_weight +
-      profile.rpc_duplicate_weight + profile.delay_spike_weight;
+      profile.rpc_duplicate_weight + profile.delay_spike_weight +
+      profile.leader_kill_weight;
   // The channels a probabilistic fault can target. kRegistration is spared:
   // registration is modelled as fire-and-forget bootstrap, with no retry
-  // path to exercise.
-  static constexpr net::Channel kFaultChannels[3] = {
+  // path to exercise. The HA replication channel joins the draw only when
+  // the profile opts in (keeps legacy seed streams byte-identical).
+  static constexpr net::Channel kFaultChannels[4] = {
       net::Channel::kControlRpc, net::Channel::kCpuTelemetry,
-      net::Channel::kMemoryEvent};
+      net::Channel::kMemoryEvent, net::Channel::kHaReplication};
+  const std::int64_t channel_max = profile.target_ha_channel ? 3 : 2;
 
   for (int i = 0; i < count; ++i) {
     // Fixed draw count per fault, independent of the kind selected.
@@ -176,7 +206,7 @@ void FaultInjector::schedule_random(sim::Rng& rng, sim::TimePoint end,
     const sim::Duration spike =
         rng.uniform_int(profile.min_spike, profile.max_spike);
     const net::Channel channel =
-        kFaultChannels[rng.uniform_int(0, 2)];
+        kFaultChannels[rng.uniform_int(0, channel_max)];
     // Clamp the window so recovery fits before `end`.
     const sim::TimePoint latest_start =
         end - duration - profile.recovery_margin;
@@ -208,7 +238,12 @@ void FaultInjector::schedule_random(sim::Rng& rng, sim::TimePoint end,
       inject_rpc_duplicate(channel, rate, start, duration);
       continue;
     }
-    inject_delay_spike(channel, rate, spike, start, duration);
+    edge += profile.delay_spike_weight;
+    if (kind_draw < edge) {
+      inject_delay_spike(channel, rate, spike, start, duration);
+      continue;
+    }
+    inject_leader_kill(start);
   }
 }
 

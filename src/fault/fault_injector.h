@@ -34,6 +34,8 @@ enum class FaultKind : int {
   kRpcDrop = 4,          // per-channel probabilistic message loss
   kRpcDuplicate = 5,     // per-channel probabilistic duplicate delivery
   kDelaySpike = 6,       // per-channel probabilistic extra latency
+  kLeaderKill = 7,       // Controller dies with NO restart: recovery is the
+                         // HA standbys' takeover (src/ha), not a resync
 };
 
 const char* fault_kind_name(FaultKind kind);
@@ -72,6 +74,12 @@ class FaultInjector {
   void inject_delay_spike(net::Channel channel, double rate,
                           sim::Duration extra, sim::TimePoint start,
                           sim::Duration duration);
+  // Kills the Controller permanently — no restart is scheduled. Only
+  // meaningful when an ha::HaControlPlane shadows the system: a standby's
+  // lease watchdog detects the silence and takes the seat over. The kill is
+  // recorded as an instantaneous fault window (injected and cleared at the
+  // kill instant); the recovery itself is traced by kLeaderElected.
+  void inject_leader_kill(sim::TimePoint start);
 
   // --- seed-driven schedules ---
 
@@ -95,10 +103,25 @@ class FaultInjector {
     // Delay-spike extra latency range.
     sim::Duration min_spike = sim::milliseconds(1);
     sim::Duration max_spike = sim::milliseconds(20);
+    // Weight of permanent leader kills (kLeaderKill). Zero by default: the
+    // fault only makes sense with a warm-standby pool attached, and keeping
+    // it out of the draw preserves existing seed streams.
+    double leader_kill_weight = 0.0;
+    // Widens the probabilistic-fault channel draw to include the HA
+    // replication channel (WAL stream / lease announcements), so drop and
+    // delay faults can starve the standbys' view of the lease.
+    bool target_ha_channel = false;
     // Faults are clamped to end at least this long before `end`, so every
     // run includes a recovery window the checker can hold to account.
     sim::Duration recovery_margin = sim::seconds(1);
   };
+
+  // Profile for hammering the replicated-controller path: leader kills
+  // dominate, plain controller crash/restart is disabled (a restart's
+  // epoch bump would race the standbys' elections for the same seat — the
+  // HA watchdog owns recovery here), and probabilistic faults may target
+  // the HA replication channel.
+  static Profile leader_churn_profile();
 
   // Draws a deterministic fault script from `rng` over [sim.now(), end) and
   // schedules it. The number of RNG draws per fault is fixed regardless of

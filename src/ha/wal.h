@@ -1,0 +1,161 @@
+// Decision/state WAL for the replicated controller (src/ha).
+//
+// The active leader turns every durable state change the Controller makes —
+// container registration/deregistration (pool commitments), desired-state
+// slot opens and acks, shadow-limit moves, node-liveness transitions — into
+// a flat, sequence-numbered record. The log index is globally monotonic
+// across epochs; a kEpochStart record marks each leadership handoff and
+// resets the replica state it governs, so replay is a pure left fold:
+// applying records [0..n) in index order always produces the same replica,
+// regardless of which leader wrote which prefix (deterministic WAL replay).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "cluster/container.h"
+#include "cluster/node.h"
+#include "memcg/mem_cgroup.h"
+
+namespace escra::ha {
+
+enum class WalKind : std::uint8_t {
+  kEpochStart,  // new leadership epoch: replica state resets, then rebuilds
+  kRegister,    // container joined: committed cores/mem on a node
+  kDeregister,  // container left (deregistered or quarantine-reclaimed)
+  kCpuSlot,     // desired-state CPU slot opened/superseded (seq, cores)
+  kMemSlot,     // desired-state memory slot opened/superseded (seq, bytes)
+  kAckSlot,     // slot closed by the Agent's ack (seq identifies it)
+  kMemShadow,   // shadow memory limit moved without a slot (reclaim sweep)
+  kNodeHealth,  // node liveness / agent-incarnation transition
+};
+
+struct WalRecord {
+  WalKind kind = WalKind::kEpochStart;
+  std::uint64_t epoch = 0;  // leader epoch that wrote the record
+  std::uint64_t index = 0;  // position in the log (assigned by append)
+  cluster::ContainerId container = 0;
+  cluster::NodeId node = 0;
+  std::uint64_t seq = 0;  // slot sequence (kCpuSlot/kMemSlot/kAckSlot)
+  bool is_mem = false;    // resource of the slot being acked (kAckSlot)
+  double cores = 0.0;
+  memcg::Bytes mem = 0;
+  std::uint64_t agent_incarnation = 0;  // kNodeHealth
+  bool node_dead = false;               // kNodeHealth
+};
+
+// The leader's in-memory log. Indices never reset (standby cursors stay
+// valid across epochs); the prefix every standby has acked is trimmed.
+class WalLog {
+ public:
+  // Assigns the next index, retains the record, returns its index.
+  std::uint64_t append(WalRecord record) {
+    record.index = next_index_;
+    records_.push_back(record);
+    return next_index_++;
+  }
+
+  // First retained index / one past the last written index.
+  std::uint64_t base() const { return next_index_ - records_.size(); }
+  std::uint64_t next_index() const { return next_index_; }
+  std::size_t retained() const { return records_.size(); }
+
+  // Record at `index`; must be in [base, next_index).
+  const WalRecord& at(std::uint64_t index) const {
+    return records_[index - base()];
+  }
+
+  // Drops every record below `index` (all-standby-acked prefix).
+  void trim_to(std::uint64_t index) {
+    while (!records_.empty() && records_.front().index < index) {
+      records_.pop_front();
+    }
+  }
+
+ private:
+  std::deque<WalRecord> records_;
+  std::uint64_t next_index_ = 0;
+};
+
+// The state a WAL prefix folds to: what a standby needs to seat a new
+// leader without resyncing the Agents. Held identically by the leader (its
+// "book", fed directly by the replication hook) and by every standby (fed
+// by the delivered stream), so takeover state equals leader state as of the
+// last applied record.
+struct ReplicaState {
+  struct ContainerState {
+    double cores = 0.0;    // current shadow CPU commitment
+    memcg::Bytes mem = 0;  // current shadow memory commitment
+    cluster::NodeId node = 0;
+  };
+  struct SlotState {
+    std::uint64_t seq = 0;
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+  };
+  struct NodeState {
+    std::uint64_t agent_incarnation = 0;
+    bool dead = false;
+  };
+
+  // std::map: deterministic iteration order for takeover replay.
+  std::map<cluster::ContainerId, ContainerState> containers;
+  std::map<std::uint64_t, SlotState> slots;  // key = container*2 + is_mem
+  std::map<cluster::NodeId, NodeState> nodes;
+  std::uint64_t epoch = 0;
+
+  static std::uint64_t slot_key(cluster::ContainerId id, bool is_mem) {
+    return static_cast<std::uint64_t>(id) * 2 + (is_mem ? 1 : 0);
+  }
+
+  void apply(const WalRecord& r) {
+    switch (r.kind) {
+      case WalKind::kEpochStart:
+        // The new leader re-registers everything through its replication
+        // hook right after this record; the replica rebuilds from that.
+        containers.clear();
+        slots.clear();
+        nodes.clear();
+        epoch = r.epoch;
+        break;
+      case WalKind::kRegister:
+        containers[r.container] = ContainerState{r.cores, r.mem, r.node};
+        break;
+      case WalKind::kDeregister:
+        containers.erase(r.container);
+        slots.erase(slot_key(r.container, false));
+        slots.erase(slot_key(r.container, true));
+        break;
+      case WalKind::kCpuSlot: {
+        slots[slot_key(r.container, false)] = SlotState{r.seq, r.cores, 0};
+        const auto it = containers.find(r.container);
+        if (it != containers.end()) it->second.cores = r.cores;
+        break;
+      }
+      case WalKind::kMemSlot: {
+        slots[slot_key(r.container, true)] = SlotState{r.seq, 0.0, r.mem};
+        const auto it = containers.find(r.container);
+        if (it != containers.end()) it->second.mem = r.mem;
+        break;
+      }
+      case WalKind::kAckSlot: {
+        const auto it = slots.find(slot_key(r.container, r.is_mem));
+        // A newer (superseding) slot under the same key stays open: only
+        // the ack for the newest sequence closes it.
+        if (it != slots.end() && it->second.seq == r.seq) slots.erase(it);
+        break;
+      }
+      case WalKind::kMemShadow: {
+        const auto it = containers.find(r.container);
+        if (it != containers.end()) it->second.mem = r.mem;
+        break;
+      }
+      case WalKind::kNodeHealth:
+        nodes[r.node] = NodeState{r.agent_incarnation, r.node_dead};
+        break;
+    }
+  }
+};
+
+}  // namespace escra::ha

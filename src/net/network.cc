@@ -15,6 +15,7 @@ const char* channel_name(Channel c) {
     case Channel::kMemoryEvent: return "memory-event";
     case Channel::kControlRpc: return "control-rpc";
     case Channel::kRegistration: return "registration";
+    case Channel::kHaReplication: return "ha-replication";
   }
   return "unknown";
 }
@@ -29,6 +30,7 @@ sim::Duration Network::latency_for(Channel channel) const {
     case Channel::kMemoryEvent:
     case Channel::kControlRpc:
     case Channel::kRegistration:
+    case Channel::kHaReplication:
       return config_.rpc_latency;
   }
   return config_.rpc_latency;

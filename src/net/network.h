@@ -34,16 +34,17 @@ namespace escra::net {
 
 // Logical traffic classes, matching the paper's transports.
 enum class Channel {
-  kCpuTelemetry,   // per-period CFS stats, UDP in the paper
-  kMemoryEvent,    // OOM events / memory requests, kernel TCP socket
-  kControlRpc,     // Controller <-> Agent gRPC (limit updates, reclamation)
-  kRegistration,   // container registration at deploy time
+  kCpuTelemetry,    // per-period CFS stats, UDP in the paper
+  kMemoryEvent,     // OOM events / memory requests, kernel TCP socket
+  kControlRpc,      // Controller <-> Agent gRPC (limit updates, reclamation)
+  kRegistration,    // container registration at deploy time
+  kHaReplication,   // leader -> standby WAL stream + lease announcements
 };
 
-inline constexpr int kChannelCount = 4;
+inline constexpr int kChannelCount = 5;
 inline constexpr Channel kAllChannels[kChannelCount] = {
     Channel::kCpuTelemetry, Channel::kMemoryEvent, Channel::kControlRpc,
-    Channel::kRegistration};
+    Channel::kRegistration, Channel::kHaReplication};
 
 const char* channel_name(Channel c);
 
@@ -54,6 +55,13 @@ const char* channel_name(Channel c);
 using EndpointId = std::int32_t;
 inline constexpr EndpointId kControllerEndpoint = -1;
 inline constexpr EndpointId kUnroutedEndpoint = -2;
+// Warm-standby controller replicas: standby k (by creation order) answers at
+// kStandbyEndpointBase - k, keeping the whole negative standby range clear of
+// node ids (>= 0) and the reserved addresses above.
+inline constexpr EndpointId kStandbyEndpointBase = -16;
+inline constexpr EndpointId standby_endpoint(int standby_index) {
+  return kStandbyEndpointBase - standby_index;
+}
 
 // Counters for one traffic class.
 struct ChannelStats {

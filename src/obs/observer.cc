@@ -39,6 +39,12 @@ Observer::Observer(Config config) : trace_(config.trace_capacity) {
   h.fail_static_entries = &metrics_.counter("agent.fail_static_entries");
   h.faults_injected = &metrics_.counter("fault.injected");
   h.faults_cleared = &metrics_.counter("fault.cleared");
+
+  h.ha_wal_appends = &metrics_.counter("ha.wal_appends");
+  h.ha_elections = &metrics_.counter("ha.elections");
+  h.ha_fenced_updates = &metrics_.counter("ha.fenced_updates");
+  h.ha_wal_lag_events = &metrics_.counter("ha.wal_lag_events");
+  h.ha_epoch = &metrics_.gauge("ha.epoch");
 }
 
 }  // namespace escra::obs

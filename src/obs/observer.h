@@ -96,6 +96,13 @@ class Observer {
     Counter* fail_static_entries = nullptr;  // agent.fail_static_entries
     Counter* faults_injected = nullptr;      // fault.injected
     Counter* faults_cleared = nullptr;       // fault.cleared
+
+    // Controller HA (warm-standby replication, src/ha).
+    Counter* ha_wal_appends = nullptr;    // ha.wal_appends
+    Counter* ha_elections = nullptr;      // ha.elections
+    Counter* ha_fenced_updates = nullptr; // ha.fenced_updates
+    Counter* ha_wal_lag_events = nullptr; // ha.wal_lag_events
+    Gauge* ha_epoch = nullptr;            // ha.epoch (current leader epoch)
   };
   Handles h;
 

@@ -17,6 +17,8 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "resync",               "fail-static",
     "node-dead",            "node-alive",
     "fault-injected",       "fault-cleared",
+    "leader-elected",       "epoch-fenced",
+    "wal-lag",
 };
 
 void append_double(std::string& out, double v) {

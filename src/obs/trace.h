@@ -52,8 +52,15 @@ enum class EventKind : std::uint8_t {
   kNodeAlive,            // a dead node's heartbeats resumed
   kFaultInjected,        // FaultInjector opened a fault window (detail = kind)
   kFaultCleared,         // FaultInjector closed a fault window (detail = kind)
+  // Controller HA (warm-standby replication, src/ha).
+  kLeaderElected,        // a standby took over leadership (detail = new epoch,
+                         // before = old epoch, after = replayed WAL slots)
+  kEpochFenced,          // Agent rejected an update from a fenced (deposed)
+                         // epoch (detail = rejected seq)
+  kWalLag,               // a standby's acked WAL cursor fell behind the
+                         // leader's log (detail = lag in records)
 };
-inline constexpr int kEventKindCount = 17;
+inline constexpr int kEventKindCount = 20;
 
 const char* event_kind_name(EventKind kind);
 std::optional<EventKind> event_kind_from_name(std::string_view name);

@@ -17,6 +17,15 @@
 //                         the faults. Fault draws are appended after all
 //                         scenario draws, so a seed's scenario is identical
 //                         with and without this flag.
+//     --standbys N        attach a warm-standby replicated controller (N
+//                         standbys) to tenant 0 of every scenario
+//     --leader-churn      use the leader-churn fault profile instead of the
+//                         default: permanent leader kills dominate and
+//                         probabilistic faults may hit the HA replication
+//                         channel (implies --fault-profile; requires
+//                         --standbys >= 1). Like --fault-profile, the
+//                         scenario draws are unchanged, so a seed's scenario
+//                         is identical with and without this flag.
 //     --force-overgrant   plant a violation: mid-run, set one container's
 //                         CPU cgroup directly past the global limit,
 //                         bypassing the allocator (checker must catch it)
@@ -63,6 +72,7 @@
 #include "cluster/cluster.h"
 #include "core/escra.h"
 #include "fault/fault_injector.h"
+#include "ha/ha_control_plane.h"
 #include "net/network.h"
 #include "obs/observer.h"
 #include "sim/rng.h"
@@ -79,6 +89,8 @@ struct Options {
   std::size_t trace_tail = 200;
   std::string repro_out;
   bool fault_profile = false;
+  int standbys = 0;
+  bool leader_churn = false;
   bool force_overgrant = false;
   bool rss_check = false;
   bool quiet = false;
@@ -88,7 +100,8 @@ void usage() {
   std::fprintf(stderr,
                "usage: escra-fuzz [--runs N] [--seed S] [--jobs N]\n"
                "                  [--trace-tail N] [--repro-out FILE]\n"
-               "                  [--fault-profile] [--force-overgrant]\n"
+               "                  [--fault-profile] [--standbys N]\n"
+               "                  [--leader-churn] [--force-overgrant]\n"
                "                  [--rss-check] [--quiet]\n");
 }
 
@@ -129,6 +142,11 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (flag == "--repro-out") {
       opts.repro_out = next();
     } else if (flag == "--fault-profile") {
+      opts.fault_profile = true;
+    } else if (flag == "--standbys") {
+      opts.standbys = static_cast<int>(parse_u64(flag, next()));
+    } else if (flag == "--leader-churn") {
+      opts.leader_churn = true;
       opts.fault_profile = true;
     } else if (flag == "--force-overgrant") {
       opts.force_overgrant = true;
@@ -180,6 +198,10 @@ struct Scenario {
   // Overlay a seed-derived fault schedule (set from --fault-profile, not
   // drawn: a seed's scenario is byte-identical with and without faults).
   bool fault_profile = false;
+  // Warm-standby replicated controller on tenant 0 (set from --standbys /
+  // --leader-churn after generation, for the same reason).
+  int standbys = 0;
+  bool leader_churn = false;
   std::vector<TenantPlan> tenants;
 };
 
@@ -253,6 +275,10 @@ std::string to_json(const Scenario& s) {
   out += ", ";
   out += s.fault_profile ? "\"fault_profile\": true"
                          : "\"fault_profile\": false";
+  std::snprintf(buf, sizeof(buf), ", \"standbys\": %d, ", s.standbys);
+  out += buf;
+  out += s.leader_churn ? "\"leader_churn\": true"
+                        : "\"leader_churn\": false";
   out += ",\n  \"tenants\": [";
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
     const TenantPlan& tp = s.tenants[t];
@@ -480,6 +506,18 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     tenants.push_back(std::move(tenant));
   }
 
+  // Warm-standby replicated controller on tenant 0, constructed after its
+  // system started (the bootstrap snapshot then covers every registered
+  // container) and declared after the tenants so it is destroyed first —
+  // its destructor detaches the replication hook.
+  std::optional<ha::HaControlPlane> ha;
+  if (s.standbys > 0) {
+    ha::HaConfig ha_cfg;
+    ha_cfg.standbys = s.standbys;
+    ha.emplace(*tenants.front().escra, network, ha_cfg);
+    ha->start();
+  }
+
   // Fault overlay: a deterministic schedule drawn from a seed-derived rng
   // *after* all scenario draws (a dedicated stream, so scenarios stay
   // byte-identical without it). Partitions act network-wide; crash faults
@@ -490,7 +528,10 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     injector.emplace(simulation, network, *tenants.front().escra);
     sim::Rng fault_rng(s.seed ^ 0xfa017a5c4ed01eULL);
     injector->schedule_random(fault_rng, end,
-                              fault::FaultInjector::Profile{}, s.nodes);
+                              s.leader_churn
+                                  ? fault::FaultInjector::leader_churn_profile()
+                                  : fault::FaultInjector::Profile{},
+                              s.nodes);
   }
 
   if (force_overgrant) {
@@ -529,10 +570,16 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     outcome.failure_text += to_json(s);
     outcome.failure_text +=
         trace_tail_to_string(tenants.front().observer->trace(), trace_tail);
+    char standby_flags[48] = "";
+    if (s.standbys > 0) {
+      std::snprintf(standby_flags, sizeof(standby_flags), " --standbys %d%s",
+                    s.standbys, s.leader_churn ? " --leader-churn" : "");
+    }
     std::snprintf(buf, sizeof(buf),
-                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s\n",
-                  s.seed, s.fault_profile ? " --fault-profile" : "",
-                  force_overgrant ? " --force-overgrant" : "");
+                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s\n",
+                  s.seed,
+                  s.fault_profile && !s.leader_churn ? " --fault-profile" : "",
+                  standby_flags, force_overgrant ? " --force-overgrant" : "");
     outcome.failure_text += buf;
   }
   return outcome;
@@ -564,11 +611,20 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (opts.leader_churn && opts.standbys < 1) {
+    std::fprintf(stderr,
+                 "error: --leader-churn requires --standbys >= 1 (a killed "
+                 "leader never restarts; only a standby takes the seat)\n");
+    return 2;
+  }
+
   if (!opts.repro_out.empty()) {
     // The first run's scenario is written up front (generation is a pure
     // function of the seed, so no need to wait for the run itself).
     Scenario scenario = generate(opts.seed);
     scenario.fault_profile = opts.fault_profile;
+    scenario.standbys = opts.standbys;
+    scenario.leader_churn = opts.leader_churn;
     std::ofstream out(opts.repro_out);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", opts.repro_out.c_str());
@@ -591,6 +647,8 @@ int main(int argc, char** argv) {
       sweep::parallel_map<RunOutcome>(opts.runs, jobs, [&](std::size_t i) {
         Scenario scenario = generate(opts.seed + i);  // wrapping is fine
         scenario.fault_profile = opts.fault_profile;
+        scenario.standbys = opts.standbys;
+        scenario.leader_churn = opts.leader_churn;
         RunOutcome outcome =
             run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
         if (opts.rss_check && i + 1 == kRssWarmupRuns) {
@@ -619,6 +677,8 @@ int main(int argc, char** argv) {
         if (out) {
           Scenario scenario = generate(opts.seed + i);
           scenario.fault_profile = opts.fault_profile;
+          scenario.standbys = opts.standbys;
+          scenario.leader_churn = opts.leader_churn;
           out << to_json(scenario);
           wrote_violation_repro = true;
           std::fprintf(stderr,

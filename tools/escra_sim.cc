@@ -25,6 +25,11 @@
 //     --agent-crash NODE:T                 crash node NODE's Agent at T s;
 //                                          it restarts after 2 s downtime
 //                                          (repeatable)
+//     --standbys N                         attach a warm-standby replicated
+//                                          controller pool of N standbys
+//     --leader-kill T                      kill the controller permanently
+//                                          at T s — a standby takes over
+//                                          (requires --standbys >= 1)
 //
 // Loads the application (services, edges, Distributed Container limits, and
 // Escra tunables) from the YAML file, deploys it on a simulated cluster
@@ -49,6 +54,7 @@
 #include "core/escra.h"
 #include "exp/microservice.h"
 #include "fault/fault_injector.h"
+#include "ha/ha_control_plane.h"
 #include "net/network.h"
 #include "obs/observer.h"
 #include "sim/rng.h"
@@ -92,9 +98,12 @@ struct Options {
   double rpc_loss = 0.0;  // --rpc-loss: uniform control-plane message loss
   std::vector<PartitionSpec> partitions;
   std::vector<AgentCrashSpec> agent_crashes;
+  int standbys = 0;           // --standbys: warm-standby controller pool size
+  double leader_kill_s = -1.0;  // --leader-kill: permanent kill time (s)
 
   bool has_faults() const {
-    return rpc_loss > 0.0 || !partitions.empty() || !agent_crashes.empty();
+    return rpc_loss > 0.0 || !partitions.empty() || !agent_crashes.empty() ||
+           leader_kill_s >= 0.0;
   }
 };
 
@@ -107,7 +116,8 @@ void usage() {
                "                 [--nodes N] [--cores C] [--csv PATH]\n"
                "                 [--metrics-out PATH] [--trace-out PATH]\n"
                "                 [--rpc-loss R] [--partition NODE:START:DUR]\n"
-               "                 [--agent-crash NODE:T]\n"
+               "                 [--agent-crash NODE:T] [--standbys N]\n"
+               "                 [--leader-kill T]\n"
                "(--rate, --csv, --metrics-out, --trace-out and the fault "
                "flags apply to the default escra policy run only;\n"
                " --partition/--agent-crash are repeatable, times in seconds; "
@@ -235,6 +245,13 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.partitions.push_back(parse_partition(flag, next()));
     } else if (flag == "--agent-crash") {
       opts.agent_crashes.push_back(parse_agent_crash(flag, next()));
+    } else if (flag == "--standbys") {
+      opts.standbys = static_cast<int>(parse_u64(flag, next()));
+    } else if (flag == "--leader-kill") {
+      opts.leader_kill_s = parse_double(flag, next());
+      if (opts.leader_kill_s < 0.0) {
+        throw std::runtime_error("--leader-kill expects T >= 0");
+      }
     } else {
       throw std::runtime_error("unknown flag " + flag);
     }
@@ -303,10 +320,10 @@ int main(int argc, char** argv) {
               opts.workload.c_str(), opts.policy.c_str(), opts.duration_s);
 
   if (opts.policy != "escra") {
-    if (opts.has_faults()) {
+    if (opts.has_faults() || opts.standbys > 0) {
       std::fprintf(stderr,
-                   "error: --rpc-loss/--partition/--agent-crash require the "
-                   "escra policy\n");
+                   "error: --rpc-loss/--partition/--agent-crash/--standbys/"
+                   "--leader-kill require the escra policy\n");
       return 2;
     }
     // Baseline runs go through the experiment harness (which profiles the
@@ -386,8 +403,28 @@ int main(int argc, char** argv) {
     observer->metrics().start_periodic_snapshots(simulation, sim::kSecond);
   }
 
+  if (opts.leader_kill_s >= 0.0 && opts.standbys < 1) {
+    std::fprintf(stderr,
+                 "error: --leader-kill requires --standbys >= 1 (nothing "
+                 "would ever take the seat back)\n");
+    return 2;
+  }
+
   escra.manage(application.containers());
   escra.start();
+
+  // Warm-standby replicated controller: constructed after manage() so the
+  // bootstrap snapshot covers every registered container, destroyed before
+  // the system (it detaches its replication hook).
+  std::optional<ha::HaControlPlane> ha;
+  if (opts.standbys > 0) {
+    ha::HaConfig ha_cfg;
+    ha_cfg.standbys = opts.standbys;
+    ha.emplace(escra, network, ha_cfg);
+    ha->start();
+    std::printf("ha: %d warm standby(ies), lease %.0f ms\n", opts.standbys,
+                sim::to_seconds(ha_cfg.lease_timeout) * 1e3);
+  }
 
   // Scripted fault injection (escra policy only). The fault RNG is forked
   // from the run seed so faulted runs replay bit-for-bit.
@@ -423,9 +460,14 @@ int main(int argc, char** argv) {
       injector->inject_agent_crash(c.node, sim::seconds_f(c.time_s),
                                    kAgentCrashDowntime);
     }
-    std::printf("faults: rpc-loss %.2f, %zu partition(s), %zu agent crash(es)\n",
+    if (opts.leader_kill_s >= 0.0) {
+      injector->inject_leader_kill(sim::seconds_f(opts.leader_kill_s));
+    }
+    std::printf("faults: rpc-loss %.2f, %zu partition(s), %zu agent crash(es)"
+                "%s\n",
                 opts.rpc_loss, opts.partitions.size(),
-                opts.agent_crashes.size());
+                opts.agent_crashes.size(),
+                opts.leader_kill_s >= 0.0 ? ", 1 leader kill" : "");
   }
 
   const sim::TimePoint load_start = sim::seconds(10);  // startup burn first
@@ -510,6 +552,14 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     escra.controller().retransmits()),
                 static_cast<unsigned long long>(escra.controller().resyncs()));
+  }
+  if (ha.has_value()) {
+    std::printf("  ha             epoch %llu, %llu failover(s), "
+                "%llu WAL appends, %d standby(ies) warm\n",
+                static_cast<unsigned long long>(ha->epoch()),
+                static_cast<unsigned long long>(ha->failovers()),
+                static_cast<unsigned long long>(ha->wal_appends()),
+                ha->standby_count());
   }
   if (!opts.csv_path.empty()) {
     std::printf("  time series    %s\n", opts.csv_path.c_str());

@@ -82,6 +82,18 @@ void format_limits(const obs::TraceEvent& ev, char* buf, std::size_t len) {
     case obs::EventKind::kFaultCleared:
       std::snprintf(buf, len, "rate %.2f, %.3fs window", ev.before, ev.after);
       break;
+    case obs::EventKind::kLeaderElected:
+      std::snprintf(buf, len, "epoch %.0f -> %lld, %.0f slots replayed",
+                    ev.before, static_cast<long long>(ev.detail), ev.after);
+      break;
+    case obs::EventKind::kEpochFenced:
+      std::snprintf(buf, len, "kept %.3f, fenced seq %lld", ev.before,
+                    static_cast<long long>(ev.detail));
+      break;
+    case obs::EventKind::kWalLag:
+      std::snprintf(buf, len, "lag %lld records",
+                    static_cast<long long>(ev.detail));
+      break;
   }
 }
 
@@ -106,6 +118,7 @@ const char* fault_detail_name(std::int64_t kind) {
     case 4: return "rpc-drop";
     case 5: return "rpc-duplicate";
     case 6: return "delay-spike";
+    case 7: return "leader-kill";
     default: return "unknown";
   }
 }
@@ -117,25 +130,83 @@ struct FaultWindow {
   const obs::TraceEvent* cleared = nullptr;
 };
 
+// Recovery traffic attributed to one controller incarnation. A trace that
+// spans failovers must not smear one epoch's degradation over another: "12
+// retransmits" means something different when 11 of them happened under the
+// deposed leader. Segments are delimited by kLeaderElected events; the
+// first segment's epoch is back-filled from the first election's
+// `before` field (or stays 0, displayed as the initial incarnation, when
+// the trace saw no election).
+struct EpochRecovery {
+  std::uint64_t epoch = 0;
+  sim::TimePoint start = 0;
+  sim::TimePoint end = 0;  // start of the next epoch; 0 = trace end
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_suppressed = 0;
+  std::uint64_t resyncs = 0;
+  std::uint64_t fail_static_entries = 0;
+  std::uint64_t nodes_dead = 0;
+  std::uint64_t nodes_alive = 0;
+  std::uint64_t fenced = 0;
+};
+
 int run_summary(const obs::TraceBuffer& trace) {
   std::map<std::string, std::uint64_t> by_kind;
   std::map<std::uint32_t, std::uint64_t> by_container;
   std::uint64_t retransmits = 0, dup_suppressed = 0, resyncs = 0;
   std::uint64_t fail_static_entries = 0, nodes_dead = 0, nodes_alive = 0;
+  std::uint64_t fenced_updates = 0;
   std::vector<FaultWindow> windows;
+  std::vector<EpochRecovery> epochs(1);
+  std::vector<const obs::TraceEvent*> elections;
   for (std::size_t i = 0; i < trace.size(); ++i) {
     const obs::TraceEvent& ev = trace.at(i);
     ++by_kind[obs::event_kind_name(ev.kind)];
     if (ev.container != 0) ++by_container[ev.container];
+    EpochRecovery& epoch = epochs.back();
     switch (ev.kind) {
-      case obs::EventKind::kRetransmit: ++retransmits; break;
-      case obs::EventKind::kDuplicateSuppressed: ++dup_suppressed; break;
-      case obs::EventKind::kResync: ++resyncs; break;
-      case obs::EventKind::kFailStatic:
-        if (ev.detail != 0) ++fail_static_entries;
+      case obs::EventKind::kRetransmit:
+        ++retransmits;
+        ++epoch.retransmits;
         break;
-      case obs::EventKind::kNodeDead: ++nodes_dead; break;
-      case obs::EventKind::kNodeAlive: ++nodes_alive; break;
+      case obs::EventKind::kDuplicateSuppressed:
+        ++dup_suppressed;
+        ++epoch.dup_suppressed;
+        break;
+      case obs::EventKind::kResync:
+        ++resyncs;
+        ++epoch.resyncs;
+        break;
+      case obs::EventKind::kFailStatic:
+        if (ev.detail != 0) {
+          ++fail_static_entries;
+          ++epoch.fail_static_entries;
+        }
+        break;
+      case obs::EventKind::kNodeDead:
+        ++nodes_dead;
+        ++epoch.nodes_dead;
+        break;
+      case obs::EventKind::kNodeAlive:
+        ++nodes_alive;
+        ++epoch.nodes_alive;
+        break;
+      case obs::EventKind::kEpochFenced:
+        ++fenced_updates;
+        ++epoch.fenced;
+        break;
+      case obs::EventKind::kLeaderElected: {
+        elections.push_back(&ev);
+        if (epochs.size() == 1 && epoch.epoch == 0) {
+          epoch.epoch = static_cast<std::uint64_t>(ev.before);
+        }
+        epoch.end = ev.time;
+        EpochRecovery next;
+        next.epoch = static_cast<std::uint64_t>(ev.detail);
+        next.start = ev.time;
+        epochs.push_back(next);
+        break;
+      }
       case obs::EventKind::kFaultInjected:
         windows.push_back(FaultWindow{&ev, nullptr});
         break;
@@ -172,7 +243,8 @@ int run_summary(const obs::TraceBuffer& trace) {
                 static_cast<unsigned long long>(count));
   }
   if (retransmits + dup_suppressed + resyncs + fail_static_entries +
-          nodes_dead + nodes_alive + windows.size() >
+          nodes_dead + nodes_alive + fenced_updates + windows.size() +
+          elections.size() >
       0) {
     std::printf("\nrecovery:\n");
     std::printf("  retransmits            %8llu\n",
@@ -186,6 +258,40 @@ int run_summary(const obs::TraceBuffer& trace) {
     std::printf("  nodes dead / recovered %8llu / %llu\n",
                 static_cast<unsigned long long>(nodes_dead),
                 static_cast<unsigned long long>(nodes_alive));
+    if (fenced_updates > 0) {
+      std::printf("  fenced updates         %8llu\n",
+                  static_cast<unsigned long long>(fenced_updates));
+    }
+    // A trace spanning failovers gets the recovery traffic broken down per
+    // controller incarnation — one leader's degraded window must not be
+    // read as another's.
+    if (!elections.empty()) {
+      std::printf("  by controller epoch (%zu):\n", epochs.size());
+      for (const EpochRecovery& e : epochs) {
+        char span[64];
+        if (e.end != 0) {
+          std::snprintf(span, sizeof span, "%12.6fs .. %.6fs",
+                        sim::to_seconds(e.start), sim::to_seconds(e.end));
+        } else {
+          std::snprintf(span, sizeof span, "%12.6fs .. end",
+                        sim::to_seconds(e.start));
+        }
+        std::printf("    epoch %-4llu %-28s retransmits %llu, resyncs %llu, "
+                    "fail-static %llu, fenced %llu\n",
+                    static_cast<unsigned long long>(e.epoch), span,
+                    static_cast<unsigned long long>(e.retransmits),
+                    static_cast<unsigned long long>(e.resyncs),
+                    static_cast<unsigned long long>(e.fail_static_entries),
+                    static_cast<unsigned long long>(e.fenced));
+      }
+      std::printf("  elections (%zu):\n", elections.size());
+      for (const obs::TraceEvent* ev : elections) {
+        std::printf("    epoch %.0f -> %lld at %12.6fs, %.0f slot(s) "
+                    "replayed\n",
+                    ev->before, static_cast<long long>(ev->detail),
+                    sim::to_seconds(ev->time), ev->after);
+      }
+    }
     if (!windows.empty()) {
       std::printf("  fault windows (%zu):\n", windows.size());
       for (const FaultWindow& w : windows) {
