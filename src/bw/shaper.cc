@@ -1,0 +1,316 @@
+#include "bw/shaper.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "obs/observer.h"
+
+namespace escra::bw {
+
+// --- NodeShaper ----------------------------------------------------------
+
+NodeShaper::NodeShaper(sim::Simulation& sim, std::uint32_t node,
+                       double nic_bps, ShaperConfig config)
+    : sim_(sim),
+      node_(node),
+      config_(config),
+      nic_(nic_bps, nic_bps > 0.0 ? std::max(config.min_burst_bytes,
+                                             nic_bps * config.burst_window_s)
+                                  : 0.0) {
+  if (nic_bps <= 0.0) {
+    throw std::invalid_argument("NodeShaper: nonpositive NIC capacity");
+  }
+}
+
+NodeShaper::~NodeShaper() {
+  for (auto& [key, ln] : lanes_) sim_.cancel(ln.timer);
+}
+
+double NodeShaper::burst_for(double rate_bps) const {
+  return std::max(config_.min_burst_bytes, rate_bps * config_.burst_window_s);
+}
+
+double NodeShaper::container_rate(std::uint32_t container) const {
+  const auto it = rates_.find(container);
+  return it == rates_.end() ? 0.0 : it->second;
+}
+
+NodeShaper::Lane& NodeShaper::lane(std::uint32_t container, bool ingress,
+                                   double rate_bps) {
+  const std::uint64_t key = lane_key(container, ingress);
+  auto it = lanes_.find(key);
+  if (it == lanes_.end()) {
+    it = lanes_.emplace(key, Lane{}).first;
+    it->second.bucket = TokenBucket(rate_bps, burst_for(rate_bps));
+    // A fresh lane starts with a full burst of credit (idle until now), but
+    // its refill clock starts at the current instant, not t=0.
+    it->second.bucket.tokens(sim_.now());
+  }
+  return it->second;
+}
+
+void NodeShaper::set_container_rate(std::uint32_t container, double rate_bps) {
+  rates_[container] = std::max(0.0, rate_bps);
+  const double rate = rates_[container];
+  for (const bool ingress : {false, true}) {
+    const std::uint64_t key = lane_key(container, ingress);
+    const auto it = lanes_.find(key);
+    if (it == lanes_.end()) continue;  // future lanes read rates_
+    Lane& ln = it->second;
+    ln.bucket.set_rate(sim_.now(), rate,
+                       rate > 0.0 ? burst_for(rate) : ln.bucket.burst_bytes());
+    if (!ln.queue.empty() && !ln.draining) {
+      // Queued messages re-evaluate against the new rate right now: a raise
+      // can release them early, a cut pushes their release further out.
+      sim_.cancel(ln.timer);
+      ln.timer = sim::EventHandle{};
+      drain(key);
+    }
+  }
+}
+
+void NodeShaper::remove_container(std::uint32_t container) {
+  for (const bool ingress : {false, true}) {
+    const std::uint64_t key = lane_key(container, ingress);
+    const auto it = lanes_.find(key);
+    if (it == lanes_.end()) continue;
+    sim_.cancel(it->second.timer);
+    // Release anything still queued, in order: the container's shaping is
+    // gone, not the messages already handed to the network.
+    std::deque<Queued> pending = std::move(it->second.queue);
+    lanes_.erase(it);
+    for (Queued& q : pending) q.release();
+  }
+  rates_.erase(container);
+}
+
+void NodeShaper::note_throttle(std::uint32_t container, const Lane& ln) {
+  if (obs_ == nullptr) return;
+  obs_->h.bw_throttle_events->inc();
+  obs_->record({.time = sim_.now(),
+                .kind = obs::EventKind::kBwThrottled,
+                .container = container,
+                .node = node_ + 1,
+                .before = ln.bucket.rate_bps(),
+                .after = ln.bucket.rate_bps(),
+                .detail = static_cast<std::int64_t>(ln.queue.size())});
+}
+
+bool NodeShaper::shape(bool ingress, std::uint32_t container,
+                       std::size_t bytes, std::function<void()> release) {
+  const double rate = container_rate(container);
+  if (rate <= 0.0) return false;  // unshaped container: pass through
+  Lane& ln = lane(container, ingress, rate);
+  const sim::TimePoint now = sim_.now();
+  const double b = static_cast<double>(bytes);
+  if (ln.queue.empty() && !ln.draining && ln.bucket.time_until(now, b) == 0 &&
+      nic_.time_until(now, b) == 0) {
+    ln.bucket.try_consume(now, b);
+    nic_.try_consume(now, b);
+    ln.through_bytes += bytes;
+    return false;
+  }
+  ++ln.throttled_msgs;
+  ln.queue.push_back({bytes, std::move(release)});
+  if (ln.queue.size() == 1) {
+    // Queue formation: the obs event that makes data-plane throttling
+    // visible before the next telemetry period lands.
+    note_throttle(container, ln);
+    if (!ln.draining) {
+      const std::uint64_t key = lane_key(container, ingress);
+      const sim::Duration wait =
+          std::max(ln.bucket.time_until(now, b), nic_.time_until(now, b));
+      ln.timer = sim_.schedule_after(std::max<sim::Duration>(wait, 1),
+                                     [this, key] { drain(key); });
+    }
+  }
+  return true;
+}
+
+void NodeShaper::drain(std::uint64_t key) {
+  {
+    const auto it = lanes_.find(key);
+    if (it == lanes_.end()) return;
+    it->second.timer = sim::EventHandle{};
+    it->second.draining = true;
+  }
+  while (true) {
+    // Re-find every iteration: a release() may re-enter the shaper and even
+    // remove this container.
+    const auto it = lanes_.find(key);
+    if (it == lanes_.end()) return;
+    Lane& ln = it->second;
+    if (ln.queue.empty()) {
+      ln.draining = false;
+      return;
+    }
+    const sim::TimePoint now = sim_.now();
+    const double b = static_cast<double>(ln.queue.front().bytes);
+    const sim::Duration wait =
+        std::max(ln.bucket.time_until(now, b), nic_.time_until(now, b));
+    if (wait > 0) {
+      ln.draining = false;
+      ln.timer = sim_.schedule_after(wait, [this, key] { drain(key); });
+      return;
+    }
+    Queued head = std::move(ln.queue.front());
+    ln.queue.pop_front();
+    ln.bucket.try_consume(now, b);
+    nic_.try_consume(now, b);
+    ln.through_bytes += head.bytes;
+    head.release();
+  }
+}
+
+NodeShaper::PeriodStats NodeShaper::sample(std::uint32_t container) {
+  PeriodStats s;
+  for (const bool ingress : {false, true}) {
+    const auto it = lanes_.find(lane_key(container, ingress));
+    if (it == lanes_.end()) continue;
+    Lane& ln = it->second;
+    (ingress ? s.ingress_bytes : s.egress_bytes) = ln.through_bytes;
+    s.throttled_msgs += ln.throttled_msgs;
+    s.queue_depth += ln.queue.size();
+    ln.through_bytes = 0;
+    ln.throttled_msgs = 0;
+  }
+  return s;
+}
+
+std::size_t NodeShaper::queued_messages() const {
+  std::size_t n = 0;
+  for (const auto& [key, ln] : lanes_) n += ln.queue.size();
+  return n;
+}
+
+// --- ClusterShaper -------------------------------------------------------
+
+ClusterShaper::ClusterShaper(sim::Simulation& sim, ShaperConfig config)
+    : sim_(sim), config_(config) {}
+
+ClusterShaper::~ClusterShaper() { stop_sampler(); }
+
+NodeShaper& ClusterShaper::add_node(std::uint32_t node, double nic_bps) {
+  auto [it, inserted] = nodes_.emplace(
+      node, std::make_unique<NodeShaper>(sim_, node, nic_bps, config_));
+  if (!inserted) throw std::invalid_argument("ClusterShaper: duplicate node");
+  it->second->set_observer(obs_);
+  return *it->second;
+}
+
+NodeShaper* ClusterShaper::node_shaper(std::uint32_t node) {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+const NodeShaper* ClusterShaper::node_shaper(std::uint32_t node) const {
+  const auto it = nodes_.find(node);
+  return it == nodes_.end() ? nullptr : it->second.get();
+}
+
+double ClusterShaper::node_nic_bps(std::uint32_t node) const {
+  const NodeShaper* shaper = node_shaper(node);
+  return shaper == nullptr ? 0.0 : shaper->nic_bps();
+}
+
+void ClusterShaper::attach(std::uint32_t container, std::uint32_t node) {
+  if (!nodes_.contains(node)) {
+    throw std::invalid_argument("ClusterShaper::attach: unknown node");
+  }
+  container_node_[container] = node;
+}
+
+void ClusterShaper::detach(std::uint32_t container) {
+  const auto it = container_node_.find(container);
+  if (it == container_node_.end()) return;
+  if (NodeShaper* shaper = node_shaper(it->second)) {
+    shaper->remove_container(container);
+  }
+  container_node_.erase(it);
+}
+
+std::uint32_t ClusterShaper::node_of(std::uint32_t container) const {
+  const auto it = container_node_.find(container);
+  return it == container_node_.end() ? kNoNode : it->second;
+}
+
+void ClusterShaper::set_container_rate(std::uint32_t container,
+                                       double rate_bps) {
+  const std::uint32_t node = node_of(container);
+  if (node == kNoNode) {
+    throw std::invalid_argument(
+        "ClusterShaper::set_container_rate: container not attached");
+  }
+  nodes_.at(node)->set_container_rate(container, rate_bps);
+}
+
+double ClusterShaper::container_rate(std::uint32_t container) const {
+  const std::uint32_t node = node_of(container);
+  if (node == kNoNode) return 0.0;
+  return nodes_.at(node)->container_rate(container);
+}
+
+void ClusterShaper::start_sampler(sim::Duration period, StatsSink sink) {
+  if (period <= 0) throw std::invalid_argument("start_sampler: period <= 0");
+  stop_sampler();
+  sample_period_ = period;
+  sink_ = std::move(sink);
+  sampler_ = sim_.schedule_every(sim_.now() + period, period,
+                                 [this] { sampler_tick(); });
+}
+
+void ClusterShaper::stop_sampler() {
+  sim_.cancel(sampler_);
+  sampler_ = sim::EventHandle{};
+}
+
+void ClusterShaper::sampler_tick() {
+  if (!sink_) return;
+  const double period_s = sim::to_seconds(sample_period_);
+  // Ascending container order: the emission order (and therefore the
+  // controller's ingest order) is deterministic.
+  for (const auto& [container, node] : container_node_) {
+    NodeShaper& shaper = *nodes_.at(node);
+    const double rate = shaper.container_rate(container);
+    if (rate <= 0.0) continue;  // unshaped: no telemetry
+    const NodeShaper::PeriodStats stats = shaper.sample(container);
+    BwSample s;
+    s.container = container;
+    s.node = node;
+    s.rate_bps = rate;
+    s.used_bps = static_cast<double>(
+                     std::max(stats.egress_bytes, stats.ingress_bytes)) /
+                 period_s;
+    s.throttled = stats.throttled_msgs > 0 || stats.queue_depth > 0;
+    s.queue_depth = stats.queue_depth;
+    sink_(s);
+  }
+}
+
+void ClusterShaper::set_observer(obs::Observer* observer) {
+  obs_ = observer;
+  for (auto& [node, shaper] : nodes_) shaper->set_observer(observer);
+}
+
+std::size_t ClusterShaper::queued_messages() const {
+  std::size_t n = 0;
+  for (const auto& [node, shaper] : nodes_) n += shaper->queued_messages();
+  return n;
+}
+
+bool ClusterShaper::shape_egress(std::uint32_t container, std::size_t bytes,
+                                 std::function<void()> release) {
+  const std::uint32_t node = node_of(container);
+  if (node == kNoNode) return false;
+  return nodes_.at(node)->shape(false, container, bytes, std::move(release));
+}
+
+bool ClusterShaper::shape_ingress(std::uint32_t container, std::size_t bytes,
+                                  std::function<void()> release) {
+  const std::uint32_t node = node_of(container);
+  if (node == kNoNode) return false;
+  return nodes_.at(node)->shape(true, container, bytes, std::move(release));
+}
+
+}  // namespace escra::bw

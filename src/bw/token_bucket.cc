@@ -1,0 +1,66 @@
+#include "bw/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace escra::bw {
+
+TokenBucket::TokenBucket(double rate_bps, double burst_bytes)
+    : rate_(rate_bps), burst_(burst_bytes), tokens_(burst_bytes) {
+  if (rate_bps > 0.0 && burst_bytes <= 0.0) {
+    throw std::invalid_argument("TokenBucket: nonpositive burst");
+  }
+}
+
+void TokenBucket::refill(sim::TimePoint now) {
+  if (now <= last_) return;
+  const double dt = sim::to_seconds(now - last_);
+  last_ = now;
+  if (rate_ <= 0.0) return;
+  tokens_ = std::min(burst_, tokens_ + rate_ * dt);
+}
+
+double TokenBucket::need(double bytes) const {
+  return std::min(bytes, burst_);
+}
+
+void TokenBucket::set_rate(sim::TimePoint now, double rate_bps,
+                           double burst_bytes) {
+  refill(now);
+  rate_ = rate_bps;
+  if (rate_ <= 0.0) return;
+  if (burst_bytes <= 0.0) {
+    throw std::invalid_argument("TokenBucket::set_rate: nonpositive burst");
+  }
+  burst_ = burst_bytes;
+  tokens_ = std::min(tokens_, burst_);
+}
+
+double TokenBucket::tokens(sim::TimePoint now) {
+  refill(now);
+  return unlimited() ? 0.0 : tokens_;
+}
+
+bool TokenBucket::try_consume(sim::TimePoint now, double bytes) {
+  if (unlimited()) return true;
+  refill(now);
+  if (tokens_ + 1e-9 < need(bytes)) return false;
+  tokens_ -= bytes;  // oversized messages leave debt, never deadlock
+  return true;
+}
+
+sim::Duration TokenBucket::time_until(sim::TimePoint now, double bytes) {
+  if (unlimited()) return 0;
+  refill(now);
+  const double missing = need(bytes) - tokens_;
+  if (missing <= 1e-9) return 0;
+  // Ceil to whole microseconds, then nudge past any floating-point shortfall
+  // so the caller's timer always lands on a consumable instant.
+  sim::Duration d =
+      static_cast<sim::Duration>(std::ceil(missing / rate_ * 1e6));
+  while (tokens_ + rate_ * sim::to_seconds(d) + 1e-9 < need(bytes)) ++d;
+  return std::max<sim::Duration>(d, 1);
+}
+
+}  // namespace escra::bw

@@ -1,0 +1,56 @@
+// Token bucket over simulated time — the primitive behind the HTB-style
+// per-container bandwidth shaper (src/bw/shaper.h).
+//
+// Tokens are bytes. The bucket refills lazily at `rate_bps` bytes/second up
+// to a `burst_bytes` ceiling, so an idle container accrues one full burst of
+// credit and can transmit it back-to-back before throttling — the CFS-burst
+// analogue for the network plane. A message larger than the burst consumes
+// the whole bucket and drives the level negative (debt), so oversized
+// messages wait for a full bucket instead of deadlocking.
+//
+// rate <= 0 means unlimited: every consume succeeds instantly and the
+// bucket keeps no state, so unshaped containers cost nothing.
+#pragma once
+
+#include "sim/time.h"
+
+namespace escra::bw {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_bps, double burst_bytes);
+
+  double rate_bps() const { return rate_; }
+  double burst_bytes() const { return burst_; }
+  bool unlimited() const { return rate_ <= 0.0; }
+
+  // Re-rates the bucket mid-flight: credit accrued under the old rate is
+  // settled up to `now` first, then time continues under the new rate.
+  // Tokens above the new burst ceiling are forfeited.
+  void set_rate(sim::TimePoint now, double rate_bps, double burst_bytes);
+
+  // Current token level after refilling to `now`.
+  double tokens(sim::TimePoint now);
+
+  // Consumes `bytes` if enough credit is available (a message larger than
+  // the burst is admitted on a full bucket and leaves debt). Returns false
+  // without consuming otherwise.
+  bool try_consume(sim::TimePoint now, double bytes);
+
+  // Microseconds until try_consume(now + d, bytes) would succeed; 0 when it
+  // already would. Unlimited buckets always return 0.
+  sim::Duration time_until(sim::TimePoint now, double bytes);
+
+ private:
+  void refill(sim::TimePoint now);
+  // Credit needed to admit `bytes` (capped at the burst for oversized ones).
+  double need(double bytes) const;
+
+  double rate_ = 0.0;
+  double burst_ = 0.0;
+  double tokens_ = 0.0;
+  sim::TimePoint last_ = 0;
+};
+
+}  // namespace escra::bw

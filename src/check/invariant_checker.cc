@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 #include <string>
 
@@ -70,6 +71,10 @@ InvariantChecker::InvariantChecker(core::EscraSystem& escra,
   base_ha_elections_ = h.ha_elections->value();
   base_ha_fenced_ = h.ha_fenced_updates->value();
   base_ha_wal_lag_ = h.ha_wal_lag_events->value();
+  base_bw_throttles_ = h.bw_throttle_events->value();
+  base_bw_saturation_ = h.bw_saturation->value();
+  base_bw_grants_ = h.bw_grants->value();
+  base_bw_shrinks_ = h.bw_shrinks->value();
 
   // Network mirrors exist only once Network::attach_metrics has run against
   // this observer's registry; absent counters disable the net check.
@@ -211,8 +216,8 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
     }
 
     case obs::EventKind::kRpcIssued:
-      // `before` carries the resource flag: 0 = CPU, 1 = memory. Only CPU
-      // updates feed the conservation slack.
+      // `before` carries the resource flag: 0 = CPU, 1 = memory, 2 =
+      // bandwidth. Only CPU updates feed the conservation slack.
       if (ev.before == 0.0) {
         CpuTrack& t = cpu_track_[ev.container];
         ++t.inflight;
@@ -242,9 +247,11 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
       // successor did (two live epochs mutating the same slot).
       if (ev.detail != 0) {
         const std::uint64_t seq = static_cast<std::uint64_t>(ev.detail);
+        // `before` is the resource flag (0/1/2): one slot per (container,
+        // resource), matching the controller's update_key packing.
         const std::uint64_t key =
-            static_cast<std::uint64_t>(ev.container) * 2 +
-            (ev.before != 0.0 ? 1 : 0);
+            static_cast<std::uint64_t>(ev.container) * 4 +
+            static_cast<std::uint64_t>(ev.before);
         AppliedSeq& slot = applied_seq_[key];
         if (slot.seq != 0 && seq <= slot.seq) {
           add("no-split-brain", ev.container,
@@ -340,8 +347,9 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
 
     case obs::EventKind::kContainerKilled:
       cpu_track_.erase(ev.container);
-      applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 2);
-      applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 2 + 1);
+      applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 4);
+      applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 4 + 1);
+      applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 4 + 2);
       break;
 
     case obs::EventKind::kLeaderElected: {
@@ -376,6 +384,46 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
                 static_cast<double>(ev.detail), 0.0));
       }
       break;
+
+    case obs::EventKind::kBwThrottled:
+      // Recorded when a shaper queue forms; detail is the queue depth at
+      // that moment, so a throttle with an empty queue is inconsistent.
+      if (ev.detail < 1) {
+        add("counter-consistency", ev.container,
+            fmt("bw-throttle event with queue depth %.0f (want >= 1)",
+                static_cast<double>(ev.detail), 0.0));
+      }
+      break;
+
+    case obs::EventKind::kBwSaturation:
+      // Telemetry echo of a saturated period; counted for consistency only.
+      break;
+
+    case obs::EventKind::kBwGrant:
+      if (ev.after < ev.before - 0.5) {
+        add("bw-grant", ev.container,
+            fmt("grant lowered the rate: %.0f -> %.0f bytes/s", ev.before,
+                ev.after));
+      }
+      if (ev.after > escra_.app().bw_limit() + 0.5) {
+        add("bw-grant", ev.container,
+            fmt("granted %.0f bytes/s beyond the global limit %.0f",
+                ev.after, escra_.app().bw_limit()));
+      }
+      break;
+
+    case obs::EventKind::kBwShrink:
+      if (ev.after > ev.before + 0.5) {
+        add("bw-shrink", ev.container,
+            fmt("shrink raised the rate: %.0f -> %.0f bytes/s", ev.before,
+                ev.after));
+      }
+      if (ev.after < cfg.bw_min_rate - 0.5) {
+        add("bw-floor", ev.container,
+            fmt("shrink to %.0f bytes/s below the %.0f floor", ev.after,
+                cfg.bw_min_rate));
+      }
+      break;
   }
 }
 
@@ -408,6 +456,12 @@ void InvariantChecker::sweep() {
         fmt("mem allocated %.0f outside [0, %.0f]",
             static_cast<double>(app.mem_allocated()),
             static_cast<double>(app.mem_limit())));
+  }
+  if (app.bw_allocated() < -0.5 ||
+      app.bw_allocated() > app.bw_limit() + 0.5) {
+    add("pool-conservation", 0,
+        fmt("bw allocated %.0f outside [0, %.0f]", app.bw_allocated(),
+            app.bw_limit()));
   }
 
   // Walk every container once: shadow-limit sums, applied cgroup limits,
@@ -512,6 +566,51 @@ void InvariantChecker::sweep() {
         fmt("mem gauges (%.0f, %.0f) diverge from pool",
             h.pool_mem_allocated->value(), h.pool_mem_unallocated->value()));
   }
+  if (app.bw_limit() > 0.0 &&
+      (std::abs(h.pool_bw_allocated->value() - app.bw_allocated()) > 0.5 ||
+       std::abs(h.pool_bw_unallocated->value() - app.bw_unallocated()) >
+           0.5)) {
+    add("gauge-pool", 0,
+        fmt("bw gauges (%.0f, %.0f) diverge from pool",
+            h.pool_bw_allocated->value(), h.pool_bw_unallocated->value()));
+  }
+
+  // Bandwidth conservation against the live shaper (attach_bw). Each
+  // shaped container is counted at the larger of its applied shaper rate
+  // and its shadow book rate, so a grant decided but not yet landed (or a
+  // shrink in flight) stays charged against the NIC on both books — the
+  // controller's admission clamp guarantees the sum never exceeds NIC
+  // capacity through drops, retransmits, and crash/resync cycles.
+  if (bw_shaper_ != nullptr) {
+    const core::EscraConfig& cfg = escra_.config();
+    std::map<std::uint32_t, double> node_rate_sum;
+    for (const auto& [id, node] : bw_shaper_->attachments()) {
+      const double applied = bw_shaper_->container_rate(id);
+      // Registration and book membership can briefly diverge across a
+      // controller crash (registry rebuilt from resync while fail-static
+      // attachments persist), so both are required before reading the book.
+      const double book = controller.is_registered(id) && app.is_member(id)
+                              ? app.member_bw(id)
+                              : 0.0;
+      node_rate_sum[node] += std::max(applied, book);
+      if (controller.is_registered(id) && book > 0.0 &&
+          book < cfg.bw_min_rate - 0.5) {
+        add("bw-floor", id,
+            fmt("shaped member rate %.0f bytes/s below the %.0f admission "
+                "floor",
+                book, cfg.bw_min_rate));
+      }
+    }
+    for (const auto& [node, sum] : node_rate_sum) {
+      const double nic = bw_shaper_->node_nic_bps(node);
+      if (nic > 0.0 && sum > nic + 0.5) {
+        add("bw-nic-conservation", 0,
+            fmt3("node %.0f rate limits sum to %.0f bytes/s on a %.0f "
+                 "bytes/s NIC",
+                 static_cast<double>(node), sum, nic));
+      }
+    }
+  }
 
   check_counters();
   check_network();
@@ -587,6 +686,18 @@ void InvariantChecker::check_counters() {
       {"ha.wal_lag_events vs wal-lag events",
        h.ha_wal_lag_events->value() - base_ha_wal_lag_,
        seen(obs::EventKind::kWalLag)},
+      {"bw.throttle_events vs bw-throttled events",
+       h.bw_throttle_events->value() - base_bw_throttles_,
+       seen(obs::EventKind::kBwThrottled)},
+      {"controller.bw_saturation_events vs bw-saturation events",
+       h.bw_saturation->value() - base_bw_saturation_,
+       seen(obs::EventKind::kBwSaturation)},
+      {"allocator.bw_grants vs bw-grant events",
+       h.bw_grants->value() - base_bw_grants_,
+       seen(obs::EventKind::kBwGrant)},
+      {"allocator.bw_shrinks vs bw-shrink events",
+       h.bw_shrinks->value() - base_bw_shrinks_,
+       seen(obs::EventKind::kBwShrink)},
   };
   for (const Pair& p : pairs) {
     if (p.counter_delta != p.trace_count) {
@@ -634,6 +745,14 @@ void InvariantChecker::check_network() {
         "net.duplicated_messages: transport " +
             std::to_string(net_.duplicated_messages()) + " != mirror " +
             std::to_string(net_duplicated_->value() + net_duplicated_offset_));
+  }
+  // Byte accounting across the transport: every egressed byte is either
+  // delivered (ingress) or dropped, never both and never lost to the books.
+  if (net_.egress_bytes() != net_.ingress_bytes() + net_.dropped_bytes()) {
+    add("net-byte-accounting", 0,
+        "egress " + std::to_string(net_.egress_bytes()) + " != ingress " +
+            std::to_string(net_.ingress_bytes()) + " + dropped " +
+            std::to_string(net_.dropped_bytes()));
   }
 }
 

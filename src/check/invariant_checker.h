@@ -75,6 +75,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bw/shaper.h"
 #include "net/network.h"
 #include "obs/observer.h"
 #include "sim/event_queue.h"
@@ -130,6 +131,19 @@ class InvariantChecker {
 
   // Runs a full sweep immediately (in addition to the periodic schedule).
   void check_now() { sweep(); }
+
+  // Arms the bandwidth-conservation sweep against a live shaper (call when
+  // the system runs with EscraSystem::enable_bandwidth):
+  //   - bw-nic-conservation   per node, the summed per-container rate limits
+  //                           (counting each container at the larger of its
+  //                           applied shaper rate and its shadow book rate,
+  //                           so in-flight slots stay accounted) never
+  //                           exceed the node's NIC capacity
+  //   - bw-floor              every shaped member's granted rate stays at or
+  //                           above the bw_min_rate admission floor
+  //   - pool/gauge checks     the bandwidth pool book and its obs gauges,
+  //                           same rules as CPU/memory
+  void attach_bw(const bw::ClusterShaper& shaper) { bw_shaper_ = &shaper; }
 
   bool ok() const { return violations_.empty() && dropped_violations_ == 0; }
   const std::vector<Violation>& violations() const { return violations_; }
@@ -213,6 +227,12 @@ class InvariantChecker {
   std::uint64_t base_ha_elections_ = 0;
   std::uint64_t base_ha_fenced_ = 0;
   std::uint64_t base_ha_wal_lag_ = 0;
+  std::uint64_t base_bw_throttles_ = 0;
+  std::uint64_t base_bw_saturation_ = 0;
+  std::uint64_t base_bw_grants_ = 0;
+  std::uint64_t base_bw_shrinks_ = 0;
+
+  const bw::ClusterShaper* bw_shaper_ = nullptr;
 
   // net ChannelStats vs obs counter offsets (attach_metrics only mirrors
   // traffic sent after attachment, so the two differ by a constant).

@@ -21,6 +21,9 @@ struct NodeConfig {
   memcg::Bytes memory_capacity = 192LL * memcg::kGiB;
   sim::Duration scheduler_slice = sim::milliseconds(10);
   sim::Duration cfs_period = sim::milliseconds(100);
+  // NIC capacity in bytes/s (10 GbE in the testbed); caps the sum of
+  // per-container bandwidth rate limits placed on the node (src/bw).
+  double nic_bps = 1.25e9;
 };
 
 class Node {

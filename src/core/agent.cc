@@ -76,6 +76,35 @@ Agent::Apply Agent::apply_mem_limit(cluster::ContainerId id,
   return Apply::kApplied;
 }
 
+Agent::Apply Agent::apply_bw_limit(cluster::ContainerId id, double rate_bps,
+                                   std::uint64_t seq) {
+  if (crashed_) return Apply::kRejected;
+  if (bw_shaper_ == nullptr) return Apply::kRejected;
+  const auto it = managed_.find(id);
+  if (it == managed_.end()) return Apply::kRejected;
+  Managed& m = it->second;
+  const double before = bw_shaper_->node_of(id) == bw::ClusterShaper::kNoNode
+                            ? 0.0
+                            : bw_shaper_->container_rate(id);
+  if (seq != 0 && update_seq_epoch(seq) < fenced_epoch_) {
+    record_fenced(id, before, rate_bps, seq);
+    return Apply::kFenced;
+  }
+  if (seq != 0 && seq <= m.bw_seq) {
+    record_dup(id, before, rate_bps, seq);
+    return Apply::kStale;
+  }
+  // Attach on first write: after a takeover or re-adoption the controller's
+  // registration-time attach may not have happened on this seat.
+  if (bw_shaper_->node_of(id) == bw::ClusterShaper::kNoNode) {
+    bw_shaper_->attach(id, node_.id());
+  }
+  bw_shaper_->set_container_rate(id, rate_bps);
+  if (seq != 0) m.bw_seq = seq;
+  if (obs_ != nullptr) obs_->h.agent_limit_applies->inc();
+  return Apply::kApplied;
+}
+
 Agent::ReclaimResult Agent::reclaim(memcg::Bytes delta, memcg::Bytes floor) {
   ReclaimResult result;
   if (crashed_) return result;
@@ -130,6 +159,7 @@ void Agent::crash() {
   for (auto& [id, m] : managed_) {
     m.cpu_seq = 0;
     m.mem_seq = 0;
+    m.bw_seq = 0;
   }
 }
 
@@ -220,6 +250,10 @@ std::vector<Agent::SnapshotEntry> Agent::snapshot() const {
     e.container = m.container;
     e.cpu_cores = m.container->cpu_cgroup().limit_cores();
     e.mem_limit = m.container->mem_cgroup().limit();
+    if (bw_shaper_ != nullptr &&
+        bw_shaper_->node_of(id) != bw::ClusterShaper::kNoNode) {
+      e.bw_bps = bw_shaper_->container_rate(id);
+    }
     out.push_back(e);
   }
   std::sort(out.begin(), out.end(),

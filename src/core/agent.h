@@ -23,6 +23,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bw/shaper.h"
 #include "cluster/container.h"
 #include "cluster/node.h"
 #include "memcg/mem_cgroup.h"
@@ -64,6 +65,10 @@ class Agent {
                         std::uint64_t seq);
   Apply apply_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
                         std::uint64_t seq);
+  // Writes a bandwidth rate limit into the node's shaper (the tc/HTB
+  // analogue of a cgroup write). Rejected when no shaper is wired.
+  Apply apply_bw_limit(cluster::ContainerId id, double rate_bps,
+                       std::uint64_t seq);
   // Unsequenced compatibility overloads; false if not managed here.
   bool apply_cpu_limit(cluster::ContainerId id, double cores) {
     return apply_cpu_limit(id, cores, 0) == Apply::kApplied;
@@ -136,8 +141,15 @@ class Agent {
     cluster::Container* container = nullptr;
     double cpu_cores = 0.0;
     memcg::Bytes mem_limit = 0;
+    double bw_bps = 0.0;  // applied shaper rate; 0 = unshaped
   };
   std::vector<SnapshotEntry> snapshot() const;
+
+  // Wires the node's traffic shaper. Like the cgroups, shaper rates are
+  // node state: they persist across Agent crashes (fail-static) and are
+  // reported in the resync snapshot.
+  void set_bw_shaper(bw::ClusterShaper* shaper) { bw_shaper_ = shaper; }
+  bw::ClusterShaper* bw_shaper() { return bw_shaper_; }
 
   // Observability: trace events (duplicate-suppressed, fail-static) and the
   // limit-apply counter. Null (the default) disables the hooks.
@@ -148,6 +160,7 @@ class Agent {
     cluster::Container* container = nullptr;
     std::uint64_t cpu_seq = 0;  // newest applied sequence numbers
     std::uint64_t mem_seq = 0;
+    std::uint64_t bw_seq = 0;
   };
 
   void send_heartbeat();
@@ -161,6 +174,7 @@ class Agent {
   cluster::Node& node_;
   std::unordered_map<cluster::ContainerId, Managed> managed_;
   obs::Observer* obs_ = nullptr;
+  bw::ClusterShaper* bw_shaper_ = nullptr;
 
   sim::Simulation* sim_ = nullptr;
   net::Network* net_ = nullptr;

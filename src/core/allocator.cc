@@ -8,6 +8,8 @@ namespace escra::core {
 namespace {
 // Minimum CPU-limit change worth an RPC, in cores.
 constexpr double kCpuEpsilon = 1e-3;
+// Minimum bandwidth-rate change worth an RPC, in bytes/s (8 KB/s).
+constexpr double kBwEpsilon = 8e3;
 }  // namespace
 
 ResourceAllocator::ResourceAllocator(const EscraConfig& config,
@@ -21,8 +23,11 @@ void ResourceAllocator::set_observer(obs::Observer* observer) {
                         observer->h.pool_cpu_unallocated,
                         observer->h.pool_mem_allocated,
                         observer->h.pool_mem_unallocated);
+    app_.set_bw_gauges(observer->h.pool_bw_allocated,
+                       observer->h.pool_bw_unallocated);
   } else {
     app_.set_obs_gauges(nullptr, nullptr, nullptr, nullptr);
+    app_.set_bw_gauges(nullptr, nullptr);
   }
 }
 
@@ -35,6 +40,7 @@ void ResourceAllocator::register_container(std::uint32_t id, double cores,
 void ResourceAllocator::deregister_container(std::uint32_t id) {
   if (!windows_.contains(id)) return;
   windows_.erase(id);
+  bw_windows_.erase(id);
   app_.remove_member(id);
 }
 
@@ -52,7 +58,7 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
   const double period = static_cast<double>(config_.cfs_period);
   const double unused_cores = static_cast<double>(stats.unused) / period;
   win.throttles.add(stats.throttled ? 1.0 : 0.0);
-  win.unused_cores.add(unused_cores);
+  win.unused.add(unused_cores);
 
   const double current = app_.member_cores(stats.cgroup);
 
@@ -109,13 +115,68 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
     // the floor below already guarantees we cannot undercut live usage, so
     // the larger of the two trims overshoot within one period.
     const double decrease =
-        std::max(win.unused_cores.mean(), unused_cores) * config_.kappa;
+        std::max(win.unused.mean(), unused_cores) * config_.kappa;
     const double target = std::max(
         {config_.min_cores, used_last + headroom, current - decrease});
     if (current - target > kCpuEpsilon) {
       const double applied = app_.set_member_cores(stats.cgroup, target);
       ++scale_downs_;
       if (obs_ != nullptr) obs_->h.cpu_shrinks->inc();
+      return applied;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<double> ResourceAllocator::on_bw_stats(
+    const bw::BwSample& sample) {
+  if (!windows_.contains(sample.container)) return std::nullopt;
+  const double current = app_.member_bw(sample.container);
+  if (current <= 0.0) return std::nullopt;  // unshaped container
+  const auto [it, created] = bw_windows_.try_emplace(
+      sample.container, Windows(config_.window_periods));
+  Windows& win = it->second;
+
+  const double unused = std::max(0.0, current - sample.used_bps);
+  win.throttles.add(sample.throttled ? 1.0 : 0.0);
+  win.unused.add(unused);
+
+  if (sample.throttled) {
+    // Scale up: same Υ-gated shape as the CPU arm — the windowed saturation
+    // mean gates how much of the pool's unallocated bandwidth this container
+    // receives, the per-period grant capped so one saturated container
+    // roughly doubles per period at Υ=20.
+    const double rate = std::min(win.throttles.mean() * config_.bw_upsilon, 1.0);
+    const double cap = std::max(current * (config_.bw_upsilon / 20.0),
+                                8.0 * config_.bw_min_rate);
+    const double increase =
+        rate * std::min(std::max(0.0, app_.bw_unallocated()), cap);
+    if (increase > kBwEpsilon) {
+      const double applied =
+          app_.set_member_bw(sample.container, current + increase);
+      if (std::abs(applied - current) > kBwEpsilon) {
+        ++bw_scale_ups_;
+        if (obs_ != nullptr) obs_->h.bw_grants->inc();
+        return applied;
+      }
+    }
+    return std::nullopt;
+  }
+
+  if (unused > config_.bw_gamma) {
+    // Scale down: remove κ of the windowed mean unused rate, floored at the
+    // global minimum and at last period's usage plus γ headroom (the same
+    // anti-oscillation floor as the CPU arm).
+    const double used_last = sample.used_bps;
+    const double headroom = std::min(used_last, config_.bw_gamma);
+    const double decrease =
+        std::max(win.unused.mean(), unused) * config_.bw_kappa;
+    const double target = std::max(
+        {config_.bw_min_rate, used_last + headroom, current - decrease});
+    if (current - target > kBwEpsilon) {
+      const double applied = app_.set_member_bw(sample.container, target);
+      ++bw_scale_downs_;
+      if (obs_ != nullptr) obs_->h.bw_shrinks->inc();
       return applied;
     }
   }

@@ -15,6 +15,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "bw/shaper.h"
 #include "core/config.h"
 #include "core/distributed_container.h"
 #include "core/messages.h"
@@ -58,6 +59,16 @@ class ResourceAllocator {
   // reclamation pass, so the allocator denies instead of looping.
   MemDecision on_oom_event(const OomEventMsg& event, bool post_reclaim = false);
 
+  // --- bandwidth (third managed resource; mirrors the CPU arm with rates
+  //     in bytes/s) ---
+
+  // Consumes one per-period bandwidth sample from the node shapers. If a
+  // rate change is warranted the new shadow rate (committed against the
+  // global bandwidth pool — the node-NIC clamp is the Controller's job) is
+  // returned for the Controller to push to the Agent. Unshaped containers
+  // (member bw of 0) are ignored.
+  std::optional<double> on_bw_stats(const bw::BwSample& sample);
+
   // Syncs shadow state after an Agent reclamation pass; ψ flows back into
   // the pool implicitly (allocated sum drops).
   void on_reclaimed(std::uint32_t container, memcg::Bytes new_limit);
@@ -76,22 +87,32 @@ class ResourceAllocator {
   std::uint64_t cpu_scale_downs() const { return scale_downs_; }
   std::uint64_t mem_grants() const { return mem_grants_; }
   std::uint64_t mem_denies() const { return mem_denies_; }
+  std::uint64_t bw_scale_ups() const { return bw_scale_ups_; }
+  std::uint64_t bw_scale_downs() const { return bw_scale_downs_; }
 
  private:
+  // Per-container sliding statistics; `unused` is in cores for the CPU
+  // windows and bytes/s for the bandwidth windows.
   struct Windows {
     sim::SlidingWindow throttles;
-    sim::SlidingWindow unused_cores;
-    explicit Windows(std::size_t n) : throttles(n), unused_cores(n) {}
+    sim::SlidingWindow unused;
+    explicit Windows(std::size_t n) : throttles(n), unused(n) {}
   };
 
   EscraConfig config_;
   DistributedContainer& app_;
   obs::Observer* obs_ = nullptr;
   std::unordered_map<std::uint32_t, Windows> windows_;
+  // Bandwidth windows, lazily created on the first sample for a shaped
+  // container (samples only arrive when shaping is enabled, so pre-bw runs
+  // carry no extra state).
+  std::unordered_map<std::uint32_t, Windows> bw_windows_;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;
   std::uint64_t mem_grants_ = 0;
   std::uint64_t mem_denies_ = 0;
+  std::uint64_t bw_scale_ups_ = 0;
+  std::uint64_t bw_scale_downs_ = 0;
 };
 
 }  // namespace escra::core

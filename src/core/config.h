@@ -56,10 +56,26 @@ struct EscraConfig {
   // Floor below which a container's memory limit is never reclaimed.
   memcg::Bytes min_mem = 16 * memcg::kMiB;
 
+  // --- bandwidth allocation (beyond the paper: network bandwidth as a
+  //     third managed resource, shaped by src/bw token buckets; the math
+  //     mirrors the CPU arm with rates in bytes/s) ---
+  // Scale-down rate for bandwidth (fraction of mean unused rate removed).
+  double bw_kappa = 0.8;
+  // Scale-down trigger: unused rate in the last period, bytes/s (100 Mbit).
+  double bw_gamma = 12.5e6;
+  // Scale-up rate; same Υ-gated interpretation as CPU.
+  double bw_upsilon = 20.0;
+  // Floor below which a shaped container's rate is never pushed, and the
+  // admission floor: a container the allocator cannot grant this much
+  // stays unshaped rather than being starved (10 Mbit/s).
+  double bw_min_rate = 1.25e6;
+
   // --- defaults for containers that register after deployment (serverless
   //     pods); mirrors the OpenWhisk per-action pod defaults (Section VI-F).
   double late_join_cores = 1.0;
   memcg::Bytes late_join_mem = 256 * memcg::kMiB;
+  // Bandwidth granted to a late joiner when shaping is enabled (bytes/s).
+  double late_join_bw = 12.5e6;
 
   // --- control-plane reliability (beyond the paper: the paper only runs on
   //     a healthy control plane; these govern the fail-static + sub-second

@@ -8,6 +8,13 @@
 
 namespace escra::core {
 
+namespace {
+// Minimum bandwidth-rate change worth an RPC, in bytes/s (8 KB/s). Matches
+// the allocator's decision epsilon so a clamp that erases the whole change
+// also suppresses the slot.
+constexpr double kBwRateEpsilon = 8e3;
+}  // namespace
+
 Controller::Controller(sim::Simulation& sim, net::Network& network,
                        const EscraConfig& config, ResourceAllocator& allocator)
     : sim_(sim), net_(network), config_(config), allocator_(allocator) {}
@@ -29,6 +36,7 @@ Agent& Controller::agent_for(cluster::Node& node) {
                   on_heartbeat(n, incarnation);
                 });
   agent.set_observer(obs_);
+  agent.set_bw_shaper(bw_shaper_);
   if (started_) {
     agent.start(config_.heartbeat_interval, config_.agent_lease);
   }
@@ -83,7 +91,8 @@ void Controller::register_container(cluster::Container& container,
 
 void Controller::register_impl(cluster::Container& container,
                                cluster::Node& node, double cores,
-                               memcg::Bytes mem, RegisterMode mode) {
+                               memcg::Bytes mem, RegisterMode mode,
+                               double bw_want) {
   if (crashed_) {
     // Vacant seat: queue the admission (see deferred_registrations_). The
     // container runs against its creation-time cgroup limits meanwhile —
@@ -126,6 +135,15 @@ void Controller::register_impl(cluster::Container& container,
   mem = allocator_.app().member_mem(container.id());
   agent.manage(container);
   registry_[container.id()] = Entry{&container, &agent};
+  if (bw_shaper_ != nullptr) {
+    // Bandwidth admission rides registration: bootstrap grants the plan (or
+    // the late-join default); recovery modes re-admit the snapshot/replica
+    // rate passed in by the caller, clamped against this seat's book.
+    if (mode == RegisterMode::kBootstrap) {
+      bw_want = bw_plan_ > 0.0 ? bw_plan_ : config_.late_join_bw;
+    }
+    admit_bw(container, node, bw_want, mode);
+  }
   {
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kRegister;
@@ -133,6 +151,7 @@ void Controller::register_impl(cluster::Container& container,
     rev.node = node.id();
     rev.cores = cores;
     rev.mem = mem;
+    rev.bw_bps = allocator_.app().member_bw(container.id());
     emit_repl(rev);
   }
 
@@ -245,6 +264,10 @@ void Controller::deregister_container(cluster::Container& container) {
     emit_repl(rev);
   }
   it->second.agent->unmanage(container.id());
+  // The container is gone: tear down its shaper lane (queued messages
+  // release unshaped). Quarantine reclaim does NOT do this — a dead node's
+  // shaper is unreachable and keeps its fail-static rates.
+  if (bw_shaper_ != nullptr) bw_shaper_->detach(container.id());
   container.cpu_cgroup().set_period_hook(nullptr);
   container.mem_cgroup().set_oom_hook(nullptr);
   container.cpu_cgroup().set_obs_counters(nullptr, nullptr);
@@ -354,6 +377,158 @@ void Controller::restart() {
   drain_deferred_registrations();
 }
 
+void Controller::enable_bandwidth(bw::ClusterShaper& shaper) {
+  bw_shaper_ = &shaper;
+  for (const auto& agent : agents_) agent->set_bw_shaper(bw_shaper_);
+  // The sampler is the bandwidth analogue of the CFS period hook: one
+  // BwSample per shaped container per period, shipped to the Controller on
+  // its own telemetry channel (lost when the path is down, like CPU stats).
+  shaper.start_sampler(
+      config_.cfs_period, [this](const bw::BwSample& sample) {
+        net_.send_to(net::Channel::kBwTelemetry, ep(sample.node),
+                     net::kControllerEndpoint, kBwStatsWireBytes,
+                     [this, sample] { ingest_bw_stats(sample); });
+      });
+}
+
+void Controller::on_bw_stats(const bw::BwSample& sample) {
+  ingest_bw_stats(sample);
+}
+
+double Controller::node_bw_headroom(cluster::NodeId node,
+                                    cluster::ContainerId except) const {
+  if (bw_shaper_ == nullptr) return 0.0;
+  const double nic = bw_shaper_->node_nic_bps(node);
+  double used = 0.0;
+  for (const auto& [id, n] : bw_shaper_->attachments()) {
+    if (n != node || id == except) continue;
+    // The larger of the applied shaper rate and the book's shadow rate: an
+    // in-flight grant is already committed in the book, an unlanded shrink
+    // is still applied at the node — counting the max keeps the sum of
+    // applied rates under the NIC in both directions of divergence. A
+    // fail-static attachment can outlive the book across a controller
+    // crash (members are rebuilt from resync; shaper state persists on the
+    // node), so the shadow rate only counts for current members.
+    const double book = allocator_.app().is_member(id)
+                            ? allocator_.app().member_bw(id)
+                            : 0.0;
+    used += std::max(bw_shaper_->container_rate(id), book);
+  }
+  return std::max(0.0, nic - used);
+}
+
+void Controller::admit_bw(cluster::Container& container, cluster::Node& node,
+                          double want, RegisterMode mode) {
+  if (bw_shaper_ == nullptr) return;
+  if (bw_shaper_->node_shaper(node.id()) == nullptr) return;  // no shaper here
+  const cluster::ContainerId id = container.id();
+  const bool attached = bw_shaper_->node_of(id) != bw::ClusterShaper::kNoNode;
+  if (want <= 0.0) {
+    // Recovery with no recorded rate (a replica that never saw a bandwidth
+    // slot): adopt the node's fail-static shaper rate if the container is
+    // still attached there; otherwise it stays unshaped.
+    if (!attached) return;
+    want = bw_shaper_->container_rate(id);
+    if (want <= 0.0) return;
+  }
+  const double grant =
+      std::min({want, std::max(0.0, allocator_.app().bw_unallocated()),
+                node_bw_headroom(node.id(), id)});
+  if (grant < config_.bw_min_rate) {
+    // Below the admission floor: an allocation that small would starve the
+    // container behind its own shaper — better unshaped (NIC-contended)
+    // until the pool can cover the floor.
+    return;
+  }
+  const double committed = allocator_.app().set_member_bw(id, grant);
+  if (committed <= 0.0) return;
+  const double applied = attached ? bw_shaper_->container_rate(id) : 0.0;
+  if (mode == RegisterMode::kBootstrap) {
+    // Deploy-time bootstrap rates go straight into the shaper, like the
+    // registration-time cgroup writes.
+    if (!attached) bw_shaper_->attach(id, node.id());
+    bw_shaper_->set_container_rate(id, committed);
+  } else if (std::abs(applied - committed) > kBwRateEpsilon) {
+    // Recovery: the shaper keeps the node's fail-static truth; the
+    // correction travels as a normal sequenced update.
+    LoopCtx ctx;
+    push_bw_limit(id, committed, ctx);
+  }
+}
+
+void Controller::ingest_bw_stats(const bw::BwSample& sample) {
+  if (crashed_) return;
+  if (obs_ != nullptr) obs_->h.bw_stats_ingested->inc();
+
+  const auto rit = registry_.find(sample.container);
+  if (rit == registry_.end()) return;
+  // Dead-node quarantine, same as the CPU path: no decisions for a node
+  // that cannot apply them.
+  if (rit->second.agent != nullptr &&
+      node_dead(rit->second.agent->node().id())) {
+    return;
+  }
+  if (!allocator_.knows(sample.container)) return;
+
+  obs::EventId cause = 0;
+  if (sample.throttled) {
+    if (obs_ != nullptr) {
+      obs_->h.bw_saturation->inc();
+      obs::TraceEvent ev;
+      ev.time = sim_.now();
+      ev.kind = obs::EventKind::kBwSaturation;
+      ev.container = sample.container;
+      ev.node = node_tag(rit->second);
+      ev.before = sample.rate_bps;
+      ev.after = sample.rate_bps;
+      ev.detail = static_cast<std::int64_t>(sample.queue_depth);
+      cause = obs_->record(ev);
+    }
+  }
+
+  const double before = allocator_.app().member_bw(sample.container);
+  const auto decision = allocator_.on_bw_stats(sample);
+  if (!decision.has_value()) return;
+
+  // NIC conservation: a grant may not push the node's summed applied rates
+  // past its NIC, counting every peer at the larger of its applied and book
+  // rate (in-flight slots in either direction stay accounted). Shrinks only
+  // free capacity and are never clamped. The allocator already moved the
+  // book to *decision; a clamp writes the book back down.
+  double target = *decision;
+  if (target > before && rit->second.agent != nullptr) {
+    const cluster::NodeId node = rit->second.agent->node().id();
+    const double headroom = node_bw_headroom(node, sample.container);
+    const double clamped = std::max(before, std::min(target, headroom));
+    if (clamped < target) {
+      target = allocator_.app().set_member_bw(sample.container, clamped);
+    }
+  }
+
+  // The decision trace event always lands (1:1 with the allocator's
+  // grant/shrink counters), even when the NIC clamp reduced it to a no-op;
+  // the slot is only opened for a change worth an RPC.
+  LoopCtx ctx;
+  ctx.fire = sim_.now();
+  ctx.ingest = sim_.now();
+  ctx.decide = sim_.now();
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = *decision > before ? obs::EventKind::kBwGrant
+                                 : obs::EventKind::kBwShrink;
+    ev.container = sample.container;
+    ev.node = node_tag(rit->second);
+    ev.before = before;
+    ev.after = target;
+    ev.cause = cause;
+    ctx.cause = obs_->record(ev);
+  }
+  if (std::abs(target - before) > kBwRateEpsilon) {
+    push_bw_limit(sample.container, target, ctx);
+  }
+}
+
 void Controller::on_cpu_stats(const CpuStatsMsg& stats) {
   // Direct entry point (tests, replay): no causal ancestor, and the fire
   // instant is the period boundary the statistic describes.
@@ -409,11 +584,11 @@ void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
   const auto it = registry_.find(id);
   if (it == registry_.end()) return;
   ++limit_updates_;
-  const std::uint64_t key = update_key(id, /*is_mem=*/false);
+  const std::uint64_t key = update_key(id, Resource::kCpu);
   Pending& p = pending_[key];
   if (p.timer.valid()) sim_.cancel(p.timer);  // superseded: newest wins
   p.seq = next_seq();
-  p.is_mem = false;
+  p.resource = Resource::kCpu;
   p.cores = cores;
   p.attempts = 0;
   p.backoff = config_.rpc_retry_timeout;
@@ -450,11 +625,11 @@ void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
   const auto it = registry_.find(id);
   if (it == registry_.end()) return;
   ++limit_updates_;
-  const std::uint64_t key = update_key(id, /*is_mem=*/true);
+  const std::uint64_t key = update_key(id, Resource::kMem);
   Pending& p = pending_[key];
   if (p.timer.valid()) sim_.cancel(p.timer);
   p.seq = next_seq();
-  p.is_mem = true;
+  p.resource = Resource::kMem;
   p.mem = limit;
   p.attempts = 0;
   p.backoff = config_.rpc_retry_timeout;
@@ -486,11 +661,53 @@ void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
   send_pending(key);
 }
 
+void Controller::push_bw_limit(cluster::ContainerId id, double rate_bps,
+                               LoopCtx ctx) {
+  if (crashed_) return;
+  const auto it = registry_.find(id);
+  if (it == registry_.end()) return;
+  ++limit_updates_;
+  const std::uint64_t key = update_key(id, Resource::kBw);
+  Pending& p = pending_[key];
+  if (p.timer.valid()) sim_.cancel(p.timer);
+  p.seq = next_seq();
+  p.resource = Resource::kBw;
+  p.bw_bps = rate_bps;
+  p.attempts = 0;
+  p.backoff = config_.rpc_retry_timeout;
+  p.ctx = ctx;
+  p.rpc_event = 0;
+  if (obs_ != nullptr) {
+    obs_->h.rpcs_issued->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kRpcIssued;
+    ev.container = id;
+    ev.node = node_tag(it->second);
+    ev.before = 2.0;  // resource flag: 2 = bandwidth
+    ev.after = rate_bps;
+    ev.cause = ctx.cause;
+    ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
+    p.rpc_event = obs_->record(ev);
+  }
+  {
+    ReplicationEvent rev;
+    rev.kind = ReplicationEvent::Kind::kBwSlot;
+    rev.container = id;
+    rev.node = it->second.agent->node().id();
+    rev.seq = p.seq;
+    rev.resource = Resource::kBw;
+    rev.bw_bps = rate_bps;
+    emit_repl(rev);
+  }
+  send_pending(key);
+}
+
 void Controller::send_pending(std::uint64_t key) {
   const auto pit = pending_.find(key);
   if (pit == pending_.end()) return;
   Pending& p = pit->second;
-  const auto id = static_cast<cluster::ContainerId>(key >> 1);
+  const auto id = static_cast<cluster::ContainerId>(key >> 2);
   const auto it = registry_.find(id);
   if (it == registry_.end()) {
     sim_.cancel(p.timer);
@@ -501,9 +718,10 @@ void Controller::send_pending(std::uint64_t key) {
   const cluster::NodeId node_id = agent->node().id();
   const std::uint32_t node = node_tag(it->second);
   const std::uint64_t seq = p.seq;
-  const bool is_mem = p.is_mem;
+  const Resource resource = p.resource;
   const double cores = p.cores;
   const memcg::Bytes mem = p.mem;
+  const double bw_bps = p.bw_bps;
   const obs::EventId rpc_event = p.rpc_event;
   const LoopCtx ctx = p.ctx;
 
@@ -513,11 +731,24 @@ void Controller::send_pending(std::uint64_t key) {
       // Request delivered at the Agent. Returning false (crashed agent)
       // kills the response leg: the Controller's timeout takes it from
       // there.
-      [this, agent, id, seq, is_mem, cores, mem, rpc_event, ctx,
+      [this, agent, id, seq, resource, cores, mem, bw_bps, rpc_event, ctx,
        node]() -> bool {
-        const Agent::Apply result =
-            is_mem ? agent->apply_mem_limit(id, mem, seq)
-                   : agent->apply_cpu_limit(id, cores, seq);
+        Agent::Apply result = Agent::Apply::kRejected;
+        double applied_value = 0.0;
+        switch (resource) {
+          case Resource::kCpu:
+            result = agent->apply_cpu_limit(id, cores, seq);
+            applied_value = cores;
+            break;
+          case Resource::kMem:
+            result = agent->apply_mem_limit(id, mem, seq);
+            applied_value = static_cast<double>(mem);
+            break;
+          case Resource::kBw:
+            result = agent->apply_bw_limit(id, bw_bps, seq);
+            applied_value = bw_bps;
+            break;
+        }
         if (result == Agent::Apply::kRejected) return false;
         // A fenced update means this epoch has been deposed: the Agent will
         // not act on it and must not treat it as live-controller contact —
@@ -532,8 +763,8 @@ void Controller::send_pending(std::uint64_t key) {
           ev.kind = obs::EventKind::kRpcApplied;
           ev.container = id;
           ev.node = node;
-          ev.before = is_mem ? 1.0 : 0.0;
-          ev.after = is_mem ? static_cast<double>(mem) : cores;
+          ev.before = static_cast<double>(resource);
+          ev.after = applied_value;
           ev.cause = rpc_event;  // the original issue, across retransmits
           // The applied sequence (epoch in the high 16 bits): the invariant
           // checker derives the no-split-brain rule — per-(container,
@@ -565,10 +796,11 @@ void Controller::on_update_ack(std::uint64_t key, std::uint64_t seq,
   {
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kAckSlot;
-    rev.container = static_cast<cluster::ContainerId>(key >> 1);
+    rev.container = static_cast<cluster::ContainerId>(key >> 2);
     rev.node = node;
     rev.seq = seq;
-    rev.is_mem = it->second.is_mem;
+    rev.resource = it->second.resource;
+    rev.is_mem = it->second.resource == Resource::kMem;
     emit_repl(rev);
   }
   pending_.erase(it);
@@ -581,7 +813,7 @@ void Controller::on_update_timeout(std::uint64_t key, std::uint64_t seq) {
   Pending& p = it->second;
   ++p.attempts;
   ++retransmits_;
-  const auto id = static_cast<cluster::ContainerId>(key >> 1);
+  const auto id = static_cast<cluster::ContainerId>(key >> 2);
   if (obs_ != nullptr) {
     obs_->h.retransmits->inc();
     obs::TraceEvent ev;
@@ -590,8 +822,18 @@ void Controller::on_update_timeout(std::uint64_t key, std::uint64_t seq) {
     ev.container = id;
     const auto rit = registry_.find(id);
     ev.node = rit != registry_.end() ? node_tag(rit->second) : 0;
-    ev.before = p.is_mem ? 1.0 : 0.0;
-    ev.after = p.is_mem ? static_cast<double>(p.mem) : p.cores;
+    ev.before = static_cast<double>(p.resource);
+    switch (p.resource) {
+      case Resource::kCpu:
+        ev.after = p.cores;
+        break;
+      case Resource::kMem:
+        ev.after = static_cast<double>(p.mem);
+        break;
+      case Resource::kBw:
+        ev.after = p.bw_bps;
+        break;
+    }
     ev.cause = p.rpc_event;
     ev.detail = p.attempts;
     obs_->record(ev);
@@ -601,8 +843,8 @@ void Controller::on_update_timeout(std::uint64_t key, std::uint64_t seq) {
 }
 
 void Controller::cancel_pending_for(cluster::ContainerId id) {
-  for (const bool is_mem : {false, true}) {
-    const auto it = pending_.find(update_key(id, is_mem));
+  for (const Resource r : {Resource::kCpu, Resource::kMem, Resource::kBw}) {
+    const auto it = pending_.find(update_key(id, r));
     if (it == pending_.end()) continue;
     sim_.cancel(it->second.timer);
     pending_.erase(it);
@@ -728,24 +970,31 @@ void Controller::apply_resync(cluster::NodeId node, Agent& agent,
   for (const Agent::SnapshotEntry& s : snap) {
     if (s.container == nullptr) continue;
     double want_cores = 0.0;
+    double want_bw = 0.0;
+    bool push_bw = false;
     obs::EventId resync_ev = 0;
     if (registry_.contains(s.id)) {
       // Still registered (Agent restart without Controller loss): the
-      // shadow limit is authoritative; reconcile the cgroup toward it.
+      // shadow limits are authoritative; reconcile the node toward them.
       want_cores = allocator_.app().member_cores(s.id);
-      if (std::abs(want_cores - s.cpu_cores) <= eps) continue;
+      want_bw = allocator_.app().member_bw(s.id);
+      push_bw = bw_shaper_ != nullptr &&
+                std::abs(want_bw - s.bw_bps) > kBwRateEpsilon;
+      if (std::abs(want_cores - s.cpu_cores) <= eps && !push_bw) continue;
     } else {
       // Re-adoption (Controller restart, or a node back after its share
-      // was reclaimed): the cgroup's fail-static limits are the starting
-      // point, clamped to what the pool still holds.
+      // was reclaimed): the node's fail-static limits are the starting
+      // point, clamped to what the pool still holds. Bandwidth re-admission
+      // (with the same clamp and its own corrective slot) rides inside.
       const double cores = std::min(
           s.cpu_cores, std::max(0.0, allocator_.app().cpu_unallocated()));
       const memcg::Bytes mem = std::min(
           s.mem_limit,
           std::max<memcg::Bytes>(0, allocator_.app().mem_unallocated()));
       register_impl(*s.container, agent.node(), cores, mem,
-                    RegisterMode::kResync);
+                    RegisterMode::kResync, s.bw_bps);
       want_cores = allocator_.app().member_cores(s.id);
+      want_bw = allocator_.app().member_bw(s.id);
     }
     ++resyncs_;
     if (obs_ != nullptr) {
@@ -760,13 +1009,18 @@ void Controller::apply_resync(cluster::NodeId node, Agent& agent,
       ev.detail = static_cast<std::int64_t>(s.mem_limit);
       resync_ev = obs_->record(ev);
     }
-    // Corrective update where the cgroup diverges from the intent. Memory
+    // Corrective update where the node diverges from the intent. Memory
     // is left to the periodic reclamation loop (shrinking a memory limit
     // below live usage would manufacture OOMs).
     if (std::abs(want_cores - s.cpu_cores) > eps) {
       LoopCtx ctx;
       ctx.cause = resync_ev;
       push_cpu_limit(s.id, want_cores, ctx);
+    }
+    if (push_bw) {
+      LoopCtx ctx;
+      ctx.cause = resync_ev;
+      push_bw_limit(s.id, want_bw, ctx);
     }
   }
 }
@@ -865,6 +1119,7 @@ std::vector<Controller::TakeoverContainer> Controller::registry_snapshot() {
     c.id = id;
     c.cores = allocator_.app().member_cores(id);
     c.mem = allocator_.app().member_mem(id);
+    c.bw_bps = allocator_.app().member_bw(id);
     out.push_back(c);
   }
   std::sort(out.begin(), out.end(),
@@ -879,16 +1134,18 @@ std::vector<Controller::TakeoverSlot> Controller::pending_slots() const {
   out.reserve(pending_.size());
   for (const auto& [key, p] : pending_) {
     TakeoverSlot s;
-    s.id = static_cast<cluster::ContainerId>(key >> 1);
-    s.is_mem = p.is_mem;
+    s.id = static_cast<cluster::ContainerId>(key >> 2);
+    s.resource = p.resource;
+    s.is_mem = p.resource == Resource::kMem;
     s.cores = p.cores;
     s.mem = p.mem;
+    s.bw_bps = p.bw_bps;
     s.seq = p.seq;
     out.push_back(s);
   }
   std::sort(out.begin(), out.end(),
             [](const TakeoverSlot& a, const TakeoverSlot& b) {
-              return a.id != b.id ? a.id < b.id : a.is_mem < b.is_mem;
+              return a.id != b.id ? a.id < b.id : a.resource < b.resource;
             });
   return out;
 }
@@ -962,22 +1219,30 @@ void Controller::takeover(std::uint64_t epoch,
     if (c.container == nullptr || c.node == nullptr) continue;
     if (registry_.contains(c.container->id())) continue;
     register_impl(*c.container, *c.node, c.cores, c.mem,
-                  RegisterMode::kTakeover);
+                  RegisterMode::kTakeover, c.bw_bps);
   }
 
   // Replay every still-open desired-state slot with a fresh epoch-packed
   // sequence: the corrective updates converge any cgroup the old leader's
   // unacked RPCs left divergent, and their acks close the slots normally.
   std::vector<cluster::ContainerId> cpu_slotted;
+  std::vector<cluster::ContainerId> bw_slotted;
   for (const TakeoverSlot& s : slots) {
     if (!registry_.contains(s.id)) continue;
-    if (!s.is_mem) cpu_slotted.push_back(s.id);
     LoopCtx ctx;
     ctx.cause = cause;
-    if (s.is_mem) {
-      push_mem_limit(s.id, s.mem, ctx);
-    } else {
-      push_cpu_limit(s.id, s.cores, ctx);
+    switch (s.resource) {
+      case Resource::kCpu:
+        cpu_slotted.push_back(s.id);
+        push_cpu_limit(s.id, s.cores, ctx);
+        break;
+      case Resource::kMem:
+        push_mem_limit(s.id, s.mem, ctx);
+        break;
+      case Resource::kBw:
+        bw_slotted.push_back(s.id);
+        push_bw_limit(s.id, s.bw_bps, ctx);
+        break;
     }
   }
 
@@ -994,12 +1259,27 @@ void Controller::takeover(std::uint64_t epoch,
   for (const auto& [id, entry] : registry_) registered_ids.push_back(id);
   std::sort(registered_ids.begin(), registered_ids.end());
   for (const cluster::ContainerId id : registered_ids) {
-    if (std::binary_search(cpu_slotted.begin(), cpu_slotted.end(), id)) {
-      continue;
+    if (!std::binary_search(cpu_slotted.begin(), cpu_slotted.end(), id)) {
+      LoopCtx ctx;
+      ctx.cause = cause;
+      push_cpu_limit(id, allocator_.app().member_cores(id), ctx);
     }
-    LoopCtx ctx;
-    ctx.cause = cause;
-    push_cpu_limit(id, allocator_.app().member_cores(id), ctx);
+    // Same convergence sweep for bandwidth: a bandwidth slot lost in the
+    // WAL tail would otherwise leave the node's applied rate divergent
+    // forever. Unshaped containers (no book rate, no applied rate) are
+    // skipped — pushing a zero rate would attach an empty lane.
+    if (bw_shaper_ != nullptr &&
+        !std::binary_search(bw_slotted.begin(), bw_slotted.end(), id)) {
+      const double book = allocator_.app().member_bw(id);
+      const bool attached =
+          bw_shaper_->node_of(id) != bw::ClusterShaper::kNoNode;
+      const double applied = attached ? bw_shaper_->container_rate(id) : 0.0;
+      if (book > 0.0 || applied > 0.0) {
+        LoopCtx ctx;
+        ctx.cause = cause;
+        push_bw_limit(id, book, ctx);
+      }
+    }
   }
 
   // Admissions queued during the vacancy, answered against the fully

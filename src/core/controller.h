@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "bw/shaper.h"
 #include "cluster/container.h"
 #include "cluster/node.h"
 #include "core/agent.h"
@@ -82,21 +83,27 @@ class Controller {
   // the transport.
   struct ReplicationEvent {
     enum class Kind {
-      kRegister,    // container joined: committed cores/mem
+      kRegister,    // container joined: committed cores/mem/bw
       kDeregister,  // container left (deregistered or quarantine-reclaimed)
       kCpuSlot,     // desired-state CPU slot opened/superseded (seq, cores)
       kMemSlot,     // desired-state memory slot opened/superseded (seq, mem)
       kAckSlot,     // slot acked by the Agent (seq closed it)
       kMemShadow,   // shadow memory limit moved without a slot (reclaim)
       kNodeHealth,  // node liveness / agent-incarnation transition
+      kBwSlot,      // desired-state bandwidth slot opened/superseded (seq, bw)
     };
     Kind kind = Kind::kRegister;
     cluster::ContainerId container = 0;
     cluster::NodeId node = 0;
-    std::uint64_t seq = 0;  // slot sequence number (kCpuSlot/kMemSlot/kAckSlot)
-    bool is_mem = false;    // resource of the slot being acked (kAckSlot)
+    std::uint64_t seq = 0;  // slot sequence number (k*Slot/kAckSlot)
+    // Resource of the slot being acked (kAckSlot). `is_mem` predates the
+    // three-resource slot space and stays in sync with `resource` for
+    // CPU/memory consumers.
+    bool is_mem = false;
+    Resource resource = Resource::kCpu;
     double cores = 0.0;
     memcg::Bytes mem = 0;
+    double bw_bps = 0.0;                  // kRegister / kBwSlot
     std::uint64_t agent_incarnation = 0;  // kNodeHealth
     bool node_dead = false;               // kNodeHealth
   };
@@ -120,6 +127,7 @@ class Controller {
     cluster::ContainerId id = 0;
     double cores = 0.0;
     memcg::Bytes mem = 0;
+    double bw_bps = 0.0;  // replicated shadow bandwidth rate; 0 = unshaped
     // Resolved by the caller (the replica carries ids; src/ha resolves them
     // against the Cluster before installing). Entries with a null pointer —
     // the container vanished while the replica was in flight — are skipped.
@@ -128,9 +136,11 @@ class Controller {
   };
   struct TakeoverSlot {
     cluster::ContainerId id = 0;
-    bool is_mem = false;
+    bool is_mem = false;  // kept in sync with `resource` for CPU/memory
+    Resource resource = Resource::kCpu;
     double cores = 0.0;
     memcg::Bytes mem = 0;
+    double bw_bps = 0.0;
     // The slot's current sequence number. Informational for takeover()
     // (replay always stamps fresh new-epoch sequences); used by src/ha to
     // seed its book and to model a deposed leader's in-flight retransmits.
@@ -175,6 +185,25 @@ class Controller {
   void crash();
   void restart();
   bool crashed() const { return crashed_; }
+
+  // --- bandwidth plane (third managed resource, src/bw) ---
+  //
+  // Arms bandwidth management: the Controller keeps the shaper pointer for
+  // rate reads and admission clamping, and starts the shaper's per-period
+  // sampler, whose samples travel the kBwTelemetry channel into
+  // on_bw_stats — the bandwidth analogue of the CFS period hook. The
+  // Distributed Container's bandwidth pool (set_bw_limit) must be armed
+  // separately; EscraSystem::enable_bandwidth does both.
+  void enable_bandwidth(bw::ClusterShaper& shaper);
+  bool bandwidth_enabled() const { return bw_shaper_ != nullptr; }
+  bw::ClusterShaper* bw_shaper() { return bw_shaper_; }
+  // The per-container bootstrap rate granted at registration (bytes/s);
+  // containers registering while the plan is 0 use the late-join default.
+  void set_bw_plan(double per_container_bps) { bw_plan_ = per_container_bps; }
+
+  // Bandwidth telemetry ingress (normally invoked via the network by the
+  // shaper sampler wiring in enable_bandwidth).
+  void on_bw_stats(const bw::BwSample& sample);
 
   // --- telemetry & events (normally invoked via the network) ---
   void on_cpu_stats(const CpuStatsMsg& stats);
@@ -230,13 +259,14 @@ class Controller {
   };
   // One desired-state slot per (container, resource): the newest intended
   // limit, its sequence number, and the retransmit timer. Keyed by
-  // container id * 2 + (mem ? 1 : 0). A superseding decision overwrites the
+  // container id * 4 + resource. A superseding decision overwrites the
   // slot (the newest value wins); the ack for the newest sequence clears it.
   struct Pending {
     std::uint64_t seq = 0;
-    bool is_mem = false;
+    Resource resource = Resource::kCpu;
     double cores = 0.0;
     memcg::Bytes mem = 0;
+    double bw_bps = 0.0;
     int attempts = 0;
     sim::Duration backoff = 0;
     sim::EventHandle timer;
@@ -252,21 +282,38 @@ class Controller {
   };
 
   enum class RegisterMode { kBootstrap, kResync, kTakeover };
+  // `bw_want` is the recovery-mode bandwidth rate to re-admit (snapshot or
+  // replica value); bootstrap ignores it and derives the rate from the plan.
   void register_impl(cluster::Container& container, cluster::Node& node,
-                     double cores, memcg::Bytes mem, RegisterMode mode);
+                     double cores, memcg::Bytes mem, RegisterMode mode,
+                     double bw_want = 0.0);
   void ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
                         sim::TimePoint fire_time);
   void push_cpu_limit(cluster::ContainerId id, double cores, LoopCtx ctx);
   void push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
                       LoopCtx ctx);
+  void push_bw_limit(cluster::ContainerId id, double rate_bps, LoopCtx ctx);
+  void ingest_bw_stats(const bw::BwSample& sample);
+  // NIC headroom left on a node for one container's rate: nic_bps minus
+  // every *other* attached container's rate, counting for each the larger
+  // of the applied shaper rate and the book's shadow rate (so in-flight
+  // grants and unlanded shrinks both stay accounted).
+  double node_bw_headroom(cluster::NodeId node,
+                          cluster::ContainerId except) const;
+  // Initial bandwidth admission for a registering container. Grants
+  // min(want, pool, NIC headroom) unless that falls below the bw_min_rate
+  // admission floor, in which case the container stays unshaped.
+  void admit_bw(cluster::Container& container, cluster::Node& node,
+                double want, RegisterMode mode);
   void run_periodic_reclaim();
   std::uint32_t node_tag(const Entry& entry) const;
   void record_reclaims(Agent& agent,
                        const std::vector<Agent::Resize>& resizes);
 
   // --- reliability internals ---
-  static std::uint64_t update_key(cluster::ContainerId id, bool is_mem) {
-    return static_cast<std::uint64_t>(id) * 2 + (is_mem ? 1 : 0);
+  static std::uint64_t update_key(cluster::ContainerId id, Resource r) {
+    return static_cast<std::uint64_t>(id) * 4 +
+           static_cast<std::uint64_t>(r);
   }
   std::uint64_t next_seq() {
     // The per-epoch counter lives in the low 48 bits. Rolling it over into
@@ -331,6 +378,8 @@ class Controller {
   std::unordered_map<std::uint64_t, Pending> pending_;
   std::unordered_map<cluster::NodeId, NodeHealth> health_;
   ReplicationHook repl_hook_;
+  bw::ClusterShaper* bw_shaper_ = nullptr;
+  double bw_plan_ = 0.0;  // registration-time grant; 0 = late-join default
 
   std::uint64_t stats_received_ = 0;
   std::uint64_t limit_updates_ = 0;

@@ -40,9 +40,22 @@ void DistributedContainer::remove_member(std::uint32_t container) {
   if (it == members_.end()) throw std::invalid_argument("remove_member: unknown");
   cpu_allocated_ -= it->second.cores;
   mem_allocated_ -= it->second.mem;
+  bw_allocated_ -= it->second.bw;
   members_.erase(it);
   cpu_allocated_ = std::max(0.0, cpu_allocated_);
   mem_allocated_ = std::max<memcg::Bytes>(0, mem_allocated_);
+  bw_allocated_ = std::max(0.0, bw_allocated_);
+  sync_gauges();
+}
+
+void DistributedContainer::set_bw_limit(double bw_bps) {
+  if (bw_bps < 0.0) {
+    throw std::invalid_argument("set_bw_limit: negative limit");
+  }
+  if (bw_bps + 1e-6 < bw_allocated_) {
+    throw std::invalid_argument("set_bw_limit: below allocated bandwidth");
+  }
+  bw_limit_ = bw_bps;
   sync_gauges();
 }
 
@@ -96,6 +109,25 @@ memcg::Bytes DistributedContainer::set_member_mem(std::uint32_t container,
   return mem;
 }
 
+double DistributedContainer::member_bw(std::uint32_t container) const {
+  return member(container).bw;
+}
+
+double DistributedContainer::set_member_bw(std::uint32_t container,
+                                           double bw_bps) {
+  const auto it = members_.find(container);
+  if (it == members_.end()) {
+    throw std::invalid_argument("set_member_bw: unknown member");
+  }
+  bw_bps = std::max(0.0, bw_bps);
+  const double headroom = bw_limit_ - (bw_allocated_ - it->second.bw);
+  bw_bps = std::min(bw_bps, std::max(0.0, headroom));
+  bw_allocated_ += bw_bps - it->second.bw;
+  it->second.bw = bw_bps;
+  sync_gauges();
+  return bw_bps;
+}
+
 void DistributedContainer::set_obs_gauges(obs::Gauge* cpu_allocated,
                                           obs::Gauge* cpu_unallocated,
                                           obs::Gauge* mem_allocated,
@@ -107,12 +139,24 @@ void DistributedContainer::set_obs_gauges(obs::Gauge* cpu_allocated,
   sync_gauges();
 }
 
+void DistributedContainer::set_bw_gauges(obs::Gauge* bw_allocated,
+                                         obs::Gauge* bw_unallocated) {
+  gauge_bw_allocated_ = bw_allocated;
+  gauge_bw_unallocated_ = bw_unallocated;
+  sync_gauges();
+}
+
 void DistributedContainer::sync_gauges() const {
-  if (gauge_cpu_allocated_ == nullptr) return;
-  gauge_cpu_allocated_->set(cpu_allocated_);
-  gauge_cpu_unallocated_->set(cpu_unallocated());
-  gauge_mem_allocated_->set(static_cast<double>(mem_allocated_));
-  gauge_mem_unallocated_->set(static_cast<double>(mem_unallocated()));
+  if (gauge_cpu_allocated_ != nullptr) {
+    gauge_cpu_allocated_->set(cpu_allocated_);
+    gauge_cpu_unallocated_->set(cpu_unallocated());
+    gauge_mem_allocated_->set(static_cast<double>(mem_allocated_));
+    gauge_mem_unallocated_->set(static_cast<double>(mem_unallocated()));
+  }
+  if (gauge_bw_allocated_ != nullptr) {
+    gauge_bw_allocated_->set(bw_allocated_);
+    gauge_bw_unallocated_->set(bw_unallocated());
+  }
 }
 
 }  // namespace escra::core

@@ -10,6 +10,11 @@
 // Class invariant (checked on every mutation):
 //     0 <= cpu_allocated() <= cpu_limit()
 //     0 <= mem_allocated() <= mem_limit()
+//     0 <= bw_allocated() <= bw_limit()   (when bandwidth is enabled)
+//
+// Bandwidth is optional: bw_limit() is 0 until set_bw_limit() arms it, and
+// a member with a zero bandwidth rate is simply unshaped (it consumes none
+// of the pool).
 #pragma once
 
 #include <cstdint>
@@ -30,12 +35,19 @@ class DistributedContainer {
   // --- global limits (Figure 3, circle 2) ---
   double cpu_limit() const { return cpu_limit_; }
   memcg::Bytes mem_limit() const { return mem_limit_; }
+  double bw_limit() const { return bw_limit_; }
+
+  // Arms (or resizes) the aggregate bandwidth pool, bytes/s. Throws if the
+  // new limit is below what is already allocated to members.
+  void set_bw_limit(double bw_bps);
 
   // --- aggregate allocation state (Figure 3, circle 6) ---
   double cpu_allocated() const { return cpu_allocated_; }
   double cpu_unallocated() const { return cpu_limit_ - cpu_allocated_; }
   memcg::Bytes mem_allocated() const { return mem_allocated_; }
   memcg::Bytes mem_unallocated() const { return mem_limit_ - mem_allocated_; }
+  double bw_allocated() const { return bw_allocated_; }
+  double bw_unallocated() const { return bw_limit_ - bw_allocated_; }
 
   std::size_t member_count() const { return members_.size(); }
   bool is_member(std::uint32_t container) const {
@@ -63,11 +75,22 @@ class DistributedContainer {
   // Adjusts a member's memory limit to `mem`, clamped likewise.
   memcg::Bytes set_member_mem(std::uint32_t container, memcg::Bytes mem);
 
+  // A member's bandwidth rate, bytes/s; 0 means unshaped.
+  double member_bw(std::uint32_t container) const;
+
+  // Adjusts a member's bandwidth rate to `bw_bps`, clamped so the aggregate
+  // stays within the global bandwidth pool. Returns the value actually set.
+  double set_member_bw(std::uint32_t container, double bw_bps);
+
   // Observability: pool-occupancy gauges kept in sync on every mutation
   // (all four may be null; typically wired from an obs::Observer's
   // pool.cpu/mem_allocated/unallocated handles).
   void set_obs_gauges(obs::Gauge* cpu_allocated, obs::Gauge* cpu_unallocated,
                       obs::Gauge* mem_allocated, obs::Gauge* mem_unallocated);
+
+  // Bandwidth-pool gauges, wired separately so pre-bandwidth callers keep
+  // the four-argument overload above.
+  void set_bw_gauges(obs::Gauge* bw_allocated, obs::Gauge* bw_unallocated);
 
  private:
   void sync_gauges() const;
@@ -75,18 +98,23 @@ class DistributedContainer {
   struct Member {
     double cores = 0.0;
     memcg::Bytes mem = 0;
+    double bw = 0.0;  // bytes/s; 0 = unshaped
   };
   const Member& member(std::uint32_t container) const;
 
   double cpu_limit_;
   memcg::Bytes mem_limit_;
+  double bw_limit_ = 0.0;  // bytes/s; 0 = bandwidth pool disabled
   double cpu_allocated_ = 0.0;
   memcg::Bytes mem_allocated_ = 0;
+  double bw_allocated_ = 0.0;
   std::unordered_map<std::uint32_t, Member> members_;
   obs::Gauge* gauge_cpu_allocated_ = nullptr;
   obs::Gauge* gauge_cpu_unallocated_ = nullptr;
   obs::Gauge* gauge_mem_allocated_ = nullptr;
   obs::Gauge* gauge_mem_unallocated_ = nullptr;
+  obs::Gauge* gauge_bw_allocated_ = nullptr;
+  obs::Gauge* gauge_bw_unallocated_ = nullptr;
 };
 
 }  // namespace escra::core

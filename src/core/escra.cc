@@ -19,12 +19,21 @@ std::vector<cluster::Container*> EscraSystem::deploy(const AppSpec& spec) {
   return deployer_.deploy(spec);
 }
 
+void EscraSystem::enable_bandwidth(bw::ClusterShaper& shaper,
+                                   double global_bw_bps) {
+  app_.set_bw_limit(global_bw_bps);
+  controller_.enable_bandwidth(shaper);
+}
+
 void EscraSystem::manage(const std::vector<cluster::Container*>& containers) {
   if (containers.empty()) throw std::invalid_argument("manage: no containers");
   const auto n = static_cast<double>(containers.size());
   const double cpu0 = app_.cpu_limit() / n;  // Eq. 1
   const auto mem0 = static_cast<memcg::Bytes>(
       static_cast<double>(app_.mem_limit()) * (1.0 - config_.sigma) / n);  // Eq. 2
+  if (bandwidth_enabled() && app_.bw_limit() > 0.0) {
+    controller_.set_bw_plan(app_.bw_limit() / n);  // Eq. 1, bandwidth analogue
+  }
   for (cluster::Container* c : containers) {
     cluster::Node* node = cluster_.node_of(c->id());
     if (node == nullptr) throw std::invalid_argument("manage: unknown container");

@@ -61,6 +61,16 @@ class EscraSystem {
   void start() { controller_.start(); }
   void stop() { controller_.stop(); }
 
+  // Arms bandwidth as a third managed resource: the Distributed Container
+  // gains a bandwidth pool of `global_bw_bps`, the Controller keeps the
+  // shaper for admission/clamping and starts its telemetry sampler, and
+  // subsequent manage()/deploy() calls grant each container an equal
+  // bootstrap rate (the bandwidth analogue of Eq. 1). The shaper must
+  // outlive the system and be wired into the Network by the caller
+  // (network.set_shaper).
+  void enable_bandwidth(bw::ClusterShaper& shaper, double global_bw_bps);
+  bool bandwidth_enabled() const { return controller_.bandwidth_enabled(); }
+
   // Fault injection: kills / revives the Controller process. Soft state
   // (registry, pool accounting, pending retransmits) is lost on crash and
   // rebuilt from the Agents' snapshots on restart; nodes fail static in

@@ -17,9 +17,22 @@
 
 namespace escra::core {
 
+// The resource a limit-update slot targets. Slot keys, WAL records, and the
+// checker all pack this into the low bits of `container_id * 4 + resource`,
+// so the numeric values are part of the on-disk/replication format.
+enum class Resource : std::uint8_t {
+  kCpu = 0,
+  kMem = 1,
+  kBw = 2,
+};
+
 // UDP telemetry datagram: 14B eth + 20B IP + 8B UDP + payload
 // (4B cgroup tag, 8B quota, 8B unused runtime, 1B flags, padding).
 inline constexpr std::size_t kCpuStatsWireBytes = 14 + 20 + 8 + 24;
+
+// UDP bandwidth telemetry datagram: same transport as the CPU statistic
+// (4B container tag, 8B rate, 8B used, 8B queue depth, 1B flags, padding).
+inline constexpr std::size_t kBwStatsWireBytes = 14 + 20 + 8 + 32;
 
 // TCP memory event (established kernel socket): headers + 16B payload.
 inline constexpr std::size_t kOomEventWireBytes = 14 + 20 + 32 + 16;

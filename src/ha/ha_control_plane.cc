@@ -39,11 +39,11 @@ HaControlPlane::HaControlPlane(core::EscraSystem& escra, net::Network& net,
   for (const auto& c : controller.registry_snapshot()) {
     cluster::Node* node = escra_.cluster().node_of(c.id);
     book_.containers[c.id] = ReplicaState::ContainerState{
-        c.cores, c.mem, node != nullptr ? node->id() : 0};
+        c.cores, c.mem, node != nullptr ? node->id() : 0, c.bw_bps};
   }
   for (const auto& s : controller.pending_slots()) {
-    book_.slots[ReplicaState::slot_key(s.id, s.is_mem)] =
-        ReplicaState::SlotState{s.seq, s.cores, s.mem};
+    book_.slots[ReplicaState::slot_key(s.id, s.resource)] =
+        ReplicaState::SlotState{s.seq, s.cores, s.mem, s.bw_bps};
   }
 
   // Log origin: the current epoch's start. Standbys never replay across
@@ -142,14 +142,19 @@ void HaControlPlane::on_repl_event(
     case Kind::kNodeHealth:
       r.kind = WalKind::kNodeHealth;
       break;
+    case Kind::kBwSlot:
+      r.kind = WalKind::kBwSlot;
+      break;
   }
   r.epoch = escra_.controller().epoch();
   r.container = ev.container;
   r.node = ev.node;
   r.seq = ev.seq;
   r.is_mem = ev.is_mem;
+  r.resource = ev.resource;
   r.cores = ev.cores;
   r.mem = ev.mem;
+  r.bw_bps = ev.bw_bps;
   r.agent_incarnation = ev.agent_incarnation;
   r.node_dead = ev.node_dead;
   append_and_stream(r);
@@ -434,6 +439,7 @@ void HaControlPlane::promote(Standby& standby) {
     c.id = id;
     c.cores = cs.cores;
     c.mem = cs.mem;
+    c.bw_bps = cs.bw_bps;
     c.container = escra_.cluster().find_container(id);
     c.node = escra_.cluster().node_of(id);
     containers.push_back(c);
@@ -442,10 +448,12 @@ void HaControlPlane::promote(Standby& standby) {
   slots.reserve(s.replica.slots.size());
   for (const auto& [key, sl] : s.replica.slots) {
     core::Controller::TakeoverSlot slot;
-    slot.id = static_cast<cluster::ContainerId>(key / 2);
-    slot.is_mem = (key & 1) != 0;
+    slot.id = static_cast<cluster::ContainerId>(key / 4);
+    slot.resource = static_cast<core::Resource>(key % 4);
+    slot.is_mem = slot.resource == core::Resource::kMem;
     slot.cores = sl.cores;
     slot.mem = sl.mem;
+    slot.bw_bps = sl.bw_bps;
     slot.seq = sl.seq;
     slots.push_back(slot);
   }
@@ -482,10 +490,11 @@ void HaControlPlane::spawn_ghost() {
   ghost->slots.reserve(book_.slots.size());
   for (const auto& [key, sl] : book_.slots) {
     GhostSlot g;
-    g.id = static_cast<cluster::ContainerId>(key / 2);
-    g.is_mem = (key & 1) != 0;
+    g.id = static_cast<cluster::ContainerId>(key / 4);
+    g.resource = static_cast<core::Resource>(key % 4);
     g.cores = sl.cores;
     g.mem = sl.mem;
+    g.bw_bps = sl.bw_bps;
     g.seq = sl.seq;
     const auto it = book_.containers.find(g.id);
     if (it == book_.containers.end()) continue;
@@ -517,20 +526,30 @@ void HaControlPlane::ghost_tick(Ghost& ghost) {
     core::Agent* agent = controller.agent_at(slot.node);
     if (agent == nullptr || agent->crashed()) continue;
     const cluster::ContainerId id = slot.id;
-    const bool is_mem = slot.is_mem;
+    const core::Resource resource = slot.resource;
     const double cores = slot.cores;
     const memcg::Bytes mem = slot.mem;
+    const double bw_bps = slot.bw_bps;
     const std::uint64_t seq = slot.seq;
     net_.rpc_to(
         net::kControllerEndpoint, node_ep(slot.node),
         core::kLimitUpdateRpcBytes, core::kLimitUpdateRespBytes,
-        [agent, id, is_mem, cores, mem, seq]() -> bool {
+        [agent, id, resource, cores, mem, bw_bps, seq]() -> bool {
           // The ghost re-sends with its *original* old-epoch sequences:
           // before the fence lands these are stale duplicates at worst
           // (idempotent); after it they bounce off Apply::kFenced.
-          const core::Agent::Apply result =
-              is_mem ? agent->apply_mem_limit(id, mem, seq)
-                     : agent->apply_cpu_limit(id, cores, seq);
+          core::Agent::Apply result = core::Agent::Apply::kRejected;
+          switch (resource) {
+            case core::Resource::kCpu:
+              result = agent->apply_cpu_limit(id, cores, seq);
+              break;
+            case core::Resource::kMem:
+              result = agent->apply_mem_limit(id, mem, seq);
+              break;
+            case core::Resource::kBw:
+              result = agent->apply_bw_limit(id, bw_bps, seq);
+              break;
+          }
           return result == core::Agent::Apply::kApplied ||
                  result == core::Agent::Apply::kStale;
         },

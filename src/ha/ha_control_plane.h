@@ -118,9 +118,10 @@ class HaControlPlane {
   struct GhostSlot {
     cluster::ContainerId id = 0;
     cluster::NodeId node = 0;
-    bool is_mem = false;
+    core::Resource resource = core::Resource::kCpu;
     double cores = 0.0;
     memcg::Bytes mem = 0;
+    double bw_bps = 0.0;
     std::uint64_t seq = 0;
   };
   struct Ghost {

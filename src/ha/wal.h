@@ -16,19 +16,21 @@
 
 #include "cluster/container.h"
 #include "cluster/node.h"
+#include "core/messages.h"
 #include "memcg/mem_cgroup.h"
 
 namespace escra::ha {
 
 enum class WalKind : std::uint8_t {
   kEpochStart,  // new leadership epoch: replica state resets, then rebuilds
-  kRegister,    // container joined: committed cores/mem on a node
+  kRegister,    // container joined: committed cores/mem/bw on a node
   kDeregister,  // container left (deregistered or quarantine-reclaimed)
   kCpuSlot,     // desired-state CPU slot opened/superseded (seq, cores)
   kMemSlot,     // desired-state memory slot opened/superseded (seq, bytes)
   kAckSlot,     // slot closed by the Agent's ack (seq identifies it)
   kMemShadow,   // shadow memory limit moved without a slot (reclaim sweep)
   kNodeHealth,  // node liveness / agent-incarnation transition
+  kBwSlot,      // desired-state bandwidth slot opened/superseded (seq, bw)
 };
 
 struct WalRecord {
@@ -37,10 +39,14 @@ struct WalRecord {
   std::uint64_t index = 0;  // position in the log (assigned by append)
   cluster::ContainerId container = 0;
   cluster::NodeId node = 0;
-  std::uint64_t seq = 0;  // slot sequence (kCpuSlot/kMemSlot/kAckSlot)
-  bool is_mem = false;    // resource of the slot being acked (kAckSlot)
+  std::uint64_t seq = 0;  // slot sequence (k*Slot/kAckSlot)
+  // Resource of the slot being acked (kAckSlot). `is_mem` predates the
+  // three-resource slot space and stays in sync for CPU/memory consumers.
+  bool is_mem = false;
+  core::Resource resource = core::Resource::kCpu;
   double cores = 0.0;
   memcg::Bytes mem = 0;
+  double bw_bps = 0.0;                  // kRegister / kBwSlot
   std::uint64_t agent_incarnation = 0;  // kNodeHealth
   bool node_dead = false;               // kNodeHealth
 };
@@ -88,11 +94,13 @@ struct ReplicaState {
     double cores = 0.0;    // current shadow CPU commitment
     memcg::Bytes mem = 0;  // current shadow memory commitment
     cluster::NodeId node = 0;
+    double bw_bps = 0.0;  // current shadow bandwidth rate; 0 = unshaped
   };
   struct SlotState {
     std::uint64_t seq = 0;
     double cores = 0.0;
     memcg::Bytes mem = 0;
+    double bw_bps = 0.0;
   };
   struct NodeState {
     std::uint64_t agent_incarnation = 0;
@@ -101,12 +109,13 @@ struct ReplicaState {
 
   // std::map: deterministic iteration order for takeover replay.
   std::map<cluster::ContainerId, ContainerState> containers;
-  std::map<std::uint64_t, SlotState> slots;  // key = container*2 + is_mem
+  std::map<std::uint64_t, SlotState> slots;  // key = container*4 + resource
   std::map<cluster::NodeId, NodeState> nodes;
   std::uint64_t epoch = 0;
 
-  static std::uint64_t slot_key(cluster::ContainerId id, bool is_mem) {
-    return static_cast<std::uint64_t>(id) * 2 + (is_mem ? 1 : 0);
+  static std::uint64_t slot_key(cluster::ContainerId id, core::Resource r) {
+    return static_cast<std::uint64_t>(id) * 4 +
+           static_cast<std::uint64_t>(r);
   }
 
   void apply(const WalRecord& r) {
@@ -120,27 +129,38 @@ struct ReplicaState {
         epoch = r.epoch;
         break;
       case WalKind::kRegister:
-        containers[r.container] = ContainerState{r.cores, r.mem, r.node};
+        containers[r.container] =
+            ContainerState{r.cores, r.mem, r.node, r.bw_bps};
         break;
       case WalKind::kDeregister:
         containers.erase(r.container);
-        slots.erase(slot_key(r.container, false));
-        slots.erase(slot_key(r.container, true));
+        slots.erase(slot_key(r.container, core::Resource::kCpu));
+        slots.erase(slot_key(r.container, core::Resource::kMem));
+        slots.erase(slot_key(r.container, core::Resource::kBw));
         break;
       case WalKind::kCpuSlot: {
-        slots[slot_key(r.container, false)] = SlotState{r.seq, r.cores, 0};
+        slots[slot_key(r.container, core::Resource::kCpu)] =
+            SlotState{r.seq, r.cores, 0, 0.0};
         const auto it = containers.find(r.container);
         if (it != containers.end()) it->second.cores = r.cores;
         break;
       }
       case WalKind::kMemSlot: {
-        slots[slot_key(r.container, true)] = SlotState{r.seq, 0.0, r.mem};
+        slots[slot_key(r.container, core::Resource::kMem)] =
+            SlotState{r.seq, 0.0, r.mem, 0.0};
         const auto it = containers.find(r.container);
         if (it != containers.end()) it->second.mem = r.mem;
         break;
       }
+      case WalKind::kBwSlot: {
+        slots[slot_key(r.container, core::Resource::kBw)] =
+            SlotState{r.seq, 0.0, 0, r.bw_bps};
+        const auto it = containers.find(r.container);
+        if (it != containers.end()) it->second.bw_bps = r.bw_bps;
+        break;
+      }
       case WalKind::kAckSlot: {
-        const auto it = slots.find(slot_key(r.container, r.is_mem));
+        const auto it = slots.find(slot_key(r.container, r.resource));
         // A newer (superseding) slot under the same key stays open: only
         // the ack for the newest sequence closes it.
         if (it != slots.end() && it->second.seq == r.seq) slots.erase(it);

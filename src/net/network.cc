@@ -16,6 +16,8 @@ const char* channel_name(Channel c) {
     case Channel::kControlRpc: return "control-rpc";
     case Channel::kRegistration: return "registration";
     case Channel::kHaReplication: return "ha-replication";
+    case Channel::kBwTelemetry: return "bw-telemetry";
+    case Channel::kAppData: return "app-data";
   }
   return "unknown";
 }
@@ -26,6 +28,8 @@ Network::Network(sim::Simulation& sim, Config config)
 sim::Duration Network::latency_for(Channel channel) const {
   switch (channel) {
     case Channel::kCpuTelemetry:
+    case Channel::kBwTelemetry:
+    case Channel::kAppData:
       return config_.telemetry_latency;
     case Channel::kMemoryEvent:
     case Channel::kControlRpc:
@@ -36,16 +40,22 @@ sim::Duration Network::latency_for(Channel channel) const {
   return config_.rpc_latency;
 }
 
-void Network::account(Channel channel, std::size_t bytes) {
+void Network::account(Channel channel, EndpointId from, std::size_t bytes) {
   auto& s = stats_[static_cast<int>(channel)];
   ++s.messages;
   s.bytes += bytes;
   lifetime_bytes_ += bytes;
   ++lifetime_messages_;
+  if (from != kUnroutedEndpoint) {
+    auto& ep = endpoint_stats_[from];
+    ++ep.tx_messages;
+    ep.tx_bytes += bytes;
+  }
   if (obs_bytes_[static_cast<int>(channel)] != nullptr) {
     obs_bytes_[static_cast<int>(channel)]->inc(bytes);
     obs_messages_[static_cast<int>(channel)]->inc();
   }
+  if (obs_egress_bytes_ != nullptr) obs_egress_bytes_->inc(bytes);
 
   const sim::TimePoint now = sim_.now();
   if (now - window_start_ >= config_.bandwidth_window) {
@@ -59,9 +69,11 @@ void Network::account(Channel channel, std::size_t bytes) {
   peak_window_bytes_ = std::max(peak_window_bytes_, window_bytes_);
 }
 
-void Network::count_drop() {
+void Network::count_drop(std::size_t bytes) {
   ++dropped_;
+  dropped_bytes_ += bytes;
   if (obs_dropped_ != nullptr) obs_dropped_->inc();
+  if (obs_dropped_bytes_ != nullptr) obs_dropped_bytes_->inc(bytes);
 }
 
 void Network::ensure_fault_rng() {
@@ -140,30 +152,39 @@ sim::Duration Network::jitter() {
   return fault_rng_->uniform_int(0, max_jitter_);
 }
 
-Network::Route Network::route(Channel channel, EndpointId from,
-                              EndpointId to) {
+Network::Route Network::route(Channel channel, EndpointId from, EndpointId to,
+                              std::size_t bytes) {
   Route r;
   const int ch = static_cast<int>(channel);
   // Partition check first: a severed link consumes no fault-rng draws, so a
   // partition window does not perturb the fault schedule elsewhere.
   if (from != kUnroutedEndpoint && to != kUnroutedEndpoint &&
       !link_up(from, to)) {
-    count_drop();
+    count_drop(bytes);
     return r;
   }
   // Probabilistic faults draw in a fixed order (drop, duplicate, spike,
   // jitter), each only when armed, keeping the stream stable.
   if (channel == Channel::kCpuTelemetry && loss_rate_ > 0.0 &&
       fault_rng_.has_value() && fault_rng_->chance(loss_rate_)) {
-    count_drop();
+    count_drop(bytes);
     return r;  // datagram lost; UDP telemetry has no retransmit
   }
   if (drop_rate_[ch] > 0.0 && fault_rng_.has_value() &&
       fault_rng_->chance(drop_rate_[ch])) {
-    count_drop();
+    count_drop(bytes);
     return r;
   }
   r.deliver = true;
+  // Ingress accounted at the delivery decision, once per message (a
+  // duplicate delivery re-runs the callback, not the wire).
+  ingress_bytes_ += bytes;
+  if (to != kUnroutedEndpoint) {
+    auto& ep = endpoint_stats_[to];
+    ++ep.rx_messages;
+    ep.rx_bytes += bytes;
+  }
+  if (obs_ingress_bytes_ != nullptr) obs_ingress_bytes_->inc(bytes);
   if (dup_rate_[ch] > 0.0 && fault_rng_.has_value() &&
       fault_rng_->chance(dup_rate_[ch])) {
     r.duplicate = true;
@@ -187,8 +208,8 @@ void Network::send(Channel channel, std::size_t bytes,
 
 void Network::send_to(Channel channel, EndpointId from, EndpointId to,
                       std::size_t bytes, std::function<void()> on_deliver) {
-  account(channel, bytes);  // the wire carried it either way
-  const Route r = route(channel, from, to);
+  account(channel, from, bytes);  // the wire carried it either way
+  const Route r = route(channel, from, to, bytes);
   if (!r.deliver) return;
   if (r.duplicate) {
     // The copy trails the original by one channel latency (e.g. a retried
@@ -198,6 +219,37 @@ void Network::send_to(Channel channel, EndpointId from, EndpointId to,
                             on_deliver);
   }
   sim_.schedule_coalesced(sim_.now() + r.delay, std::move(on_deliver));
+}
+
+void Network::send_flow(Channel channel, EndpointId from, EndpointId to,
+                        std::uint32_t from_container,
+                        std::uint32_t to_container, std::size_t bytes,
+                        std::function<void()> on_deliver) {
+  // Wire transit starts only once the sender's egress bucket releases the
+  // message: accounting then reflects the *shaped* transmit time.
+  std::function<void()> wire = [this, channel, from, to, to_container, bytes,
+                                cb = std::move(on_deliver)]() {
+    account(channel, from, bytes);
+    const Route r = route(channel, from, to, bytes);
+    if (!r.deliver) return;
+    std::function<void()> arrive = [this, to_container, bytes, cb]() {
+      if (shaper_ != nullptr && to_container != 0 &&
+          shaper_->shape_ingress(to_container, bytes, cb)) {
+        return;  // queued behind the receiver's ingress bucket
+      }
+      cb();
+    };
+    if (r.duplicate) {
+      sim_.schedule_coalesced(sim_.now() + r.delay + latency_for(channel),
+                              arrive);
+    }
+    sim_.schedule_coalesced(sim_.now() + r.delay, std::move(arrive));
+  };
+  if (shaper_ != nullptr && from_container != 0 &&
+      shaper_->shape_egress(from_container, bytes, wire)) {
+    return;  // queued behind the sender's egress bucket
+  }
+  wire();
 }
 
 void Network::rpc(std::size_t request_bytes, std::size_t response_bytes,
@@ -216,8 +268,8 @@ void Network::rpc_to(EndpointId from, EndpointId to, std::size_t request_bytes,
                      std::size_t response_bytes,
                      std::function<bool()> on_request_delivered,
                      std::function<void()> on_response_delivered) {
-  account(Channel::kControlRpc, request_bytes);
-  const Route r = route(Channel::kControlRpc, from, to);
+  account(Channel::kControlRpc, from, request_bytes);
+  const Route r = route(Channel::kControlRpc, from, to, request_bytes);
   if (!r.deliver) return;  // request lost; the caller's timeout handles it
 
   // One delivered request leg: run the handler; if the receiver is alive,
@@ -226,8 +278,8 @@ void Network::rpc_to(EndpointId from, EndpointId to, std::size_t request_bytes,
                           req = std::move(on_request_delivered),
                           resp = std::move(on_response_delivered)]() {
     if (!req()) return;  // receiver dead: the call just hangs
-    account(Channel::kControlRpc, response_bytes);
-    const Route back = route(Channel::kControlRpc, to, from);
+    account(Channel::kControlRpc, to, response_bytes);
+    const Route back = route(Channel::kControlRpc, to, from, response_bytes);
     if (!back.deliver) return;  // response lost
     if (back.duplicate) {
       sim_.schedule_coalesced(
@@ -254,6 +306,15 @@ void Network::attach_metrics(obs::MetricsRegistry& registry) {
   }
   obs_dropped_ = &registry.counter("net.dropped_datagrams");
   obs_duplicated_ = &registry.counter("net.duplicated_messages");
+  obs_egress_bytes_ = &registry.counter("net.egress_bytes");
+  obs_ingress_bytes_ = &registry.counter("net.ingress_bytes");
+  obs_dropped_bytes_ = &registry.counter("net.dropped_bytes");
+}
+
+const EndpointStats& Network::endpoint_stats(EndpointId endpoint) const {
+  static const EndpointStats kEmpty;
+  const auto it = endpoint_stats_.find(endpoint);
+  return it == endpoint_stats_.end() ? kEmpty : it->second;
 }
 
 const ChannelStats& Network::stats(Channel channel) const {

@@ -39,12 +39,15 @@ enum class Channel {
   kControlRpc,      // Controller <-> Agent gRPC (limit updates, reclamation)
   kRegistration,    // container registration at deploy time
   kHaReplication,   // leader -> standby WAL stream + lease announcements
+  kBwTelemetry,     // per-period bandwidth shaper stats (src/bw)
+  kAppData,         // application data plane (shaped container traffic)
 };
 
-inline constexpr int kChannelCount = 5;
+inline constexpr int kChannelCount = 7;
 inline constexpr Channel kAllChannels[kChannelCount] = {
-    Channel::kCpuTelemetry, Channel::kMemoryEvent, Channel::kControlRpc,
-    Channel::kRegistration, Channel::kHaReplication};
+    Channel::kCpuTelemetry, Channel::kMemoryEvent,   Channel::kControlRpc,
+    Channel::kRegistration, Channel::kHaReplication, Channel::kBwTelemetry,
+    Channel::kAppData};
 
 const char* channel_name(Channel c);
 
@@ -67,6 +70,33 @@ inline constexpr EndpointId standby_endpoint(int standby_index) {
 struct ChannelStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+};
+
+// Per-endpoint directional counters. Egress (tx) is accounted when a message
+// is handed to the NIC (even if the network later drops it); ingress (rx) is
+// accounted once per message at the delivery decision — a duplicated message
+// is delivered twice but its bytes crossed the sender's NIC once, so it
+// counts once on both sides and tx/rx totals reconcile exactly.
+struct EndpointStats {
+  std::uint64_t tx_messages = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t rx_messages = 0;
+  std::uint64_t rx_bytes = 0;
+};
+
+// Data-plane bandwidth shaping hook (implemented by bw::ClusterShaper).
+// The network consults it on every send_flow: a shape_* call either passes
+// the message through (returns false; `release` is discarded) or queues it
+// behind the container's token bucket (returns true; the shaper invokes
+// `release` from a sim timer once enough tokens accumulate), so shaping is
+// visible in end-to-end latency.
+class Shaper {
+ public:
+  virtual ~Shaper() = default;
+  virtual bool shape_egress(std::uint32_t container, std::size_t bytes,
+                            std::function<void()> release) = 0;
+  virtual bool shape_ingress(std::uint32_t container, std::size_t bytes,
+                             std::function<void()> release) = 0;
 };
 
 // Samples of aggregate bandwidth over fixed windows, for peak-Mbps reporting.
@@ -102,6 +132,23 @@ class Network {
   void send_to(Channel channel, EndpointId from, EndpointId to,
                std::size_t bytes, std::function<void()> on_deliver);
 
+  // Container-attributed data-plane send. Like send_to, but the message is
+  // charged to `from_container`'s egress and `to_container`'s ingress token
+  // buckets when a shaper is attached (container id 0 = unattributed, never
+  // shaped). Egress shaping happens *before* the wire — bytes are accounted
+  // when the message actually transmits, so shaped traffic shows the shaped
+  // rate in the bandwidth meters; ingress shaping happens after transit,
+  // before `on_deliver`. With no shaper attached this is exactly send_to.
+  void send_flow(Channel channel, EndpointId from, EndpointId to,
+                 std::uint32_t from_container, std::uint32_t to_container,
+                 std::size_t bytes, std::function<void()> on_deliver);
+
+  // Attaches/detaches the bandwidth shaper consulted by send_flow. Nullable;
+  // shaping is strictly opt-in and traffic through the other entry points is
+  // never shaped.
+  void set_shaper(Shaper* shaper) { shaper_ = shaper; }
+  Shaper* shaper() const { return shaper_; }
+
   // Models a synchronous Controller->Agent RPC with fixed request/response
   // sizes. `request_bytes` are accounted at issue time; after the one-way
   // latency `on_request_delivered` runs at the receiver, then
@@ -127,6 +174,18 @@ class Network {
   const ChannelStats& stats(Channel channel) const;
   std::uint64_t total_bytes() const;
   std::uint64_t total_messages() const;
+
+  // Directional aggregates (every entry point, all channels). Every byte
+  // handed to a NIC is either delivered or dropped, so
+  //   egress_bytes() == ingress_bytes() + dropped_bytes()
+  // holds exactly at all times (duplicate deliveries count once).
+  std::uint64_t egress_bytes() const { return lifetime_bytes_; }
+  std::uint64_t ingress_bytes() const { return ingress_bytes_; }
+  std::uint64_t dropped_bytes() const { return dropped_bytes_; }
+
+  // Per-endpoint tx/rx counters for addressed traffic (send_to / rpc_to /
+  // send_flow). Unaddressed sends are aggregate-only.
+  const EndpointStats& endpoint_stats(EndpointId endpoint) const;
 
   // Observability: registers per-channel byte/message counters (plus
   // dropped/duplicated message counters) as "net.<channel>.bytes" /
@@ -188,9 +247,10 @@ class Network {
     bool duplicate = false;
     sim::Duration delay = 0;
   };
-  Route route(Channel channel, EndpointId from, EndpointId to);
-  void account(Channel channel, std::size_t bytes);
-  void count_drop();
+  Route route(Channel channel, EndpointId from, EndpointId to,
+              std::size_t bytes);
+  void account(Channel channel, EndpointId from, std::size_t bytes);
+  void count_drop(std::size_t bytes);
   sim::Duration latency_for(Channel channel) const;
   sim::Duration jitter();
   void ensure_fault_rng();
@@ -219,11 +279,18 @@ class Network {
   std::set<std::uint64_t> down_links_;  // ordered: deterministic iteration
   std::uint64_t dropped_ = 0;
   std::uint64_t duplicated_ = 0;
+  std::uint64_t ingress_bytes_ = 0;
+  std::uint64_t dropped_bytes_ = 0;
+  std::unordered_map<EndpointId, EndpointStats> endpoint_stats_;
+  Shaper* shaper_ = nullptr;
   // Registry mirrors, indexed by channel; all null until attach_metrics.
   obs::Counter* obs_bytes_[kChannelCount] = {};
   obs::Counter* obs_messages_[kChannelCount] = {};
   obs::Counter* obs_dropped_ = nullptr;
   obs::Counter* obs_duplicated_ = nullptr;
+  obs::Counter* obs_egress_bytes_ = nullptr;
+  obs::Counter* obs_ingress_bytes_ = nullptr;
+  obs::Counter* obs_dropped_bytes_ = nullptr;
 };
 
 }  // namespace escra::net

@@ -45,6 +45,14 @@ Observer::Observer(Config config) : trace_(config.trace_capacity) {
   h.ha_fenced_updates = &metrics_.counter("ha.fenced_updates");
   h.ha_wal_lag_events = &metrics_.counter("ha.wal_lag_events");
   h.ha_epoch = &metrics_.gauge("ha.epoch");
+
+  h.bw_throttle_events = &metrics_.counter("bw.throttle_events");
+  h.bw_saturation = &metrics_.counter("controller.bw_saturation_events");
+  h.bw_stats_ingested = &metrics_.counter("controller.bw_stats_ingested");
+  h.bw_grants = &metrics_.counter("allocator.bw_grants");
+  h.bw_shrinks = &metrics_.counter("allocator.bw_shrinks");
+  h.pool_bw_allocated = &metrics_.gauge("pool.bw_allocated_bps");
+  h.pool_bw_unallocated = &metrics_.gauge("pool.bw_unallocated_bps");
 }
 
 }  // namespace escra::obs

@@ -103,6 +103,15 @@ class Observer {
     Counter* ha_fenced_updates = nullptr; // ha.fenced_updates
     Counter* ha_wal_lag_events = nullptr; // ha.wal_lag_events
     Gauge* ha_epoch = nullptr;            // ha.epoch (current leader epoch)
+
+    // Bandwidth plane (src/bw shaping + allocator arm).
+    Counter* bw_throttle_events = nullptr;  // bw.throttle_events
+    Counter* bw_saturation = nullptr;       // controller.bw_saturation_events
+    Counter* bw_stats_ingested = nullptr;   // controller.bw_stats_ingested
+    Counter* bw_grants = nullptr;           // allocator.bw_grants
+    Counter* bw_shrinks = nullptr;          // allocator.bw_shrinks
+    Gauge* pool_bw_allocated = nullptr;     // pool.bw_allocated_bps
+    Gauge* pool_bw_unallocated = nullptr;   // pool.bw_unallocated_bps
   };
   Handles h;
 

@@ -19,6 +19,8 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "fault-injected",       "fault-cleared",
     "leader-elected",       "epoch-fenced",
     "wal-lag",
+    "bw-throttled",         "bw-saturation",
+    "bw-grant",             "bw-shrink",
 };
 
 void append_double(std::string& out, double v) {

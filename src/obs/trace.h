@@ -59,8 +59,16 @@ enum class EventKind : std::uint8_t {
                          // epoch (detail = rejected seq)
   kWalLag,               // a standby's acked WAL cursor fell behind the
                          // leader's log (detail = lag in records)
+  // Bandwidth plane (src/bw). RpcIssued/RpcApplied/Retransmit use
+  // `before` = 2 for bandwidth slots; Bw* limits are in bytes/s.
+  kBwThrottled,          // a shaper queue formed for a container (data
+                         // plane; before = rate limit, detail = queue depth)
+  kBwSaturation,         // Controller observed a saturated period in the
+                         // bandwidth telemetry (detail = queue depth)
+  kBwGrant,              // allocator raised a bandwidth limit
+  kBwShrink,             // allocator lowered a bandwidth limit
 };
-inline constexpr int kEventKindCount = 20;
+inline constexpr int kEventKindCount = 24;
 
 const char* event_kind_name(EventKind kind);
 std::optional<EventKind> event_kind_from_name(std::string_view name);

@@ -1,0 +1,110 @@
+#include "workload/fanout.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace escra::workload {
+
+FanoutWorkload::FanoutWorkload(sim::Simulation& sim, net::Network& net,
+                               std::uint32_t frontend,
+                               net::EndpointId frontend_endpoint,
+                               std::vector<Backend> backends, Config config,
+                               sim::Rng rng)
+    : sim_(sim),
+      net_(net),
+      frontend_(frontend),
+      frontend_endpoint_(frontend_endpoint),
+      backends_(std::move(backends)),
+      config_(config),
+      rng_(rng) {
+  if (backends_.empty()) {
+    throw std::invalid_argument("FanoutWorkload: no backends");
+  }
+  if (config_.fanout == 0 || config_.fanout > backends_.size()) {
+    config_.fanout = backends_.size();
+  }
+  if (config_.lambda <= 0.0) {
+    throw std::invalid_argument("FanoutWorkload: lambda <= 0");
+  }
+  if (config_.hot_rotate <= 0) {
+    throw std::invalid_argument("FanoutWorkload: hot_rotate <= 0");
+  }
+}
+
+FanoutWorkload::~FanoutWorkload() { stop(); }
+
+void FanoutWorkload::run(sim::TimePoint at, sim::TimePoint until) {
+  stop();
+  running_ = true;
+  stop_at_ = until;
+  next_event_ = sim_.schedule_at(at, [this] { issue_next(); });
+}
+
+void FanoutWorkload::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(next_event_);
+}
+
+std::size_t FanoutWorkload::hot_backend(sim::TimePoint t) const {
+  return static_cast<std::size_t>(t / config_.hot_rotate) % backends_.size();
+}
+
+void FanoutWorkload::issue_next() {
+  if (!running_ || sim_.now() > stop_at_) return;
+  const std::uint64_t request = ++issued_;
+  launch(request, sim_.now());
+  const double gap_s = rng_.exponential(config_.lambda);
+  next_event_ =
+      sim_.schedule_after(std::max<sim::Duration>(
+                              1, static_cast<sim::Duration>(gap_s * 1e6)),
+                          [this] { issue_next(); });
+}
+
+void FanoutWorkload::launch(std::uint64_t request, sim::TimePoint intended) {
+  // The hot backend always participates (it is where the bytes are); the
+  // remaining fanout-1 picks walk the cold backends round-robin, so every
+  // backend keeps a baseline flow and the skew is purely in response size.
+  const std::size_t hot = hot_backend(sim_.now());
+  std::vector<std::size_t> picks;
+  picks.reserve(config_.fanout);
+  picks.push_back(hot);
+  while (picks.size() < config_.fanout) {
+    rotor_ = (rotor_ + 1) % backends_.size();
+    if (rotor_ != hot) picks.push_back(rotor_);
+  }
+
+  pending_[request] = Pending{picks.size(), intended};
+  for (const std::size_t index : picks) {
+    const Backend& backend = backends_[index];
+    net_.send_flow(
+        net::Channel::kAppData, frontend_endpoint_, backend.endpoint,
+        frontend_, backend.container, config_.request_bytes,
+        [this, request, backend] {
+          // The backend answers immediately; the response size depends on
+          // who is hot *now*, not at issue time — a rotation mid-request
+          // shifts load exactly as a cache going cold would.
+          std::size_t bytes = config_.response_bytes;
+          const std::size_t hot_now = hot_backend(sim_.now());
+          if (backends_[hot_now].container == backend.container) {
+            bytes = static_cast<std::size_t>(
+                static_cast<double>(bytes) * config_.hot_multiplier);
+          }
+          net_.send_flow(net::Channel::kAppData, backend.endpoint,
+                         frontend_endpoint_, backend.container, frontend_,
+                         bytes, [this, request] { on_response(request); });
+        });
+  }
+}
+
+void FanoutWorkload::on_response(std::uint64_t request) {
+  const auto it = pending_.find(request);
+  if (it == pending_.end()) return;
+  if (--it->second.outstanding > 0) return;
+  latency_.record(
+      std::max<std::int64_t>(1, sim_.now() - it->second.intended));
+  ++completed_;
+  pending_.erase(it);
+}
+
+}  // namespace escra::workload

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
+
 namespace escra::net {
 namespace {
 
@@ -216,6 +218,59 @@ TEST(NetworkTest, ChannelNames) {
   EXPECT_STREQ(channel_name(Channel::kMemoryEvent), "memory-event");
   EXPECT_STREQ(channel_name(Channel::kControlRpc), "control-rpc");
   EXPECT_STREQ(channel_name(Channel::kRegistration), "registration");
+}
+
+TEST(NetworkTest, DirectionalByteAccountingReconciles) {
+  // Every byte handed to a NIC is either delivered or dropped, and per-
+  // endpoint tx/rx totals reconcile with the aggregates — through partitions
+  // (dropped), duplicate faults (bytes cross the wire once), and both the
+  // addressed and data-plane entry points.
+  sim::Simulation sim;
+  Network net(sim);
+  net.set_fault_rng(sim::Rng(11));
+  net.set_duplicate_rate(Channel::kCpuTelemetry, 1.0 - 1e-12);
+  net.set_link_down(0, 1, true);
+
+  int delivered = 0;
+  net.send_to(Channel::kControlRpc, 0, 1, 400, [&] { ++delivered; });   // lost
+  net.send_to(Channel::kControlRpc, 1, 0, 300, [&] { ++delivered; });   // ok
+  net.send_to(Channel::kCpuTelemetry, 2, 3, 50, [&] { ++delivered; });  // dup
+  net.send_flow(Channel::kAppData, 2, 3, 7, 8, 1'000, [&] { ++delivered; });
+  sim.run_all();
+
+  EXPECT_EQ(delivered, 4);  // the duplicate delivers twice, counts once below
+  EXPECT_EQ(net.egress_bytes(), 1'750u);
+  EXPECT_EQ(net.dropped_bytes(), 400u);
+  EXPECT_EQ(net.ingress_bytes(), 1'350u);
+  EXPECT_EQ(net.egress_bytes(), net.ingress_bytes() + net.dropped_bytes());
+
+  EXPECT_EQ(net.endpoint_stats(0).tx_bytes, 400u);
+  EXPECT_EQ(net.endpoint_stats(0).rx_bytes, 300u);
+  EXPECT_EQ(net.endpoint_stats(1).tx_bytes, 300u);
+  EXPECT_EQ(net.endpoint_stats(1).rx_bytes, 0u);  // the 400 never arrived
+  EXPECT_EQ(net.endpoint_stats(2).tx_bytes, 1'050u);
+  EXPECT_EQ(net.endpoint_stats(3).rx_bytes, 1'050u);
+  std::uint64_t tx = 0, rx = 0;
+  for (const EndpointId ep : {0, 1, 2, 3}) {
+    tx += net.endpoint_stats(ep).tx_bytes;
+    rx += net.endpoint_stats(ep).rx_bytes;
+  }
+  EXPECT_EQ(tx, net.egress_bytes());
+  EXPECT_EQ(rx, net.ingress_bytes());
+}
+
+TEST(NetworkTest, DirectionalCountersMirrorIntoObs) {
+  sim::Simulation sim;
+  Network net(sim);
+  obs::MetricsRegistry registry;
+  net.attach_metrics(registry);
+  net.set_link_down(0, 1, true);
+  net.send_to(Channel::kControlRpc, 0, 1, 250, [] {});  // dropped
+  net.send_to(Channel::kControlRpc, 1, 0, 150, [] {});  // delivered
+  sim.run_all();
+  EXPECT_EQ(registry.find_counter("net.egress_bytes")->value(), 400u);
+  EXPECT_EQ(registry.find_counter("net.ingress_bytes")->value(), 150u);
+  EXPECT_EQ(registry.find_counter("net.dropped_bytes")->value(), 250u);
 }
 
 }  // namespace

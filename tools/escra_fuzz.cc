@@ -19,6 +19,18 @@
 //                         with and without this flag.
 //     --standbys N        attach a warm-standby replicated controller (N
 //                         standbys) to tenant 0 of every scenario
+//     --bw                overlay the bandwidth plane: a ClusterShaper over
+//                         every node, tenant 0's bandwidth arm
+//                         (enable_bandwidth) with a seed-derived NIC size,
+//                         global pool, and tunables, plus background
+//                         attributed send_flow streams between tenant 0's
+//                         containers so both token-bucket directions see
+//                         load. The checker runs with the bandwidth
+//                         invariants armed (pool conservation, per-NIC rate
+//                         sums, grant floors, counter<->trace consistency).
+//                         Bandwidth draws use a dedicated rng stream, so a
+//                         seed's scenario is identical with and without
+//                         this flag.
 //     --leader-churn      use the leader-churn fault profile instead of the
 //                         default: permanent leader kills dominate and
 //                         probabilistic faults may hit the HA replication
@@ -68,6 +80,7 @@
 
 #include <unistd.h>
 
+#include "bw/shaper.h"
 #include "check/invariant_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
@@ -91,6 +104,7 @@ struct Options {
   bool fault_profile = false;
   int standbys = 0;
   bool leader_churn = false;
+  bool bw = false;
   bool force_overgrant = false;
   bool rss_check = false;
   bool quiet = false;
@@ -101,7 +115,7 @@ void usage() {
                "usage: escra-fuzz [--runs N] [--seed S] [--jobs N]\n"
                "                  [--trace-tail N] [--repro-out FILE]\n"
                "                  [--fault-profile] [--standbys N]\n"
-               "                  [--leader-churn] [--force-overgrant]\n"
+               "                  [--leader-churn] [--bw] [--force-overgrant]\n"
                "                  [--rss-check] [--quiet]\n");
 }
 
@@ -148,6 +162,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
     } else if (flag == "--leader-churn") {
       opts.leader_churn = true;
       opts.fault_profile = true;
+    } else if (flag == "--bw") {
+      opts.bw = true;
     } else if (flag == "--force-overgrant") {
       opts.force_overgrant = true;
     } else if (flag == "--rss-check") {
@@ -202,6 +218,9 @@ struct Scenario {
   // --leader-churn after generation, for the same reason).
   int standbys = 0;
   bool leader_churn = false;
+  // Bandwidth overlay on tenant 0 (set from --bw; its draws come from a
+  // dedicated rng stream inside run_scenario, never from the scenario rng).
+  bool bw = false;
   std::vector<TenantPlan> tenants;
 };
 
@@ -279,6 +298,7 @@ std::string to_json(const Scenario& s) {
   out += buf;
   out += s.leader_churn ? "\"leader_churn\": true"
                         : "\"leader_churn\": false";
+  out += s.bw ? ", \"bw\": true" : ", \"bw\": false";
   out += ",\n  \"tenants\": [";
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
     const TenantPlan& tp = s.tenants[t];
@@ -400,6 +420,37 @@ void schedule_resident_spikes(sim::Simulation& sim,
   sim.schedule_after(sim::kSecond, *tick);
 }
 
+// Background data-plane load for the --bw overlay: a steady attributed
+// send_flow stream between two tenant-0 containers, endpoints resolved to
+// the owning nodes at send time. Both the sender's egress lane and the
+// receiver's ingress lane see the bytes, so the shaper queues, throttle
+// telemetry, and the allocator's bandwidth arm all get exercised.
+void schedule_bw_traffic(sim::Simulation& sim, net::Network& net,
+                         cluster::Cluster& k8s, cluster::ContainerId from,
+                         cluster::ContainerId to, double rate_per_s,
+                         std::int64_t bytes, std::shared_ptr<sim::Rng> rng,
+                         sim::TimePoint end) {
+  const auto next_gap = [rng, rate_per_s] {
+    return std::max<sim::Duration>(
+        1, static_cast<sim::Duration>(1e6 / rate_per_s *
+                                      rng->exponential(1.0)));
+  };
+  auto tick = std::make_shared<std::function<void()>>();
+  *tick = [&sim, &net, &k8s, from, to, bytes, next_gap, end, tick] {
+    if (sim.now() > end) return;
+    cluster::Node* src = k8s.node_of(from);
+    cluster::Node* dst = k8s.node_of(to);
+    if (src != nullptr && dst != nullptr) {
+      net.send_flow(net::Channel::kAppData,
+                    static_cast<net::EndpointId>(src->id()),
+                    static_cast<net::EndpointId>(dst->id()), from, to,
+                    static_cast<std::size_t>(bytes), [] {});
+    }
+    sim.schedule_after(next_gap(), *tick);
+  };
+  sim.schedule_after(next_gap(), *tick);
+}
+
 struct RunOutcome {
   bool violated = false;
   std::string report;
@@ -444,6 +495,27 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
   // conservation invariants the checker enforces (FIFO per channel is part
   // of the modelled transport contract).
 
+  // Bandwidth overlay: drawn from a dedicated stream (like the fault
+  // schedule) so the scenario itself is byte-identical without --bw. The
+  // NIC is sized generously against the per-container grant floor, so a
+  // clean exit means conservation held because the controller enforced it,
+  // not because the floor was unsatisfiable. Declared before the tenants so
+  // the shaper outlives the controllers that reference it.
+  std::optional<sim::Rng> bw_rng;
+  std::optional<bw::ClusterShaper> shaper;
+  double bw_global = 0.0;
+  if (s.bw) {
+    bw_rng.emplace(s.seed ^ 0xb3a4d71dc0deULL);
+    const double nic_bps =
+        static_cast<double>(bw_rng->uniform_int(25, 100)) * 1.0e6;
+    bw_global = bw_rng->uniform(5.0e6, 0.5 * s.nodes * nic_bps);
+    shaper.emplace(simulation);
+    for (int n = 0; n < s.nodes; ++n) {
+      shaper->add_node(static_cast<std::uint32_t>(n), nic_bps);
+    }
+    network.set_shaper(&*shaper);
+  }
+
   struct Tenant {
     std::unique_ptr<core::EscraSystem> escra;
     std::unique_ptr<obs::Observer> observer;
@@ -455,11 +527,23 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
     const TenantPlan& tp = s.tenants[t];
     Tenant tenant;
+    core::EscraConfig cfg = tp.cfg;
+    if (s.bw && t == 0) {
+      // Tenant 0 runs the bandwidth arm; its tunables come from the
+      // dedicated bw stream so the base config draws stay untouched.
+      cfg.bw_kappa = bw_rng->uniform(0.4, 1.0);
+      cfg.bw_gamma = bw_rng->uniform(0.5e6, 4.0e6);
+      cfg.bw_upsilon = static_cast<double>(bw_rng->uniform_int(5, 40));
+    }
     tenant.escra = std::make_unique<core::EscraSystem>(
-        simulation, network, k8s, tp.global_cpu, tp.global_mem, tp.cfg);
+        simulation, network, k8s, tp.global_cpu, tp.global_mem, cfg);
     tenant.observer = std::make_unique<obs::Observer>();
     tenant.escra->attach_observer(*tenant.observer);
     if (t == 0) network.attach_metrics(tenant.observer->metrics());
+    if (s.bw && t == 0) {
+      shaper->set_observer(tenant.observer.get());
+      tenant.escra->enable_bandwidth(*shaper, bw_global);
+    }
 
     std::vector<cluster::Container*> members;
     for (std::size_t c = 0; c < tp.containers.size(); ++c) {
@@ -481,6 +565,18 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     tenant.escra->start();
     tenant.checker = std::make_unique<check::InvariantChecker>(
         *tenant.escra, network, *tenant.observer);
+    if (s.bw && t == 0) {
+      tenant.checker->attach_bw(*shaper);
+      // Ring of attributed streams: container i pushes to container i+1,
+      // so every shaped container carries egress and ingress load.
+      for (std::size_t c = 0; c < members.size(); ++c) {
+        schedule_bw_traffic(
+            simulation, network, k8s, members[c]->id(),
+            members[(c + 1) % members.size()]->id(),
+            bw_rng->uniform(20.0, 120.0), bw_rng->uniform_int(2, 48) * 1024,
+            std::make_shared<sim::Rng>(bw_rng->fork()), end);
+      }
+    }
 
     if (tp.late_joiner) {
       // A pod created mid-run and adopted (Container Watcher path): it
@@ -576,10 +672,11 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
                     s.standbys, s.leader_churn ? " --leader-churn" : "");
     }
     std::snprintf(buf, sizeof(buf),
-                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s\n",
+                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s%s\n",
                   s.seed,
                   s.fault_profile && !s.leader_churn ? " --fault-profile" : "",
-                  standby_flags, force_overgrant ? " --force-overgrant" : "");
+                  standby_flags, s.bw ? " --bw" : "",
+                  force_overgrant ? " --force-overgrant" : "");
     outcome.failure_text += buf;
   }
   return outcome;
@@ -625,6 +722,7 @@ int main(int argc, char** argv) {
     scenario.fault_profile = opts.fault_profile;
     scenario.standbys = opts.standbys;
     scenario.leader_churn = opts.leader_churn;
+    scenario.bw = opts.bw;
     std::ofstream out(opts.repro_out);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", opts.repro_out.c_str());
@@ -649,6 +747,7 @@ int main(int argc, char** argv) {
         scenario.fault_profile = opts.fault_profile;
         scenario.standbys = opts.standbys;
         scenario.leader_churn = opts.leader_churn;
+        scenario.bw = opts.bw;
         RunOutcome outcome =
             run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
         if (opts.rss_check && i + 1 == kRssWarmupRuns) {
@@ -679,6 +778,7 @@ int main(int argc, char** argv) {
           scenario.fault_profile = opts.fault_profile;
           scenario.standbys = opts.standbys;
           scenario.leader_churn = opts.leader_churn;
+          scenario.bw = opts.bw;
           out << to_json(scenario);
           wrote_violation_repro = true;
           std::fprintf(stderr,
