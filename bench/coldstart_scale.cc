@@ -1,0 +1,296 @@
+// Cold-start scale benchmark: one million containers through the dense
+// hot-state control plane.
+//
+// The tables in the paper stop at hundreds of containers; this bench checks
+// that the interned-slot layout (core::ContainerIndex + struct-of-arrays
+// state in the DistributedContainer and ResourceAllocator) keeps cold start
+// linear and memory flat at cluster-operator scale:
+//
+//   - register_per_s: rate of interning + registering 1M containers into the
+//     DistributedContainer pool and the allocator's sliding windows,
+//   - stats_per_s: rate of per-period CPU telemetry ingestion across the
+//     full population (dense slot lookup + windowed stats, no map probes),
+//   - teardown_per_s: rate of deregistering every container (slot release,
+//     generation bump, pool refund),
+//   - rss_mib: resident set after the run (reads /proc/self/statm).
+//
+// With --rss-check the whole cold start repeats several times in-process;
+// after a warmup the resident set must plateau (the ContainerIndex free-list
+// reuses slots, so steady-state churn allocates nothing). With --check
+// BASELINE.json it fails (exit 1) when register_per_s regressed by more
+// than --tolerance (default 0.25) or the resident set grew beyond the
+// baseline by more than the same tolerance.
+//
+//   coldstart_scale [--out FILE] [--check FILE] [--tolerance X]
+//                   [--rss-check] [--quick]
+
+#include <chrono>
+#include <cinttypes>
+#if defined(__GLIBC__) || defined(__linux__)
+#include <malloc.h>
+#endif
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/allocator.h"
+#include "core/config.h"
+#include "core/container_index.h"
+#include "core/distributed_container.h"
+#include "core/messages.h"
+
+using namespace escra;
+
+namespace {
+
+double wall_seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// Resident set in KiB via /proc/self/statm (same source escra-fuzz's
+// --rss-check uses). Returns 0 where /proc is unavailable; callers treat
+// that as "cannot measure", not "zero bytes".
+long current_rss_kib() {
+#if defined(__GLIBC__)
+  // Hand freed arena chunks back to the kernel first: a 1M-container run
+  // fragments the main arena enough that glibc's retention (and khugepaged
+  // back-fill) would otherwise show up as phantom RSS growth between
+  // byte-identical runs.
+  malloc_trim(0);
+#endif
+  std::ifstream statm("/proc/self/statm");
+  if (!statm) return 0;
+  long size_pages = 0;
+  long resident_pages = 0;
+  statm >> size_pages >> resident_pages;
+  const long page_kib = 4;  // x86-64 / aarch64 default page size
+  return resident_pages * page_kib;
+}
+
+struct Results {
+  std::uint64_t containers = 0;
+  double register_per_s = 0.0;
+  double stats_per_s = 0.0;
+  double teardown_per_s = 0.0;
+  double rss_mib = 0.0;
+};
+
+// One full cold start: register `n` containers, feed `periods` rounds of
+// CPU telemetry across the whole population, then tear everything down.
+// Returns a checksum so the optimizer cannot discard the work.
+std::uint64_t cold_start(std::uint64_t n, int periods, Results* r) {
+  core::EscraConfig config;
+  // Pool sized so every registration succeeds: 0.1 cores / 16 MiB each.
+  core::DistributedContainer app(/*cpu_limit_cores=*/0.1 * static_cast<double>(n) + 64.0,
+                                 /*mem_limit=*/static_cast<memcg::Bytes>(n) * 16 * memcg::kMiB +
+                                     memcg::kGiB);
+  core::ResourceAllocator allocator(config, app);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::uint64_t id = 0; id < n; ++id) {
+    allocator.register_container(static_cast<std::uint32_t>(id), 0.1,
+                                 16 * memcg::kMiB);
+  }
+  if (r != nullptr) {
+    r->register_per_s = static_cast<double>(n) / wall_seconds(t0);
+  }
+
+  // Per-period telemetry across the full population: every sample takes the
+  // dense slot path (index find + windows_[slot]); every third container
+  // reports a throttle so the scale-up arm runs against the shared pool.
+  std::uint64_t checksum = 0;
+  const auto t1 = std::chrono::steady_clock::now();
+  core::CpuStatsMsg stats;
+  stats.quota = config.cfs_period / 10;
+  for (int p = 0; p < periods; ++p) {
+    stats.period_end = static_cast<sim::TimePoint>((p + 1)) * config.cfs_period;
+    for (std::uint64_t id = 0; id < n; ++id) {
+      stats.cgroup = static_cast<std::uint32_t>(id);
+      stats.throttled = (id + static_cast<std::uint64_t>(p)) % 3 == 0;
+      stats.unused = stats.throttled ? 0 : config.cfs_period / 20;
+      if (allocator.on_cpu_stats(stats).has_value()) ++checksum;
+    }
+  }
+  if (r != nullptr) {
+    r->stats_per_s = static_cast<double>(n) * periods / wall_seconds(t1);
+  }
+
+  const auto t2 = std::chrono::steady_clock::now();
+  for (std::uint64_t id = 0; id < n; ++id) {
+    allocator.deregister_container(static_cast<std::uint32_t>(id));
+  }
+  if (r != nullptr) {
+    r->teardown_per_s = static_cast<double>(n) / wall_seconds(t2);
+  }
+  checksum += app.member_count();
+  return checksum;
+}
+
+// --- RSS plateau check -----------------------------------------------------
+
+// Repeats the cold start in-process. The first kWarmupRuns grow the
+// allocator arenas; after that the resident set must stay within kSlackKib
+// of the post-warmup reading — the ContainerIndex free-list hands back the
+// same slots every iteration, so steady state allocates nothing new.
+int rss_check(std::uint64_t n, int periods, int total_runs) {
+  constexpr int kWarmupRuns = 2;
+  constexpr long kSlackKib = 8 * 1024;
+  long plateau_kib = 0;
+  for (int run = 0; run < total_runs; ++run) {
+    cold_start(n, periods, nullptr);
+    const long rss = current_rss_kib();
+    if (rss == 0) {
+      std::fprintf(stderr, "coldstart_scale: /proc/self/statm unavailable; "
+                           "skipping RSS check\n");
+      return 0;
+    }
+    if (run == kWarmupRuns - 1) {
+      plateau_kib = rss;
+    } else if (run >= kWarmupRuns && rss > plateau_kib + kSlackKib) {
+      std::fprintf(stderr,
+                   "coldstart_scale: RSS GREW — %ld KiB on run %d vs "
+                   "%ld KiB plateau (+%ld KiB slack)\n",
+                   rss, run + 1, plateau_kib, kSlackKib);
+      return 1;
+    }
+    std::printf("coldstart_scale: run %d/%d rss %ld KiB\n", run + 1,
+                total_runs, rss);
+  }
+  std::printf("coldstart_scale: RSS flat across %d runs of %" PRIu64
+              " containers (plateau %ld KiB)\n",
+              total_runs, n, plateau_kib);
+  return 0;
+}
+
+// --- output / baseline check ----------------------------------------------
+
+std::string to_json(const Results& r) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "{\n"
+                "  \"bench\": \"coldstart_scale\",\n"
+                "  \"containers\": %" PRIu64 ",\n"
+                "  \"register_per_s\": %.0f,\n"
+                "  \"stats_per_s\": %.0f,\n"
+                "  \"teardown_per_s\": %.0f,\n"
+                "  \"rss_mib\": %.1f\n"
+                "}\n",
+                r.containers, r.register_per_s, r.stats_per_s,
+                r.teardown_per_s, r.rss_mib);
+  return buf;
+}
+
+bool find_number(const std::string& json, const char* key, double* out) {
+  const std::string needle = std::string("\"") + key + "\":";
+  const std::size_t pos = json.find(needle);
+  if (pos == std::string::npos) return false;
+  *out = std::strtod(json.c_str() + pos + needle.size(), nullptr);
+  return true;
+}
+
+int check_against(const std::string& path, const Results& fresh,
+                  double tolerance) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "coldstart_scale: cannot read baseline %s\n",
+                 path.c_str());
+    return 1;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  const std::string json = ss.str();
+  double base_rate = 0.0;
+  double base_rss = 0.0;
+  if (!find_number(json, "register_per_s", &base_rate) ||
+      !find_number(json, "rss_mib", &base_rss)) {
+    std::fprintf(stderr, "coldstart_scale: baseline %s missing fields\n",
+                 path.c_str());
+    return 1;
+  }
+  const double floor = base_rate * (1.0 - tolerance);
+  if (fresh.register_per_s < floor) {
+    std::fprintf(stderr,
+                 "coldstart_scale: REGRESSION — %.0f registrations/s is "
+                 "below %.0f (baseline %.0f minus %.0f%% tolerance)\n",
+                 fresh.register_per_s, floor, base_rate, tolerance * 100.0);
+    return 1;
+  }
+  const double ceiling = base_rss * (1.0 + tolerance);
+  if (fresh.rss_mib > 0.0 && base_rss > 0.0 && fresh.rss_mib > ceiling) {
+    std::fprintf(stderr,
+                 "coldstart_scale: RSS GREW — %.1f MiB is above %.1f "
+                 "(baseline %.1f MiB plus %.0f%% tolerance)\n",
+                 fresh.rss_mib, ceiling, base_rss, tolerance * 100.0);
+    return 1;
+  }
+  std::printf("coldstart_scale: ok — %.0f registrations/s vs baseline %.0f, "
+              "rss %.1f MiB vs baseline %.1f (tolerance %.0f%%)\n",
+              fresh.register_per_s, base_rate, fresh.rss_mib, base_rss,
+              tolerance * 100.0);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  std::string check_path;
+  double tolerance = 0.25;
+  bool quick = false;
+  bool rss_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    const auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (flag == "--out") {
+      out_path = next();
+    } else if (flag == "--check") {
+      check_path = next();
+    } else if (flag == "--tolerance") {
+      tolerance = std::strtod(next(), nullptr);
+    } else if (flag == "--rss-check") {
+      rss_mode = true;
+    } else if (flag == "--quick") {
+      quick = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: coldstart_scale [--out FILE] [--check FILE] "
+                   "[--tolerance X] [--rss-check] [--quick]\n");
+      return 2;
+    }
+  }
+
+  const std::uint64_t n = quick ? 50'000 : 1'000'000;
+  const int periods = quick ? 2 : 4;
+
+  if (rss_mode) {
+    return rss_check(n, periods, quick ? 4 : 6);
+  }
+
+  Results r;
+  r.containers = n;
+  cold_start(n, periods, &r);
+  r.rss_mib = static_cast<double>(current_rss_kib()) / 1024.0;
+
+  const std::string json = to_json(r);
+  std::fputs(json.c_str(), stdout);
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    out << json;
+  }
+  if (!check_path.empty() && !quick) {
+    return check_against(check_path, r, tolerance);
+  }
+  return 0;
+}

@@ -20,20 +20,26 @@ UsageAccountant::~UsageAccountant() { sim_.cancel(loop_); }
 void UsageAccountant::track(cluster::Container& container,
                             const std::string& tenant) {
   if (tenant.empty()) throw std::invalid_argument("track: empty tenant");
+  const std::uint32_t slot = index_.intern(container.id());
+  if (slot >= tracked_.size()) {
+    tracked_.resize(index_.capacity());
+    tenant_of_.resize(index_.capacity());
+  }
   Tracked t;
   t.container = &container;
-  t.tenant = tenant;
   t.prev_consumed = container.cpu_cgroup().total_consumed();
-  tracked_[container.id()] = std::move(t);
+  tracked_[slot] = t;
+  tenant_of_[slot] = tenant;
   bills_.try_emplace(tenant);
 }
 
-void UsageAccountant::untrack(cluster::ContainerId id) { tracked_.erase(id); }
+void UsageAccountant::untrack(cluster::ContainerId id) { index_.release(id); }
 
 void UsageAccountant::on_sample() {
   const double interval_s = sim::to_seconds(interval_);
-  for (auto& [id, t] : tracked_) {
-    UsageBill& bill = bills_[t.tenant];
+  index_.for_each([&](std::uint32_t slot, cluster::ContainerId) {
+    Tracked& t = tracked_[slot];
+    UsageBill& bill = bills_[tenant_of_[slot]];
     const sim::Duration consumed = t.container->cpu_cgroup().total_consumed();
     bill.cpu_core_seconds_used +=
         static_cast<double>(consumed - t.prev_consumed) /
@@ -48,7 +54,7 @@ void UsageAccountant::on_sample() {
         static_cast<double>(t.container->mem_cgroup().limit()) / kGiB *
         interval_s;
     ++bill.samples;
-  }
+  });
 }
 
 const UsageBill& UsageAccountant::bill(const std::string& tenant) const {

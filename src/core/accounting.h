@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "cluster/container.h"
+#include "core/container_index.h"
 #include "sim/event_queue.h"
 
 namespace escra::core {
@@ -73,25 +74,29 @@ class UsageAccountant {
   void untrack(cluster::ContainerId id);
 
   bool tracking(cluster::ContainerId id) const {
-    return tracked_.contains(id);
+    return index_.contains(id);
   }
-  std::size_t tracked_count() const { return tracked_.size(); }
+  std::size_t tracked_count() const { return index_.size(); }
 
   // The accumulated bill for a tenant (zero-valued if unknown).
   const UsageBill& bill(const std::string& tenant) const;
   std::vector<std::string> tenants() const;
 
  private:
+  // Hot per-sample state (container pointer, CPU-time cursor) is
+  // slot-indexed SoA walked densely each interval; the tenant string is
+  // cold metadata and lives in a side table keyed by the same slot.
   struct Tracked {
     cluster::Container* container = nullptr;
-    std::string tenant;
     sim::Duration prev_consumed = 0;
   };
   void on_sample();
 
   sim::Simulation& sim_;
   sim::Duration interval_;
-  std::unordered_map<cluster::ContainerId, Tracked> tracked_;
+  ContainerIndex index_;
+  std::vector<Tracked> tracked_;
+  std::vector<std::string> tenant_of_;  // cold side table, slot-indexed
   std::unordered_map<std::string, UsageBill> bills_;
   sim::EventHandle loop_;
 };

@@ -13,11 +13,25 @@ Agent::Agent(cluster::Node& node) : node_(node) {}
 
 void Agent::manage(cluster::Container& container) {
   // Re-managing keeps the existing sequence state (idempotent).
-  auto& m = managed_[container.id()];
-  m.container = &container;
+  bool created = false;
+  const std::uint32_t slot = index_.intern(container.id(), &created);
+  if (slot >= containers_.size()) {
+    containers_.resize(index_.capacity(), nullptr);
+    cpu_seq_.resize(index_.capacity(), 0);
+    mem_seq_.resize(index_.capacity(), 0);
+    bw_seq_.resize(index_.capacity(), 0);
+  }
+  if (created) {
+    // Fresh tenancy (first manage, or slot reuse after an unmanage): the
+    // sequence state starts clean for the new container.
+    cpu_seq_[slot] = 0;
+    mem_seq_[slot] = 0;
+    bw_seq_[slot] = 0;
+  }
+  containers_[slot] = &container;
 }
 
-void Agent::unmanage(cluster::ContainerId id) { managed_.erase(id); }
+void Agent::unmanage(cluster::ContainerId id) { index_.release(id); }
 
 void Agent::record_dup(cluster::ContainerId id, double before, double offered,
                        std::uint64_t seq) {
@@ -37,19 +51,19 @@ void Agent::record_dup(cluster::ContainerId id, double before, double offered,
 Agent::Apply Agent::apply_cpu_limit(cluster::ContainerId id, double cores,
                                     std::uint64_t seq) {
   if (crashed_) return Apply::kRejected;
-  const auto it = managed_.find(id);
-  if (it == managed_.end()) return Apply::kRejected;
-  Managed& m = it->second;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return Apply::kRejected;
+  cluster::Container& c = *containers_[slot];
   if (seq != 0 && update_seq_epoch(seq) < fenced_epoch_) {
-    record_fenced(id, m.container->cpu_cgroup().limit_cores(), cores, seq);
+    record_fenced(id, c.cpu_cgroup().limit_cores(), cores, seq);
     return Apply::kFenced;
   }
-  if (seq != 0 && seq <= m.cpu_seq) {
-    record_dup(id, m.container->cpu_cgroup().limit_cores(), cores, seq);
+  if (seq != 0 && seq <= cpu_seq_[slot]) {
+    record_dup(id, c.cpu_cgroup().limit_cores(), cores, seq);
     return Apply::kStale;
   }
-  m.container->cpu_cgroup().set_limit_cores(cores);
-  if (seq != 0) m.cpu_seq = seq;
+  c.cpu_cgroup().set_limit_cores(cores);
+  if (seq != 0) cpu_seq_[slot] = seq;
   if (obs_ != nullptr) obs_->h.agent_limit_applies->inc();
   return Apply::kApplied;
 }
@@ -57,21 +71,21 @@ Agent::Apply Agent::apply_cpu_limit(cluster::ContainerId id, double cores,
 Agent::Apply Agent::apply_mem_limit(cluster::ContainerId id,
                                     memcg::Bytes limit, std::uint64_t seq) {
   if (crashed_) return Apply::kRejected;
-  const auto it = managed_.find(id);
-  if (it == managed_.end()) return Apply::kRejected;
-  Managed& m = it->second;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return Apply::kRejected;
+  cluster::Container& c = *containers_[slot];
   if (seq != 0 && update_seq_epoch(seq) < fenced_epoch_) {
-    record_fenced(id, static_cast<double>(m.container->mem_cgroup().limit()),
+    record_fenced(id, static_cast<double>(c.mem_cgroup().limit()),
                   static_cast<double>(limit), seq);
     return Apply::kFenced;
   }
-  if (seq != 0 && seq <= m.mem_seq) {
-    record_dup(id, static_cast<double>(m.container->mem_cgroup().limit()),
+  if (seq != 0 && seq <= mem_seq_[slot]) {
+    record_dup(id, static_cast<double>(c.mem_cgroup().limit()),
                static_cast<double>(limit), seq);
     return Apply::kStale;
   }
-  m.container->mem_cgroup().set_limit(limit);
-  if (seq != 0) m.mem_seq = seq;
+  c.mem_cgroup().set_limit(limit);
+  if (seq != 0) mem_seq_[slot] = seq;
   if (obs_ != nullptr) obs_->h.agent_limit_applies->inc();
   return Apply::kApplied;
 }
@@ -80,9 +94,8 @@ Agent::Apply Agent::apply_bw_limit(cluster::ContainerId id, double rate_bps,
                                    std::uint64_t seq) {
   if (crashed_) return Apply::kRejected;
   if (bw_shaper_ == nullptr) return Apply::kRejected;
-  const auto it = managed_.find(id);
-  if (it == managed_.end()) return Apply::kRejected;
-  Managed& m = it->second;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return Apply::kRejected;
   const double before = bw_shaper_->node_of(id) == bw::ClusterShaper::kNoNode
                             ? 0.0
                             : bw_shaper_->container_rate(id);
@@ -90,7 +103,7 @@ Agent::Apply Agent::apply_bw_limit(cluster::ContainerId id, double rate_bps,
     record_fenced(id, before, rate_bps, seq);
     return Apply::kFenced;
   }
-  if (seq != 0 && seq <= m.bw_seq) {
+  if (seq != 0 && seq <= bw_seq_[slot]) {
     record_dup(id, before, rate_bps, seq);
     return Apply::kStale;
   }
@@ -100,7 +113,7 @@ Agent::Apply Agent::apply_bw_limit(cluster::ContainerId id, double rate_bps,
     bw_shaper_->attach(id, node_.id());
   }
   bw_shaper_->set_container_rate(id, rate_bps);
-  if (seq != 0) m.bw_seq = seq;
+  if (seq != 0) bw_seq_[slot] = seq;
   if (obs_ != nullptr) obs_->h.agent_limit_applies->inc();
   return Apply::kApplied;
 }
@@ -108,17 +121,19 @@ Agent::Apply Agent::apply_bw_limit(cluster::ContainerId id, double rate_bps,
 Agent::ReclaimResult Agent::reclaim(memcg::Bytes delta, memcg::Bytes floor) {
   ReclaimResult result;
   if (crashed_) return result;
-  for (auto& [id, m] : managed_) {
-    memcg::MemCgroup& mem = m.container->mem_cgroup();
+  // Dense slot order: deterministic (unlike the old unordered_map walk) and
+  // cache-friendly at node scale.
+  index_.for_each([&](std::uint32_t slot, cluster::ContainerId id) {
+    memcg::MemCgroup& mem = containers_[slot]->mem_cgroup();
     const memcg::Bytes usage = mem.usage();
     const memcg::Bytes limit = mem.limit();
-    if (limit <= usage + delta) continue;  // C(i)_l <= C(i)_u + δ: leave it
+    if (limit <= usage + delta) return;  // C(i)_l <= C(i)_u + δ: leave it
     const memcg::Bytes new_limit = std::max(usage + delta, floor);
-    if (new_limit >= limit) continue;
+    if (new_limit >= limit) return;
     mem.set_limit(new_limit);
     result.psi += limit - new_limit;
     result.resizes.push_back({id, limit, new_limit});
-  }
+  });
   return result;
 }
 
@@ -156,11 +171,9 @@ void Agent::crash() {
   // Soft state dies with the process; cgroups persist in the kernel. The
   // epoch fence goes with it — the current leader's resync re-fences.
   fenced_epoch_ = 0;
-  for (auto& [id, m] : managed_) {
-    m.cpu_seq = 0;
-    m.mem_seq = 0;
-    m.bw_seq = 0;
-  }
+  std::fill(cpu_seq_.begin(), cpu_seq_.end(), 0);
+  std::fill(mem_seq_.begin(), mem_seq_.end(), 0);
+  std::fill(bw_seq_.begin(), bw_seq_.end(), 0);
 }
 
 void Agent::restart() {
@@ -243,19 +256,19 @@ void Agent::send_heartbeat() {
 
 std::vector<Agent::SnapshotEntry> Agent::snapshot() const {
   std::vector<SnapshotEntry> out;
-  out.reserve(managed_.size());
-  for (const auto& [id, m] : managed_) {
+  out.reserve(index_.size());
+  index_.for_each([&](std::uint32_t slot, cluster::ContainerId id) {
     SnapshotEntry e;
     e.id = id;
-    e.container = m.container;
-    e.cpu_cores = m.container->cpu_cgroup().limit_cores();
-    e.mem_limit = m.container->mem_cgroup().limit();
+    e.container = containers_[slot];
+    e.cpu_cores = e.container->cpu_cgroup().limit_cores();
+    e.mem_limit = e.container->mem_cgroup().limit();
     if (bw_shaper_ != nullptr &&
         bw_shaper_->node_of(id) != bw::ClusterShaper::kNoNode) {
       e.bw_bps = bw_shaper_->container_rate(id);
     }
     out.push_back(e);
-  }
+  });
   std::sort(out.begin(), out.end(),
             [](const SnapshotEntry& a, const SnapshotEntry& b) {
               return a.id < b.id;

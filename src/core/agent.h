@@ -20,12 +20,12 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 #include <vector>
 
 #include "bw/shaper.h"
 #include "cluster/container.h"
 #include "cluster/node.h"
+#include "core/container_index.h"
 #include "memcg/mem_cgroup.h"
 #include "net/network.h"
 #include "sim/event_queue.h"
@@ -46,8 +46,8 @@ class Agent {
   // its node; from then on the Agent can resize it (Section IV-A).
   void manage(cluster::Container& container);
   void unmanage(cluster::ContainerId id);
-  bool manages(cluster::ContainerId id) const { return managed_.contains(id); }
-  std::size_t managed_count() const { return managed_.size(); }
+  bool manages(cluster::ContainerId id) const { return index_.contains(id); }
+  std::size_t managed_count() const { return index_.size(); }
 
   // --- limit application (RPC handlers) ---
 
@@ -156,13 +156,6 @@ class Agent {
   void set_observer(obs::Observer* observer) { obs_ = observer; }
 
  private:
-  struct Managed {
-    cluster::Container* container = nullptr;
-    std::uint64_t cpu_seq = 0;  // newest applied sequence numbers
-    std::uint64_t mem_seq = 0;
-    std::uint64_t bw_seq = 0;
-  };
-
   void send_heartbeat();
   void enter_fail_static();
   void record_fail_static(bool entered);
@@ -172,7 +165,15 @@ class Agent {
                      std::uint64_t seq);
 
   cluster::Node& node_;
-  std::unordered_map<cluster::ContainerId, Managed> managed_;
+  // Managed containers interned to dense slots; the hot per-container state
+  // (container pointer + newest applied sequence per resource) lives in
+  // slot-indexed struct-of-arrays so the per-RPC apply path is a direct
+  // load, and the reclaim sweep walks containers densely.
+  ContainerIndex index_;
+  std::vector<cluster::Container*> containers_;
+  std::vector<std::uint64_t> cpu_seq_;
+  std::vector<std::uint64_t> mem_seq_;
+  std::vector<std::uint64_t> bw_seq_;
   obs::Observer* obs_ = nullptr;
   bw::ClusterShaper* bw_shaper_ = nullptr;
 

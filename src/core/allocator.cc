@@ -34,26 +34,36 @@ void ResourceAllocator::set_observer(obs::Observer* observer) {
 void ResourceAllocator::register_container(std::uint32_t id, double cores,
                                            memcg::Bytes mem) {
   app_.add_member(id, cores, mem);
-  windows_.emplace(id, Windows(config_.window_periods));
+  const std::uint32_t slot = index_.intern(id);
+  if (slot >= windows_.size()) {
+    windows_.resize(index_.capacity(), Windows(config_.window_periods));
+    bw_windows_.resize(index_.capacity(), Windows(config_.window_periods));
+    bw_live_.resize(index_.capacity(), 0);
+  } else {
+    // Slot reuse after a deregister: fresh statistics for the new tenant.
+    windows_[slot] = Windows(config_.window_periods);
+  }
+  bw_live_[slot] = 0;
 }
 
 void ResourceAllocator::deregister_container(std::uint32_t id) {
-  if (!windows_.contains(id)) return;
-  windows_.erase(id);
-  bw_windows_.erase(id);
+  if (index_.release(id) == ContainerIndex::kInvalid) return;
   app_.remove_member(id);
 }
 
 void ResourceAllocator::reset() {
-  while (!windows_.empty()) {
-    deregister_container(windows_.begin()->first);
-  }
+  std::vector<std::uint32_t> ids;
+  ids.reserve(index_.size());
+  index_.for_each([&ids](std::uint32_t, std::uint32_t id) { ids.push_back(id); });
+  for (const std::uint32_t id : ids) deregister_container(id);
 }
 
 std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) {
-  const auto it = windows_.find(stats.cgroup);
-  if (it == windows_.end()) return std::nullopt;  // stale/unknown container
-  Windows& win = it->second;
+  const std::uint32_t slot = index_.find(stats.cgroup);
+  if (slot == ContainerIndex::kInvalid) {
+    return std::nullopt;  // stale/unknown container
+  }
+  Windows& win = windows_[slot];
 
   const double period = static_cast<double>(config_.cfs_period);
   const double unused_cores = static_cast<double>(stats.unused) / period;
@@ -130,12 +140,15 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
 
 std::optional<double> ResourceAllocator::on_bw_stats(
     const bw::BwSample& sample) {
-  if (!windows_.contains(sample.container)) return std::nullopt;
+  const std::uint32_t slot = index_.find(sample.container);
+  if (slot == ContainerIndex::kInvalid) return std::nullopt;
   const double current = app_.member_bw(sample.container);
   if (current <= 0.0) return std::nullopt;  // unshaped container
-  const auto [it, created] = bw_windows_.try_emplace(
-      sample.container, Windows(config_.window_periods));
-  Windows& win = it->second;
+  if (bw_live_[slot] == 0) {
+    bw_windows_[slot] = Windows(config_.window_periods);
+    bw_live_[slot] = 1;
+  }
+  Windows& win = bw_windows_[slot];
 
   const double unused = std::max(0.0, current - sample.used_bps);
   win.throttles.add(sample.throttled ? 1.0 : 0.0);
@@ -186,7 +199,7 @@ std::optional<double> ResourceAllocator::on_bw_stats(
 ResourceAllocator::MemDecision ResourceAllocator::on_oom_event(
     const OomEventMsg& event, bool post_reclaim) {
   MemDecision decision;
-  if (!windows_.contains(event.container)) {
+  if (!index_.contains(event.container)) {
     decision.action = MemAction::kDeny;
     return decision;
   }
@@ -227,7 +240,7 @@ ResourceAllocator::MemDecision ResourceAllocator::on_oom_event(
 
 void ResourceAllocator::on_reclaimed(std::uint32_t container,
                                      memcg::Bytes new_limit) {
-  if (!windows_.contains(container)) return;
+  if (!index_.contains(container)) return;
   app_.set_member_mem(container, new_limit);
 }
 

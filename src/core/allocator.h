@@ -13,10 +13,11 @@
 
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
+#include <vector>
 
 #include "bw/shaper.h"
 #include "core/config.h"
+#include "core/container_index.h"
 #include "core/distributed_container.h"
 #include "core/messages.h"
 #include "obs/observer.h"
@@ -31,7 +32,7 @@ class ResourceAllocator {
   // --- membership ---
   void register_container(std::uint32_t id, double cores, memcg::Bytes mem);
   void deregister_container(std::uint32_t id);
-  bool knows(std::uint32_t id) const { return windows_.contains(id); }
+  bool knows(std::uint32_t id) const { return index_.contains(id); }
   // Drops every registration (Controller crash: shadow state dies with the
   // process). Pool commitments return to unallocated; windows are cleared.
   void reset();
@@ -102,11 +103,16 @@ class ResourceAllocator {
   EscraConfig config_;
   DistributedContainer& app_;
   obs::Observer* obs_ = nullptr;
-  std::unordered_map<std::uint32_t, Windows> windows_;
-  // Bandwidth windows, lazily created on the first sample for a shaped
-  // container (samples only arrive when shaping is enabled, so pre-bw runs
-  // carry no extra state).
-  std::unordered_map<std::uint32_t, Windows> bw_windows_;
+  // Registered containers interned to dense slots; the window SoA vectors
+  // below are indexed by slot. Both resource arms share one index — a
+  // container's CPU and bandwidth statistics live at the same slot.
+  ContainerIndex index_;
+  std::vector<Windows> windows_;
+  // Bandwidth windows, lazily armed (bw_live_[slot]) on the first sample
+  // for a shaped container (samples only arrive when shaping is enabled,
+  // so pre-bw runs never touch these rows beyond the flag).
+  std::vector<Windows> bw_windows_;
+  std::vector<std::uint8_t> bw_live_;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;
   std::uint64_t mem_grants_ = 0;

@@ -21,7 +21,12 @@ Controller::Controller(sim::Simulation& sim, net::Network& network,
 
 Controller::~Controller() {
   stop();
-  for (auto& [key, p] : pending_) sim_.cancel(p.timer);
+  for (std::size_t i = 0; i < pending_open_.size(); ++i) {
+    if (pending_open_[i] != 0) sim_.cancel(pending_[i].timer);
+  }
+  for (auto& [node, b] : batches_) {
+    if (b.scheduled) sim_.cancel(b.flush);
+  }
   for (auto& [node, h] : health_) sim_.cancel(h.reclaim_timer);
 }
 
@@ -61,7 +66,8 @@ bool Controller::reachable(cluster::NodeId node) const {
 void Controller::set_observer(obs::Observer* observer) {
   obs_ = observer;
   for (const auto& agent : agents_) agent->set_observer(observer);
-  for (auto& [id, entry] : registry_) {
+  index_.for_each([&](std::uint32_t slot, cluster::ContainerId) {
+    Entry& entry = registry_[slot];
     if (observer != nullptr) {
       entry.container->cpu_cgroup().set_obs_counters(
           observer->h.cfs_periods, observer->h.cfs_throttled_periods);
@@ -71,9 +77,9 @@ void Controller::set_observer(obs::Observer* observer) {
       entry.container->cpu_cgroup().set_obs_counters(nullptr, nullptr);
       entry.container->mem_cgroup().set_obs_counters(nullptr, nullptr);
     }
-  }
+  });
   if (observer != nullptr) {
-    observer->h.containers_active->set(static_cast<double>(registry_.size()));
+    observer->h.containers_active->set(static_cast<double>(index_.size()));
   }
 }
 
@@ -134,7 +140,15 @@ void Controller::register_impl(cluster::Container& container,
   cores = allocator_.app().member_cores(container.id());
   mem = allocator_.app().member_mem(container.id());
   agent.manage(container);
-  registry_[container.id()] = Entry{&container, &agent};
+  {
+    const std::uint32_t slot = index_.intern(container.id());
+    if (slot >= registry_.size()) {
+      registry_.resize(index_.capacity());
+      pending_.resize(static_cast<std::size_t>(index_.capacity()) * 3);
+      pending_open_.resize(static_cast<std::size_t>(index_.capacity()) * 3, 0);
+    }
+    registry_[slot] = Entry{&container, &agent};
+  }
   if (bw_shaper_ != nullptr) {
     // Bandwidth admission rides registration: bootstrap grants the plan (or
     // the late-join default); recovery modes re-admit the snapshot/replica
@@ -179,7 +193,7 @@ void Controller::register_impl(cluster::Container& container,
     container.mem_cgroup().set_obs_counters(obs_->h.memcg_oom_kills,
                                             obs_->h.memcg_oom_rescues);
     obs_->h.registrations->inc();
-    obs_->h.containers_active->set(static_cast<double>(registry_.size()));
+    obs_->h.containers_active->set(static_cast<double>(index_.size()));
     obs::TraceEvent ev;
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kContainerRegistered;
@@ -210,8 +224,8 @@ void Controller::register_impl(cluster::Container& container,
           ev.time = fire;
           ev.kind = obs::EventKind::kThrottleObserved;
           ev.container = msg.cgroup;
-          const auto it = registry_.find(msg.cgroup);
-          ev.node = it != registry_.end() ? node_tag(it->second) : 0;
+          const Entry* entry = find_entry(msg.cgroup);
+          ev.node = entry != nullptr ? node_tag(*entry) : 0;
           const double limit_cores =
               static_cast<double>(msg.quota) /
               static_cast<double>(config_.cfs_period);
@@ -241,14 +255,14 @@ void Controller::deregister_container(cluster::Container& container) {
                 [&container](const DeferredRegistration& d) {
                   return d.container == &container;
                 });
-  const auto it = registry_.find(container.id());
-  if (it == registry_.end()) return;
+  Entry* entry = find_entry(container.id());
+  if (entry == nullptr) return;
   if (obs_ != nullptr) {
     obs::TraceEvent ev;
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kContainerKilled;
     ev.container = container.id();
-    ev.node = node_tag(it->second);
+    ev.node = node_tag(*entry);
     ev.before = allocator_.app().member_cores(container.id());
     ev.after = 0.0;
     ev.detail =
@@ -263,7 +277,7 @@ void Controller::deregister_container(cluster::Container& container) {
     rev.container = container.id();
     emit_repl(rev);
   }
-  it->second.agent->unmanage(container.id());
+  entry->agent->unmanage(container.id());
   // The container is gone: tear down its shaper lane (queued messages
   // release unshaped). Quarantine reclaim does NOT do this — a dead node's
   // shaper is unreachable and keeps its fail-static rates.
@@ -273,9 +287,9 @@ void Controller::deregister_container(cluster::Container& container) {
   container.cpu_cgroup().set_obs_counters(nullptr, nullptr);
   container.mem_cgroup().set_obs_counters(nullptr, nullptr);
   allocator_.deregister_container(container.id());
-  registry_.erase(it);
+  index_.release(container.id());
   if (obs_ != nullptr) {
-    obs_->h.containers_active->set(static_cast<double>(registry_.size()));
+    obs_->h.containers_active->set(static_cast<double>(index_.size()));
   }
 }
 
@@ -284,14 +298,14 @@ void Controller::deregister_quarantined(cluster::ContainerId id) {
   // commitment is released, but the node is unreachable — its kernel hooks
   // and cgroup limits stay exactly as they are (the Agent still "manages"
   // it locally). If the node returns, resync re-adopts the container.
-  const auto it = registry_.find(id);
-  if (it == registry_.end()) return;
+  const Entry* entry = find_entry(id);
+  if (entry == nullptr) return;
   if (obs_ != nullptr) {
     obs::TraceEvent ev;
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kContainerKilled;
     ev.container = id;
-    ev.node = node_tag(it->second);
+    ev.node = node_tag(*entry);
     ev.before = allocator_.app().member_cores(id);
     ev.after = 0.0;
     ev.detail = static_cast<std::int64_t>(allocator_.app().member_mem(id));
@@ -306,9 +320,9 @@ void Controller::deregister_quarantined(cluster::ContainerId id) {
     emit_repl(rev);
   }
   allocator_.deregister_container(id);
-  registry_.erase(it);
+  index_.release(id);
   if (obs_ != nullptr) {
-    obs_->h.containers_active->set(static_cast<double>(registry_.size()));
+    obs_->h.containers_active->set(static_cast<double>(index_.size()));
   }
 }
 
@@ -347,14 +361,23 @@ void Controller::crash() {
     sim_.cancel(reclaim_loop_);
     sim_.cancel(liveness_loop_);
   }
-  for (auto& [key, p] : pending_) sim_.cancel(p.timer);
-  pending_.clear();
+  for (std::size_t i = 0; i < pending_open_.size(); ++i) {
+    if (pending_open_[i] != 0) {
+      sim_.cancel(pending_[i].timer);
+      pending_open_[i] = 0;
+    }
+  }
+  open_pending_ = 0;
+  for (auto& [node, b] : batches_) {
+    if (b.scheduled) sim_.cancel(b.flush);
+  }
+  batches_.clear();
   for (auto& [node, h] : health_) sim_.cancel(h.reclaim_timer);
   health_.clear();
   // Soft state is gone: registry and pool accounting are rebuilt from the
   // Agents' snapshots on restart. Kernel hooks and cgroup limits live on
   // the nodes and persist — the cluster fails static.
-  registry_.clear();
+  index_.clear();
   allocator_.reset();
   if (obs_ != nullptr) obs_->h.containers_active->set(0.0);
 }
@@ -460,12 +483,11 @@ void Controller::ingest_bw_stats(const bw::BwSample& sample) {
   if (crashed_) return;
   if (obs_ != nullptr) obs_->h.bw_stats_ingested->inc();
 
-  const auto rit = registry_.find(sample.container);
-  if (rit == registry_.end()) return;
+  Entry* rit = find_entry(sample.container);
+  if (rit == nullptr) return;
   // Dead-node quarantine, same as the CPU path: no decisions for a node
   // that cannot apply them.
-  if (rit->second.agent != nullptr &&
-      node_dead(rit->second.agent->node().id())) {
+  if (rit->agent != nullptr && node_dead(rit->agent->node().id())) {
     return;
   }
   if (!allocator_.knows(sample.container)) return;
@@ -478,7 +500,7 @@ void Controller::ingest_bw_stats(const bw::BwSample& sample) {
       ev.time = sim_.now();
       ev.kind = obs::EventKind::kBwSaturation;
       ev.container = sample.container;
-      ev.node = node_tag(rit->second);
+      ev.node = node_tag(*rit);
       ev.before = sample.rate_bps;
       ev.after = sample.rate_bps;
       ev.detail = static_cast<std::int64_t>(sample.queue_depth);
@@ -496,8 +518,8 @@ void Controller::ingest_bw_stats(const bw::BwSample& sample) {
   // free capacity and are never clamped. The allocator already moved the
   // book to *decision; a clamp writes the book back down.
   double target = *decision;
-  if (target > before && rit->second.agent != nullptr) {
-    const cluster::NodeId node = rit->second.agent->node().id();
+  if (target > before && rit->agent != nullptr) {
+    const cluster::NodeId node = rit->agent->node().id();
     const double headroom = node_bw_headroom(node, sample.container);
     const double clamped = std::max(before, std::min(target, headroom));
     if (clamped < target) {
@@ -518,7 +540,7 @@ void Controller::ingest_bw_stats(const bw::BwSample& sample) {
     ev.kind = *decision > before ? obs::EventKind::kBwGrant
                                  : obs::EventKind::kBwShrink;
     ev.container = sample.container;
-    ev.node = node_tag(rit->second);
+    ev.node = node_tag(*rit);
     ev.before = before;
     ev.after = target;
     ev.cause = cause;
@@ -545,9 +567,9 @@ void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
   // Dead-node quarantine: decisions for a dead node's containers are
   // suppressed — an update could not be applied there, and the share is
   // frozen until reclaimed (or the node returns and resyncs).
-  const auto rit = registry_.find(stats.cgroup);
-  if (rit != registry_.end() && rit->second.agent != nullptr &&
-      node_dead(rit->second.agent->node().id())) {
+  const Entry* rit = find_entry(stats.cgroup);
+  if (rit != nullptr && rit->agent != nullptr &&
+      node_dead(rit->agent->node().id())) {
     return;
   }
 
@@ -568,8 +590,7 @@ void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
     ev.kind = *decision > before ? obs::EventKind::kCpuGrant
                                  : obs::EventKind::kCpuShrink;
     ev.container = stats.cgroup;
-    const auto it = registry_.find(stats.cgroup);
-    ev.node = it != registry_.end() ? node_tag(it->second) : 0;
+    ev.node = rit != nullptr ? node_tag(*rit) : 0;
     ev.before = before;
     ev.after = *decision;
     ev.cause = cause;
@@ -581,12 +602,20 @@ void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
 void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
                                 LoopCtx ctx) {
   if (crashed_) return;
-  const auto it = registry_.find(id);
-  if (it == registry_.end()) return;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return;
+  Entry& entry = registry_[slot];
   ++limit_updates_;
   const std::uint64_t key = update_key(id, Resource::kCpu);
-  Pending& p = pending_[key];
-  if (p.timer.valid()) sim_.cancel(p.timer);  // superseded: newest wins
+  const std::size_t idx = static_cast<std::size_t>(slot) * 3;
+  Pending& p = pending_[idx];
+  if (pending_open_[idx] == 0) {
+    p = Pending{};  // closed row may hold a prior tenant's stale fields
+    pending_open_[idx] = 1;
+    ++open_pending_;
+  } else if (p.timer.valid()) {
+    sim_.cancel(p.timer);  // superseded: newest wins
+  }
   p.seq = next_seq();
   p.resource = Resource::kCpu;
   p.cores = cores;
@@ -600,10 +629,12 @@ void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kRpcIssued;
     ev.container = id;
-    ev.node = node_tag(it->second);
+    ev.node = node_tag(entry);
     ev.before = 0.0;  // resource flag: 0 = CPU
     ev.after = cores;
     ev.cause = ctx.cause;
+    // Logical (unbatched-equivalent) RPC size; the batched path's actual
+    // wire accounting lands in the net.* counters and controller.batched_*.
     ev.detail = static_cast<std::int64_t>(kLimitUpdateRpcBytes);
     p.rpc_event = obs_->record(ev);
   }
@@ -611,23 +642,31 @@ void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kCpuSlot;
     rev.container = id;
-    rev.node = it->second.agent->node().id();
+    rev.node = entry.agent->node().id();
     rev.seq = p.seq;
     rev.cores = cores;
     emit_repl(rev);
   }
-  send_pending(key);
+  dispatch_update(key, entry.agent->node().id());
 }
 
 void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
                                 LoopCtx ctx) {
   if (crashed_) return;
-  const auto it = registry_.find(id);
-  if (it == registry_.end()) return;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return;
+  Entry& entry = registry_[slot];
   ++limit_updates_;
   const std::uint64_t key = update_key(id, Resource::kMem);
-  Pending& p = pending_[key];
-  if (p.timer.valid()) sim_.cancel(p.timer);
+  const std::size_t idx = static_cast<std::size_t>(slot) * 3 + 1;
+  Pending& p = pending_[idx];
+  if (pending_open_[idx] == 0) {
+    p = Pending{};
+    pending_open_[idx] = 1;
+    ++open_pending_;
+  } else if (p.timer.valid()) {
+    sim_.cancel(p.timer);
+  }
   p.seq = next_seq();
   p.resource = Resource::kMem;
   p.mem = limit;
@@ -641,7 +680,7 @@ void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kRpcIssued;
     ev.container = id;
-    ev.node = node_tag(it->second);
+    ev.node = node_tag(entry);
     ev.before = 1.0;  // resource flag: 1 = memory
     ev.after = static_cast<double>(limit);
     ev.cause = ctx.cause;
@@ -652,24 +691,32 @@ void Controller::push_mem_limit(cluster::ContainerId id, memcg::Bytes limit,
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kMemSlot;
     rev.container = id;
-    rev.node = it->second.agent->node().id();
+    rev.node = entry.agent->node().id();
     rev.seq = p.seq;
     rev.is_mem = true;
     rev.mem = limit;
     emit_repl(rev);
   }
-  send_pending(key);
+  dispatch_update(key, entry.agent->node().id());
 }
 
 void Controller::push_bw_limit(cluster::ContainerId id, double rate_bps,
                                LoopCtx ctx) {
   if (crashed_) return;
-  const auto it = registry_.find(id);
-  if (it == registry_.end()) return;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return;
+  Entry& entry = registry_[slot];
   ++limit_updates_;
   const std::uint64_t key = update_key(id, Resource::kBw);
-  Pending& p = pending_[key];
-  if (p.timer.valid()) sim_.cancel(p.timer);
+  const std::size_t idx = static_cast<std::size_t>(slot) * 3 + 2;
+  Pending& p = pending_[idx];
+  if (pending_open_[idx] == 0) {
+    p = Pending{};
+    pending_open_[idx] = 1;
+    ++open_pending_;
+  } else if (p.timer.valid()) {
+    sim_.cancel(p.timer);
+  }
   p.seq = next_seq();
   p.resource = Resource::kBw;
   p.bw_bps = rate_bps;
@@ -683,7 +730,7 @@ void Controller::push_bw_limit(cluster::ContainerId id, double rate_bps,
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kRpcIssued;
     ev.container = id;
-    ev.node = node_tag(it->second);
+    ev.node = node_tag(entry);
     ev.before = 2.0;  // resource flag: 2 = bandwidth
     ev.after = rate_bps;
     ev.cause = ctx.cause;
@@ -694,29 +741,190 @@ void Controller::push_bw_limit(cluster::ContainerId id, double rate_bps,
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kBwSlot;
     rev.container = id;
-    rev.node = it->second.agent->node().id();
+    rev.node = entry.agent->node().id();
     rev.seq = p.seq;
     rev.resource = Resource::kBw;
     rev.bw_bps = rate_bps;
     emit_repl(rev);
   }
-  send_pending(key);
+  dispatch_update(key, entry.agent->node().id());
+}
+
+void Controller::dispatch_update(std::uint64_t key, cluster::NodeId node) {
+  if (!config_.batch_limit_updates) {
+    send_pending(key);
+    return;
+  }
+  Pending* p = find_pending(key);
+  if (p == nullptr) return;
+  NodeBatch& batch = batches_[node];
+  if (!p->queued) {
+    p->queued = true;
+    batch.keys.push_back(key);
+  }
+  if (!batch.scheduled) {
+    batch.scheduled = true;
+    // Same-tick flush: runs after every event already queued at this
+    // timestamp, so all of a period's decisions for the node coalesce into
+    // one RPC without delaying any of them.
+    batch.flush =
+        sim_.schedule_after(0, [this, node] { flush_node_batch(node); });
+  }
+}
+
+void Controller::flush_node_batch(cluster::NodeId node) {
+  const auto bit = batches_.find(node);
+  if (bit == batches_.end()) return;
+  NodeBatch& batch = bit->second;
+  batch.scheduled = false;
+  const std::vector<std::uint64_t> keys = std::move(batch.keys);
+  batch.keys.clear();
+  if (crashed_ || keys.empty()) return;
+
+  // Snapshot of one batch entry, fixed at flush time (exactly what legacy
+  // send_pending captures per RPC). A slot superseded after the flush keeps
+  // its own newer state; the in-flight entry acks or times out on this seq.
+  struct WireEntry {
+    std::uint64_t key = 0;
+    cluster::ContainerId id = 0;
+    std::uint64_t seq = 0;
+    Resource resource = Resource::kCpu;
+    double cores = 0.0;
+    memcg::Bytes mem = 0;
+    double bw_bps = 0.0;
+    obs::EventId rpc_event = 0;
+    LoopCtx ctx;
+    std::uint32_t node_tag = 0;
+  };
+  std::vector<WireEntry> entries;
+  entries.reserve(keys.size());
+  Agent* agent = nullptr;
+  for (const std::uint64_t key : keys) {
+    Pending* p = find_pending(key);
+    if (p == nullptr) continue;  // acked or canceled before the flush
+    Entry* entry = find_entry(static_cast<cluster::ContainerId>(key >> 2));
+    if (entry->agent == nullptr) {
+      p->queued = false;
+      continue;
+    }
+    if (entry->agent->node().id() != node) {
+      // Re-registered on another node between dispatch and flush: hand the
+      // slot to the node that owns it now.
+      p->queued = false;
+      dispatch_update(key, entry->agent->node().id());
+      continue;
+    }
+    p->queued = false;
+    agent = entry->agent;
+    WireEntry w;
+    w.key = key;
+    w.id = static_cast<cluster::ContainerId>(key >> 2);
+    w.seq = p->seq;
+    w.resource = p->resource;
+    w.cores = p->cores;
+    w.mem = p->mem;
+    w.bw_bps = p->bw_bps;
+    w.rpc_event = p->rpc_event;
+    w.ctx = p->ctx;
+    w.node_tag = node_tag(*entry);
+    entries.push_back(w);
+  }
+  if (entries.empty() || agent == nullptr) return;
+
+  if (obs_ != nullptr) {
+    obs_->h.batched_rpcs->inc();
+    obs_->h.batch_entries->inc(static_cast<std::uint64_t>(entries.size()));
+  }
+  const std::size_t req_bytes =
+      kBatchedLimitUpdateHdrBytes + entries.size() * kBatchedLimitEntryBytes;
+  const std::size_t resp_bytes =
+      kBatchedLimitAckHdrBytes + entries.size() * kBatchedLimitAckEntryBytes;
+  // (key, seq) pairs the Agent acks; shared between the request and
+  // response legs. A duplicated request delivery rebuilds the list (the
+  // applies are idempotent, and on_update_ack ignores a closed slot).
+  auto acks = std::make_shared<
+      std::vector<std::pair<std::uint64_t, std::uint64_t>>>();
+  const cluster::NodeId node_id = node;
+  net_.rpc_to(
+      net::kControllerEndpoint, ep(node_id), req_bytes, resp_bytes,
+      // Request delivered at the Agent: apply every entry with exactly the
+      // legacy per-entry semantics. Entries rejected (crashed/unmanaged) or
+      // fenced get no ack — their retransmit timers carry them; if *no*
+      // entry landed there is no response at all.
+      [this, agent, entries, acks]() -> bool {
+        acks->clear();
+        bool any = false;
+        for (const WireEntry& w : entries) {
+          Agent::Apply result = Agent::Apply::kRejected;
+          double applied_value = 0.0;
+          switch (w.resource) {
+            case Resource::kCpu:
+              result = agent->apply_cpu_limit(w.id, w.cores, w.seq);
+              applied_value = w.cores;
+              break;
+            case Resource::kMem:
+              result = agent->apply_mem_limit(w.id, w.mem, w.seq);
+              applied_value = static_cast<double>(w.mem);
+              break;
+            case Resource::kBw:
+              result = agent->apply_bw_limit(w.id, w.bw_bps, w.seq);
+              applied_value = w.bw_bps;
+              break;
+          }
+          if (result == Agent::Apply::kRejected) continue;
+          if (result == Agent::Apply::kFenced) continue;
+          if (!any) {
+            any = true;
+            agent->note_controller_contact();  // delivery renews the lease
+          }
+          acks->emplace_back(w.key, w.seq);
+          if (result == Agent::Apply::kApplied && obs_ != nullptr) {
+            const sim::TimePoint apply = sim_.now();
+            obs_->h.rpcs_applied->inc();
+            obs::TraceEvent ev;
+            ev.time = apply;
+            ev.kind = obs::EventKind::kRpcApplied;
+            ev.container = w.id;
+            ev.node = w.node_tag;
+            ev.before = static_cast<double>(w.resource);
+            ev.after = applied_value;
+            ev.cause = w.rpc_event;
+            ev.detail = static_cast<std::int64_t>(w.seq);
+            obs_->record(ev);
+            if (w.ctx.profile) {
+              obs_->profiler().record_loop(w.ctx.fire, w.ctx.ingest,
+                                           w.ctx.decide, apply);
+            }
+          }
+        }
+        return any;
+      },
+      // Response: per-entry acks. Unacked entries stay pending and
+      // retransmit individually — partial-batch loss never re-sends what
+      // already landed.
+      [this, acks, node_id] {
+        for (const auto& [key, seq] : *acks) on_update_ack(key, seq, node_id);
+      });
+
+  for (const WireEntry& w : entries) {
+    Pending* p = find_pending(w.key);
+    if (p == nullptr || p->seq != w.seq) continue;
+    p->timer = sim_.schedule_after(p->backoff, [this, key = w.key,
+                                                seq = w.seq] {
+      on_update_timeout(key, seq);
+    });
+  }
 }
 
 void Controller::send_pending(std::uint64_t key) {
-  const auto pit = pending_.find(key);
-  if (pit == pending_.end()) return;
-  Pending& p = pit->second;
+  Pending* pp = find_pending(key);
+  if (pp == nullptr) return;
+  Pending& p = *pp;
   const auto id = static_cast<cluster::ContainerId>(key >> 2);
-  const auto it = registry_.find(id);
-  if (it == registry_.end()) {
-    sim_.cancel(p.timer);
-    pending_.erase(pit);
-    return;
-  }
-  Agent* agent = it->second.agent;
+  Entry* entry = find_entry(id);
+  Agent* agent = entry->agent;
   const cluster::NodeId node_id = agent->node().id();
-  const std::uint32_t node = node_tag(it->second);
+  const std::uint32_t node = node_tag(*entry);
   const std::uint64_t seq = p.seq;
   const Resource resource = p.resource;
   const double cores = p.cores;
@@ -790,27 +998,30 @@ void Controller::on_update_ack(std::uint64_t key, std::uint64_t seq,
   if (crashed_) return;
   // Any traffic from the node proves it alive.
   health_[node].last_heartbeat = sim_.now();
-  const auto it = pending_.find(key);
-  if (it == pending_.end() || it->second.seq != seq) return;  // superseded
-  sim_.cancel(it->second.timer);
+  Pending* p = find_pending(key);
+  if (p == nullptr || p->seq != seq) return;  // superseded
+  sim_.cancel(p->timer);
   {
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kAckSlot;
     rev.container = static_cast<cluster::ContainerId>(key >> 2);
     rev.node = node;
     rev.seq = seq;
-    rev.resource = it->second.resource;
-    rev.is_mem = it->second.resource == Resource::kMem;
+    rev.resource = p->resource;
+    rev.is_mem = p->resource == Resource::kMem;
     emit_repl(rev);
   }
-  pending_.erase(it);
+  const std::uint32_t slot =
+      index_.find(static_cast<cluster::ContainerId>(key >> 2));
+  pending_open_[static_cast<std::size_t>(slot) * 3 + (key & 3)] = 0;
+  --open_pending_;
 }
 
 void Controller::on_update_timeout(std::uint64_t key, std::uint64_t seq) {
   if (crashed_) return;
-  const auto it = pending_.find(key);
-  if (it == pending_.end() || it->second.seq != seq) return;
-  Pending& p = it->second;
+  Pending* pp = find_pending(key);
+  if (pp == nullptr || pp->seq != seq) return;
+  Pending& p = *pp;
   ++p.attempts;
   ++retransmits_;
   const auto id = static_cast<cluster::ContainerId>(key >> 2);
@@ -820,8 +1031,8 @@ void Controller::on_update_timeout(std::uint64_t key, std::uint64_t seq) {
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kRetransmit;
     ev.container = id;
-    const auto rit = registry_.find(id);
-    ev.node = rit != registry_.end() ? node_tag(rit->second) : 0;
+    const Entry* rit = find_entry(id);
+    ev.node = rit != nullptr ? node_tag(*rit) : 0;
     ev.before = static_cast<double>(p.resource);
     switch (p.resource) {
       case Resource::kCpu:
@@ -839,15 +1050,23 @@ void Controller::on_update_timeout(std::uint64_t key, std::uint64_t seq) {
     obs_->record(ev);
   }
   p.backoff = std::min<sim::Duration>(p.backoff * 2, config_.rpc_backoff_max);
-  send_pending(key);  // re-sends the *newest* desired value, re-arms timer
+  // Re-send the *newest* desired value and re-arm the timer. The batched
+  // path re-enqueues: several entries timing out at the same instant for
+  // one node coalesce back into a single retransmit RPC, and only unacked
+  // entries ride it.
+  const Entry* entry = find_entry(id);
+  dispatch_update(key, entry->agent->node().id());
 }
 
 void Controller::cancel_pending_for(cluster::ContainerId id) {
-  for (const Resource r : {Resource::kCpu, Resource::kMem, Resource::kBw}) {
-    const auto it = pending_.find(update_key(id, r));
-    if (it == pending_.end()) continue;
-    sim_.cancel(it->second.timer);
-    pending_.erase(it);
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return;
+  for (int r = 0; r < 3; ++r) {
+    const std::size_t idx = static_cast<std::size_t>(slot) * 3 + r;
+    if (pending_open_[idx] == 0) continue;
+    sim_.cancel(pending_[idx].timer);
+    pending_open_[idx] = 0;
+    --open_pending_;
   }
 }
 
@@ -938,11 +1157,12 @@ void Controller::reclaim_dead_node(cluster::NodeId node) {
   const auto hit = health_.find(node);
   if (hit == health_.end() || !hit->second.dead) return;
   std::vector<cluster::ContainerId> ids;
-  for (const auto& [id, entry] : registry_) {
+  index_.for_each([&](std::uint32_t slot, cluster::ContainerId id) {
+    const Entry& entry = registry_[slot];
     if (entry.agent != nullptr && entry.agent->node().id() == node) {
       ids.push_back(id);
     }
-  }
+  });
   std::sort(ids.begin(), ids.end());  // deterministic reclaim order
   for (const cluster::ContainerId id : ids) deregister_quarantined(id);
 }
@@ -973,7 +1193,7 @@ void Controller::apply_resync(cluster::NodeId node, Agent& agent,
     double want_bw = 0.0;
     bool push_bw = false;
     obs::EventId resync_ev = 0;
-    if (registry_.contains(s.id)) {
+    if (index_.contains(s.id)) {
       // Still registered (Agent restart without Controller loss): the
       // shadow limits are authoritative; reconcile the node toward them.
       want_cores = allocator_.app().member_cores(s.id);
@@ -1030,18 +1250,16 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
   // The event travels the container's persistent kernel TCP socket; the
   // limit raise returns over RPC. The container is stalled for the round
   // trip by its own rescue path; here we account the bytes and decide.
-  const auto it = registry_.find(container.id());
+  const Entry* it = find_entry(container.id());
   const cluster::NodeId node =
-      it != registry_.end() && it->second.agent != nullptr
-          ? it->second.agent->node().id()
-          : 0;
+      it != nullptr && it->agent != nullptr ? it->agent->node().id() : 0;
   net_.send_to(net::Channel::kMemoryEvent, ep(node), net::kControllerEndpoint,
                kOomEventWireBytes, [] {});
   // A crashed Controller, a severed path, or an unregistered container
   // (quarantine-reclaimed) leaves the request unanswered: the hook returns
   // false and the kernel's normal OOM path proceeds against the container's
   // fail-static limit.
-  if (crashed_ || it == registry_.end() || !reachable(node) ||
+  if (crashed_ || it == nullptr || !reachable(node) ||
       !allocator_.knows(container.id())) {
     return false;
   }
@@ -1093,7 +1311,7 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
     ev.time = sim_.now();
     ev.kind = obs::EventKind::kMemGrantOnOom;
     ev.container = container.id();
-    ev.node = it != registry_.end() ? node_tag(it->second) : 0;
+    ev.node = it != nullptr ? node_tag(*it) : 0;
     ev.before = static_cast<double>(old_limit);
     ev.after = static_cast<double>(decision.new_limit);
     ev.detail = static_cast<std::int64_t>(shortfall);
@@ -1113,15 +1331,15 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
 
 std::vector<Controller::TakeoverContainer> Controller::registry_snapshot() {
   std::vector<TakeoverContainer> out;
-  out.reserve(registry_.size());
-  for (const auto& [id, entry] : registry_) {
+  out.reserve(index_.size());
+  index_.for_each([&](std::uint32_t, cluster::ContainerId id) {
     TakeoverContainer c;
     c.id = id;
     c.cores = allocator_.app().member_cores(id);
     c.mem = allocator_.app().member_mem(id);
     c.bw_bps = allocator_.app().member_bw(id);
     out.push_back(c);
-  }
+  });
   std::sort(out.begin(), out.end(),
             [](const TakeoverContainer& a, const TakeoverContainer& b) {
               return a.id < b.id;
@@ -1131,18 +1349,23 @@ std::vector<Controller::TakeoverContainer> Controller::registry_snapshot() {
 
 std::vector<Controller::TakeoverSlot> Controller::pending_slots() const {
   std::vector<TakeoverSlot> out;
-  out.reserve(pending_.size());
-  for (const auto& [key, p] : pending_) {
-    TakeoverSlot s;
-    s.id = static_cast<cluster::ContainerId>(key >> 2);
-    s.resource = p.resource;
-    s.is_mem = p.resource == Resource::kMem;
-    s.cores = p.cores;
-    s.mem = p.mem;
-    s.bw_bps = p.bw_bps;
-    s.seq = p.seq;
-    out.push_back(s);
-  }
+  out.reserve(open_pending_);
+  index_.for_each([&](std::uint32_t slot, cluster::ContainerId id) {
+    for (int r = 0; r < 3; ++r) {
+      const std::size_t idx = static_cast<std::size_t>(slot) * 3 + r;
+      if (pending_open_[idx] == 0) continue;
+      const Pending& p = pending_[idx];
+      TakeoverSlot s;
+      s.id = id;
+      s.resource = p.resource;
+      s.is_mem = p.resource == Resource::kMem;
+      s.cores = p.cores;
+      s.mem = p.mem;
+      s.bw_bps = p.bw_bps;
+      s.seq = p.seq;
+      out.push_back(s);
+    }
+  });
   std::sort(out.begin(), out.end(),
             [](const TakeoverSlot& a, const TakeoverSlot& b) {
               return a.id != b.id ? a.id < b.id : a.resource < b.resource;
@@ -1217,7 +1440,7 @@ void Controller::takeover(std::uint64_t epoch,
   // the wire: the node-side state is whatever fail-static preserved).
   for (const TakeoverContainer& c : containers) {
     if (c.container == nullptr || c.node == nullptr) continue;
-    if (registry_.contains(c.container->id())) continue;
+    if (index_.contains(c.container->id())) continue;
     register_impl(*c.container, *c.node, c.cores, c.mem,
                   RegisterMode::kTakeover, c.bw_bps);
   }
@@ -1228,7 +1451,7 @@ void Controller::takeover(std::uint64_t epoch,
   std::vector<cluster::ContainerId> cpu_slotted;
   std::vector<cluster::ContainerId> bw_slotted;
   for (const TakeoverSlot& s : slots) {
-    if (!registry_.contains(s.id)) continue;
+    if (!index_.contains(s.id)) continue;
     LoopCtx ctx;
     ctx.cause = cause;
     switch (s.resource) {
@@ -1255,8 +1478,10 @@ void Controller::takeover(std::uint64_t epoch,
   // no-op at the node. Memory is left to the reclamation loop, same as the
   // resync path (shrinking below live usage would manufacture OOMs).
   std::vector<cluster::ContainerId> registered_ids;
-  registered_ids.reserve(registry_.size());
-  for (const auto& [id, entry] : registry_) registered_ids.push_back(id);
+  registered_ids.reserve(index_.size());
+  index_.for_each([&](std::uint32_t, cluster::ContainerId id) {
+    registered_ids.push_back(id);
+  });
   std::sort(registered_ids.begin(), registered_ids.end());
   for (const cluster::ContainerId id : registered_ids) {
     if (!std::binary_search(cpu_slotted.begin(), cpu_slotted.end(), id)) {
@@ -1294,7 +1519,7 @@ void Controller::drain_deferred_registrations() {
   deferred_registrations_.clear();
   for (const DeferredRegistration& d : deferred) {
     if (d.container == nullptr || d.node == nullptr) continue;
-    if (registry_.contains(d.container->id())) continue;
+    if (index_.contains(d.container->id())) continue;
     register_impl(*d.container, *d.node, d.cores, d.mem,
                   RegisterMode::kBootstrap);
   }

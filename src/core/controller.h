@@ -31,6 +31,7 @@
 #include "core/agent.h"
 #include "core/allocator.h"
 #include "core/config.h"
+#include "core/container_index.h"
 #include "core/messages.h"
 #include "net/network.h"
 #include "obs/observer.h"
@@ -64,9 +65,9 @@ class Controller {
                           double cores, memcg::Bytes mem);
   void deregister_container(cluster::Container& container);
   bool is_registered(cluster::ContainerId id) const {
-    return registry_.contains(id);
+    return index_.contains(id);
   }
-  std::size_t registered_count() const { return registry_.size(); }
+  std::size_t registered_count() const { return index_.size(); }
 
   // Starts the periodic loops: reclamation, liveness checks, and every
   // Agent's heartbeats.
@@ -173,6 +174,13 @@ class Controller {
   void set_update_seq_for_test(std::uint64_t counter) {
     update_seq_ = counter;
   }
+  // Test hook (tests/container_index_test.cc): the process-local dense slot
+  // interned for `id`, or ContainerIndex::kInvalid when unregistered. Slots
+  // are never serialized — this exists only to lock the determinism
+  // property (takeover replay rebuilds identical slot layouts).
+  std::uint32_t container_slot_for_test(cluster::ContainerId id) const {
+    return index_.find(id);
+  }
 
   // --- crash / restart (fault injection) ---
   // crash(): the Controller process dies. All soft state — registry, pool
@@ -239,7 +247,7 @@ class Controller {
   std::uint64_t retransmits() const { return retransmits_; }
   std::uint64_t resyncs() const { return resyncs_; }
   // Limit updates issued but not yet acked by their Agent.
-  std::size_t pending_updates() const { return pending_.size(); }
+  std::size_t pending_updates() const { return open_pending_; }
   bool node_dead(cluster::NodeId node) const;
 
   ResourceAllocator& allocator() { return allocator_; }
@@ -258,9 +266,13 @@ class Controller {
     bool profile = false;          // record the loop when the RPC lands
   };
   // One desired-state slot per (container, resource): the newest intended
-  // limit, its sequence number, and the retransmit timer. Keyed by
-  // container id * 4 + resource. A superseding decision overwrites the
-  // slot (the newest value wins); the ack for the newest sequence clears it.
+  // limit, its sequence number, and the retransmit timer. The *external*
+  // identity of a slot — what the WAL, the replicas, and the checker see —
+  // stays `container id * 4 + resource`; internally the rows live in a
+  // dense vector indexed by `registry slot * 3 + resource` so the hot
+  // push/ack/timeout path is a direct load. A superseding decision
+  // overwrites the slot (the newest value wins); the ack for the newest
+  // sequence clears it.
   struct Pending {
     std::uint64_t seq = 0;
     Resource resource = Resource::kCpu;
@@ -272,6 +284,17 @@ class Controller {
     sim::EventHandle timer;
     obs::EventId rpc_event = 0;  // original kRpcIssued (causal anchor)
     LoopCtx ctx;
+    bool queued = false;  // sitting in a NodeBatch awaiting flush
+  };
+  // Per-node coalescing buffer (config_.batch_limit_updates): every limit
+  // push within one tick bound for the same node rides a single batched RPC
+  // with per-entry acks. The flush runs same-tick (schedule_after(0)) after
+  // all already-queued work, so a whole telemetry period's decisions for a
+  // node coalesce without adding latency.
+  struct NodeBatch {
+    std::vector<std::uint64_t> keys;  // external update keys, push order
+    sim::EventHandle flush;
+    bool scheduled = false;
   };
   // Per-node liveness bookkeeping (keyed by heartbeats).
   struct NodeHealth {
@@ -334,6 +357,23 @@ class Controller {
     return static_cast<net::EndpointId>(node);
   }
   bool reachable(cluster::NodeId node) const;
+  // Registry row for a container, or nullptr if unregistered.
+  Entry* find_entry(cluster::ContainerId id) {
+    const std::uint32_t slot = index_.find(id);
+    return slot == ContainerIndex::kInvalid ? nullptr : &registry_[slot];
+  }
+  // Open desired-state slot for an external key, or nullptr.
+  Pending* find_pending(std::uint64_t key) {
+    const std::uint32_t slot =
+        index_.find(static_cast<cluster::ContainerId>(key >> 2));
+    if (slot == ContainerIndex::kInvalid) return nullptr;
+    const std::size_t idx = static_cast<std::size_t>(slot) * 3 + (key & 3);
+    return pending_open_[idx] != 0 ? &pending_[idx] : nullptr;
+  }
+  // Routes an opened slot to the wire: directly (legacy one-RPC-per-update)
+  // or via the node's coalescing batch.
+  void dispatch_update(std::uint64_t key, cluster::NodeId node);
+  void flush_node_batch(cluster::NodeId node);
   void send_pending(std::uint64_t key);
   void on_update_timeout(std::uint64_t key, std::uint64_t seq);
   void on_update_ack(std::uint64_t key, std::uint64_t seq,
@@ -355,7 +395,13 @@ class Controller {
   obs::Observer* obs_ = nullptr;
   std::vector<std::unique_ptr<Agent>> agents_;
   std::unordered_map<cluster::NodeId, Agent*> agents_by_node_;
-  std::unordered_map<cluster::ContainerId, Entry> registry_;
+  // Registered containers interned to dense slots; the hot per-container
+  // state (registry entry, three desired-state slot rows) is slot-indexed
+  // struct-of-arrays. External identities (WAL, replication, trace events,
+  // id*4+resource slot keys) keep the ContainerId — slots never leave the
+  // process.
+  ContainerIndex index_;
+  std::vector<Entry> registry_;
   // Pod creations that arrived while the seat was vacant (Controller
   // crashed, takeover pending). A vacant seat cannot admit — crash()
   // cleared the pool book, so a grant issued now would be clamped against
@@ -375,7 +421,14 @@ class Controller {
   bool crashed_ = false;
   std::uint64_t incarnation_ = 1;
   std::uint64_t update_seq_ = 0;
-  std::unordered_map<std::uint64_t, Pending> pending_;
+  // Desired-state slot rows, indexed registry-slot * 3 + resource, with a
+  // parallel open-flag byte vector (closed rows keep stale contents until
+  // reopened). `open_pending_` maintains the live count for
+  // pending_updates() without a scan.
+  std::vector<Pending> pending_;
+  std::vector<std::uint8_t> pending_open_;
+  std::size_t open_pending_ = 0;
+  std::unordered_map<cluster::NodeId, NodeBatch> batches_;
   std::unordered_map<cluster::NodeId, NodeHealth> health_;
   ReplicationHook repl_hook_;
   bw::ClusterShaper* bw_shaper_ = nullptr;

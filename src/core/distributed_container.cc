@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 #include "obs/metrics.h"
 
@@ -17,7 +18,7 @@ DistributedContainer::DistributedContainer(double cpu_limit_cores,
 
 void DistributedContainer::add_member(std::uint32_t container, double cores,
                                       memcg::Bytes mem) {
-  if (members_.contains(container)) {
+  if (index_.contains(container)) {
     throw std::invalid_argument("add_member: duplicate container");
   }
   if (cores < 0.0 || mem < 0) {
@@ -29,19 +30,24 @@ void DistributedContainer::add_member(std::uint32_t container, double cores,
   if (mem_allocated_ + mem > mem_limit_) {
     throw std::invalid_argument("add_member: memory grant exceeds global limit");
   }
-  members_.emplace(container, Member{cores, mem});
+  const std::uint32_t slot = index_.intern(container);
+  if (slot >= members_.size()) members_.resize(index_.capacity());
+  members_[slot] = Member{cores, mem, 0.0};
   cpu_allocated_ += cores;
   mem_allocated_ += mem;
   sync_gauges();
 }
 
 void DistributedContainer::remove_member(std::uint32_t container) {
-  const auto it = members_.find(container);
-  if (it == members_.end()) throw std::invalid_argument("remove_member: unknown");
-  cpu_allocated_ -= it->second.cores;
-  mem_allocated_ -= it->second.mem;
-  bw_allocated_ -= it->second.bw;
-  members_.erase(it);
+  const std::uint32_t slot = index_.find(container);
+  if (slot == ContainerIndex::kInvalid) {
+    throw std::invalid_argument("remove_member: unknown");
+  }
+  const Member& m = members_[slot];
+  cpu_allocated_ -= m.cores;
+  mem_allocated_ -= m.mem;
+  bw_allocated_ -= m.bw;
+  index_.release(container);
   cpu_allocated_ = std::max(0.0, cpu_allocated_);
   mem_allocated_ = std::max<memcg::Bytes>(0, mem_allocated_);
   bw_allocated_ = std::max(0.0, bw_allocated_);
@@ -61,11 +67,20 @@ void DistributedContainer::set_bw_limit(double bw_bps) {
 
 const DistributedContainer::Member& DistributedContainer::member(
     std::uint32_t container) const {
-  const auto it = members_.find(container);
-  if (it == members_.end()) {
+  const std::uint32_t slot = index_.find(container);
+  if (slot == ContainerIndex::kInvalid) {
     throw std::invalid_argument("DistributedContainer: unknown member");
   }
-  return it->second;
+  return members_[slot];
+}
+
+DistributedContainer::Member& DistributedContainer::member_at(
+    std::uint32_t container, const char* caller) {
+  const std::uint32_t slot = index_.find(container);
+  if (slot == ContainerIndex::kInvalid) {
+    throw std::invalid_argument(std::string(caller) + ": unknown member");
+  }
+  return members_[slot];
 }
 
 double DistributedContainer::member_cores(std::uint32_t container) const {
@@ -78,33 +93,27 @@ memcg::Bytes DistributedContainer::member_mem(std::uint32_t container) const {
 
 double DistributedContainer::set_member_cores(std::uint32_t container,
                                               double cores) {
-  const auto it = members_.find(container);
-  if (it == members_.end()) {
-    throw std::invalid_argument("set_member_cores: unknown member");
-  }
+  Member& m = member_at(container, "set_member_cores");
   cores = std::max(0.0, cores);
   // Clamp so the application aggregate never exceeds the global limit: this
   // is the runtime enforcement that distinguishes a Distributed Container
   // from an admission-time Resource Quota.
-  const double headroom = cpu_limit_ - (cpu_allocated_ - it->second.cores);
+  const double headroom = cpu_limit_ - (cpu_allocated_ - m.cores);
   cores = std::min(cores, headroom);
-  cpu_allocated_ += cores - it->second.cores;
-  it->second.cores = cores;
+  cpu_allocated_ += cores - m.cores;
+  m.cores = cores;
   sync_gauges();
   return cores;
 }
 
 memcg::Bytes DistributedContainer::set_member_mem(std::uint32_t container,
                                                   memcg::Bytes mem) {
-  const auto it = members_.find(container);
-  if (it == members_.end()) {
-    throw std::invalid_argument("set_member_mem: unknown member");
-  }
+  Member& m = member_at(container, "set_member_mem");
   mem = std::max<memcg::Bytes>(0, mem);
-  const memcg::Bytes headroom = mem_limit_ - (mem_allocated_ - it->second.mem);
+  const memcg::Bytes headroom = mem_limit_ - (mem_allocated_ - m.mem);
   mem = std::min(mem, headroom);
-  mem_allocated_ += mem - it->second.mem;
-  it->second.mem = mem;
+  mem_allocated_ += mem - m.mem;
+  m.mem = mem;
   sync_gauges();
   return mem;
 }
@@ -115,15 +124,12 @@ double DistributedContainer::member_bw(std::uint32_t container) const {
 
 double DistributedContainer::set_member_bw(std::uint32_t container,
                                            double bw_bps) {
-  const auto it = members_.find(container);
-  if (it == members_.end()) {
-    throw std::invalid_argument("set_member_bw: unknown member");
-  }
+  Member& m = member_at(container, "set_member_bw");
   bw_bps = std::max(0.0, bw_bps);
-  const double headroom = bw_limit_ - (bw_allocated_ - it->second.bw);
+  const double headroom = bw_limit_ - (bw_allocated_ - m.bw);
   bw_bps = std::min(bw_bps, std::max(0.0, headroom));
-  bw_allocated_ += bw_bps - it->second.bw;
-  it->second.bw = bw_bps;
+  bw_allocated_ += bw_bps - m.bw;
+  m.bw = bw_bps;
   sync_gauges();
   return bw_bps;
 }

@@ -18,8 +18,9 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
+#include <vector>
 
+#include "core/container_index.h"
 #include "memcg/mem_cgroup.h"
 
 namespace escra::obs {
@@ -49,9 +50,9 @@ class DistributedContainer {
   double bw_allocated() const { return bw_allocated_; }
   double bw_unallocated() const { return bw_limit_ - bw_allocated_; }
 
-  std::size_t member_count() const { return members_.size(); }
+  std::size_t member_count() const { return index_.size(); }
   bool is_member(std::uint32_t container) const {
-    return members_.contains(container);
+    return index_.contains(container);
   }
 
   // --- membership & per-container shadow limits ---
@@ -101,6 +102,7 @@ class DistributedContainer {
     double bw = 0.0;  // bytes/s; 0 = unshaped
   };
   const Member& member(std::uint32_t container) const;
+  Member& member_at(std::uint32_t container, const char* caller);
 
   double cpu_limit_;
   memcg::Bytes mem_limit_;
@@ -108,7 +110,11 @@ class DistributedContainer {
   double cpu_allocated_ = 0.0;
   memcg::Bytes mem_allocated_ = 0;
   double bw_allocated_ = 0.0;
-  std::unordered_map<std::uint32_t, Member> members_;
+  // Hot state: member shadow limits in a slot-indexed SoA book. The index
+  // interns sparse container ids to dense slots; members_[slot] is valid
+  // while the slot is live (intern zero-fills on reuse).
+  ContainerIndex index_;
+  std::vector<Member> members_;
   obs::Gauge* gauge_cpu_allocated_ = nullptr;
   obs::Gauge* gauge_cpu_unallocated_ = nullptr;
   obs::Gauge* gauge_mem_allocated_ = nullptr;

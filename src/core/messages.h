@@ -44,6 +44,17 @@ inline constexpr std::size_t kRegistrationWireBytes = 14 + 20 + 32 + 24;
 inline constexpr std::size_t kLimitUpdateRpcBytes = 280;
 inline constexpr std::size_t kLimitUpdateRespBytes = 120;
 
+// Coalesced per-node limit push: one gRPC call carrying every pending
+// desired-state update for a node in the current period. The header covers
+// HTTP/2 + protobuf framing once; each entry adds a compact repeated field
+// (container id, resource tag, seq, value). The ack response mirrors the
+// shape with per-entry (seq, status) pairs so partial application is
+// visible to the controller's retransmit machinery.
+inline constexpr std::size_t kBatchedLimitUpdateHdrBytes = 220;
+inline constexpr std::size_t kBatchedLimitEntryBytes = 28;
+inline constexpr std::size_t kBatchedLimitAckHdrBytes = 100;
+inline constexpr std::size_t kBatchedLimitAckEntryBytes = 12;
+
 // gRPC reclamation request/response (response carries per-node ψ).
 inline constexpr std::size_t kReclaimRpcBytes = 260;
 inline constexpr std::size_t kReclaimRespBytes = 160;

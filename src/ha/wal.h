@@ -107,7 +107,10 @@ struct ReplicaState {
     bool dead = false;
   };
 
-  // std::map: deterministic iteration order for takeover replay.
+  // std::map: deterministic iteration order for takeover replay. Slot keys
+  // are the *external* identity container_id*4 + resource — deliberately
+  // independent of any leader's process-local ContainerIndex slot numbers,
+  // so a standby's replayed state matches regardless of interning order.
   std::map<cluster::ContainerId, ContainerState> containers;
   std::map<std::uint64_t, SlotState> slots;  // key = container*4 + resource
   std::map<cluster::NodeId, NodeState> nodes;

@@ -47,7 +47,7 @@ void Network::account(Channel channel, EndpointId from, std::size_t bytes) {
   lifetime_bytes_ += bytes;
   ++lifetime_messages_;
   if (from != kUnroutedEndpoint) {
-    auto& ep = endpoint_stats_[from];
+    auto& ep = endpoint_slot_ref(from);
     ++ep.tx_messages;
     ep.tx_bytes += bytes;
   }
@@ -180,7 +180,7 @@ Network::Route Network::route(Channel channel, EndpointId from, EndpointId to,
   // duplicate delivery re-runs the callback, not the wire).
   ingress_bytes_ += bytes;
   if (to != kUnroutedEndpoint) {
-    auto& ep = endpoint_stats_[to];
+    auto& ep = endpoint_slot_ref(to);
     ++ep.rx_messages;
     ep.rx_bytes += bytes;
   }
@@ -313,14 +313,12 @@ void Network::attach_metrics(obs::MetricsRegistry& registry) {
 
 const EndpointStats& Network::endpoint_stats(EndpointId endpoint) const {
   static const EndpointStats kEmpty;
-  const auto it = endpoint_stats_.find(endpoint);
-  return it == endpoint_stats_.end() ? kEmpty : it->second;
+  const std::size_t slot = endpoint_slot(endpoint);
+  return slot < endpoint_stats_.size() ? endpoint_stats_[slot] : kEmpty;
 }
 
 const ChannelStats& Network::stats(Channel channel) const {
-  static const ChannelStats kEmpty;
-  const auto it = stats_.find(static_cast<int>(channel));
-  return it == stats_.end() ? kEmpty : it->second;
+  return stats_[static_cast<int>(channel)];
 }
 
 std::uint64_t Network::total_bytes() const { return lifetime_bytes_; }

@@ -18,7 +18,6 @@
 #include <optional>
 #include <set>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -260,9 +259,25 @@ class Network {
            static_cast<std::uint32_t>(to);
   }
 
+  // Maps an endpoint id onto a dense slot in endpoint_stats_: node ids
+  // (>= 0) sit above a fixed band reserved for the negative reserved
+  // addresses (controller -1, standbys -16-k), so lookups are a single
+  // bounds-checked index instead of a hash probe on the RPC hot path.
+  static constexpr std::size_t kNegativeEndpointSlots = 32;
+  static std::size_t endpoint_slot(EndpointId endpoint) {
+    return endpoint >= 0
+               ? kNegativeEndpointSlots + static_cast<std::size_t>(endpoint)
+               : static_cast<std::size_t>(-endpoint);
+  }
+  EndpointStats& endpoint_slot_ref(EndpointId endpoint) {
+    const std::size_t slot = endpoint_slot(endpoint);
+    if (slot >= endpoint_stats_.size()) endpoint_stats_.resize(slot + 1);
+    return endpoint_stats_[slot];
+  }
+
   sim::Simulation& sim_;
   Config config_;
-  std::unordered_map<int, ChannelStats> stats_;
+  ChannelStats stats_[kChannelCount] = {};
   // Current bandwidth window accumulator.
   sim::TimePoint window_start_ = 0;
   std::uint64_t window_bytes_ = 0;
@@ -281,7 +296,7 @@ class Network {
   std::uint64_t duplicated_ = 0;
   std::uint64_t ingress_bytes_ = 0;
   std::uint64_t dropped_bytes_ = 0;
-  std::unordered_map<EndpointId, EndpointStats> endpoint_stats_;
+  std::vector<EndpointStats> endpoint_stats_;  // dense, see endpoint_slot
   Shaper* shaper_ = nullptr;
   // Registry mirrors, indexed by channel; all null until attach_metrics.
   obs::Counter* obs_bytes_[kChannelCount] = {};

@@ -6,6 +6,8 @@ Observer::Observer(Config config) : trace_(config.trace_capacity) {
   h.stats_ingested = &metrics_.counter("controller.stats_ingested");
   h.rpcs_issued = &metrics_.counter("controller.rpcs_issued");
   h.rpcs_applied = &metrics_.counter("controller.rpcs_applied");
+  h.batched_rpcs = &metrics_.counter("controller.batched_rpcs");
+  h.batch_entries = &metrics_.counter("controller.batch_entries");
   h.oom_events = &metrics_.counter("controller.oom_events");
   h.oom_rescues = &metrics_.counter("controller.oom_rescues");
   h.reclaim_sweeps = &metrics_.counter("reclaim.sweeps");

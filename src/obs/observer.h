@@ -59,6 +59,10 @@ class Observer {
     Counter* stats_ingested = nullptr;    // controller.stats_ingested
     Counter* rpcs_issued = nullptr;       // controller.rpcs_issued
     Counter* rpcs_applied = nullptr;      // controller.rpcs_applied
+    // Coalesced per-node limit pushes: batched RPCs sent and the entries
+    // they carried (entries/batched_rpcs = mean coalescing factor).
+    Counter* batched_rpcs = nullptr;      // controller.batched_rpcs
+    Counter* batch_entries = nullptr;     // controller.batch_entries
     Counter* oom_events = nullptr;        // controller.oom_events
     Counter* oom_rescues = nullptr;       // controller.oom_rescues
     Counter* reclaim_sweeps = nullptr;    // reclaim.sweeps

@@ -38,6 +38,12 @@
 //                         --standbys >= 1). Like --fault-profile, the
 //                         scenario draws are unchanged, so a seed's scenario
 //                         is identical with and without this flag.
+//     --legacy-rpc        run every tenant with batch_limit_updates=false —
+//                         the legacy one-RPC-per-update wire path instead
+//                         of the coalesced per-node batches. The scenario
+//                         draws are untouched, so a seed's scenario is
+//                         identical with and without this flag; only the
+//                         transport differs. Used by CI to fuzz both paths.
 //     --force-overgrant   plant a violation: mid-run, set one container's
 //                         CPU cgroup directly past the global limit,
 //                         bypassing the allocator (checker must catch it)
@@ -105,6 +111,7 @@ struct Options {
   int standbys = 0;
   bool leader_churn = false;
   bool bw = false;
+  bool legacy_rpc = false;
   bool force_overgrant = false;
   bool rss_check = false;
   bool quiet = false;
@@ -115,8 +122,8 @@ void usage() {
                "usage: escra-fuzz [--runs N] [--seed S] [--jobs N]\n"
                "                  [--trace-tail N] [--repro-out FILE]\n"
                "                  [--fault-profile] [--standbys N]\n"
-               "                  [--leader-churn] [--bw] [--force-overgrant]\n"
-               "                  [--rss-check] [--quiet]\n");
+               "                  [--leader-churn] [--bw] [--legacy-rpc]\n"
+               "                  [--force-overgrant] [--rss-check] [--quiet]\n");
 }
 
 // Strict numeric parsing: the whole token must be consumed, so "12abc" and
@@ -164,6 +171,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.fault_profile = true;
     } else if (flag == "--bw") {
       opts.bw = true;
+    } else if (flag == "--legacy-rpc") {
+      opts.legacy_rpc = true;
     } else if (flag == "--force-overgrant") {
       opts.force_overgrant = true;
     } else if (flag == "--rss-check") {
@@ -221,6 +230,9 @@ struct Scenario {
   // Bandwidth overlay on tenant 0 (set from --bw; its draws come from a
   // dedicated rng stream inside run_scenario, never from the scenario rng).
   bool bw = false;
+  // Legacy one-RPC-per-update wire path (set from --legacy-rpc, not drawn:
+  // only the transport changes, never the scenario).
+  bool legacy_rpc = false;
   std::vector<TenantPlan> tenants;
 };
 
@@ -299,6 +311,7 @@ std::string to_json(const Scenario& s) {
   out += s.leader_churn ? "\"leader_churn\": true"
                         : "\"leader_churn\": false";
   out += s.bw ? ", \"bw\": true" : ", \"bw\": false";
+  out += s.legacy_rpc ? ", \"legacy_rpc\": true" : ", \"legacy_rpc\": false";
   out += ",\n  \"tenants\": [";
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
     const TenantPlan& tp = s.tenants[t];
@@ -528,6 +541,7 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     const TenantPlan& tp = s.tenants[t];
     Tenant tenant;
     core::EscraConfig cfg = tp.cfg;
+    if (s.legacy_rpc) cfg.batch_limit_updates = false;
     if (s.bw && t == 0) {
       // Tenant 0 runs the bandwidth arm; its tunables come from the
       // dedicated bw stream so the base config draws stay untouched.
@@ -672,10 +686,11 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
                     s.standbys, s.leader_churn ? " --leader-churn" : "");
     }
     std::snprintf(buf, sizeof(buf),
-                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s%s\n",
+                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s%s%s\n",
                   s.seed,
                   s.fault_profile && !s.leader_churn ? " --fault-profile" : "",
                   standby_flags, s.bw ? " --bw" : "",
+                  s.legacy_rpc ? " --legacy-rpc" : "",
                   force_overgrant ? " --force-overgrant" : "");
     outcome.failure_text += buf;
   }
@@ -723,6 +738,7 @@ int main(int argc, char** argv) {
     scenario.standbys = opts.standbys;
     scenario.leader_churn = opts.leader_churn;
     scenario.bw = opts.bw;
+    scenario.legacy_rpc = opts.legacy_rpc;
     std::ofstream out(opts.repro_out);
     if (!out) {
       std::fprintf(stderr, "error: cannot write %s\n", opts.repro_out.c_str());
@@ -748,6 +764,7 @@ int main(int argc, char** argv) {
         scenario.standbys = opts.standbys;
         scenario.leader_churn = opts.leader_churn;
         scenario.bw = opts.bw;
+        scenario.legacy_rpc = opts.legacy_rpc;
         RunOutcome outcome =
             run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
         if (opts.rss_check && i + 1 == kRssWarmupRuns) {
@@ -779,6 +796,7 @@ int main(int argc, char** argv) {
           scenario.standbys = opts.standbys;
           scenario.leader_churn = opts.leader_churn;
           scenario.bw = opts.bw;
+          scenario.legacy_rpc = opts.legacy_rpc;
           out << to_json(scenario);
           wrote_violation_repro = true;
           std::fprintf(stderr,
