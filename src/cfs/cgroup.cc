@@ -67,8 +67,13 @@ void CfsCgroup::end_period(sim::TimePoint now) {
   stats.throttled = throttled_;
   ++periods_;
   if (throttled_) ++throttle_count_;
+  // A lying tenant forges the exported record here; internal accounting
+  // above stays truthful. The observability counters follow the *reported*
+  // stream (they model the Agent's view of the wire), keeping the invariant
+  // checker's counter<->trace pairing 1:1 even under forged telemetry.
+  if (stats_mutator_) stats_mutator_(stats);
   if (obs_periods_ != nullptr) obs_periods_->inc();
-  if (throttled_ && obs_throttled_ != nullptr) obs_throttled_->inc();
+  if (stats.throttled && obs_throttled_ != nullptr) obs_throttled_->inc();
   if (hook_) hook_(stats);
   // Refill (the CFS timer callback path): the next period gets the quota
   // plus any unused runtime carried over, capped at the burst budget.

@@ -77,6 +77,16 @@ class CfsCgroup {
 
   void set_period_hook(PeriodHook hook) { hook_ = std::move(hook); }
 
+  // Adversarial-tenant modeling (src/adv): rewrites the *exported* stats
+  // record after the truthful internal accounting and before the hook and
+  // observability counters see it — a compromised kernel module lying on
+  // the telemetry wire. Internal scheduling state (runtime, throttling,
+  // consumed totals) is never affected; only what the Controller is told.
+  using StatsMutator = std::function<void(PeriodStats&)>;
+  void set_stats_mutator(StatsMutator mutator) {
+    stats_mutator_ = std::move(mutator);
+  }
+
   // Observability: shared counters bumped at each period boundary (total
   // periods, throttled periods). Null (the default) disables the hook; the
   // hot-path cost is one pointer test per period.
@@ -117,6 +127,7 @@ class CfsCgroup {
   std::uint64_t throttle_count_ = 0;
   std::uint64_t periods_ = 0;
   PeriodHook hook_;
+  StatsMutator stats_mutator_;
   obs::Counter* obs_periods_ = nullptr;
   obs::Counter* obs_throttled_ = nullptr;
 };

@@ -75,6 +75,10 @@ InvariantChecker::InvariantChecker(core::EscraSystem& escra,
   base_bw_saturation_ = h.bw_saturation->value();
   base_bw_grants_ = h.bw_grants->value();
   base_bw_shrinks_ = h.bw_shrinks->value();
+  base_telemetry_rejected_ = h.telemetry_rejected->value();
+  base_credit_charges_ = h.credit_charges->value();
+  base_credit_refunds_ = h.credit_refunds->value();
+  base_greedy_throttles_ = h.greedy_throttles->value();
 
   // Network mirrors exist only once Network::attach_metrics has run against
   // this observer's registry; absent counters disable the net check.
@@ -170,16 +174,30 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
       break;
 
     case obs::EventKind::kMemGrantOnOom: {
+      // detail is the shortfall the grant was issued to cover, measured
+      // against the applied limit at grant time (`before`): the kernel's
+      // reported shortfall on the direct path, the recomputed book
+      // shortfall on the post-reclaim retry. For honest events both equal
+      // usage + charge - limit; a forged event is covered per its claim
+      // (and priced by the credit defense), since the claim is all the
+      // control plane is asked to act on.
       const double shortfall = static_cast<double>(ev.detail);
-      if (ev.after < ev.before - 0.5) {
+      // A grant may legitimately land below the previous applied limit when
+      // an emergency reclaim shrank this container in the same instant (the
+      // reclaimed limit is still in flight on the wire); any other lowering
+      // is a mid-OOM limit cut.
+      const auto rec = last_reclaim_.find(ev.container);
+      const bool reclaimed_now =
+          rec != last_reclaim_.end() && rec->second == ev.time;
+      if (ev.after < ev.before - 0.5 && !reclaimed_now) {
         add("mem-grant-covers", ev.container,
             fmt("pre-OOM grant lowered the limit: %.0f -> %.0f", ev.before,
                 ev.after));
       }
-      // The allocator judged the container grantable (it granted); a grant
-      // smaller than the shortfall means the retried charge still overflows
-      // and the OOM killer fires anyway — the exact failure Escra's pre-OOM
-      // hook exists to prevent.
+      // The allocator judged the container grantable (it granted); a limit
+      // below usage + charge (= before + detail) means the retried charge
+      // still overflows and the OOM killer fires anyway — the exact failure
+      // Escra's pre-OOM hook exists to prevent.
       if (ev.after - ev.before < shortfall - 0.5) {
         add("mem-grant-covers", ev.container,
             fmt3("grant of %.0f bytes does not cover the %.0f-byte shortfall "
@@ -212,6 +230,7 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
                 static_cast<double>(ev.detail), freed));
       }
       reclaim_bytes_seen_ += ev.detail;
+      last_reclaim_[ev.container] = ev.time;
       break;
     }
 
@@ -343,6 +362,7 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
             fmt("negative unused runtime %.0f at quota %.6f",
                 static_cast<double>(ev.detail), ev.before));
       }
+      last_throttle_[ev.container] = ev.time;
       break;
 
     case obs::EventKind::kContainerKilled:
@@ -422,6 +442,47 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
         add("bw-floor", ev.container,
             fmt("shrink to %.0f bytes/s below the %.0f floor", ev.after,
                 cfg.bw_min_rate));
+      }
+      break;
+
+    case obs::EventKind::kTelemetryRejected:
+      // `before` is the resource flag: 0 = CPU, 2 = bandwidth.
+      if (ev.before != 0.0 && ev.before != 2.0) {
+        add("counter-consistency", ev.container,
+            fmt("telemetry-rejected with resource flag %.0f (want 0 or 2)",
+                ev.before, 0.0));
+      }
+      break;
+
+    case obs::EventKind::kCreditCharge:
+      // before/after carry the balance: a charge only ever lowers it.
+      if (ev.after > ev.before + 1e-9) {
+        add("credit-conservation", ev.container,
+            fmt("credit charge raised the balance: %.6f -> %.6f", ev.before,
+                ev.after));
+      }
+      break;
+
+    case obs::EventKind::kCreditRefund:
+      if (ev.after < ev.before - 1e-9) {
+        add("credit-conservation", ev.container,
+            fmt("credit refund lowered the balance: %.6f -> %.6f", ev.before,
+                ev.after));
+      }
+      break;
+
+    case obs::EventKind::kGreedyThrottle:
+      // The decay only ever lowers the limit, and never below the floor:
+      // degrading an overclaimer to its fair share must not starve it.
+      if (ev.after > ev.before + eps) {
+        add("credit-honest-floor", ev.container,
+            fmt("greedy throttle raised the limit: %.6f -> %.6f", ev.before,
+                ev.after));
+      }
+      if (ev.after < cfg.min_cores - eps) {
+        add("credit-honest-floor", ev.container,
+            fmt("greedy throttle to %.6f cores below the %.6f floor",
+                ev.after, cfg.min_cores));
       }
       break;
   }
@@ -612,8 +673,95 @@ void InvariantChecker::sweep() {
     }
   }
 
+  check_credits();
   check_counters();
   check_network();
+}
+
+void InvariantChecker::check_credits() {
+  if (credits_ == nullptr) return;
+  const core::CreditLedger& lg = *credits_;
+
+  // Exact conservation: every micro-credit ever minted is either burned or
+  // outstanding in some account — integer arithmetic, no tolerance.
+  std::int64_t sum = 0;
+  for (const auto& [id, acct] : lg.accounts()) sum += acct.micro;
+  if (lg.minted_micro() != lg.burned_micro() + lg.outstanding_micro()) {
+    add("credit-conservation", 0,
+        "minted " + std::to_string(lg.minted_micro()) + " != burned " +
+            std::to_string(lg.burned_micro()) + " + outstanding " +
+            std::to_string(lg.outstanding_micro()));
+  }
+  if (sum != lg.outstanding_micro()) {
+    add("credit-conservation", 0,
+        "outstanding total " + std::to_string(lg.outstanding_micro()) +
+            " != sum of balances " + std::to_string(sum));
+  }
+
+  // Honest floor: the defense must punish overclaimers without inverting
+  // fairness. If, sweep after sweep, some member in good standing sits
+  // below its fair share and throttling while a credit-exhausted member
+  // holds cores above fair share, the defense is feeding the attacker with
+  // the honest tenant's cycles. Transient inversions are expected (grants
+  // in flight, decay grace); twenty consecutive sweeps (~2 s) is not.
+  // The defense acts only through a live control plane: a crashed
+  // (fail-static) Controller cannot run settle sweeps, and a member on a
+  // dead-quarantined node is deliberately skipped by settle_credits (a
+  // frozen share is not the tenant's choice). Pause the streak — rather
+  // than reset it — while either holds, so a flapping fault can neither
+  // trip the rule nor mask a genuine inversion.
+  core::Controller& floor_controller = escra_.controller();
+  bool defense_paralyzed = floor_controller.crashed();
+  if (!defense_paralyzed) {
+    for (const auto& node : cluster_.nodes()) {
+      if (floor_controller.node_dead(node->id())) {
+        defense_paralyzed = true;
+        break;
+      }
+    }
+  }
+  if (defense_paralyzed) return;
+  core::DistributedContainer& app = escra_.app();
+  const std::size_t members = app.member_count();
+  if (members == 0) {
+    starve_streak_ = 0;
+    return;
+  }
+  const double fair = app.cpu_limit() / static_cast<double>(members);
+  const double tol = escra_.config().credit_tolerance;
+  bool overclaimer = false;
+  bool starving_honest = false;
+  std::uint32_t over_id = 0;
+  std::uint32_t starved_id = 0;
+  for (const auto& [id, acct] : lg.accounts()) {
+    if (!app.is_member(id)) continue;
+    const double cores = app.member_cores(id);
+    if (acct.micro <= 0 && cores > fair * (1.0 + tol) + config_.cpu_eps) {
+      overclaimer = true;
+      over_id = id;
+    }
+    if (acct.micro > 0 && cores < fair * (1.0 - tol) - config_.cpu_eps) {
+      const auto it = last_throttle_.find(id);
+      if (it != last_throttle_.end() &&
+          sim_.now() - it->second <= 2 * config_.sweep_interval) {
+        starving_honest = true;
+        starved_id = id;
+      }
+    }
+  }
+  if (overclaimer && starving_honest) {
+    ++starve_streak_;
+  } else {
+    starve_streak_ = 0;
+  }
+  constexpr int kStarveSweeps = 20;
+  if (starve_streak_ >= kStarveSweeps) {
+    add("credit-honest-floor", starved_id,
+        "member starved below fair share " + std::to_string(fair) +
+            " cores for 20 consecutive sweeps while credit-exhausted member " +
+            std::to_string(over_id) + " held cores above it");
+    starve_streak_ = 0;
+  }
 }
 
 void InvariantChecker::check_counters() {
@@ -698,6 +846,18 @@ void InvariantChecker::check_counters() {
       {"allocator.bw_shrinks vs bw-shrink events",
        h.bw_shrinks->value() - base_bw_shrinks_,
        seen(obs::EventKind::kBwShrink)},
+      {"controller.telemetry_rejected vs telemetry-rejected events",
+       h.telemetry_rejected->value() - base_telemetry_rejected_,
+       seen(obs::EventKind::kTelemetryRejected)},
+      {"controller.credit_charges vs credit-charge events",
+       h.credit_charges->value() - base_credit_charges_,
+       seen(obs::EventKind::kCreditCharge)},
+      {"controller.credit_refunds vs credit-refund events",
+       h.credit_refunds->value() - base_credit_refunds_,
+       seen(obs::EventKind::kCreditRefund)},
+      {"controller.greedy_throttles vs greedy-throttle events",
+       h.greedy_throttles->value() - base_greedy_throttles_,
+       seen(obs::EventKind::kGreedyThrottle)},
   };
   for (const Pair& p : pairs) {
     if (p.counter_delta != p.trace_count) {

@@ -76,6 +76,7 @@
 #include <vector>
 
 #include "bw/shaper.h"
+#include "core/credit_ledger.h"
 #include "net/network.h"
 #include "obs/observer.h"
 #include "sim/event_queue.h"
@@ -145,6 +146,19 @@ class InvariantChecker {
   //                           same rules as CPU/memory
   void attach_bw(const bw::ClusterShaper& shaper) { bw_shaper_ = &shaper; }
 
+  // Arms the credit-ledger rules (Karma defense; call when the system runs
+  // with config.credit_defense, passing controller().credits()):
+  //   - credit-conservation    minted == burned + outstanding, exactly
+  //                            (integer micro-credits), and the maintained
+  //                            outstanding total equals the sum of balances
+  //   - credit-honest-floor    the defense never inverts fairness: a member
+  //                            in good standing (positive balance) must not
+  //                            sit starved below its fair share while
+  //                            throttling, sweep after sweep, while a
+  //                            credit-exhausted member holds cores above
+  //                            fair share the whole time
+  void attach_credits(const core::CreditLedger& ledger) { credits_ = &ledger; }
+
   bool ok() const { return violations_.empty() && dropped_violations_ == 0; }
   const std::vector<Violation>& violations() const { return violations_; }
   // Violations observed but not retained (beyond max_violations).
@@ -160,6 +174,7 @@ class InvariantChecker {
   void sweep();
   void check_counters();
   void check_network();
+  void check_credits();
   void add(const std::string& rule, std::uint32_t container,
            std::string detail);
 
@@ -231,8 +246,22 @@ class InvariantChecker {
   std::uint64_t base_bw_saturation_ = 0;
   std::uint64_t base_bw_grants_ = 0;
   std::uint64_t base_bw_shrinks_ = 0;
+  std::uint64_t base_telemetry_rejected_ = 0;
+  std::uint64_t base_credit_charges_ = 0;
+  std::uint64_t base_credit_refunds_ = 0;
+  std::uint64_t base_greedy_throttles_ = 0;
 
   const bw::ClusterShaper* bw_shaper_ = nullptr;
+  const core::CreditLedger* credits_ = nullptr;
+  // Honest-floor bookkeeping: when each container last reported a throttled
+  // period (kThrottleObserved), and how many consecutive sweeps the
+  // inversion (starving honest member + overclaiming broke member) held.
+  std::unordered_map<std::uint32_t, sim::TimePoint> last_throttle_;
+  int starve_streak_ = 0;
+  // When each container was last reclaimed (kReclaim): a pre-OOM grant may
+  // land below the stale applied limit only when an emergency reclaim
+  // shrank the same container in the same instant.
+  std::unordered_map<std::uint32_t, sim::TimePoint> last_reclaim_;
 
   // net ChannelStats vs obs counter offsets (attach_metrics only mirrors
   // traffic sent after attachment, so the two differ by a constant).

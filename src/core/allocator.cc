@@ -92,7 +92,16 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
     // setting) grows ~2.75x; small Y ramps gently.
     const double cap =
         std::max(current * (config_.upsilon / 20.0), 8.0 * config_.min_cores);
-    const double increase = rate * std::min(unallocated, cap);
+    double increase = rate * std::min(unallocated, cap);
+    // Credit Υ-gate (Karma defense): lifting above the static fair share
+    // spends credits; an exhausted balance caps the grant at the fair
+    // share. Honest bursty members with positive balances are untouched.
+    if (credits_ != nullptr && app_.member_count() > 0 &&
+        credits_->balance_micro(stats.cgroup) <= 0) {
+      const double fair =
+          app_.cpu_limit() / static_cast<double>(app_.member_count());
+      increase = std::min(increase, std::max(0.0, fair - current));
+    }
     if (increase > kCpuEpsilon) {
       const double applied =
           app_.set_member_cores(stats.cgroup, current + increase);
@@ -209,7 +218,17 @@ ResourceAllocator::MemDecision ResourceAllocator::on_oom_event(
   const memcg::Bytes pages =
       ((event.shortfall + memcg::kPageSize - 1) / memcg::kPageSize) *
       memcg::kPageSize;
-  const memcg::Bytes want = pages + config_.oom_grant;
+  memcg::Bytes want = pages + config_.oom_grant;
+  // Credit gate for memory: a credit-exhausted member already at or above
+  // its fair memory share gets the shortfall only — the fixed bonus block
+  // is what a phantom-OOM attack farms, so it is reserved for members in
+  // good standing.
+  if (credits_ != nullptr && app_.member_count() > 0 &&
+      credits_->balance_micro(event.container) <= 0) {
+    const memcg::Bytes fair_mem = static_cast<memcg::Bytes>(
+        app_.mem_limit() / static_cast<memcg::Bytes>(app_.member_count()));
+    if (current >= fair_mem) want = pages;
+  }
   const memcg::Bytes unallocated = app_.mem_unallocated();
 
   if (unallocated >= want) {

@@ -18,6 +18,7 @@
 #include "bw/shaper.h"
 #include "core/config.h"
 #include "core/container_index.h"
+#include "core/credit_ledger.h"
 #include "core/distributed_container.h"
 #include "core/messages.h"
 #include "obs/observer.h"
@@ -74,6 +75,13 @@ class ResourceAllocator {
   // the pool implicitly (allocated sum drops).
   void on_reclaimed(std::uint32_t container, memcg::Bytes new_limit);
 
+  // --- credit defense (Karma-style, see credit_ledger.h) ---
+  // Read-only Υ-gate on the grant paths: with a ledger attached, a member
+  // whose balance is non-positive is never lifted above its static fair
+  // share (CPU) and gets shortfall-only OOM grants once above its fair
+  // memory share. Null detaches (defense off, the default).
+  void set_credit_ledger(const CreditLedger* ledger) { credits_ = ledger; }
+
   // --- observability ---
   // Mirrors decision counters into the observer's registry and keeps the
   // Distributed Container's pool gauges live. Null detaches. The allocator
@@ -103,6 +111,7 @@ class ResourceAllocator {
   EscraConfig config_;
   DistributedContainer& app_;
   obs::Observer* obs_ = nullptr;
+  const CreditLedger* credits_ = nullptr;
   // Registered containers interned to dense slots; the window SoA vectors
   // below are indexed by slot. Both resource arms share one index — a
   // container's CPU and bandwidth statistics live at the same slot.

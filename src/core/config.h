@@ -101,6 +101,24 @@ struct EscraConfig {
   // semantics; retransmits stay per-entry). false restores the legacy
   // one-RPC-per-update wire behavior.
   bool batch_limit_updates = true;
+
+  // --- Karma-style credit defense (beyond the paper: strategy-proofness
+  //     against lying tenants, after Karma, arXiv:2305.17222). Off by
+  //     default; set credit_defense before constructing EscraSystem. ---
+  bool credit_defense = false;
+  // Initial credit balance, in fair-share-seconds: one unit buys one
+  // second of the container's full fair share above the fair share. Sized
+  // so an honest bursty tenant keeps sub-second elasticity out of the box.
+  double credit_init = 2.0;
+  // Earned-credit cap (fair-share-seconds); bounds how long a tenant can
+  // bank priority, Karma's anti-hoarding clamp.
+  double credit_cap = 30.0;
+  // Fractional slack above the fair share tolerated before the settle
+  // sweep charges credits or (at non-positive balance) decays the limit.
+  double credit_tolerance = 0.10;
+  // Settle sweeps a credit-exhausted container must stay above fair share
+  // before its CPU limit is decayed toward the static fair share.
+  int credit_decay_grace = 3;
 };
 
 }  // namespace escra::core

@@ -13,6 +13,8 @@ namespace {
 // the allocator's decision epsilon so a clamp that erases the whole change
 // also suppresses the slot.
 constexpr double kBwRateEpsilon = 8e3;
+// Minimum CPU-limit change worth an RPC, in cores (the allocator's epsilon).
+constexpr double kCpuLimitEpsilon = 1e-3;
 }  // namespace
 
 Controller::Controller(sim::Simulation& sim, net::Network& network,
@@ -205,6 +207,8 @@ void Controller::register_impl(cluster::Container& container,
     obs_->record(ev);
   }
 
+  if (config_.credit_defense) open_credit_account(container.id());
+
   // Kernel hook 1: per-period CFS telemetry streamed to the Controller.
   const cluster::NodeId node_id = node.id();
   container.cpu_cgroup().set_period_hook(
@@ -271,6 +275,7 @@ void Controller::deregister_container(cluster::Container& container) {
     obs_->h.deregistrations->inc();
   }
   cancel_pending_for(container.id());
+  close_credit_account(container.id());
   {
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kDeregister;
@@ -313,6 +318,7 @@ void Controller::deregister_quarantined(cluster::ContainerId id) {
     obs_->h.deregistrations->inc();
   }
   cancel_pending_for(id);
+  close_credit_account(id);
   {
     ReplicationEvent rev;
     rev.kind = ReplicationEvent::Kind::kDeregister;
@@ -337,6 +343,11 @@ void Controller::start() {
       sim_.schedule_every(sim_.now() + config_.heartbeat_interval,
                           config_.heartbeat_interval,
                           [this] { run_liveness_check(); });
+  if (config_.credit_defense) {
+    settle_loop_ =
+        sim_.schedule_every(sim_.now() + config_.cfs_period,
+                            config_.cfs_period, [this] { settle_credits(); });
+  }
   for (const auto& agent : agents_) {
     agent->start(config_.heartbeat_interval, config_.agent_lease);
   }
@@ -347,6 +358,7 @@ void Controller::stop() {
   started_ = false;
   sim_.cancel(reclaim_loop_);
   sim_.cancel(liveness_loop_);
+  sim_.cancel(settle_loop_);
   for (const auto& agent : agents_) agent->stop();
 }
 
@@ -360,6 +372,7 @@ void Controller::crash() {
     started_ = false;
     sim_.cancel(reclaim_loop_);
     sim_.cancel(liveness_loop_);
+    sim_.cancel(settle_loop_);
   }
   for (std::size_t i = 0; i < pending_open_.size(); ++i) {
     if (pending_open_[i] != 0) {
@@ -379,6 +392,10 @@ void Controller::crash() {
   // the nodes and persist — the cluster fails static.
   index_.clear();
   allocator_.reset();
+  // The ledger dies with the process (soft state): balances AND the
+  // mint/burn totals reset together, so conservation holds from zero when
+  // the seat returns. Under HA the standby's replica preserves the image.
+  credits_.clear();
   if (obs_ != nullptr) obs_->h.containers_active->set(0.0);
 }
 
@@ -492,6 +509,27 @@ void Controller::ingest_bw_stats(const bw::BwSample& sample) {
   }
   if (!allocator_.knows(sample.container)) return;
 
+  // Physically-impossible bandwidth telemetry: a flow cannot move more
+  // bytes/s than its node's NIC, and rates are non-negative.
+  if (rit->agent != nullptr) {
+    const double nic = rit->agent->node().config().nic_bps;
+    if (sample.used_bps < 0.0 || (nic > 0.0 && sample.used_bps > nic)) {
+      if (obs_ != nullptr) {
+        obs_->h.telemetry_rejected->inc();
+        obs::TraceEvent ev;
+        ev.time = sim_.now();
+        ev.kind = obs::EventKind::kTelemetryRejected;
+        ev.container = sample.container;
+        ev.node = node_tag(*rit);
+        ev.before = 2.0;  // resource flag: 2 = bandwidth
+        ev.after = nic;
+        ev.detail = static_cast<std::int64_t>(sample.used_bps);
+        obs_->record(ev);
+      }
+      return;
+    }
+  }
+
   obs::EventId cause = 0;
   if (sample.throttled) {
     if (obs_ != nullptr) {
@@ -572,6 +610,10 @@ void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
       node_dead(rit->agent->node().id())) {
     return;
   }
+
+  // Harden ingestion against lying telemetry: a reading no real cgroup
+  // could produce is dropped before it reaches the allocator.
+  if (!telemetry_plausible(stats, rit)) return;
 
   const bool known = allocator_.knows(stats.cgroup);
   const double before =
@@ -1282,7 +1324,9 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
           0, old_limit - allocator_.app().member_mem(container.id()));
 
   auto decision = allocator_.on_oom_event(event, /*post_reclaim=*/false);
+  bool retried = false;
   if (decision.action == ResourceAllocator::MemAction::kReclaimThenRetry) {
+    retried = true;
     // Pool dry: aggressive reclamation from containers with slack
     // (Section III "Reactive Memory Reclamation"), then retry once.
     run_emergency_reclaim();
@@ -1295,9 +1339,28 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
         container.mem_cgroup().usage() + charge -
         std::min(container.mem_cgroup().limit(),
                  allocator_.app().member_mem(container.id()));
+    // A non-positive recomputed shortfall means the books say the charge
+    // already fits: a real charge failure always leaves usage + charge
+    // above the applied limit, so the claimed OOM was forged. Deny — a
+    // negative shortfall fed to the allocator would round to a negative
+    // page count and turn the "grant" into a limit cut.
+    if (event.shortfall <= 0) return false;
     decision = allocator_.on_oom_event(event, /*post_reclaim=*/true);
   }
   if (decision.action != ResourceAllocator::MemAction::kGrant) return false;
+
+  // Describe the grant against the state the decision acted on: the applied
+  // limit at grant time, and the shortfall the grant was issued to cover —
+  // the kernel's reported shortfall on the direct path, the recomputed
+  // book shortfall on the post-reclaim retry (the sweep may have shrunk
+  // this container's own limit, so the entry-time claim is stale). For an
+  // honest event both equal usage + charge - limit; for a forged event the
+  // claim can bear no relation to the books, and the grant is priced by
+  // the credit charge below, not second-guessed here.
+  const memcg::Bytes pre_grant_limit = container.mem_cgroup().limit();
+  const memcg::Bytes eff_shortfall =
+      retried ? container.mem_cgroup().usage() + charge - pre_grant_limit
+              : shortfall;
 
   // Apply synchronously: the charge retries as soon as the hook returns.
   container.mem_cgroup().set_limit(decision.new_limit);
@@ -1312,9 +1375,9 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
     ev.kind = obs::EventKind::kMemGrantOnOom;
     ev.container = container.id();
     ev.node = it != nullptr ? node_tag(*it) : 0;
-    ev.before = static_cast<double>(old_limit);
+    ev.before = static_cast<double>(pre_grant_limit);
     ev.after = static_cast<double>(decision.new_limit);
-    ev.detail = static_cast<std::int64_t>(shortfall);
+    ev.detail = static_cast<std::int64_t>(eff_shortfall);
     grant_ev = obs_->record(ev);
   }
   // The synchronous write rescued the charge, but only an acked, sequence-
@@ -1326,6 +1389,48 @@ bool Controller::handle_oom(cluster::Container& container, memcg::Bytes charge,
   LoopCtx ctx;
   ctx.cause = grant_ev;
   push_mem_limit(container.id(), decision.new_limit, ctx);
+
+  // Karma coupling for memory: an OOM grant that lifts the member above its
+  // fair share of the global memory limit spends the same credit currency
+  // as CPU overclaiming — a phantom-OOM attack drains the attacker's
+  // balance, and with it the CPU elasticity the balance was buying.
+  if (config_.credit_defense && credits_.contains(container.id()) &&
+      allocator_.app().member_count() > 0) {
+    const memcg::Bytes fair_mem = static_cast<memcg::Bytes>(
+        allocator_.app().mem_limit() /
+        static_cast<memcg::Bytes>(allocator_.app().member_count()));
+    const memcg::Bytes over =
+        decision.new_limit - std::max(pre_grant_limit, fair_mem);
+    if (fair_mem > 0 && over > 0) {
+      // Price: fraction of a fair memory share taken, in fair-share-seconds.
+      // Debt is floored at -credit_cap, same as the settle sweep.
+      const std::int64_t before_bal = credits_.balance_micro(container.id());
+      const std::int64_t floor_room =
+          before_bal + CreditLedger::to_micro(config_.credit_cap);
+      const std::int64_t price = std::min(
+          CreditLedger::to_micro(static_cast<double>(over) /
+                                 static_cast<double>(fair_mem)),
+          std::max<std::int64_t>(0, floor_room));
+      if (price > 0) {
+        credits_.burn(container.id(), price);
+        if (obs_ != nullptr) {
+          obs_->h.credit_charges->inc();
+          obs::TraceEvent ev;
+          ev.time = sim_.now();
+          ev.kind = obs::EventKind::kCreditCharge;
+          ev.container = container.id();
+          ev.node = it != nullptr ? node_tag(*it) : 0;
+          ev.before = CreditLedger::to_credits(before_bal);
+          ev.after =
+              CreditLedger::to_credits(credits_.balance_micro(container.id()));
+          ev.cause = grant_ev;
+          ev.detail = static_cast<std::int64_t>(over);
+          obs_->record(ev);
+        }
+        emit_credit(container.id(), /*removed=*/false);
+      }
+    }
+  }
   return saved;
 }
 
@@ -1605,6 +1710,263 @@ void Controller::run_periodic_reclaim() {
           record_reclaims(*agent, result->resizes);
           total_reclaimed_ += result->psi;
         });
+  }
+}
+
+bool Controller::telemetry_plausible(const CpuStatsMsg& stats,
+                                     const Entry* entry) {
+  const double period = static_cast<double>(config_.cfs_period);
+  bool bad = stats.quota < 0 || stats.unused < 0 || stats.unused > stats.quota;
+  if (!bad && entry != nullptr && entry->agent != nullptr && period > 0.0) {
+    // Used core-time over one period cannot exceed the node's core count:
+    // the scheduler physically cannot run more than `cores` core-seconds
+    // per second, whatever the cgroup's quota says.
+    const double node_cores = entry->agent->node().config().cores;
+    const double used_cores =
+        static_cast<double>(stats.quota - stats.unused) / period;
+    if (used_cores > node_cores * (1.0 + 1e-9)) bad = true;
+  }
+  if (!bad) return true;
+  if (obs_ != nullptr) {
+    obs_->h.telemetry_rejected->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kTelemetryRejected;
+    ev.container = stats.cgroup;
+    ev.node = entry != nullptr ? node_tag(*entry) : 0;
+    ev.before = 0.0;  // resource flag: 0 = CPU
+    ev.after = period > 0.0 ? static_cast<double>(stats.quota) / period : 0.0;
+    ev.detail = static_cast<std::int64_t>(stats.unused);
+    obs_->record(ev);
+  }
+  return false;
+}
+
+void Controller::open_credit_account(cluster::ContainerId id) {
+  if (!config_.credit_defense || credits_.contains(id)) return;
+  credits_.open(id, CreditLedger::to_micro(config_.credit_init));
+  emit_credit(id, /*removed=*/false);
+}
+
+void Controller::close_credit_account(cluster::ContainerId id) {
+  if (!credits_.contains(id)) return;
+  credits_.close(id);
+  emit_credit(id, /*removed=*/true);
+}
+
+void Controller::emit_credit(cluster::ContainerId id, bool removed) {
+  if (!repl_hook_) return;
+  ReplicationEvent rev;
+  rev.kind = ReplicationEvent::Kind::kCredit;
+  rev.container = id;
+  rev.credit_micro = removed ? 0 : credits_.balance_micro(id);
+  rev.credit_minted = credits_.minted_micro();
+  rev.credit_burned = credits_.burned_micro();
+  rev.credit_removed = removed;
+  emit_repl(rev);
+}
+
+void Controller::install_credits(
+    const std::vector<CreditLedger::Snapshot>& accounts, std::int64_t minted,
+    std::int64_t burned) {
+  // Takeover re-registration already opened init accounts for every member
+  // it could rebuild; the replicated image replaces those wholesale.
+  // Accounts for containers the takeover could not re-register (vanished
+  // mid-failover) are dropped, their balances burned into the totals so
+  // conservation survives the filter.
+  std::vector<cluster::ContainerId> live;
+  live.reserve(credits_.size());
+  for (const auto& [id, acct] : credits_.accounts()) live.push_back(id);
+  std::vector<CreditLedger::Snapshot> kept;
+  kept.reserve(accounts.size());
+  std::int64_t dropped = 0;
+  for (const CreditLedger::Snapshot& s : accounts) {
+    if (index_.find(s.id) != ContainerIndex::kInvalid) {
+      kept.push_back(s);
+    } else {
+      dropped += s.micro;
+    }
+  }
+  // Under replication faults the image's totals and its account map can be
+  // stale relative to each other: a lost kCredit record drops an account's
+  // open (or close) while later records overwrite the totals with values
+  // that include it. The balances are the authoritative part, so re-derive
+  // the minted total from them and enforce conservation structurally. In a
+  // clean failover the image is self-consistent and this reproduces the
+  // replicated minted total exactly.
+  (void)minted;
+  const std::int64_t total_burned = burned + dropped;
+  std::int64_t outstanding = 0;
+  for (const CreditLedger::Snapshot& s : kept) outstanding += s.micro;
+  credits_.install(kept, total_burned + outstanding, total_burned);
+  // A live member missing from the image (its open record never reached
+  // the replicated WAL) starts over from the init grant — the same account
+  // the takeover re-registration gave it before the install replaced it.
+  for (const cluster::ContainerId id : live) {
+    if (!credits_.contains(id)) open_credit_account(id);
+  }
+  // Re-emit the installed image so the new leader's own WAL stream starts
+  // from the authoritative balances, not the register-time init grants.
+  for (const auto& [id, acct] : credits_.accounts()) {
+    emit_credit(id, /*removed=*/false);
+  }
+}
+
+void Controller::settle_credits() {
+  // The ONLY site that charges usage-based credits. Settling on the
+  // Controller's own clock — never per telemetry RPC — makes every charge
+  // exactly-once under retransmits and un-dodgeable by a tenant
+  // suppressing its own reports: the sweep reads the allocator's book
+  // state, which the tenant cannot forge.
+  if (crashed_) return;
+  const std::size_t members = allocator_.app().member_count();
+  if (members == 0) return;
+  const double pool = allocator_.app().cpu_limit();
+  const double fair = pool / static_cast<double>(members);
+  if (fair <= 0.0) return;
+  const double tol = fair * config_.credit_tolerance;
+  const double period_s = sim::to_seconds(config_.cfs_period);
+  // Pool pressure: taking capacity nobody else wants is cheap; taking it
+  // from a contended pool costs full price (Karma's price signal).
+  const double pressure =
+      pool > 0.0 ? allocator_.app().cpu_allocated() / pool : 0.0;
+  const std::int64_t cap = CreditLedger::to_micro(config_.credit_cap);
+  // Memory is rented, not bought: the one-shot OOM-grant charge is only an
+  // entry fee, and a phantom-OOM farmer who idles on CPU would otherwise
+  // mint enough every sweep to bankroll the farm forever. Holding bytes
+  // above the memory fair share costs the same fair-share-seconds rate as
+  // holding cores above the CPU fair share.
+  const double mem_pool = static_cast<double>(allocator_.app().mem_limit());
+  const double fair_mem = mem_pool / static_cast<double>(members);
+  const double mem_pressure =
+      mem_pool > 0.0
+          ? static_cast<double>(allocator_.app().mem_allocated()) / mem_pool
+          : 0.0;
+
+  // std::map keys: the sweep settles in ascending ContainerId order, so
+  // every trace and WAL byte is seed-stable.
+  std::vector<cluster::ContainerId> ids;
+  ids.reserve(credits_.size());
+  for (const auto& [id, acct] : credits_.accounts()) ids.push_back(id);
+
+  for (const cluster::ContainerId id : ids) {
+    if (!allocator_.app().is_member(id)) continue;
+    const Entry* entry = find_entry(id);
+    // Dead-node quarantine: a frozen share is not the tenant's choice; no
+    // charges, no earnings, no decay until the node returns or is reclaimed.
+    if (entry != nullptr && entry->agent != nullptr &&
+        node_dead(entry->agent->node().id())) {
+      continue;
+    }
+    const double cur = allocator_.app().member_cores(id);
+    const std::int64_t before_bal = credits_.balance_micro(id);
+
+    if (cur > fair + tol) {
+      // Above fair share: charge (cur-fair)/fair fair-share-seconds per
+      // second held, scaled by pool pressure; debt floored at -credit_cap.
+      const std::int64_t want =
+          CreditLedger::to_micro((cur - fair) / fair * pressure * period_s);
+      const std::int64_t charge = std::min(
+          want, std::max<std::int64_t>(0, before_bal + cap));
+      if (charge > 0) {
+        credits_.burn(id, charge);
+        if (obs_ != nullptr) {
+          obs_->h.credit_charges->inc();
+          obs::TraceEvent ev;
+          ev.time = sim_.now();
+          ev.kind = obs::EventKind::kCreditCharge;
+          ev.container = id;
+          ev.node = entry != nullptr ? node_tag(*entry) : 0;
+          ev.before = CreditLedger::to_credits(before_bal);
+          ev.after = CreditLedger::to_credits(credits_.balance_micro(id));
+          ev.detail = static_cast<std::int64_t>(
+              std::llround((cur - fair) * 1000.0));  // above-share millicores
+          obs_->record(ev);
+        }
+        emit_credit(id, /*removed=*/false);
+      }
+      const std::int32_t streak = credits_.bump_streak(id);
+      if (credits_.balance_micro(id) <= 0 &&
+          streak >= config_.credit_decay_grace) {
+        // Credit-exhausted and persistently above fair share: κ-damped
+        // decay toward the static fair share — the overclaimer converges
+        // to what admission would have given it, never below.
+        const double target = std::max(
+            {config_.min_cores, fair, cur - config_.kappa * (cur - fair)});
+        if (cur - target > kCpuLimitEpsilon) {
+          const double applied = allocator_.app().set_member_cores(id, target);
+          LoopCtx ctx;
+          if (obs_ != nullptr) {
+            obs_->h.greedy_throttles->inc();
+            obs::TraceEvent ev;
+            ev.time = sim_.now();
+            ev.kind = obs::EventKind::kGreedyThrottle;
+            ev.container = id;
+            ev.node = entry != nullptr ? node_tag(*entry) : 0;
+            ev.before = cur;
+            ev.after = applied;
+            ev.detail = streak;
+            ctx.cause = obs_->record(ev);
+          }
+          push_cpu_limit(id, applied, ctx);
+        }
+      }
+    } else {
+      if (cur < fair - tol) {
+        // Below fair share: earn at the symmetric rate, capped so priority
+        // cannot be banked indefinitely (anti-hoarding).
+        const std::int64_t earned = credits_.mint(
+            id, CreditLedger::to_micro((fair - cur) / fair * period_s), cap);
+        if (earned > 0) {
+          if (obs_ != nullptr) {
+            obs_->h.credit_refunds->inc();
+            obs::TraceEvent ev;
+            ev.time = sim_.now();
+            ev.kind = obs::EventKind::kCreditRefund;
+            ev.container = id;
+            ev.node = entry != nullptr ? node_tag(*entry) : 0;
+            ev.before = CreditLedger::to_credits(before_bal);
+            ev.after = CreditLedger::to_credits(credits_.balance_micro(id));
+            ev.detail = static_cast<std::int64_t>(
+                std::llround((fair - cur) * 1000.0));  // below-share mcores
+            obs_->record(ev);
+          }
+          emit_credit(id, /*removed=*/false);
+        }
+      }
+      credits_.reset_streak(id);
+    }
+
+    // Memory rent, independent of the CPU branch (and of the decay streak,
+    // which stays a CPU concept — memory hoarders are drained here and
+    // stopped at the next grant by the Υ-gate in Allocator::on_oom_event).
+    const double cur_mem =
+        static_cast<double>(allocator_.app().member_mem(id));
+    if (fair_mem > 0.0 &&
+        cur_mem > fair_mem * (1.0 + config_.credit_tolerance)) {
+      const std::int64_t bal = credits_.balance_micro(id);
+      const std::int64_t want = CreditLedger::to_micro(
+          (cur_mem - fair_mem) / fair_mem * mem_pressure * period_s);
+      const std::int64_t rent =
+          std::min(want, std::max<std::int64_t>(0, bal + cap));
+      if (rent > 0) {
+        credits_.burn(id, rent);
+        if (obs_ != nullptr) {
+          obs_->h.credit_charges->inc();
+          obs::TraceEvent ev;
+          ev.time = sim_.now();
+          ev.kind = obs::EventKind::kCreditCharge;
+          ev.container = id;
+          ev.node = entry != nullptr ? node_tag(*entry) : 0;
+          ev.before = CreditLedger::to_credits(bal);
+          ev.after = CreditLedger::to_credits(credits_.balance_micro(id));
+          ev.detail =
+              static_cast<std::int64_t>(cur_mem - fair_mem);  // bytes over
+          obs_->record(ev);
+        }
+        emit_credit(id, /*removed=*/false);
+      }
+    }
   }
 }
 

@@ -32,6 +32,7 @@
 #include "core/allocator.h"
 #include "core/config.h"
 #include "core/container_index.h"
+#include "core/credit_ledger.h"
 #include "core/messages.h"
 #include "net/network.h"
 #include "obs/observer.h"
@@ -92,6 +93,7 @@ class Controller {
       kMemShadow,   // shadow memory limit moved without a slot (reclaim)
       kNodeHealth,  // node liveness / agent-incarnation transition
       kBwSlot,      // desired-state bandwidth slot opened/superseded (seq, bw)
+      kCredit,      // credit-ledger account moved (balance + totals image)
     };
     Kind kind = Kind::kRegister;
     cluster::ContainerId container = 0;
@@ -107,6 +109,12 @@ class Controller {
     double bw_bps = 0.0;                  // kRegister / kBwSlot
     std::uint64_t agent_incarnation = 0;  // kNodeHealth
     bool node_dead = false;               // kNodeHealth
+    // kCredit: the account's absolute balance plus the ledger's running
+    // mint/burn totals (absolute images keep WAL replay a pure fold).
+    std::int64_t credit_micro = 0;
+    std::int64_t credit_minted = 0;
+    std::int64_t credit_burned = 0;
+    bool credit_removed = false;  // account closed (container left)
   };
   using ReplicationHook = std::function<void(const ReplicationEvent&)>;
   void set_replication_hook(ReplicationHook hook) {
@@ -238,6 +246,19 @@ class Controller {
   void set_observer(obs::Observer* observer);
   obs::Observer* observer() { return obs_; }
 
+  // --- Karma-style credit defense (config.credit_defense, src/adv) ---
+  //
+  // The ledger lives here because the Controller owns the clock (settle
+  // sweep every CFS period), the trace, and the replication stream; the
+  // allocator reads it via a const pointer to Υ-gate grants.
+  const CreditLedger& credits() const { return credits_; }
+  // Warm-standby takeover installs the replicated balances (call right
+  // after takeover(); synchronous, so no settle tick intervenes). Re-emits
+  // one kCredit record per account so the new leader's stream rebuilds the
+  // standbys' images.
+  void install_credits(const std::vector<CreditLedger::Snapshot>& accounts,
+                       std::int64_t minted, std::int64_t burned);
+
   // --- counters ---
   std::uint64_t stats_received() const { return stats_received_; }
   std::uint64_t limit_updates_sent() const { return limit_updates_; }
@@ -329,6 +350,16 @@ class Controller {
   void admit_bw(cluster::Container& container, cluster::Node& node,
                 double want, RegisterMode mode);
   void run_periodic_reclaim();
+  // Credit defense internals. settle_credits runs every CFS period and is
+  // the ONLY site that charges usage-based credits — charging at the sweep
+  // rather than per telemetry RPC makes charges exactly-once under
+  // retransmits and un-dodgeable by suppressing one's own telemetry.
+  void settle_credits();
+  void open_credit_account(cluster::ContainerId id);
+  void close_credit_account(cluster::ContainerId id);
+  void emit_credit(cluster::ContainerId id, bool removed);
+  // Rejects physically-impossible telemetry (trace kTelemetryRejected).
+  bool telemetry_plausible(const CpuStatsMsg& stats, const Entry* entry);
   std::uint32_t node_tag(const Entry& entry) const;
   void record_reclaims(Agent& agent,
                        const std::vector<Agent::Resize>& resizes);
@@ -415,8 +446,10 @@ class Controller {
     memcg::Bytes mem = 0;
   };
   std::vector<DeferredRegistration> deferred_registrations_;
+  CreditLedger credits_;
   sim::EventHandle reclaim_loop_;
   sim::EventHandle liveness_loop_;
+  sim::EventHandle settle_loop_;
   bool started_ = false;
   bool crashed_ = false;
   std::uint64_t incarnation_ = 1;

@@ -13,7 +13,11 @@ EscraSystem::EscraSystem(sim::Simulation& sim, net::Network& network,
       allocator_(config_, app_),
       controller_(sim, network, config_, allocator_),
       deployer_(cluster, controller_, config_),
-      watcher_(cluster, controller_) {}
+      watcher_(cluster, controller_) {
+  if (config_.credit_defense) {
+    allocator_.set_credit_ledger(&controller_.credits());
+  }
+}
 
 std::vector<cluster::Container*> EscraSystem::deploy(const AppSpec& spec) {
   return deployer_.deploy(spec);

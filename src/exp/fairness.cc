@@ -1,0 +1,92 @@
+#include "exp/fairness.h"
+
+namespace escra::exp {
+
+double jain_index(const std::vector<double>& xs) {
+  if (xs.empty()) return 1.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const double x : xs) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  if (sum_sq <= 0.0) return 1.0;
+  return (sum * sum) / (static_cast<double>(xs.size()) * sum_sq);
+}
+
+FairnessMeter::FairnessMeter(sim::Simulation& sim,
+                             const core::DistributedContainer& app,
+                             sim::Duration interval)
+    : sim_(sim), app_(app), interval_(interval) {}
+
+FairnessMeter::~FairnessMeter() { stop(); }
+
+void FairnessMeter::track(cluster::ContainerId id, bool greedy) {
+  tracked_.push_back(Tracked{id, greedy, 0.0});
+}
+
+void FairnessMeter::start(sim::TimePoint at) {
+  start_timer_ = sim_.schedule_at(at, [this] {
+    sample_timer_ =
+        sim_.schedule_every(sim_.now() + interval_, interval_,
+                            [this] { sample(); });
+  });
+}
+
+void FairnessMeter::stop() {
+  sim_.cancel(start_timer_);
+  sim_.cancel(sample_timer_);
+}
+
+void FairnessMeter::sample() {
+  if (tracked_.empty()) return;
+  std::vector<double> cores;
+  cores.reserve(tracked_.size());
+  double allocated = 0.0;
+  for (Tracked& t : tracked_) {
+    const double c = app_.is_member(t.id) ? app_.member_cores(t.id) : 0.0;
+    t.sum_cores += c;
+    cores.push_back(c);
+    allocated += c;
+  }
+  const double pool = app_.cpu_limit();
+  sum_util_ += pool > 0.0 ? allocated / pool : 0.0;
+  sum_jain_ += jain_index(cores);
+  ++samples_;
+}
+
+FairnessReport FairnessMeter::report() const {
+  FairnessReport r;
+  r.samples = samples_;
+  if (samples_ == 0 || tracked_.empty()) return r;
+  const double n = static_cast<double>(samples_);
+  r.cpu_utilization = sum_util_ / n;
+  r.jain_short_term = sum_jain_ / n;
+
+  std::vector<double> means;
+  means.reserve(tracked_.size());
+  double greedy_sum = 0.0;
+  double honest_sum = 0.0;
+  std::size_t greedy_n = 0;
+  std::size_t honest_n = 0;
+  for (const Tracked& t : tracked_) {
+    const double mean = t.sum_cores / n;
+    means.push_back(mean);
+    if (t.greedy) {
+      greedy_sum += mean;
+      ++greedy_n;
+    } else {
+      honest_sum += mean;
+      ++honest_n;
+    }
+  }
+  r.jain_long_term = jain_index(means);
+  if (greedy_n > 0) r.greedy_mean_cores = greedy_sum / static_cast<double>(greedy_n);
+  if (honest_n > 0) r.honest_mean_cores = honest_sum / static_cast<double>(honest_n);
+  const double fair =
+      app_.cpu_limit() / static_cast<double>(tracked_.size());
+  r.greedy_capture = fair > 0.0 ? r.greedy_mean_cores / fair : 0.0;
+  return r;
+}
+
+}  // namespace escra::exp

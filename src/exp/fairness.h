@@ -1,0 +1,85 @@
+// Per-tenant fairness accounting for adversarial runs (src/adv).
+//
+// Samples each tracked container's CPU allocation on a fixed cadence and
+// reduces the series to the numbers the adversarial-tenant experiments
+// report: pool utilization, Jain's fairness index on two horizons, and how
+// much of the pool the greedy tenants captured relative to their static
+// fair share. Short-term Jain (the time-mean of per-sample indices) is the
+// honest-burst-friendly metric — a momentarily lopsided pool is fine if it
+// averages out; long-term Jain (index of per-container time-means) is what
+// a sustained overclaimer degrades and what the credit defense must
+// restore. Honest-tenant request latency comes from the experiment's load
+// generators; the driver fills honest_p99_ms in.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/container.h"
+#include "core/distributed_container.h"
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace escra::exp {
+
+struct FairnessReport {
+  // Mean allocated / pool over the sampling window.
+  double cpu_utilization = 0.0;
+  // Jain index of the per-container *time-mean* allocations (long horizon).
+  double jain_long_term = 0.0;
+  // Time-mean of the per-sample Jain indices (short horizon).
+  double jain_short_term = 0.0;
+  // Mean allocation of greedy / honest containers, in cores.
+  double greedy_mean_cores = 0.0;
+  double honest_mean_cores = 0.0;
+  // greedy_mean_cores / static fair share (pool / tracked containers):
+  // > 1 means the greedy tenants held more than admission would give them;
+  // >= 2 is the attack succeeding outright.
+  double greedy_capture = 0.0;
+  // Filled by the experiment driver from its honest load generators.
+  double honest_p99_ms = 0.0;
+  std::uint64_t samples = 0;
+};
+
+// Jain's fairness index (1/n .. 1; 1 = perfectly even). Returns 1 for an
+// empty or all-zero vector (nothing allocated is trivially even).
+double jain_index(const std::vector<double>& xs);
+
+class FairnessMeter {
+ public:
+  FairnessMeter(sim::Simulation& sim, const core::DistributedContainer& app,
+                sim::Duration interval = sim::milliseconds(100));
+  ~FairnessMeter();
+
+  FairnessMeter(const FairnessMeter&) = delete;
+  FairnessMeter& operator=(const FairnessMeter&) = delete;
+
+  // Registers a container in the sample set. Call before start().
+  void track(cluster::ContainerId id, bool greedy);
+
+  void start(sim::TimePoint at);
+  void stop();
+
+  FairnessReport report() const;
+
+ private:
+  void sample();
+
+  struct Tracked {
+    cluster::ContainerId id = 0;
+    bool greedy = false;
+    double sum_cores = 0.0;
+  };
+
+  sim::Simulation& sim_;
+  const core::DistributedContainer& app_;
+  sim::Duration interval_;
+  std::vector<Tracked> tracked_;
+  sim::EventHandle start_timer_;
+  sim::EventHandle sample_timer_;
+  double sum_util_ = 0.0;
+  double sum_jain_ = 0.0;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace escra::exp

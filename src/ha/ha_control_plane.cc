@@ -145,6 +145,9 @@ void HaControlPlane::on_repl_event(
     case Kind::kBwSlot:
       r.kind = WalKind::kBwSlot;
       break;
+    case Kind::kCredit:
+      r.kind = WalKind::kCredit;
+      break;
   }
   r.epoch = escra_.controller().epoch();
   r.container = ev.container;
@@ -157,6 +160,10 @@ void HaControlPlane::on_repl_event(
   r.bw_bps = ev.bw_bps;
   r.agent_incarnation = ev.agent_incarnation;
   r.node_dead = ev.node_dead;
+  r.credit_micro = ev.credit_micro;
+  r.credit_minted = ev.credit_minted;
+  r.credit_burned = ev.credit_burned;
+  r.credit_removed = ev.credit_removed;
   append_and_stream(r);
 }
 
@@ -465,6 +472,20 @@ void HaControlPlane::promote(Standby& standby) {
   }
 
   controller.takeover(new_epoch, containers, slots, nodes, cause);
+  // Credit-ledger image (Karma defense): takeover re-registration opened
+  // fresh init accounts; replace them with the replicated balances so a
+  // greedy tenant cannot launder its debt through a failover. Skipped when
+  // the replica carries no credit state (defense off in this run).
+  if (!s.replica.credits.empty() || s.replica.credit_minted != 0 ||
+      s.replica.credit_burned != 0) {
+    std::vector<core::CreditLedger::Snapshot> credit_accounts;
+    credit_accounts.reserve(s.replica.credits.size());
+    for (const auto& [id, micro] : s.replica.credits) {
+      credit_accounts.push_back(core::CreditLedger::Snapshot{id, micro});
+    }
+    controller.install_credits(credit_accounts, s.replica.credit_minted,
+                               s.replica.credit_burned);
+  }
   epoch_ = controller.epoch();
   if (obs != nullptr) obs->h.ha_epoch->set(static_cast<double>(epoch_));
 

@@ -31,6 +31,7 @@ enum class WalKind : std::uint8_t {
   kMemShadow,   // shadow memory limit moved without a slot (reclaim sweep)
   kNodeHealth,  // node liveness / agent-incarnation transition
   kBwSlot,      // desired-state bandwidth slot opened/superseded (seq, bw)
+  kCredit,      // credit-ledger account moved (balance + mint/burn totals)
 };
 
 struct WalRecord {
@@ -49,6 +50,13 @@ struct WalRecord {
   double bw_bps = 0.0;                  // kRegister / kBwSlot
   std::uint64_t agent_incarnation = 0;  // kNodeHealth
   bool node_dead = false;               // kNodeHealth
+  // kCredit: absolute balance image plus the ledger's running mint/burn
+  // totals as of this record, so a replayed prefix always satisfies the
+  // conservation law (minted == burned + sum of balances) exactly.
+  std::int64_t credit_micro = 0;
+  std::int64_t credit_minted = 0;
+  std::int64_t credit_burned = 0;
+  bool credit_removed = false;  // account closed (balance burned)
 };
 
 // The leader's in-memory log. Indices never reset (standby cursors stay
@@ -114,6 +122,13 @@ struct ReplicaState {
   std::map<cluster::ContainerId, ContainerState> containers;
   std::map<std::uint64_t, SlotState> slots;  // key = container*4 + resource
   std::map<cluster::NodeId, NodeState> nodes;
+  // Credit-ledger image (Karma defense): balances plus the mint/burn
+  // totals carried on every kCredit record. Balances for closed accounts
+  // are erased by an explicit credit_removed record, not by kDeregister —
+  // the close's burn must land in the totals atomically with the erase.
+  std::map<cluster::ContainerId, std::int64_t> credits;
+  std::int64_t credit_minted = 0;
+  std::int64_t credit_burned = 0;
   std::uint64_t epoch = 0;
 
   static std::uint64_t slot_key(cluster::ContainerId id, core::Resource r) {
@@ -129,6 +144,9 @@ struct ReplicaState {
         containers.clear();
         slots.clear();
         nodes.clear();
+        credits.clear();
+        credit_minted = 0;
+        credit_burned = 0;
         epoch = r.epoch;
         break;
       case WalKind::kRegister:
@@ -176,6 +194,15 @@ struct ReplicaState {
       }
       case WalKind::kNodeHealth:
         nodes[r.node] = NodeState{r.agent_incarnation, r.node_dead};
+        break;
+      case WalKind::kCredit:
+        if (r.credit_removed) {
+          credits.erase(r.container);
+        } else {
+          credits[r.container] = r.credit_micro;
+        }
+        credit_minted = r.credit_minted;
+        credit_burned = r.credit_burned;
         break;
     }
   }

@@ -55,6 +55,11 @@ Observer::Observer(Config config) : trace_(config.trace_capacity) {
   h.bw_shrinks = &metrics_.counter("allocator.bw_shrinks");
   h.pool_bw_allocated = &metrics_.gauge("pool.bw_allocated_bps");
   h.pool_bw_unallocated = &metrics_.gauge("pool.bw_unallocated_bps");
+
+  h.telemetry_rejected = &metrics_.counter("controller.telemetry_rejected");
+  h.credit_charges = &metrics_.counter("controller.credit_charges");
+  h.credit_refunds = &metrics_.counter("controller.credit_refunds");
+  h.greedy_throttles = &metrics_.counter("controller.greedy_throttles");
 }
 
 }  // namespace escra::obs

@@ -116,6 +116,12 @@ class Observer {
     Counter* bw_shrinks = nullptr;          // allocator.bw_shrinks
     Gauge* pool_bw_allocated = nullptr;     // pool.bw_allocated_bps
     Gauge* pool_bw_unallocated = nullptr;   // pool.bw_unallocated_bps
+
+    // Adversarial-tenant defense (credit ledger + telemetry hardening).
+    Counter* telemetry_rejected = nullptr;  // controller.telemetry_rejected
+    Counter* credit_charges = nullptr;      // controller.credit_charges
+    Counter* credit_refunds = nullptr;      // controller.credit_refunds
+    Counter* greedy_throttles = nullptr;    // controller.greedy_throttles
   };
   Handles h;
 

@@ -21,6 +21,8 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "wal-lag",
     "bw-throttled",         "bw-saturation",
     "bw-grant",             "bw-shrink",
+    "telemetry-rejected",   "credit-charge",
+    "credit-refund",        "greedy-throttle",
 };
 
 void append_double(std::string& out, double v) {

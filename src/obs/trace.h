@@ -67,8 +67,19 @@ enum class EventKind : std::uint8_t {
                          // bandwidth telemetry (detail = queue depth)
   kBwGrant,              // allocator raised a bandwidth limit
   kBwShrink,             // allocator lowered a bandwidth limit
+  // Adversarial-tenant defense (src/adv + credit ledger in the Controller).
+  kTelemetryRejected,    // ingest dropped a physically-impossible reading
+                         // (before = resource, detail = reported value)
+  kCreditCharge,         // settle sweep debited credits for above-fair-share
+                         // allocation (before/after = balance, detail =
+                         // above-share millicores)
+  kCreditRefund,         // settle sweep minted credits for below-fair-share
+                         // allocation (before/after = balance, detail =
+                         // below-share millicores)
+  kGreedyThrottle,       // credit-exhausted container decayed toward its
+                         // static fair share (before/after = CPU limit)
 };
-inline constexpr int kEventKindCount = 24;
+inline constexpr int kEventKindCount = 28;
 
 const char* event_kind_name(EventKind kind);
 std::optional<EventKind> event_kind_from_name(std::string_view name);

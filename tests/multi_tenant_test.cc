@@ -4,10 +4,15 @@
 // beyond its budget, no matter how hard it bursts.
 #include <gtest/gtest.h>
 
+#include "adv/greedy.h"
+#include "check/invariant_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
+#include "exp/fairness.h"
 #include "net/network.h"
+#include "obs/observer.h"
 #include "sim/histogram.h"
+#include "sim/rng.h"
 
 namespace escra {
 namespace {
@@ -142,6 +147,167 @@ TEST(MultiTenantTest, BudgetsCanOversubscribeHardware) {
   // both tenants share it without either being starved.
   EXPECT_GT(total_used, 500.0);
   EXPECT_LE(total_used, 645.0);
+}
+
+// --- lying tenants vs the honest floor (src/adv + the credit defense) ---
+
+// One pool, four members, one of them adversarial. Honest members run a
+// steady genuine load; the liar forges its telemetry stream.
+struct GreedyRig {
+  sim::Simulation sim;
+  net::Network net{sim};
+  cluster::Cluster k8s{sim};
+  obs::Observer observer;
+  std::vector<cluster::Container*> containers;
+  core::EscraSystem escra;
+  workload::GreedyTenant liar;
+  exp::FairnessMeter meter;
+
+  explicit GreedyRig(bool defense,
+                     workload::GreedyProfile profile = {})
+      : escra(sim, net, k8s, 8.0, 4 * kGiB,
+              [defense] {
+                core::EscraConfig cfg;
+                cfg.credit_defense = defense;
+                return cfg;
+              }()),
+        liar(sim, escra.controller(), profile, sim::Rng(0xadf00d)),
+        meter(sim, escra.app()) {
+    for (int i = 0; i < 2; ++i) k8s.add_node({.cores = 16.0});
+    cluster::ContainerSpec spec;
+    spec.base_memory = 96 * kMiB;
+    spec.max_parallelism = 8.0;
+    for (int i = 0; i < 4; ++i) {
+      spec.name = "c" + std::to_string(i);
+      containers.push_back(&k8s.create_container(spec, 1.0, 512 * kMiB));
+    }
+    escra.attach_observer(observer);
+    escra.manage(containers);
+    escra.start();
+    // Container 0 is the liar; 1..3 run a genuine ~1.2-core load.
+    liar.attach(*containers[0]);
+    for (int i = 1; i < 4; ++i) {
+      cluster::Container* c = containers[i];
+      sim.schedule_every(milliseconds(50) + milliseconds(i),
+                         milliseconds(50),
+                         [c] { c->submit(milliseconds(60), 0, nullptr); });
+      meter.track(c->id(), /*greedy=*/false);
+    }
+    meter.track(containers[0]->id(), /*greedy=*/true);
+    liar.start(milliseconds(100));
+    meter.start(seconds(5));  // skip the cold-start transient
+  }
+};
+
+TEST(AdversarialTenantTest, InflatedUsageCapturesPoolWithoutDefense) {
+  GreedyRig rig(/*defense=*/false);
+  rig.sim.run_until(seconds(60));
+  const exp::FairnessReport r = rig.meter.report();
+  // Fair share is 2 cores. Pure telemetry forgery — zero real work — walks
+  // the liar's limit to at least twice that, and long-term fairness
+  // collapses.
+  EXPECT_GT(rig.liar.lies_told(), 0u);
+  EXPECT_GE(r.greedy_capture, 2.0)
+      << "greedy mean " << r.greedy_mean_cores << " cores";
+  EXPECT_LT(r.jain_long_term, 0.85);
+}
+
+TEST(AdversarialTenantTest, CreditDefenseDecaysLiarToFairShare) {
+  GreedyRig rig(/*defense=*/true);
+  check::InvariantChecker checker(rig.escra, rig.net, rig.observer);
+  checker.attach_credits(rig.escra.controller().credits());
+  rig.sim.run_until(seconds(60));
+  const exp::FairnessReport r = rig.meter.report();
+  const double fair = rig.escra.app().cpu_limit() / 4.0;
+  // The liar still lies every period, but the ledger bleeds it dry and the
+  // settle sweep decays it back to (about) its static fair share...
+  EXPECT_GT(rig.liar.lies_told(), 0u);
+  EXPECT_GT(rig.observer.h.credit_charges->value(), 0u);
+  EXPECT_GT(rig.observer.h.greedy_throttles->value(), 0u);
+  EXPECT_LE(rig.escra.controller().credits().balance_micro(
+                rig.containers[0]->id()),
+            0);
+  EXPECT_LT(r.greedy_capture, 1.35);
+  // ...while honest members keep what they genuinely use (~1.2 cores) and
+  // long-term fairness holds.
+  EXPECT_GE(r.honest_mean_cores, 1.0);
+  EXPECT_GE(r.jain_long_term, 0.90);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  // The liar holds no more than fair share plus the settle tolerance band.
+  EXPECT_LE(rig.escra.app().member_cores(rig.containers[0]->id()),
+            fair * (1.0 + rig.escra.config().credit_tolerance) + 0.35);
+}
+
+TEST(AdversarialTenantTest, PhantomOomFarmingIsChargedAndGated) {
+  workload::GreedyProfile profile;
+  profile.strategy = workload::GreedyStrategy::kPhantomOom;
+  GreedyRig rig(/*defense=*/true, profile);
+  check::InvariantChecker checker(rig.escra, rig.net, rig.observer);
+  checker.attach_credits(rig.escra.controller().credits());
+  rig.sim.run_until(seconds(60));
+  // The farm is priced, not free: limit growth above the memory fair share
+  // pays an entry fee at grant time and rent at every settle sweep. And it
+  // does not compound — the farmer never touches the farmed bytes, so the
+  // κ reclaim loop keeps clawing the hoard back toward real usage.
+  EXPECT_GT(rig.liar.phantom_ooms(), 0u);
+  EXPECT_GT(rig.liar.phantom_grants(), 0u);
+  EXPECT_GT(rig.observer.h.credit_charges->value(), 0u);
+  const double fair_mem =
+      static_cast<double>(rig.escra.app().mem_limit()) / 4.0;
+  EXPECT_LE(static_cast<double>(
+                rig.escra.app().member_mem(rig.containers[0]->id())),
+            1.5 * fair_mem)
+      << "phantom farm must not keep compounding past fair share";
+  EXPECT_LE(rig.escra.app().mem_allocated(), rig.escra.app().mem_limit());
+  // The honest members never paid for the fabricated pressure with a kill.
+  for (int i = 1; i < 4; ++i) {
+    EXPECT_EQ(rig.containers[i]->oom_kill_count(), 0u);
+  }
+  EXPECT_TRUE(checker.ok()) << checker.report();
+}
+
+TEST(AdversarialTenantTest, ColludersCannotLaunderThroughRotation) {
+  workload::GreedyProfile profile;
+  profile.strategy = workload::GreedyStrategy::kColluding;
+  profile.rotate_interval = seconds(2);
+  sim::Simulation sim;
+  net::Network net{sim};
+  cluster::Cluster k8s{sim};
+  obs::Observer observer;
+  core::EscraConfig cfg;
+  cfg.credit_defense = true;
+  core::EscraSystem escra{sim, net, k8s, 8.0, 4 * kGiB, cfg};
+  for (int i = 0; i < 2; ++i) k8s.add_node({.cores = 16.0});
+  cluster::ContainerSpec spec;
+  spec.base_memory = 96 * kMiB;
+  spec.max_parallelism = 8.0;
+  std::vector<cluster::Container*> containers;
+  for (int i = 0; i < 4; ++i) {
+    spec.name = "c" + std::to_string(i);
+    containers.push_back(&k8s.create_container(spec, 1.0, 512 * kMiB));
+  }
+  escra.attach_observer(observer);
+  escra.manage(containers);
+  escra.start();
+  // The whole pool colludes: one rotating liar, the rest earning credits
+  // while idle — trying to bankroll whoever currently lies.
+  workload::GreedyTenant ring{sim, escra.controller(), profile,
+                              sim::Rng(0xc0110de)};
+  for (cluster::Container* c : containers) ring.attach(*c);
+  exp::FairnessMeter meter{sim, escra.app()};
+  for (cluster::Container* c : containers) meter.track(c->id(), true);
+  ring.start(milliseconds(100));
+  meter.start(seconds(5));
+  check::InvariantChecker checker(escra, net, observer);
+  checker.attach_credits(escra.controller().credits());
+  sim.run_until(seconds(60));
+  // Rotation does not help: each liar-in-turn pays for its own window, and
+  // nobody's *allocation* can exceed fair share for long once its own
+  // balance drains, so the pool's long-term split stays near-even.
+  const exp::FairnessReport r = meter.report();
+  EXPECT_GT(ring.lies_told(), 0u);
+  EXPECT_GE(r.jain_long_term, 0.85);
+  EXPECT_TRUE(checker.ok()) << checker.report();
 }
 
 }  // namespace

@@ -38,6 +38,21 @@
 //                         --standbys >= 1). Like --fault-profile, the
 //                         scenario draws are unchanged, so a seed's scenario
 //                         is identical with and without this flag.
+//     --greedy            overlay an adversarial tenant: credit_defense on
+//                         tenant 0, a seed-derived workload::GreedyTenant
+//                         (strategy, lie fraction, impossible-report
+//                         fraction, cadences) forging telemetry from a
+//                         subset of tenant 0's containers, and the credit
+//                         invariants (conservation, honest floor) armed on
+//                         the checker. Greedy draws use a dedicated rng
+//                         stream, so a seed's scenario is identical with
+//                         and without this flag. The sweep is additionally
+//                         non-vacuous: at least one credit charge and one
+//                         forged report/phantom event must land across the
+//                         whole sweep or the exit status is 1. Composes
+//                         with --fault-profile, --standbys/--leader-churn
+//                         (credit balances must survive takeover), and any
+//                         --jobs count byte-identically.
 //     --legacy-rpc        run every tenant with batch_limit_updates=false —
 //                         the legacy one-RPC-per-update wire path instead
 //                         of the coalesced per-node batches. The scenario
@@ -86,6 +101,7 @@
 
 #include <unistd.h>
 
+#include "adv/greedy.h"
 #include "bw/shaper.h"
 #include "check/invariant_checker.h"
 #include "cluster/cluster.h"
@@ -111,6 +127,7 @@ struct Options {
   int standbys = 0;
   bool leader_churn = false;
   bool bw = false;
+  bool greedy = false;
   bool legacy_rpc = false;
   bool force_overgrant = false;
   bool rss_check = false;
@@ -122,7 +139,8 @@ void usage() {
                "usage: escra-fuzz [--runs N] [--seed S] [--jobs N]\n"
                "                  [--trace-tail N] [--repro-out FILE]\n"
                "                  [--fault-profile] [--standbys N]\n"
-               "                  [--leader-churn] [--bw] [--legacy-rpc]\n"
+               "                  [--leader-churn] [--bw] [--greedy]\n"
+               "                  [--legacy-rpc]\n"
                "                  [--force-overgrant] [--rss-check] [--quiet]\n");
 }
 
@@ -171,6 +189,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.fault_profile = true;
     } else if (flag == "--bw") {
       opts.bw = true;
+    } else if (flag == "--greedy") {
+      opts.greedy = true;
     } else if (flag == "--legacy-rpc") {
       opts.legacy_rpc = true;
     } else if (flag == "--force-overgrant") {
@@ -230,6 +250,9 @@ struct Scenario {
   // Bandwidth overlay on tenant 0 (set from --bw; its draws come from a
   // dedicated rng stream inside run_scenario, never from the scenario rng).
   bool bw = false;
+  // Adversarial overlay on tenant 0 (set from --greedy; like --bw, its
+  // draws come from a dedicated rng stream, never from the scenario rng).
+  bool greedy = false;
   // Legacy one-RPC-per-update wire path (set from --legacy-rpc, not drawn:
   // only the transport changes, never the scenario).
   bool legacy_rpc = false;
@@ -311,6 +334,7 @@ std::string to_json(const Scenario& s) {
   out += s.leader_churn ? "\"leader_churn\": true"
                         : "\"leader_churn\": false";
   out += s.bw ? ", \"bw\": true" : ", \"bw\": false";
+  out += s.greedy ? ", \"greedy\": true" : ", \"greedy\": false";
   out += s.legacy_rpc ? ", \"legacy_rpc\": true" : ", \"legacy_rpc\": false";
   out += ",\n  \"tenants\": [";
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
@@ -466,6 +490,9 @@ void schedule_bw_traffic(sim::Simulation& sim, net::Network& net,
 
 struct RunOutcome {
   bool violated = false;
+  // --greedy non-vacuity accounting, summed across the sweep in main().
+  std::uint64_t greedy_attacks = 0;   // forged reports + phantom OOM events
+  std::uint64_t credit_charges = 0;
   std::string report;
   // Full diagnostic text for a violation (report, scenario JSON, trace
   // tail, replay line), buffered so parallel runs never interleave output:
@@ -535,6 +562,15 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     std::unique_ptr<check::InvariantChecker> checker;
   };
   std::vector<Tenant> tenants;
+  // Adversarial overlay: drawn from a dedicated stream (like --bw and the
+  // fault schedule) so the scenario itself is byte-identical without
+  // --greedy. Declared before the tenants only in rng terms — the tenant
+  // object itself is built after tenant 0 starts (it needs the live
+  // Controller) and destroyed before the cluster (its teardown restores
+  // truthful telemetry on the containers it forged).
+  std::optional<sim::Rng> greedy_rng;
+  std::optional<workload::GreedyTenant> greedy;
+  if (s.greedy) greedy_rng.emplace(s.seed ^ 0x64eed7c0deULL);
   const sim::TimePoint end = sim::seconds_f(s.duration_s);
 
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
@@ -542,6 +578,10 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     Tenant tenant;
     core::EscraConfig cfg = tp.cfg;
     if (s.legacy_rpc) cfg.batch_limit_updates = false;
+    // The adversarial overlay fights a defended control plane: the point of
+    // the sweep is that the credit machinery holds its invariants under
+    // arbitrary scenarios, not that lying is profitable.
+    if (s.greedy && t == 0) cfg.credit_defense = true;
     if (s.bw && t == 0) {
       // Tenant 0 runs the bandwidth arm; its tunables come from the
       // dedicated bw stream so the base config draws stay untouched.
@@ -590,6 +630,34 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
             bw_rng->uniform(20.0, 120.0), bw_rng->uniform_int(2, 48) * 1024,
             std::make_shared<sim::Rng>(bw_rng->fork()), end);
       }
+    }
+
+    if (s.greedy && t == 0) {
+      tenant.checker->attach_credits(tenant.escra->controller().credits());
+      workload::GreedyProfile gp;
+      gp.strategy = static_cast<workload::GreedyStrategy>(
+          greedy_rng->uniform_int(0, 3));
+      gp.lie_fraction = greedy_rng->uniform(0.5, 1.0);
+      gp.impossible_fraction =
+          greedy_rng->chance(0.4) ? greedy_rng->uniform(0.05, 0.5) : 0.0;
+      gp.phantom_interval =
+          sim::milliseconds(greedy_rng->uniform_int(100, 600));
+      gp.phantom_shortfall = greedy_rng->uniform_int(2, 32) * memcg::kMiB;
+      gp.rotate_interval =
+          sim::milliseconds(greedy_rng->uniform_int(300, 1500));
+      greedy.emplace(simulation, tenant.escra->controller(), gp,
+                     greedy_rng->fork());
+      // Colluders need the whole pool of accomplices; the other strategies
+      // corrupt a seed-derived subset (at least one container).
+      bool any = false;
+      for (std::size_t c = 0; c < members.size(); ++c) {
+        if (gp.strategy == workload::GreedyStrategy::kColluding ||
+            greedy_rng->chance(0.5) || (!any && c + 1 == members.size())) {
+          greedy->attach(*members[c]);
+          any = true;
+        }
+      }
+      greedy->start(sim::milliseconds(200));
     }
 
     if (tp.late_joiner) {
@@ -661,6 +729,11 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
   simulation.run_until(end);
 
   RunOutcome outcome;
+  if (s.greedy) {
+    outcome.greedy_attacks = greedy->lies_told() + greedy->phantom_ooms();
+    outcome.credit_charges =
+        tenants.front().observer->h.credit_charges->value();
+  }
   for (Tenant& tenant : tenants) {
     tenant.checker->check_now();
     outcome.events += tenant.checker->events_checked();
@@ -686,10 +759,11 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
                     s.standbys, s.leader_churn ? " --leader-churn" : "");
     }
     std::snprintf(buf, sizeof(buf),
-                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s%s%s\n",
+                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s%s%s%s\n",
                   s.seed,
                   s.fault_profile && !s.leader_churn ? " --fault-profile" : "",
                   standby_flags, s.bw ? " --bw" : "",
+                  s.greedy ? " --greedy" : "",
                   s.legacy_rpc ? " --legacy-rpc" : "",
                   force_overgrant ? " --force-overgrant" : "");
     outcome.failure_text += buf;
@@ -738,6 +812,7 @@ int main(int argc, char** argv) {
     scenario.standbys = opts.standbys;
     scenario.leader_churn = opts.leader_churn;
     scenario.bw = opts.bw;
+    scenario.greedy = opts.greedy;
     scenario.legacy_rpc = opts.legacy_rpc;
     std::ofstream out(opts.repro_out);
     if (!out) {
@@ -764,6 +839,7 @@ int main(int argc, char** argv) {
         scenario.standbys = opts.standbys;
         scenario.leader_churn = opts.leader_churn;
         scenario.bw = opts.bw;
+        scenario.greedy = opts.greedy;
         scenario.legacy_rpc = opts.legacy_rpc;
         RunOutcome outcome =
             run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
@@ -778,11 +854,15 @@ int main(int argc, char** argv) {
   std::uint64_t violations = 0;
   std::uint64_t total_events = 0;
   std::uint64_t total_sweeps = 0;
+  std::uint64_t total_attacks = 0;
+  std::uint64_t total_charges = 0;
   bool wrote_violation_repro = false;
   for (std::uint64_t i = 0; i < opts.runs; ++i) {
     const RunOutcome& outcome = outcomes[i];
     total_events += outcome.events;
     total_sweeps += outcome.sweeps;
+    total_attacks += outcome.greedy_attacks;
+    total_charges += outcome.credit_charges;
     if (outcome.violated) {
       ++violations;
       std::fputs(outcome.failure_text.c_str(), stderr);
@@ -796,6 +876,7 @@ int main(int argc, char** argv) {
           scenario.standbys = opts.standbys;
           scenario.leader_churn = opts.leader_churn;
           scenario.bw = opts.bw;
+          scenario.greedy = opts.greedy;
           scenario.legacy_rpc = opts.legacy_rpc;
           out << to_json(scenario);
           wrote_violation_repro = true;
@@ -814,6 +895,22 @@ int main(int argc, char** argv) {
               " decision event(s) checked, %" PRIu64 " sweep(s), %" PRIu64
               " violation(s)\n",
               opts.runs, total_events, total_sweeps, violations);
+
+  if (opts.greedy) {
+    // Non-vacuity: a sweep where no telemetry was forged, or where the
+    // forging never cost anybody a credit, proves nothing about the credit
+    // invariants — fail loudly rather than report a hollow pass.
+    std::printf("escra-fuzz: greedy overlay: %" PRIu64
+                " forged/phantom event(s), %" PRIu64 " credit charge(s)\n",
+                total_attacks, total_charges);
+    if (total_attacks == 0 || total_charges == 0) {
+      std::fprintf(stderr,
+                   "escra-fuzz: VACUOUS GREEDY SWEEP (%" PRIu64
+                   " attacks, %" PRIu64 " charges)\n",
+                   total_attacks, total_charges);
+      return 1;
+    }
+  }
 
   if (opts.rss_check) {
     // Flat-footprint guard: every run frees its Simulation (node pool,

@@ -8,6 +8,11 @@
 //   escra-trace <trace.jsonl> --chain ID      causal chain ending at event
 //                                             ID, root first, with the
 //                                             per-hop and total latency
+//   escra-trace <trace.jsonl> --tenant ID     credit-ledger view of one
+//                                             container: balance trajectory,
+//                                             charges/refunds, rejected
+//                                             telemetry, throttle streaks,
+//                                             and the windows spent in debt
 //
 // The trace answers "why did container X get limit Y": a throttled CFS
 // period opens a chain ThrottleObserved -> CpuGrant -> RpcIssued ->
@@ -31,7 +36,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: escra-trace <trace.jsonl> [--container ID | --chain "
-               "EVENT_ID]\n");
+               "EVENT_ID | --tenant ID]\n");
 }
 
 // "cores" for CPU events, MiB for memory events — matches TraceEvent's
@@ -93,6 +98,37 @@ void format_limits(const obs::TraceEvent& ev, char* buf, std::size_t len) {
     case obs::EventKind::kWalLag:
       std::snprintf(buf, len, "lag %lld records",
                     static_cast<long long>(ev.detail));
+      break;
+    case obs::EventKind::kBwThrottled:
+    case obs::EventKind::kBwSaturation:
+      std::snprintf(buf, len, "rate %.1f MB/s, queue %lld", ev.before / 1e6,
+                    static_cast<long long>(ev.detail));
+      break;
+    case obs::EventKind::kBwGrant:
+    case obs::EventKind::kBwShrink:
+      std::snprintf(buf, len, "%.1f -> %.1f MB/s", ev.before / 1e6,
+                    ev.after / 1e6);
+      break;
+    case obs::EventKind::kTelemetryRejected:
+      // `before` is the resource flag (0 = CPU, 2 = bandwidth). CPU carries
+      // the implausible claimed rate in `after` (cores); bandwidth carries
+      // the NIC cap in `after` and the claimed bytes/s in `detail`.
+      if (ev.before == 0.0) {
+        std::snprintf(buf, len, "claimed %.3f cores", ev.after);
+      } else {
+        std::snprintf(buf, len, "claimed %.1f MB/s (nic %.1f)",
+                      static_cast<double>(ev.detail) / 1e6, ev.after / 1e6);
+      }
+      break;
+    case obs::EventKind::kCreditCharge:
+    case obs::EventKind::kCreditRefund:
+      // Balances in credits (fair-share-seconds); detail is the over/under
+      // share amount the sweep priced (millicores, or bytes for memory).
+      std::snprintf(buf, len, "%.4f -> %.4f cr", ev.before, ev.after);
+      break;
+    case obs::EventKind::kGreedyThrottle:
+      std::snprintf(buf, len, "%.3f -> %.3f cores (streak %lld)", ev.before,
+                    ev.after, static_cast<long long>(ev.detail));
       break;
   }
 }
@@ -322,6 +358,99 @@ int run_container(const obs::TraceBuffer& trace, std::uint32_t container) {
   return 0;
 }
 
+// Credit-ledger view of one container: how the defense saw this tenant.
+// Balances ride on kCreditCharge/kCreditRefund events (before/after in
+// credits); a contiguous span of non-positive balances is a debt window —
+// the period the Υ-gate held the tenant to its fair share.
+int run_tenant(const obs::TraceBuffer& trace, std::uint32_t container) {
+  const auto events = trace.for_container(container);
+  if (events.empty()) {
+    std::printf("no events for container %u\n", container);
+    return 1;
+  }
+  std::uint64_t charges = 0, refunds = 0, rejected = 0, throttles = 0;
+  std::uint64_t oom_grants = 0, cpu_grants = 0, cpu_shrinks = 0;
+  double charged = 0.0, refunded = 0.0;
+  double first_balance = 0.0, last_balance = 0.0, min_balance = 0.0;
+  bool seen_balance = false;
+  struct DebtWindow {
+    sim::TimePoint start = 0;
+    sim::TimePoint end = 0;  // 0 = still in debt at trace end
+  };
+  std::vector<DebtWindow> debt;
+  bool in_debt = false;
+  for (const obs::TraceEvent& ev : events) {
+    switch (ev.kind) {
+      case obs::EventKind::kCreditCharge:
+      case obs::EventKind::kCreditRefund: {
+        if (ev.kind == obs::EventKind::kCreditCharge) {
+          ++charges;
+          charged += ev.before - ev.after;
+        } else {
+          ++refunds;
+          refunded += ev.after - ev.before;
+        }
+        if (!seen_balance) {
+          seen_balance = true;
+          first_balance = ev.before;
+          min_balance = ev.before;
+        }
+        last_balance = ev.after;
+        if (ev.after < min_balance) min_balance = ev.after;
+        if (ev.after <= 0.0 && !in_debt) {
+          in_debt = true;
+          debt.push_back(DebtWindow{ev.time, 0});
+        } else if (ev.after > 0.0 && in_debt) {
+          in_debt = false;
+          debt.back().end = ev.time;
+        }
+        break;
+      }
+      case obs::EventKind::kTelemetryRejected: ++rejected; break;
+      case obs::EventKind::kGreedyThrottle: ++throttles; break;
+      case obs::EventKind::kMemGrantOnOom: ++oom_grants; break;
+      case obs::EventKind::kCpuGrant: ++cpu_grants; break;
+      case obs::EventKind::kCpuShrink: ++cpu_shrinks; break;
+      default: break;
+    }
+  }
+  std::printf("tenant c%u: %zu events, %12.6fs .. %.6fs\n", container,
+              events.size(), sim::to_seconds(events.front().time),
+              sim::to_seconds(events.back().time));
+  std::printf("  grants: cpu %llu (+%llu shrinks), mem-on-oom %llu\n",
+              static_cast<unsigned long long>(cpu_grants),
+              static_cast<unsigned long long>(cpu_shrinks),
+              static_cast<unsigned long long>(oom_grants));
+  if (!seen_balance) {
+    std::printf("  no credit events — defense idle for this tenant\n");
+    return 0;
+  }
+  std::printf("  balance: %.4f -> %.4f cr (min %.4f)\n", first_balance,
+              last_balance, min_balance);
+  std::printf("  above-share charges %llu (-%.4f cr), below-share refunds "
+              "%llu (+%.4f cr)\n",
+              static_cast<unsigned long long>(charges), charged,
+              static_cast<unsigned long long>(refunds), refunded);
+  std::printf("  telemetry rejected %llu, greedy throttles %llu\n",
+              static_cast<unsigned long long>(rejected),
+              static_cast<unsigned long long>(throttles));
+  if (!debt.empty()) {
+    std::printf("  debt windows (%zu):\n", debt.size());
+    for (const DebtWindow& w : debt) {
+      if (w.end != 0) {
+        std::printf("    %12.6fs .. %.6fs\n", sim::to_seconds(w.start),
+                    sim::to_seconds(w.end));
+      } else {
+        std::printf("    %12.6fs .. (still broke at trace end)\n",
+                    sim::to_seconds(w.start));
+      }
+    }
+  } else {
+    std::printf("  never in debt\n");
+  }
+  return 0;
+}
+
 int run_chain(const obs::TraceBuffer& trace, obs::EventId id) {
   if (trace.find(id) == nullptr) {
     std::fprintf(stderr, "event #%llu not in trace (evicted or never "
@@ -370,7 +499,8 @@ int main(int argc, char** argv) {
 
   if (argc == 2) return run_summary(trace);
   const std::string mode = argv[2];
-  if (argc == 4 && (mode == "--container" || mode == "--chain")) {
+  if (argc == 4 &&
+      (mode == "--container" || mode == "--chain" || mode == "--tenant")) {
     std::uint64_t id = 0;
     try {
       std::size_t pos = 0;
@@ -383,6 +513,9 @@ int main(int argc, char** argv) {
     }
     if (mode == "--container") {
       return run_container(trace, static_cast<std::uint32_t>(id));
+    }
+    if (mode == "--tenant") {
+      return run_tenant(trace, static_cast<std::uint32_t>(id));
     }
     return run_chain(trace, id);
   }
