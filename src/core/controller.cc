@@ -641,6 +641,29 @@ void Controller::ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
   push_cpu_limit(stats.cgroup, *decision, ctx);
 }
 
+void Controller::apply_cpu_decision(cluster::ContainerId id, double before,
+                                    double cores, sim::TimePoint fire_time) {
+  if (crashed_) return;
+  LoopCtx ctx;
+  ctx.fire = fire_time;
+  ctx.ingest = sim_.now();
+  ctx.decide = sim_.now();
+  ctx.profile = true;
+  if (obs_ != nullptr) {
+    obs::TraceEvent ev;
+    ev.time = ctx.decide;
+    ev.kind = cores > before ? obs::EventKind::kCpuGrant
+                             : obs::EventKind::kCpuShrink;
+    ev.container = id;
+    const Entry* entry = find_entry(id);
+    ev.node = entry != nullptr ? node_tag(*entry) : 0;
+    ev.before = before;
+    ev.after = cores;
+    ctx.cause = obs_->record(ev);
+  }
+  push_cpu_limit(id, cores, ctx);
+}
+
 void Controller::push_cpu_limit(cluster::ContainerId id, double cores,
                                 LoopCtx ctx) {
   if (crashed_) return;

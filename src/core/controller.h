@@ -223,6 +223,15 @@ class Controller {
 
   // --- telemetry & events (normally invoked via the network) ---
   void on_cpu_stats(const CpuStatsMsg& stats);
+  // Hands the Controller a CPU decision the Resource Allocator already made
+  // (src/shard's parallel per-shard sweep runs each shard's allocator on a
+  // worker thread — shard state is disjoint — then applies the merged
+  // decision stream serially in shard order). Records the grant/shrink
+  // event and opens the sequenced desired-state slot exactly as
+  // ingest_cpu_stats would after an inline decision. `before` is the shadow
+  // limit the allocator saw when it decided.
+  void apply_cpu_decision(cluster::ContainerId id, double before,
+                          double cores, sim::TimePoint fire_time);
   // Pre-OOM request: returns true if the limit was raised enough for the
   // charge to succeed (the container survives). Fails (container dies by
   // the kernel's normal OOM path) when the Controller is crashed or

@@ -54,6 +54,28 @@ void DistributedContainer::remove_member(std::uint32_t container) {
   sync_gauges();
 }
 
+void DistributedContainer::set_cpu_limit(double cpu_cores) {
+  if (cpu_cores < 0.0) {
+    throw std::invalid_argument("set_cpu_limit: negative limit");
+  }
+  if (cpu_cores + 1e-6 < cpu_allocated_) {
+    throw std::invalid_argument("set_cpu_limit: below allocated cores");
+  }
+  cpu_limit_ = cpu_cores;
+  sync_gauges();
+}
+
+void DistributedContainer::set_mem_limit(memcg::Bytes mem) {
+  if (mem < 0) {
+    throw std::invalid_argument("set_mem_limit: negative limit");
+  }
+  if (mem < mem_allocated_) {
+    throw std::invalid_argument("set_mem_limit: below allocated memory");
+  }
+  mem_limit_ = mem;
+  sync_gauges();
+}
+
 void DistributedContainer::set_bw_limit(double bw_bps) {
   if (bw_bps < 0.0) {
     throw std::invalid_argument("set_bw_limit: negative limit");

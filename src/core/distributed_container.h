@@ -42,6 +42,13 @@ class DistributedContainer {
   // new limit is below what is already allocated to members.
   void set_bw_limit(double bw_bps);
 
+  // Resizes the aggregate CPU / memory pools (cross-shard borrowing: a
+  // lender shard shrinks its slice, the borrower grows its own). Throws if
+  // the new limit is below what is already allocated to members — callers
+  // must only lend genuine surplus.
+  void set_cpu_limit(double cpu_cores);
+  void set_mem_limit(memcg::Bytes mem);
+
   // --- aggregate allocation state (Figure 3, circle 6) ---
   double cpu_allocated() const { return cpu_allocated_; }
   double cpu_unallocated() const { return cpu_limit_ - cpu_allocated_; }

@@ -80,6 +80,16 @@ inline constexpr std::size_t kWalAckWireBytes = 14 + 20 + 32 + 16;
 inline constexpr std::size_t kLeaseAnnounceWireBytes = 14 + 20 + 32 + 24;
 inline constexpr std::size_t kFenceWireBytes = 14 + 20 + 32 + 16;
 
+// Cross-shard pool borrowing (src/shard). The periodic surplus advertisement
+// is a small fire-and-forget datagram (per-resource headroom triple); borrow
+// requests and return notices are gRPC calls whose responses carry the
+// sequenced grant/ack, mirroring the desired-state-slot shapes above.
+inline constexpr std::size_t kShardAdvertWireBytes = 14 + 20 + 8 + 40;
+inline constexpr std::size_t kBorrowRequestRpcBytes = 180;
+inline constexpr std::size_t kBorrowGrantRespBytes = 140;
+inline constexpr std::size_t kBorrowReturnRpcBytes = 160;
+inline constexpr std::size_t kBorrowReturnAckBytes = 90;
+
 // Limit-update sequence numbers pack the controller epoch (incarnation) in
 // the high 16 bits and a per-epoch counter in the low 48, so a higher epoch
 // always compares greater and the Agents' monotonic-seq check doubles as

@@ -18,6 +18,7 @@ const char* channel_name(Channel c) {
     case Channel::kHaReplication: return "ha-replication";
     case Channel::kBwTelemetry: return "bw-telemetry";
     case Channel::kAppData: return "app-data";
+    case Channel::kShardControl: return "shard-control";
   }
   return "unknown";
 }
@@ -35,6 +36,7 @@ sim::Duration Network::latency_for(Channel channel) const {
     case Channel::kControlRpc:
     case Channel::kRegistration:
     case Channel::kHaReplication:
+    case Channel::kShardControl:
       return config_.rpc_latency;
   }
   return config_.rpc_latency;

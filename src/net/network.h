@@ -40,13 +40,14 @@ enum class Channel {
   kHaReplication,   // leader -> standby WAL stream + lease announcements
   kBwTelemetry,     // per-period bandwidth shaper stats (src/bw)
   kAppData,         // application data plane (shaped container traffic)
+  kShardControl,    // shard <-> shard surplus adverts + borrow/return RPCs
 };
 
-inline constexpr int kChannelCount = 7;
+inline constexpr int kChannelCount = 8;
 inline constexpr Channel kAllChannels[kChannelCount] = {
     Channel::kCpuTelemetry, Channel::kMemoryEvent,   Channel::kControlRpc,
     Channel::kRegistration, Channel::kHaReplication, Channel::kBwTelemetry,
-    Channel::kAppData};
+    Channel::kAppData,      Channel::kShardControl};
 
 const char* channel_name(Channel c);
 
@@ -59,10 +60,21 @@ inline constexpr EndpointId kControllerEndpoint = -1;
 inline constexpr EndpointId kUnroutedEndpoint = -2;
 // Warm-standby controller replicas: standby k (by creation order) answers at
 // kStandbyEndpointBase - k, keeping the whole negative standby range clear of
-// node ids (>= 0) and the reserved addresses above.
+// node ids (>= 0) and the reserved addresses above. Sharded control planes
+// give each shard's HA group a disjoint standby band (HaConfig::
+// endpoint_base), so the range runs -16 down to kShardEndpointBase + 1.
 inline constexpr EndpointId kStandbyEndpointBase = -16;
 inline constexpr EndpointId standby_endpoint(int standby_index) {
   return kStandbyEndpointBase - standby_index;
+}
+// Controller shards (src/shard): shard i's leader seat answers borrow/advert
+// traffic at kShardEndpointBase - i. Per-node control traffic still uses
+// kControllerEndpoint — a node has one control uplink regardless of how many
+// shards manage containers on it — so shard endpoints only address the
+// shard-to-shard borrowing protocol (partitionable per shard pair).
+inline constexpr EndpointId kShardEndpointBase = -96;
+inline constexpr EndpointId shard_endpoint(int shard_index) {
+  return kShardEndpointBase - shard_index;
 }
 
 // Counters for one traffic class.
@@ -261,9 +273,11 @@ class Network {
 
   // Maps an endpoint id onto a dense slot in endpoint_stats_: node ids
   // (>= 0) sit above a fixed band reserved for the negative reserved
-  // addresses (controller -1, standbys -16-k), so lookups are a single
-  // bounds-checked index instead of a hash probe on the RPC hot path.
-  static constexpr std::size_t kNegativeEndpointSlots = 32;
+  // addresses (controller -1, standby bands -16-k, shard seats -96-i), so
+  // lookups are a single bounds-checked index instead of a hash probe on
+  // the RPC hot path. The band must cover the deepest reserved address
+  // (kShardEndpointBase - max shards) or shard seats would alias node slots.
+  static constexpr std::size_t kNegativeEndpointSlots = 128;
   static std::size_t endpoint_slot(EndpointId endpoint) {
     return endpoint >= 0
                ? kNegativeEndpointSlots + static_cast<std::size_t>(endpoint)

@@ -60,6 +60,13 @@ Observer::Observer(Config config) : trace_(config.trace_capacity) {
   h.credit_charges = &metrics_.counter("controller.credit_charges");
   h.credit_refunds = &metrics_.counter("controller.credit_refunds");
   h.greedy_throttles = &metrics_.counter("controller.greedy_throttles");
+
+  h.shard_adverts = &metrics_.counter("shard.advertisements");
+  h.shard_borrow_requests = &metrics_.counter("shard.borrow_requests");
+  h.shard_borrow_grants = &metrics_.counter("shard.borrow_grants");
+  h.shard_borrow_returns = &metrics_.counter("shard.borrow_returns");
+  h.shard_borrow_retransmits = &metrics_.counter("shard.borrow_retransmits");
+  h.shard_pool_resizes = &metrics_.counter("shard.pool_resizes");
 }
 
 }  // namespace escra::obs

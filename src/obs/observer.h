@@ -122,6 +122,16 @@ class Observer {
     Counter* credit_charges = nullptr;      // controller.credit_charges
     Counter* credit_refunds = nullptr;      // controller.credit_refunds
     Counter* greedy_throttles = nullptr;    // controller.greedy_throttles
+
+    // Sharded control plane (src/shard). Incremented on the observer of the
+    // shard that records the matching trace event (requests at the
+    // borrower, grants at the lender, returns at the returner).
+    Counter* shard_adverts = nullptr;             // shard.advertisements
+    Counter* shard_borrow_requests = nullptr;     // shard.borrow_requests
+    Counter* shard_borrow_grants = nullptr;       // shard.borrow_grants
+    Counter* shard_borrow_returns = nullptr;      // shard.borrow_returns
+    Counter* shard_borrow_retransmits = nullptr;  // shard.borrow_retransmits
+    Counter* shard_pool_resizes = nullptr;        // shard.pool_resizes
   };
   Handles h;
 

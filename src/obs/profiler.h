@@ -4,13 +4,20 @@
 // records each stage's simulated-time latency:
 //
 //   fire->ingest   telemetry datagram leaves the kernel hook, arrives at
-//                  the Controller (one-way network latency),
+//                  the owning shard's Controller (one-way network latency;
+//                  the src/shard router binds each container's telemetry to
+//                  exactly one shard at registration, so the stage measures
+//                  one hop regardless of shard count),
 //   ingest->decide Controller hands the statistic to the Resource
-//                  Allocator and gets a decision (zero sim-time today; the
-//                  stage exists so a future sharded/batched controller has
-//                  a baseline to compare against),
+//                  Allocator and gets a decision (synchronous, zero
+//                  sim-time; per-shard wall-clock cost of this stage is
+//                  what bench/shard_scale reports as decision latency),
 //   decide->apply  limit-update RPC to the Agent and cgroup write,
 //   end-to-end     fire -> cgroup write, the paper's sub-second claim.
+//
+// Each shard's Observer owns one LoopProfiler, so a sharded control plane
+// (src/shard) produces per-shard stage tables; cross-shard borrow traffic
+// never enters the loop profile (it moves pool headroom, not decisions).
 //
 // Per-stage distributions reuse sim::Histogram (percentiles) plus
 // sim::RunningStat (exact means); `table()` renders the p50/p90/p99/max

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <stdexcept>
 #include <string>
+#include <unordered_map>
 
 namespace escra::obs {
 
@@ -23,6 +24,9 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "bw-grant",             "bw-shrink",
     "telemetry-rejected",   "credit-charge",
     "credit-refund",        "greedy-throttle",
+    "shard-advertise",      "borrow-request",
+    "borrow-grant",         "borrow-return",
+    "shard-pool-resize",
 };
 
 void append_double(std::string& out, double v) {
@@ -114,30 +118,91 @@ std::optional<TraceEvent> TraceBuffer::last(EventKind kind,
   return std::nullopt;
 }
 
+namespace {
+
+void append_event_jsonl(std::string& line, const TraceEvent& e) {
+  line += "{\"id\":";
+  line += std::to_string(e.id);
+  line += ",\"t_us\":";
+  line += std::to_string(e.time);
+  line += ",\"kind\":\"";
+  line += event_kind_name(e.kind);
+  line += "\",\"container\":";
+  line += std::to_string(e.container);
+  line += ",\"node\":";
+  line += std::to_string(e.node);
+  line += ",\"before\":";
+  append_double(line, e.before);
+  line += ",\"after\":";
+  append_double(line, e.after);
+  line += ",\"cause\":";
+  line += std::to_string(e.cause);
+  line += ",\"detail\":";
+  line += std::to_string(e.detail);
+  if (e.shard != 0) {
+    // Emitted only when set, so unsharded exports (and every export written
+    // before the sharded control plane existed) stay byte-identical.
+    line += ",\"shard\":";
+    line += std::to_string(e.shard);
+  }
+  line += "}\n";
+}
+
+}  // namespace
+
 void TraceBuffer::export_jsonl(std::ostream& out) const {
   std::string line;
   for (std::size_t i = 0; i < ring_.size(); ++i) {
-    const TraceEvent& e = at(i);
     line.clear();
-    line += "{\"id\":";
-    line += std::to_string(e.id);
-    line += ",\"t_us\":";
-    line += std::to_string(e.time);
-    line += ",\"kind\":\"";
-    line += event_kind_name(e.kind);
-    line += "\",\"container\":";
-    line += std::to_string(e.container);
-    line += ",\"node\":";
-    line += std::to_string(e.node);
-    line += ",\"before\":";
-    append_double(line, e.before);
-    line += ",\"after\":";
-    append_double(line, e.after);
-    line += ",\"cause\":";
-    line += std::to_string(e.cause);
-    line += ",\"detail\":";
-    line += std::to_string(e.detail);
-    line += "}\n";
+    append_event_jsonl(line, at(i));
+    out << line;
+  }
+}
+
+void export_merged_jsonl(const std::vector<const TraceBuffer*>& shards,
+                         std::ostream& out) {
+  // Collect (buffer, intra-buffer index) references and interleave by
+  // (time, shard). Each buffer is already time-ordered, so a stable sort on
+  // time alone preserves intra-buffer order; the shard tie-break makes the
+  // cross-buffer interleaving at equal timestamps deterministic too.
+  struct Ref {
+    sim::TimePoint time;
+    std::uint32_t shard;  // buffer index + 1
+    std::size_t index;    // position within its buffer
+  };
+  std::vector<Ref> refs;
+  std::size_t total = 0;
+  for (const TraceBuffer* b : shards) total += b->size();
+  refs.reserve(total);
+  for (std::size_t s = 0; s < shards.size(); ++s) {
+    for (std::size_t i = 0; i < shards[s]->size(); ++i) {
+      refs.push_back({shards[s]->at(i).time,
+                      static_cast<std::uint32_t>(s + 1), i});
+    }
+  }
+  std::stable_sort(refs.begin(), refs.end(), [](const Ref& a, const Ref& b) {
+    return a.time != b.time ? a.time < b.time : a.shard < b.shard;
+  });
+  // Re-assign dense ids in merge order and remap causal links within each
+  // source buffer (causality never crosses shards: every shard records only
+  // its own decision chains).
+  std::vector<std::unordered_map<EventId, EventId>> remap(shards.size());
+  std::string line;
+  EventId next_id = 1;
+  for (const Ref& r : refs) {
+    TraceEvent e = shards[r.shard - 1]->at(r.index);
+    remap[r.shard - 1][e.id] = next_id;
+    e.id = next_id++;
+    if (e.cause != 0) {
+      const auto& m = remap[r.shard - 1];
+      const auto it = m.find(e.cause);
+      // Causes pointing at evicted (or not-yet-merged) events drop to 0,
+      // exactly like an evicted link in a single buffer.
+      e.cause = it != m.end() ? it->second : 0;
+    }
+    e.shard = r.shard;
+    line.clear();
+    append_event_jsonl(line, e);
     out << line;
   }
 }
@@ -222,6 +287,11 @@ TraceBuffer TraceBuffer::import_jsonl(std::istream& in) {
       e.after = std::stod(std::string(json_field(line, "after")));
       e.cause = std::stoull(std::string(json_field(line, "cause")));
       e.detail = std::stoll(std::string(json_field(line, "detail")));
+      // Optional: absent in unsharded exports (and all pre-shard files).
+      if (line.find("\"shard\":") != std::string::npos) {
+        e.shard = static_cast<std::uint32_t>(
+            std::stoul(std::string(json_field(line, "shard"))));
+      }
       events.push_back(e);
     } catch (const std::exception& ex) {
       throw std::runtime_error("trace import: line " + std::to_string(lineno) +

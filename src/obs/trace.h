@@ -78,8 +78,24 @@ enum class EventKind : std::uint8_t {
                          // below-share millicores)
   kGreedyThrottle,       // credit-exhausted container decayed toward its
                          // static fair share (before/after = CPU limit)
+  // Sharded control plane (src/shard). Borrow events carry the resource in
+  // `before` (0 = CPU, 1 = memory, 2 = bandwidth, matching the Rpc*
+  // convention), the amount in `after` (cores / bytes / bytes-per-second),
+  // and pack the peer shard id and the per-pair borrow sequence into
+  // `detail` as (peer << 48) | seq. The recording shard itself is carried
+  // by the event's `shard` field (stamped at merged export from buffer
+  // provenance, or pre-set by the recorder).
+  kShardAdvertise,       // periodic surplus advertisement broadcast (before =
+                         // CPU surplus cores, after = memory surplus bytes,
+                         // detail = bandwidth surplus bytes/s)
+  kBorrowRequest,        // hot shard asked a peer for pool headroom
+  kBorrowGrant,          // lender shrank its pool and granted the request
+  kBorrowReturn,         // borrower shrank its pool to hand capacity back
+  kShardPoolResize,      // a shard's pool slice changed size (before/after =
+                         // old/new limit in the resource's unit, detail =
+                         // resource)
 };
-inline constexpr int kEventKindCount = 28;
+inline constexpr int kEventKindCount = 33;
 
 const char* event_kind_name(EventKind kind);
 std::optional<EventKind> event_kind_from_name(std::string_view name);
@@ -101,6 +117,11 @@ struct TraceEvent {
   // Kind-specific extra: unused runtime (ThrottleObserved, us), shortfall
   // (MemGrantOnOom, bytes), freed bytes (Reclaim), wire bytes (Rpc*).
   std::int64_t detail = 0;
+  // Owning controller shard + 1; 0 = unsharded/none. Stamped by
+  // export_merged_jsonl from buffer provenance (each shard records into its
+  // own Observer), so single-controller exports are unchanged byte-for-byte:
+  // export_jsonl only emits the field when it is nonzero.
+  std::uint32_t shard = 0;
 };
 
 class TraceBuffer {
@@ -153,7 +174,8 @@ class TraceBuffer {
   void export_csv(std::ostream& out) const;
 
   // Parses a file produced by export_jsonl (used by the escra-trace CLI).
-  // Throws std::runtime_error on malformed lines.
+  // Throws std::runtime_error on malformed lines. The `shard` field is
+  // optional (absent in pre-shard exports; parsed when present).
   static TraceBuffer import_jsonl(std::istream& in);
 
  private:
@@ -166,5 +188,15 @@ class TraceBuffer {
   std::uint64_t evicted_ = 0;
   RecordHook record_hook_;
 };
+
+// Merges per-shard trace buffers into one deterministic JSONL stream
+// (src/shard: each shard records into its own Observer; this is the export
+// the escra-trace --shard view reads). Events are interleaved by
+// (time, shard) with intra-buffer order preserved, re-assigned dense ids in
+// merge order, causal links remapped within their own shard's buffer (cross
+// buffer causality does not exist), and stamped with shard = buffer index
+// + 1. Identical-seed runs produce byte-identical merged exports.
+void export_merged_jsonl(const std::vector<const TraceBuffer*>& shards,
+                         std::ostream& out);
 
 }  // namespace escra::obs

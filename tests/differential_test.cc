@@ -22,6 +22,14 @@
 //    many, so the fault schedules diverge — there each path must instead be
 //    exactly reproducible run-to-run, keep every invariant green, and end
 //    converged.
+//
+// 3) Sharded vs single controller: a ShardedControlPlane at --shards 1 is
+//    the same EscraSystem behind a router, so its decision stream must be
+//    *byte-identical* to the unsharded controller on the canonical
+//    scenario. Multi-shard runs cannot match the single controller decision
+//    for decision (each shard allocates from its slice), but must be
+//    byte-identical run-to-run and keep cross-shard pool conservation
+//    green.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -35,11 +43,13 @@
 
 #include "baselines/static_policy.h"
 #include "check/invariant_checker.h"
+#include "check/shard_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
 #include "ha/ha_control_plane.h"
 #include "net/network.h"
 #include "obs/observer.h"
+#include "shard/sharded_control_plane.h"
 #include "sim/event_queue.h"
 #include "sim/rng.h"
 
@@ -145,6 +155,8 @@ struct CanonicalOptions {
   bool batched = true;
   double rpc_drop = 0.0;
   bool failover = false;  // kill the leader mid-batch at t = 1 s
+  int shards = 0;         // 0 = bare EscraSystem, >=1 = ShardedControlPlane
+  int apps = 1;           // contiguous app groups (sharded runs only)
 };
 
 struct CanonicalRun {
@@ -161,6 +173,7 @@ struct CanonicalRun {
   std::uint64_t batched_rpcs = 0;
   std::uint64_t batch_entries = 0;
   std::uint64_t failovers = 0;
+  std::uint64_t borrow_grants = 0;
   std::size_t registered = 0;
 };
 
@@ -178,11 +191,48 @@ CanonicalRun run_canonical(const CanonicalOptions& opt) {
   }
   core::EscraConfig cfg;
   cfg.batch_limit_updates = opt.batched;
-  core::EscraSystem escra(sim, network, k8s, 512.0, 256LL * memcg::kGiB, cfg);
-  obs::Observer observer({.trace_capacity = 1 << 20});
-  escra.attach_observer(observer);
+  // Either one bare EscraSystem or a ShardedControlPlane over the identical
+  // pool — built in the same order so `--shards 1` replays the exact event
+  // schedule of the unsharded controller.
+  std::optional<core::EscraSystem> bare;
+  std::optional<shard::ShardedControlPlane> plane;
+  if (opt.shards == 0) {
+    bare.emplace(sim, network, k8s, 512.0, 256LL * memcg::kGiB, cfg);
+  } else {
+    shard::ShardPlaneConfig pcfg;
+    pcfg.shards = opt.shards;
+    pcfg.escra = cfg;
+    plane.emplace(sim, network, k8s, 512.0, 256LL * memcg::kGiB, pcfg);
+  }
+  const int observer_count = opt.shards == 0 ? 1 : opt.shards;
+  std::vector<std::unique_ptr<obs::Observer>> observers;
+  for (int s = 0; s < observer_count; ++s) {
+    observers.push_back(std::make_unique<obs::Observer>(
+        obs::Observer::Config{.trace_capacity = 1 << 20}));
+  }
+  obs::Observer& observer = *observers[0];
+  if (bare) {
+    bare->attach_observer(observer);
+  } else {
+    for (int s = 0; s < opt.shards; ++s) {
+      plane->attach_observer(s, *observers[s]);
+    }
+  }
+  // Net metrics live on observer 0 only; the other shards' checkers skip the
+  // net-consistency rules (their registries have no net.* counters).
   network.attach_metrics(observer.metrics());
-  check::InvariantChecker checker(escra, network, observer);
+  std::vector<std::unique_ptr<check::InvariantChecker>> checkers;
+  if (bare) {
+    checkers.push_back(
+        std::make_unique<check::InvariantChecker>(*bare, network, observer));
+  } else {
+    for (int s = 0; s < opt.shards; ++s) {
+      checkers.push_back(std::make_unique<check::InvariantChecker>(
+          plane->shard(s), network, *observers[s]));
+    }
+  }
+  std::optional<check::ShardInvariantChecker> shard_checker;
+  if (plane) shard_checker.emplace(*plane);
 
   if (opt.rpc_drop > 0.0) {
     network.set_fault_rng(sim::Rng(0xbe4cfULL));
@@ -198,21 +248,46 @@ CanonicalRun run_canonical(const CanonicalOptions& opt) {
     spec.base_memory = 64 * memcg::kMiB;
     members.push_back(&k8s.create_container(spec, 1.0, 256 * memcg::kMiB));
   }
-  escra.manage(members);
-  escra.start();
+  if (bare) {
+    bare->manage(members);
+    bare->start();
+  } else {
+    // Contiguous app groups; apps == 1 keeps the whole cluster in one app,
+    // which at shards == 1 routes everything to shard 0's full-pool slice.
+    const int apps = std::max(1, opt.apps);
+    const std::size_t per = members.size() / apps;
+    for (int a = 0; a < apps; ++a) {
+      std::vector<cluster::Container*> group(
+          members.begin() + a * per,
+          a + 1 == apps ? members.end() : members.begin() + (a + 1) * per);
+      plane->manage(apps == 1 ? std::string("canonical")
+                              : "app" + std::to_string(a),
+                    group);
+    }
+    plane->start();
+  }
 
   std::optional<ha::HaControlPlane> ha;
   if (opt.failover) {
-    ha::HaConfig hcfg;
-    hcfg.standbys = 1;
-    ha.emplace(escra, network, hcfg);
-    ha->start();
+    if (bare) {
+      ha::HaConfig hcfg;
+      hcfg.standbys = 1;
+      ha.emplace(*bare, network, hcfg);
+      ha->start();
+    } else {
+      plane->enable_ha(1);
+    }
     // Land inside the decision tick: at t = 1 s + 80 us the telemetry has
     // been ingested and this period's limit updates are on the wire (in
     // batched mode: issued, flushed, not yet delivered) — the takeover
     // happens mid-batch, with per-entry acks still in flight.
-    sim.schedule_at(sim::seconds(1) + sim::microseconds(230),
-                    [&] { ha->kill_leader(); });
+    sim.schedule_at(sim::seconds(1) + sim::microseconds(230), [&] {
+      if (ha) {
+        ha->kill_leader();
+      } else {
+        plane->ha(0).kill_leader();
+      }
+    });
   }
 
   struct Stream {
@@ -246,18 +321,26 @@ CanonicalRun run_canonical(const CanonicalOptions& opt) {
   sim.run_until(seconds(2));
 
   CanonicalRun r;
-  const obs::TraceBuffer& trace = observer.trace();
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    const obs::TraceEvent& e = trace.at(i);
-    r.canonical_trace.emplace_back(e.time, static_cast<int>(e.kind),
-                                   e.container, e.node, e.before, e.after,
-                                   e.detail);
+  for (const auto& obs_ptr : observers) {
+    const obs::TraceBuffer& trace = obs_ptr->trace();
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      const obs::TraceEvent& e = trace.at(i);
+      r.canonical_trace.emplace_back(e.time, static_cast<int>(e.kind),
+                                     e.container, e.node, e.before, e.after,
+                                     e.detail);
+    }
   }
   // Canonicalize: within one timestamp, order is a scheduling artifact of
   // how deliveries were grouped; across timestamps it is behavior.
   std::stable_sort(r.canonical_trace.begin(), r.canonical_trace.end());
   std::ostringstream raw;
-  trace.export_jsonl(raw);
+  if (plane && opt.shards > 1) {
+    plane->export_merged_trace(raw);
+  } else {
+    // Shard 0's buffer alone — at shards <= 1 this is the whole story and
+    // stays byte-comparable with the unsharded export.
+    observer.trace().export_jsonl(raw);
+  }
   r.raw_trace = raw.str();
   // The CSV is column-oriented (one header row, one value row). Drop the
   // wire-accounting columns — net.* and the batch coalescing counters are
@@ -289,13 +372,32 @@ CanonicalRun run_canonical(const CanonicalOptions& opt) {
     r.cpu_limits.push_back(c->cpu_cgroup().limit_cores());
     r.mem_limits.push_back(c->mem_cgroup().limit());
   }
-  r.checker_ok = checker.ok();
-  r.checker_report = checker.report();
-  r.retransmits = escra.controller().retransmits();
+  r.checker_ok = true;
+  for (const auto& c : checkers) {
+    if (!c->ok()) {
+      r.checker_ok = false;
+      r.checker_report += c->report();
+    }
+  }
+  if (shard_checker && !shard_checker->ok()) {
+    r.checker_ok = false;
+    r.checker_report += shard_checker->report();
+  }
+  if (r.checker_ok) r.checker_report = "ok";
+  if (bare) {
+    r.retransmits = bare->controller().retransmits();
+    r.failovers = ha ? ha->failovers() : 0;
+    r.registered = bare->controller().registered_count();
+  } else {
+    for (int s = 0; s < opt.shards; ++s) {
+      r.retransmits += plane->shard(s).controller().retransmits();
+      r.registered += plane->shard(s).controller().registered_count();
+    }
+    r.failovers = plane->ha_enabled() ? plane->ha(0).failovers() : 0;
+    r.borrow_grants = plane->borrows_granted();
+  }
   r.batched_rpcs = observer.h.batched_rpcs->value();
   r.batch_entries = observer.h.batch_entries->value();
-  r.failovers = ha ? ha->failovers() : 0;
-  r.registered = escra.controller().registered_count();
   return r;
 }
 
@@ -331,6 +433,55 @@ TEST(DifferentialTest, BothPathsAreReproducibleAndSoundUnderRpcLoss) {
     EXPECT_EQ(a.mem_limits, b.mem_limits);
     EXPECT_EQ(a.registered, 256u);
   }
+}
+
+// --- sharded vs single controller -----------------------------------------
+
+TEST(DifferentialTest, SingleShardPlaneMatchesBareController) {
+  const CanonicalRun bare = run_canonical({});
+  const CanonicalRun sharded = run_canonical({.shards = 1});
+
+  EXPECT_TRUE(bare.checker_ok) << bare.checker_report;
+  EXPECT_TRUE(sharded.checker_ok) << sharded.checker_report;
+  EXPECT_EQ(sharded.registered, 256u);
+  EXPECT_EQ(sharded.borrow_grants, 0u)
+      << "a single shard has nobody to borrow from";
+
+  // Byte-identical, not merely equivalent: same events, same instants, same
+  // values, same ids — the shard layer at N = 1 adds nothing.
+  EXPECT_EQ(bare.raw_trace, sharded.raw_trace);
+  EXPECT_EQ(bare.canonical_trace, sharded.canonical_trace);
+  EXPECT_EQ(bare.filtered_metrics, sharded.filtered_metrics);
+  EXPECT_EQ(bare.cpu_limits, sharded.cpu_limits);
+  EXPECT_EQ(bare.mem_limits, sharded.mem_limits);
+}
+
+TEST(DifferentialTest, MultiShardCanonicalRunsAreByteReproducible) {
+  const CanonicalOptions opt{.shards = 4, .apps = 32};
+  const CanonicalRun a = run_canonical(opt);
+  const CanonicalRun b = run_canonical(opt);
+
+  EXPECT_TRUE(a.checker_ok) << a.checker_report;
+  EXPECT_TRUE(b.checker_ok) << b.checker_report;
+  EXPECT_EQ(a.registered, 256u);
+  // The merged trace (all four shards, stable cross-shard order, re-assigned
+  // ids) is byte-identical across runs.
+  EXPECT_EQ(a.raw_trace, b.raw_trace);
+  EXPECT_EQ(a.cpu_limits, b.cpu_limits);
+  EXPECT_EQ(a.mem_limits, b.mem_limits);
+}
+
+TEST(DifferentialTest, MultiShardSurvivesShardLeaderFailover) {
+  const CanonicalOptions opt{.failover = true, .shards = 4, .apps = 32};
+  const CanonicalRun a = run_canonical(opt);
+  const CanonicalRun b = run_canonical(opt);
+
+  EXPECT_TRUE(a.checker_ok) << a.checker_report;
+  EXPECT_EQ(a.failovers, 1u);
+  EXPECT_EQ(a.registered, 256u) << "takeover must rebuild shard 0's registry";
+  EXPECT_EQ(a.raw_trace, b.raw_trace);
+  EXPECT_EQ(a.cpu_limits, b.cpu_limits);
+  EXPECT_EQ(a.mem_limits, b.mem_limits);
 }
 
 TEST(DifferentialTest, BothPathsSurviveLeaderFailoverMidBatch) {

@@ -6,14 +6,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
 
 #include "app/benchmarks.h"
+#include "check/shard_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
 #include "net/network.h"
 #include "obs/observer.h"
+#include "shard/sharded_control_plane.h"
 #include "sim/rng.h"
 #include "workload/load_generator.h"
 
@@ -55,6 +58,39 @@ bool has_rule(const InvariantChecker& checker, const std::string& rule) {
   }
   return false;
 }
+
+bool has_rule(const ShardInvariantChecker& checker, const std::string& rule) {
+  for (const Violation& v : checker.violations()) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+// Minimal sharded rig for the cross-shard conservation rules.
+struct ShardRig {
+  sim::Simulation sim;
+  net::Network net{sim};
+  cluster::Cluster k8s{sim};
+  std::optional<shard::ShardedControlPlane> plane;
+
+  ShardRig() {
+    for (int i = 0; i < 2; ++i) k8s.add_node({});
+    shard::ShardPlaneConfig pcfg;
+    pcfg.shards = 2;
+    plane.emplace(sim, net, k8s, 8.0, memcg::Bytes{4} * kGiB, pcfg);
+    for (int a = 0; a < 4; ++a) {
+      core::AppSpec spec;
+      spec.name = "app" + std::to_string(a);
+      for (int c = 0; c < 2; ++c) {
+        cluster::ContainerSpec cs;
+        cs.name = spec.name + "/c" + std::to_string(c);
+        spec.containers.push_back(std::move(cs));
+      }
+      plane->deploy(spec);
+    }
+    plane->start();
+  }
+};
 
 TEST(InvariantCheckerTest, CleanRunHasNoViolations) {
   Rig rig;
@@ -169,6 +205,44 @@ TEST(InvariantCheckerTest, PlantedViolationReplaysIdentically) {
   EXPECT_FALSE(first.empty());
   EXPECT_NE(first.rfind("invariants ok", 0), 0u);
   EXPECT_EQ(first, second);
+}
+
+// --- cross-shard conservation ---------------------------------------------
+
+TEST(ShardInvariantCheckerTest, CleanShardedRunHasNoViolations) {
+  ShardRig rig;
+  ShardInvariantChecker checker(*rig.plane);
+  rig.sim.run_until(seconds(3));
+  EXPECT_GT(checker.sweeps(), 0u);
+  EXPECT_TRUE(checker.ok()) << checker.report();
+  EXPECT_EQ(checker.report(), "ok");
+}
+
+TEST(ShardInvariantCheckerTest, CatchesUnledgeredSliceShrink) {
+  ShardRig rig;
+  ShardInvariantChecker checker(*rig.plane);
+  rig.sim.run_until(seconds(1));
+  // Shrink shard 0's memory slice without the borrow ledger knowing — the
+  // bytes vanish from the cluster pool. Eq. 2 withholds sigma = 20%, so one
+  // MiB is safely above the slice's allocated sum.
+  core::DistributedContainer& app = rig.plane->shard(0).app();
+  app.set_mem_limit(app.mem_limit() - memcg::Bytes{1} * kMiB);
+  checker.check_now();
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(has_rule(checker, "shard-mem-conservation")) << checker.report();
+}
+
+TEST(ShardInvariantCheckerTest, CatchesUnledgeredCpuRaise) {
+  ShardRig rig;
+  ShardInvariantChecker checker(*rig.plane);
+  rig.sim.run_until(seconds(1));
+  // A conjured core: shard 1's slice grows with no matching shrink or
+  // in-flight transfer anywhere.
+  core::DistributedContainer& app = rig.plane->shard(1).app();
+  app.set_cpu_limit(app.cpu_limit() + 1.0);
+  checker.check_now();
+  EXPECT_FALSE(checker.ok());
+  EXPECT_TRUE(has_rule(checker, "shard-cpu-conservation")) << checker.report();
 }
 
 }  // namespace

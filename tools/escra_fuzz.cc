@@ -53,6 +53,26 @@
 //                         with --fault-profile, --standbys/--leader-churn
 //                         (credit balances must survive takeover), and any
 //                         --jobs count byte-identically.
+//     --shards N          run every scenario through a sharded control
+//                         plane (shard::ShardedControlPlane, N shards)
+//                         instead of per-tenant EscraSystems: each tenant
+//                         plan becomes an application routed to its shard
+//                         by consistent hashing, every shard gets its own
+//                         observer and InvariantChecker, and the
+//                         cross-shard conservation checker
+//                         (check::ShardInvariantChecker) sweeps the
+//                         borrow protocol's pool identity through the
+//                         whole run. The scenario draws are untouched, so
+//                         a seed's scenario is identical with and without
+//                         this flag. Composes with --fault-profile,
+//                         --standbys/--leader-churn (per-shard warm
+//                         standbys; shard 0 takes the faults), --legacy-rpc,
+//                         and any --jobs count byte-identically; --bw and
+//                         --greedy are per-tenant overlays and are
+//                         rejected. With N >= 2 the sweep is additionally
+//                         non-vacuous: at least one cross-shard borrow
+//                         grant must land across the whole sweep or the
+//                         exit status is 1.
 //     --legacy-rpc        run every tenant with batch_limit_updates=false —
 //                         the legacy one-RPC-per-update wire path instead
 //                         of the coalesced per-node batches. The scenario
@@ -104,12 +124,14 @@
 #include "adv/greedy.h"
 #include "bw/shaper.h"
 #include "check/invariant_checker.h"
+#include "check/shard_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
 #include "fault/fault_injector.h"
 #include "ha/ha_control_plane.h"
 #include "net/network.h"
 #include "obs/observer.h"
+#include "shard/sharded_control_plane.h"
 #include "sim/rng.h"
 #include "sweep/runner.h"
 
@@ -128,6 +150,7 @@ struct Options {
   bool leader_churn = false;
   bool bw = false;
   bool greedy = false;
+  int shards = 0;
   bool legacy_rpc = false;
   bool force_overgrant = false;
   bool rss_check = false;
@@ -140,7 +163,7 @@ void usage() {
                "                  [--trace-tail N] [--repro-out FILE]\n"
                "                  [--fault-profile] [--standbys N]\n"
                "                  [--leader-churn] [--bw] [--greedy]\n"
-               "                  [--legacy-rpc]\n"
+               "                  [--shards N] [--legacy-rpc]\n"
                "                  [--force-overgrant] [--rss-check] [--quiet]\n");
 }
 
@@ -191,6 +214,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.bw = true;
     } else if (flag == "--greedy") {
       opts.greedy = true;
+    } else if (flag == "--shards") {
+      opts.shards = static_cast<int>(parse_u64(flag, next()));
     } else if (flag == "--legacy-rpc") {
       opts.legacy_rpc = true;
     } else if (flag == "--force-overgrant") {
@@ -253,6 +278,9 @@ struct Scenario {
   // Adversarial overlay on tenant 0 (set from --greedy; like --bw, its
   // draws come from a dedicated rng stream, never from the scenario rng).
   bool greedy = false;
+  // Sharded control plane with this many shards (set from --shards, not
+  // drawn: only the control-plane topology changes, never the scenario).
+  int shards = 0;
   // Legacy one-RPC-per-update wire path (set from --legacy-rpc, not drawn:
   // only the transport changes, never the scenario).
   bool legacy_rpc = false;
@@ -335,6 +363,8 @@ std::string to_json(const Scenario& s) {
                         : "\"leader_churn\": false";
   out += s.bw ? ", \"bw\": true" : ", \"bw\": false";
   out += s.greedy ? ", \"greedy\": true" : ", \"greedy\": false";
+  std::snprintf(buf, sizeof(buf), ", \"shards\": %d", s.shards);
+  out += buf;
   out += s.legacy_rpc ? ", \"legacy_rpc\": true" : ", \"legacy_rpc\": false";
   out += ",\n  \"tenants\": [";
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
@@ -493,6 +523,8 @@ struct RunOutcome {
   // --greedy non-vacuity accounting, summed across the sweep in main().
   std::uint64_t greedy_attacks = 0;   // forged reports + phantom OOM events
   std::uint64_t credit_charges = 0;
+  // --shards non-vacuity accounting: cross-shard borrow grants this run.
+  std::uint64_t borrow_grants = 0;
   std::string report;
   // Full diagnostic text for a violation (report, scenario JSON, trace
   // tail, replay line), buffered so parallel runs never interleave output:
@@ -521,8 +553,193 @@ std::string trace_tail_to_string(const obs::TraceBuffer& trace,
   return out;
 }
 
+// Sharded execution (--shards N): the same scenario — same cluster, same
+// container plans, same workload rng draws in the same order — but the
+// per-tenant EscraSystems are replaced by one shard::ShardedControlPlane
+// over the summed tenant pools, with each tenant plan managed as one
+// application ("t0", "t1", ...) routed to its shard by consistent hashing.
+// Every shard gets its own Observer + InvariantChecker (network counter
+// rules stay dormant: net metrics are global, not per shard) and the
+// cross-shard conservation checker sweeps the borrow protocol's pool
+// identity through the whole run. Tenant-level Escra tunables collapse to
+// tenant 0's config: the plane runs one EscraConfig for all shards.
+RunOutcome run_sharded_scenario(const Scenario& s, bool force_overgrant,
+                                std::size_t trace_tail) {
+  sim::Rng root(s.seed ^ 0x9e3779b97f4a7c15ULL);  // workload stream
+  sim::Simulation simulation;
+  net::Network network(simulation);
+  cluster::Cluster k8s(simulation);
+  for (int n = 0; n < s.nodes; ++n) {
+    k8s.add_node(cluster::NodeConfig{.cores = s.cores_per_node});
+  }
+  if (s.loss_rate > 0.0) network.set_loss(s.loss_rate, root.fork());
+
+  double total_cpu = 0.0;
+  memcg::Bytes total_mem = 0;
+  for (const TenantPlan& tp : s.tenants) {
+    total_cpu += tp.global_cpu;
+    total_mem += tp.global_mem;
+  }
+
+  shard::ShardPlaneConfig pcfg;
+  pcfg.shards = s.shards;
+  pcfg.escra = s.tenants.front().cfg;
+  if (s.legacy_rpc) pcfg.escra.batch_limit_updates = false;
+
+  // Observers are declared before the plane (they must outlive it) and
+  // attached before manage() so registration events land in the trace.
+  std::vector<std::unique_ptr<obs::Observer>> observers;
+  for (int sh = 0; sh < s.shards; ++sh) {
+    observers.push_back(std::make_unique<obs::Observer>());
+  }
+  shard::ShardedControlPlane plane(simulation, network, k8s, total_cpu,
+                                   total_mem, pcfg);
+  for (int sh = 0; sh < s.shards; ++sh) {
+    plane.attach_observer(sh, *observers[sh]);
+  }
+
+  const sim::TimePoint end = sim::seconds_f(s.duration_s);
+  for (std::size_t t = 0; t < s.tenants.size(); ++t) {
+    const TenantPlan& tp = s.tenants[t];
+    std::vector<cluster::Container*> members;
+    for (std::size_t c = 0; c < tp.containers.size(); ++c) {
+      const ContainerPlan& cp = tp.containers[c];
+      cluster::ContainerSpec spec;
+      spec.name = "t" + std::to_string(t) + "-c" + std::to_string(c);
+      spec.max_parallelism = cp.parallelism;
+      spec.base_memory = cp.base_mem;
+      spec.startup_cpu = sim::milliseconds(cp.startup_cpu_ms);
+      cluster::Container& container =
+          k8s.create_container(spec, 1.0, 256 * memcg::kMiB);
+      members.push_back(&container);
+      auto rng = std::make_shared<sim::Rng>(root.fork());
+      schedule_arrivals(simulation, container, cp, rng, end);
+      schedule_resident_spikes(simulation, container, cp,
+                               std::make_shared<sim::Rng>(root.fork()), end);
+    }
+    const std::string app = "t" + std::to_string(t);
+    plane.manage(app, members);
+
+    if (tp.late_joiner) {
+      // Mid-run pod, adopted by re-managing the same application: the
+      // router pins the app to its shard, so the late joiner lands on the
+      // owning shard's controller (the adopt path), exactly as the
+      // Container Watcher would deliver it.
+      shard::ShardedControlPlane* plane_ptr = &plane;
+      cluster::Cluster* cluster = &k8s;
+      sim::Simulation* sim_ptr = &simulation;
+      const std::string name = app + "-late";
+      ContainerPlan cp = tp.containers.front();
+      auto rng = std::make_shared<sim::Rng>(root.fork());
+      simulation.schedule_at(
+          end / 2, [plane_ptr, cluster, sim_ptr, app, name, cp, rng, end] {
+            cluster::ContainerSpec spec;
+            spec.name = name;
+            spec.max_parallelism = cp.parallelism;
+            spec.base_memory = cp.base_mem;
+            cluster::Container& late =
+                cluster->create_container(spec, 0.5, 128 * memcg::kMiB);
+            plane_ptr->manage(app, {&late});
+            schedule_arrivals(*sim_ptr, late, cp, rng, end);
+          });
+    }
+  }
+
+  plane.start();
+
+  // Per-shard invariant checkers (pool conservation, limit floors,
+  // counter<->trace consistency within each shard) plus the plane-level
+  // cross-shard conservation sweep. Constructed after start() like the
+  // unsharded path; destroyed before the plane and observers.
+  std::vector<std::unique_ptr<check::InvariantChecker>> checkers;
+  for (int sh = 0; sh < s.shards; ++sh) {
+    checkers.push_back(std::make_unique<check::InvariantChecker>(
+        plane.shard(sh), network, *observers[sh]));
+  }
+  check::ShardInvariantChecker shard_checker(plane);
+
+  // Per-shard warm standbys on disjoint endpoint bands (after start(): the
+  // bootstrap snapshots then cover every registered container).
+  if (s.standbys > 0) plane.enable_ha(s.standbys);
+
+  // Fault overlay: same dedicated rng streams as the unsharded path.
+  // Partitions act network-wide; crash faults target shard 0's control
+  // plane — the borrow protocol must hold conservation through them.
+  std::optional<fault::FaultInjector> injector;
+  if (s.fault_profile) {
+    network.set_fault_rng(sim::Rng(s.seed ^ 0x5eedf417c0deULL));
+    injector.emplace(simulation, network, plane.shard(0));
+    sim::Rng fault_rng(s.seed ^ 0xfa017a5c4ed01eULL);
+    injector->schedule_random(fault_rng, end,
+                              s.leader_churn
+                                  ? fault::FaultInjector::leader_churn_profile()
+                                  : fault::FaultInjector::Profile{},
+                              s.nodes);
+  }
+
+  if (force_overgrant) {
+    // Planted violation: a cgroup limit past the whole cluster pool, so
+    // some shard's checker must flag it no matter which slice owns the
+    // container.
+    shard::ShardedControlPlane* plane_ptr = &plane;
+    cluster::Cluster* cluster = &k8s;
+    simulation.schedule_at(
+        end / 2 + sim::milliseconds(50), [plane_ptr, cluster] {
+          cluster::Container* victim = cluster->containers().front();
+          victim->cpu_cgroup().set_limit_cores(
+              plane_ptr->cluster_cpu_limit() * 2.0 + 4.0);
+        });
+  }
+
+  simulation.run_until(end);
+
+  RunOutcome outcome;
+  outcome.borrow_grants = plane.borrows_granted();
+  for (int sh = 0; sh < s.shards; ++sh) {
+    checkers[sh]->check_now();
+    outcome.events += checkers[sh]->events_checked();
+    outcome.sweeps += checkers[sh]->sweeps();
+    if (!checkers[sh]->ok()) {
+      outcome.violated = true;
+      outcome.report += checkers[sh]->report();
+    }
+  }
+  shard_checker.check_now();
+  outcome.sweeps += shard_checker.sweeps();
+  if (!shard_checker.ok()) {
+    outcome.violated = true;
+    outcome.report += shard_checker.report();
+  }
+  if (outcome.violated) {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf), "seed %" PRIu64 ": INVARIANT VIOLATION\n",
+                  s.seed);
+    outcome.failure_text = buf;
+    outcome.failure_text += outcome.report;
+    outcome.failure_text += "scenario config:\n";
+    outcome.failure_text += to_json(s);
+    outcome.failure_text +=
+        trace_tail_to_string(observers.front()->trace(), trace_tail);
+    char standby_flags[48] = "";
+    if (s.standbys > 0) {
+      std::snprintf(standby_flags, sizeof(standby_flags), " --standbys %d%s",
+                    s.standbys, s.leader_churn ? " --leader-churn" : "");
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "replay: escra-fuzz --seed %" PRIu64
+                  " --runs 1 --shards %d%s%s%s%s\n",
+                  s.seed, s.shards,
+                  s.fault_profile && !s.leader_churn ? " --fault-profile" : "",
+                  standby_flags, s.legacy_rpc ? " --legacy-rpc" : "",
+                  force_overgrant ? " --force-overgrant" : "");
+    outcome.failure_text += buf;
+  }
+  return outcome;
+}
+
 RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
                         std::size_t trace_tail) {
+  if (s.shards > 0) return run_sharded_scenario(s, force_overgrant, trace_tail);
   sim::Rng root(s.seed ^ 0x9e3779b97f4a7c15ULL);  // workload stream
   sim::Simulation simulation;
   net::Network network(simulation);
@@ -804,6 +1021,14 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  if (opts.shards > 0 && (opts.bw || opts.greedy)) {
+    std::fprintf(stderr,
+                 "error: --shards composes with --fault-profile, --standbys/"
+                 "--leader-churn, and --legacy-rpc; --bw and --greedy are "
+                 "per-tenant overlays and are not supported under sharding\n");
+    return 2;
+  }
+
   if (!opts.repro_out.empty()) {
     // The first run's scenario is written up front (generation is a pure
     // function of the seed, so no need to wait for the run itself).
@@ -813,6 +1038,7 @@ int main(int argc, char** argv) {
     scenario.leader_churn = opts.leader_churn;
     scenario.bw = opts.bw;
     scenario.greedy = opts.greedy;
+    scenario.shards = opts.shards;
     scenario.legacy_rpc = opts.legacy_rpc;
     std::ofstream out(opts.repro_out);
     if (!out) {
@@ -840,6 +1066,7 @@ int main(int argc, char** argv) {
         scenario.leader_churn = opts.leader_churn;
         scenario.bw = opts.bw;
         scenario.greedy = opts.greedy;
+        scenario.shards = opts.shards;
         scenario.legacy_rpc = opts.legacy_rpc;
         RunOutcome outcome =
             run_scenario(scenario, opts.force_overgrant, opts.trace_tail);
@@ -856,6 +1083,7 @@ int main(int argc, char** argv) {
   std::uint64_t total_sweeps = 0;
   std::uint64_t total_attacks = 0;
   std::uint64_t total_charges = 0;
+  std::uint64_t total_grants = 0;
   bool wrote_violation_repro = false;
   for (std::uint64_t i = 0; i < opts.runs; ++i) {
     const RunOutcome& outcome = outcomes[i];
@@ -863,6 +1091,7 @@ int main(int argc, char** argv) {
     total_sweeps += outcome.sweeps;
     total_attacks += outcome.greedy_attacks;
     total_charges += outcome.credit_charges;
+    total_grants += outcome.borrow_grants;
     if (outcome.violated) {
       ++violations;
       std::fputs(outcome.failure_text.c_str(), stderr);
@@ -877,6 +1106,7 @@ int main(int argc, char** argv) {
           scenario.leader_churn = opts.leader_churn;
           scenario.bw = opts.bw;
           scenario.greedy = opts.greedy;
+          scenario.shards = opts.shards;
           scenario.legacy_rpc = opts.legacy_rpc;
           out << to_json(scenario);
           wrote_violation_repro = true;
@@ -908,6 +1138,23 @@ int main(int argc, char** argv) {
                    "escra-fuzz: VACUOUS GREEDY SWEEP (%" PRIu64
                    " attacks, %" PRIu64 " charges)\n",
                    total_attacks, total_charges);
+      return 1;
+    }
+  }
+
+  if (opts.shards > 0) {
+    // Non-vacuity (N >= 2): a sweep where no shard ever ran dry enough to
+    // borrow, or no lender ever granted, proves nothing about the borrow
+    // protocol's conservation story — fail loudly rather than report a
+    // hollow pass. (Scenarios draw at most 2 tenants, so with N >= 2 at
+    // least one shard hosts no app and sits on a fully lendable slice
+    // while the app-hosting shards start fully allocated.)
+    std::printf("escra-fuzz: shard overlay: %d shard(s), %" PRIu64
+                " cross-shard borrow grant(s)\n",
+                opts.shards, total_grants);
+    if (opts.shards >= 2 && total_grants == 0) {
+      std::fprintf(stderr, "escra-fuzz: VACUOUS SHARD SWEEP (0 borrow "
+                           "grants across all runs)\n");
       return 1;
     }
   }

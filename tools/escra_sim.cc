@@ -30,6 +30,21 @@
 //     --leader-kill T                      kill the controller permanently
 //                                          at T s — a standby takes over
 //                                          (requires --standbys >= 1)
+//     --shards N                           run the control plane as N
+//                                          controller shards (escra policy
+//                                          only): each service is deployed
+//                                          as its own application, routed to
+//                                          a shard by consistent hashing,
+//                                          and the shards trade pool
+//                                          headroom over the borrow
+//                                          protocol. --trace-out then emits
+//                                          the merged per-shard trace
+//                                          (events stamped with their
+//                                          owning shard; escra-trace
+//                                          --shard ID filters it),
+//                                          --standbys arms per-shard warm
+//                                          standbys, and the fault flags
+//                                          target shard 0's control plane
 //
 // Loads the application (services, edges, Distributed Container limits, and
 // Escra tunables) from the YAML file, deploys it on a simulated cluster
@@ -39,10 +54,12 @@
 // policies run through the experiment harness, which profiles the
 // application first the way an operator would.
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <stdexcept>
 #include <optional>
 #include <string>
@@ -57,6 +74,7 @@
 #include "ha/ha_control_plane.h"
 #include "net/network.h"
 #include "obs/observer.h"
+#include "shard/sharded_control_plane.h"
 #include "sim/rng.h"
 #include "sim/stats.h"
 #include "workload/load_generator.h"
@@ -100,6 +118,7 @@ struct Options {
   std::vector<AgentCrashSpec> agent_crashes;
   int standbys = 0;           // --standbys: warm-standby controller pool size
   double leader_kill_s = -1.0;  // --leader-kill: permanent kill time (s)
+  int shards = 0;             // --shards: sharded control plane (0 = single)
 
   bool has_faults() const {
     return rpc_loss > 0.0 || !partitions.empty() || !agent_crashes.empty() ||
@@ -117,7 +136,7 @@ void usage() {
                "                 [--metrics-out PATH] [--trace-out PATH]\n"
                "                 [--rpc-loss R] [--partition NODE:START:DUR]\n"
                "                 [--agent-crash NODE:T] [--standbys N]\n"
-               "                 [--leader-kill T]\n"
+               "                 [--leader-kill T] [--shards N]\n"
                "(--rate, --csv, --metrics-out, --trace-out and the fault "
                "flags apply to the default escra policy run only;\n"
                " --partition/--agent-crash are repeatable, times in seconds; "
@@ -252,6 +271,11 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if (opts.leader_kill_s < 0.0) {
         throw std::runtime_error("--leader-kill expects T >= 0");
       }
+    } else if (flag == "--shards") {
+      opts.shards = static_cast<int>(parse_u64(flag, next()));
+      if (opts.shards < 1) {
+        throw std::runtime_error("--shards expects N >= 1");
+      }
     } else {
       throw std::runtime_error("unknown flag " + flag);
     }
@@ -320,10 +344,10 @@ int main(int argc, char** argv) {
               opts.workload.c_str(), opts.policy.c_str(), opts.duration_s);
 
   if (opts.policy != "escra") {
-    if (opts.has_faults() || opts.standbys > 0) {
+    if (opts.has_faults() || opts.standbys > 0 || opts.shards > 0) {
       std::fprintf(stderr,
                    "error: --rpc-loss/--partition/--agent-crash/--standbys/"
-                   "--leader-kill require the escra policy\n");
+                   "--leader-kill/--shards require the escra policy\n");
       return 2;
     }
     // Baseline runs go through the experiment harness (which profiles the
@@ -390,17 +414,42 @@ int main(int argc, char** argv) {
   app::Application application(k8s, app_config.graph, root.fork(),
                                /*initial_cores=*/1.0,
                                /*initial_mem=*/512 * memcg::kMiB);
-  core::EscraSystem escra(simulation, network, k8s,
-                          app_config.global_cpu_cores, app_config.global_mem,
-                          app_config.escra);
+  // Single controller (shards == 0) or a sharded control plane: exactly one
+  // of the two is built. Per-shard observers are declared before the plane
+  // (they must outlive it).
+  std::vector<std::unique_ptr<obs::Observer>> shard_observers;
+  std::optional<core::EscraSystem> escra_opt;
+  std::optional<shard::ShardedControlPlane> plane;
+  if (opts.shards > 0) {
+    shard::ShardPlaneConfig pcfg;
+    pcfg.shards = opts.shards;
+    pcfg.escra = app_config.escra;
+    plane.emplace(simulation, network, k8s, app_config.global_cpu_cores,
+                  app_config.global_mem, pcfg);
+  } else {
+    escra_opt.emplace(simulation, network, k8s, app_config.global_cpu_cores,
+                      app_config.global_mem, app_config.escra);
+  }
   // Control-plane observability is opt-in: without the flags nothing is
-  // attached and the run is hook-free.
+  // attached and the run is hook-free. Sharded runs attach one observer per
+  // shard (the merged-trace sources); the metrics snapshots and network
+  // counters land on shard 0's registry.
   std::optional<obs::Observer> observer;
   if (!opts.metrics_path.empty() || !opts.trace_path_out.empty()) {
-    observer.emplace();
-    escra.attach_observer(*observer);
-    network.attach_metrics(observer->metrics());
-    observer->metrics().start_periodic_snapshots(simulation, sim::kSecond);
+    if (plane.has_value()) {
+      for (int s = 0; s < opts.shards; ++s) {
+        shard_observers.push_back(std::make_unique<obs::Observer>());
+        plane->attach_observer(s, *shard_observers.back());
+      }
+      network.attach_metrics(shard_observers.front()->metrics());
+      shard_observers.front()->metrics().start_periodic_snapshots(simulation,
+                                                                  sim::kSecond);
+    } else {
+      observer.emplace();
+      escra_opt->attach_observer(*observer);
+      network.attach_metrics(observer->metrics());
+      observer->metrics().start_periodic_snapshots(simulation, sim::kSecond);
+    }
   }
 
   if (opts.leader_kill_s >= 0.0 && opts.standbys < 1) {
@@ -410,20 +459,46 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  escra.manage(application.containers());
-  escra.start();
+  if (plane.has_value()) {
+    // Each service is its own application: the router pins it to one shard,
+    // so app-level aggregate limits never straddle shards.
+    const auto& services = app_config.graph.services;
+    for (std::size_t s = 0; s < services.size(); ++s) {
+      plane->manage(services[s].name, application.service_containers(s));
+    }
+    plane->start();
+    std::vector<int> apps_per_shard(static_cast<std::size_t>(opts.shards), 0);
+    for (const auto& svc : services) {
+      ++apps_per_shard[static_cast<std::size_t>(
+          plane->shard_of_app(svc.name))];
+    }
+    std::printf("shards: %d controller shard(s); services per shard:",
+                opts.shards);
+    for (int n : apps_per_shard) std::printf(" %d", n);
+    std::printf("\n");
+  } else {
+    escra_opt->manage(application.containers());
+    escra_opt->start();
+  }
 
   // Warm-standby replicated controller: constructed after manage() so the
   // bootstrap snapshot covers every registered container, destroyed before
-  // the system (it detaches its replication hook).
+  // the system (it detaches its replication hook). Sharded runs arm one
+  // standby group per shard on disjoint endpoint bands.
   std::optional<ha::HaControlPlane> ha;
   if (opts.standbys > 0) {
     ha::HaConfig ha_cfg;
     ha_cfg.standbys = opts.standbys;
-    ha.emplace(escra, network, ha_cfg);
-    ha->start();
-    std::printf("ha: %d warm standby(ies), lease %.0f ms\n", opts.standbys,
-                sim::to_seconds(ha_cfg.lease_timeout) * 1e3);
+    if (plane.has_value()) {
+      plane->enable_ha(opts.standbys, ha_cfg);
+      std::printf("ha: %d warm standby(ies) per shard, lease %.0f ms\n",
+                  opts.standbys, sim::to_seconds(ha_cfg.lease_timeout) * 1e3);
+    } else {
+      ha.emplace(*escra_opt, network, ha_cfg);
+      ha->start();
+      std::printf("ha: %d warm standby(ies), lease %.0f ms\n", opts.standbys,
+                  sim::to_seconds(ha_cfg.lease_timeout) * 1e3);
+    }
   }
 
   // Scripted fault injection (escra policy only). The fault RNG is forked
@@ -451,7 +526,8 @@ int main(int argc, char** argv) {
     } else {
       network.set_fault_rng(fault_net_rng);
     }
-    injector.emplace(simulation, network, escra);
+    injector.emplace(simulation, network,
+                     plane.has_value() ? plane->shard(0) : *escra_opt);
     for (const auto& p : opts.partitions) {
       injector->inject_partition(p.node, sim::seconds_f(p.start_s),
                                  sim::seconds_f(p.duration_s));
@@ -535,13 +611,40 @@ int main(int argc, char** argv) {
               cpu_slack.percentile(50), cpu_slack.percentile(99));
   std::printf("  mem slack      p50 %.1f  p99 %.1f MiB\n",
               mem_slack_mib.percentile(50), mem_slack_mib.percentile(99));
+  std::uint64_t ctrl_stats = 0, ctrl_updates = 0, ctrl_ooms = 0,
+                ctrl_rescues = 0, ctrl_retransmits = 0, ctrl_resyncs = 0;
+  const auto sum_controller = [&](const core::Controller& c) {
+    ctrl_stats += c.stats_received();
+    ctrl_updates += c.limit_updates_sent();
+    ctrl_ooms += c.oom_events();
+    ctrl_rescues += c.oom_rescues();
+    ctrl_retransmits += c.retransmits();
+    ctrl_resyncs += c.resyncs();
+  };
+  if (plane.has_value()) {
+    for (int s = 0; s < opts.shards; ++s) {
+      sum_controller(plane->shard(s).controller());
+    }
+  } else {
+    sum_controller(escra_opt->controller());
+  }
   std::printf("  controller     %llu stats, %llu limit updates, "
               "%llu oom events, %llu rescues\n",
-              static_cast<unsigned long long>(escra.controller().stats_received()),
-              static_cast<unsigned long long>(
-                  escra.controller().limit_updates_sent()),
-              static_cast<unsigned long long>(escra.controller().oom_events()),
-              static_cast<unsigned long long>(escra.controller().oom_rescues()));
+              static_cast<unsigned long long>(ctrl_stats),
+              static_cast<unsigned long long>(ctrl_updates),
+              static_cast<unsigned long long>(ctrl_ooms),
+              static_cast<unsigned long long>(ctrl_rescues));
+  if (plane.has_value()) {
+    std::printf("  shards         %llu advert(s), %llu borrow(s) requested, "
+                "%llu granted, %llu returned, %llu retransmit(s), "
+                "%llu pool resize(s)\n",
+                static_cast<unsigned long long>(plane->adverts_sent()),
+                static_cast<unsigned long long>(plane->borrows_requested()),
+                static_cast<unsigned long long>(plane->borrows_granted()),
+                static_cast<unsigned long long>(plane->borrows_returned()),
+                static_cast<unsigned long long>(plane->borrow_retransmits()),
+                static_cast<unsigned long long>(plane->pool_resizes()));
+  }
   std::printf("  network        peak %.2f Mbps, mean %.2f Mbps\n",
               network.peak_mbps(), network.mean_mbps());
   if (injector.has_value()) {
@@ -549,9 +652,8 @@ int main(int argc, char** argv) {
                 "%llu retransmits, %llu resyncs\n",
                 static_cast<unsigned long long>(injector->injected()),
                 static_cast<unsigned long long>(injector->cleared()),
-                static_cast<unsigned long long>(
-                    escra.controller().retransmits()),
-                static_cast<unsigned long long>(escra.controller().resyncs()));
+                static_cast<unsigned long long>(ctrl_retransmits),
+                static_cast<unsigned long long>(ctrl_resyncs));
   }
   if (ha.has_value()) {
     std::printf("  ha             epoch %llu, %llu failover(s), "
@@ -560,6 +662,20 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(ha->failovers()),
                 static_cast<unsigned long long>(ha->wal_appends()),
                 ha->standby_count());
+  } else if (plane.has_value() && plane->ha_enabled()) {
+    std::uint64_t failovers = 0, wal_appends = 0, max_epoch = 0;
+    int standbys_warm = 0;
+    for (int s = 0; s < opts.shards; ++s) {
+      failovers += plane->ha(s).failovers();
+      wal_appends += plane->ha(s).wal_appends();
+      max_epoch = std::max<std::uint64_t>(max_epoch, plane->ha(s).epoch());
+      standbys_warm += plane->ha(s).standby_count();
+    }
+    std::printf("  ha             max epoch %llu, %llu failover(s), "
+                "%llu WAL appends, %d standby(ies) warm across shards\n",
+                static_cast<unsigned long long>(max_epoch),
+                static_cast<unsigned long long>(failovers),
+                static_cast<unsigned long long>(wal_appends), standbys_warm);
   }
   if (!opts.csv_path.empty()) {
     std::printf("  time series    %s\n", opts.csv_path.c_str());
@@ -591,6 +707,38 @@ int main(int argc, char** argv) {
                   opts.trace_path_out.c_str(),
                   static_cast<unsigned long long>(observer->trace().recorded()),
                   static_cast<unsigned long long>(observer->trace().evicted()));
+    }
+  } else if (!shard_observers.empty()) {
+    if (!opts.metrics_path.empty()) {
+      // Control-plane metrics registries are per shard; the CSV carries
+      // shard 0's (which also holds the global network counters).
+      std::ofstream out(opts.metrics_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opts.metrics_path.c_str());
+        return 1;
+      }
+      shard_observers.front()->metrics().export_csv(out, simulation.now());
+      std::printf("  metrics        %s (shard 0)\n", opts.metrics_path.c_str());
+    }
+    if (!opts.trace_path_out.empty()) {
+      std::ofstream out(opts.trace_path_out);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n",
+                     opts.trace_path_out.c_str());
+        return 1;
+      }
+      plane->export_merged_trace(out);
+      std::uint64_t recorded = 0, evicted = 0;
+      for (const auto& obs : shard_observers) {
+        recorded += obs->trace().recorded();
+        evicted += obs->trace().evicted();
+      }
+      std::printf("  trace          %s (%llu events, %llu evicted, "
+                  "%d shards merged)\n",
+                  opts.trace_path_out.c_str(),
+                  static_cast<unsigned long long>(recorded),
+                  static_cast<unsigned long long>(evicted), opts.shards);
     }
   }
   return 0;

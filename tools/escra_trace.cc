@@ -13,6 +13,11 @@
 //                                             charges/refunds, rejected
 //                                             telemetry, throttle streaks,
 //                                             and the windows spent in debt
+//   escra-trace <trace.jsonl> --shard ID      one shard of a merged
+//                                             multi-shard export: events by
+//                                             kind, borrow traffic per peer,
+//                                             pool-resize trajectory, and
+//                                             the shard-protocol timeline
 //
 // The trace answers "why did container X get limit Y": a throttled CFS
 // period opens a chain ThrottleObserved -> CpuGrant -> RpcIssued ->
@@ -36,7 +41,21 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: escra-trace <trace.jsonl> [--container ID | --chain "
-               "EVENT_ID | --tenant ID]\n");
+               "EVENT_ID | --tenant ID | --shard ID]\n");
+}
+
+// Borrow-protocol events carry the resource flag in `before` (0 = CPU,
+// 1 = memory, 2 = bandwidth) and the amount in `after`, in that resource's
+// natural unit.
+void format_resource_amount(double resource, double amount, char* buf,
+                            std::size_t len) {
+  if (resource == 0.0) {
+    std::snprintf(buf, len, "%.3f cores", amount);
+  } else if (resource == 1.0) {
+    std::snprintf(buf, len, "%.1f MiB", amount / (1024.0 * 1024.0));
+  } else {
+    std::snprintf(buf, len, "%.1f MB/s", amount / 1e6);
+  }
 }
 
 // "cores" for CPU events, MiB for memory events — matches TraceEvent's
@@ -130,11 +149,37 @@ void format_limits(const obs::TraceEvent& ev, char* buf, std::size_t len) {
       std::snprintf(buf, len, "%.3f -> %.3f cores (streak %lld)", ev.before,
                     ev.after, static_cast<long long>(ev.detail));
       break;
+    case obs::EventKind::kShardAdvertise:
+      // before = CPU surplus cores, after = memory surplus bytes, detail =
+      // bandwidth surplus bytes/s.
+      std::snprintf(buf, len, "surplus %.3f cores, %.1f MiB", ev.before,
+                    ev.after / (1024.0 * 1024.0));
+      break;
+    case obs::EventKind::kBorrowRequest:
+    case obs::EventKind::kBorrowGrant:
+    case obs::EventKind::kBorrowReturn: {
+      // detail packs (peer shard << 48) | per-pair sequence.
+      char amount[32];
+      format_resource_amount(ev.before, ev.after, amount, sizeof amount);
+      std::snprintf(buf, len, "%s peer s%lld seq %lld", amount,
+                    static_cast<long long>(ev.detail >> 48),
+                    static_cast<long long>(ev.detail & 0xffffffffffffLL));
+      break;
+    }
+    case obs::EventKind::kShardPoolResize: {
+      char before_s[32], after_s[32];
+      format_resource_amount(static_cast<double>(ev.detail), ev.before,
+                             before_s, sizeof before_s);
+      format_resource_amount(static_cast<double>(ev.detail), ev.after,
+                             after_s, sizeof after_s);
+      std::snprintf(buf, len, "pool %s -> %s", before_s, after_s);
+      break;
+    }
   }
 }
 
 void print_event(const obs::TraceEvent& ev) {
-  char limits[64];
+  char limits[96];
   format_limits(ev, limits, sizeof limits);
   std::printf("  #%-6llu %12.6fs  %-20s c%-4u n%-3u %-26s cause=#%llu\n",
               static_cast<unsigned long long>(ev.id),
@@ -451,6 +496,118 @@ int run_tenant(const obs::TraceBuffer& trace, std::uint32_t container) {
   return 0;
 }
 
+// One shard of a merged multi-shard export (obs::export_merged_jsonl stamps
+// every event with its recording shard + 1). Summarises the shard's decision
+// activity, its borrow-protocol traffic per peer, and the pool-slice
+// trajectory, then prints the shard-protocol timeline (adverts elided — at
+// one broadcast per 500ms they would drown the borrows they exist to
+// enable).
+int run_shard(const obs::TraceBuffer& trace, std::uint32_t shard) {
+  const std::uint32_t want = shard + 1;  // TraceEvent::shard is index + 1
+  std::map<std::uint32_t, std::uint64_t> shards_seen;
+  std::map<std::string, std::uint64_t> by_kind;
+  // Borrow traffic per peer shard: [requests, grants, returns] counts and
+  // the CPU/memory amounts moved.
+  struct PeerTraffic {
+    std::uint64_t requests = 0, grants = 0, returns = 0;
+    double cpu_cores = 0.0;
+    double mem_bytes = 0.0;
+  };
+  std::map<std::uint32_t, PeerTraffic> peers;
+  std::uint64_t adverts = 0;
+  std::uint64_t matched = 0;
+  // Pool trajectory per resource (0 = CPU, 1 = mem, 2 = bw).
+  double pool_first[3] = {0, 0, 0};
+  double pool_last[3] = {0, 0, 0};
+  bool pool_seen[3] = {false, false, false};
+  std::vector<const obs::TraceEvent*> timeline;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const obs::TraceEvent& ev = trace.at(i);
+    if (ev.shard != 0) ++shards_seen[ev.shard - 1];
+    if (ev.shard != want) continue;
+    ++matched;
+    ++by_kind[obs::event_kind_name(ev.kind)];
+    switch (ev.kind) {
+      case obs::EventKind::kShardAdvertise: ++adverts; break;
+      case obs::EventKind::kBorrowRequest:
+      case obs::EventKind::kBorrowGrant:
+      case obs::EventKind::kBorrowReturn: {
+        PeerTraffic& p = peers[static_cast<std::uint32_t>(ev.detail >> 48)];
+        if (ev.kind == obs::EventKind::kBorrowRequest) ++p.requests;
+        if (ev.kind == obs::EventKind::kBorrowGrant) ++p.grants;
+        if (ev.kind == obs::EventKind::kBorrowReturn) ++p.returns;
+        if (ev.before == 0.0) p.cpu_cores += ev.after;
+        if (ev.before == 1.0) p.mem_bytes += ev.after;
+        timeline.push_back(&ev);
+        break;
+      }
+      case obs::EventKind::kShardPoolResize: {
+        const int res = ev.detail >= 0 && ev.detail < 3
+                            ? static_cast<int>(ev.detail)
+                            : 0;
+        if (!pool_seen[res]) {
+          pool_seen[res] = true;
+          pool_first[res] = ev.before;
+        }
+        pool_last[res] = ev.after;
+        timeline.push_back(&ev);
+        break;
+      }
+      default: break;
+    }
+  }
+  if (matched == 0) {
+    std::printf("no events for shard %u\n", shard);
+    if (shards_seen.empty()) {
+      std::printf("trace carries no shard provenance — export it with "
+                  "obs::export_merged_jsonl (escra-sim --shards N)\n");
+    } else {
+      std::printf("shards present:");
+      for (const auto& [s, n] : shards_seen) {
+        std::printf(" %u (%llu events)", s,
+                    static_cast<unsigned long long>(n));
+      }
+      std::printf("\n");
+    }
+    return 1;
+  }
+  std::printf("shard %u: %llu events (%zu shards in trace)\n", shard,
+              static_cast<unsigned long long>(matched), shards_seen.size());
+  std::printf("\nby kind:\n");
+  for (const auto& [kind, count] : by_kind) {
+    std::printf("  %-22s %8llu\n", kind.c_str(),
+                static_cast<unsigned long long>(count));
+  }
+  std::printf("\nborrow traffic (adverts sent %llu):\n",
+              static_cast<unsigned long long>(adverts));
+  if (peers.empty()) {
+    std::printf("  none — shard never borrowed, lent, or returned\n");
+  }
+  for (const auto& [peer, t] : peers) {
+    std::printf("  peer s%-3u requests %llu, grants %llu, returns %llu "
+                "(%.3f cores, %.1f MiB moved)\n",
+                peer, static_cast<unsigned long long>(t.requests),
+                static_cast<unsigned long long>(t.grants),
+                static_cast<unsigned long long>(t.returns), t.cpu_cores,
+                t.mem_bytes / (1024.0 * 1024.0));
+  }
+  const char* pool_unit[3] = {"cores", "MiB", "MB/s"};
+  const double pool_scale[3] = {1.0, 1024.0 * 1024.0, 1e6};
+  for (int res = 0; res < 3; ++res) {
+    if (!pool_seen[res]) continue;
+    std::printf("  pool (%s): %.3f -> %.3f %s over the trace\n",
+                res == 0 ? "cpu" : res == 1 ? "mem" : "bw",
+                pool_first[res] / pool_scale[res],
+                pool_last[res] / pool_scale[res], pool_unit[res]);
+  }
+  if (!timeline.empty()) {
+    std::printf("\nshard-protocol timeline (%zu events, adverts elided):\n",
+                timeline.size());
+    for (const obs::TraceEvent* ev : timeline) print_event(*ev);
+  }
+  return 0;
+}
+
 int run_chain(const obs::TraceBuffer& trace, obs::EventId id) {
   if (trace.find(id) == nullptr) {
     std::fprintf(stderr, "event #%llu not in trace (evicted or never "
@@ -499,8 +656,8 @@ int main(int argc, char** argv) {
 
   if (argc == 2) return run_summary(trace);
   const std::string mode = argv[2];
-  if (argc == 4 &&
-      (mode == "--container" || mode == "--chain" || mode == "--tenant")) {
+  if (argc == 4 && (mode == "--container" || mode == "--chain" ||
+                    mode == "--tenant" || mode == "--shard")) {
     std::uint64_t id = 0;
     try {
       std::size_t pos = 0;
@@ -516,6 +673,9 @@ int main(int argc, char** argv) {
     }
     if (mode == "--tenant") {
       return run_tenant(trace, static_cast<std::uint32_t>(id));
+    }
+    if (mode == "--shard") {
+      return run_shard(trace, static_cast<std::uint32_t>(id));
     }
     return run_chain(trace, id);
   }
