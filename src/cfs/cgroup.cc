@@ -54,6 +54,12 @@ void CfsCgroup::consume(sim::Duration core_time, bool wanted_more) {
 void CfsCgroup::set_burst(sim::Duration burst) {
   if (burst < 0) throw std::invalid_argument("set_burst: negative");
   burst_ = burst;
+  // Shrinking the burst (RT reservation torn down) claws back any banked
+  // runtime above the new budget, as the kernel clamps `runtime` when
+  // cfs_burst_us is lowered mid-period.
+  if (runtime_remaining_ > quota_ + burst_) {
+    runtime_remaining_ = quota_ + burst_;
+  }
 }
 
 void CfsCgroup::end_period(sim::TimePoint now) {

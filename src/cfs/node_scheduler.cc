@@ -76,8 +76,36 @@ void NodeCpuScheduler::on_slice() {
     quota_capped[i] = raw > quota_cores + 1e-12;
   }
 
-  // 2. Split the node's cores max-min fairly across the capped demands.
-  const std::vector<double> grants = max_min_fair(demands, config_.cores);
+  // 2. Two-tier split: the RT tier water-fills against the full node first
+  //    (deadline class — best-effort contention can never squeeze it), then
+  //    best-effort consumers share max-min fairly what remains. With no RT
+  //    consumers attached this reduces bit-for-bit to the flat split.
+  std::vector<double> grants(consumers_.size(), 0.0);
+  bool any_rt = false;
+  for (const CpuConsumer* c : consumers_) {
+    if (c->realtime()) {
+      any_rt = true;
+      break;
+    }
+  }
+  if (!any_rt) {
+    grants = max_min_fair(demands, config_.cores);
+  } else {
+    std::vector<double> rt_demands(consumers_.size(), 0.0);
+    std::vector<double> be_demands(consumers_.size(), 0.0);
+    for (std::size_t i = 0; i < consumers_.size(); ++i) {
+      (consumers_[i]->realtime() ? rt_demands : be_demands)[i] = demands[i];
+    }
+    const std::vector<double> rt_grants =
+        max_min_fair(rt_demands, config_.cores);
+    double rt_used = 0.0;
+    for (const double g : rt_grants) rt_used += g;
+    const std::vector<double> be_grants =
+        max_min_fair(be_demands, std::max(0.0, config_.cores - rt_used));
+    for (std::size_t i = 0; i < consumers_.size(); ++i) {
+      grants[i] = consumers_[i]->realtime() ? rt_grants[i] : be_grants[i];
+    }
+  }
 
   // 3. Charge runtime and let each consumer advance.
   double used = 0.0;

@@ -37,6 +37,13 @@ class CpuConsumer {
   // Advances the consumer's work by `granted` core-time within a slice of
   // length `slice`. `granted <= cpu_demand(slice) * slice` (up to rounding).
   virtual void run_for(sim::Duration granted, sim::Duration slice) = 0;
+
+  // True for an admitted real-time consumer: the scheduler water-fills the
+  // RT tier against the full node first, and best-effort consumers share
+  // only what remains (the deadline-scheduler model: an RT cgroup's
+  // reservation-backed demand is never squeezed by best-effort contention,
+  // only by its own quota).
+  virtual bool realtime() const { return false; }
 };
 
 class NodeCpuScheduler {

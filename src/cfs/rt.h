@@ -1,0 +1,49 @@
+// Real-time reservation model (mixed-criticality container class).
+//
+// An RT container declares a (runtime, deadline, period) triple, the
+// SCHED_DEADLINE-style contract of polena/polenaRT-era deadline-scheduled
+// containers: every `period` it releases a job needing `runtime` of
+// core-time that must complete within `deadline` of its release. The CPU
+// bandwidth the contract implies — the floor admission reserves and the
+// allocator may never reclaim — is
+//
+//     floor_cores = runtime / min(deadline, period)
+//
+// (the density bound: constrained deadlines, deadline <= period, need the
+// denser rate; implicit deadlines reduce to runtime / period utilization).
+//
+// The struct lives in src/cfs because the deadline *scheduler model* does:
+// NodeCpuScheduler's RT tier and CfsCgroup's burst make the reservation
+// schedulable, cluster::Container's periodic job machinery detects misses,
+// and the controller does admission arithmetic on the same triple.
+#pragma once
+
+#include "sim/time.h"
+
+namespace escra::cfs {
+
+struct RtSpec {
+  sim::Duration runtime = 0;   // core-time needed per job
+  sim::Duration deadline = 0;  // relative deadline from job release
+  sim::Duration period = 0;    // job release period
+
+  // A spec is well-formed when every leg is positive, the job is feasible
+  // in isolation (runtime fits inside the deadline), and deadlines are
+  // constrained (deadline <= period) — the standard SCHED_DEADLINE shape,
+  // which also guarantees at most one job in flight per container.
+  bool valid() const {
+    return runtime > 0 && deadline > 0 && period > 0 && runtime <= deadline &&
+           deadline <= period;
+  }
+
+  // The reservation's CPU floor in cores (density bound; see header).
+  double floor_cores() const {
+    const sim::Duration window = deadline < period ? deadline : period;
+    if (window <= 0) return 0.0;
+    return static_cast<double>(runtime) / static_cast<double>(window);
+  }
+
+  bool operator==(const RtSpec&) const = default;
+};
+
+}  // namespace escra::cfs

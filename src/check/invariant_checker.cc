@@ -79,6 +79,10 @@ InvariantChecker::InvariantChecker(core::EscraSystem& escra,
   base_credit_charges_ = h.credit_charges->value();
   base_credit_refunds_ = h.credit_refunds->value();
   base_greedy_throttles_ = h.greedy_throttles->value();
+  base_rt_admitted_ = h.rt_admitted->value();
+  base_rt_rejected_ = h.rt_rejected->value();
+  base_rt_evicted_ = h.rt_evicted->value();
+  base_deadline_misses_ = h.deadline_misses->value();
 
   // Network mirrors exist only once Network::attach_metrics has run against
   // this observer's registry; absent counters disable the net check.
@@ -170,6 +174,13 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
         add("cpu-floor", ev.container,
             fmt("shrink to %.6f cores below the %.6f-core floor", ev.after,
                 cfg.min_cores));
+      }
+      if (const auto rt = rt_floor_track_.find(ev.container);
+          rt != rt_floor_track_.end() && ev.after < rt->second - eps) {
+        add("rt-floor", ev.container,
+            fmt("shrink to %.6f cores below the admitted %.6f-core "
+                "reservation floor",
+                ev.after, rt->second));
       }
       break;
 
@@ -366,6 +377,17 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
       break;
 
     case obs::EventKind::kContainerKilled:
+      // A kill that reaches the trace with the reservation still tracked
+      // means the controller dropped an admitted RT container without the
+      // explicit kRtEvicted decision that must precede it (same instant).
+      if (const auto rt = rt_floor_track_.find(ev.container);
+          rt != rt_floor_track_.end()) {
+        add("rt-evict-explicit", ev.container,
+            fmt("admitted RT container killed (%.6f-core floor) without a "
+                "preceding rt-evicted decision",
+                rt->second, 0.0));
+        rt_floor_track_.erase(rt);
+      }
       cpu_track_.erase(ev.container);
       applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 4);
       applied_seq_.erase(static_cast<std::uint64_t>(ev.container) * 4 + 1);
@@ -484,7 +506,105 @@ void InvariantChecker::on_event(const obs::TraceEvent& ev) {
             fmt("greedy throttle to %.6f cores below the %.6f floor",
                 ev.after, cfg.min_cores));
       }
+      if (const auto rt = rt_floor_track_.find(ev.container);
+          rt != rt_floor_track_.end() && ev.after < rt->second - eps) {
+        add("rt-floor", ev.container,
+            fmt("greedy throttle to %.6f cores below the admitted "
+                "%.6f-core reservation floor",
+                ev.after, rt->second));
+      }
       break;
+
+    case obs::EventKind::kShardAdvertise:
+    case obs::EventKind::kBorrowRequest:
+    case obs::EventKind::kBorrowGrant:
+    case obs::EventKind::kBorrowReturn:
+    case obs::EventKind::kShardPoolResize:
+      // Cross-shard borrowing is validated by the sharded control plane's
+      // own conservation tests; counted here for the trace totals only.
+      break;
+
+    case obs::EventKind::kRtAdmitted:
+      // `after` is the reservation floor; `detail` packs (runtime << 32) |
+      // period in microseconds — both must be present for a valid spec.
+      if (ev.after <= eps) {
+        add("rt-admission-conservation", ev.container,
+            fmt("admission with a %.6f-core floor (want > 0)", ev.after,
+                0.0));
+      }
+      if ((ev.detail >> 32) < 1 || (ev.detail & 0xffffffff) < 1) {
+        add("rt-admission-conservation", ev.container,
+            fmt("admission detail packs runtime %.0f us, period %.0f us "
+                "(want both >= 1)",
+                static_cast<double>(ev.detail >> 32),
+                static_cast<double>(ev.detail & 0xffffffff)));
+      }
+      rt_floor_track_[ev.container] = ev.after;
+      break;
+
+    case obs::EventKind::kRtRejected:
+      // detail is the rejection reason: 0 node bound, 1 pool bound, 2 bw
+      // bound, 3 state (crashed / unknown / dead node / double admit).
+      if (ev.detail < 0 || ev.detail > 3) {
+        add("rt-admission-conservation", ev.container,
+            fmt("rejection with reason %.0f (want 0..3)",
+                static_cast<double>(ev.detail), 0.0));
+      }
+      break;
+
+    case obs::EventKind::kRtEvicted: {
+      if (ev.detail < 0 || ev.detail > 2) {
+        add("rt-evict-explicit", ev.container,
+            fmt("eviction with reason %.0f (want 0..2)",
+                static_cast<double>(ev.detail), 0.0));
+      }
+      // `before` reports the floor the eviction releases; an eviction seen
+      // for a container the trace admitted must release that exact floor.
+      const auto rt = rt_floor_track_.find(ev.container);
+      if (rt != rt_floor_track_.end()) {
+        if (std::abs(ev.before - rt->second) > eps) {
+          add("rt-floor", ev.container,
+              fmt("eviction releases %.6f cores but the admitted floor "
+                  "was %.6f",
+                  ev.before, rt->second));
+        }
+        rt_floor_track_.erase(rt);
+      }
+      break;
+    }
+
+    case obs::EventKind::kDeadlineMiss: {
+      // detail is the core-time (us) still owed at the deadline: a miss
+      // with nothing owed is no miss. `before` is the reservation floor the
+      // node-side deadline model was admitted with.
+      if (ev.detail < 1) {
+        add("rt-allocator-miss", ev.container,
+            fmt("deadline miss with %.0f us remaining (want >= 1)",
+                static_cast<double>(ev.detail), 0.0));
+      }
+      if (ev.before <= eps) {
+        add("rt-allocator-miss", ev.container,
+            fmt("deadline miss with a %.6f-core floor (want > 0)", ev.before,
+                0.0));
+      }
+      // The no-deadline-miss guarantee: an ADMITTED container may only miss
+      // through its own overrun or enforcement lag (RPC loss, fail-static
+      // windows) — never because the book reclaimed it below its floor. A
+      // miss while the controller's shadow book holds the container under
+      // the floor is an allocator decision causing the miss.
+      const auto rt = rt_floor_track_.find(ev.container);
+      if (rt != rt_floor_track_.end() &&
+          escra_.app().is_member(ev.container)) {
+        const double book = escra_.app().member_cores(ev.container);
+        if (book < rt->second - eps) {
+          add("rt-allocator-miss", ev.container,
+              fmt3("deadline miss while the book holds %.6f cores below "
+                   "the %.6f-core floor (%.0f us still owed)",
+                   book, rt->second, static_cast<double>(ev.detail)));
+        }
+      }
+      break;
+    }
   }
 }
 
@@ -634,6 +754,68 @@ void InvariantChecker::sweep() {
     add("gauge-pool", 0,
         fmt("bw gauges (%.0f, %.0f) diverge from pool",
             h.pool_bw_allocated->value(), h.pool_bw_unallocated->value()));
+  }
+
+  // Real-time admission conservation. The controller's admitted set is the
+  // book of record here: recovery re-installation (crash/resync, HA
+  // takeover) is deliberately traceless, so the tracked set is re-armed
+  // from introspection each sweep — and entries for containers no longer
+  // admitted (evicted during a window the trace could not observe) are
+  // dropped the same way. A crashed controller holds no soft RT state and
+  // enforces nothing, so the sync pauses rather than erasing live floors.
+  if (!controller.crashed()) {
+    for (auto it = rt_floor_track_.begin(); it != rt_floor_track_.end();) {
+      if (!controller.rt_admitted(it->first)) {
+        it = rt_floor_track_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    const core::EscraConfig& cfg = escra_.config();
+    const double rt_tol = eps * static_cast<double>(controller.rt_count() + 1);
+    double floor_sum = 0.0;
+    for (const auto& node : cluster_.nodes()) {
+      double node_floor = 0.0;
+      for (cluster::Container* c : node->containers()) {
+        if (!controller.rt_admitted(c->id())) continue;
+        const double floor = controller.rt_floor_of(c->id());
+        rt_floor_track_[c->id()] = floor;
+        node_floor += floor;
+        floor_sum += floor;
+      }
+      // Per-node utilization bound: the deadline scheduler's guarantee
+      // holds only while the node's reservation density stays under it.
+      if (node_floor >
+          cfg.rt_util_bound * node->config().cores + rt_tol) {
+        add("rt-admission-conservation", 0,
+            fmt3("node %.0f admitted floors sum to %.6f cores above the "
+                 "utilization bound %.6f",
+                 static_cast<double>(node->id()), node_floor,
+                 cfg.rt_util_bound * node->config().cores));
+      }
+    }
+    // Pool bound against non-borrowed RT capacity, and internal
+    // consistency: the reserved total is exactly the sum of the floors.
+    if (controller.rt_reserved_cores() >
+        cfg.rt_util_bound * controller.rt_capacity() + rt_tol) {
+      add("rt-admission-conservation", 0,
+          fmt3("reserved %.6f cores above the pool bound %.6f "
+               "(rt capacity %.6f)",
+               controller.rt_reserved_cores(),
+               cfg.rt_util_bound * controller.rt_capacity(),
+               controller.rt_capacity()));
+    }
+    if (std::abs(controller.rt_reserved_cores() - floor_sum) > rt_tol) {
+      add("rt-admission-conservation", 0,
+          fmt("reserved total %.6f != sum of admitted floors %.6f",
+              controller.rt_reserved_cores(), floor_sum));
+    }
+    if (std::abs(h.rt_reserved_cores->value() -
+                 controller.rt_reserved_cores()) > eps) {
+      add("rt-admission-conservation", 0,
+          fmt("gauge %.6f != reserved book %.6f",
+              h.rt_reserved_cores->value(), controller.rt_reserved_cores()));
+    }
   }
 
   // Bandwidth conservation against the live shaper (attach_bw). Each
@@ -858,6 +1040,18 @@ void InvariantChecker::check_counters() {
       {"controller.greedy_throttles vs greedy-throttle events",
        h.greedy_throttles->value() - base_greedy_throttles_,
        seen(obs::EventKind::kGreedyThrottle)},
+      {"controller.rt_admitted vs rt-admitted events",
+       h.rt_admitted->value() - base_rt_admitted_,
+       seen(obs::EventKind::kRtAdmitted)},
+      {"controller.rt_rejected vs rt-rejected events",
+       h.rt_rejected->value() - base_rt_rejected_,
+       seen(obs::EventKind::kRtRejected)},
+      {"controller.rt_evicted vs rt-evicted events",
+       h.rt_evicted->value() - base_rt_evicted_,
+       seen(obs::EventKind::kRtEvicted)},
+      {"cfs.deadline_misses vs deadline-miss events",
+       h.deadline_misses->value() - base_deadline_misses_,
+       seen(obs::EventKind::kDeadlineMiss)},
   };
   for (const Pair& p : pairs) {
     if (p.counter_delta != p.trace_count) {

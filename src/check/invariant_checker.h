@@ -58,6 +58,28 @@
 //                              net.<channel>.bytes/messages counters agree
 //     - gauge-*                pool occupancy / active-container gauges
 //                              match the book of record
+//   real-time class (mixed criticality; armed automatically — RT events
+//   appear only when Controller::admit_rt is used):
+//     - rt-floor               no allocator decision (shrink, greedy-decay
+//                              throttle) lands an admitted RT container
+//                              below its reservation floor, and an eviction
+//                              reports the floor it releases exactly
+//     - rt-allocator-miss      a deadline miss while the controller's book
+//                              holds the admitted container below its floor
+//                              is allocator-caused — the never-reclaim
+//                              guarantee was broken (misses with the floor
+//                              honored are the tenant's own overrun, or RPC
+//                              loss delaying enforcement, and are allowed)
+//     - rt-evict-explicit      an admitted RT container is never killed or
+//                              silently dropped without a same-instant
+//                              kRtEvicted decision explaining the revoke
+//     - rt-admission-conservation
+//                              per node, admitted floors sum within
+//                              rt_util_bound x node cores; pool-wide the
+//                              reserved total stays within rt_util_bound x
+//                              non-borrowed RT capacity, matches the
+//                              per-container floors, and mirrors the
+//                              controller.rt_reserved_cores gauge
 //
 // Overhead contract: the checker piggybacks on the existing nullable hooks —
 // with no checker (and no observer) attached, every instrumentation site
@@ -250,6 +272,17 @@ class InvariantChecker {
   std::uint64_t base_credit_charges_ = 0;
   std::uint64_t base_credit_refunds_ = 0;
   std::uint64_t base_greedy_throttles_ = 0;
+  std::uint64_t base_rt_admitted_ = 0;
+  std::uint64_t base_rt_rejected_ = 0;
+  std::uint64_t base_rt_evicted_ = 0;
+  std::uint64_t base_deadline_misses_ = 0;
+
+  // Admitted RT containers and their reservation floors, tracked from
+  // kRtAdmitted/kRtEvicted events and re-armed from controller introspection
+  // every sweep (recovery re-installation after a crash/resync or takeover
+  // is deliberately traceless — exactly-once admission events — so the
+  // event stream alone under-reports the live admitted set).
+  std::unordered_map<std::uint32_t, double> rt_floor_track_;
 
   const bw::ClusterShaper* bw_shaper_ = nullptr;
   const core::CreditLedger* credits_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -18,6 +19,56 @@ Container::Container(sim::Simulation& sim, ContainerId id, ContainerSpec spec,
   resident_ = spec_.base_memory;
   mem_.force_charge(resident_);
   enqueue_startup_work();
+}
+
+Container::~Container() {
+  sim_.cancel(rt_release_timer_);
+  sim_.cancel(rt_deadline_check_);
+}
+
+void Container::set_rt(const cfs::RtSpec& spec) {
+  if (!spec.valid()) {
+    throw std::invalid_argument("Container::set_rt: invalid RtSpec");
+  }
+  clear_rt();
+  rt_ = spec;
+  // Burst = runtime: a job released right at a quota-budget edge draws its
+  // full runtime from accumulated burst instead of stalling into the next
+  // refill — without this, CFS quantization alone can miss tight deadlines.
+  cpu_.set_burst(spec.runtime);
+  release_rt_job();
+  rt_release_timer_ = sim_.schedule_every(sim_.now() + spec.period, spec.period,
+                                          [this] { release_rt_job(); });
+}
+
+void Container::clear_rt() {
+  if (!rt_.valid()) return;
+  sim_.cancel(rt_release_timer_);
+  sim_.cancel(rt_deadline_check_);
+  rt_ = {};
+  rt_job_remaining_ = 0;
+  cpu_.set_burst(0);
+}
+
+void Container::release_rt_job() {
+  if (!rt_.valid() || state_ != State::kRunning) return;
+  // deadline <= period (RtSpec::valid), so the previous job's deadline
+  // check has already fired; any leftover remainder here was abandoned
+  // there and lateness never cascades across jobs.
+  rt_job_remaining_ = rt_.runtime;
+  ++rt_job_seq_;
+  ++rt_jobs_released_;
+  const std::uint64_t seq = rt_job_seq_;
+  rt_deadline_check_ = sim_.schedule_after(
+      rt_.deadline, [this, seq] { check_rt_deadline(seq); });
+}
+
+void Container::check_rt_deadline(std::uint64_t job_seq) {
+  if (job_seq != rt_job_seq_ || rt_job_remaining_ <= 0) return;
+  ++deadline_misses_;
+  const sim::Duration remaining = rt_job_remaining_;
+  rt_job_remaining_ = 0;  // abandon the late job: one miss per job, no pileup
+  if (on_deadline_miss_) on_deadline_miss_(remaining);
 }
 
 void Container::enqueue_startup_work() {
@@ -67,6 +118,13 @@ double Container::cpu_demand(sim::Duration slice) {
   const double slice_f = static_cast<double>(slice);
   double demand = 0.0;
   double lanes = spec_.max_parallelism;
+  if (rt_job_remaining_ > 0 && lanes > 0.0) {
+    // The RT job runs single-threaded on its own lane ahead of FIFO work.
+    const double want =
+        std::min(static_cast<double>(rt_job_remaining_), slice_f) / slice_f;
+    demand += std::min(want, 1.0);
+    lanes -= 1.0;
+  }
   for (const WorkItem& item : queue_) {
     if (lanes <= 0.0) break;
     const double want =
@@ -79,6 +137,16 @@ double Container::cpu_demand(sim::Duration slice) {
 
 void Container::run_for(sim::Duration granted, sim::Duration slice) {
   if (state_ != State::kRunning || granted <= 0) return;
+  // The RT job is served before any best-effort work: within the container
+  // the reservation has strict priority, mirroring the scheduler's RT tier
+  // across containers.
+  if (rt_job_remaining_ > 0) {
+    const sim::Duration give = std::min({rt_job_remaining_, slice, granted});
+    rt_job_remaining_ -= give;
+    granted -= give;
+    if (rt_job_remaining_ == 0) ++rt_jobs_completed_;
+    if (granted <= 0) return;
+  }
   // Drain FIFO: each item is single-threaded so it can absorb at most
   // `slice` of core-time in one slice; surplus flows to the next item.
   std::vector<Completion> finished;
@@ -139,6 +207,10 @@ void Container::evict_restart(double new_cores, memcg::Bytes new_mem_limit) {
 
 void Container::kill_common() {
   state_ = State::kRestarting;
+  // An in-flight RT job dies with the container: that is a drop (the kill's
+  // fault), not a deadline miss (an allocator decision) — cancel the check.
+  rt_job_remaining_ = 0;
+  sim_.cancel(rt_deadline_check_);
   std::vector<Completion> failed;
   failed.reserve(queue_.size());
   for (WorkItem& item : queue_) {

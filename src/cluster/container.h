@@ -21,6 +21,7 @@
 
 #include "cfs/cgroup.h"
 #include "cfs/node_scheduler.h"
+#include "cfs/rt.h"
 #include "memcg/mem_cgroup.h"
 #include "sim/event_queue.h"
 #include "sim/time.h"
@@ -117,6 +118,31 @@ class Container final : public cfs::CpuConsumer {
   void evict_restart(double new_cores, memcg::Bytes new_mem_limit);
   std::uint64_t eviction_count() const { return evictions_; }
 
+  // --- real-time reservation (mixed-criticality class) ---
+  //
+  // An admitted RT container releases one job of `spec.runtime` core-time
+  // every `spec.period`; the job must finish within `spec.deadline` of its
+  // release or the miss observer fires (once per job; the late job is then
+  // abandoned so misses never cascade). RT work is served *before* the FIFO
+  // queue and the scheduler's RT tier serves this container before
+  // best-effort peers, so an admitted reservation misses only when its own
+  // cgroup quota is held below the floor — an allocator decision. Installing
+  // a spec also sets the cgroup's burst to `runtime`, so a job released just
+  // before a period refill is never starved by budget-edge quantization.
+  ~Container();
+  void set_rt(const cfs::RtSpec& spec);
+  void clear_rt();
+  bool realtime() const override { return rt_.valid(); }
+  const cfs::RtSpec& rt() const { return rt_; }  // !valid() when not RT
+  using DeadlineMissObserver =
+      std::function<void(sim::Duration remaining_runtime)>;
+  void set_deadline_miss_observer(DeadlineMissObserver obs) {
+    on_deadline_miss_ = std::move(obs);
+  }
+  std::uint64_t rt_jobs_released() const { return rt_jobs_released_; }
+  std::uint64_t rt_jobs_completed() const { return rt_jobs_completed_; }
+  std::uint64_t deadline_misses() const { return deadline_misses_; }
+
  private:
   struct WorkItem {
     sim::Duration remaining = 0;
@@ -129,6 +155,8 @@ class Container final : public cfs::CpuConsumer {
   void kill_common();  // shared teardown for oom_kill / evict_restart
   void finish_restart();
   void enqueue_startup_work();
+  void release_rt_job();
+  void check_rt_deadline(std::uint64_t job_seq);
 
   sim::Simulation& sim_;
   ContainerId id_;
@@ -144,6 +172,17 @@ class Container final : public cfs::CpuConsumer {
   std::uint64_t completed_ = 0;
   std::uint64_t dropped_ = 0;
   OomKillObserver on_oom_kill_;
+
+  // RT reservation state. rt_ is all-zero (invalid) when not admitted.
+  cfs::RtSpec rt_;
+  sim::EventHandle rt_release_timer_;
+  sim::EventHandle rt_deadline_check_;
+  sim::Duration rt_job_remaining_ = 0;  // core-time left in the current job
+  std::uint64_t rt_job_seq_ = 0;        // current job number (0 = none yet)
+  std::uint64_t rt_jobs_released_ = 0;
+  std::uint64_t rt_jobs_completed_ = 0;
+  std::uint64_t deadline_misses_ = 0;
+  DeadlineMissObserver on_deadline_miss_;
 };
 
 }  // namespace escra::cluster

@@ -39,16 +39,45 @@ void ResourceAllocator::register_container(std::uint32_t id, double cores,
     windows_.resize(index_.capacity(), Windows(config_.window_periods));
     bw_windows_.resize(index_.capacity(), Windows(config_.window_periods));
     bw_live_.resize(index_.capacity(), 0);
+    rt_floor_.resize(index_.capacity(), 0.0);
+    rt_bw_floor_.resize(index_.capacity(), 0.0);
   } else {
     // Slot reuse after a deregister: fresh statistics for the new tenant.
     windows_[slot] = Windows(config_.window_periods);
   }
   bw_live_[slot] = 0;
+  rt_floor_[slot] = 0.0;
+  rt_bw_floor_[slot] = 0.0;
 }
 
 void ResourceAllocator::deregister_container(std::uint32_t id) {
-  if (index_.release(id) == ContainerIndex::kInvalid) return;
+  const std::uint32_t slot = index_.release(id);
+  if (slot == ContainerIndex::kInvalid) return;
+  rt_floor_[slot] = 0.0;
+  rt_bw_floor_[slot] = 0.0;
   app_.remove_member(id);
+}
+
+void ResourceAllocator::set_rt_floor(std::uint32_t id, double cores,
+                                     double bw_bps) {
+  const std::uint32_t slot = index_.find(id);
+  if (slot == ContainerIndex::kInvalid) return;
+  rt_floor_[slot] = std::max(0.0, cores);
+  rt_bw_floor_[slot] = std::max(0.0, bw_bps);
+}
+
+void ResourceAllocator::clear_rt_floor(std::uint32_t id) {
+  set_rt_floor(id, 0.0, 0.0);
+}
+
+double ResourceAllocator::rt_floor(std::uint32_t id) const {
+  const std::uint32_t slot = index_.find(id);
+  return slot == ContainerIndex::kInvalid ? 0.0 : rt_floor_[slot];
+}
+
+double ResourceAllocator::rt_bw_floor(std::uint32_t id) const {
+  const std::uint32_t slot = index_.find(id);
+  return slot == ContainerIndex::kInvalid ? 0.0 : rt_bw_floor_[slot];
 }
 
 void ResourceAllocator::reset() {
@@ -96,11 +125,17 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
     // Credit Υ-gate (Karma defense): lifting above the static fair share
     // spends credits; an exhausted balance caps the grant at the fair
     // share. Honest bursty members with positive balances are untouched.
+    // An RT reservation raises the cap to its floor — the gate may never
+    // keep an admitted container from reaching the floor it was promised —
+    // but grants no headroom past it: an exhausted RT container burning
+    // credits competes above its floor like everyone else, so a reservation
+    // cannot be laundered into unbounded grant priority.
     if (credits_ != nullptr && app_.member_count() > 0 &&
         credits_->balance_micro(stats.cgroup) <= 0) {
       const double fair =
           app_.cpu_limit() / static_cast<double>(app_.member_count());
-      increase = std::min(increase, std::max(0.0, fair - current));
+      const double gate = std::max(fair, rt_floor_[slot]);
+      increase = std::min(increase, std::max(0.0, gate - current));
     }
     if (increase > kCpuEpsilon) {
       const double applied =
@@ -135,8 +170,12 @@ std::optional<double> ResourceAllocator::on_cpu_stats(const CpuStatsMsg& stats) 
     // the larger of the two trims overshoot within one period.
     const double decrease =
         std::max(win.unused.mean(), unused_cores) * config_.kappa;
-    const double target = std::max(
-        {config_.min_cores, used_last + headroom, current - decrease});
+    // RT reservation floor: an admitted real-time container's shadow limit
+    // never drops below its admission floor, no matter how idle its window
+    // looks (the reservation is a latency contract, not a usage forecast).
+    const double target =
+        std::max({config_.min_cores, rt_floor_[slot], used_last + headroom,
+                  current - decrease});
     if (current - target > kCpuEpsilon) {
       const double applied = app_.set_member_cores(stats.cgroup, target);
       ++scale_downs_;
@@ -193,8 +232,9 @@ std::optional<double> ResourceAllocator::on_bw_stats(
     const double headroom = std::min(used_last, config_.bw_gamma);
     const double decrease =
         std::max(win.unused.mean(), unused) * config_.bw_kappa;
-    const double target = std::max(
-        {config_.bw_min_rate, used_last + headroom, current - decrease});
+    const double target =
+        std::max({config_.bw_min_rate, rt_bw_floor_[slot],
+                  used_last + headroom, current - decrease});
     if (current - target > kBwEpsilon) {
       const double applied = app_.set_member_bw(sample.container, target);
       ++bw_scale_downs_;

@@ -75,6 +75,18 @@ class ResourceAllocator {
   // the pool implicitly (allocated sum drops).
   void on_reclaimed(std::uint32_t container, memcg::Bytes new_limit);
 
+  // --- real-time floors (mixed-criticality class) ---
+  // An admitted RT container's reservation floor: no allocator decision —
+  // κ scale-down, credit decay, anything — may push its shadow CPU limit
+  // below `cores` (or its bandwidth rate below `bw_bps`). Set by the
+  // Controller at admission, cleared at eviction/deregistration. RT
+  // containers also bypass the credit Υ-gate: their priority was paid for
+  // at admission, not borrowed from the Karma ledger.
+  void set_rt_floor(std::uint32_t id, double cores, double bw_bps);
+  void clear_rt_floor(std::uint32_t id);
+  double rt_floor(std::uint32_t id) const;
+  double rt_bw_floor(std::uint32_t id) const;
+
   // --- credit defense (Karma-style, see credit_ledger.h) ---
   // Read-only Υ-gate on the grant paths: with a ledger attached, a member
   // whose balance is non-positive is never lifted above its static fair
@@ -122,6 +134,10 @@ class ResourceAllocator {
   // so pre-bw runs never touch these rows beyond the flag).
   std::vector<Windows> bw_windows_;
   std::vector<std::uint8_t> bw_live_;
+  // Per-slot RT reservation floors (0 = best-effort). Dense SoA rows like
+  // the windows: the scale-down hot paths read them with no map lookup.
+  std::vector<double> rt_floor_;
+  std::vector<double> rt_bw_floor_;
   std::uint64_t scale_ups_ = 0;
   std::uint64_t scale_downs_ = 0;
   std::uint64_t mem_grants_ = 0;

@@ -119,6 +119,19 @@ struct EscraConfig {
   // Settle sweeps a credit-exhausted container must stay above fair share
   // before its CPU limit is decayed toward the static fair share.
   int credit_decay_grace = 3;
+
+  // --- real-time container class (beyond the paper: mixed-criticality
+  //     co-location after polena/polenaRT). An admitted RT container holds a
+  //     (runtime, deadline, period) reservation whose CPU floor
+  //     runtime / min(deadline, period) the allocator may never reclaim. ---
+  // Utilization bound for RT admission: the summed RT floors on a node (and
+  // across a pool / shard slice) may not exceed this fraction of its cores.
+  // 0.7 leaves headroom for best-effort work and for CFS quantization so
+  // admitted reservations are actually schedulable, not merely booked.
+  double rt_util_bound = 0.7;
+  // Fraction of a node's NIC rate RT bandwidth reservations may claim (the
+  // bw arm's admission bound, applied when a reservation carries bw_bps).
+  double rt_bw_bound = 0.5;
 };
 
 }  // namespace escra::core

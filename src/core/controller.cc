@@ -15,6 +15,12 @@ namespace {
 constexpr double kBwRateEpsilon = 8e3;
 // Minimum CPU-limit change worth an RPC, in cores (the allocator's epsilon).
 constexpr double kCpuLimitEpsilon = 1e-3;
+// Tolerance for the RT floor-raising paths. kCpuLimitEpsilon exists to damp
+// RPC churn on best-effort limits, but an admitted reservation's floor is a
+// core-for-core promise: leaving the book even a milli-core short of it is a
+// real deadline-miss cause the checker (cpu_eps = 1e-6) rightly flags. Only
+// floating-point dust is tolerated when raising to or shedding toward a floor.
+constexpr double kRtFloorSlack = 1e-9;
 }  // namespace
 
 Controller::Controller(sim::Simulation& sim, net::Network& network,
@@ -100,7 +106,8 @@ void Controller::register_container(cluster::Container& container,
 void Controller::register_impl(cluster::Container& container,
                                cluster::Node& node, double cores,
                                memcg::Bytes mem, RegisterMode mode,
-                               double bw_want) {
+                               double bw_want, const cfs::RtSpec* rt,
+                               double rt_bw) {
   if (crashed_) {
     // Vacant seat: queue the admission (see deferred_registrations_). The
     // container runs against its creation-time cgroup limits meanwhile —
@@ -252,6 +259,21 @@ void Controller::register_impl(cluster::Container& container,
                    memcg::Bytes shortfall) {
         return handle_oom(*cptr, charge, shortfall);
       });
+
+  // RT reservation recovery. Takeover re-installs the replicated image
+  // (exactly-once: install_rt re-emits the kRt record so the new leader's
+  // stream rebuilds the standbys). Resync re-derives the reservation from
+  // the node-side container — the periodic-job model and its burst survive
+  // a controller crash (fail static), so the node is the authoritative
+  // record a restarted seat can actually reach. Neither path re-runs the
+  // admission test: the reservation was admitted once, by a live leader.
+  if (mode == RegisterMode::kTakeover && rt != nullptr && rt->valid()) {
+    install_rt(container.id(), *rt, rt_bw, /*fresh=*/false);
+  } else if (mode == RegisterMode::kResync && container.rt().valid()) {
+    // The bandwidth arm of the reservation is controller soft state with no
+    // node-side mirror; a plain restart conservatively re-admits CPU only.
+    install_rt(container.id(), container.rt(), 0.0, /*fresh=*/false);
+  }
 }
 
 void Controller::deregister_container(cluster::Container& container) {
@@ -261,6 +283,10 @@ void Controller::deregister_container(cluster::Container& container) {
                 });
   Entry* entry = find_entry(container.id());
   if (entry == nullptr) return;
+  // An admitted reservation is never dropped silently: the explicit
+  // eviction decision (reason 0: released with its container) precedes the
+  // kill event so the trace always explains why the floor vanished.
+  if (rt_.count(container.id()) != 0) evict_rt(container.id(), 0);
   if (obs_ != nullptr) {
     obs::TraceEvent ev;
     ev.time = sim_.now();
@@ -305,6 +331,10 @@ void Controller::deregister_quarantined(cluster::ContainerId id) {
   // it locally). If the node returns, resync re-adopts the container.
   const Entry* entry = find_entry(id);
   if (entry == nullptr) return;
+  // Quarantine revokes the node's RT admissions explicitly (reason 1): the
+  // reservation cannot be honored on a dead node, and a silent drop is
+  // exactly what the kRtEvicted contract forbids.
+  if (rt_.count(id) != 0) evict_rt(id, 1);
   if (obs_ != nullptr) {
     obs::TraceEvent ev;
     ev.time = sim_.now();
@@ -396,7 +426,17 @@ void Controller::crash() {
   // mint/burn totals reset together, so conservation holds from zero when
   // the seat returns. Under HA the standby's replica preserves the image.
   credits_.clear();
-  if (obs_ != nullptr) obs_->h.containers_active->set(0.0);
+  // The admitted RT set is soft state too — but the reservations are not
+  // lost: the node-side periodic-job models keep running fail-static, and
+  // resync/takeover re-derive the admitted set (the floors re-arm before
+  // any allocator decision can fire, so no reservation is ever shrunk by a
+  // seat that forgot it).
+  rt_.clear();
+  rt_reserved_cores_ = 0.0;
+  if (obs_ != nullptr) {
+    obs_->h.containers_active->set(0.0);
+    obs_->h.rt_reserved_cores->set(0.0);
+  }
 }
 
 void Controller::restart() {
@@ -1466,6 +1506,11 @@ std::vector<Controller::TakeoverContainer> Controller::registry_snapshot() {
     c.cores = allocator_.app().member_cores(id);
     c.mem = allocator_.app().member_mem(id);
     c.bw_bps = allocator_.app().member_bw(id);
+    const auto rt = rt_.find(id);
+    if (rt != rt_.end()) {
+      c.rt = rt->second.spec;
+      c.rt_bw_bps = rt->second.bw_bps;
+    }
     out.push_back(c);
   });
   std::sort(out.begin(), out.end(),
@@ -1570,7 +1615,8 @@ void Controller::takeover(std::uint64_t epoch,
     if (c.container == nullptr || c.node == nullptr) continue;
     if (index_.contains(c.container->id())) continue;
     register_impl(*c.container, *c.node, c.cores, c.mem,
-                  RegisterMode::kTakeover, c.bw_bps);
+                  RegisterMode::kTakeover, c.bw_bps,
+                  c.rt.valid() ? &c.rt : nullptr, c.rt_bw_bps);
   }
 
   // Replay every still-open desired-state slot with a fresh epoch-packed
@@ -1835,6 +1881,296 @@ void Controller::install_credits(
   }
 }
 
+double Controller::rt_capacity() const {
+  const double pool = allocator_.app().cpu_limit();
+  // A pinned base (sharded deployments) never counts borrowed pool: the
+  // live limit can sit above the base while a borrow is held, and a
+  // reservation admitted against transient capacity would have to be
+  // broken when the loan is returned.
+  return rt_capacity_ > 0.0 ? std::min(rt_capacity_, pool) : pool;
+}
+
+double Controller::rt_floor_of(cluster::ContainerId id) const {
+  const auto it = rt_.find(id);
+  return it != rt_.end() ? it->second.floor : 0.0;
+}
+
+double Controller::node_rt_reserved(cluster::NodeId node,
+                                    cluster::ContainerId except) const {
+  double sum = 0.0;
+  for (const auto& [id, info] : rt_) {
+    if (id == except) continue;
+    const std::uint32_t slot = index_.find(id);
+    if (slot == ContainerIndex::kInvalid) continue;
+    const Entry& e = registry_[slot];
+    if (e.agent != nullptr && e.agent->node().id() == node) sum += info.floor;
+  }
+  return sum;
+}
+
+double Controller::node_rt_bw_reserved(cluster::NodeId node,
+                                       cluster::ContainerId except) const {
+  double sum = 0.0;
+  for (const auto& [id, info] : rt_) {
+    if (id == except) continue;
+    const std::uint32_t slot = index_.find(id);
+    if (slot == ContainerIndex::kInvalid) continue;
+    const Entry& e = registry_[slot];
+    if (e.agent != nullptr && e.agent->node().id() == node) {
+      sum += info.bw_bps;
+    }
+  }
+  return sum;
+}
+
+void Controller::record_rt_rejected(cluster::ContainerId id, double floor,
+                                    std::int64_t reason) {
+  ++rt_rejections_;
+  if (obs_ == nullptr) return;
+  obs_->h.rt_rejected->inc();
+  obs::TraceEvent ev;
+  ev.time = sim_.now();
+  ev.kind = obs::EventKind::kRtRejected;
+  ev.container = id;
+  const Entry* entry = find_entry(id);
+  ev.node = entry != nullptr ? node_tag(*entry) : 0;
+  ev.after = floor;
+  ev.detail = reason;
+  obs_->record(ev);
+}
+
+Controller::RtAdmit Controller::admit_rt(cluster::ContainerId id,
+                                         const cfs::RtSpec& spec,
+                                         double bw_bps) {
+  const double floor = spec.valid() ? spec.floor_cores() : 0.0;
+  Entry* entry = find_entry(id);
+  if (crashed_ || !spec.valid() || bw_bps < 0.0 || entry == nullptr ||
+      entry->agent == nullptr || rt_.count(id) != 0 ||
+      node_dead(entry->agent->node().id())) {
+    record_rt_rejected(id, floor, 3);
+    return RtAdmit::kRejectedState;
+  }
+  const cluster::NodeId node = entry->agent->node().id();
+  // Node utilization bound: the deadline scheduler can honor the node's
+  // reservations only while their density sum stays under the bound — the
+  // slack above it is what absorbs CFS quantization and best-effort floors.
+  const double node_cores = entry->agent->node().config().cores;
+  if (node_rt_reserved(node, id) + floor >
+      config_.rt_util_bound * node_cores + kCpuLimitEpsilon) {
+    record_rt_rejected(id, floor, 0);
+    return RtAdmit::kRejectedNode;
+  }
+  // Pool bound against non-borrowed RT capacity: an admitted floor is a
+  // promise the pool must keep through faults, so it is only ever written
+  // against capacity this controller owns outright.
+  if (rt_reserved_cores_ + floor >
+      config_.rt_util_bound * rt_capacity() + kCpuLimitEpsilon) {
+    record_rt_rejected(id, floor, 1);
+    return RtAdmit::kRejectedPool;
+  }
+  // Bandwidth arm: a reservation with a rate rides the same admission
+  // decision, bounded against the node NIC (the bw plane's scarce link).
+  if (bw_bps > 0.0) {
+    const double nic =
+        bw_shaper_ != nullptr ? bw_shaper_->node_nic_bps(node) : 0.0;
+    if (nic <= 0.0 || node_rt_bw_reserved(node, id) + bw_bps >
+                          config_.rt_bw_bound * nic + 0.5) {
+      record_rt_rejected(id, floor, 2);
+      return RtAdmit::kRejectedBw;
+    }
+  }
+  install_rt(id, spec, bw_bps, /*fresh=*/true);
+  return RtAdmit::kAdmitted;
+}
+
+void Controller::install_rt(cluster::ContainerId id, const cfs::RtSpec& spec,
+                            double bw_bps, bool fresh) {
+  Entry* entry = find_entry(id);
+  if (entry == nullptr || entry->container == nullptr) return;
+  const double floor = spec.floor_cores();
+  rt_[id] = RtInfo{spec, floor, bw_bps};
+  rt_reserved_cores_ += floor;
+  allocator_.set_rt_floor(id, floor, bw_bps);
+  cluster::Container& c = *entry->container;
+  // Recovery re-installation finds the node-side periodic-job model still
+  // running (fail static); re-arming it would reset the job phase.
+  if (!(c.rt() == spec)) c.set_rt(spec);
+  c.set_deadline_miss_observer([this, &c](sim::Duration remaining) {
+    on_deadline_miss(c, remaining);
+  });
+  if (fresh) ++rt_admissions_;
+  if (obs_ != nullptr) {
+    obs_->h.rt_reserved_cores->set(rt_reserved_cores_);
+    if (fresh) {
+      obs_->h.rt_admitted->inc();
+      obs::TraceEvent ev;
+      ev.time = sim_.now();
+      ev.kind = obs::EventKind::kRtAdmitted;
+      ev.container = id;
+      ev.node = node_tag(*entry);
+      ev.after = floor;
+      ev.detail = (static_cast<std::int64_t>(spec.runtime) << 32) |
+                  static_cast<std::int64_t>(spec.period);
+      obs_->record(ev);
+    }
+  }
+  emit_rt(id, /*removed=*/false);
+  // The reservation holds from this instant: lift the shadow limit to the
+  // floor, shedding best-effort if the unallocated pool cannot cover it.
+  raise_to_rt_floor(id, floor);
+}
+
+bool Controller::evict_rt(cluster::ContainerId id, int reason) {
+  const auto it = rt_.find(id);
+  if (it == rt_.end()) return false;
+  ++rt_evictions_;
+  if (obs_ != nullptr) {
+    obs_->h.rt_evicted->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kRtEvicted;
+    ev.container = id;
+    const Entry* entry = find_entry(id);
+    ev.node = entry != nullptr ? node_tag(*entry) : 0;
+    ev.before = it->second.floor;
+    ev.detail = reason;
+    obs_->record(ev);
+  }
+  // A dead node's container keeps its periodic-job model fail-static (the
+  // node is unreachable; resync re-derives the reservation if it returns);
+  // every other eviction tears the node-side model down.
+  remove_rt(id, /*clear_node=*/reason != 1);
+  return true;
+}
+
+void Controller::remove_rt(cluster::ContainerId id, bool clear_node) {
+  const auto it = rt_.find(id);
+  if (it == rt_.end()) return;
+  rt_reserved_cores_ = std::max(0.0, rt_reserved_cores_ - it->second.floor);
+  rt_.erase(it);
+  allocator_.clear_rt_floor(id);
+  Entry* entry = find_entry(id);
+  if (clear_node && entry != nullptr && entry->container != nullptr) {
+    entry->container->clear_rt();
+    entry->container->set_deadline_miss_observer(nullptr);
+  }
+  if (obs_ != nullptr) obs_->h.rt_reserved_cores->set(rt_reserved_cores_);
+  emit_rt(id, /*removed=*/true);
+}
+
+void Controller::emit_rt(cluster::ContainerId id, bool removed) {
+  if (!repl_hook_) return;
+  ReplicationEvent rev;
+  rev.kind = ReplicationEvent::Kind::kRt;
+  rev.container = id;
+  const auto it = rt_.find(id);
+  if (it != rt_.end()) {
+    rev.cores = it->second.floor;
+    rev.bw_bps = it->second.bw_bps;
+    rev.rt_runtime = it->second.spec.runtime;
+    rev.rt_deadline = it->second.spec.deadline;
+    rev.rt_period = it->second.spec.period;
+  }
+  rev.rt_removed = removed;
+  emit_repl(rev);
+}
+
+void Controller::raise_to_rt_floor(cluster::ContainerId id, double floor) {
+  // The floor is a promise the deadline model depends on core-for-core, so
+  // this path tolerates only numeric dust (kRtFloorSlack), never the RPC
+  // churn epsilon: a book left kCpuLimitEpsilon under the floor is a real
+  // core-time shortfall that surfaces as an allocator-caused deadline miss.
+  const double cur = allocator_.app().member_cores(id);
+  if (cur + kRtFloorSlack >= floor) return;
+  const double need = floor - cur;
+  const double unalloc = std::max(0.0, allocator_.app().cpu_unallocated());
+  if (unalloc < need) shed_best_effort(need - unalloc);
+  const double applied = allocator_.app().set_member_cores(id, floor);
+  if (applied - cur <= kRtFloorSlack) return;
+  LoopCtx ctx;
+  if (obs_ != nullptr) {
+    obs_->h.cpu_grants->inc();
+    obs::TraceEvent ev;
+    ev.time = sim_.now();
+    ev.kind = obs::EventKind::kCpuGrant;
+    ev.container = id;
+    const Entry* entry = find_entry(id);
+    ev.node = entry != nullptr ? node_tag(*entry) : 0;
+    ev.before = cur;
+    ev.after = applied;
+    ctx.cause = obs_->record(ev);
+  }
+  push_cpu_limit(id, applied, ctx);
+}
+
+void Controller::shed_best_effort(double need) {
+  if (need <= kRtFloorSlack) return;
+  // Graceful degradation: best-effort members shed first, in ascending id
+  // order, each shrunk toward the min_cores floor until the need is
+  // covered. If best-effort alone cannot cover it (every co-tenant may be
+  // RT-admitted), a second pass reclaims RT members' surplus above their
+  // own floors — an admitted reservation protects its floor, never the
+  // κ-granted headroom above it. Neither pass ever takes an RT container
+  // below its floor.
+  std::vector<cluster::ContainerId> ids;
+  ids.reserve(index_.size());
+  index_.for_each(
+      [&](std::uint32_t, cluster::ContainerId id) { ids.push_back(id); });
+  std::sort(ids.begin(), ids.end());
+  for (const bool rt_pass : {false, true}) {
+    for (const cluster::ContainerId id : ids) {
+      if (need <= kRtFloorSlack) return;
+      if ((rt_.count(id) != 0) != rt_pass) continue;
+      const Entry* entry = find_entry(id);
+      if (entry == nullptr || entry->agent == nullptr) continue;
+      if (node_dead(entry->agent->node().id())) continue;
+      const double cur = allocator_.app().member_cores(id);
+      const double lower =
+          rt_pass ? std::max(config_.min_cores, rt_floor_of(id))
+                  : config_.min_cores;
+      const double target = std::max(lower, cur - need);
+      // No churn guard here: a sub-epsilon residual is still owed to the
+      // floor being raised, and skipping it strands the reservation just
+      // under its promise (one extra shrink RPC per admission is cheap).
+      if (cur - target <= kRtFloorSlack) continue;
+      const double applied = allocator_.app().set_member_cores(id, target);
+      need -= cur - applied;
+      LoopCtx ctx;
+      if (obs_ != nullptr) {
+        obs_->h.cpu_shrinks->inc();
+        obs::TraceEvent ev;
+        ev.time = sim_.now();
+        ev.kind = obs::EventKind::kCpuShrink;
+        ev.container = id;
+        ev.node = node_tag(*entry);
+        ev.before = cur;
+        ev.after = applied;
+        ctx.cause = obs_->record(ev);
+      }
+      push_cpu_limit(id, applied, ctx);
+    }
+  }
+}
+
+void Controller::on_deadline_miss(cluster::Container& container,
+                                  sim::Duration remaining) {
+  ++deadline_misses_;
+  if (obs_ == nullptr) return;
+  obs_->h.deadline_misses->inc();
+  obs::TraceEvent ev;
+  ev.time = sim_.now();
+  ev.kind = obs::EventKind::kDeadlineMiss;
+  ev.container = container.id();
+  const Entry* entry = find_entry(container.id());
+  ev.node = entry != nullptr ? node_tag(*entry) : 0;
+  ev.before = container.rt().floor_cores();
+  ev.after = allocator_.app().is_member(container.id())
+                 ? allocator_.app().member_cores(container.id())
+                 : container.cpu_cgroup().limit_cores();
+  ev.detail = static_cast<std::int64_t>(remaining);
+  obs_->record(ev);
+}
+
 void Controller::settle_credits() {
   // The ONLY site that charges usage-based credits. Settling on the
   // Controller's own clock — never per telemetry RPC — makes every charge
@@ -1913,9 +2249,12 @@ void Controller::settle_credits() {
           streak >= config_.credit_decay_grace) {
         // Credit-exhausted and persistently above fair share: κ-damped
         // decay toward the static fair share — the overclaimer converges
-        // to what admission would have given it, never below.
+        // to what admission would have given it, never below. An admitted
+        // RT floor outranks the decay: the reservation's priority was paid
+        // at admission, not borrowed from this ledger.
         const double target = std::max(
-            {config_.min_cores, fair, cur - config_.kappa * (cur - fair)});
+            {config_.min_cores, allocator_.rt_floor(id), fair,
+             cur - config_.kappa * (cur - fair)});
         if (cur - target > kCpuLimitEpsilon) {
           const double applied = allocator_.app().set_member_cores(id, target);
           LoopCtx ctx;

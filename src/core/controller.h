@@ -21,11 +21,13 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "bw/shaper.h"
+#include "cfs/rt.h"
 #include "cluster/container.h"
 #include "cluster/node.h"
 #include "core/agent.h"
@@ -94,6 +96,7 @@ class Controller {
       kNodeHealth,  // node liveness / agent-incarnation transition
       kBwSlot,      // desired-state bandwidth slot opened/superseded (seq, bw)
       kCredit,      // credit-ledger account moved (balance + totals image)
+      kRt,          // RT reservation admitted (absolute image) or revoked
     };
     Kind kind = Kind::kRegister;
     cluster::ContainerId container = 0;
@@ -115,6 +118,13 @@ class Controller {
     std::int64_t credit_minted = 0;
     std::int64_t credit_burned = 0;
     bool credit_removed = false;  // account closed (container left)
+    // kRt: the reservation's absolute (runtime, deadline, period) image —
+    // `cores` carries the admitted floor, `bw_bps` the bandwidth
+    // reservation. rt_removed marks an explicit eviction.
+    sim::Duration rt_runtime = 0;
+    sim::Duration rt_deadline = 0;
+    sim::Duration rt_period = 0;
+    bool rt_removed = false;
   };
   using ReplicationHook = std::function<void(const ReplicationEvent&)>;
   void set_replication_hook(ReplicationHook hook) {
@@ -137,6 +147,10 @@ class Controller {
     double cores = 0.0;
     memcg::Bytes mem = 0;
     double bw_bps = 0.0;  // replicated shadow bandwidth rate; 0 = unshaped
+    // Replicated RT reservation (rt.valid() false when best-effort); the
+    // bandwidth arm of the reservation rides rt_bw_bps.
+    cfs::RtSpec rt;
+    double rt_bw_bps = 0.0;
     // Resolved by the caller (the replica carries ids; src/ha resolves them
     // against the Cluster before installing). Entries with a null pointer —
     // the container vanished while the replica was in flight — are skipped.
@@ -268,6 +282,50 @@ class Controller {
   void install_credits(const std::vector<CreditLedger::Snapshot>& accounts,
                        std::int64_t minted, std::int64_t burned);
 
+  // --- real-time admission control (mixed-criticality class) ---
+  //
+  // An RT reservation is a (runtime, deadline, period) triple; its CPU
+  // floor is runtime / min(deadline, period) cores. Admission is a
+  // utilization-bound test at three scopes — the container's node
+  // (rt_util_bound x node cores), the pool's non-borrowed RT capacity
+  // (rt_util_bound x rt_capacity), and, when a bandwidth reservation
+  // rides along, the node NIC (rt_bw_bound x nic_bps). Once admitted, no
+  // allocator decision — κ scale-down, credit decay, greedy throttling —
+  // may take the container below its floor, and the reservation is only
+  // ever revoked by an explicit kRtEvicted decision (release, node death),
+  // never silently.
+  enum class RtAdmit {
+    kAdmitted,
+    kRejectedNode,   // node utilization bound exceeded
+    kRejectedPool,   // pool RT-capacity bound exceeded
+    kRejectedBw,     // NIC bandwidth bound exceeded (or bw plane off)
+    kRejectedState,  // not registered / already admitted / invalid / crashed
+  };
+  RtAdmit admit_rt(cluster::ContainerId id, const cfs::RtSpec& spec,
+                   double bw_bps = 0.0);
+  // Revokes an admitted reservation (trace kRtEvicted, reason: 0 released,
+  // 1 node dead/quarantined, 2 operator). The container survives as
+  // best-effort unless the caller also deregisters it. Returns false if the
+  // id holds no reservation.
+  bool evict_rt(cluster::ContainerId id, int reason = 0);
+  bool rt_admitted(cluster::ContainerId id) const {
+    return rt_.count(id) != 0;
+  }
+  // The admitted CPU floor, or 0 for best-effort containers.
+  double rt_floor_of(cluster::ContainerId id) const;
+  double rt_reserved_cores() const { return rt_reserved_cores_; }
+  std::size_t rt_count() const { return rt_.size(); }
+  std::uint64_t rt_admissions() const { return rt_admissions_; }
+  std::uint64_t rt_rejections() const { return rt_rejections_; }
+  std::uint64_t rt_evictions() const { return rt_evictions_; }
+  std::uint64_t deadline_misses() const { return deadline_misses_; }
+  // The pool's non-borrowed RT capacity base (cores). The sharded control
+  // plane pins this to each shard's base slice so borrowed pool is never
+  // counted toward RT headroom; 0 (default) means "use the live pool
+  // limit" (single-controller deployments, where nothing is borrowed).
+  void set_rt_capacity(double cores) { rt_capacity_ = cores; }
+  double rt_capacity() const;
+
   // --- counters ---
   std::uint64_t stats_received() const { return stats_received_; }
   std::uint64_t limit_updates_sent() const { return limit_updates_; }
@@ -337,9 +395,13 @@ class Controller {
   enum class RegisterMode { kBootstrap, kResync, kTakeover };
   // `bw_want` is the recovery-mode bandwidth rate to re-admit (snapshot or
   // replica value); bootstrap ignores it and derives the rate from the plan.
+  // `rt`/`rt_bw` re-install a replicated RT reservation on the takeover
+  // path (resync re-derives the reservation from node-side container state
+  // instead — the node is the source of truth a restarted seat can reach).
   void register_impl(cluster::Container& container, cluster::Node& node,
                      double cores, memcg::Bytes mem, RegisterMode mode,
-                     double bw_want = 0.0);
+                     double bw_want = 0.0, const cfs::RtSpec* rt = nullptr,
+                     double rt_bw = 0.0);
   void ingest_cpu_stats(const CpuStatsMsg& stats, obs::EventId cause,
                         sim::TimePoint fire_time);
   void push_cpu_limit(cluster::ContainerId id, double cores, LoopCtx ctx);
@@ -367,6 +429,35 @@ class Controller {
   void open_credit_account(cluster::ContainerId id);
   void close_credit_account(cluster::ContainerId id);
   void emit_credit(cluster::ContainerId id, bool removed);
+  // RT admission internals. install_rt commits an already-checked
+  // reservation: books the floor into the allocator, arms the node-side
+  // periodic-job model and the deadline-miss observer, and replicates the
+  // image (kRt). `fresh` distinguishes a new admission (trace + counter)
+  // from recovery re-installation (resync/takeover), which must not
+  // double-count.
+  void install_rt(cluster::ContainerId id, const cfs::RtSpec& spec,
+                  double bw_bps, bool fresh);
+  // Drops the reservation's controller-side state (floor, gauge, books);
+  // the caller decides whether a kRtEvicted trace precedes it.
+  // `clear_node` false leaves the node-side periodic-job model running
+  // fail-static (dead-node eviction: the node is unreachable).
+  void remove_rt(cluster::ContainerId id, bool clear_node = true);
+  // Frees `need` cores of pool headroom by shrinking best-effort members
+  // toward min_cores (ascending id order, RT floors untouched): graceful
+  // degradation sheds best-effort first, never the admitted RT set.
+  void shed_best_effort(double need);
+  // Raises the container's shadow limit to its floor (shedding best-effort
+  // if the pool is dry) so the reservation holds from admission onward.
+  void raise_to_rt_floor(cluster::ContainerId id, double floor);
+  double node_rt_reserved(cluster::NodeId node,
+                          cluster::ContainerId except) const;
+  double node_rt_bw_reserved(cluster::NodeId node,
+                             cluster::ContainerId except) const;
+  void on_deadline_miss(cluster::Container& container,
+                        sim::Duration remaining);
+  void record_rt_rejected(cluster::ContainerId id, double floor,
+                          std::int64_t reason);
+  void emit_rt(cluster::ContainerId id, bool removed);
   // Rejects physically-impossible telemetry (trace kTelemetryRejected).
   bool telemetry_plausible(const CpuStatsMsg& stats, const Entry* entry);
   std::uint32_t node_tag(const Entry& entry) const;
@@ -475,6 +566,22 @@ class Controller {
   ReplicationHook repl_hook_;
   bw::ClusterShaper* bw_shaper_ = nullptr;
   double bw_plan_ = 0.0;  // registration-time grant; 0 = late-join default
+
+  // Admitted RT reservations. An ordered map: admission sweeps and
+  // per-node reservation sums iterate it, and decision order must be
+  // deterministic across identical-seed runs.
+  struct RtInfo {
+    cfs::RtSpec spec;
+    double floor = 0.0;   // spec.floor_cores() at admission
+    double bw_bps = 0.0;  // bandwidth reservation; 0 = none
+  };
+  std::map<cluster::ContainerId, RtInfo> rt_;
+  double rt_reserved_cores_ = 0.0;
+  double rt_capacity_ = 0.0;  // 0 = track the live pool limit
+  std::uint64_t rt_admissions_ = 0;
+  std::uint64_t rt_rejections_ = 0;
+  std::uint64_t rt_evictions_ = 0;
+  std::uint64_t deadline_misses_ = 0;
 
   std::uint64_t stats_received_ = 0;
   std::uint64_t limit_updates_ = 0;

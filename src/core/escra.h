@@ -71,6 +71,22 @@ class EscraSystem {
   void enable_bandwidth(bw::ClusterShaper& shaper, double global_bw_bps);
   bool bandwidth_enabled() const { return controller_.bandwidth_enabled(); }
 
+  // Real-time admission (mixed-criticality class): reserves a
+  // (runtime, deadline, period) floor for a managed container. The
+  // container must already be adopted/deployed; see Controller::admit_rt
+  // for the utilization-bound tests and the never-reclaim guarantee.
+  Controller::RtAdmit admit_rt(cluster::Container& container,
+                               const cfs::RtSpec& spec, double bw_bps = 0.0) {
+    return controller_.admit_rt(container.id(), spec, bw_bps);
+  }
+  bool evict_rt(cluster::Container& container, int reason = 2) {
+    return controller_.evict_rt(container.id(), reason);
+  }
+  bool rt_admitted(cluster::ContainerId id) const {
+    return controller_.rt_admitted(id);
+  }
+  double rt_reserved_cores() const { return controller_.rt_reserved_cores(); }
+
   // Fault injection: kills / revives the Controller process. Soft state
   // (registry, pool accounting, pending retransmits) is lost on crash and
   // rebuilt from the Agents' snapshots on restart; nodes fail static in

@@ -148,6 +148,9 @@ void HaControlPlane::on_repl_event(
     case Kind::kCredit:
       r.kind = WalKind::kCredit;
       break;
+    case Kind::kRt:
+      r.kind = WalKind::kRt;
+      break;
   }
   r.epoch = escra_.controller().epoch();
   r.container = ev.container;
@@ -164,6 +167,10 @@ void HaControlPlane::on_repl_event(
   r.credit_minted = ev.credit_minted;
   r.credit_burned = ev.credit_burned;
   r.credit_removed = ev.credit_removed;
+  r.rt_runtime = ev.rt_runtime;
+  r.rt_deadline = ev.rt_deadline;
+  r.rt_period = ev.rt_period;
+  r.rt_removed = ev.rt_removed;
   append_and_stream(r);
 }
 
@@ -447,6 +454,14 @@ void HaControlPlane::promote(Standby& standby) {
     c.cores = cs.cores;
     c.mem = cs.mem;
     c.bw_bps = cs.bw_bps;
+    // Replicated RT reservation: the new leader re-installs the admitted
+    // set exactly-once (install_rt re-emits kRt into this epoch's stream).
+    const auto rt = s.replica.rt.find(id);
+    if (rt != s.replica.rt.end()) {
+      c.rt = cfs::RtSpec{rt->second.runtime, rt->second.deadline,
+                         rt->second.period};
+      c.rt_bw_bps = rt->second.bw_bps;
+    }
     c.container = escra_.cluster().find_container(id);
     c.node = escra_.cluster().node_of(id);
     containers.push_back(c);

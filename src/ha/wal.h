@@ -32,6 +32,7 @@ enum class WalKind : std::uint8_t {
   kNodeHealth,  // node liveness / agent-incarnation transition
   kBwSlot,      // desired-state bandwidth slot opened/superseded (seq, bw)
   kCredit,      // credit-ledger account moved (balance + mint/burn totals)
+  kRt,          // RT reservation admitted (absolute image) or revoked
 };
 
 struct WalRecord {
@@ -57,6 +58,12 @@ struct WalRecord {
   std::int64_t credit_minted = 0;
   std::int64_t credit_burned = 0;
   bool credit_removed = false;  // account closed (balance burned)
+  // kRt: absolute reservation image (`cores` carries the admitted floor,
+  // `bw_bps` the bandwidth reservation alongside the triple).
+  sim::Duration rt_runtime = 0;
+  sim::Duration rt_deadline = 0;
+  sim::Duration rt_period = 0;
+  bool rt_removed = false;  // reservation revoked (kRtEvicted decision)
 };
 
 // The leader's in-memory log. Indices never reset (standby cursors stay
@@ -104,6 +111,12 @@ struct ReplicaState {
     cluster::NodeId node = 0;
     double bw_bps = 0.0;  // current shadow bandwidth rate; 0 = unshaped
   };
+  struct RtState {
+    sim::Duration runtime = 0;
+    sim::Duration deadline = 0;
+    sim::Duration period = 0;
+    double bw_bps = 0.0;  // bandwidth reservation; 0 = none
+  };
   struct SlotState {
     std::uint64_t seq = 0;
     double cores = 0.0;
@@ -129,6 +142,9 @@ struct ReplicaState {
   std::map<cluster::ContainerId, std::int64_t> credits;
   std::int64_t credit_minted = 0;
   std::int64_t credit_burned = 0;
+  // Admitted RT reservations (absolute images; erased by an explicit
+  // rt_removed record or by the container's kDeregister).
+  std::map<cluster::ContainerId, RtState> rt;
   std::uint64_t epoch = 0;
 
   static std::uint64_t slot_key(cluster::ContainerId id, core::Resource r) {
@@ -147,6 +163,7 @@ struct ReplicaState {
         credits.clear();
         credit_minted = 0;
         credit_burned = 0;
+        rt.clear();
         epoch = r.epoch;
         break;
       case WalKind::kRegister:
@@ -158,6 +175,7 @@ struct ReplicaState {
         slots.erase(slot_key(r.container, core::Resource::kCpu));
         slots.erase(slot_key(r.container, core::Resource::kMem));
         slots.erase(slot_key(r.container, core::Resource::kBw));
+        rt.erase(r.container);
         break;
       case WalKind::kCpuSlot: {
         slots[slot_key(r.container, core::Resource::kCpu)] =
@@ -203,6 +221,14 @@ struct ReplicaState {
         }
         credit_minted = r.credit_minted;
         credit_burned = r.credit_burned;
+        break;
+      case WalKind::kRt:
+        if (r.rt_removed) {
+          rt.erase(r.container);
+        } else {
+          rt[r.container] =
+              RtState{r.rt_runtime, r.rt_deadline, r.rt_period, r.bw_bps};
+        }
         break;
     }
   }

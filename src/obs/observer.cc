@@ -67,6 +67,12 @@ Observer::Observer(Config config) : trace_(config.trace_capacity) {
   h.shard_borrow_returns = &metrics_.counter("shard.borrow_returns");
   h.shard_borrow_retransmits = &metrics_.counter("shard.borrow_retransmits");
   h.shard_pool_resizes = &metrics_.counter("shard.pool_resizes");
+
+  h.rt_admitted = &metrics_.counter("controller.rt_admitted");
+  h.rt_rejected = &metrics_.counter("controller.rt_rejected");
+  h.rt_evicted = &metrics_.counter("controller.rt_evicted");
+  h.deadline_misses = &metrics_.counter("cfs.deadline_misses");
+  h.rt_reserved_cores = &metrics_.gauge("controller.rt_reserved_cores");
 }
 
 }  // namespace escra::obs

@@ -132,6 +132,13 @@ class Observer {
     Counter* shard_borrow_returns = nullptr;      // shard.borrow_returns
     Counter* shard_borrow_retransmits = nullptr;  // shard.borrow_retransmits
     Counter* shard_pool_resizes = nullptr;        // shard.pool_resizes
+
+    // Real-time container class (admission control + deadline model).
+    Counter* rt_admitted = nullptr;        // controller.rt_admitted
+    Counter* rt_rejected = nullptr;        // controller.rt_rejected
+    Counter* rt_evicted = nullptr;         // controller.rt_evicted
+    Counter* deadline_misses = nullptr;    // cfs.deadline_misses
+    Gauge* rt_reserved_cores = nullptr;    // controller.rt_reserved_cores
   };
   Handles h;
 

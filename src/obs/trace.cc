@@ -27,6 +27,8 @@ constexpr const char* kKindNames[kEventKindCount] = {
     "shard-advertise",      "borrow-request",
     "borrow-grant",         "borrow-return",
     "shard-pool-resize",
+    "rt-admitted",          "rt-rejected",
+    "rt-evicted",           "deadline-miss",
 };
 
 void append_double(std::string& out, double v) {

@@ -94,8 +94,28 @@ enum class EventKind : std::uint8_t {
   kShardPoolResize,      // a shard's pool slice changed size (before/after =
                          // old/new limit in the resource's unit, detail =
                          // resource)
+  // Real-time container class (mixed criticality). RT reservations are
+  // (runtime, deadline, period) triples; the admitted CPU floor is
+  // runtime / min(deadline, period) cores.
+  kRtAdmitted,           // admission control accepted an RT reservation
+                         // (after = admitted floor in cores, detail =
+                         // runtime us packed with period us as
+                         // (runtime_us << 32) | period_us)
+  kRtRejected,           // admission control refused an RT reservation
+                         // (after = requested floor, detail = 0 node bound,
+                         // 1 pool bound, 2 bw bound, 3 not registered /
+                         // already admitted)
+  kRtEvicted,            // an admitted RT reservation was revoked by an
+                         // explicit controller decision (node death,
+                         // deregistration) — never silently (before =
+                         // admitted floor, detail = reason: 0 released,
+                         // 1 node dead/quarantined, 2 operator)
+  kDeadlineMiss,         // an admitted RT container's periodic job ran past
+                         // its deadline (before = admitted floor, after =
+                         // shadow CPU limit at the miss, detail = core-time
+                         // still owed at the deadline, us)
 };
-inline constexpr int kEventKindCount = 33;
+inline constexpr int kEventKindCount = 37;
 
 const char* event_kind_name(EventKind kind);
 std::optional<EventKind> event_kind_from_name(std::string_view name);

@@ -56,6 +56,9 @@ ShardedControlPlane::ShardedControlPlane(sim::Simulation& sim,
     const memcg::Bytes mem = mem_slice + (s == 0 ? mem_remainder : 0);
     shards_[s].escra = std::make_unique<core::EscraSystem>(
         sim_, net_, cluster_, cpu_slice, mem, config_.escra);
+    // RT admissions debit the shard's own base slice, never borrowed pool:
+    // a loan is recallable, a reservation is not.
+    shards_[s].escra->controller().set_rt_capacity(cpu_slice);
     shards_[s].heard.resize(static_cast<std::size_t>(n));
     cluster_cpu_limit_ += cpu_slice;
     cluster_mem_limit_ += mem;
@@ -203,8 +206,14 @@ void ShardedControlPlane::resize_pool(int s, int res, double new_limit,
 }
 
 double ShardedControlPlane::lendable_surplus(int s, int res) const {
-  const double surplus =
+  double surplus =
       unalloc_of(s, res) - config_.reserve_frac * limit_of(s, res);
+  if (res == kResCpu) {
+    // Admitted RT floors are promised capacity even while the unallocated
+    // figure still covers them (a floor not yet drawn is still owed):
+    // lending it out would let a later raise_to_rt_floor find the pool dry.
+    surplus -= shards_[s].escra->controller().rt_reserved_cores();
+  }
   if (surplus <= 0.0) return 0.0;
   return res == kResMem ? std::floor(surplus) : surplus;
 }

@@ -166,6 +166,18 @@ class ShardedControlPlane {
   // unknown to the plane.
   int shard_of_container(cluster::ContainerId id) const;
 
+  // RT admission routed to the container's owning shard: the reservation
+  // debits that shard's base slice (set_rt_capacity pins the bound to the
+  // non-borrowed base, so borrowed pool never backs an RT floor). Rejects
+  // with kRejectedState when the plane does not know the container.
+  core::Controller::RtAdmit admit_rt(cluster::ContainerId id,
+                                     const cfs::RtSpec& spec,
+                                     double bw_bps = 0.0) {
+    const int s = shard_of_container(id);
+    if (s < 0) return core::Controller::RtAdmit::kRejectedState;
+    return shards_[s].escra->controller().admit_rt(id, spec, bw_bps);
+  }
+
   // Cluster-wide pool totals captured at construction (the conservation
   // right-hand side) and the transfer amounts currently on the wire.
   double cluster_cpu_limit() const { return cluster_cpu_limit_; }

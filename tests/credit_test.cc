@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bw/shaper.h"
 #include "check/invariant_checker.h"
 #include "cluster/cluster.h"
 #include "core/escra.h"
@@ -223,6 +224,54 @@ TEST(CreditSettleTest, ImpossibleTelemetryIsRejectedBeforeTheAllocator) {
 
   EXPECT_EQ(rig.observer.h.telemetry_rejected->value(), 2u);
   EXPECT_DOUBLE_EQ(rig.escra.app().member_cores(c->id()), cores_before);
+}
+
+// The plausibility clamp's boundary: a saturated node legitimately reports
+// usage of exactly its core count, and a saturated flow exactly its NIC
+// rate — AT the bound is real telemetry and must be ingested. Epsilon
+// ABOVE is physically impossible and must be rejected. Off-by-one here
+// either drops honest saturation reports (the loop goes blind exactly when
+// pressure peaks) or admits forged ones.
+TEST(CreditSettleTest, TelemetryAtThePhysicalBoundIsAccepted) {
+  CreditRig rig;
+  rig.sim.run_until(seconds(1));
+  core::Controller& controller = rig.escra.controller();
+  cluster::Container* c = rig.containers[0];
+  const sim::Duration period = c->cpu_cgroup().period();
+
+  core::CpuStatsMsg msg;
+  msg.cgroup = c->id();
+  msg.period_end = rig.sim.now();
+  // Exactly node capacity: 20 core-periods burned on the 20-core node.
+  msg.quota = 20 * period;
+  msg.unused = 0;
+  msg.throttled = false;
+  controller.on_cpu_stats(msg);
+  EXPECT_EQ(rig.observer.h.telemetry_rejected->value(), 0u);
+
+  // One percent of a period above capacity: impossible, rejected.
+  msg.quota = 20 * period + period / 100;
+  controller.on_cpu_stats(msg);
+  EXPECT_EQ(rig.observer.h.telemetry_rejected->value(), 1u);
+}
+
+TEST(CreditSettleTest, BwTelemetryAtTheNicRateIsAccepted) {
+  CreditRig rig;
+  rig.sim.run_until(seconds(1));
+  core::Controller& controller = rig.escra.controller();
+  const double nic = 1.25e9;  // NodeConfig default
+
+  bw::BwSample sample;
+  sample.container = rig.containers[0]->id();
+  sample.rate_bps = nic;
+  sample.used_bps = nic;  // the link saturated: exactly the NIC rate
+  sample.throttled = false;
+  controller.on_bw_stats(sample);
+  EXPECT_EQ(rig.observer.h.telemetry_rejected->value(), 0u);
+
+  sample.used_bps = nic * (1.0 + 1e-6);  // faster than the wire: forged
+  controller.on_bw_stats(sample);
+  EXPECT_EQ(rig.observer.h.telemetry_rejected->value(), 1u);
 }
 
 // --- failover: balances ride the WAL; conservation survives takeover ---

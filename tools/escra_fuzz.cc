@@ -53,6 +53,31 @@
 //                         with --fault-profile, --standbys/--leader-churn
 //                         (credit balances must survive takeover), and any
 //                         --jobs count byte-identically.
+//     --rt                overlay the mixed-criticality real-time class: a
+//                         seed-derived admission plan against tenant 0 (a
+//                         subset of its containers, each with a
+//                         deadline = period reservation, period a multiple
+//                         of 100ms, utilization <= 0.3) admitted mid-run
+//                         through the Controller's utilization-bound tests,
+//                         with a fraction of the reservations revoked later
+//                         by operator eviction. The checker runs with the
+//                         RT invariants armed (never-reclaim floors,
+//                         explicit-eviction-before-kill, admission
+//                         conservation, allocator-caused deadline misses
+//                         are violations). RT draws use a dedicated rng
+//                         stream, so a seed's scenario is identical with
+//                         and without this flag. The sweep is additionally
+//                         non-vacuous: at least one reservation must be
+//                         admitted across the whole sweep or the exit
+//                         status is 1 (tenant-caused misses — overrun, RPC
+//                         loss — are reported but allowed; a miss while the
+//                         allocator books the container below its floor is
+//                         a violation). Composes with --fault-profile,
+//                         --standbys/--leader-churn (the admitted set must
+//                         survive takeover), --greedy (greedy tenants must
+//                         not starve RT floors), --shards (admission debits
+//                         the owning shard's slice), and any --jobs count
+//                         byte-identically.
 //     --shards N          run every scenario through a sharded control
 //                         plane (shard::ShardedControlPlane, N shards)
 //                         instead of per-tenant EscraSystems: each tenant
@@ -123,6 +148,7 @@
 
 #include "adv/greedy.h"
 #include "bw/shaper.h"
+#include "cfs/rt.h"
 #include "check/invariant_checker.h"
 #include "check/shard_checker.h"
 #include "cluster/cluster.h"
@@ -150,6 +176,7 @@ struct Options {
   bool leader_churn = false;
   bool bw = false;
   bool greedy = false;
+  bool rt = false;
   int shards = 0;
   bool legacy_rpc = false;
   bool force_overgrant = false;
@@ -162,7 +189,7 @@ void usage() {
                "usage: escra-fuzz [--runs N] [--seed S] [--jobs N]\n"
                "                  [--trace-tail N] [--repro-out FILE]\n"
                "                  [--fault-profile] [--standbys N]\n"
-               "                  [--leader-churn] [--bw] [--greedy]\n"
+               "                  [--leader-churn] [--bw] [--greedy] [--rt]\n"
                "                  [--shards N] [--legacy-rpc]\n"
                "                  [--force-overgrant] [--rss-check] [--quiet]\n");
 }
@@ -214,6 +241,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       opts.bw = true;
     } else if (flag == "--greedy") {
       opts.greedy = true;
+    } else if (flag == "--rt") {
+      opts.rt = true;
     } else if (flag == "--shards") {
       opts.shards = static_cast<int>(parse_u64(flag, next()));
     } else if (flag == "--legacy-rpc") {
@@ -278,6 +307,10 @@ struct Scenario {
   // Adversarial overlay on tenant 0 (set from --greedy; like --bw, its
   // draws come from a dedicated rng stream, never from the scenario rng).
   bool greedy = false;
+  // Real-time admission plan against tenant 0 (set from --rt; like --bw,
+  // its draws come from a dedicated rng stream, never from the scenario
+  // rng).
+  bool rt = false;
   // Sharded control plane with this many shards (set from --shards, not
   // drawn: only the control-plane topology changes, never the scenario).
   int shards = 0;
@@ -363,6 +396,7 @@ std::string to_json(const Scenario& s) {
                         : "\"leader_churn\": false";
   out += s.bw ? ", \"bw\": true" : ", \"bw\": false";
   out += s.greedy ? ", \"greedy\": true" : ", \"greedy\": false";
+  out += s.rt ? ", \"rt\": true" : ", \"rt\": false";
   std::snprintf(buf, sizeof(buf), ", \"shards\": %d", s.shards);
   out += buf;
   out += s.legacy_rpc ? ", \"legacy_rpc\": true" : ", \"legacy_rpc\": false";
@@ -518,6 +552,45 @@ void schedule_bw_traffic(sim::Simulation& sim, net::Network& net,
   sim.schedule_after(next_gap(), *tick);
 }
 
+// --rt overlay: the admission plan — which tenant-0 containers declare a
+// reservation, the (runtime, deadline, period) triple, when the admission
+// lands, and whether an operator revokes it later — is pre-drawn from the
+// dedicated rt rng before the run starts, so scheduled-callback ordering
+// never perturbs the draw sequence and --jobs stays byte-identical.
+// Reservations are deliberately conservative (deadline = period, period a
+// multiple of 100ms, utilization <= 0.3): the sweep probes whether the
+// allocator honors floors it admitted, not whether admission control
+// rejects infeasible contracts (the rejection paths get exercised anyway
+// when small nodes or small pools run out of RT headroom).
+struct RtPlanEntry {
+  std::size_t member = 0;        // index into tenant 0's initial containers
+  cfs::RtSpec spec;
+  sim::TimePoint admit_at = 0;
+  sim::TimePoint evict_at = 0;   // 0: reservation held until teardown
+};
+
+std::vector<RtPlanEntry> draw_rt_plan(sim::Rng& rng, std::size_t members,
+                                      sim::TimePoint end) {
+  std::vector<RtPlanEntry> plan;
+  for (std::size_t m = 0; m < members; ++m) {
+    // Seed-derived subset, at least one container (the greedy attach idiom).
+    if (!rng.chance(0.5) && !(plan.empty() && m + 1 == members)) continue;
+    RtPlanEntry e;
+    e.member = m;
+    e.spec.period = sim::milliseconds(100 * rng.uniform_int(1, 5));
+    e.spec.deadline = e.spec.period;  // implicit deadlines: floor = util
+    e.spec.runtime = std::max<sim::Duration>(
+        1, static_cast<sim::Duration>(rng.uniform(0.05, 0.3) *
+                                      static_cast<double>(e.spec.period)));
+    e.admit_at = rng.uniform_int(sim::milliseconds(50), end / 2);
+    if (rng.chance(0.3)) {
+      e.evict_at = rng.uniform_int(e.admit_at + e.spec.period, end);
+    }
+    plan.push_back(e);
+  }
+  return plan;
+}
+
 struct RunOutcome {
   bool violated = false;
   // --greedy non-vacuity accounting, summed across the sweep in main().
@@ -525,6 +598,12 @@ struct RunOutcome {
   std::uint64_t credit_charges = 0;
   // --shards non-vacuity accounting: cross-shard borrow grants this run.
   std::uint64_t borrow_grants = 0;
+  // --rt non-vacuity accounting: reservations admitted/rejected and
+  // deadline misses observed this run (allocator-caused misses are checker
+  // violations; these totals report the tenant-caused remainder).
+  std::uint64_t rt_admissions = 0;
+  std::uint64_t rt_rejections = 0;
+  std::uint64_t rt_misses = 0;
   std::string report;
   // Full diagnostic text for a violation (report, scenario JSON, trace
   // tail, replay line), buffered so parallel runs never interleave output:
@@ -599,6 +678,7 @@ RunOutcome run_sharded_scenario(const Scenario& s, bool force_overgrant,
   }
 
   const sim::TimePoint end = sim::seconds_f(s.duration_s);
+  std::vector<cluster::ContainerId> rt_candidates;
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
     const TenantPlan& tp = s.tenants[t];
     std::vector<cluster::Container*> members;
@@ -612,6 +692,7 @@ RunOutcome run_sharded_scenario(const Scenario& s, bool force_overgrant,
       cluster::Container& container =
           k8s.create_container(spec, 1.0, 256 * memcg::kMiB);
       members.push_back(&container);
+      if (t == 0) rt_candidates.push_back(container.id());
       auto rng = std::make_shared<sim::Rng>(root.fork());
       schedule_arrivals(simulation, container, cp, rng, end);
       schedule_resident_spikes(simulation, container, cp,
@@ -662,6 +743,31 @@ RunOutcome run_sharded_scenario(const Scenario& s, bool force_overgrant,
   // bootstrap snapshots then cover every registered container).
   if (s.standbys > 0) plane.enable_ha(s.standbys);
 
+  // Real-time overlay: the pre-drawn admission plan, routed through the
+  // plane so each reservation debits its owning shard's base slice.
+  // Admissions land after the checkers are armed; a crashed shard leader or
+  // an unregistered id degrades to a counted rejection, never a fault.
+  if (s.rt) {
+    sim::Rng rt_rng(s.seed ^ 0xdead11e5c0deULL);
+    shard::ShardedControlPlane* plane_ptr = &plane;
+    for (const RtPlanEntry& e : draw_rt_plan(rt_rng, rt_candidates.size(),
+                                             end)) {
+      const cluster::ContainerId id = rt_candidates[e.member];
+      const cfs::RtSpec spec = e.spec;
+      simulation.schedule_at(e.admit_at, [plane_ptr, id, spec] {
+        plane_ptr->admit_rt(id, spec);
+      });
+      if (e.evict_at > 0) {
+        simulation.schedule_at(e.evict_at, [plane_ptr, id] {
+          const int sh = plane_ptr->shard_of_container(id);
+          if (sh >= 0) {
+            plane_ptr->shard(sh).controller().evict_rt(id, /*reason=*/2);
+          }
+        });
+      }
+    }
+  }
+
   // Fault overlay: same dedicated rng streams as the unsharded path.
   // Partitions act network-wide; crash faults target shard 0's control
   // plane — the borrow protocol must hold conservation through them.
@@ -695,6 +801,13 @@ RunOutcome run_sharded_scenario(const Scenario& s, bool force_overgrant,
 
   RunOutcome outcome;
   outcome.borrow_grants = plane.borrows_granted();
+  if (s.rt) {
+    for (int sh = 0; sh < s.shards; ++sh) {
+      outcome.rt_admissions += observers[sh]->h.rt_admitted->value();
+      outcome.rt_rejections += observers[sh]->h.rt_rejected->value();
+      outcome.rt_misses += observers[sh]->h.deadline_misses->value();
+    }
+  }
   for (int sh = 0; sh < s.shards; ++sh) {
     checkers[sh]->check_now();
     outcome.events += checkers[sh]->events_checked();
@@ -718,8 +831,15 @@ RunOutcome run_sharded_scenario(const Scenario& s, bool force_overgrant,
     outcome.failure_text += outcome.report;
     outcome.failure_text += "scenario config:\n";
     outcome.failure_text += to_json(s);
-    outcome.failure_text +=
-        trace_tail_to_string(observers.front()->trace(), trace_tail);
+    // Per-shard trace tails: each shard's controller records into its own
+    // observer, so the decisions behind a violation live on the owning
+    // shard, not on shard 0.
+    for (int sh = 0; sh < s.shards; ++sh) {
+      std::snprintf(buf, sizeof(buf), "shard %d ", sh);
+      outcome.failure_text += buf;
+      outcome.failure_text +=
+          trace_tail_to_string(observers[sh]->trace(), trace_tail);
+    }
     char standby_flags[48] = "";
     if (s.standbys > 0) {
       std::snprintf(standby_flags, sizeof(standby_flags), " --standbys %d%s",
@@ -727,10 +847,11 @@ RunOutcome run_sharded_scenario(const Scenario& s, bool force_overgrant,
     }
     std::snprintf(buf, sizeof(buf),
                   "replay: escra-fuzz --seed %" PRIu64
-                  " --runs 1 --shards %d%s%s%s%s\n",
+                  " --runs 1 --shards %d%s%s%s%s%s\n",
                   s.seed, s.shards,
                   s.fault_profile && !s.leader_churn ? " --fault-profile" : "",
-                  standby_flags, s.legacy_rpc ? " --legacy-rpc" : "",
+                  standby_flags, s.rt ? " --rt" : "",
+                  s.legacy_rpc ? " --legacy-rpc" : "",
                   force_overgrant ? " --force-overgrant" : "");
     outcome.failure_text += buf;
   }
@@ -789,6 +910,7 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
   std::optional<workload::GreedyTenant> greedy;
   if (s.greedy) greedy_rng.emplace(s.seed ^ 0x64eed7c0deULL);
   const sim::TimePoint end = sim::seconds_f(s.duration_s);
+  std::vector<cluster::ContainerId> rt_candidates;
 
   for (std::size_t t = 0; t < s.tenants.size(); ++t) {
     const TenantPlan& tp = s.tenants[t];
@@ -827,6 +949,7 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
       cluster::Container& container =
           k8s.create_container(spec, 1.0, 256 * memcg::kMiB);
       members.push_back(&container);
+      if (t == 0) rt_candidates.push_back(container.id());
       auto rng = std::make_shared<sim::Rng>(root.fork());
       schedule_arrivals(simulation, container, cp, rng, end);
       schedule_resident_spikes(simulation, container, cp,
@@ -901,6 +1024,29 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     tenants.push_back(std::move(tenant));
   }
 
+  // Real-time overlay: the pre-drawn admission plan against tenant 0.
+  // Admissions land mid-run, after the checker is armed, so every
+  // kRtAdmitted/kRtEvicted rides the trace and the never-reclaim floor is
+  // enforced from the first decision; a crashed controller degrades an
+  // admission to a counted rejection, never a fault.
+  if (s.rt) {
+    sim::Rng rt_rng(s.seed ^ 0xdead11e5c0deULL);
+    core::EscraSystem* escra = tenants.front().escra.get();
+    for (const RtPlanEntry& e : draw_rt_plan(rt_rng, rt_candidates.size(),
+                                             end)) {
+      const cluster::ContainerId id = rt_candidates[e.member];
+      const cfs::RtSpec spec = e.spec;
+      simulation.schedule_at(e.admit_at, [escra, id, spec] {
+        escra->controller().admit_rt(id, spec);
+      });
+      if (e.evict_at > 0) {
+        simulation.schedule_at(e.evict_at, [escra, id] {
+          escra->controller().evict_rt(id, /*reason=*/2);
+        });
+      }
+    }
+  }
+
   // Warm-standby replicated controller on tenant 0, constructed after its
   // system started (the bootstrap snapshot then covers every registered
   // container) and declared after the tenants so it is destroyed first —
@@ -951,6 +1097,11 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
     outcome.credit_charges =
         tenants.front().observer->h.credit_charges->value();
   }
+  if (s.rt) {
+    outcome.rt_admissions = tenants.front().observer->h.rt_admitted->value();
+    outcome.rt_rejections = tenants.front().observer->h.rt_rejected->value();
+    outcome.rt_misses = tenants.front().observer->h.deadline_misses->value();
+  }
   for (Tenant& tenant : tenants) {
     tenant.checker->check_now();
     outcome.events += tenant.checker->events_checked();
@@ -976,11 +1127,12 @@ RunOutcome run_scenario(const Scenario& s, bool force_overgrant,
                     s.standbys, s.leader_churn ? " --leader-churn" : "");
     }
     std::snprintf(buf, sizeof(buf),
-                  "replay: escra-fuzz --seed %" PRIu64 " --runs 1%s%s%s%s%s%s\n",
+                  "replay: escra-fuzz --seed %" PRIu64
+                  " --runs 1%s%s%s%s%s%s%s\n",
                   s.seed,
                   s.fault_profile && !s.leader_churn ? " --fault-profile" : "",
                   standby_flags, s.bw ? " --bw" : "",
-                  s.greedy ? " --greedy" : "",
+                  s.greedy ? " --greedy" : "", s.rt ? " --rt" : "",
                   s.legacy_rpc ? " --legacy-rpc" : "",
                   force_overgrant ? " --force-overgrant" : "");
     outcome.failure_text += buf;
@@ -1021,12 +1173,30 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  if (opts.shards > 0 && (opts.bw || opts.greedy)) {
-    std::fprintf(stderr,
-                 "error: --shards composes with --fault-profile, --standbys/"
-                 "--leader-churn, and --legacy-rpc; --bw and --greedy are "
-                 "per-tenant overlays and are not supported under sharding\n");
-    return 2;
+  // Overlay conflicts are rejected up front, and the error names the exact
+  // conflicting pair (not the whole compatibility matrix): a CI log line
+  // must say which two flags fought, so the fix is obvious from the message
+  // alone. First active pair wins when several flags conflict at once.
+  struct Conflict {
+    bool active;
+    const char* a;
+    const char* b;
+    const char* why;
+  };
+  const Conflict conflicts[] = {
+      {opts.shards > 0 && opts.bw, "--shards", "--bw",
+       "the bandwidth plane is a per-tenant overlay and is not supported "
+       "under sharding"},
+      {opts.shards > 0 && opts.greedy, "--shards", "--greedy",
+       "the adversarial tenant is a per-tenant overlay and is not supported "
+       "under sharding"},
+  };
+  for (const Conflict& c : conflicts) {
+    if (c.active) {
+      std::fprintf(stderr, "error: %s conflicts with %s (%s)\n", c.a, c.b,
+                   c.why);
+      return 2;
+    }
   }
 
   if (!opts.repro_out.empty()) {
@@ -1038,6 +1208,7 @@ int main(int argc, char** argv) {
     scenario.leader_churn = opts.leader_churn;
     scenario.bw = opts.bw;
     scenario.greedy = opts.greedy;
+    scenario.rt = opts.rt;
     scenario.shards = opts.shards;
     scenario.legacy_rpc = opts.legacy_rpc;
     std::ofstream out(opts.repro_out);
@@ -1066,6 +1237,7 @@ int main(int argc, char** argv) {
         scenario.leader_churn = opts.leader_churn;
         scenario.bw = opts.bw;
         scenario.greedy = opts.greedy;
+        scenario.rt = opts.rt;
         scenario.shards = opts.shards;
         scenario.legacy_rpc = opts.legacy_rpc;
         RunOutcome outcome =
@@ -1084,6 +1256,9 @@ int main(int argc, char** argv) {
   std::uint64_t total_attacks = 0;
   std::uint64_t total_charges = 0;
   std::uint64_t total_grants = 0;
+  std::uint64_t total_rt_admissions = 0;
+  std::uint64_t total_rt_rejections = 0;
+  std::uint64_t total_rt_misses = 0;
   bool wrote_violation_repro = false;
   for (std::uint64_t i = 0; i < opts.runs; ++i) {
     const RunOutcome& outcome = outcomes[i];
@@ -1092,6 +1267,9 @@ int main(int argc, char** argv) {
     total_attacks += outcome.greedy_attacks;
     total_charges += outcome.credit_charges;
     total_grants += outcome.borrow_grants;
+    total_rt_admissions += outcome.rt_admissions;
+    total_rt_rejections += outcome.rt_rejections;
+    total_rt_misses += outcome.rt_misses;
     if (outcome.violated) {
       ++violations;
       std::fputs(outcome.failure_text.c_str(), stderr);
@@ -1106,6 +1284,7 @@ int main(int argc, char** argv) {
           scenario.leader_churn = opts.leader_churn;
           scenario.bw = opts.bw;
           scenario.greedy = opts.greedy;
+          scenario.rt = opts.rt;
           scenario.shards = opts.shards;
           scenario.legacy_rpc = opts.legacy_rpc;
           out << to_json(scenario);
@@ -1138,6 +1317,24 @@ int main(int argc, char** argv) {
                    "escra-fuzz: VACUOUS GREEDY SWEEP (%" PRIu64
                    " attacks, %" PRIu64 " charges)\n",
                    total_attacks, total_charges);
+      return 1;
+    }
+  }
+
+  if (opts.rt) {
+    // Non-vacuity: a sweep where admission control never admitted a single
+    // reservation proves nothing about the never-reclaim floors or the
+    // deadline guarantees — fail loudly rather than report a hollow pass.
+    // Allocator-caused misses are checker violations (rt-allocator-miss),
+    // so a clean sweep already implies zero of them; the misses printed
+    // here are the tenant-caused remainder (overrun, RPC loss), which the
+    // guarantee explicitly permits.
+    std::printf("escra-fuzz: rt overlay: %" PRIu64 " admission(s), %" PRIu64
+                " rejection(s), %" PRIu64 " deadline miss(es)\n",
+                total_rt_admissions, total_rt_rejections, total_rt_misses);
+    if (total_rt_admissions == 0) {
+      std::fprintf(stderr, "escra-fuzz: VACUOUS RT SWEEP (0 reservations "
+                           "admitted across all runs)\n");
       return 1;
     }
   }

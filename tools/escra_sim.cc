@@ -30,6 +30,15 @@
 //     --leader-kill T                      kill the controller permanently
 //                                          at T s — a standby takes over
 //                                          (requires --standbys >= 1)
+//     --rt                                 mixed criticality (escra policy
+//                                          only): admit the first replica
+//                                          of every service into the
+//                                          real-time class at 5 s with a
+//                                          20 ms / 100 ms reservation
+//                                          (0.2-core floor). The summary
+//                                          gains an rt line; with
+//                                          --trace-out, escra-trace --rt
+//                                          reads the deadline view
 //     --shards N                           run the control plane as N
 //                                          controller shards (escra policy
 //                                          only): each service is deployed
@@ -66,6 +75,7 @@
 #include <vector>
 
 #include "app/service_graph.h"
+#include "cfs/rt.h"
 #include "cluster/cluster.h"
 #include "config/app_config.h"
 #include "core/escra.h"
@@ -119,6 +129,7 @@ struct Options {
   int standbys = 0;           // --standbys: warm-standby controller pool size
   double leader_kill_s = -1.0;  // --leader-kill: permanent kill time (s)
   int shards = 0;             // --shards: sharded control plane (0 = single)
+  bool rt = false;            // --rt: admit one RT replica per service
 
   bool has_faults() const {
     return rpc_loss > 0.0 || !partitions.empty() || !agent_crashes.empty() ||
@@ -136,7 +147,7 @@ void usage() {
                "                 [--metrics-out PATH] [--trace-out PATH]\n"
                "                 [--rpc-loss R] [--partition NODE:START:DUR]\n"
                "                 [--agent-crash NODE:T] [--standbys N]\n"
-               "                 [--leader-kill T] [--shards N]\n"
+               "                 [--leader-kill T] [--shards N] [--rt]\n"
                "(--rate, --csv, --metrics-out, --trace-out and the fault "
                "flags apply to the default escra policy run only;\n"
                " --partition/--agent-crash are repeatable, times in seconds; "
@@ -276,6 +287,8 @@ std::optional<Options> parse_args(int argc, char** argv) {
       if (opts.shards < 1) {
         throw std::runtime_error("--shards expects N >= 1");
       }
+    } else if (flag == "--rt") {
+      opts.rt = true;
     } else {
       throw std::runtime_error("unknown flag " + flag);
     }
@@ -344,10 +357,11 @@ int main(int argc, char** argv) {
               opts.workload.c_str(), opts.policy.c_str(), opts.duration_s);
 
   if (opts.policy != "escra") {
-    if (opts.has_faults() || opts.standbys > 0 || opts.shards > 0) {
+    if (opts.has_faults() || opts.standbys > 0 || opts.shards > 0 ||
+        opts.rt) {
       std::fprintf(stderr,
                    "error: --rpc-loss/--partition/--agent-crash/--standbys/"
-                   "--leader-kill/--shards require the escra policy\n");
+                   "--leader-kill/--shards/--rt require the escra policy\n");
       return 2;
     }
     // Baseline runs go through the experiment harness (which profiles the
@@ -501,6 +515,36 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Mixed criticality (--rt): the first replica of every service runs in
+  // the real-time class. Admissions land at 5 s — after deployment settles
+  // but before load starts at 10 s — so a rejection here means the
+  // reservation genuinely doesn't fit, not that best-effort load beat it
+  // to the pool. One conservative spec for all: 20 ms runtime / 100 ms
+  // period, a 0.2-core floor per reservation.
+  std::vector<cluster::ContainerId> rt_ids;
+  if (opts.rt) {
+    cfs::RtSpec rt_spec;
+    rt_spec.runtime = sim::milliseconds(20);
+    rt_spec.deadline = sim::milliseconds(100);
+    rt_spec.period = sim::milliseconds(100);
+    for (std::size_t s = 0; s < app_config.graph.services.size(); ++s) {
+      const auto members = application.service_containers(s);
+      if (!members.empty()) rt_ids.push_back(members.front()->id());
+    }
+    simulation.schedule_at(sim::seconds(5), [&, rt_spec] {
+      for (const cluster::ContainerId id : rt_ids) {
+        if (plane.has_value()) {
+          plane->admit_rt(id, rt_spec);
+        } else {
+          escra_opt->controller().admit_rt(id, rt_spec);
+        }
+      }
+    });
+    std::printf("rt: admitting %zu reservation(s) at 5 s "
+                "(20 ms runtime / 100 ms period, 0.2-core floor each)\n",
+                rt_ids.size());
+  }
+
   // Scripted fault injection (escra policy only). The fault RNG is forked
   // from the run seed so faulted runs replay bit-for-bit.
   std::optional<fault::FaultInjector> injector;
@@ -634,6 +678,28 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(ctrl_updates),
               static_cast<unsigned long long>(ctrl_ooms),
               static_cast<unsigned long long>(ctrl_rescues));
+  if (opts.rt) {
+    std::uint64_t rt_admitted = 0, rt_rejected = 0, rt_misses = 0;
+    double rt_reserved = 0.0;
+    const auto sum_rt = [&](const core::Controller& c) {
+      rt_admitted += c.rt_admissions();
+      rt_rejected += c.rt_rejections();
+      rt_misses += c.deadline_misses();
+      rt_reserved += c.rt_reserved_cores();
+    };
+    if (plane.has_value()) {
+      for (int s = 0; s < opts.shards; ++s) {
+        sum_rt(plane->shard(s).controller());
+      }
+    } else {
+      sum_rt(escra_opt->controller());
+    }
+    std::printf("  rt             %llu admitted (%.1f cores reserved), "
+                "%llu rejected, %llu deadline miss(es)\n",
+                static_cast<unsigned long long>(rt_admitted), rt_reserved,
+                static_cast<unsigned long long>(rt_rejected),
+                static_cast<unsigned long long>(rt_misses));
+  }
   if (plane.has_value()) {
     std::printf("  shards         %llu advert(s), %llu borrow(s) requested, "
                 "%llu granted, %llu returned, %llu retransmit(s), "

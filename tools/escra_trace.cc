@@ -18,6 +18,13 @@
 //                                             kind, borrow traffic per peer,
 //                                             pool-resize trajectory, and
 //                                             the shard-protocol timeline
+//   escra-trace <trace.jsonl> --rt            per-RT-container deadline
+//                                             view: every admission with
+//                                             its floor and (runtime,
+//                                             period) contract, deadline
+//                                             misses with the worst
+//                                             shortfall, rejections, and
+//                                             how each reservation ended
 //
 // The trace answers "why did container X get limit Y": a throttled CFS
 // period opens a chain ThrottleObserved -> CpuGrant -> RpcIssued ->
@@ -41,7 +48,7 @@ namespace {
 void usage() {
   std::fprintf(stderr,
                "usage: escra-trace <trace.jsonl> [--container ID | --chain "
-               "EVENT_ID | --tenant ID | --shard ID]\n");
+               "EVENT_ID | --tenant ID | --shard ID | --rt]\n");
 }
 
 // Borrow-protocol events carry the resource flag in `before` (0 = CPU,
@@ -175,6 +182,32 @@ void format_limits(const obs::TraceEvent& ev, char* buf, std::size_t len) {
       std::snprintf(buf, len, "pool %s -> %s", before_s, after_s);
       break;
     }
+    case obs::EventKind::kRtAdmitted:
+      // after = admitted floor; detail packs (runtime us << 32) | period us.
+      std::snprintf(buf, len, "floor %.3f cores (rt %.1f/%.1f ms)", ev.after,
+                    static_cast<double>(ev.detail >> 32) / 1000.0,
+                    static_cast<double>(ev.detail & 0xffffffff) / 1000.0);
+      break;
+    case obs::EventKind::kRtRejected:
+      std::snprintf(buf, len, "floor %.3f cores rejected (%s)", ev.after,
+                    ev.detail == 0   ? "node bound"
+                    : ev.detail == 1 ? "pool bound"
+                    : ev.detail == 2 ? "bw bound"
+                                     : "state");
+      break;
+    case obs::EventKind::kRtEvicted:
+      std::snprintf(buf, len, "floor %.3f freed (%s)", ev.before,
+                    ev.detail == 0   ? "released"
+                    : ev.detail == 1 ? "node dead"
+                                     : "operator");
+      break;
+    case obs::EventKind::kDeadlineMiss:
+      // before = floor, after = the allocation at the miss, detail = the
+      // core-time still owed when the deadline passed.
+      std::snprintf(buf, len, "owed %.1f ms at %.3f cores (floor %.3f)",
+                    static_cast<double>(ev.detail) / 1000.0, ev.after,
+                    ev.before);
+      break;
   }
 }
 
@@ -608,6 +641,89 @@ int run_shard(const obs::TraceBuffer& trace, std::uint32_t shard) {
   return 0;
 }
 
+// Per-RT-container deadline view: the mixed-criticality class's lifecycle
+// as the trace recorded it — every admission with its floor and (runtime,
+// period) contract, deadline misses with the worst core-time shortfall,
+// rejections, and how each reservation ended (explicit eviction or held to
+// the end of the trace; a kill without a preceding eviction would be an
+// invariant violation, not a display case).
+int run_rt(const obs::TraceBuffer& trace) {
+  struct RtLife {
+    std::vector<const obs::TraceEvent*> admissions;
+    std::vector<const obs::TraceEvent*> evictions;
+    std::uint64_t rejections = 0;
+    std::uint64_t misses = 0;
+    std::int64_t worst_owed_us = 0;
+    sim::TimePoint first_miss = 0, last_miss = 0;
+  };
+  std::map<std::uint32_t, RtLife> lives;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const obs::TraceEvent& ev = trace.at(i);
+    switch (ev.kind) {
+      case obs::EventKind::kRtAdmitted:
+        lives[ev.container].admissions.push_back(&ev);
+        break;
+      case obs::EventKind::kRtRejected:
+        ++lives[ev.container].rejections;
+        break;
+      case obs::EventKind::kRtEvicted:
+        lives[ev.container].evictions.push_back(&ev);
+        break;
+      case obs::EventKind::kDeadlineMiss: {
+        RtLife& l = lives[ev.container];
+        if (l.misses == 0) l.first_miss = ev.time;
+        ++l.misses;
+        l.last_miss = ev.time;
+        if (ev.detail > l.worst_owed_us) l.worst_owed_us = ev.detail;
+        break;
+      }
+      default: break;
+    }
+  }
+  if (lives.empty()) {
+    std::printf("no real-time events — rt class idle in this trace\n");
+    return 0;
+  }
+  std::printf("rt containers (%zu):\n", lives.size());
+  for (const auto& [container, l] : lives) {
+    std::printf("  c%u:\n", container);
+    for (const obs::TraceEvent* ev : l.admissions) {
+      std::printf("    admitted at %12.6fs: floor %.3f cores "
+                  "(runtime %.1f ms / period %.1f ms)\n",
+                  sim::to_seconds(ev->time), ev->after,
+                  static_cast<double>(ev->detail >> 32) / 1000.0,
+                  static_cast<double>(ev->detail & 0xffffffff) / 1000.0);
+    }
+    if (l.rejections > 0) {
+      std::printf("    rejections %llu\n",
+                  static_cast<unsigned long long>(l.rejections));
+    }
+    if (l.misses > 0) {
+      std::printf("    deadline misses %llu (%12.6fs .. %.6fs, worst "
+                  "shortfall %.1f ms of core-time)\n",
+                  static_cast<unsigned long long>(l.misses),
+                  sim::to_seconds(l.first_miss),
+                  sim::to_seconds(l.last_miss),
+                  static_cast<double>(l.worst_owed_us) / 1000.0);
+    } else if (!l.admissions.empty()) {
+      std::printf("    no deadline misses\n");
+    }
+    for (const obs::TraceEvent* ev : l.evictions) {
+      std::printf("    evicted at %12.6fs (%s, floor %.3f cores freed)\n",
+                  sim::to_seconds(ev->time),
+                  ev->detail == 0   ? "released"
+                  : ev->detail == 1 ? "node dead"
+                                    : "operator",
+                  ev->before);
+    }
+    if (!l.admissions.empty() &&
+        l.evictions.size() < l.admissions.size()) {
+      std::printf("    reservation held to trace end\n");
+    }
+  }
+  return 0;
+}
+
 int run_chain(const obs::TraceBuffer& trace, obs::EventId id) {
   if (trace.find(id) == nullptr) {
     std::fprintf(stderr, "event #%llu not in trace (evicted or never "
@@ -656,6 +772,7 @@ int main(int argc, char** argv) {
 
   if (argc == 2) return run_summary(trace);
   const std::string mode = argv[2];
+  if (argc == 3 && mode == "--rt") return run_rt(trace);
   if (argc == 4 && (mode == "--container" || mode == "--chain" ||
                     mode == "--tenant" || mode == "--shard")) {
     std::uint64_t id = 0;
